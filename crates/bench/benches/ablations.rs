@@ -1,0 +1,67 @@
+//! Criterion bench: ablations called out in DESIGN.md — dependency granularity, foreign-key
+//! usage and unfolding depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvrc_benchmarks::tpcc;
+use mvrc_robustness::{
+    is_robust, AnalysisSettings, CycleCondition, Granularity, RobustnessAnalyzer,
+};
+
+fn bench_settings_grid(c: &mut Criterion) {
+    let workload = tpcc();
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let mut group = c.benchmark_group("ablation_settings_tpcc");
+    for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(settings.label()),
+            &settings,
+            |b, &settings| {
+                b.iter(|| {
+                    let graph = analyzer.summary_graph(settings);
+                    is_robust(&graph, settings.condition)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_unfold_depth(c: &mut Criterion) {
+    let workload = tpcc();
+    let mut group = c.benchmark_group("ablation_unfold_depth_tpcc");
+    for depth in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let analyzer = RobustnessAnalyzer::with_unfold_options(
+                    &workload.schema,
+                    &workload.programs,
+                    mvrc_btp::UnfoldOptions { max_loop_iterations: depth, deduplicate: true },
+                );
+                analyzer.is_robust(AnalysisSettings::paper_default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let workload = tpcc();
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let mut group = c.benchmark_group("ablation_granularity_graph_tpcc");
+    for granularity in [Granularity::Attribute, Granularity::Tuple] {
+        let settings = AnalysisSettings {
+            granularity,
+            use_foreign_keys: true,
+            condition: CycleCondition::TypeII,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{granularity}")),
+            &settings,
+            |b, &settings| b.iter(|| analyzer.summary_graph(settings).edge_count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_settings_grid, bench_unfold_depth, bench_granularity);
+criterion_main!(benches);

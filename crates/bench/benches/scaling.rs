@@ -1,0 +1,39 @@
+//! Criterion bench: Figure 8 — the Auction(n) scalability sweep. Measures the full pipeline
+//! (unfold + Algorithm 1 + Algorithm 2), as the paper does.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvrc_benchmarks::auction_n;
+use mvrc_robustness::{find_type2_violation, AnalysisSettings, RobustnessAnalyzer};
+
+fn bench_auction_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_auction_n");
+    group.sample_size(10);
+    for n in [5usize, 10, 20, 40] {
+        let workload = auction_n(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workload, |b, w| {
+            b.iter(|| {
+                let analyzer = RobustnessAnalyzer::new(&w.schema, &w.programs);
+                let graph = analyzer.summary_graph(AnalysisSettings::paper_default());
+                assert!(find_type2_violation(&graph).is_none());
+                graph.edge_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_auction_n_graph_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_graph_size");
+    group.sample_size(10);
+    for n in [5usize, 10, 20, 40] {
+        let workload = auction_n(n);
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &analyzer, |b, a| {
+            b.iter(|| a.summary_graph(AnalysisSettings::paper_default()).edge_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_auction_n, bench_auction_n_graph_only);
+criterion_main!(benches);

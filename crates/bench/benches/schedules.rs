@@ -1,0 +1,47 @@
+//! Criterion bench: the schedule substrate — MVRC execution, serialization-graph construction
+//! and randomized counterexample sampling on the SmallBank workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvrc_benchmarks::smallbank;
+use mvrc_btp::unfold_set_le2;
+use mvrc_schedule::{sample_serializability, SearchConfig, SerializationGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_random_schedules(c: &mut Criterion) {
+    let workload = smallbank();
+    let ltps = unfold_set_le2(&workload.programs);
+    let mut group = c.benchmark_group("mvrc_schedule_sampling");
+    for txns in [2usize, 4, 8] {
+        let config = SearchConfig {
+            transactions: txns,
+            attempts: 50,
+            tuples_per_relation: 2,
+            ..SearchConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &config, |b, config| {
+            b.iter(|| sample_serializability(&workload.schema, &ltps, config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialization_graph(c: &mut Criterion) {
+    let workload = smallbank();
+    let ltps = unfold_set_le2(&workload.programs);
+    let config = SearchConfig { transactions: 6, attempts: 1, ..SearchConfig::default() };
+    let mut rng = StdRng::seed_from_u64(42);
+    let schedule = loop {
+        if let Some(s) =
+            mvrc_schedule::random_mvrc_schedule(&workload.schema, &ltps, &config, &mut rng)
+        {
+            break s;
+        }
+    };
+    c.bench_function("serialization_graph_smallbank_6txn", |b| {
+        b.iter(|| SerializationGraph::of(&schedule).is_conflict_serializable())
+    });
+}
+
+criterion_group!(benches, bench_random_schedules, bench_serialization_graph);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: summary-graph construction (Algorithm 1) for every paper benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvrc_benchmarks::{auction, smallbank, tpcc};
+use mvrc_btp::unfold_set_le2;
+use mvrc_robustness::{AnalysisSettings, SummaryGraph};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summary_graph_construction");
+    for workload in [smallbank(), tpcc(), auction()] {
+        let ltps = unfold_set_le2(&workload.programs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &ltps,
+            |b, ltps| {
+                b.iter(|| {
+                    SummaryGraph::construct(ltps, &workload.schema, AnalysisSettings::paper_default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_unfolding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unfold_le2");
+    for workload in [smallbank(), tpcc(), auction()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&workload.name),
+            &workload.programs,
+            |b, programs| b.iter(|| unfold_set_le2(programs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_unfolding);
+criterion_main!(benches);

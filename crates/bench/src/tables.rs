@@ -1,0 +1,81 @@
+//! Table 2 — benchmark characteristics.
+
+use mvrc_benchmarks::{auction, smallbank, tpcc, Workload};
+use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
+use serde::Serialize;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of relations in the schema.
+    pub relations: usize,
+    /// Minimum attributes per relation.
+    pub min_attributes: usize,
+    /// Maximum attributes per relation.
+    pub max_attributes: usize,
+    /// Number of transaction programs at the application level.
+    pub programs: usize,
+    /// Number of nodes (unfolded LTPs) in the summary graph.
+    pub nodes: usize,
+    /// Number of summary-graph edges (quintuples), `attr dep + FK` setting.
+    pub edges: usize,
+    /// Number of counterflow edges.
+    pub counterflow_edges: usize,
+}
+
+impl Table2Row {
+    fn for_workload(workload: &Workload) -> Table2Row {
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let graph = analyzer.summary_graph(AnalysisSettings::paper_default());
+        Table2Row {
+            benchmark: workload.name.clone(),
+            relations: workload.schema.relation_count(),
+            min_attributes: workload.min_attributes_per_relation(),
+            max_attributes: workload.max_attributes_per_relation(),
+            programs: workload.program_count(),
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            counterflow_edges: graph.counterflow_edge_count(),
+        }
+    }
+
+    /// Formats the row in the layout of Table 2.
+    pub fn render(&self) -> String {
+        let attrs = if self.min_attributes == self.max_attributes {
+            self.min_attributes.to_string()
+        } else {
+            format!("{}-{}", self.min_attributes, self.max_attributes)
+        };
+        format!(
+            "{:<12} relations={:<3} attrs/rel={:<6} programs={:<3} nodes={:<3} edges={} ({} counterflow)",
+            self.benchmark, self.relations, attrs, self.programs, self.nodes, self.edges,
+            self.counterflow_edges
+        )
+    }
+}
+
+/// Computes Table 2 for the three fixed benchmarks (SmallBank, TPC-C, Auction).
+pub fn table2() -> Vec<Table2Row> {
+    [smallbank(), tpcc(), auction()].iter().map(Table2Row::for_workload).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_paper_where_expected() {
+        let rows = table2();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].benchmark, "SmallBank");
+        assert_eq!((rows[0].edges, rows[0].counterflow_edges), (56, 12));
+        assert_eq!(rows[1].benchmark, "TPC-C");
+        assert_eq!(rows[1].nodes, 13);
+        assert_eq!(rows[1].counterflow_edges, 83);
+        assert_eq!(rows[2].benchmark, "Auction");
+        assert_eq!((rows[2].edges, rows[2].counterflow_edges), (17, 1));
+        assert!(rows[0].render().contains("edges=56 (12 counterflow)"));
+    }
+}

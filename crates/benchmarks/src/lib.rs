@@ -1,0 +1,70 @@
+//! # mvrc-benchmarks
+//!
+//! The benchmark workloads evaluated in Section 7 of *"Detecting Robustness against MVRC for
+//! Transaction Programs with Predicate Reads"* (EDBT 2023), modelled as BTPs over their schemas:
+//!
+//! * [`smallbank`] — the SmallBank banking benchmark (Appendix E.1): 5 linear, key-based
+//!   programs; the paper's ground-truth benchmark for false-negative analysis.
+//! * [`tpcc`] — TPC-C (Appendix E.2): 9 relations, 12 foreign keys, 5 programs with loops,
+//!   branching, inserts, deletes and predicate reads; unfolds into 13 LTPs.
+//! * [`auction`] — the running example of Section 2 (FindBids / PlaceBid).
+//! * [`auction_n`] — the scalable Auction(n) benchmark of Section 7.3 with `2n` programs.
+//! * [`synthetic`] — a reproducible random workload generator used for property-based testing
+//!   and ablations.
+//!
+//! Every workload is returned as a [`Workload`]: schema + programs + the program abbreviations
+//! used in the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod auction;
+mod smallbank;
+mod synthetic;
+mod tpcc;
+mod workload;
+
+pub use auction::{auction, auction_n, auction_schema, AUCTION_SQL};
+pub use smallbank::{smallbank, smallbank_schema};
+pub use synthetic::{synthetic, SyntheticConfig};
+pub use tpcc::{tpcc, tpcc_schema};
+pub use workload::Workload;
+
+/// All fixed-size benchmarks of the paper (SmallBank, TPC-C, Auction), in the order used by
+/// Table 2 and Figures 6/7.
+pub fn paper_benchmarks() -> Vec<Workload> {
+    vec![smallbank(), tpcc(), auction()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_benchmarks_are_in_table_2_order() {
+        let names: Vec<String> = paper_benchmarks().into_iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["SmallBank", "TPC-C", "Auction"]);
+    }
+
+    #[test]
+    fn table_2_workload_characteristics() {
+        // Table 2, first three rows: relations, attributes per relation, transaction programs.
+        let sb = smallbank();
+        assert_eq!(sb.schema.relation_count(), 3);
+        assert_eq!((sb.min_attributes_per_relation(), sb.max_attributes_per_relation()), (2, 2));
+        assert_eq!(sb.program_count(), 5);
+
+        let tp = tpcc();
+        assert_eq!(tp.schema.relation_count(), 9);
+        assert_eq!((tp.min_attributes_per_relation(), tp.max_attributes_per_relation()), (3, 21));
+        assert_eq!(tp.program_count(), 5);
+
+        let au = auction();
+        assert_eq!(au.schema.relation_count(), 3);
+        assert_eq!((au.min_attributes_per_relation(), au.max_attributes_per_relation()), (2, 3));
+        assert_eq!(au.program_count(), 2);
+
+        let aun = auction_n(10);
+        assert_eq!(aun.program_count(), 20);
+    }
+}

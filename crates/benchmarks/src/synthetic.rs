@@ -1,0 +1,211 @@
+//! Synthetic workload generator.
+//!
+//! The paper's scalability experiment (Section 7.3) scales the *number of programs*; this
+//! generator additionally allows scaling schema size, program length and the mix of statement
+//! types, which the test-suite uses for property-based testing (e.g. "a workload attested robust
+//! at tuple granularity is also attested robust at attribute granularity") and the benchmark
+//! harness uses for ablation studies.
+
+use crate::workload::Workload;
+use mvrc_btp::{Program, ProgramBuilder};
+use mvrc_schema::{Schema, SchemaBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of relations in the schema.
+    pub relations: usize,
+    /// Number of attributes per relation (2..=64).
+    pub attributes_per_relation: usize,
+    /// Number of programs to generate.
+    pub programs: usize,
+    /// Number of statements per program.
+    pub statements_per_program: usize,
+    /// Probability that a statement is predicate-based rather than key-based.
+    pub predicate_probability: f64,
+    /// Probability that a statement writes (update/insert/delete) rather than reads.
+    pub write_probability: f64,
+    /// Probability that a generated program wraps its tail statements in a loop.
+    pub loop_probability: f64,
+    /// Probability that a statement is wrapped in an optional branch `(q | ε)`.
+    pub optional_probability: f64,
+    /// RNG seed, so that generated workloads are reproducible.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            relations: 4,
+            attributes_per_relation: 4,
+            programs: 5,
+            statements_per_program: 4,
+            predicate_probability: 0.3,
+            write_probability: 0.5,
+            loop_probability: 0.2,
+            optional_probability: 0.2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generates a reproducible synthetic workload from the given configuration.
+pub fn synthetic(config: SyntheticConfig) -> Workload {
+    assert!(config.relations >= 1, "need at least one relation");
+    assert!(
+        (2..=64).contains(&config.attributes_per_relation),
+        "attributes per relation must be in 2..=64"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = synthetic_schema(&config);
+    let programs: Vec<Program> =
+        (0..config.programs).map(|i| synthetic_program(&schema, &config, i, &mut rng)).collect();
+    Workload::new(format!("Synthetic(seed={})", config.seed), schema, programs, &[])
+}
+
+fn synthetic_schema(config: &SyntheticConfig) -> Schema {
+    let mut b = SchemaBuilder::new("Synthetic");
+    let attr_names: Vec<String> = (0..config.attributes_per_relation).map(|i| format!("a{i}")).collect();
+    let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+    for r in 0..config.relations {
+        b.relation(&format!("R{r}"), &attr_refs, &[attr_refs[0]]).expect("valid synthetic relation");
+    }
+    b.build()
+}
+
+fn synthetic_program(
+    schema: &Schema,
+    config: &SyntheticConfig,
+    index: usize,
+    rng: &mut StdRng,
+) -> Program {
+    let mut pb = ProgramBuilder::new(schema, format!("P{index}"));
+    let relation_names: Vec<String> = schema.relations().map(|r| r.name().to_string()).collect();
+    let attr_count = config.attributes_per_relation;
+    let mut exprs = Vec::new();
+    for s in 0..config.statements_per_program {
+        let rel = &relation_names[rng.gen_range(0..relation_names.len())];
+        let name = format!("q{s}");
+        let predicate = rng.gen_bool(config.predicate_probability);
+        let write = rng.gen_bool(config.write_probability);
+        // Pick 1..=3 random attribute names.
+        let pick = |rng: &mut StdRng| -> Vec<String> {
+            let n = rng.gen_range(1..=3.min(attr_count));
+            (0..n).map(|_| format!("a{}", rng.gen_range(0..attr_count))).collect()
+        };
+        fn to_refs(v: &[String]) -> Vec<&str> {
+            v.iter().map(String::as_str).collect()
+        }
+        let stmt = match (predicate, write) {
+            (false, false) => {
+                let read = pick(rng);
+                pb.key_select(&name, rel, &to_refs(&read)).expect("key select")
+            }
+            (true, false) => {
+                let pread = pick(rng);
+                let read = pick(rng);
+                pb.pred_select(&name, rel, &to_refs(&pread), &to_refs(&read)).expect("pred select")
+            }
+            (false, true) => match rng.gen_range(0..3u8) {
+                0 => pb.insert(&name, rel).expect("insert"),
+                1 => pb.key_delete(&name, rel).expect("key delete"),
+                _ => {
+                    let read = pick(rng);
+                    let write_attrs = pick(rng);
+                    pb.key_update(&name, rel, &to_refs(&read), &to_refs(&write_attrs))
+                        .expect("key update")
+                }
+            },
+            (true, true) => {
+                if rng.gen_bool(0.5) {
+                    let pread = pick(rng);
+                    pb.pred_delete(&name, rel, &to_refs(&pread)).expect("pred delete")
+                } else {
+                    let pread = pick(rng);
+                    let read = pick(rng);
+                    let write_attrs = pick(rng);
+                    pb.pred_update(&name, rel, &to_refs(&pread), &to_refs(&read), &to_refs(&write_attrs))
+                        .expect("pred update")
+                }
+            }
+        };
+        let expr: mvrc_btp::ProgramExpr = stmt.into();
+        if rng.gen_bool(config.optional_probability) {
+            exprs.push(mvrc_btp::ProgramExpr::optional(expr));
+        } else {
+            exprs.push(expr);
+        }
+    }
+    // Possibly wrap the last half of the statements in a loop.
+    if exprs.len() >= 2 && rng.gen_bool(config.loop_probability) {
+        let tail = exprs.split_off(exprs.len() / 2);
+        exprs.push(mvrc_btp::ProgramExpr::looped(mvrc_btp::ProgramExpr::Seq(tail)));
+    }
+    for e in exprs {
+        pb.push(e);
+    }
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_btp::unfold_set_le2;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = synthetic(SyntheticConfig::default());
+        let b = synthetic(SyntheticConfig::default());
+        assert_eq!(a.programs.len(), b.programs.len());
+        for (pa, pb) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(pa, pb);
+        }
+        let c = synthetic(SyntheticConfig { seed: 7, ..SyntheticConfig::default() });
+        // Different seeds virtually always give different programs.
+        assert_ne!(a.programs, c.programs);
+    }
+
+    #[test]
+    fn generated_workloads_unfold() {
+        let w = synthetic(SyntheticConfig { programs: 8, ..SyntheticConfig::default() });
+        assert_eq!(w.program_count(), 8);
+        let ltps = unfold_set_le2(&w.programs);
+        assert!(ltps.len() >= 8);
+    }
+
+    #[test]
+    fn config_bounds_are_enforced() {
+        let bad = SyntheticConfig { attributes_per_relation: 1, ..SyntheticConfig::default() };
+        assert!(std::panic::catch_unwind(|| synthetic(bad)).is_err());
+        let bad = SyntheticConfig { relations: 0, ..SyntheticConfig::default() };
+        assert!(std::panic::catch_unwind(|| synthetic(bad)).is_err());
+    }
+
+    #[test]
+    fn statement_mix_respects_probabilities_at_the_extremes() {
+        let read_only = synthetic(SyntheticConfig {
+            write_probability: 0.0,
+            predicate_probability: 0.0,
+            ..SyntheticConfig::default()
+        });
+        for p in &read_only.programs {
+            for (_, s) in p.statements() {
+                assert!(!s.kind().writes());
+                assert!(!s.kind().is_predicate_based());
+            }
+        }
+        let write_heavy = synthetic(SyntheticConfig {
+            write_probability: 1.0,
+            ..SyntheticConfig::default()
+        });
+        let writes = write_heavy
+            .programs
+            .iter()
+            .flat_map(|p| p.statements().map(|(_, s)| s.kind().writes()).collect::<Vec<_>>())
+            .filter(|w| *w)
+            .count();
+        assert!(writes > 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! The TPC-C benchmark (Appendix E.2 of the paper).
+//!
+//! Nine relations, twelve foreign keys and five transaction programs (NewOrder, Payment,
+//! OrderStatus, Delivery, StockLevel), modelled statement-by-statement after Figure 17 of the
+//! paper. `Unfold≤2` turns the five BTPs into 13 LTPs (Table 2).
+//!
+//! ## Foreign-key constraint annotations
+//!
+//! The paper's appendix lists the schema-level foreign keys `f1`–`f12` but not the per-program
+//! constraint annotations `q_j = f(q_i)`; we derive them from the TPC-C program semantics and
+//! document every choice below (see `DESIGN.md` §6 for the substitution rationale):
+//!
+//! * **Delivery** — the `New_Order` tuple selected/deleted (`q1`, `q2`) and the `Order_Line`
+//!   tuples updated/read (`q5`, `q6`) all belong to the order accessed by `q3`/`q4` (`f5`, `f8`);
+//!   that order belongs to the customer updated by `q7` (`f7`).
+//! * **NewOrder** — the inserted order (`q11`) belongs to the district updated by `q10` (`f6`)
+//!   and the customer read by `q8` (`f7`); the new `New_Order` (`q12`) and `Order_Line` (`q15`)
+//!   rows reference that order (`f5`, `f8`); order lines reference the item read in the same loop
+//!   iteration (`f9`), as does the stock row (`f11`); the customer lives in the updated district
+//!   (`f2`) and the district in the warehouse read by `q9` (`f1`). No constraint is added for
+//!   `f10`/`f12` (supply warehouse) because TPC-C allows remote supply warehouses.
+//! * **OrderStatus** — the orders scanned by `q18` belong to the customer selected by key in
+//!   `q17` (`f7`); no constraint involves the by-name variant `q16` (not key-based).
+//! * **Payment** — the updated district lives in the updated warehouse (`f1`); the paid customer
+//!   lives in the updated district (`f2`, assuming the common local-customer case, which is what
+//!   makes `{NewOrder, Payment}` detectable — remote payments would need a separate program
+//!   variant); the inserted history row references that customer and district (`f3`, `f4`).
+//! * **StockLevel** — read-only scans with no key-based statement over a referenced relation, so
+//!   no constraints.
+
+use crate::workload::Workload;
+use mvrc_btp::{Program, ProgramBuilder, ProgramExpr};
+use mvrc_schema::{Schema, SchemaBuilder};
+
+/// The nine-relation TPC-C schema with foreign keys `f1`–`f12`.
+pub fn tpcc_schema() -> Schema {
+    let mut b = SchemaBuilder::new("TPC-C");
+    let warehouse = b
+        .relation(
+            "Warehouse",
+            &["w_id", "w_name", "w_street_1", "w_street_2", "w_city", "w_state", "w_zip", "w_tax", "w_ytd"],
+            &["w_id"],
+        )
+        .expect("Warehouse");
+    let district = b
+        .relation(
+            "District",
+            &[
+                "d_id", "d_w_id", "d_name", "d_street_1", "d_street_2", "d_city", "d_state", "d_zip",
+                "d_tax", "d_ytd", "d_next_o_id",
+            ],
+            &["d_id", "d_w_id"],
+        )
+        .expect("District");
+    let customer = b
+        .relation(
+            "Customer",
+            &[
+                "c_id", "c_d_id", "c_w_id", "c_first", "c_middle", "c_last", "c_street_1", "c_street_2",
+                "c_city", "c_state", "c_zip", "c_phone", "c_since", "c_credit", "c_credit_lim",
+                "c_discount", "c_balance", "c_ytd_payment", "c_payment_cnt", "c_delivery_cnt", "c_data",
+            ],
+            &["c_id", "c_d_id", "c_w_id"],
+        )
+        .expect("Customer");
+    let history = b
+        .relation(
+            "History",
+            &["h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date", "h_amount", "h_data"],
+            &["h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date"],
+        )
+        .expect("History");
+    let new_order = b
+        .relation("New_Order", &["no_o_id", "no_d_id", "no_w_id"], &["no_o_id", "no_d_id", "no_w_id"])
+        .expect("New_Order");
+    let orders = b
+        .relation(
+            "Orders",
+            &["o_id", "o_d_id", "o_w_id", "o_c_id", "o_entry_id", "o_carrier_id", "o_ol_cnt", "o_all_local"],
+            &["o_id", "o_d_id", "o_w_id"],
+        )
+        .expect("Orders");
+    let order_line = b
+        .relation(
+            "Order_Line",
+            &[
+                "ol_o_id", "ol_d_id", "ol_w_id", "ol_number", "ol_i_id", "ol_supply_w_id",
+                "ol_delivery_d", "ol_quantity", "ol_amount", "ol_dist_info",
+            ],
+            &["ol_o_id", "ol_d_id", "ol_w_id", "ol_number"],
+        )
+        .expect("Order_Line");
+    let item =
+        b.relation("Item", &["i_id", "i_im_id", "i_name", "i_price", "i_data"], &["i_id"]).expect("Item");
+    let stock = b
+        .relation(
+            "Stock",
+            &[
+                "s_i_id", "s_w_id", "s_quantity", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04",
+                "s_dist_05", "s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10", "s_ytd",
+                "s_order_cnt", "s_remote_cnt", "s_data",
+            ],
+            &["s_i_id", "s_w_id"],
+        )
+        .expect("Stock");
+
+    b.foreign_key("f1", district, &["d_w_id"], warehouse, &["w_id"]).expect("f1");
+    b.foreign_key("f2", customer, &["c_d_id", "c_w_id"], district, &["d_id", "d_w_id"]).expect("f2");
+    b.foreign_key("f3", history, &["h_c_id", "h_c_d_id", "h_c_w_id"], customer, &["c_id", "c_d_id", "c_w_id"])
+        .expect("f3");
+    b.foreign_key("f4", history, &["h_d_id", "h_w_id"], district, &["d_id", "d_w_id"]).expect("f4");
+    b.foreign_key("f5", new_order, &["no_o_id", "no_d_id", "no_w_id"], orders, &["o_id", "o_d_id", "o_w_id"])
+        .expect("f5");
+    b.foreign_key("f6", orders, &["o_d_id", "o_w_id"], district, &["d_id", "d_w_id"]).expect("f6");
+    b.foreign_key("f7", orders, &["o_c_id", "o_d_id", "o_w_id"], customer, &["c_id", "c_d_id", "c_w_id"])
+        .expect("f7");
+    b.foreign_key("f8", order_line, &["ol_o_id", "ol_d_id", "ol_w_id"], orders, &["o_id", "o_d_id", "o_w_id"])
+        .expect("f8");
+    b.foreign_key("f9", order_line, &["ol_i_id"], item, &["i_id"]).expect("f9");
+    b.foreign_key("f10", order_line, &["ol_supply_w_id"], warehouse, &["w_id"]).expect("f10");
+    b.foreign_key("f11", stock, &["s_i_id"], item, &["i_id"]).expect("f11");
+    b.foreign_key("f12", stock, &["s_w_id"], warehouse, &["w_id"]).expect("f12");
+    b.build()
+}
+
+/// The TPC-C workload: five programs modelled after Figure 17.
+pub fn tpcc() -> Workload {
+    let schema = tpcc_schema();
+    let programs = vec![
+        new_order(&schema),
+        payment(&schema),
+        order_status(&schema),
+        delivery(&schema),
+        stock_level(&schema),
+    ];
+    Workload::new(
+        "TPC-C",
+        schema,
+        programs,
+        &[
+            ("NewOrder", "NO"),
+            ("Payment", "Pay"),
+            ("OrderStatus", "OS"),
+            ("Delivery", "Del"),
+            ("StockLevel", "SL"),
+        ],
+    )
+}
+
+/// `Delivery := loop(q1; q2; q3; q4; q5; q6; q7)` — deliver open orders, district by district.
+fn delivery(schema: &Schema) -> Program {
+    let mut pb = ProgramBuilder::new(schema, "Delivery");
+    let q1 = pb
+        .pred_select("q1", "New_Order", &["no_d_id", "no_w_id"], &["no_o_id"])
+        .expect("q1");
+    let q2 = pb.key_delete("q2", "New_Order").expect("q2");
+    let q3 = pb.key_select("q3", "Orders", &["o_c_id"]).expect("q3");
+    let q4 = pb.key_update("q4", "Orders", &[], &["o_carrier_id"]).expect("q4");
+    let q5 = pb
+        .pred_update("q5", "Order_Line", &["ol_d_id", "ol_o_id", "ol_w_id"], &[], &["ol_delivery_d"])
+        .expect("q5");
+    let q6 = pb
+        .pred_select("q6", "Order_Line", &["ol_d_id", "ol_o_id", "ol_w_id"], &["ol_amount"])
+        .expect("q6");
+    let q7 = pb
+        .key_update(
+            "q7",
+            "Customer",
+            &["c_balance", "c_delivery_cnt"],
+            &["c_balance", "c_delivery_cnt"],
+        )
+        .expect("q7");
+    pb.looped(ProgramExpr::seq([
+        q1.into(),
+        q2.into(),
+        q3.into(),
+        q4.into(),
+        q5.into(),
+        q6.into(),
+        q7.into(),
+    ]));
+    // The selected/deleted New_Order row and the touched Order_Line rows belong to the order
+    // handled in the same iteration; that order belongs to the updated customer.
+    pb.fk_constraint("f5", q1, q3).expect("q3 = f5(q1)");
+    pb.fk_constraint("f5", q1, q4).expect("q4 = f5(q1)");
+    pb.fk_constraint("f5", q2, q3).expect("q3 = f5(q2)");
+    pb.fk_constraint("f5", q2, q4).expect("q4 = f5(q2)");
+    pb.fk_constraint("f8", q5, q3).expect("q3 = f8(q5)");
+    pb.fk_constraint("f8", q5, q4).expect("q4 = f8(q5)");
+    pb.fk_constraint("f8", q6, q3).expect("q3 = f8(q6)");
+    pb.fk_constraint("f8", q6, q4).expect("q4 = f8(q6)");
+    pb.fk_constraint("f7", q3, q7).expect("q7 = f7(q3)");
+    pb.fk_constraint("f7", q4, q7).expect("q7 = f7(q4)");
+    pb.build()
+}
+
+/// `NewOrder := q8; q9; q10; q11; q12; loop(q13; q14; q15)` — create a new order with its lines.
+fn new_order(schema: &Schema) -> Program {
+    let mut pb = ProgramBuilder::new(schema, "NewOrder");
+    let q8 = pb
+        .key_select("q8", "Customer", &["c_credit", "c_discount", "c_last"])
+        .expect("q8");
+    let q9 = pb.key_select("q9", "Warehouse", &["w_tax"]).expect("q9");
+    let q10 = pb
+        .key_update("q10", "District", &["d_next_o_id", "d_tax"], &["d_next_o_id"])
+        .expect("q10");
+    let q11 = pb.insert("q11", "Orders").expect("q11");
+    let q12 = pb.insert("q12", "New_Order").expect("q12");
+    let q13 = pb.key_select("q13", "Item", &["i_data", "i_name", "i_price"]).expect("q13");
+    let q14 = pb
+        .key_update(
+            "q14",
+            "Stock",
+            &[
+                "s_data", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04", "s_dist_05", "s_dist_06",
+                "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10", "s_order_cnt", "s_quantity",
+                "s_remote_cnt", "s_ytd",
+            ],
+            &["s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"],
+        )
+        .expect("q14");
+    let q15 = pb.insert("q15", "Order_Line").expect("q15");
+    pb.seq(&[q8.into(), q9.into(), q10.into(), q11.into(), q12.into()]);
+    pb.looped(ProgramExpr::seq([q13.into(), q14.into(), q15.into()]));
+    // The new order belongs to the updated district and to the selected customer; the New_Order
+    // and Order_Line rows reference that order; order lines and stock reference the item of the
+    // same loop iteration; the customer lives in the updated district which lives in the read
+    // warehouse. Supply warehouses (f10/f12) may be remote and are deliberately unconstrained.
+    pb.fk_constraint("f6", q11, q10).expect("q10 = f6(q11)");
+    pb.fk_constraint("f7", q11, q8).expect("q8 = f7(q11)");
+    pb.fk_constraint("f5", q12, q11).expect("q11 = f5(q12)");
+    pb.fk_constraint("f8", q15, q11).expect("q11 = f8(q15)");
+    pb.fk_constraint("f9", q15, q13).expect("q13 = f9(q15)");
+    pb.fk_constraint("f11", q14, q13).expect("q13 = f11(q14)");
+    pb.fk_constraint("f2", q8, q10).expect("q10 = f2(q8)");
+    pb.fk_constraint("f1", q10, q9).expect("q9 = f1(q10)");
+    pb.build()
+}
+
+/// `OrderStatus := (q16 | q17); q18; q19` — status of a customer's most recent order.
+fn order_status(schema: &Schema) -> Program {
+    let mut pb = ProgramBuilder::new(schema, "OrderStatus");
+    let q16 = pb
+        .pred_select(
+            "q16",
+            "Customer",
+            &["c_d_id", "c_last", "c_w_id"],
+            &["c_balance", "c_first", "c_id", "c_middle"],
+        )
+        .expect("q16");
+    let q17 = pb
+        .key_select("q17", "Customer", &["c_balance", "c_first", "c_last", "c_middle"])
+        .expect("q17");
+    let q18 = pb
+        .pred_select(
+            "q18",
+            "Orders",
+            &["o_c_id", "o_d_id", "o_w_id"],
+            &["o_carrier_id", "o_entry_id", "o_id"],
+        )
+        .expect("q18");
+    let q19 = pb
+        .pred_select(
+            "q19",
+            "Order_Line",
+            &["ol_d_id", "ol_o_id", "ol_w_id"],
+            &["ol_amount", "ol_delivery_d", "ol_i_id", "ol_quantity", "ol_supply_w_id"],
+        )
+        .expect("q19");
+    pb.choice(q16.into(), q17.into());
+    pb.seq(&[q18.into(), q19.into()]);
+    // The scanned orders belong to the customer selected by key (when the by-id variant runs).
+    pb.fk_constraint("f7", q18, q17).expect("q17 = f7(q18)");
+    pb.build()
+}
+
+/// `Payment := q20; q21; (q22 | ε); q23; (q24; q25 | ε); q26` — customer payment.
+fn payment(schema: &Schema) -> Program {
+    let mut pb = ProgramBuilder::new(schema, "Payment");
+    let q20 = pb
+        .key_update(
+            "q20",
+            "Warehouse",
+            &["w_city", "w_name", "w_state", "w_street_1", "w_street_2", "w_ytd", "w_zip"],
+            &["w_ytd"],
+        )
+        .expect("q20");
+    let q21 = pb
+        .key_update(
+            "q21",
+            "District",
+            &["d_city", "d_name", "d_state", "d_street_1", "d_street_2", "d_ytd", "d_zip"],
+            &["d_ytd"],
+        )
+        .expect("q21");
+    let q22 = pb
+        .pred_select("q22", "Customer", &["c_d_id", "c_last", "c_w_id"], &["c_id"])
+        .expect("q22");
+    let q23 = pb
+        .key_update(
+            "q23",
+            "Customer",
+            &[
+                "c_balance", "c_city", "c_credit", "c_credit_lim", "c_discount", "c_first", "c_last",
+                "c_middle", "c_phone", "c_since", "c_state", "c_street_1", "c_street_2",
+                "c_ytd_payment", "c_zip",
+            ],
+            &["c_balance", "c_payment_cnt", "c_ytd_payment"],
+        )
+        .expect("q23");
+    let q24 = pb.key_select("q24", "Customer", &["c_data"]).expect("q24");
+    let q25 = pb.key_update("q25", "Customer", &[], &["c_data"]).expect("q25");
+    let q26 = pb.insert("q26", "History").expect("q26");
+    pb.seq(&[q20.into(), q21.into()]);
+    pb.optional(q22.into());
+    pb.push(q23.into());
+    pb.optional(ProgramExpr::seq([q24.into(), q25.into()]));
+    pb.push(q26.into());
+    // The updated district lives in the updated warehouse; the paid customer lives in that
+    // district (local-payment assumption, see module docs); the history row references both.
+    pb.fk_constraint("f1", q21, q20).expect("q20 = f1(q21)");
+    pb.fk_constraint("f2", q22, q21).expect("q21 = f2(q22)");
+    pb.fk_constraint("f2", q23, q21).expect("q21 = f2(q23)");
+    pb.fk_constraint("f2", q24, q21).expect("q21 = f2(q24)");
+    pb.fk_constraint("f2", q25, q21).expect("q21 = f2(q25)");
+    pb.fk_constraint("f3", q26, q23).expect("q23 = f3(q26)");
+    pb.fk_constraint("f4", q26, q21).expect("q21 = f4(q26)");
+    pb.build()
+}
+
+/// `StockLevel := q27; q28; q29` — recently sold items whose stock is below a threshold.
+fn stock_level(schema: &Schema) -> Program {
+    let mut pb = ProgramBuilder::new(schema, "StockLevel");
+    let q27 = pb.key_select("q27", "District", &["d_next_o_id"]).expect("q27");
+    let q28 = pb
+        .pred_select("q28", "Order_Line", &["ol_d_id", "ol_o_id", "ol_w_id"], &["ol_i_id"])
+        .expect("q28");
+    let q29 = pb.pred_select("q29", "Stock", &["s_quantity", "s_w_id"], &["s_i_id"]).expect("q29");
+    pb.seq(&[q27.into(), q28.into(), q29.into()]);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_btp::{unfold_set_le2, StatementKind};
+
+    #[test]
+    fn schema_matches_appendix_e2() {
+        let schema = tpcc_schema();
+        assert_eq!(schema.relation_count(), 9);
+        assert_eq!(schema.foreign_key_count(), 12);
+        let attr_counts: Vec<usize> = schema.relations().map(|r| r.attribute_count()).collect();
+        assert_eq!(*attr_counts.iter().min().unwrap(), 3);
+        assert_eq!(*attr_counts.iter().max().unwrap(), 21);
+        assert_eq!(schema.relation_by_name("Customer").unwrap().attribute_count(), 21);
+        assert_eq!(schema.relation_by_name("New_Order").unwrap().attribute_count(), 3);
+    }
+
+    #[test]
+    fn five_programs_unfold_into_thirteen_ltps() {
+        let w = tpcc();
+        assert_eq!(w.program_count(), 5);
+        let ltps = unfold_set_le2(&w.programs);
+        assert_eq!(ltps.len(), 13, "Table 2: TPC-C has 13 unfolded transaction programs");
+        // Per-program unfolding counts: NewOrder 3, Payment 4, OrderStatus 2, Delivery 3,
+        // StockLevel 1.
+        let count = |name: &str| ltps.iter().filter(|l| l.program_name() == name).count();
+        assert_eq!(count("NewOrder"), 3);
+        assert_eq!(count("Payment"), 4);
+        assert_eq!(count("OrderStatus"), 2);
+        assert_eq!(count("Delivery"), 3);
+        assert_eq!(count("StockLevel"), 1);
+    }
+
+    #[test]
+    fn statement_details_match_figure_17() {
+        let w = tpcc();
+        let schema = &w.schema;
+        let customer = schema.relation_by_name("Customer").unwrap();
+        let district = schema.relation_by_name("District").unwrap();
+
+        let payment = w.program("Payment").unwrap();
+        let q23 = payment.statements().find(|(_, s)| s.name() == "q23").unwrap().1;
+        assert_eq!(q23.kind(), StatementKind::KeyUpdate);
+        assert_eq!(q23.rel(), customer.id());
+        assert_eq!(q23.write_set().unwrap().len(), 3);
+        assert_eq!(q23.read_set().unwrap().len(), 15);
+
+        let new_order = w.program("NewOrder").unwrap();
+        let q10 = new_order.statements().find(|(_, s)| s.name() == "q10").unwrap().1;
+        assert_eq!(q10.rel(), district.id());
+        assert_eq!(
+            q10.write_set(),
+            Some(mvrc_schema::AttrSet::singleton(district.attr_by_name("d_next_o_id").unwrap()))
+        );
+        let q14 = new_order.statements().find(|(_, s)| s.name() == "q14").unwrap().1;
+        assert_eq!(q14.read_set().unwrap().len(), 15);
+        assert_eq!(q14.write_set().unwrap().len(), 4);
+
+        let delivery = w.program("Delivery").unwrap();
+        let q5 = delivery.statements().find(|(_, s)| s.name() == "q5").unwrap().1;
+        assert_eq!(q5.kind(), StatementKind::PredUpdate);
+        assert_eq!(q5.pread_set().unwrap().len(), 3);
+        assert_eq!(q5.write_set().unwrap().len(), 1);
+
+        let stock_level = w.program("StockLevel").unwrap();
+        for (_, s) in stock_level.statements() {
+            assert!(!s.kind().writes(), "StockLevel is read-only");
+        }
+    }
+
+    #[test]
+    fn control_flow_matches_figure_17() {
+        let w = tpcc();
+        assert_eq!(
+            w.program("Delivery").unwrap().to_string(),
+            "Delivery := loop(q1; q2; q3; q4; q5; q6; q7)"
+        );
+        assert_eq!(
+            w.program("NewOrder").unwrap().to_string(),
+            "NewOrder := q8; q9; q10; q11; q12; loop(q13; q14; q15)"
+        );
+        assert_eq!(
+            w.program("OrderStatus").unwrap().to_string(),
+            "OrderStatus := (q16 | q17); q18; q19"
+        );
+        assert_eq!(
+            w.program("Payment").unwrap().to_string(),
+            "Payment := q20; q21; (q22 | ε); q23; (q24; q25 | ε); q26"
+        );
+        assert_eq!(w.program("StockLevel").unwrap().to_string(), "StockLevel := q27; q28; q29");
+    }
+
+    #[test]
+    fn abbreviations_match_the_paper() {
+        let w = tpcc();
+        assert_eq!(w.abbreviate("NewOrder"), "NO");
+        assert_eq!(w.abbreviate("Payment"), "Pay");
+        assert_eq!(w.abbreviate("OrderStatus"), "OS");
+        assert_eq!(w.abbreviate("Delivery"), "Del");
+        assert_eq!(w.abbreviate("StockLevel"), "SL");
+    }
+}

@@ -1,0 +1,87 @@
+//! The [`Workload`] container: a schema together with the transaction programs that operate on
+//! it, plus presentation metadata (program abbreviations as used in the paper's figures).
+
+use mvrc_btp::Program;
+use mvrc_schema::Schema;
+
+/// A benchmark workload: schema, transaction programs and the abbreviations the paper uses when
+/// listing robust subsets (e.g. `NewOrder → NO`, `Payment → Pay`).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (e.g. `SmallBank`).
+    pub name: String,
+    /// The database schema.
+    pub schema: Schema,
+    /// The transaction programs (BTPs).
+    pub programs: Vec<Program>,
+    /// `(program name, abbreviation)` pairs.
+    pub abbreviations: Vec<(String, String)>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        programs: Vec<Program>,
+        abbreviations: &[(&str, &str)],
+    ) -> Self {
+        Workload {
+            name: name.into(),
+            schema,
+            programs,
+            abbreviations: abbreviations
+                .iter()
+                .map(|(n, a)| (n.to_string(), a.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Number of programs at the application level.
+    pub fn program_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The abbreviation for a program name, falling back to the full name.
+    pub fn abbreviate(&self, program: &str) -> String {
+        self.abbreviations
+            .iter()
+            .find(|(name, _)| name == program)
+            .map(|(_, a)| a.clone())
+            .unwrap_or_else(|| program.to_string())
+    }
+
+    /// Looks up a program by name.
+    pub fn program(&self, name: &str) -> Option<&Program> {
+        self.programs.iter().find(|p| p.name() == name)
+    }
+
+    /// Maximum number of attributes over all relations (Table 2 reports the range).
+    pub fn max_attributes_per_relation(&self) -> usize {
+        self.schema.relations().map(|r| r.attribute_count()).max().unwrap_or(0)
+    }
+
+    /// Minimum number of attributes over all relations.
+    pub fn min_attributes_per_relation(&self) -> usize {
+        self.schema.relations().map(|r| r.attribute_count()).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_schema::SchemaBuilder;
+
+    #[test]
+    fn abbreviation_lookup_falls_back_to_the_full_name() {
+        let mut b = SchemaBuilder::new("s");
+        b.relation("R", &["a", "b"], &["a"]).unwrap();
+        let w = Workload::new("W", b.build(), vec![], &[("NewOrder", "NO")]);
+        assert_eq!(w.abbreviate("NewOrder"), "NO");
+        assert_eq!(w.abbreviate("Other"), "Other");
+        assert_eq!(w.program_count(), 0);
+        assert!(w.program("NewOrder").is_none());
+        assert_eq!(w.max_attributes_per_relation(), 2);
+        assert_eq!(w.min_attributes_per_relation(), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for BTP construction and SQL translation.
+
+use std::fmt;
+
+/// Errors arising while building programs or translating SQL into BTPs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BtpError {
+    /// A relation referenced by a statement is not part of the schema.
+    UnknownRelation(String),
+    /// An attribute referenced by a statement does not belong to its relation.
+    UnknownAttribute {
+        /// The relation under consideration.
+        relation: String,
+        /// The unresolved attribute name.
+        attribute: String,
+    },
+    /// A foreign key referenced by a constraint is not part of the schema.
+    UnknownForeignKey(String),
+    /// A statement violates the typing constraints of Figure 5 of the paper.
+    InvalidStatement {
+        /// The statement name.
+        statement: String,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A foreign-key constraint `q_j = f(q_i)` violates its well-formedness conditions
+    /// (Section 5.1): `rel(q_i) = dom(f)`, `rel(q_j) = range(f)` and `q_j` key-based.
+    InvalidFkConstraint {
+        /// The foreign key name.
+        foreign_key: String,
+        /// Human-readable description of the violated condition.
+        reason: String,
+    },
+    /// A statement id does not belong to the program under construction.
+    UnknownStatement(String),
+    /// The SQL front-end failed to parse its input.
+    SqlParse {
+        /// Line number (1-based) where the error was detected.
+        line: usize,
+        /// Description of the parse failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for BtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtpError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            BtpError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            BtpError::UnknownForeignKey(name) => write!(f, "unknown foreign key `{name}`"),
+            BtpError::InvalidStatement { statement, reason } => {
+                write!(f, "statement `{statement}` is not well-formed: {reason}")
+            }
+            BtpError::InvalidFkConstraint { foreign_key, reason } => {
+                write!(f, "foreign-key constraint over `{foreign_key}` is invalid: {reason}")
+            }
+            BtpError::UnknownStatement(name) => write!(f, "unknown statement `{name}`"),
+            BtpError::SqlParse { line, message } => {
+                write!(f, "SQL parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BtpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BtpError::InvalidStatement { statement: "q1".into(), reason: "empty write set".into() };
+        assert!(e.to_string().contains("q1"));
+        assert!(e.to_string().contains("empty write set"));
+        let e = BtpError::SqlParse { line: 7, message: "expected FROM".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

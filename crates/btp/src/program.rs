@@ -1,0 +1,325 @@
+//! Basic transaction programs: statements, control-flow expressions and foreign-key
+//! constraint annotations.
+
+use crate::statement::Statement;
+use mvrc_schema::FkId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a statement within its [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StmtId(pub u16);
+
+impl StmtId {
+    /// Zero-based index of the statement in the program's statement table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<StmtId> for ProgramExpr {
+    fn from(id: StmtId) -> Self {
+        ProgramExpr::Statement(id)
+    }
+}
+
+/// The control-flow syntax of BTPs (Section 5.1):
+///
+/// ```text
+/// P ← loop(P) | (P | P) | (P | ε) | P; P | q
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProgramExpr {
+    /// A single statement `q`.
+    Statement(StmtId),
+    /// Sequential composition `P1; P2; …; Pn`.
+    Seq(Vec<ProgramExpr>),
+    /// Branching `(P1 | P2)`.
+    Choice(Box<ProgramExpr>, Box<ProgramExpr>),
+    /// Optional execution `(P | ε)`.
+    Optional(Box<ProgramExpr>),
+    /// Iteration `loop(P)`: `P` repeated an arbitrary finite number of times.
+    Loop(Box<ProgramExpr>),
+    /// The empty program `ε`.
+    Empty,
+}
+
+impl ProgramExpr {
+    /// Sequential composition of a slice of expressions.
+    pub fn seq(parts: impl IntoIterator<Item = ProgramExpr>) -> ProgramExpr {
+        ProgramExpr::Seq(parts.into_iter().collect())
+    }
+
+    /// Branching between two alternatives.
+    pub fn choice(left: ProgramExpr, right: ProgramExpr) -> ProgramExpr {
+        ProgramExpr::Choice(Box::new(left), Box::new(right))
+    }
+
+    /// Optional execution of an expression.
+    pub fn optional(inner: ProgramExpr) -> ProgramExpr {
+        ProgramExpr::Optional(Box::new(inner))
+    }
+
+    /// Iteration of an expression.
+    pub fn looped(inner: ProgramExpr) -> ProgramExpr {
+        ProgramExpr::Loop(Box::new(inner))
+    }
+
+    /// Returns `true` if the expression contains a `loop` node.
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            ProgramExpr::Loop(_) => true,
+            ProgramExpr::Statement(_) | ProgramExpr::Empty => false,
+            ProgramExpr::Seq(parts) => parts.iter().any(ProgramExpr::contains_loop),
+            ProgramExpr::Choice(a, b) => a.contains_loop() || b.contains_loop(),
+            ProgramExpr::Optional(a) => a.contains_loop(),
+        }
+    }
+
+    /// Returns `true` if the expression contains branching (`Choice` or `Optional`).
+    pub fn contains_branching(&self) -> bool {
+        match self {
+            ProgramExpr::Choice(_, _) | ProgramExpr::Optional(_) => true,
+            ProgramExpr::Statement(_) | ProgramExpr::Empty => false,
+            ProgramExpr::Seq(parts) => parts.iter().any(ProgramExpr::contains_branching),
+            ProgramExpr::Loop(a) => a.contains_branching(),
+        }
+    }
+
+    /// Collects the statements mentioned by the expression, in pre-order.
+    pub fn statements(&self) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        self.collect_statements(&mut out);
+        out
+    }
+
+    fn collect_statements(&self, out: &mut Vec<StmtId>) {
+        match self {
+            ProgramExpr::Statement(id) => out.push(*id),
+            ProgramExpr::Empty => {}
+            ProgramExpr::Seq(parts) => parts.iter().for_each(|p| p.collect_statements(out)),
+            ProgramExpr::Choice(a, b) => {
+                a.collect_statements(out);
+                b.collect_statements(out);
+            }
+            ProgramExpr::Optional(a) | ProgramExpr::Loop(a) => a.collect_statements(out),
+        }
+    }
+}
+
+/// A foreign-key constraint annotation `q_j = f(q_i)` on a program (Section 5.1).
+///
+/// `dom_stmt` (`q_i`) ranges over the referencing relation `dom(f)`; `range_stmt` (`q_j`) is a
+/// statement identifying a single tuple of the referenced relation `range(f)`. Every
+/// instantiation of the program must access, through `range_stmt`, exactly the tuple that the
+/// foreign key associates with the tuple accessed through `dom_stmt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FkConstraint {
+    /// The foreign key `f`.
+    pub fk: FkId,
+    /// `q_i`: the statement over `dom(f)`.
+    pub dom_stmt: StmtId,
+    /// `q_j`: the (single-tuple) statement over `range(f)`.
+    pub range_stmt: StmtId,
+}
+
+/// A basic transaction program (BTP): a statement table, a control-flow body and foreign-key
+/// constraint annotations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) statements: Vec<Statement>,
+    pub(crate) body: ProgramExpr,
+    pub(crate) fk_constraints: Vec<FkConstraint>,
+}
+
+impl Program {
+    /// Creates a program from parts. Prefer [`ProgramBuilder`](crate::ProgramBuilder) which
+    /// validates statements and constraints against a schema.
+    pub fn from_parts(
+        name: impl Into<String>,
+        statements: Vec<Statement>,
+        body: ProgramExpr,
+        fk_constraints: Vec<FkConstraint>,
+    ) -> Self {
+        Program { name: name.into(), statements, body, fk_constraints }
+    }
+
+    /// The program's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of declared statements.
+    #[inline]
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Access a statement by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn statement(&self, id: StmtId) -> &Statement {
+        &self.statements[id.index()]
+    }
+
+    /// Iterate over all declared statements with their ids.
+    pub fn statements(&self) -> impl Iterator<Item = (StmtId, &Statement)> {
+        self.statements.iter().enumerate().map(|(i, s)| (StmtId(i as u16), s))
+    }
+
+    /// The program's control-flow body.
+    #[inline]
+    pub fn body(&self) -> &ProgramExpr {
+        &self.body
+    }
+
+    /// The program's foreign-key constraint annotations.
+    #[inline]
+    pub fn fk_constraints(&self) -> &[FkConstraint] {
+        &self.fk_constraints
+    }
+
+    /// Returns `true` if the program is already linear (no loops, no branching), i.e. an LTP.
+    pub fn is_linear(&self) -> bool {
+        !self.body.contains_loop() && !self.body.contains_branching()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} := ", self.name)?;
+        fmt_expr(&self.body, self, f)
+    }
+}
+
+fn fmt_expr(expr: &ProgramExpr, program: &Program, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr {
+        ProgramExpr::Statement(id) => f.write_str(program.statement(*id).name()),
+        ProgramExpr::Empty => f.write_str("ε"),
+        ProgramExpr::Seq(parts) => {
+            let mut first = true;
+            for p in parts {
+                if !first {
+                    f.write_str("; ")?;
+                }
+                fmt_expr(p, program, f)?;
+                first = false;
+            }
+            Ok(())
+        }
+        ProgramExpr::Choice(a, b) => {
+            f.write_str("(")?;
+            fmt_expr(a, program, f)?;
+            f.write_str(" | ")?;
+            fmt_expr(b, program, f)?;
+            f.write_str(")")
+        }
+        ProgramExpr::Optional(a) => {
+            f.write_str("(")?;
+            fmt_expr(a, program, f)?;
+            f.write_str(" | ε)")
+        }
+        ProgramExpr::Loop(a) => {
+            f.write_str("loop(")?;
+            fmt_expr(a, program, f)?;
+            f.write_str(")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::StatementKind;
+    use mvrc_schema::{AttrSet, SchemaBuilder};
+
+    fn sample_program() -> Program {
+        let mut b = SchemaBuilder::new("s");
+        let r = b.relation("R", &["k", "v"], &["k"]).unwrap();
+        let schema = b.build();
+        let rel = schema.relation(r);
+        let q0 = Statement::new(
+            "q0",
+            rel,
+            StatementKind::KeyUpdate,
+            None,
+            Some(AttrSet::EMPTY),
+            Some(rel.all_attrs()),
+        )
+        .unwrap();
+        let q1 = Statement::new("q1", rel, StatementKind::KeySelect, None, Some(rel.all_attrs()), None)
+            .unwrap();
+        let body = ProgramExpr::seq([
+            ProgramExpr::Statement(StmtId(0)),
+            ProgramExpr::optional(ProgramExpr::Statement(StmtId(1))),
+        ]);
+        Program::from_parts("P", vec![q0, q1], body, vec![])
+    }
+
+    #[test]
+    fn accessors_and_statement_iteration() {
+        let p = sample_program();
+        assert_eq!(p.name(), "P");
+        assert_eq!(p.statement_count(), 2);
+        assert_eq!(p.statement(StmtId(1)).name(), "q1");
+        let ids: Vec<StmtId> = p.statements().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![StmtId(0), StmtId(1)]);
+    }
+
+    #[test]
+    fn linearity_detection() {
+        let p = sample_program();
+        assert!(!p.is_linear());
+        let linear = Program::from_parts(
+            "L",
+            p.statements.clone(),
+            ProgramExpr::seq([ProgramExpr::Statement(StmtId(0)), ProgramExpr::Statement(StmtId(1))]),
+            vec![],
+        );
+        assert!(linear.is_linear());
+    }
+
+    #[test]
+    fn expr_structure_queries() {
+        let looped = ProgramExpr::looped(ProgramExpr::Statement(StmtId(0)));
+        assert!(looped.contains_loop());
+        assert!(!looped.contains_branching());
+        let choice =
+            ProgramExpr::choice(ProgramExpr::Statement(StmtId(0)), ProgramExpr::Statement(StmtId(1)));
+        assert!(choice.contains_branching());
+        assert!(!choice.contains_loop());
+        assert_eq!(choice.statements(), vec![StmtId(0), StmtId(1)]);
+        assert_eq!(ProgramExpr::Empty.statements(), vec![]);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let p = sample_program();
+        assert_eq!(p.to_string(), "P := q0; (q1 | ε)");
+        let with_loop = Program::from_parts(
+            "L",
+            p.statements.clone(),
+            ProgramExpr::looped(ProgramExpr::Statement(StmtId(0))),
+            vec![],
+        );
+        assert_eq!(with_loop.to_string(), "L := loop(q0)");
+    }
+
+    #[test]
+    fn stmt_id_display_and_conversion() {
+        assert_eq!(StmtId(4).to_string(), "q4");
+        let expr: ProgramExpr = StmtId(2).into();
+        assert_eq!(expr, ProgramExpr::Statement(StmtId(2)));
+    }
+}

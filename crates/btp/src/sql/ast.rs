@@ -1,0 +1,251 @@
+//! Abstract syntax tree of the SQL subset.
+
+/// A parsed `PROGRAM name(:p1, :p2, …) { … }` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlProgram {
+    /// The program name.
+    pub name: String,
+    /// Declared host parameters (without the leading `:`).
+    pub params: Vec<String>,
+    /// The program body.
+    pub body: Vec<SqlStatement>,
+}
+
+/// A single operand inside an expression or comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A column reference.
+    Column(String),
+    /// A host parameter `:name`.
+    Param(String),
+    /// A numeric literal.
+    Number(String),
+    /// A string literal.
+    Str(String),
+}
+
+impl Value {
+    /// The column name if this operand is a column reference.
+    pub fn as_column(&self) -> Option<&str> {
+        match self {
+            Value::Column(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The parameter name if this operand is a host parameter.
+    pub fn as_param(&self) -> Option<&str> {
+        match self {
+            Value::Param(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Comparison operators of the SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A single comparison `left op right`, where each side is a (flattened) arithmetic expression
+/// represented by its operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Operands of the left-hand side expression.
+    pub left: Vec<Value>,
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// Operands of the right-hand side expression.
+    pub right: Vec<Value>,
+}
+
+impl Comparison {
+    /// Column names mentioned on either side.
+    pub fn columns(&self) -> impl Iterator<Item = &str> {
+        self.left.iter().chain(self.right.iter()).filter_map(Value::as_column)
+    }
+
+    /// If the comparison is a simple equality binding a single column to a single non-column
+    /// operand (`col = :param`, `col = 3`, `:param = col` …), returns the column and the bound
+    /// operand. Used both for key-based classification and foreign-key inference.
+    pub fn column_binding(&self) -> Option<(&str, &Value)> {
+        if self.op != CompareOp::Eq {
+            return None;
+        }
+        match (self.left.as_slice(), self.right.as_slice()) {
+            ([Value::Column(c)], [v]) if v.as_column().is_none() => Some((c, v)),
+            ([v], [Value::Column(c)]) if v.as_column().is_none() => Some((c, v)),
+            _ => None,
+        }
+    }
+}
+
+/// A conjunction of comparisons (the only condition shape the subset supports).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Condition {
+    /// The conjuncts.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Condition {
+    /// All column names mentioned anywhere in the condition.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.comparisons {
+            for col in c.columns() {
+                if !out.iter().any(|existing| existing == col) {
+                    out.push(col.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(column, operand)` equality bindings.
+    pub fn bindings(&self) -> Vec<(&str, &Value)> {
+        self.comparisons.iter().filter_map(Comparison::column_binding).collect()
+    }
+}
+
+/// An assignment of an `UPDATE … SET` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The attribute being written.
+    pub target: String,
+    /// Operands of the assigned expression (columns contribute to the statement's read set).
+    pub expr: Vec<Value>,
+}
+
+/// A statement of the SQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlStatement {
+    /// `SELECT cols [INTO :vars] FROM rel [WHERE cond]`
+    Select {
+        /// Target relation.
+        relation: String,
+        /// Selected columns; empty with `star = true` means `SELECT *`.
+        columns: Vec<String>,
+        /// Whether `*` was selected.
+        star: bool,
+        /// Optional `WHERE` condition.
+        where_clause: Option<Condition>,
+    },
+    /// `UPDATE rel SET a = expr, … [WHERE cond] [RETURNING cols [INTO :vars]]`
+    Update {
+        /// Target relation.
+        relation: String,
+        /// `SET` assignments.
+        assignments: Vec<Assignment>,
+        /// Optional `WHERE` condition.
+        where_clause: Option<Condition>,
+        /// Columns listed in a `RETURNING` clause (contribute to the read set).
+        returning: Vec<String>,
+    },
+    /// `INSERT INTO rel [(cols)] VALUES (exprs)`
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// Explicit column list; empty means positional over all attributes.
+        columns: Vec<String>,
+        /// Value expressions, one per column.
+        values: Vec<Vec<Value>>,
+    },
+    /// `DELETE FROM rel [WHERE cond]`
+    Delete {
+        /// Target relation.
+        relation: String,
+        /// Optional `WHERE` condition.
+        where_clause: Option<Condition>,
+    },
+    /// `IF cond THEN … [ELSE …] ENDIF` — the condition only involves host variables and is not
+    /// retained beyond parsing.
+    If {
+        /// Statements of the `THEN` branch.
+        then_branch: Vec<SqlStatement>,
+        /// Statements of the `ELSE` branch (empty when absent).
+        else_branch: Vec<SqlStatement>,
+    },
+    /// `REPEAT … END REPEAT`, `FOR … DO … ENDFOR` or `WHILE … DO … ENDWHILE` — all map onto
+    /// `loop(P)`.
+    Loop {
+        /// Statements of the loop body.
+        body: Vec<SqlStatement>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_binding_recognizes_simple_equalities() {
+        let cmp = Comparison {
+            left: vec![Value::Column("id".into())],
+            op: CompareOp::Eq,
+            right: vec![Value::Param("B".into())],
+        };
+        let (col, v) = cmp.column_binding().unwrap();
+        assert_eq!(col, "id");
+        assert_eq!(v.as_param(), Some("B"));
+
+        let swapped = Comparison {
+            left: vec![Value::Number("3".into())],
+            op: CompareOp::Eq,
+            right: vec![Value::Column("id".into())],
+        };
+        assert_eq!(swapped.column_binding().unwrap().0, "id");
+
+        let not_eq = Comparison {
+            left: vec![Value::Column("bid".into())],
+            op: CompareOp::Ge,
+            right: vec![Value::Param("T".into())],
+        };
+        assert!(not_eq.column_binding().is_none());
+
+        let col_to_col = Comparison {
+            left: vec![Value::Column("a".into())],
+            op: CompareOp::Eq,
+            right: vec![Value::Column("b".into())],
+        };
+        assert!(col_to_col.column_binding().is_none());
+
+        let compound = Comparison {
+            left: vec![Value::Column("a".into()), Value::Column("b".into())],
+            op: CompareOp::Eq,
+            right: vec![Value::Param("x".into())],
+        };
+        assert!(compound.column_binding().is_none());
+    }
+
+    #[test]
+    fn condition_columns_are_deduplicated() {
+        let cond = Condition {
+            comparisons: vec![
+                Comparison {
+                    left: vec![Value::Column("a".into())],
+                    op: CompareOp::Eq,
+                    right: vec![Value::Param("x".into())],
+                },
+                Comparison {
+                    left: vec![Value::Column("a".into())],
+                    op: CompareOp::Lt,
+                    right: vec![Value::Column("b".into())],
+                },
+            ],
+        };
+        assert_eq!(cond.columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cond.bindings().len(), 1);
+    }
+}

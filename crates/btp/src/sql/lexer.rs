@@ -1,0 +1,267 @@
+//! Tokenizer for the SQL subset.
+
+use crate::error::BtpError;
+
+/// A lexical token with the line it starts on (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds of the SQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Keyword or identifier (stored verbatim; keyword matching is case-insensitive).
+    Ident(String),
+    /// Host parameter, e.g. `:B`.
+    Param(String),
+    /// Numeric literal.
+    Number(String),
+    /// String literal (single quotes).
+    Str(String),
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `.`
+    Dot,
+    /// `:` not followed by a parameter name (used by catalog declarations, e.g. `f1 : Bids`).
+    Colon,
+}
+
+impl TokenKind {
+    /// Returns `true` when the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes the input text. `--` starts a comment running to the end of the line.
+pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    // Comment until end of line.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, line });
+                }
+            }
+            ':' => {
+                chars.next();
+                let name = take_ident(&mut chars);
+                if name.is_empty() {
+                    // A bare `:` (e.g. `FOREIGN KEY f1 : Bids (…)`); parameters are always
+                    // written without a space, so this is a plain colon token.
+                    tokens.push(Token { kind: TokenKind::Colon, line });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Param(name), line });
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(BtpError::SqlParse { line, message: "unterminated string literal".into() });
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Number(s), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s = take_ident(&mut chars);
+                tokens.push(Token { kind: TokenKind::Ident(s), line });
+            }
+            _ => {
+                chars.next();
+                let kind = match c {
+                    '*' => TokenKind::Star,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semicolon,
+                    '+' => TokenKind::Plus,
+                    '/' => TokenKind::Slash,
+                    '.' => TokenKind::Dot,
+                    '=' => TokenKind::Eq,
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            TokenKind::NotEq
+                        } else {
+                            return Err(BtpError::SqlParse {
+                                line,
+                                message: "unexpected `!`".into(),
+                            });
+                        }
+                    }
+                    '<' => match chars.peek() {
+                        Some(&'=') => {
+                            chars.next();
+                            TokenKind::Le
+                        }
+                        Some(&'>') => {
+                            chars.next();
+                            TokenKind::NotEq
+                        }
+                        _ => TokenKind::Lt,
+                    },
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            TokenKind::Ge
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    other => {
+                        return Err(BtpError::SqlParse {
+                            line,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                tokens.push(Token { kind, line });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn take_ident(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_statement_with_params_and_operators() {
+        let tokens = tokenize("UPDATE Buyer SET calls = calls + 1 WHERE id = :B;").unwrap();
+        let kinds: Vec<&TokenKind> = tokens.iter().map(|t| &t.kind).collect();
+        assert!(kinds.iter().any(|k| k.is_keyword("update")));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Param(p) if p == "B")));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Number(n) if n == "1")));
+        assert_eq!(*kinds.last().unwrap(), &TokenKind::Semicolon);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let tokens = tokenize("SELECT a -- the a column\nFROM R;").unwrap();
+        assert!(tokens.iter().any(|t| t.kind.is_keyword("from") && t.line == 2));
+        assert!(!tokens.iter().any(|t| t.kind.is_keyword("column")));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let tokens = tokenize("a >= 1 AND b <> 2 AND c <= 3 AND d != 4 AND e < 5 AND f > 6").unwrap();
+        let ops: Vec<&TokenKind> = tokens
+            .iter()
+            .map(|t| &t.kind)
+            .filter(|k| {
+                matches!(
+                    k,
+                    TokenKind::Ge | TokenKind::NotEq | TokenKind::Le | TokenKind::Lt | TokenKind::Gt
+                )
+            })
+            .collect();
+        assert_eq!(ops.len(), 6);
+    }
+
+    #[test]
+    fn string_literals_and_errors() {
+        let tokens = tokenize("SET c_credit = 'BC'").unwrap();
+        assert!(tokens.iter().any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "BC")));
+        assert!(tokenize("SET x = 'oops").is_err());
+        let colon = tokenize("FOREIGN KEY f1 : Bids").unwrap();
+        assert!(colon.iter().any(|t| t.kind == TokenKind::Colon));
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn minus_is_distinguished_from_comment() {
+        let tokens = tokenize("SET b = b - 1").unwrap();
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Minus));
+    }
+}

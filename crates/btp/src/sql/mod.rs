@@ -1,0 +1,89 @@
+//! SQL front-end: translating a small SQL subset into BTPs.
+//!
+//! Appendix A of the paper lists the SQL statement shapes that correspond to BTP statements
+//! (key/predicate-based selections, updates and deletions, plus inserts) and the control-flow
+//! constructs (`IF … ELSE … ENDIF` and `REPEAT … END REPEAT`) that map onto `(P | P)`, `(P | ε)`
+//! and `loop(P)`. This module implements that translation so a workload can be analyzed directly
+//! from (pseudo-)SQL text:
+//!
+//! ```
+//! use mvrc_schema::SchemaBuilder;
+//! use mvrc_btp::sql::parse_workload;
+//!
+//! let mut sb = SchemaBuilder::new("auction");
+//! let buyer = sb.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+//! let bids = sb.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+//! let log = sb.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+//! sb.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+//! sb.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+//! let schema = sb.build();
+//!
+//! let programs = parse_workload(&schema, r#"
+//!     PROGRAM FindBids(:B, :T) {
+//!         UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+//!         SELECT bid FROM Bids WHERE bid >= :T;
+//!     }
+//!     PROGRAM PlaceBid(:B, :V) {
+//!         UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+//!         SELECT bid INTO :C FROM Bids WHERE buyerId = :B;
+//!         IF :C < :V THEN
+//!             UPDATE Bids SET bid = :V WHERE buyerId = :B;
+//!         ENDIF;
+//!         INSERT INTO Log VALUES (:logId, :B, :V);
+//!     }
+//! "#).unwrap();
+//! assert_eq!(programs.len(), 2);
+//! assert_eq!(programs[1].fk_constraints().len(), 3);
+//! ```
+//!
+//! ## Self-contained workload files
+//!
+//! The [`parse_catalog`] / [`parse_workload_file`] functions additionally accept a small DDL
+//! dialect (`SCHEMA`, `TABLE`, `FOREIGN KEY` declarations) so that a single file can describe
+//! schema *and* programs — this is what the `mvrc` command-line analyzer consumes.
+//!
+//! ## Classification rules (Appendix A)
+//!
+//! * A `WHERE` clause consisting of equality comparisons that cover the relation's primary key
+//!   classifies the statement as **key-based**; any other `WHERE` clause makes it
+//!   **predicate-based** with `PReadSet` equal to the attributes mentioned in the clause.
+//! * `SELECT` read sets are the selected attributes; `UPDATE` read sets are the attributes
+//!   appearing in `SET` expressions and `RETURNING` clauses; `UPDATE` write sets are the `SET`
+//!   targets; `INSERT` / `DELETE` write all attributes of their relation.
+//! * Foreign-key constraints `q_j = f(q_i)` are **inferred from parameter reuse**: when the
+//!   foreign-key attributes of `q_i` and the key attributes of `q_j` are bound to the same host
+//!   parameters, every instantiation of the program necessarily respects the foreign key.
+
+mod ast;
+mod catalog;
+mod lexer;
+mod parser;
+mod translate;
+
+pub use ast::{Comparison, CompareOp, Condition, SqlProgram, SqlStatement, Value};
+pub use catalog::{parse_catalog, parse_workload_file};
+pub use parser::parse_text;
+pub use translate::{translate_program, translate_workload};
+
+use crate::error::BtpError;
+use crate::program::Program;
+use mvrc_schema::Schema;
+
+/// Parses a workload script containing one or more `PROGRAM … { … }` blocks and translates every
+/// program into a BTP.
+pub fn parse_workload(schema: &Schema, text: &str) -> Result<Vec<Program>, BtpError> {
+    let parsed = parse_text(text)?;
+    translate_workload(schema, &parsed)
+}
+
+/// Parses a script expected to contain exactly one program.
+pub fn parse_program(schema: &Schema, text: &str) -> Result<Program, BtpError> {
+    let mut programs = parse_workload(schema, text)?;
+    match programs.len() {
+        1 => Ok(programs.remove(0)),
+        n => Err(BtpError::SqlParse {
+            line: 1,
+            message: format!("expected exactly one PROGRAM block, found {n}"),
+        }),
+    }
+}

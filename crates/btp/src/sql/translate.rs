@@ -1,0 +1,397 @@
+//! Translation of parsed SQL programs into BTPs (Appendix A of the paper).
+
+use super::ast::{SqlProgram, SqlStatement, Value};
+use crate::error::BtpError;
+use crate::program::{FkConstraint, Program, ProgramExpr, StmtId};
+use crate::statement::{Statement, StatementKind};
+use mvrc_schema::{AttrId, AttrSet, Relation, Schema};
+use std::collections::HashMap;
+
+/// Translates every parsed program of a workload.
+pub fn translate_workload(schema: &Schema, programs: &[SqlProgram]) -> Result<Vec<Program>, BtpError> {
+    programs.iter().map(|p| translate_program(schema, p)).collect()
+}
+
+/// Translates a single parsed program into a BTP, inferring foreign-key constraints from host
+/// parameter reuse.
+pub fn translate_program(schema: &Schema, program: &SqlProgram) -> Result<Program, BtpError> {
+    let mut ctx = TranslateCtx { schema, statements: Vec::new(), bindings: Vec::new() };
+    let body = ctx.translate_block(&program.body)?;
+    let fk_constraints = ctx.infer_fk_constraints();
+    Ok(Program::from_parts(program.name.clone(), ctx.statements, body, fk_constraints))
+}
+
+struct TranslateCtx<'a> {
+    schema: &'a Schema,
+    statements: Vec<Statement>,
+    /// For every statement: the map from attribute to the host parameter it is bound to by an
+    /// equality predicate (or by an INSERT value). Used for foreign-key inference.
+    bindings: Vec<HashMap<AttrId, String>>,
+}
+
+impl<'a> TranslateCtx<'a> {
+    fn relation(&self, name: &str) -> Result<&'a Relation, BtpError> {
+        self.schema
+            .relation_by_name(name)
+            .ok_or_else(|| BtpError::UnknownRelation(name.to_string()))
+    }
+
+    fn attr(&self, rel: &Relation, name: &str) -> Result<AttrId, BtpError> {
+        rel.attr_by_name(name).ok_or_else(|| BtpError::UnknownAttribute {
+            relation: rel.name().to_string(),
+            attribute: name.to_string(),
+        })
+    }
+
+    fn attrs(&self, rel: &Relation, names: &[String]) -> Result<AttrSet, BtpError> {
+        let mut set = AttrSet::empty();
+        for name in names {
+            set.insert(self.attr(rel, name)?);
+        }
+        Ok(set)
+    }
+
+    fn next_name(&self) -> String {
+        format!("q{}", self.statements.len() + 1)
+    }
+
+    fn add(&mut self, statement: Statement, bindings: HashMap<AttrId, String>) -> StmtId {
+        let id = StmtId(self.statements.len() as u16);
+        self.statements.push(statement);
+        self.bindings.push(bindings);
+        id
+    }
+
+    fn translate_block(&mut self, block: &[SqlStatement]) -> Result<ProgramExpr, BtpError> {
+        let mut parts = Vec::with_capacity(block.len());
+        for stmt in block {
+            parts.push(self.translate_statement(stmt)?);
+        }
+        Ok(match parts.len() {
+            0 => ProgramExpr::Empty,
+            1 => parts.into_iter().next().expect("length checked"),
+            _ => ProgramExpr::Seq(parts),
+        })
+    }
+
+    fn translate_statement(&mut self, stmt: &SqlStatement) -> Result<ProgramExpr, BtpError> {
+        match stmt {
+            SqlStatement::Select { relation, columns, star, where_clause } => {
+                let rel = self.relation(relation)?;
+                let read = if *star { rel.all_attrs() } else { self.attrs(rel, columns)? };
+                let analysis = self.analyze_where(rel, where_clause.as_ref())?;
+                let name = self.next_name();
+                let (kind, pread) = if analysis.key_based {
+                    (StatementKind::KeySelect, None)
+                } else {
+                    (StatementKind::PredSelect, Some(analysis.pread))
+                };
+                let statement = Statement::new(name, rel, kind, pread, Some(read), None)?;
+                Ok(self.add(statement, analysis.bindings).into())
+            }
+            SqlStatement::Update { relation, assignments, where_clause, returning } => {
+                let rel = self.relation(relation)?;
+                let mut write = AttrSet::empty();
+                let mut read = AttrSet::empty();
+                for a in assignments {
+                    write.insert(self.attr(rel, &a.target)?);
+                    for v in &a.expr {
+                        if let Some(col) = v.as_column() {
+                            read.insert(self.attr(rel, col)?);
+                        }
+                    }
+                }
+                read = read.union(self.attrs(rel, returning)?);
+                let analysis = self.analyze_where(rel, where_clause.as_ref())?;
+                let name = self.next_name();
+                let (kind, pread) = if analysis.key_based {
+                    (StatementKind::KeyUpdate, None)
+                } else {
+                    (StatementKind::PredUpdate, Some(analysis.pread))
+                };
+                let statement = Statement::new(name, rel, kind, pread, Some(read), Some(write))?;
+                Ok(self.add(statement, analysis.bindings).into())
+            }
+            SqlStatement::Insert { relation, columns, values } => {
+                let rel = self.relation(relation)?;
+                let mut bindings = HashMap::new();
+                // Pair values with attributes either positionally or through the column list and
+                // record parameter bindings for foreign-key inference.
+                for (idx, value) in values.iter().enumerate() {
+                    let attr = if columns.is_empty() {
+                        if idx < rel.attribute_count() {
+                            Some(AttrId(idx as u8))
+                        } else {
+                            None
+                        }
+                    } else {
+                        columns.get(idx).map(|c| self.attr(rel, c)).transpose()?
+                    };
+                    if let (Some(attr), [Value::Param(p)]) = (attr, value.as_slice()) {
+                        bindings.insert(attr, p.clone());
+                    }
+                }
+                let name = self.next_name();
+                let statement = Statement::new(name, rel, StatementKind::Insert, None, None, None)?;
+                Ok(self.add(statement, bindings).into())
+            }
+            SqlStatement::Delete { relation, where_clause } => {
+                let rel = self.relation(relation)?;
+                let analysis = self.analyze_where(rel, where_clause.as_ref())?;
+                let name = self.next_name();
+                let (kind, pread) = if analysis.key_based {
+                    (StatementKind::KeyDelete, None)
+                } else {
+                    (StatementKind::PredDelete, Some(analysis.pread))
+                };
+                let statement = Statement::new(name, rel, kind, pread, None, None)?;
+                Ok(self.add(statement, analysis.bindings).into())
+            }
+            SqlStatement::If { then_branch, else_branch } => {
+                let then_expr = self.translate_block(then_branch)?;
+                if else_branch.is_empty() {
+                    Ok(ProgramExpr::optional(then_expr))
+                } else {
+                    let else_expr = self.translate_block(else_branch)?;
+                    Ok(ProgramExpr::choice(then_expr, else_expr))
+                }
+            }
+            SqlStatement::Loop { body } => {
+                let inner = self.translate_block(body)?;
+                Ok(ProgramExpr::looped(inner))
+            }
+        }
+    }
+
+    fn analyze_where(
+        &self,
+        rel: &Relation,
+        where_clause: Option<&super::ast::Condition>,
+    ) -> Result<WhereAnalysis, BtpError> {
+        let Some(cond) = where_clause else {
+            // No WHERE clause: a scan over the whole relation, i.e. predicate-based with an
+            // empty predicate read set.
+            return Ok(WhereAnalysis { key_based: false, pread: AttrSet::empty(), bindings: HashMap::new() });
+        };
+        let mut pread = AttrSet::empty();
+        for col in cond.columns() {
+            pread.insert(self.attr(rel, &col)?);
+        }
+        let mut bound = AttrSet::empty();
+        let mut bindings = HashMap::new();
+        for (col, value) in cond.bindings() {
+            let attr = self.attr(rel, col)?;
+            bound.insert(attr);
+            if let Some(p) = value.as_param() {
+                bindings.insert(attr, p.to_string());
+            }
+        }
+        // Key-based: the equality-bound attributes cover the primary key (Appendix A
+        // "key-condition intended to find a tuple by its primary key").
+        let key_based = rel.primary_key().is_subset_of(bound);
+        Ok(WhereAnalysis { key_based, pread, bindings })
+    }
+
+    /// Infers foreign-key constraints `q_j = f(q_i)` from parameter reuse: when the foreign-key
+    /// attributes of `q_i` and the referenced attributes of a single-tuple statement `q_j` are
+    /// bound to the same host parameters, every instantiation necessarily respects `f`.
+    fn infer_fk_constraints(&self) -> Vec<FkConstraint> {
+        let mut constraints = Vec::new();
+        for fk in self.schema.foreign_keys() {
+            for (i, qi) in self.statements.iter().enumerate() {
+                if qi.rel() != fk.dom() {
+                    continue;
+                }
+                for (j, qj) in self.statements.iter().enumerate() {
+                    if i == j || qj.rel() != fk.range() || !qj.kind().identifies_single_tuple() {
+                        continue;
+                    }
+                    let all_pairs_match = fk.attr_pairs().all(|(dom_attr, range_attr)| {
+                        match (self.bindings[i].get(&dom_attr), self.bindings[j].get(&range_attr)) {
+                            (Some(a), Some(b)) => a == b,
+                            _ => false,
+                        }
+                    });
+                    if all_pairs_match {
+                        constraints.push(FkConstraint {
+                            fk: fk.id(),
+                            dom_stmt: StmtId(i as u16),
+                            range_stmt: StmtId(j as u16),
+                        });
+                    }
+                }
+            }
+        }
+        constraints
+    }
+}
+
+struct WhereAnalysis {
+    key_based: bool,
+    pread: AttrSet,
+    bindings: HashMap<AttrId, String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse_workload;
+    use mvrc_schema::SchemaBuilder;
+
+    fn auction_schema() -> Schema {
+        let mut sb = SchemaBuilder::new("auction");
+        let buyer = sb.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+        let bids = sb.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        let log = sb.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+        sb.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        sb.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        sb.build()
+    }
+
+    const AUCTION_SQL: &str = r#"
+        PROGRAM FindBids(:B, :T) {
+            UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+            SELECT bid FROM Bids WHERE bid >= :T;
+            COMMIT;
+        }
+        PROGRAM PlaceBid(:B, :V) {
+            UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+            SELECT bid INTO :C FROM Bids WHERE buyerId = :B;
+            IF :C < :V THEN
+                UPDATE Bids SET bid = :V WHERE buyerId = :B;
+            ENDIF;
+            INSERT INTO Log VALUES (:logId, :B, :V);
+            COMMIT;
+        }
+    "#;
+
+    #[test]
+    fn find_bids_matches_figure_2() {
+        let schema = auction_schema();
+        let programs = parse_workload(&schema, AUCTION_SQL).unwrap();
+        let fb = &programs[0];
+        assert_eq!(fb.name(), "FindBids");
+        assert_eq!(fb.statement_count(), 2);
+        let q1 = fb.statement(StmtId(0));
+        assert_eq!(q1.kind(), StatementKind::KeyUpdate);
+        let buyer = schema.relation_by_name("Buyer").unwrap();
+        let calls = buyer.attr_by_name("calls").unwrap();
+        assert_eq!(q1.read_set(), Some(AttrSet::singleton(calls)));
+        assert_eq!(q1.write_set(), Some(AttrSet::singleton(calls)));
+        assert_eq!(q1.pread_set(), None);
+        let q2 = fb.statement(StmtId(1));
+        assert_eq!(q2.kind(), StatementKind::PredSelect);
+        let bids = schema.relation_by_name("Bids").unwrap();
+        let bid = bids.attr_by_name("bid").unwrap();
+        assert_eq!(q2.pread_set(), Some(AttrSet::singleton(bid)));
+        assert_eq!(q2.read_set(), Some(AttrSet::singleton(bid)));
+        assert!(fb.is_linear());
+    }
+
+    #[test]
+    fn place_bid_matches_figure_2_and_infers_constraints() {
+        let schema = auction_schema();
+        let programs = parse_workload(&schema, AUCTION_SQL).unwrap();
+        let pb = &programs[1];
+        assert_eq!(pb.statement_count(), 4);
+        assert_eq!(pb.statement(StmtId(1)).kind(), StatementKind::KeySelect);
+        assert_eq!(pb.statement(StmtId(2)).kind(), StatementKind::KeyUpdate);
+        assert_eq!(pb.statement(StmtId(3)).kind(), StatementKind::Insert);
+        assert_eq!(pb.to_string(), "PlaceBid := q1; q2; (q3 | ε); q4");
+        // Inferred constraints: q1 = f1(q2), q1 = f1(q3), q1 = f2(q4).
+        assert_eq!(pb.fk_constraints().len(), 3);
+        for c in pb.fk_constraints() {
+            assert_eq!(c.range_stmt, StmtId(0));
+        }
+        let dom_stmts: Vec<StmtId> = pb.fk_constraints().iter().map(|c| c.dom_stmt).collect();
+        assert!(dom_stmts.contains(&StmtId(1)));
+        assert!(dom_stmts.contains(&StmtId(2)));
+        assert!(dom_stmts.contains(&StmtId(3)));
+    }
+
+    #[test]
+    fn predicate_reads_are_not_constrained() {
+        // FindBids' q2 does not bind buyerId, so no constraint may be inferred (the paper makes
+        // this exact point at the end of Section 5.1).
+        let schema = auction_schema();
+        let programs = parse_workload(&schema, AUCTION_SQL).unwrap();
+        assert!(programs[0].fk_constraints().is_empty());
+    }
+
+    #[test]
+    fn select_without_where_is_a_full_scan() {
+        let schema = auction_schema();
+        let programs = parse_workload(&schema, "PROGRAM P { SELECT bid FROM Bids; }").unwrap();
+        let q = programs[0].statement(StmtId(0));
+        assert_eq!(q.kind(), StatementKind::PredSelect);
+        assert_eq!(q.pread_set(), Some(AttrSet::empty()));
+    }
+
+    #[test]
+    fn delete_classification() {
+        let schema = auction_schema();
+        let programs = parse_workload(
+            &schema,
+            r#"PROGRAM P {
+                DELETE FROM Log WHERE id = :l;
+                DELETE FROM Log WHERE buyerId = :b;
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(programs[0].statement(StmtId(0)).kind(), StatementKind::KeyDelete);
+        assert_eq!(programs[0].statement(StmtId(1)).kind(), StatementKind::PredDelete);
+    }
+
+    #[test]
+    fn insert_with_explicit_columns_binds_parameters() {
+        let schema = auction_schema();
+        let programs = parse_workload(
+            &schema,
+            r#"PROGRAM P(:B) {
+                UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+                INSERT INTO Log (id, buyerId, bid) VALUES (:l, :B, 0);
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(programs[0].fk_constraints().len(), 1);
+        assert_eq!(programs[0].fk_constraints()[0].dom_stmt, StmtId(1));
+    }
+
+    #[test]
+    fn star_select_reads_all_attributes() {
+        let schema = auction_schema();
+        let programs =
+            parse_workload(&schema, "PROGRAM P { SELECT * FROM Buyer WHERE id = :B; }").unwrap();
+        let q = programs[0].statement(StmtId(0));
+        assert_eq!(q.kind(), StatementKind::KeySelect);
+        assert_eq!(q.read_set(), Some(AttrSet::all(2)));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let schema = auction_schema();
+        assert!(matches!(
+            parse_workload(&schema, "PROGRAM P { SELECT x FROM Nope; }"),
+            Err(BtpError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            parse_workload(&schema, "PROGRAM P { SELECT nope FROM Buyer; }"),
+            Err(BtpError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn loops_translate_to_loop_expressions() {
+        let schema = auction_schema();
+        let programs = parse_workload(
+            &schema,
+            r#"PROGRAM P {
+                REPEAT
+                    UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+                END REPEAT;
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(programs[0].body(), ProgramExpr::Loop(_)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Command-line argument parsing (hand-rolled; no external dependency).
+
+use crate::error::CliError;
+use mvrc_robustness::{AnalysisSettings, CycleCondition, Granularity};
+
+/// Where the workload comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// A self-contained workload file (catalog declarations + `PROGRAM` blocks).
+    File(String),
+    /// A built-in benchmark: `smallbank`, `tpcc`, `auction` or `auction-n=<N>`.
+    Benchmark(String),
+}
+
+/// Output format of a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable text (default).
+    Text,
+    /// Machine-readable JSON.
+    Json,
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mvrc analyze <workload>`: robustness verdict for the whole workload.
+    Analyze {
+        /// Workload source.
+        input: Input,
+        /// Analysis settings.
+        settings: AnalysisSettings,
+        /// Output format.
+        format: Format,
+    },
+    /// `mvrc subsets <workload>`: maximal robust subsets (the Figure 6 / 7 experiment).
+    Subsets {
+        /// Workload source.
+        input: Input,
+        /// Analysis settings.
+        settings: AnalysisSettings,
+        /// Output format.
+        format: Format,
+    },
+    /// `mvrc graph <workload>`: the summary graph as Graphviz DOT.
+    Graph {
+        /// Workload source.
+        input: Input,
+        /// Analysis settings.
+        settings: AnalysisSettings,
+        /// Whether edges carry statement labels.
+        labels: bool,
+    },
+    /// `mvrc programs <workload>`: list the programs and their unfolded LTPs.
+    Programs {
+        /// Workload source.
+        input: Input,
+    },
+    /// `mvrc help`.
+    Help,
+}
+
+/// The usage text shown by `mvrc help` and on usage errors.
+pub const USAGE: &str = "\
+mvrc — static robustness analysis against multi-version Read Committed
+
+USAGE:
+    mvrc <COMMAND> <WORKLOAD> [OPTIONS]
+
+COMMANDS:
+    analyze    Decide whether the whole workload is robust against MVRC
+    subsets    Enumerate the maximal robust program subsets
+    graph      Emit the summary graph as Graphviz DOT
+    programs   List the programs and their unfolded linear transaction programs
+    help       Show this message
+
+WORKLOAD:
+    <path.sql>            a self-contained workload file (TABLE / FOREIGN KEY / PROGRAM blocks)
+    --benchmark <name>    a built-in benchmark: smallbank, tpcc, auction, auction-n=<N>
+
+OPTIONS:
+    --tuple       track dependencies per tuple instead of per attribute ('tpl dep')
+    --no-fk       ignore foreign-key constraint annotations
+    --type1       use the type-I cycle condition of Alomari & Fekete instead of type-II
+    --json        print machine-readable JSON (analyze / subsets)
+    --labels      include statement labels on graph edges (graph)
+
+EXIT CODES:
+    0  the workload (or every program subset asked about) is robust / command succeeded
+    1  the workload is not attested robust
+    2  usage or input error
+";
+
+/// Parses the command-line arguments (excluding the binary name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let command = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(cmd) => cmd,
+    };
+
+    let rest: Vec<&str> = it.collect();
+    let mut input: Option<Input> = None;
+    let mut settings = AnalysisSettings::paper_default();
+    let mut format = Format::Text;
+    let mut labels = false;
+
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--tuple" => settings.granularity = Granularity::Tuple,
+            "--attr" => settings.granularity = Granularity::Attribute,
+            "--no-fk" => settings.use_foreign_keys = false,
+            "--fk" => settings.use_foreign_keys = true,
+            "--type1" => settings.condition = CycleCondition::TypeI,
+            "--type2" => settings.condition = CycleCondition::TypeII,
+            "--json" => format = Format::Json,
+            "--text" => format = Format::Text,
+            "--labels" => labels = true,
+            "--benchmark" => {
+                i += 1;
+                let name = rest.get(i).ok_or_else(|| {
+                    CliError::Usage("`--benchmark` needs a benchmark name".to_string())
+                })?;
+                input = Some(Input::Benchmark((*name).to_string()));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown option `{flag}`")));
+            }
+            path => {
+                if input.is_some() {
+                    return Err(CliError::Usage(format!("unexpected argument `{path}`")));
+                }
+                input = Some(Input::File(path.to_string()));
+            }
+        }
+        i += 1;
+    }
+
+    let input = input
+        .ok_or_else(|| CliError::Usage("a workload file or `--benchmark <name>` is required".to_string()))?;
+
+    match command {
+        "analyze" => Ok(Command::Analyze { input, settings, format }),
+        "subsets" => Ok(Command::Subsets { input, settings, format }),
+        "graph" => Ok(Command::Graph { input, settings, labels }),
+        "programs" => Ok(Command::Programs { input }),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_arguments_means_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn analyze_with_defaults_uses_the_paper_setting() {
+        let cmd = parse_args(&args(&["analyze", "workload.sql"])).unwrap();
+        match cmd {
+            Command::Analyze { input, settings, format } => {
+                assert_eq!(input, Input::File("workload.sql".into()));
+                assert_eq!(settings, AnalysisSettings::paper_default());
+                assert_eq!(format, Format::Text);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_adjust_settings_and_format() {
+        let cmd = parse_args(&args(&[
+            "subsets",
+            "--benchmark",
+            "smallbank",
+            "--tuple",
+            "--no-fk",
+            "--type1",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Subsets { input, settings, format } => {
+                assert_eq!(input, Input::Benchmark("smallbank".into()));
+                assert_eq!(settings.granularity, Granularity::Tuple);
+                assert!(!settings.use_foreign_keys);
+                assert_eq!(settings.condition, CycleCondition::TypeI);
+                assert_eq!(format, Format::Json);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_accepts_labels() {
+        let cmd = parse_args(&args(&["graph", "w.sql", "--labels"])).unwrap();
+        assert!(matches!(cmd, Command::Graph { labels: true, .. }));
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(parse_args(&args(&["analyze"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&args(&["bogus", "w.sql"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&args(&["analyze", "--wat", "w.sql"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&args(&["analyze", "a.sql", "b.sql"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&args(&["analyze", "--benchmark"])), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,279 @@
+//! Command implementations: loading workloads and producing the report text.
+
+use crate::args::{Command, Format, Input};
+use crate::error::CliError;
+use mvrc_benchmarks::Workload;
+use mvrc_btp::sql::parse_workload_file;
+use mvrc_btp::unfold_set_le2;
+use mvrc_robustness::{
+    abbreviate_program_name, explore_subsets, to_dot, AnalysisSettings, DotOptions,
+    RobustnessAnalyzer,
+};
+use std::fmt::Write as _;
+use std::fs;
+
+/// The result of running a command: the text to print and the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutput {
+    /// The report text (printed to stdout).
+    pub text: String,
+    /// Process exit code: `0` success / robust, `1` not robust.
+    pub exit_code: i32,
+}
+
+impl CommandOutput {
+    fn ok(text: String) -> Self {
+        CommandOutput { text, exit_code: 0 }
+    }
+}
+
+/// Executes a parsed command.
+pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
+    match command {
+        Command::Help => Ok(CommandOutput::ok(crate::args::USAGE.to_string())),
+        Command::Analyze { input, settings, format } => analyze(&input, settings, format),
+        Command::Subsets { input, settings, format } => subsets(&input, settings, format),
+        Command::Graph { input, settings, labels } => graph(&input, settings, labels),
+        Command::Programs { input } => programs(&input),
+    }
+}
+
+/// Loads a workload from a file or resolves a built-in benchmark.
+pub fn load_workload(input: &Input) -> Result<Workload, CliError> {
+    match input {
+        Input::File(path) => {
+            let text = fs::read_to_string(path).map_err(|e| CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            let (schema, programs) =
+                parse_workload_file(&text).map_err(|e| CliError::Workload(e.to_string()))?;
+            let name = schema.name().to_string();
+            Ok(Workload::new(name, schema, programs, &[]))
+        }
+        Input::Benchmark(name) => match name.as_str() {
+            "smallbank" => Ok(mvrc_benchmarks::smallbank()),
+            "tpcc" | "tpc-c" => Ok(mvrc_benchmarks::tpcc()),
+            "auction" => Ok(mvrc_benchmarks::auction()),
+            scaled if scaled.starts_with("auction-n=") => {
+                let n: usize = scaled["auction-n=".len()..].parse().map_err(|_| {
+                    CliError::Usage(format!("invalid scaling factor in `{scaled}`"))
+                })?;
+                if n == 0 {
+                    return Err(CliError::Usage("auction-n needs a scaling factor ≥ 1".into()));
+                }
+                Ok(mvrc_benchmarks::auction_n(n))
+            }
+            other => Err(CliError::Usage(format!(
+                "unknown benchmark `{other}` (expected smallbank, tpcc, auction or auction-n=<N>)"
+            ))),
+        },
+    }
+}
+
+fn abbreviator(workload: &Workload) -> impl Fn(&str) -> String + '_ {
+    move |name: &str| {
+        let abbreviated = workload.abbreviate(name);
+        if abbreviated == name {
+            abbreviate_program_name(name)
+        } else {
+            abbreviated
+        }
+    }
+}
+
+fn analyze(input: &Input, settings: AnalysisSettings, format: Format) -> Result<CommandOutput, CliError> {
+    let workload = load_workload(input)?;
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let report = analyzer.analyze(settings);
+    let exit_code = if report.is_robust() { 0 } else { 1 };
+
+    let text = match format {
+        Format::Json => {
+            let value = serde_json::json!({
+                "workload": workload.name,
+                "programs": analyzer.program_names(),
+                "report": report,
+            });
+            serde_json::to_string_pretty(&value).expect("report serializes")
+        }
+        Format::Text => {
+            let mut out = String::new();
+            writeln!(out, "workload:           {}", workload.name).unwrap();
+            writeln!(out, "programs:           {}", analyzer.program_names().join(", ")).unwrap();
+            writeln!(out, "unfolded LTPs:      {}", analyzer.ltps().len()).unwrap();
+            writeln!(out, "{report}").unwrap();
+            if report.is_robust() {
+                writeln!(
+                    out,
+                    "\nThe workload is robust against MVRC: it can be executed under isolation\n\
+                     level (multi-version) Read Committed without giving up serializability."
+                )
+                .unwrap();
+            } else {
+                writeln!(
+                    out,
+                    "\nThe workload was NOT attested robust. Executing it under Read Committed may\n\
+                     produce non-serializable behaviour; run `mvrc subsets` to find robust subsets."
+                )
+                .unwrap();
+            }
+            out
+        }
+    };
+    Ok(CommandOutput { text, exit_code })
+}
+
+fn subsets(input: &Input, settings: AnalysisSettings, format: Format) -> Result<CommandOutput, CliError> {
+    let workload = load_workload(input)?;
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let exploration = explore_subsets(&analyzer, settings);
+
+    let text = match format {
+        Format::Json => {
+            let value = serde_json::json!({
+                "workload": workload.name,
+                "exploration": exploration,
+            });
+            serde_json::to_string_pretty(&value).expect("exploration serializes")
+        }
+        Format::Text => {
+            let abbreviate = abbreviator(&workload);
+            let mut out = String::new();
+            writeln!(out, "workload:        {}", workload.name).unwrap();
+            writeln!(out, "setting:         {}", settings).unwrap();
+            writeln!(out, "programs:        {}", exploration.programs.join(", ")).unwrap();
+            writeln!(out, "robust subsets:  {}", exploration.robust.len()).unwrap();
+            writeln!(out, "maximal robust subsets:").unwrap();
+            writeln!(out, "  {}", exploration.render_maximal(&abbreviate)).unwrap();
+            out
+        }
+    };
+    Ok(CommandOutput::ok(text))
+}
+
+fn graph(input: &Input, settings: AnalysisSettings, labels: bool) -> Result<CommandOutput, CliError> {
+    let workload = load_workload(input)?;
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let graph = analyzer.summary_graph(settings);
+    let dot = to_dot(&graph, DotOptions { edge_labels: labels, merge_parallel_edges: true });
+    Ok(CommandOutput::ok(dot))
+}
+
+fn programs(input: &Input) -> Result<CommandOutput, CliError> {
+    let workload = load_workload(input)?;
+    let ltps = unfold_set_le2(&workload.programs);
+    let mut out = String::new();
+    writeln!(out, "workload: {}", workload.name).unwrap();
+    writeln!(out, "programs: {}", workload.programs.len()).unwrap();
+    writeln!(out, "unfolded linear transaction programs: {}", ltps.len()).unwrap();
+    for ltp in &ltps {
+        writeln!(out, "  {ltp}").unwrap();
+    }
+    Ok(CommandOutput::ok(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Command, Format, Input};
+    use mvrc_robustness::AnalysisSettings;
+
+    fn auction_input() -> Input {
+        Input::Benchmark("auction".into())
+    }
+
+    #[test]
+    fn load_workload_resolves_builtin_benchmarks() {
+        assert_eq!(load_workload(&Input::Benchmark("smallbank".into())).unwrap().name, "SmallBank");
+        assert_eq!(load_workload(&Input::Benchmark("tpcc".into())).unwrap().name, "TPC-C");
+        assert_eq!(load_workload(&Input::Benchmark("auction".into())).unwrap().name, "Auction");
+        let scaled = load_workload(&Input::Benchmark("auction-n=3".into())).unwrap();
+        assert_eq!(scaled.programs.len(), 6);
+        assert!(load_workload(&Input::Benchmark("auction-n=0".into())).is_err());
+        assert!(load_workload(&Input::Benchmark("auction-n=x".into())).is_err());
+        assert!(load_workload(&Input::Benchmark("nope".into())).is_err());
+    }
+
+    #[test]
+    fn load_workload_reports_missing_files() {
+        let err = load_workload(&Input::File("/definitely/not/here.sql".into())).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+    }
+
+    #[test]
+    fn analyze_auction_is_robust_with_paper_settings() {
+        let out = execute(Command::Analyze {
+            input: auction_input(),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert!(out.text.contains("robust against MVRC"), "{}", out.text);
+    }
+
+    #[test]
+    fn analyze_smallbank_full_mix_is_rejected() {
+        let out = execute(Command::Analyze {
+            input: Input::Benchmark("smallbank".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert!(out.text.contains("NOT attested robust"), "{}", out.text);
+    }
+
+    #[test]
+    fn analyze_json_output_is_valid_json() {
+        let out = execute(Command::Analyze {
+            input: auction_input(),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Json,
+        })
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out.text).unwrap();
+        assert_eq!(value["workload"], "Auction");
+        assert_eq!(value["report"]["outcome"]["robust"], true);
+    }
+
+    #[test]
+    fn subsets_lists_the_figure_6_smallbank_subsets() {
+        let out = execute(Command::Subsets {
+            input: Input::Benchmark("smallbank".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 0);
+        for expected in ["Am", "DC", "TS", "Bal"] {
+            assert!(out.text.contains(expected), "missing {expected} in: {}", out.text);
+        }
+    }
+
+    #[test]
+    fn graph_emits_dot() {
+        let out = execute(Command::Graph {
+            input: auction_input(),
+            settings: AnalysisSettings::paper_default(),
+            labels: true,
+        })
+        .unwrap();
+        assert!(out.text.starts_with("digraph"));
+        assert!(out.text.contains("FindBids"));
+        assert!(out.text.contains("style=dashed"), "counterflow edges are dashed: {}", out.text);
+    }
+
+    #[test]
+    fn programs_lists_unfolded_ltps() {
+        let out = execute(Command::Programs { input: Input::Benchmark("tpcc".into()) }).unwrap();
+        assert!(out.text.contains("unfolded linear transaction programs: 13"), "{}", out.text);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(Command::Help).unwrap();
+        assert!(out.text.contains("USAGE"));
+    }
+}

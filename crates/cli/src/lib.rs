@@ -1,0 +1,67 @@
+//! # mvrc-cli
+//!
+//! The library behind the `mvrc` command-line robustness analyzer.
+//!
+//! The paper argues its detection algorithm "can readily be implemented and applied in
+//! practice"; this crate is that application. A workload is described in a single
+//! self-contained file (catalog declarations plus the SQL-style `PROGRAM` blocks of Appendix A)
+//! and analyzed from the command line:
+//!
+//! ```text
+//! $ mvrc analyze auction.sql
+//! workload:           auction
+//! programs:           FindBids, PlaceBid
+//! unfolded LTPs:      3
+//! setting:            attr dep + FK (type-II)
+//! summary graph:      3 nodes, 17 edges (1 counterflow)
+//! verdict:            robust against MVRC
+//! ```
+//!
+//! * `mvrc analyze` — robustness verdict for the whole workload (exit code 1 when rejected).
+//! * `mvrc subsets` — the maximal robust program subsets (the Figure 6 / 7 experiment).
+//! * `mvrc graph` — the summary graph as Graphviz DOT (Figure 4 / 11 / 18 style).
+//! * `mvrc programs` — the `Unfold≤2` linear transaction programs.
+//!
+//! Built-in benchmarks (`--benchmark smallbank|tpcc|auction|auction-n=<N>`) allow reproducing
+//! the paper's results without writing a workload file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::{parse_args, Command, Format, Input, USAGE};
+pub use commands::{execute, load_workload, CommandOutput};
+pub use error::CliError;
+
+/// Parses the command line (excluding the binary name) and executes it.
+pub fn run(args: &[String]) -> Result<CommandOutput, CliError> {
+    execute(parse_args(args)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_wires_parsing_and_execution_together() {
+        let out = run(&args(&["analyze", "--benchmark", "auction"])).unwrap();
+        assert_eq!(out.exit_code, 0);
+        let out = run(&args(&["analyze", "--benchmark", "smallbank"])).unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert!(run(&args(&["frobnicate", "x.sql"])).is_err());
+    }
+
+    #[test]
+    fn run_help_returns_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.text.contains("USAGE"));
+        assert_eq!(out.exit_code, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! The `mvrc` binary: static robustness analysis against multi-version Read Committed.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mvrc_cli::run(&args) {
+        Ok(output) => {
+            print!("{}", output.text);
+            if !output.text.ends_with('\n') {
+                println!();
+            }
+            ExitCode::from(output.exit_code as u8)
+        }
+        Err(err) => {
+            eprintln!("mvrc: {err}");
+            eprintln!();
+            eprintln!("{}", mvrc_cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

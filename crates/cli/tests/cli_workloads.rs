@@ -1,0 +1,108 @@
+//! End-to-end tests of the `mvrc` command-line analyzer on the bundled workload files and the
+//! built-in benchmarks.
+
+use mvrc_cli::{run, CliError};
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn workload_path(file: &str) -> String {
+    format!("{}/workloads/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn analyzing_the_bundled_auction_file_matches_the_paper() {
+    let path = workload_path("auction.sql");
+    let out = run(&args(&["analyze", &path])).unwrap();
+    assert_eq!(out.exit_code, 0, "the Auction workload is robust (Figure 6): {}", out.text);
+    assert!(out.text.contains("robust against MVRC"));
+    // Summary-graph size matches Table 2: 3 LTP nodes, 17 edges, 1 counterflow.
+    assert!(out.text.contains("3 nodes, 17 edges (1 counterflow)"), "{}", out.text);
+}
+
+#[test]
+fn the_auction_file_is_rejected_under_the_type_i_baseline() {
+    // Figure 7: the baseline of Alomari & Fekete only detects the singleton subsets, so the full
+    // workload must be rejected when the type-I condition is requested.
+    let path = workload_path("auction.sql");
+    let out = run(&args(&["analyze", &path, "--type1"])).unwrap();
+    assert_eq!(out.exit_code, 1, "{}", out.text);
+}
+
+#[test]
+fn the_auction_file_is_rejected_without_foreign_keys() {
+    // Figure 6: without FK reasoning only {FindBids} is robust.
+    let path = workload_path("auction.sql");
+    let out = run(&args(&["analyze", &path, "--no-fk"])).unwrap();
+    assert_eq!(out.exit_code, 1, "{}", out.text);
+    let out = run(&args(&["subsets", &path, "--no-fk"])).unwrap();
+    assert!(out.text.contains("FindBids"), "{}", out.text);
+}
+
+#[test]
+fn subsets_and_graph_work_on_the_bundled_file() {
+    let path = workload_path("auction.sql");
+    let out = run(&args(&["subsets", &path])).unwrap();
+    assert!(out.text.contains("maximal robust subsets"), "{}", out.text);
+    let out = run(&args(&["graph", &path, "--labels"])).unwrap();
+    assert!(out.text.starts_with("digraph"));
+    // Exactly one counterflow (dashed) edge, from FindBids to PlaceBid[1] (Figure 4).
+    let dashed: Vec<&str> = out.text.lines().filter(|l| l.contains("style=dashed")).collect();
+    assert_eq!(dashed.len(), 1, "{}", out.text);
+    assert!(out.text.contains("PlaceBid[1]"), "{}", out.text);
+}
+
+#[test]
+fn the_shop_workload_parses_and_produces_a_verdict() {
+    let path = workload_path("shop.sql");
+    let out = run(&args(&["analyze", &path])).unwrap();
+    assert!(out.exit_code == 0 || out.exit_code == 1);
+    assert!(out.text.contains("workload:") && out.text.contains("shop"), "{}", out.text);
+    let out = run(&args(&["programs", &path])).unwrap();
+    assert!(out.text.contains("PlaceOrder"), "{}", out.text);
+    assert!(out.text.contains("Restock"), "{}", out.text);
+}
+
+#[test]
+fn json_output_round_trips_for_files_and_benchmarks() {
+    let path = workload_path("auction.sql");
+    let out = run(&args(&["analyze", &path, "--json"])).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&out.text).unwrap();
+    assert_eq!(value["report"]["node_count"], 3);
+    assert_eq!(value["report"]["edge_count"], 17);
+
+    let out = run(&args(&["subsets", "--benchmark", "smallbank", "--json"])).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&out.text).unwrap();
+    assert_eq!(value["workload"], "SmallBank");
+    assert!(value["exploration"]["maximal"].as_array().unwrap().len() >= 3);
+}
+
+#[test]
+fn tpcc_benchmark_reproduces_the_figure_6_subsets_from_the_cli() {
+    let out = run(&args(&["subsets", "--benchmark", "tpcc"])).unwrap();
+    for expected in ["OS", "Pay", "SL", "NO"] {
+        assert!(out.text.contains(expected), "missing {expected}: {}", out.text);
+    }
+}
+
+#[test]
+fn missing_files_and_bad_flags_are_clean_errors() {
+    let err = run(&args(&["analyze", "/nope/missing.sql"])).unwrap_err();
+    assert!(matches!(err, CliError::Io { .. }));
+    let err = run(&args(&["analyze", "--benchmark", "unknown-bench"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+    let err = run(&args(&["analyze", "--frobnicate", "x.sql"])).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+}
+
+#[test]
+fn malformed_workload_files_are_reported_with_context() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("mvrc_cli_bad_workload.sql");
+    std::fs::write(&path, "TABLE T (a); PROGRAM P() { UPDATE Nope SET x = 1 WHERE y = :z; }")
+        .unwrap();
+    let err = run(&args(&["analyze", path.to_str().unwrap()])).unwrap_err();
+    assert!(matches!(err, CliError::Workload(_)), "{err}");
+    std::fs::remove_file(&path).ok();
+}

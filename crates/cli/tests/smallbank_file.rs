@@ -1,0 +1,61 @@
+//! Cross-check: the SmallBank workload written as a self-contained SQL file must produce the
+//! same verdicts and the same maximal robust subsets as the hand-modelled BTPs in
+//! `mvrc-benchmarks` (which are validated against Figure 6 of the paper).
+
+use mvrc_cli::{load_workload, run, Input};
+use mvrc_robustness::{
+    explore_subsets, AnalysisSettings, CycleCondition, RobustnessAnalyzer,
+};
+use std::collections::BTreeSet;
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn file_path() -> String {
+    format!("{}/workloads/smallbank.sql", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Maximal robust subsets as sets of program-name sets, for structural comparison.
+fn maximal_subsets(
+    schema: &mvrc_schema::Schema,
+    programs: &[mvrc_btp::Program],
+    settings: AnalysisSettings,
+) -> BTreeSet<BTreeSet<String>> {
+    let analyzer = RobustnessAnalyzer::new(schema, programs);
+    let exploration = explore_subsets(&analyzer, settings);
+    exploration
+        .maximal
+        .iter()
+        .map(|subset| subset.iter().map(|&i| exploration.programs[i].clone()).collect())
+        .collect()
+}
+
+#[test]
+fn the_sql_file_reproduces_the_figure_6_smallbank_subsets() {
+    let from_file = load_workload(&Input::File(file_path())).expect("workload file parses");
+    let builtin = mvrc_benchmarks::smallbank();
+    assert_eq!(from_file.programs.len(), builtin.programs.len());
+
+    for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+        for settings in AnalysisSettings::evaluation_grid(condition) {
+            let file_subsets = maximal_subsets(&from_file.schema, &from_file.programs, settings);
+            let builtin_subsets = maximal_subsets(&builtin.schema, &builtin.programs, settings);
+            assert_eq!(
+                file_subsets, builtin_subsets,
+                "maximal robust subsets differ for setting {settings}"
+            );
+        }
+    }
+}
+
+#[test]
+fn analyzing_the_smallbank_file_rejects_the_full_mix() {
+    let path = file_path();
+    let out = run(&args(&["analyze", &path])).unwrap();
+    assert_eq!(out.exit_code, 1, "{}", out.text);
+    let out = run(&args(&["subsets", &path, "--json"])).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&out.text).unwrap();
+    let maximal = value["exploration"]["maximal"].as_array().unwrap();
+    assert_eq!(maximal.len(), 3, "three maximal robust subsets (Figure 6): {}", out.text);
+}

@@ -1,0 +1,354 @@
+//! Robustness tests on summary graphs.
+//!
+//! * [`find_type1_violation`] — the baseline condition of Alomari & Fekete `[3]`: a workload is
+//!   attested robust when the summary graph has no cycle containing a counterflow edge
+//!   (**type-I cycle**).
+//! * [`find_type2_violation`] / [`find_type2_violation_naive`] — Algorithm 2 of the paper: a
+//!   workload is attested robust when the summary graph has no **type-II cycle** (Theorem 6.4).
+//!   The naive variant mirrors the paper's pseudocode literally; the default variant is an
+//!   algebraically equivalent reformulation that factors the search through precomputed
+//!   reachability bitsets and is considerably faster on large graphs. Both are cross-checked in
+//!   the test-suite and the benchmark harness.
+//!
+//! Both tests are *sound but incomplete* (Proposition 6.5): a `robust = true` verdict guarantees
+//! robustness against MVRC, a `robust = false` verdict may be a false negative.
+
+use crate::settings::CycleCondition;
+use crate::summary::{NodeId, SummaryEdge, SummaryGraph};
+use mvrc_btp::StatementKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Witness for a type-I cycle: a counterflow edge that lies on a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Type1Witness {
+    /// The counterflow edge `P_i → P_j` with `P_i` reachable from `P_j`.
+    pub counterflow_edge: SummaryEdge,
+}
+
+/// Witness for a type-II cycle, mirroring the edge triple found by Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Type2Witness {
+    /// The non-counterflow edge `(P_1, q_1, non-counterflow, q_2, P_2)`.
+    pub non_counterflow_edge: SummaryEdge,
+    /// The edge `(P_3, q_3, c, q_4, P_4)` with `P_3` reachable from `P_2`.
+    pub middle_edge: SummaryEdge,
+    /// The counterflow edge `(P_4, q_4', counterflow, q_5, P_5)` with `P_1` reachable from
+    /// `P_5`.
+    pub counterflow_edge: SummaryEdge,
+}
+
+/// A robustness violation found by either test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A type-I cycle (baseline condition).
+    TypeI(Type1Witness),
+    /// A type-II cycle (Algorithm 2).
+    TypeII(Type2Witness),
+}
+
+/// Outcome of a robustness test on a summary graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessOutcome {
+    /// The condition that was tested.
+    pub condition: CycleCondition,
+    /// `true` when no dangerous cycle was found: the workload is robust against MVRC.
+    pub robust: bool,
+    /// The witness of the dangerous cycle when one was found.
+    pub violation: Option<Violation>,
+}
+
+impl RobustnessOutcome {
+    /// Runs the robustness test selected by `condition` on a summary graph.
+    pub fn evaluate(graph: &SummaryGraph, condition: CycleCondition) -> Self {
+        match condition {
+            CycleCondition::TypeI => {
+                let violation = find_type1_violation(graph);
+                RobustnessOutcome {
+                    condition,
+                    robust: violation.is_none(),
+                    violation: violation.map(Violation::TypeI),
+                }
+            }
+            CycleCondition::TypeII => {
+                let violation = find_type2_violation(graph);
+                RobustnessOutcome {
+                    condition,
+                    robust: violation.is_none(),
+                    violation: violation.map(Violation::TypeII),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RobustnessOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.robust {
+            write!(f, "robust against MVRC ({} condition)", self.condition)
+        } else {
+            write!(f, "not attested robust ({} cycle found)", self.condition)
+        }
+    }
+}
+
+/// Returns `true` when the workload summarized by `graph` is attested robust under the given
+/// condition.
+pub fn is_robust(graph: &SummaryGraph, condition: CycleCondition) -> bool {
+    RobustnessOutcome::evaluate(graph, condition).robust
+}
+
+/// Baseline test `[3]`: searches for a counterflow edge lying on a cycle.
+pub fn find_type1_violation(graph: &SummaryGraph) -> Option<Type1Witness> {
+    graph
+        .edges()
+        .iter()
+        .find(|e| e.kind.is_counterflow() && graph.reachable(e.to, e.from))
+        .map(|e| Type1Witness { counterflow_edge: *e })
+}
+
+/// The statement types that make the ordered-counterflow condition of Theorem 6.4 hold for the
+/// incoming statement `q_3`: `{key sel, pred sel, pred upd, pred del}`.
+fn ordered_pair_kind(kind: StatementKind) -> bool {
+    matches!(
+        kind,
+        StatementKind::KeySelect
+            | StatementKind::PredSelect
+            | StatementKind::PredUpdate
+            | StatementKind::PredDelete
+    )
+}
+
+/// Does the adjacent edge pair `(middle, counterflow)` satisfy the pair condition of
+/// Theorem 6.4 / Algorithm 2?
+fn pair_condition(graph: &SummaryGraph, middle: &SummaryEdge, counterflow: &SummaryEdge) -> bool {
+    debug_assert_eq!(middle.to, counterflow.from);
+    middle.kind.is_counterflow()
+        || graph.node(counterflow.from).precedes(counterflow.from_stmt, middle.to_stmt)
+        || ordered_pair_kind(graph.node(middle.from).statement(middle.from_stmt).kind())
+}
+
+/// Algorithm 2, literal transcription of the paper's pseudocode (triple loop over edges).
+///
+/// Exposed for cross-checking and for the ablation benchmark; prefer
+/// [`find_type2_violation`] which is equivalent but substantially faster on large graphs.
+pub fn find_type2_violation_naive(graph: &SummaryGraph) -> Option<Type2Witness> {
+    for e1 in graph.edges().iter().filter(|e| !e.kind.is_counterflow()) {
+        for e2 in graph.edges() {
+            if !graph.reachable(e1.to, e2.from) {
+                continue;
+            }
+            for e3 in graph.counterflow_edges_from(e2.to) {
+                if graph.reachable(e3.to, e1.from) && pair_condition(graph, e2, e3) {
+                    return Some(Type2Witness {
+                        non_counterflow_edge: *e1,
+                        middle_edge: *e2,
+                        counterflow_edge: *e3,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Algorithm 2, optimized: searches for an adjacent edge pair `(e_2, e_3)` satisfying the pair
+/// condition such that *some* non-counterflow edge `(P_1 → P_2)` closes the cycle
+/// (`P_3` reachable from `P_2` and `P_1` reachable from `P_5`).
+///
+/// The existence of the closing non-counterflow edge is precomputed per `(P_3, P_5)` pair using
+/// the reachability bitsets of the graph, which turns the innermost loop of the naive version
+/// into a constant-time lookup.
+pub fn find_type2_violation(graph: &SummaryGraph) -> Option<Type2Witness> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let words = graph.reachable_row(0).len();
+
+    // Distinct (P_1, P_2) node pairs connected by a non-counterflow edge, represented by one
+    // arbitrary representative edge each (the statements of e_1 are irrelevant to the cycle
+    // condition).
+    let mut nc_pair_seen = vec![false; n * n];
+    let mut nc_pairs: Vec<&SummaryEdge> = Vec::new();
+    for e in graph.edges().iter().filter(|e| !e.kind.is_counterflow()) {
+        let key = e.from * n + e.to;
+        if !nc_pair_seen[key] {
+            nc_pair_seen[key] = true;
+            nc_pairs.push(e);
+        }
+    }
+    if nc_pairs.is_empty() {
+        return None;
+    }
+
+    // The candidate P_5 nodes are exactly the targets of counterflow edges. For each such node
+    // compute the set of P_3 nodes for which a closing non-counterflow pair exists:
+    //   close[P_5] = ⋃ { reach_row(P_2) : (P_1 → P_2) non-counterflow, P_1 reachable from P_5 }.
+    let mut close: Vec<Option<Vec<u64>>> = vec![None; n];
+    let mut candidate_p5: Vec<NodeId> =
+        graph.edges().iter().filter(|e| e.kind.is_counterflow()).map(|e| e.to).collect();
+    candidate_p5.sort_unstable();
+    candidate_p5.dedup();
+    for &p5 in &candidate_p5 {
+        let mut acc = vec![0u64; words];
+        for e in &nc_pairs {
+            if graph.reachable(p5, e.from) {
+                for (a, b) in acc.iter_mut().zip(graph.reachable_row(e.to)) {
+                    *a |= *b;
+                }
+            }
+        }
+        close[p5] = Some(acc);
+    }
+
+    // Enumerate adjacent pairs (e_2, e_3) with e_3 counterflow.
+    for e3 in graph.edges().iter().filter(|e| e.kind.is_counterflow()) {
+        let Some(close_row) = close[e3.to].as_ref() else { continue };
+        for e2 in graph.edges_to(e3.from) {
+            if !pair_condition(graph, e2, e3) {
+                continue;
+            }
+            let p3 = e2.from;
+            if close_row[p3 / 64] & (1u64 << (p3 % 64)) == 0 {
+                continue;
+            }
+            // Recover a concrete closing non-counterflow edge for the witness.
+            let e1 = nc_pairs
+                .iter()
+                .find(|e| graph.reachable(e.to, p3) && graph.reachable(e3.to, e.from))
+                .expect("closing edge exists by construction of the close bitset");
+            return Some(Type2Witness {
+                non_counterflow_edge: **e1,
+                middle_edge: *e2,
+                counterflow_edge: *e3,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::AnalysisSettings;
+    use mvrc_btp::{LinearProgram, ProgramBuilder};
+    use mvrc_schema::{Schema, SchemaBuilder};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        b.build()
+    }
+
+    fn auction_ltps(schema: &Schema) -> Vec<LinearProgram> {
+        let mut fb = ProgramBuilder::new(schema, "FindBids");
+        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
+        fb.seq(&[q1.into(), q2.into()]);
+
+        let mut pb = ProgramBuilder::new(schema, "PlaceBid");
+        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
+        let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
+        let q6 = pb.insert("q6", "Log").unwrap();
+        pb.seq(&[q3.into(), q4.into()]);
+        pb.optional(q5.into());
+        pb.push(q6.into());
+        pb.fk_constraint("f1", q4, q3).unwrap();
+        pb.fk_constraint("f1", q5, q3).unwrap();
+        pb.fk_constraint("f2", q6, q3).unwrap();
+
+        mvrc_btp::unfold_set_le2(&[fb.build(), pb.build()])
+    }
+
+    #[test]
+    fn auction_is_type2_robust_but_not_type1_robust() {
+        // The headline result of Section 2: the Auction benchmark contains a type-I cycle but no
+        // type-II cycle, so Algorithm 2 attests robustness while the baseline of [3] does not.
+        let schema = schema();
+        let ltps = auction_ltps(&schema);
+        let graph = SummaryGraph::construct(&ltps, &schema, AnalysisSettings::paper_default());
+        assert_eq!(graph.node_count(), 3);
+        assert_eq!(graph.edge_count(), 17);
+        assert_eq!(graph.counterflow_edge_count(), 1);
+        assert!(find_type1_violation(&graph).is_some());
+        assert!(find_type2_violation(&graph).is_none());
+        assert!(find_type2_violation_naive(&graph).is_none());
+        assert!(is_robust(&graph, CycleCondition::TypeII));
+        assert!(!is_robust(&graph, CycleCondition::TypeI));
+        let outcome = RobustnessOutcome::evaluate(&graph, CycleCondition::TypeI);
+        assert!(!outcome.robust);
+        assert!(matches!(outcome.violation, Some(Violation::TypeI(_))));
+        assert!(outcome.to_string().contains("not attested"));
+    }
+
+    #[test]
+    fn read_only_workload_is_trivially_robust() {
+        let schema = schema();
+        let mut pb = ProgramBuilder::new(&schema, "ReadOnly");
+        let q = pb.key_select("q", "Buyer", &["calls"]).unwrap();
+        pb.push(q.into());
+        let ltps = vec![LinearProgram::from_linear_program(&pb.build())];
+        let graph = SummaryGraph::construct(&ltps, &schema, AnalysisSettings::paper_default());
+        assert!(is_robust(&graph, CycleCondition::TypeI));
+        assert!(is_robust(&graph, CycleCondition::TypeII));
+    }
+
+    #[test]
+    fn read_then_write_self_conflict_is_a_type2_cycle() {
+        // A single program that key-selects a Bids tuple and later key-updates it (without any
+        // protecting foreign key) admits a counterflow rw-antidependency into a later statement
+        // of a concurrent instance: a classic lost-update anomaly, and indeed a type-II cycle.
+        let schema = schema();
+        let mut pb = ProgramBuilder::new(&schema, "ReadThenWrite");
+        let qr = pb.key_select("qr", "Bids", &["bid"]).unwrap();
+        let qw = pb.key_update("qw", "Bids", &["bid"], &["bid"]).unwrap();
+        pb.seq(&[qr.into(), qw.into()]);
+        let ltps = vec![LinearProgram::from_linear_program(&pb.build())];
+        let graph = SummaryGraph::construct(&ltps, &schema, AnalysisSettings::paper_default());
+        let witness = find_type2_violation(&graph).expect("expected a type-II cycle");
+        assert!(witness.counterflow_edge.kind.is_counterflow());
+        assert!(!is_robust(&graph, CycleCondition::TypeII));
+        assert_eq!(
+            find_type2_violation_naive(&graph).is_some(),
+            find_type2_violation(&graph).is_some()
+        );
+        let outcome = RobustnessOutcome::evaluate(&graph, CycleCondition::TypeII);
+        assert!(matches!(outcome.violation, Some(Violation::TypeII(_))));
+    }
+
+    #[test]
+    fn optimized_and_naive_checks_agree_on_auction_subsets() {
+        let schema = schema();
+        let ltps = auction_ltps(&schema);
+        // Exercise every subset of the three LTP nodes.
+        for mask in 1usize..8 {
+            let subset: Vec<LinearProgram> = ltps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, l)| l.clone())
+                .collect();
+            let graph = SummaryGraph::construct(&subset, &schema, AnalysisSettings::paper_default());
+            assert_eq!(
+                find_type2_violation(&graph).is_some(),
+                find_type2_violation_naive(&graph).is_some(),
+                "naive and optimized type-II checks disagree on subset mask {mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_robust() {
+        let schema = schema();
+        let graph = SummaryGraph::construct(&[], &schema, AnalysisSettings::paper_default());
+        assert!(find_type1_violation(&graph).is_none());
+        assert!(find_type2_violation(&graph).is_none());
+        assert!(find_type2_violation_naive(&graph).is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! High-level robustness analysis over BTP workloads.
+//!
+//! [`RobustnessAnalyzer`] ties the pieces together the way Algorithm 2 of the paper does:
+//! unfold the BTPs into `Unfold≤2(𝒫)`, construct the summary graph (Algorithm 1), and test for
+//! the absence of dangerous cycles.
+
+use crate::algorithm::{RobustnessOutcome, Violation};
+use crate::settings::AnalysisSettings;
+use crate::summary::SummaryGraph;
+use mvrc_btp::{unfold_set, LinearProgram, Program, UnfoldOptions};
+use mvrc_schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Analyzer for a fixed workload (schema + BTPs).
+///
+/// The BTPs are unfolded once at construction time; every [`analyze`](Self::analyze) call only
+/// re-runs graph construction and the cycle test, so sweeping over settings or subsets is cheap.
+#[derive(Debug, Clone)]
+pub struct RobustnessAnalyzer {
+    schema: Schema,
+    program_names: Vec<String>,
+    ltps: Vec<LinearProgram>,
+}
+
+impl RobustnessAnalyzer {
+    /// Creates an analyzer for the given workload using the paper's `Unfold≤2`.
+    pub fn new(schema: &Schema, programs: &[Program]) -> Self {
+        Self::with_unfold_options(schema, programs, UnfoldOptions::default())
+    }
+
+    /// Creates an analyzer with a custom unfolding bound (for the Proposition 6.1 sanity
+    /// ablation).
+    pub fn with_unfold_options(
+        schema: &Schema,
+        programs: &[Program],
+        options: UnfoldOptions,
+    ) -> Self {
+        RobustnessAnalyzer {
+            schema: schema.clone(),
+            program_names: programs.iter().map(|p| p.name().to_string()).collect(),
+            ltps: unfold_set(programs, options),
+        }
+    }
+
+    /// Creates an analyzer directly from LTPs (skipping unfolding).
+    pub fn from_ltps(schema: &Schema, ltps: Vec<LinearProgram>) -> Self {
+        let mut program_names: Vec<String> =
+            ltps.iter().map(|l| l.program_name().to_string()).collect();
+        program_names.dedup();
+        RobustnessAnalyzer { schema: schema.clone(), program_names, ltps }
+    }
+
+    /// The workload's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Names of the analyzed programs (application-level BTPs).
+    pub fn program_names(&self) -> &[String] {
+        &self.program_names
+    }
+
+    /// The unfolded LTPs.
+    pub fn ltps(&self) -> &[LinearProgram] {
+        &self.ltps
+    }
+
+    /// Constructs the summary graph for the full workload under the given settings.
+    pub fn summary_graph(&self, settings: AnalysisSettings) -> SummaryGraph {
+        SummaryGraph::construct(&self.ltps, &self.schema, settings)
+    }
+
+    /// Constructs the summary graph restricted to the LTPs unfolded from the given programs.
+    pub fn summary_graph_for_programs(
+        &self,
+        program_names: &[&str],
+        settings: AnalysisSettings,
+    ) -> SummaryGraph {
+        let subset: Vec<LinearProgram> = self
+            .ltps
+            .iter()
+            .filter(|l| program_names.contains(&l.program_name()))
+            .cloned()
+            .collect();
+        SummaryGraph::construct(&subset, &self.schema, settings)
+    }
+
+    /// Runs the full analysis (Algorithm 1 + cycle test) under the given settings.
+    pub fn analyze(&self, settings: AnalysisSettings) -> AnalysisReport {
+        let graph = self.summary_graph(settings);
+        AnalysisReport::from_graph(&graph, settings)
+    }
+
+    /// Runs the analysis for a subset of the programs.
+    pub fn analyze_programs(&self, program_names: &[&str], settings: AnalysisSettings) -> AnalysisReport {
+        let graph = self.summary_graph_for_programs(program_names, settings);
+        AnalysisReport::from_graph(&graph, settings)
+    }
+
+    /// Convenience: is the complete workload attested robust under the given settings?
+    pub fn is_robust(&self, settings: AnalysisSettings) -> bool {
+        self.analyze(settings).outcome.robust
+    }
+}
+
+/// Result of one robustness analysis run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// The settings used.
+    pub settings: AnalysisSettings,
+    /// Number of LTP nodes in the summary graph.
+    pub node_count: usize,
+    /// Number of edges (quintuples) in the summary graph.
+    pub edge_count: usize,
+    /// Number of counterflow edges.
+    pub counterflow_edge_count: usize,
+    /// Outcome of the cycle test.
+    pub outcome: RobustnessOutcome,
+    /// Human-readable description of the violation, when one was found.
+    pub violation_description: Option<String>,
+}
+
+impl AnalysisReport {
+    /// Builds a report from an already-constructed summary graph.
+    pub fn from_graph(graph: &SummaryGraph, settings: AnalysisSettings) -> Self {
+        let outcome = RobustnessOutcome::evaluate(graph, settings.condition);
+        let violation_description = outcome.violation.as_ref().map(|v| match v {
+            Violation::TypeI(w) => {
+                format!("type-I cycle through {}", graph.describe_edge(&w.counterflow_edge))
+            }
+            Violation::TypeII(w) => format!(
+                "type-II cycle: {} ; {} ; {}",
+                graph.describe_edge(&w.non_counterflow_edge),
+                graph.describe_edge(&w.middle_edge),
+                graph.describe_edge(&w.counterflow_edge)
+            ),
+        });
+        AnalysisReport {
+            settings,
+            node_count: graph.node_count(),
+            edge_count: graph.edge_count(),
+            counterflow_edge_count: graph.counterflow_edge_count(),
+            outcome,
+            violation_description,
+        }
+    }
+
+    /// `true` when the workload was attested robust against MVRC.
+    pub fn is_robust(&self) -> bool {
+        self.outcome.robust
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "setting:            {}", self.settings)?;
+        writeln!(f, "summary graph:      {} nodes, {} edges ({} counterflow)",
+            self.node_count, self.edge_count, self.counterflow_edge_count)?;
+        write!(f, "verdict:            {}", self.outcome)?;
+        if let Some(v) = &self.violation_description {
+            write!(f, "\nwitness:            {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::{CycleCondition, Granularity};
+    use mvrc_btp::ProgramBuilder;
+    use mvrc_schema::SchemaBuilder;
+
+    fn auction() -> (Schema, Vec<Program>) {
+        let mut b = SchemaBuilder::new("auction");
+        let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let schema = b.build();
+
+        let mut fb = ProgramBuilder::new(&schema, "FindBids");
+        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
+        fb.seq(&[q1.into(), q2.into()]);
+
+        let mut pb = ProgramBuilder::new(&schema, "PlaceBid");
+        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
+        let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
+        let q6 = pb.insert("q6", "Log").unwrap();
+        pb.seq(&[q3.into(), q4.into()]);
+        pb.optional(q5.into());
+        pb.push(q6.into());
+        pb.fk_constraint("f1", q4, q3).unwrap();
+        pb.fk_constraint("f1", q5, q3).unwrap();
+        pb.fk_constraint("f2", q6, q3).unwrap();
+
+        let programs = vec![fb.build(), pb.build()];
+        (schema, programs)
+    }
+
+    #[test]
+    fn full_auction_analysis_matches_the_paper() {
+        let (schema, programs) = auction();
+        let analyzer = RobustnessAnalyzer::new(&schema, &programs);
+        assert_eq!(analyzer.ltps().len(), 3);
+        assert_eq!(analyzer.program_names(), &["FindBids".to_string(), "PlaceBid".to_string()]);
+
+        let report = analyzer.analyze(AnalysisSettings::paper_default());
+        assert!(report.is_robust());
+        assert_eq!(report.node_count, 3);
+        assert_eq!(report.edge_count, 17);
+        assert_eq!(report.counterflow_edge_count, 1);
+        assert!(report.violation_description.is_none());
+        assert!(report.to_string().contains("robust against MVRC"));
+
+        // The baseline condition cannot attest the full benchmark (type-I cycle exists).
+        let baseline =
+            analyzer.analyze(AnalysisSettings::baseline(Granularity::Attribute, true));
+        assert!(!baseline.is_robust());
+        assert!(baseline.violation_description.unwrap().contains("type-I"));
+    }
+
+    #[test]
+    fn program_subset_analysis() {
+        let (schema, programs) = auction();
+        let analyzer = RobustnessAnalyzer::new(&schema, &programs);
+        let report = analyzer.analyze_programs(
+            &["FindBids"],
+            AnalysisSettings::baseline(Granularity::Attribute, true),
+        );
+        assert!(report.is_robust());
+        assert_eq!(report.node_count, 1);
+
+        let graph = analyzer
+            .summary_graph_for_programs(&["PlaceBid"], AnalysisSettings::paper_default());
+        assert_eq!(graph.node_count(), 2);
+    }
+
+    #[test]
+    fn unfold_bound_does_not_change_the_verdict() {
+        // Proposition 6.1 sanity check: using a larger unfolding bound must not change the
+        // analysis result.
+        let (schema, programs) = auction();
+        let default = RobustnessAnalyzer::new(&schema, &programs);
+        let deeper = RobustnessAnalyzer::with_unfold_options(
+            &schema,
+            &programs,
+            mvrc_btp::UnfoldOptions { max_loop_iterations: 4, deduplicate: true },
+        );
+        for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+            assert_eq!(default.is_robust(settings), deeper.is_robust(settings));
+        }
+    }
+
+    #[test]
+    fn from_ltps_constructor() {
+        let (schema, programs) = auction();
+        let ltps = mvrc_btp::unfold_set_le2(&programs);
+        let analyzer = RobustnessAnalyzer::from_ltps(&schema, ltps);
+        assert_eq!(analyzer.program_names().len(), 2);
+        assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
+    }
+
+    #[test]
+    fn violation_report_for_non_robust_workload() {
+        let (schema, _) = auction();
+        let mut pb = ProgramBuilder::new(&schema, "ReadThenWrite");
+        let qr = pb.key_select("qr", "Bids", &["bid"]).unwrap();
+        let qw = pb.key_update("qw", "Bids", &["bid"], &["bid"]).unwrap();
+        pb.seq(&[qr.into(), qw.into()]);
+        let analyzer = RobustnessAnalyzer::new(&schema, &[pb.build()]);
+        let report = analyzer.analyze(AnalysisSettings::paper_default());
+        assert!(!report.is_robust());
+        let description = report.violation_description.unwrap();
+        assert!(description.contains("type-II"));
+        assert!(description.contains("ReadThenWrite"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Graphviz (DOT) export of summary graphs, in the style of Figures 4, 11, 18 and 19 of the
+//! paper: program nodes, solid non-counterflow edges, dashed counterflow edges, statement-pair
+//! edge labels.
+
+use crate::summary::{EdgeKind, SummaryGraph};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Whether to print `q_i → q_j` statement labels on edges (Figure 4 style). Larger graphs
+    /// (Figure 11/18 style) are easier to read without labels.
+    pub edge_labels: bool,
+    /// Whether to merge parallel edges of the same flavour between the same pair of nodes into a
+    /// single drawn edge (labels are concatenated).
+    pub merge_parallel_edges: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { edge_labels: true, merge_parallel_edges: true }
+    }
+}
+
+/// Renders a summary graph as a DOT digraph.
+pub fn to_dot(graph: &SummaryGraph, options: DotOptions) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph summary_graph {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];").unwrap();
+    for (id, ltp) in graph.nodes() {
+        writeln!(out, "  n{id} [label=\"{}\"];", escape(ltp.name())).unwrap();
+    }
+
+    if options.merge_parallel_edges {
+        // Group edges by (from, to, kind) and join their labels.
+        let mut groups: BTreeMap<(usize, usize, bool), Vec<String>> = BTreeMap::new();
+        for e in graph.edges() {
+            let label = format!(
+                "{}→{}",
+                graph.node(e.from).statement(e.from_stmt).name(),
+                graph.node(e.to).statement(e.to_stmt).name()
+            );
+            groups.entry((e.from, e.to, e.kind.is_counterflow())).or_default().push(label);
+        }
+        for ((from, to, counterflow), labels) in groups {
+            write_edge(&mut out, from, to, counterflow, &labels.join("\\n"), options.edge_labels);
+        }
+    } else {
+        for e in graph.edges() {
+            let label = format!(
+                "{}→{}",
+                graph.node(e.from).statement(e.from_stmt).name(),
+                graph.node(e.to).statement(e.to_stmt).name()
+            );
+            write_edge(
+                &mut out,
+                e.from,
+                e.to,
+                e.kind == EdgeKind::Counterflow,
+                &label,
+                options.edge_labels,
+            );
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn write_edge(out: &mut String, from: usize, to: usize, counterflow: bool, label: &str, with_label: bool) {
+    let style = if counterflow { "dashed" } else { "solid" };
+    if with_label {
+        writeln!(out, "  n{from} -> n{to} [style={style}, label=\"{}\"];", escape(label)).unwrap();
+    } else {
+        writeln!(out, "  n{from} -> n{to} [style={style}];").unwrap();
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::AnalysisSettings;
+    use mvrc_btp::{LinearProgram, ProgramBuilder};
+    use mvrc_schema::SchemaBuilder;
+
+    fn sample_graph() -> SummaryGraph {
+        let mut b = SchemaBuilder::new("s");
+        let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        let schema = b.build();
+        let mut fb = ProgramBuilder::new(&schema, "FindBids");
+        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
+        fb.seq(&[q1.into(), q2.into()]);
+        let mut wr = ProgramBuilder::new(&schema, "Writer");
+        let q3 = wr.key_update("q3", "Bids", &["bid"], &["bid"]).unwrap();
+        wr.push(q3.into());
+        let ltps = vec![
+            LinearProgram::from_linear_program(&fb.build()),
+            LinearProgram::from_linear_program(&wr.build()),
+        ];
+        SummaryGraph::construct(&ltps, &schema, AnalysisSettings::paper_default())
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_dashed_counterflow_edges() {
+        let graph = sample_graph();
+        let dot = to_dot(&graph, DotOptions::default());
+        assert!(dot.starts_with("digraph summary_graph {"));
+        assert!(dot.contains("label=\"FindBids\""));
+        assert!(dot.contains("label=\"Writer\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.contains("q2→q3"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let graph = sample_graph();
+        let dot =
+            to_dot(&graph, DotOptions { edge_labels: false, merge_parallel_edges: false });
+        assert!(!dot.contains('→'));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn parallel_edges_are_merged_when_requested() {
+        let graph = sample_graph();
+        let merged = to_dot(&graph, DotOptions { edge_labels: true, merge_parallel_edges: true });
+        let unmerged =
+            to_dot(&graph, DotOptions { edge_labels: true, merge_parallel_edges: false });
+        let count = |s: &str| s.matches("->").count();
+        assert!(count(&merged) <= count(&unmerged));
+    }
+}

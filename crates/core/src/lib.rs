@@ -1,0 +1,78 @@
+//! # mvrc-robustness
+//!
+//! Detection of **robustness against multi-version Read Committed (MVRC)** for transaction
+//! programs with inserts, deletes and predicate reads — a reproduction of the core contribution
+//! of *"Detecting Robustness against MVRC for Transaction Programs with Predicate Reads"*
+//! (Vandevoort, Ketsman, Koch, Neven — EDBT 2023).
+//!
+//! A workload (a set of [basic transaction programs](mvrc_btp::Program)) is *robust against
+//! MVRC* when every schedule the programs can produce under isolation level MVRC is conflict
+//! serializable: the workload can then be executed under the cheaper isolation level without
+//! giving up serializability.
+//!
+//! The crate implements the paper's sound detection pipeline:
+//!
+//! 1. **Unfolding** — `Unfold≤2` reduces programs with loops and branching to a finite set of
+//!    linear transaction programs ([`mvrc_btp::unfold_set_le2`], Proposition 6.1).
+//! 2. **Summary graph** — [`SummaryGraph::construct`] (Algorithm 1) over-approximates every
+//!    dependency any two program instantiations may exhibit, using the statement-type tables of
+//!    Table 1 ([`tables`]), attribute-set intersections and foreign-key reasoning.
+//! 3. **Cycle test** — [`find_type2_violation`] (Algorithm 2) attests robustness when the graph
+//!    contains no *type-II cycle* (Theorem 6.4); [`find_type1_violation`] implements the older
+//!    type-I condition of Alomari & Fekete for comparison.
+//!
+//! The high-level entry point is [`RobustnessAnalyzer`]; [`explore_subsets`] reproduces the
+//! maximal-robust-subset experiments of Section 7.
+//!
+//! ```
+//! use mvrc_schema::SchemaBuilder;
+//! use mvrc_btp::sql::parse_workload;
+//! use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
+//!
+//! let mut sb = SchemaBuilder::new("auction");
+//! let buyer = sb.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+//! let bids = sb.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+//! let log = sb.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+//! sb.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+//! sb.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+//! let schema = sb.build();
+//!
+//! let programs = parse_workload(&schema, r#"
+//!     PROGRAM FindBids(:B, :T) {
+//!         UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+//!         SELECT bid FROM Bids WHERE bid >= :T;
+//!     }
+//!     PROGRAM PlaceBid(:B, :V) {
+//!         UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+//!         SELECT bid INTO :C FROM Bids WHERE buyerId = :B;
+//!         IF :C < :V THEN
+//!             UPDATE Bids SET bid = :V WHERE buyerId = :B;
+//!         ENDIF;
+//!         INSERT INTO Log VALUES (:logId, :B, :V);
+//!     }
+//! "#).unwrap();
+//!
+//! let analyzer = RobustnessAnalyzer::new(&schema, &programs);
+//! assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod analysis;
+mod dot;
+mod settings;
+mod subsets;
+mod summary;
+pub mod tables;
+
+pub use algorithm::{
+    find_type1_violation, find_type2_violation, find_type2_violation_naive, is_robust,
+    RobustnessOutcome, Type1Witness, Type2Witness, Violation,
+};
+pub use analysis::{AnalysisReport, RobustnessAnalyzer};
+pub use dot::{to_dot, DotOptions};
+pub use settings::{AnalysisSettings, CycleCondition, Granularity};
+pub use subsets::{abbreviate_program_name, explore_subsets, SubsetExploration};
+pub use summary::{c_dep_conds, nc_dep_conds, EdgeKind, NodeId, SummaryEdge, SummaryGraph};

@@ -1,0 +1,230 @@
+//! Subset exploration: which subsets of a workload's programs are (maximally) robust.
+//!
+//! Section 7.2 of the paper reports, for every benchmark and setting, the *maximal* subsets of
+//! transaction programs that the respective test attests robust (Figures 6 and 7). This module
+//! reproduces that exploration.
+
+use crate::algorithm::is_robust;
+use crate::analysis::RobustnessAnalyzer;
+use crate::settings::AnalysisSettings;
+use crate::summary::SummaryGraph;
+use mvrc_btp::LinearProgram;
+use serde::{Deserialize, Serialize};
+
+/// Result of exploring all subsets of a workload's programs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubsetExploration {
+    /// The program names, in workload order; subsets are index sets into this list.
+    pub programs: Vec<String>,
+    /// The analysis settings used.
+    pub settings: AnalysisSettings,
+    /// Every subset (as sorted index vectors) attested robust.
+    pub robust: Vec<Vec<usize>>,
+    /// The maximal robust subsets (no robust strict superset exists).
+    pub maximal: Vec<Vec<usize>>,
+}
+
+impl SubsetExploration {
+    /// Renders a subset like the paper does, e.g. `{OS, Pay, SL}`, using the provided
+    /// abbreviation function.
+    pub fn render_subset(&self, subset: &[usize], abbreviate: impl Fn(&str) -> String) -> String {
+        let names: Vec<String> =
+            subset.iter().map(|&i| abbreviate(&self.programs[i])).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+
+    /// Renders the maximal robust subsets as a comma-separated list, e.g.
+    /// `{Am, DC, TS}, {Bal, DC}, {Bal, TS}`.
+    pub fn render_maximal(&self, abbreviate: impl Fn(&str) -> String) -> String {
+        let mut rendered: Vec<String> =
+            self.maximal.iter().map(|s| self.render_subset(s, &abbreviate)).collect();
+        rendered.sort_by_key(|s| (usize::MAX - s.matches(',').count(), s.clone()));
+        rendered.join(", ")
+    }
+
+    /// Returns `true` if the given set of program names (in any order) is among the maximal
+    /// robust subsets.
+    pub fn is_maximal_robust(&self, names: &[&str]) -> bool {
+        let mut indices: Vec<usize> = names
+            .iter()
+            .filter_map(|n| self.programs.iter().position(|p| p == n))
+            .collect();
+        indices.sort_unstable();
+        indices.len() == names.len() && self.maximal.contains(&indices)
+    }
+}
+
+/// Explores every non-empty subset of the workload's programs and reports which are robust under
+/// the given settings.
+///
+/// The workload's BTPs are unfolded once (inside the analyzer); each subset only pays for
+/// summary-graph construction over its own LTPs plus the cycle test.
+pub fn explore_subsets(analyzer: &RobustnessAnalyzer, settings: AnalysisSettings) -> SubsetExploration {
+    let programs: Vec<String> = analyzer.program_names().to_vec();
+    let n = programs.len();
+    assert!(n <= 20, "subset exploration is exponential; {n} programs is too many");
+
+    // Group the unfolded LTPs per program index once.
+    let ltps_per_program: Vec<Vec<&LinearProgram>> = programs
+        .iter()
+        .map(|name| analyzer.ltps().iter().filter(|l| l.program_name() == name).collect())
+        .collect();
+
+    let mut robust: Vec<Vec<usize>> = Vec::new();
+    for mask in 1usize..(1 << n) {
+        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        // Monotonicity shortcut (Proposition 5.2): if any superset already known robust existed
+        // we could skip, but robustness is anti-monotone (subsets of robust sets are robust), so
+        // we check supersets first is not possible in increasing mask order. Instead, skip the
+        // check when a known-robust superset exists after the fact is impossible; simply test.
+        let ltps: Vec<LinearProgram> = subset
+            .iter()
+            .flat_map(|&i| ltps_per_program[i].iter().map(|l| (*l).clone()))
+            .collect();
+        let graph = SummaryGraph::construct(&ltps, analyzer.schema(), settings);
+        if is_robust(&graph, settings.condition) {
+            robust.push(subset);
+        }
+    }
+
+    let maximal = maximal_sets(&robust);
+    SubsetExploration { programs, settings, robust, maximal }
+}
+
+/// Filters a family of sets down to its maximal elements (no other set is a strict superset).
+fn maximal_sets(sets: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    sets.iter()
+        .filter(|candidate| {
+            !sets.iter().any(|other| {
+                other.len() > candidate.len() && candidate.iter().all(|x| other.contains(x))
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Default abbreviation used when rendering subsets: the upper-case letters (and digits) of the
+/// program name, e.g. `NewOrder → NO`, `DepositChecking → DC`. Falls back to the full name when
+/// the name contains no upper-case letters.
+pub fn abbreviate_program_name(name: &str) -> String {
+    let abbrev: String =
+        name.chars().filter(|c| c.is_ascii_uppercase() || c.is_ascii_digit()).collect();
+    if abbrev.is_empty() {
+        name.to_string()
+    } else {
+        abbrev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::{CycleCondition, Granularity};
+    use mvrc_btp::ProgramBuilder;
+    use mvrc_schema::SchemaBuilder;
+
+    fn auction_analyzer() -> RobustnessAnalyzer {
+        let mut b = SchemaBuilder::new("auction");
+        let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let schema = b.build();
+
+        let mut fb = ProgramBuilder::new(&schema, "FindBids");
+        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
+        fb.seq(&[q1.into(), q2.into()]);
+
+        let mut pb = ProgramBuilder::new(&schema, "PlaceBid");
+        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
+        let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
+        let q6 = pb.insert("q6", "Log").unwrap();
+        pb.seq(&[q3.into(), q4.into()]);
+        pb.optional(q5.into());
+        pb.push(q6.into());
+        pb.fk_constraint("f1", q4, q3).unwrap();
+        pb.fk_constraint("f1", q5, q3).unwrap();
+        pb.fk_constraint("f2", q6, q3).unwrap();
+
+        let programs = vec![fb.build(), pb.build()];
+        RobustnessAnalyzer::new(&schema, &programs)
+    }
+
+    #[test]
+    fn auction_maximal_subsets_match_figure_6_and_7() {
+        let analyzer = auction_analyzer();
+
+        // Algorithm 2, attr dep + FK: the whole benchmark {FB, PB} is robust (Figure 6).
+        let type2 = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+        assert_eq!(type2.maximal, vec![vec![0, 1]]);
+        assert!(type2.is_maximal_robust(&["FindBids", "PlaceBid"]));
+        assert_eq!(type2.render_maximal(abbreviate_program_name), "{FB, PB}");
+
+        // Baseline [3], attr dep + FK: only the singletons are robust (Figure 7).
+        let type1 = explore_subsets(
+            &analyzer,
+            AnalysisSettings::baseline(Granularity::Attribute, true),
+        );
+        assert_eq!(type1.maximal, vec![vec![0], vec![1]]);
+        assert_eq!(type1.render_maximal(abbreviate_program_name), "{FB}, {PB}");
+
+        // Without foreign keys even Algorithm 2 only attests {FB} (Figure 6, rows 1-2).
+        let no_fk = explore_subsets(
+            &analyzer,
+            AnalysisSettings {
+                granularity: Granularity::Attribute,
+                use_foreign_keys: false,
+                condition: CycleCondition::TypeII,
+            },
+        );
+        assert_eq!(no_fk.render_maximal(abbreviate_program_name), "{FB}");
+    }
+
+    #[test]
+    fn robust_family_is_downward_closed() {
+        // Proposition 5.2: every subset of a robust set is robust.
+        let analyzer = auction_analyzer();
+        let exploration = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+        for set in &exploration.robust {
+            for drop_idx in 0..set.len() {
+                let mut smaller = set.clone();
+                smaller.remove(drop_idx);
+                if smaller.is_empty() {
+                    continue;
+                }
+                assert!(
+                    exploration.robust.contains(&smaller),
+                    "robust family is not downward closed: {smaller:?} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_sets_filters_strict_subsets() {
+        let sets = vec![vec![0], vec![0, 1], vec![2], vec![1]];
+        let maximal = maximal_sets(&sets);
+        assert_eq!(maximal, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn abbreviations_match_the_paper_style() {
+        assert_eq!(abbreviate_program_name("NewOrder"), "NO");
+        assert_eq!(abbreviate_program_name("DepositChecking"), "DC");
+        assert_eq!(abbreviate_program_name("FindBids"), "FB");
+        assert_eq!(abbreviate_program_name("PlaceBid3"), "PB3");
+        assert_eq!(abbreviate_program_name("delivery"), "delivery");
+    }
+
+    #[test]
+    fn render_subset_uses_program_names() {
+        let analyzer = auction_analyzer();
+        let exploration = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+        let rendered = exploration.render_subset(&[0], |s| s.to_string());
+        assert_eq!(rendered, "{FindBids}");
+        assert!(!exploration.is_maximal_robust(&["FindBids", "Unknown"]));
+    }
+}

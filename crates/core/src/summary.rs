@@ -1,0 +1,513 @@
+//! The summary graph `SuG(𝒫)` and its construction — Algorithm 1 of the paper.
+//!
+//! Nodes are LTPs; edges are quintuples `(P_i, q_i, c, q_j, P_j)` with
+//! `c ∈ {counterflow, non-counterflow}` stating that instantiations of `P_i` and `P_j` may admit
+//! a dependency of that flavour between operations instantiated from `q_i` and `q_j`
+//! (Condition 6.2). The same statement pair can carry both a counterflow and a non-counterflow
+//! edge.
+
+use crate::settings::{AnalysisSettings, Granularity};
+use crate::tables::{c_dep_table, nc_dep_table};
+use mvrc_btp::{LinearProgram, Statement, StmtPos};
+use mvrc_schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an LTP node within a [`SummaryGraph`].
+pub type NodeId = usize;
+
+/// Flavour of a summary-graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// The dependency follows the commit order.
+    NonCounterflow,
+    /// The dependency opposes the commit order (only (predicate) rw-antidependencies,
+    /// Lemma 4.1). Rendered dashed in the paper's figures.
+    Counterflow,
+}
+
+impl EdgeKind {
+    /// `true` for counterflow edges.
+    #[inline]
+    pub fn is_counterflow(self) -> bool {
+        matches!(self, EdgeKind::Counterflow)
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::NonCounterflow => f.write_str("non-counterflow"),
+            EdgeKind::Counterflow => f.write_str("counterflow"),
+        }
+    }
+}
+
+/// An edge `(P_from, q_from, kind, q_to, P_to)` of the summary graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SummaryEdge {
+    /// The source program node.
+    pub from: NodeId,
+    /// Position of the source statement `q_i` within the source LTP.
+    pub from_stmt: StmtPos,
+    /// Edge flavour.
+    pub kind: EdgeKind,
+    /// Position of the target statement `q_j` within the target LTP.
+    pub to_stmt: StmtPos,
+    /// The target program node.
+    pub to: NodeId,
+}
+
+/// A compact bit-matrix recording node-to-node reachability.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Reachability {
+    nodes: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    fn new(nodes: usize) -> Self {
+        let words_per_row = nodes.div_ceil(64).max(1);
+        Reachability { nodes, words_per_row, bits: vec![0; nodes * words_per_row] }
+    }
+
+    #[inline]
+    fn set(&mut self, from: usize, to: usize) {
+        self.bits[from * self.words_per_row + to / 64] |= 1u64 << (to % 64);
+    }
+
+    #[inline]
+    fn get(&self, from: usize, to: usize) -> bool {
+        self.bits[from * self.words_per_row + to / 64] & (1u64 << (to % 64)) != 0
+    }
+
+    fn row(&self, from: usize) -> &[u64] {
+        &self.bits[from * self.words_per_row..(from + 1) * self.words_per_row]
+    }
+}
+
+/// The summary graph over a set of LTPs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SummaryGraph {
+    nodes: Vec<LinearProgram>,
+    edges: Vec<SummaryEdge>,
+    out_edges: Vec<Vec<usize>>,
+    in_edges: Vec<Vec<usize>>,
+    reach: Reachability,
+    settings: AnalysisSettings,
+}
+
+impl SummaryGraph {
+    /// Algorithm 1: constructs `SuG(𝒫)` for a set of LTPs under the given settings.
+    ///
+    /// The `granularity` setting is applied by widening every defined attribute set to the full
+    /// attribute set of its relation; the `use_foreign_keys` setting controls the foreign-key
+    /// suppression inside `cDepConds`.
+    pub fn construct(ltps: &[LinearProgram], schema: &Schema, settings: AnalysisSettings) -> Self {
+        let nodes: Vec<LinearProgram> = match settings.granularity {
+            Granularity::Attribute => ltps.to_vec(),
+            Granularity::Tuple => ltps
+                .iter()
+                .map(|l| l.widen_to_tuple_granularity(|rel| schema.all_attrs(rel)))
+                .collect(),
+        };
+
+        let mut edges = Vec::new();
+        for (i, pi) in nodes.iter().enumerate() {
+            for (j, pj) in nodes.iter().enumerate() {
+                for (pos_i, qi) in pi.statements() {
+                    for (pos_j, qj) in pj.statements() {
+                        if qi.rel() != qj.rel() {
+                            continue;
+                        }
+                        let allow_nc = match nc_dep_table(qi.kind(), qj.kind()) {
+                            Some(v) => v,
+                            None => nc_dep_conds(qi, qj),
+                        };
+                        if allow_nc {
+                            edges.push(SummaryEdge {
+                                from: i,
+                                from_stmt: pos_i,
+                                kind: EdgeKind::NonCounterflow,
+                                to_stmt: pos_j,
+                                to: j,
+                            });
+                        }
+                        let allow_c = match c_dep_table(qi.kind(), qj.kind()) {
+                            Some(v) => v,
+                            None => c_dep_conds(pi, pos_i, qi, pj, pos_j, qj, settings.use_foreign_keys),
+                        };
+                        if allow_c {
+                            edges.push(SummaryEdge {
+                                from: i,
+                                from_stmt: pos_i,
+                                kind: EdgeKind::Counterflow,
+                                to_stmt: pos_j,
+                                to: j,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out_edges = vec![Vec::new(); nodes.len()];
+        let mut in_edges = vec![Vec::new(); nodes.len()];
+        for (idx, e) in edges.iter().enumerate() {
+            out_edges[e.from].push(idx);
+            in_edges[e.to].push(idx);
+        }
+        let reach = compute_reachability(nodes.len(), &edges, &out_edges);
+        SummaryGraph { nodes, edges, out_edges, in_edges, reach, settings }
+    }
+
+    /// The settings the graph was constructed under.
+    pub fn settings(&self) -> AnalysisSettings {
+        self.settings
+    }
+
+    /// Number of nodes (LTPs).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (quintuples), as reported in Table 2 of the paper.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of counterflow edges, the parenthesized count in Table 2.
+    pub fn counterflow_edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.kind.is_counterflow()).count()
+    }
+
+    /// The LTP at a node.
+    pub fn node(&self, id: NodeId) -> &LinearProgram {
+        &self.nodes[id]
+    }
+
+    /// All nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &LinearProgram)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Looks up a node by LTP name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name() == name)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[SummaryEdge] {
+        &self.edges
+    }
+
+    /// Edges leaving a node.
+    pub fn edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> {
+        self.out_edges[node].iter().map(move |&idx| &self.edges[idx])
+    }
+
+    /// Edges entering a node.
+    pub fn edges_to(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> {
+        self.in_edges[node].iter().map(move |&idx| &self.edges[idx])
+    }
+
+    /// Counterflow edges leaving a node.
+    pub fn counterflow_edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> {
+        self.edges_from(node).filter(|e| e.kind.is_counterflow())
+    }
+
+    /// Edges between a specific pair of nodes.
+    pub fn edges_between(&self, from: NodeId, to: NodeId) -> impl Iterator<Item = &SummaryEdge> {
+        self.edges_from(from).filter(move |e| e.to == to)
+    }
+
+    /// Reachability `from →* to` over all edges; every node reaches itself (zero-length path).
+    #[inline]
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.reach.get(from, to)
+    }
+
+    /// The bitset row of nodes reachable from `from` (64 nodes per word, node `i` at bit
+    /// `i % 64` of word `i / 64`). Exposed for the optimized robustness check.
+    pub(crate) fn reachable_row(&self, from: NodeId) -> &[u64] {
+        self.reach.row(from)
+    }
+
+    /// Renders an edge with program and statement names (diagnostics, DOT export).
+    pub fn describe_edge(&self, edge: &SummaryEdge) -> String {
+        let from = &self.nodes[edge.from];
+        let to = &self.nodes[edge.to];
+        format!(
+            "{} --[{} -> {}, {}]--> {}",
+            from.name(),
+            from.statement(edge.from_stmt).name(),
+            to.statement(edge.to_stmt).name(),
+            edge.kind,
+            to.name()
+        )
+    }
+}
+
+/// `ncDepConds(q_i, q_j)` from Algorithm 1: the attribute-set checks for the `⊥` entries of
+/// Table (1a). Undefined sets (`⊥`) behave as empty sets.
+pub fn nc_dep_conds(qi: &Statement, qj: &Statement) -> bool {
+    let (wi, ri, pi) = (qi.write_attrs(), qi.read_attrs(), qi.pread_attrs());
+    let (wj, rj, pj) = (qj.write_attrs(), qj.read_attrs(), qj.pread_attrs());
+    wi.intersects(wj) || wi.intersects(rj) || wi.intersects(pj) || ri.intersects(wj) || pi.intersects(wj)
+}
+
+/// `cDepConds(q_i, q_j)` from Algorithm 1: the attribute-set and foreign-key checks for the `⊥`
+/// entries of Table (1b).
+///
+/// A counterflow edge requires a (predicate) rw-antidependency (Lemma 4.1). When the potential
+/// antidependency stems from a plain read (`ReadSet(q_i) ∩ WriteSet(q_j) ≠ ∅`), foreign-key
+/// constraints can rule it out: if both programs access, *before* `q_i` resp. `q_j`, the tuple
+/// referenced through a common foreign key with a key-based write (or insert/delete), then two
+/// concurrent instantiations over the same tuple would exhibit a dirty write, which MVRC forbids.
+pub fn c_dep_conds(
+    pi: &LinearProgram,
+    pos_i: StmtPos,
+    qi: &Statement,
+    pj: &LinearProgram,
+    pos_j: StmtPos,
+    qj: &Statement,
+    use_foreign_keys: bool,
+) -> bool {
+    let wj = qj.write_attrs();
+    if qi.pread_attrs().intersects(wj) {
+        return true;
+    }
+    if qi.read_attrs().intersects(wj) {
+        if use_foreign_keys {
+            for ci in pi.fk_constraints_with_dom(pos_i) {
+                for cj in pj.fk_constraints_with_dom(pos_j) {
+                    if ci.fk != cj.fk {
+                        continue;
+                    }
+                    let qk = pi.statement(ci.range_pos);
+                    let ql = pj.statement(cj.range_pos);
+                    let protecting_kind = |s: &Statement| {
+                        matches!(
+                            s.kind(),
+                            mvrc_btp::StatementKind::KeyUpdate
+                                | mvrc_btp::StatementKind::KeyDelete
+                                | mvrc_btp::StatementKind::Insert
+                        )
+                    };
+                    if protecting_kind(qk)
+                        && protecting_kind(ql)
+                        && pi.precedes(ci.range_pos, pos_i)
+                        && pj.precedes(cj.range_pos, pos_j)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn compute_reachability(
+    node_count: usize,
+    edges: &[SummaryEdge],
+    out_edges: &[Vec<usize>],
+) -> Reachability {
+    let mut reach = Reachability::new(node_count);
+    let mut stack = Vec::new();
+    let mut visited = vec![false; node_count];
+    for start in 0..node_count {
+        visited.iter_mut().for_each(|v| *v = false);
+        stack.clear();
+        stack.push(start);
+        visited[start] = true;
+        while let Some(node) = stack.pop() {
+            reach.set(start, node);
+            for &edge_idx in &out_edges[node] {
+                let next = edges[edge_idx].to;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::CycleCondition;
+    use mvrc_btp::ProgramBuilder;
+    use mvrc_schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        b.build()
+    }
+
+    fn find_bids(schema: &Schema) -> LinearProgram {
+        let mut pb = ProgramBuilder::new(schema, "FindBids");
+        let q1 = pb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q2 = pb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
+        pb.seq(&[q1.into(), q2.into()]);
+        mvrc_btp::LinearProgram::from_linear_program(&pb.build())
+    }
+
+    fn settings() -> AnalysisSettings {
+        AnalysisSettings {
+            granularity: Granularity::Attribute,
+            use_foreign_keys: true,
+            condition: CycleCondition::TypeII,
+        }
+    }
+
+    #[test]
+    fn single_read_write_program_has_self_loops() {
+        let schema = schema();
+        let graph = SummaryGraph::construct(&[find_bids(&schema)], &schema, settings());
+        assert_eq!(graph.node_count(), 1);
+        // q1 vs q1 over Buyer gives a non-counterflow self edge; Bids has no writer so no other
+        // edges exist.
+        assert_eq!(graph.edge_count(), 1);
+        assert_eq!(graph.counterflow_edge_count(), 0);
+        let edge = graph.edges()[0];
+        assert_eq!(edge.from, edge.to);
+        assert_eq!(edge.kind, EdgeKind::NonCounterflow);
+        assert!(graph.reachable(0, 0));
+        assert!(graph.describe_edge(&edge).contains("q1 -> q1"));
+    }
+
+    #[test]
+    fn reachability_includes_zero_length_paths() {
+        let schema = schema();
+        let mut pb = ProgramBuilder::new(&schema, "ReadOnly");
+        let q = pb.key_select("q", "Buyer", &["calls"]).unwrap();
+        pb.push(q.into());
+        let ltp = mvrc_btp::LinearProgram::from_linear_program(&pb.build());
+        let graph = SummaryGraph::construct(&[ltp], &schema, settings());
+        assert_eq!(graph.edge_count(), 0);
+        assert!(graph.reachable(0, 0));
+    }
+
+    #[test]
+    fn node_lookup_and_edge_iterators() {
+        let schema = schema();
+        let graph =
+            SummaryGraph::construct(&[find_bids(&schema), find_bids(&schema)], &schema, settings());
+        assert_eq!(graph.node_count(), 2);
+        assert!(graph.node_by_name("FindBids").is_some());
+        assert!(graph.node_by_name("Nope").is_none());
+        // Two FindBids copies: q1 conflicts with q1 across all 4 ordered node pairs.
+        assert_eq!(graph.edge_count(), 4);
+        assert_eq!(graph.edges_from(0).count(), 2);
+        assert_eq!(graph.edges_to(1).count(), 2);
+        assert_eq!(graph.edges_between(0, 1).count(), 1);
+        assert_eq!(graph.counterflow_edges_from(0).count(), 0);
+    }
+
+    #[test]
+    fn tuple_granularity_adds_edges() {
+        let schema = schema();
+        // A program reading only Buyer.id and one writing only Buyer.calls: no common attribute,
+        // so no dependency at attribute granularity, but a conflict at tuple granularity.
+        let mut reader = ProgramBuilder::new(&schema, "Reader");
+        let q = reader.key_select("qr", "Buyer", &["id"]).unwrap();
+        reader.push(q.into());
+        let mut writer = ProgramBuilder::new(&schema, "Writer");
+        let q = writer.key_update("qw", "Buyer", &[], &["calls"]).unwrap();
+        writer.push(q.into());
+        let ltps = vec![
+            mvrc_btp::LinearProgram::from_linear_program(&reader.build()),
+            mvrc_btp::LinearProgram::from_linear_program(&writer.build()),
+        ];
+        let attr = SummaryGraph::construct(&ltps, &schema, settings());
+        let tuple = SummaryGraph::construct(
+            &ltps,
+            &schema,
+            AnalysisSettings { granularity: Granularity::Tuple, ..settings() },
+        );
+        // Attribute granularity: only the writer/writer self conflict.
+        assert_eq!(attr.edge_count(), 1);
+        // Tuple granularity additionally sees reader/writer conflicts (both directions, and the
+        // reader -> writer rw-antidependency can also be counterflow).
+        assert!(tuple.edge_count() > attr.edge_count());
+        assert!(tuple.counterflow_edge_count() > 0);
+    }
+
+    #[test]
+    fn foreign_keys_suppress_counterflow_between_key_reads_and_updates() {
+        let schema = schema();
+        // Both programs: update Buyer (key-based, on the FK target) then read/update Bids.
+        let build = |name: &str, update_bids: bool| {
+            let mut pb = ProgramBuilder::new(&schema, name);
+            let qb = pb.key_update("qb", "Buyer", &["calls"], &["calls"]).unwrap();
+            let qx = if update_bids {
+                pb.key_update("qx", "Bids", &[], &["bid"]).unwrap()
+            } else {
+                pb.key_select("qx", "Bids", &["bid"]).unwrap()
+            };
+            pb.seq(&[qb.into(), qx.into()]);
+            pb.fk_constraint("f1", qx, qb).unwrap();
+            mvrc_btp::LinearProgram::from_linear_program(&pb.build())
+        };
+        let ltps = vec![build("Reader", false), build("Writer", true)];
+        let with_fk = SummaryGraph::construct(&ltps, &schema, settings());
+        let without_fk = SummaryGraph::construct(
+            &ltps,
+            &schema,
+            AnalysisSettings { use_foreign_keys: false, ..settings() },
+        );
+        // Without FK reasoning the Reader.qx -> Writer.qx rw-antidependency can be counterflow;
+        // with FK reasoning it cannot (both programs key-update the same Buyer tuple first).
+        assert!(without_fk.counterflow_edge_count() > with_fk.counterflow_edge_count());
+        assert_eq!(with_fk.counterflow_edge_count(), 0);
+    }
+
+    #[test]
+    fn nc_dep_conds_checks_all_intersections() {
+        let schema = schema();
+        let rel = schema.relation_by_name("Bids").unwrap();
+        let bid = rel.attr_by_name("bid").unwrap();
+        let buyer_id = rel.attr_by_name("buyerId").unwrap();
+        let upd_bid = Statement::new(
+            "u",
+            rel,
+            mvrc_btp::StatementKind::KeyUpdate,
+            None,
+            Some(mvrc_schema::AttrSet::empty()),
+            Some(mvrc_schema::AttrSet::singleton(bid)),
+        )
+        .unwrap();
+        let sel_bid = Statement::new(
+            "s",
+            rel,
+            mvrc_btp::StatementKind::KeySelect,
+            None,
+            Some(mvrc_schema::AttrSet::singleton(bid)),
+            None,
+        )
+        .unwrap();
+        let sel_buyer = Statement::new(
+            "s2",
+            rel,
+            mvrc_btp::StatementKind::KeySelect,
+            None,
+            Some(mvrc_schema::AttrSet::singleton(buyer_id)),
+            None,
+        )
+        .unwrap();
+        assert!(nc_dep_conds(&upd_bid, &sel_bid));
+        assert!(nc_dep_conds(&sel_bid, &upd_bid));
+        assert!(nc_dep_conds(&upd_bid, &upd_bid));
+        assert!(!nc_dep_conds(&sel_buyer, &upd_bid));
+        assert!(!nc_dep_conds(&sel_bid, &sel_bid));
+    }
+}

@@ -1,0 +1,131 @@
+//! The condition tables of Algorithm 1 (Table 1 of the paper).
+//!
+//! For a pair of statement types `(type(q_i), type(q_j))` the tables determine whether a
+//! (non-)counterflow dependency between instantiations of `q_i` and `q_j`:
+//!
+//! * can always be admitted (`Some(true)`),
+//! * can never be admitted (`Some(false)`), or
+//! * requires the additional attribute-set / foreign-key checks of `ncDepConds` / `cDepConds`
+//!   (`None`, the paper's `⊥`).
+//!
+//! Rows are indexed by `type(q_i)`, columns by `type(q_j)`, both in the order
+//! `ins, key sel, pred sel, key upd, pred upd, key del, pred del`
+//! ([`StatementKind::table_index`]).
+
+use mvrc_btp::StatementKind;
+
+/// Table entry: `Some(true)` / `Some(false)` / `None` for the paper's `true` / `false` / `⊥`.
+pub type TableEntry = Option<bool>;
+
+const T: TableEntry = Some(true);
+const F: TableEntry = Some(false);
+const U: TableEntry = None;
+
+/// `ncDepTable` — Table (1a): when can a **non-counterflow** dependency be admitted.
+pub const NC_DEP_TABLE: [[TableEntry; 7]; 7] = [
+    //  ins, key sel, pred sel, key upd, pred upd, key del, pred del
+    /* ins      */ [F, U, T, U, T, U, T],
+    /* key sel  */ [F, F, F, U, U, U, U],
+    /* pred sel */ [T, F, F, U, U, T, T],
+    /* key upd  */ [F, U, U, U, U, U, U],
+    /* pred upd */ [T, U, U, U, U, T, T],
+    /* key del  */ [F, F, T, F, T, F, T],
+    /* pred del */ [T, F, T, U, T, T, T],
+];
+
+/// `cDepTable` — Table (1b): when can a **counterflow** dependency be admitted.
+///
+/// By Lemma 4.1 only (predicate) rw-antidependencies can be counterflow under MVRC, so every row
+/// whose statement type does not perform a (predicate) read that can precede another
+/// transaction's write is all-`false`.
+pub const C_DEP_TABLE: [[TableEntry; 7]; 7] = [
+    //  ins, key sel, pred sel, key upd, pred upd, key del, pred del
+    /* ins      */ [F, F, F, F, F, F, F],
+    /* key sel  */ [F, F, F, U, U, U, U],
+    /* pred sel */ [T, F, F, U, U, T, T],
+    /* key upd  */ [F, F, F, F, F, F, F],
+    /* pred upd */ [T, F, F, U, U, T, T],
+    /* key del  */ [F, F, F, F, F, F, F],
+    /* pred del */ [T, F, F, U, U, T, T],
+];
+
+/// Looks up `ncDepTable[type(q_i), type(q_j)]`.
+#[inline]
+pub fn nc_dep_table(qi: StatementKind, qj: StatementKind) -> TableEntry {
+    NC_DEP_TABLE[qi.table_index()][qj.table_index()]
+}
+
+/// Looks up `cDepTable[type(q_i), type(q_j)]`.
+#[inline]
+pub fn c_dep_table(qi: StatementKind, qj: StatementKind) -> TableEntry {
+    C_DEP_TABLE[qi.table_index()][qj.table_index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_btp::StatementKind as K;
+
+    #[test]
+    fn spot_checks_against_table_1a() {
+        assert_eq!(nc_dep_table(K::Insert, K::Insert), Some(false));
+        assert_eq!(nc_dep_table(K::Insert, K::PredSelect), Some(true));
+        assert_eq!(nc_dep_table(K::Insert, K::KeySelect), None);
+        assert_eq!(nc_dep_table(K::KeySelect, K::KeySelect), Some(false));
+        assert_eq!(nc_dep_table(K::KeySelect, K::KeyUpdate), None);
+        assert_eq!(nc_dep_table(K::PredSelect, K::Insert), Some(true));
+        assert_eq!(nc_dep_table(K::PredSelect, K::KeyDelete), Some(true));
+        assert_eq!(nc_dep_table(K::KeyUpdate, K::Insert), Some(false));
+        assert_eq!(nc_dep_table(K::KeyUpdate, K::PredDelete), None);
+        assert_eq!(nc_dep_table(K::PredUpdate, K::Insert), Some(true));
+        assert_eq!(nc_dep_table(K::PredUpdate, K::KeyDelete), Some(true));
+        assert_eq!(nc_dep_table(K::KeyDelete, K::KeyUpdate), Some(false));
+        assert_eq!(nc_dep_table(K::KeyDelete, K::PredUpdate), Some(true));
+        assert_eq!(nc_dep_table(K::PredDelete, K::KeyUpdate), None);
+        assert_eq!(nc_dep_table(K::PredDelete, K::PredDelete), Some(true));
+    }
+
+    #[test]
+    fn spot_checks_against_table_1b() {
+        for kind in K::ALL {
+            assert_eq!(c_dep_table(K::Insert, kind), Some(false));
+            assert_eq!(c_dep_table(K::KeyUpdate, kind), Some(false));
+            assert_eq!(c_dep_table(K::KeyDelete, kind), Some(false));
+        }
+        assert_eq!(c_dep_table(K::KeySelect, K::KeyUpdate), None);
+        assert_eq!(c_dep_table(K::KeySelect, K::Insert), Some(false));
+        assert_eq!(c_dep_table(K::PredSelect, K::Insert), Some(true));
+        assert_eq!(c_dep_table(K::PredSelect, K::KeyDelete), Some(true));
+        assert_eq!(c_dep_table(K::PredSelect, K::PredSelect), Some(false));
+        assert_eq!(c_dep_table(K::PredUpdate, K::Insert), Some(true));
+        assert_eq!(c_dep_table(K::PredUpdate, K::KeyUpdate), None);
+        assert_eq!(c_dep_table(K::PredDelete, K::PredDelete), Some(true));
+    }
+
+    #[test]
+    fn counterflow_edges_never_originate_from_pure_writers() {
+        // Lemma 4.1: only (predicate) rw-antidependencies can be counterflow, so statements
+        // without a (predicate) read component never admit counterflow dependencies.
+        for kind in K::ALL {
+            assert_eq!(c_dep_table(K::Insert, kind), Some(false));
+        }
+    }
+
+    #[test]
+    fn counterflow_allowed_implies_non_counterflow_allowed_or_checked() {
+        // Whenever the counterflow table allows (or defers) an edge, the non-counterflow table
+        // cannot categorically forbid the pair: an rw-antidependency can always also occur in
+        // commit order.
+        for qi in K::ALL {
+            for qj in K::ALL {
+                if c_dep_table(qi, qj) != Some(false) {
+                    assert_ne!(
+                        nc_dep_table(qi, qj),
+                        Some(false),
+                        "inconsistent tables for ({qi}, {qj})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The interleaving workload driver.
+//!
+//! The driver runs a configurable number of transactions from an [`ExecutableWorkload`] against
+//! a fresh [`Engine`], interleaving *statements* of a bounded number of concurrent transactions
+//! in a random (but seeded, hence reproducible) order. After the run it checks the recorded
+//! history for serialization anomalies.
+//!
+//! This is the dynamic counterpart of the paper's static question: a workload attested robust
+//! against MVRC must never produce an anomaly when driven under
+//! [`IsolationLevel::ReadCommitted`]; a rejected workload may — and under contention does —
+//! produce one.
+
+use crate::engine::{Engine, IsolationLevel, TxnToken};
+use crate::error::{AbortReason, EngineError};
+use crate::history::HistoryReport;
+use crate::program::ProgramInstance;
+use crate::workloads::ExecutableWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration of a driver run.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Isolation level every transaction runs under.
+    pub isolation: IsolationLevel,
+    /// Number of transactions that run concurrently (statement-interleaved).
+    pub concurrency: usize,
+    /// Number of committed transactions to produce before stopping. Aborted attempts are
+    /// regenerated (with fresh parameters) until the target is reached.
+    pub target_commits: usize,
+    /// RNG seed: the same seed yields the same interleaving and the same parameters.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            isolation: IsolationLevel::ReadCommitted,
+            concurrency: 4,
+            target_commits: 200,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// Convenience constructor with a specific isolation level.
+    pub fn with_isolation(isolation: IsolationLevel) -> Self {
+        DriverConfig { isolation, ..DriverConfig::default() }
+    }
+}
+
+/// Statistics of one driver run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Isolation level the run used.
+    pub isolation: IsolationLevel,
+    /// Committed transactions.
+    pub commits: usize,
+    /// Aborted transaction attempts, by reason.
+    pub aborts: HashMap<AbortReason, usize>,
+    /// Statement-level steps executed (committed and aborted attempts combined).
+    pub steps: usize,
+    /// Commits per program name.
+    pub commits_by_program: HashMap<String, usize>,
+    /// The post-run history check.
+    pub report: HistoryReport,
+}
+
+impl RunStats {
+    /// Total number of aborts over all reasons.
+    pub fn total_aborts(&self) -> usize {
+        self.aborts.values().sum()
+    }
+
+    /// Abort rate: aborted attempts divided by all attempts.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Whether the recorded history is conflict serializable.
+    pub fn is_serializable(&self) -> bool {
+        self.report.is_serializable()
+    }
+
+    /// A compact one-line summary for logs and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} commits, {} aborts ({:.1}% abort rate), {} steps, serializable: {}",
+            self.isolation.name(),
+            self.commits,
+            self.total_aborts(),
+            self.abort_rate() * 100.0,
+            self.steps,
+            self.is_serializable()
+        )
+    }
+}
+
+struct Slot {
+    txn: TxnToken,
+    instance: ProgramInstance,
+}
+
+/// Runs a workload under the given configuration and returns the run statistics together with
+/// the serializability report of the produced history.
+pub fn run_workload(workload: &ExecutableWorkload, config: DriverConfig) -> RunStats {
+    let mut engine = workload.build_engine();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let concurrency = config.concurrency.max(1);
+
+    let mut slots: Vec<Option<Slot>> = (0..concurrency).map(|_| None).collect();
+    let mut commits = 0usize;
+    let mut steps = 0usize;
+    let mut aborts: HashMap<AbortReason, usize> = HashMap::new();
+
+    let start_new = |engine: &mut Engine, rng: &mut StdRng| -> Slot {
+        let instance = workload.generate(rng);
+        let txn = engine.begin(instance.program(), config.isolation);
+        Slot { txn, instance }
+    };
+
+    loop {
+        // Fill empty slots while we still want more commits.
+        let in_flight = slots.iter().filter(|s| s.is_some()).count();
+        let mut to_start = config.target_commits.saturating_sub(commits + in_flight);
+        for slot in slots.iter_mut() {
+            if to_start == 0 {
+                break;
+            }
+            if slot.is_none() {
+                *slot = Some(start_new(&mut engine, &mut rng));
+                to_start -= 1;
+            }
+        }
+        let occupied: Vec<usize> =
+            slots.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(i, _)| i).collect();
+        if occupied.is_empty() {
+            break;
+        }
+
+        // Pick a random occupied slot and run its next statement.
+        let slot_idx = occupied[rng.gen_range(0..occupied.len())];
+        let slot = slots[slot_idx].as_mut().expect("slot is occupied");
+        steps += 1;
+        let step_result = slot.instance.step(&mut engine, slot.txn);
+
+        match step_result {
+            Ok(()) => {
+                if slot.instance.is_done() {
+                    match engine.commit(slot.txn) {
+                        Ok(_) => {
+                            commits += 1;
+                            slots[slot_idx] = None;
+                        }
+                        Err(EngineError::Aborted(reason)) => {
+                            *aborts.entry(reason).or_insert(0) += 1;
+                            slots[slot_idx] = None;
+                        }
+                        Err(other) => panic!("engine misuse during commit: {other}"),
+                    }
+                }
+            }
+            Err(EngineError::Aborted(reason)) => {
+                // The engine already rolled the transaction back; the refill at the top of the
+                // loop re-attempts with fresh parameters.
+                *aborts.entry(reason).or_insert(0) += 1;
+                slots[slot_idx] = None;
+            }
+            Err(EngineError::DuplicateKey(_)) => {
+                // Application-level conflict (e.g. two concurrent inserts picked the same key):
+                // treat as an application abort and move on.
+                engine.rollback(slot.txn).expect("rollback after duplicate key");
+                *aborts.entry(AbortReason::ApplicationAbort("duplicate key".into())).or_insert(0) +=
+                    1;
+                slots[slot_idx] = None;
+            }
+            Err(other) => panic!("engine misuse during step: {other}"),
+        }
+
+        if commits >= config.target_commits
+            && slots.iter().all(|s| s.is_none())
+        {
+            break;
+        }
+    }
+
+    let commits_by_program = engine.history().commits_by_program();
+    let report = engine.history().report(engine.schema());
+    RunStats {
+        isolation: config.isolation,
+        commits,
+        aborts,
+        steps,
+        commits_by_program,
+        report,
+    }
+}
+
+/// Runs the same workload under several isolation levels with the same seed, returning one
+/// [`RunStats`] per level (used by the isolation-cost example and bench).
+pub fn compare_isolation_levels(
+    workload: &ExecutableWorkload,
+    levels: &[IsolationLevel],
+    base: DriverConfig,
+) -> Vec<RunStats> {
+    levels
+        .iter()
+        .map(|&isolation| run_workload(workload, DriverConfig { isolation, ..base }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{auction_executable, smallbank_executable, AuctionConfig, SmallBankConfig};
+
+    #[test]
+    fn driver_reaches_the_commit_target_under_low_contention() {
+        let workload = smallbank_executable(SmallBankConfig { customers: 50, initial_balance: 1000 });
+        let stats = run_workload(
+            &workload,
+            DriverConfig { target_commits: 50, concurrency: 3, ..DriverConfig::default() },
+        );
+        assert_eq!(stats.commits, 50);
+        assert!(stats.steps >= 50);
+        assert!(!stats.commits_by_program.is_empty());
+        assert!(stats.summary().contains("commits"));
+    }
+
+    #[test]
+    fn serial_driver_runs_are_always_serializable() {
+        for seed in 0..3 {
+            let workload = smallbank_executable(SmallBankConfig { customers: 4, initial_balance: 100 });
+            let stats = run_workload(
+                &workload,
+                DriverConfig {
+                    concurrency: 1,
+                    target_commits: 60,
+                    seed,
+                    ..DriverConfig::default()
+                },
+            );
+            assert!(stats.is_serializable(), "seed {seed}: a serial run can never contain a cycle");
+            assert_eq!(stats.report.counterflow_edges, 0);
+        }
+    }
+
+    #[test]
+    fn serializable_runs_never_contain_anomalies() {
+        for seed in [1, 2, 3] {
+            let workload = smallbank_executable(SmallBankConfig { customers: 3, initial_balance: 100 });
+            let stats = run_workload(
+                &workload,
+                DriverConfig {
+                    isolation: IsolationLevel::Serializable,
+                    concurrency: 6,
+                    target_commits: 80,
+                    seed,
+                    ..DriverConfig::default()
+                },
+            );
+            assert!(
+                stats.is_serializable(),
+                "seed {seed}: the serializable level must not admit cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn full_smallbank_under_read_committed_eventually_shows_an_anomaly() {
+        // The full SmallBank program set is not robust against MVRC (Figure 6): under enough
+        // contention the driver observes a real serialization anomaly.
+        let mut found = false;
+        for seed in 0..20 {
+            let workload = smallbank_executable(SmallBankConfig { customers: 2, initial_balance: 100 });
+            let stats = run_workload(
+                &workload,
+                DriverConfig {
+                    isolation: IsolationLevel::ReadCommitted,
+                    concurrency: 6,
+                    target_commits: 120,
+                    seed,
+                    ..DriverConfig::default()
+                },
+            );
+            // Lemma 4.1 must hold in every run, anomalous or not.
+            assert_eq!(stats.report.counterflow_non_antidependency_edges, 0, "seed {seed}");
+            if !stats.is_serializable() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected at least one seed to exhibit a non-serializable MVRC execution");
+    }
+
+    #[test]
+    fn robust_auction_workload_stays_serializable_under_read_committed() {
+        // {FindBids, PlaceBid} is attested robust against MVRC (Figure 6): no run may contain a
+        // cycle, no matter the contention.
+        for seed in 0..10 {
+            let workload = auction_executable(AuctionConfig { buyers: 2, max_bid: 20 });
+            let stats = run_workload(
+                &workload,
+                DriverConfig {
+                    isolation: IsolationLevel::ReadCommitted,
+                    concurrency: 6,
+                    target_commits: 100,
+                    seed,
+                    ..DriverConfig::default()
+                },
+            );
+            assert!(
+                stats.is_serializable(),
+                "seed {seed}: the Auction workload is robust, its MVRC executions must be serializable"
+            );
+        }
+    }
+
+    #[test]
+    fn compare_isolation_levels_runs_every_level() {
+        let workload = smallbank_executable(SmallBankConfig { customers: 4, initial_balance: 500 });
+        let stats = compare_isolation_levels(
+            &workload,
+            &IsolationLevel::ALL,
+            DriverConfig { target_commits: 40, concurrency: 4, ..DriverConfig::default() },
+        );
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].isolation, IsolationLevel::ReadCommitted);
+        assert_eq!(stats[2].isolation, IsolationLevel::Serializable);
+        // The serializable level can only abort more (or equally) often than read committed.
+        assert!(stats[2].total_aborts() >= stats[0].total_aborts());
+    }
+}

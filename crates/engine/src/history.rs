@@ -1,0 +1,602 @@
+//! Execution histories and the online serializability checker.
+//!
+//! The engine records what every committed transaction read and wrote — including the commit
+//! timestamps of the versions that were observed — and this module turns that record into a
+//! *dynamic* serialization graph: the concrete counterpart of the serialization graph `SeG(s)`
+//! of Section 3.4. The checker is used to
+//!
+//! * detect anomalies (cycles) in executions of workloads that the static analysis rejected,
+//! * confirm the absence of anomalies in executions of workloads attested robust, and
+//! * validate Lemma 4.1 and Theorem 4.2 on real executions: in a history produced under
+//!   read-committed, only (predicate) rw-antidependencies may run counter to the commit order,
+//!   and every cycle must be a type-II cycle.
+
+use crate::storage::{CommitTs, WriterId};
+use crate::value::Key;
+use mvrc_schema::{AttrSet, RelId, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of a recorded write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteKind {
+    /// The write created the first visible version of the key.
+    Insert,
+    /// The write modified an existing row.
+    Update,
+    /// The write created the dead version (tombstone).
+    Delete,
+}
+
+impl WriteKind {
+    /// Inserts and deletes conflict with predicate reads regardless of attribute overlap
+    /// (they change the predicate's result set — the phantom problem).
+    #[inline]
+    pub fn always_conflicts_with_predicates(self) -> bool {
+        matches!(self, WriteKind::Insert | WriteKind::Delete)
+    }
+}
+
+/// A key-based read recorded during execution.
+#[derive(Debug, Clone)]
+pub struct RecordedRead {
+    /// The relation read from.
+    pub rel: RelId,
+    /// The primary key of the row.
+    pub key: Key,
+    /// Commit timestamp of the version that was observed (`0` = initial load).
+    pub observed_ts: CommitTs,
+    /// Attributes observed.
+    pub attrs: AttrSet,
+}
+
+/// A predicate read (full-relation predicate evaluation) recorded during execution.
+#[derive(Debug, Clone)]
+pub struct RecordedPredicateRead {
+    /// The relation the predicate ranges over.
+    pub rel: RelId,
+    /// The read timestamp: every row version committed at or before this timestamp was visible
+    /// to the predicate.
+    pub read_ts: CommitTs,
+    /// Attributes evaluated by the predicate (`PReadSet`).
+    pub pread_attrs: AttrSet,
+}
+
+/// A write recorded during execution (buffered until commit; `commit_ts` is the transaction's
+/// commit timestamp).
+#[derive(Debug, Clone)]
+pub struct RecordedWrite {
+    /// The relation written to.
+    pub rel: RelId,
+    /// The primary key of the row.
+    pub key: Key,
+    /// Attributes modified.
+    pub attrs: AttrSet,
+    /// Insert / update / delete.
+    pub kind: WriteKind,
+}
+
+/// Everything a single committed transaction did, as recorded by the engine.
+#[derive(Debug, Clone)]
+pub struct CommittedTransaction {
+    /// The engine-wide transaction token.
+    pub token: WriterId,
+    /// The program the transaction instantiated (for reporting).
+    pub program: String,
+    /// Commit timestamp.
+    pub commit_ts: CommitTs,
+    /// Key-based reads.
+    pub reads: Vec<RecordedRead>,
+    /// Predicate reads.
+    pub pred_reads: Vec<RecordedPredicateRead>,
+    /// Writes.
+    pub writes: Vec<RecordedWrite>,
+}
+
+/// The kind of dependency between two committed transactions (Section 3.4, lifted to concrete
+/// executions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DynDepKind {
+    /// Write–write dependency.
+    Ww,
+    /// Write–read dependency.
+    Wr,
+    /// Read–write antidependency.
+    Rw,
+    /// Predicate write–read dependency.
+    PredicateWr,
+    /// Predicate read–write antidependency.
+    PredicateRw,
+}
+
+impl DynDepKind {
+    /// Only (predicate) rw-antidependencies may be counterflow under MVRC (Lemma 4.1).
+    #[inline]
+    pub fn is_antidependency(self) -> bool {
+        matches!(self, DynDepKind::Rw | DynDepKind::PredicateRw)
+    }
+}
+
+impl fmt::Display for DynDepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DynDepKind::Ww => "ww",
+            DynDepKind::Wr => "wr",
+            DynDepKind::Rw => "rw",
+            DynDepKind::PredicateWr => "pred-wr",
+            DynDepKind::PredicateRw => "pred-rw",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependency edge of the dynamic serialization graph, between indices into
+/// [`History::committed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynDependency {
+    /// Index of the source transaction (the one depended upon).
+    pub from: usize,
+    /// Index of the target transaction (the dependent one).
+    pub to: usize,
+    /// The dependency kind.
+    pub kind: DynDepKind,
+    /// `true` when the target committed before the source (the edge runs against commit order).
+    pub counterflow: bool,
+}
+
+/// A cycle found in the dynamic serialization graph: a serializability anomaly.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// The edges of the cycle, in order.
+    pub cycle: Vec<DynDependency>,
+}
+
+impl Anomaly {
+    /// Renders the cycle as `P1 -wr-> P2 -rw-> P1`.
+    pub fn describe(&self, history: &History) -> String {
+        let mut out = String::new();
+        for (i, edge) in self.cycle.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&history.committed[edge.from].program);
+            }
+            let marker = if edge.counterflow { "*" } else { "" };
+            out.push_str(&format!(" -{}{marker}-> {}", edge.kind, history.committed[edge.to].program));
+        }
+        out
+    }
+
+    /// Whether every counterflow edge of the cycle is a (predicate) rw-antidependency
+    /// (the dynamic statement of Lemma 4.1).
+    pub fn counterflow_edges_are_antidependencies(&self) -> bool {
+        self.cycle.iter().filter(|e| e.counterflow).all(|e| e.kind.is_antidependency())
+    }
+
+    /// Whether the cycle contains at least one counterflow edge (type-I condition).
+    pub fn is_type1(&self) -> bool {
+        self.cycle.iter().any(|e| e.counterflow)
+    }
+}
+
+/// The full record of an engine run: every committed transaction with its reads and writes.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    /// Committed transactions in commit order.
+    pub committed: Vec<CommittedTransaction>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends a committed transaction. The engine calls this at commit time, in commit order.
+    pub fn record(&mut self, txn: CommittedTransaction) {
+        debug_assert!(
+            self.committed.last().map(|t| t.commit_ts < txn.commit_ts).unwrap_or(true),
+            "history must be recorded in commit order"
+        );
+        self.committed.push(txn);
+    }
+
+    /// Number of committed transactions.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether no transaction has committed.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// Computes every dependency edge between committed transactions.
+    ///
+    /// Dependencies follow Section 3.4 at attribute granularity:
+    /// * `ww` — both wrote a common attribute of the same row; direction follows commit order.
+    /// * `wr` — the writer's version is the one observed by the reader, or an earlier one.
+    /// * `rw` — the reader observed a version older than the one the writer installed.
+    /// * `pred-wr` / `pred-rw` — as above, with the writer's row version compared against the
+    ///   predicate's read timestamp; inserts and deletes conflict regardless of attribute
+    ///   overlap.
+    pub fn dependencies(&self) -> Vec<DynDependency> {
+        let mut edges = Vec::new();
+        let n = self.committed.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                self.dependencies_between(i, j, &mut edges);
+            }
+        }
+        edges.sort_by_key(|e| (e.from, e.to, e.kind as u8, e.counterflow));
+        edges.dedup();
+        edges
+    }
+
+    fn dependencies_between(&self, i: usize, j: usize, edges: &mut Vec<DynDependency>) {
+        let ti = &self.committed[i];
+        let tj = &self.committed[j];
+        let push = |edges: &mut Vec<DynDependency>, kind: DynDepKind| {
+            edges.push(DynDependency {
+                from: i,
+                to: j,
+                kind,
+                counterflow: tj.commit_ts < ti.commit_ts,
+            });
+        };
+
+        // ww: Ti installed a version before Tj on a common attribute of the same row.
+        for wi in &ti.writes {
+            for wj in &tj.writes {
+                if wi.rel == wj.rel
+                    && wi.key == wj.key
+                    && wi.attrs.intersects(wj.attrs)
+                    && ti.commit_ts < tj.commit_ts
+                {
+                    push(edges, DynDepKind::Ww);
+                }
+            }
+        }
+
+        // wr: Tj read a version that Ti wrote (or a later one than Ti's).
+        for wi in &ti.writes {
+            for rj in &tj.reads {
+                if wi.rel == rj.rel
+                    && wi.key == rj.key
+                    && wi.attrs.intersects(rj.attrs)
+                    && ti.commit_ts <= rj.observed_ts
+                {
+                    push(edges, DynDepKind::Wr);
+                }
+            }
+        }
+
+        // rw: Ti read a version older than the one Tj wrote.
+        for ri in &ti.reads {
+            for wj in &tj.writes {
+                if ri.rel == wj.rel
+                    && ri.key == wj.key
+                    && ri.attrs.intersects(wj.attrs)
+                    && ri.observed_ts < tj.commit_ts
+                {
+                    push(edges, DynDepKind::Rw);
+                }
+            }
+        }
+
+        // pred-wr: Ti's write was visible to Tj's predicate read.
+        for wi in &ti.writes {
+            for pj in &tj.pred_reads {
+                if wi.rel == pj.rel
+                    && ti.commit_ts <= pj.read_ts
+                    && (wi.kind.always_conflicts_with_predicates()
+                        || wi.attrs.intersects(pj.pread_attrs))
+                {
+                    push(edges, DynDepKind::PredicateWr);
+                }
+            }
+        }
+
+        // pred-rw: Tj installed a version newer than Ti's predicate read timestamp.
+        for pi in &ti.pred_reads {
+            for wj in &tj.writes {
+                if pi.rel == wj.rel
+                    && pi.read_ts < tj.commit_ts
+                    && (wj.kind.always_conflicts_with_predicates()
+                        || pi.pread_attrs.intersects(wj.attrs))
+                {
+                    push(edges, DynDepKind::PredicateRw);
+                }
+            }
+        }
+    }
+
+    /// Searches the dynamic serialization graph for a cycle. Returns `None` when the history is
+    /// conflict serializable.
+    pub fn find_anomaly(&self) -> Option<Anomaly> {
+        let edges = self.dependencies();
+        self.find_anomaly_in(&edges)
+    }
+
+    /// Cycle search over precomputed edges (lets callers reuse [`History::dependencies`]).
+    pub fn find_anomaly_in(&self, edges: &[DynDependency]) -> Option<Anomaly> {
+        let n = self.committed.len();
+        let mut adj: Vec<Vec<&DynDependency>> = vec![Vec::new(); n];
+        for e in edges {
+            adj[e.from].push(e);
+        }
+
+        // Iterative DFS with colors; on finding a back edge, reconstruct the cycle from the
+        // current stack.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // stack entries: (node, incoming edge used to reach it, next child index)
+            let mut stack: Vec<(usize, Option<DynDependency>, usize)> = vec![(start, None, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, _, ref mut next)) = stack.last_mut() {
+                if *next < adj[node].len() {
+                    let edge = *adj[node][*next];
+                    *next += 1;
+                    match color[edge.to] {
+                        Color::White => {
+                            color[edge.to] = Color::Gray;
+                            stack.push((edge.to, Some(edge), 0));
+                        }
+                        Color::Gray => {
+                            // Found a cycle: edges from edge.to ... node, then the closing edge.
+                            let mut cycle = Vec::new();
+                            let pos = stack.iter().position(|(n, _, _)| *n == edge.to).expect(
+                                "gray node must be on the DFS stack",
+                            );
+                            for (_, incoming, _) in &stack[pos + 1..] {
+                                cycle.push(incoming.expect("non-root stack entries have incoming edges"));
+                            }
+                            cycle.push(edge);
+                            return Some(Anomaly { cycle });
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// A compact report over the whole history: edge counts, counterflow statistics and the
+    /// first anomaly found (if any).
+    pub fn report(&self, schema: &Schema) -> HistoryReport {
+        let edges = self.dependencies();
+        let counterflow = edges.iter().filter(|e| e.counterflow).count();
+        let counterflow_non_antidependency = edges
+            .iter()
+            .filter(|e| e.counterflow && !e.kind.is_antidependency())
+            .count();
+        let anomaly = self.find_anomaly_in(&edges);
+        HistoryReport {
+            relations: schema.relation_count(),
+            committed: self.committed.len(),
+            dependency_edges: edges.len(),
+            counterflow_edges: counterflow,
+            counterflow_non_antidependency_edges: counterflow_non_antidependency,
+            anomaly,
+        }
+    }
+
+    /// Groups committed transactions by program name (for reporting).
+    pub fn commits_by_program(&self) -> HashMap<String, usize> {
+        let mut map = HashMap::new();
+        for t in &self.committed {
+            *map.entry(t.program.clone()).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// Summary of a history check.
+#[derive(Debug, Clone)]
+pub struct HistoryReport {
+    /// Number of relations in the schema (context for the report).
+    pub relations: usize,
+    /// Number of committed transactions.
+    pub committed: usize,
+    /// Total dependency edges in the dynamic serialization graph.
+    pub dependency_edges: usize,
+    /// Edges that run against the commit order.
+    pub counterflow_edges: usize,
+    /// Counterflow edges that are *not* (predicate) rw-antidependencies. Under correct MVRC /
+    /// SI / Serializable execution this must be zero (Lemma 4.1).
+    pub counterflow_non_antidependency_edges: usize,
+    /// The first serializability anomaly found, if any.
+    pub anomaly: Option<Anomaly>,
+}
+
+impl HistoryReport {
+    /// Whether the execution was conflict serializable.
+    pub fn is_serializable(&self) -> bool {
+        self.anomaly.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        b.relation("R", &["k", "a", "b"], &["k"]).unwrap();
+        b.build()
+    }
+
+    fn rel(schema: &Schema) -> RelId {
+        schema.relation_by_name("R").unwrap().id()
+    }
+
+    fn attr(schema: &Schema, name: &str) -> AttrSet {
+        AttrSet::singleton(schema.relation_by_name("R").unwrap().attr_by_name(name).unwrap())
+    }
+
+    fn txn(token: WriterId, program: &str, commit_ts: CommitTs) -> CommittedTransaction {
+        CommittedTransaction {
+            token,
+            program: program.to_string(),
+            commit_ts,
+            reads: Vec::new(),
+            pred_reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn wr_dependency_follows_the_observed_version() {
+        let schema = schema();
+        let r = rel(&schema);
+        let a = attr(&schema, "a");
+        let mut h = History::new();
+        let mut t1 = txn(1, "Writer", 1);
+        t1.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        let mut t2 = txn(2, "Reader", 2);
+        t2.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 1, attrs: a });
+        h.record(t1);
+        h.record(t2);
+        let deps = h.dependencies();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DynDepKind::Wr);
+        assert!(!deps[0].counterflow);
+        assert!(h.find_anomaly().is_none());
+    }
+
+    #[test]
+    fn rw_antidependency_is_counterflow_when_the_writer_commits_first() {
+        let schema = schema();
+        let r = rel(&schema);
+        let a = attr(&schema, "a");
+        let mut h = History::new();
+        // Writer commits at 1; Reader committed at 2 but observed the initial version (ts 0):
+        // Reader -> Writer is an rw-antidependency; Writer committed BEFORE Reader, so the edge
+        // direction (Reader -> Writer) runs against commit order → counterflow.
+        let mut writer = txn(1, "Writer", 1);
+        writer.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        let mut reader = txn(2, "Reader", 2);
+        reader.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 0, attrs: a });
+        h.record(writer);
+        h.record(reader);
+        let deps = h.dependencies();
+        // Reader (index 1) -> Writer (index 0), rw.
+        let rw: Vec<_> = deps.iter().filter(|e| e.kind == DynDepKind::Rw).collect();
+        assert_eq!(rw.len(), 1);
+        assert_eq!((rw[0].from, rw[0].to), (1, 0));
+        assert!(rw[0].counterflow);
+    }
+
+    #[test]
+    fn disjoint_attributes_do_not_conflict() {
+        let schema = schema();
+        let r = rel(&schema);
+        let mut h = History::new();
+        let mut t1 = txn(1, "WA", 1);
+        t1.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(1),
+            attrs: attr(&schema, "a"),
+            kind: WriteKind::Update,
+        });
+        let mut t2 = txn(2, "WB", 2);
+        t2.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(1),
+            attrs: attr(&schema, "b"),
+            kind: WriteKind::Update,
+        });
+        h.record(t1);
+        h.record(t2);
+        assert!(h.dependencies().is_empty());
+    }
+
+    #[test]
+    fn inserts_conflict_with_predicate_reads_regardless_of_attributes() {
+        let schema = schema();
+        let r = rel(&schema);
+        let mut h = History::new();
+        let mut scanner = txn(1, "Scan", 1);
+        scanner.pred_reads.push(RecordedPredicateRead {
+            rel: r,
+            read_ts: 0,
+            pread_attrs: attr(&schema, "a"),
+        });
+        let mut inserter = txn(2, "Insert", 2);
+        inserter.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(9),
+            attrs: AttrSet::all(3),
+            kind: WriteKind::Insert,
+        });
+        h.record(scanner);
+        h.record(inserter);
+        let deps = h.dependencies();
+        assert!(deps.iter().any(|e| e.kind == DynDepKind::PredicateRw && e.from == 0 && e.to == 1));
+    }
+
+    #[test]
+    fn write_skew_is_reported_as_an_anomaly() {
+        // Classic write skew: T1 reads x,y writes x; T2 reads x,y writes y; both read the
+        // initial versions. Serializable forbids it; the dynamic graph must contain a cycle.
+        let schema = schema();
+        let r = rel(&schema);
+        let a = attr(&schema, "a");
+        let mut h = History::new();
+        let mut t1 = txn(1, "T1", 1);
+        t1.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 0, attrs: a });
+        t1.reads.push(RecordedRead { rel: r, key: Key::int(2), observed_ts: 0, attrs: a });
+        t1.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        let mut t2 = txn(2, "T2", 2);
+        t2.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 0, attrs: a });
+        t2.reads.push(RecordedRead { rel: r, key: Key::int(2), observed_ts: 0, attrs: a });
+        t2.writes.push(RecordedWrite { rel: r, key: Key::int(2), attrs: a, kind: WriteKind::Update });
+        h.record(t1);
+        h.record(t2);
+        let anomaly = h.find_anomaly().expect("write skew must produce a cycle");
+        assert!(anomaly.is_type1());
+        assert!(anomaly.counterflow_edges_are_antidependencies());
+        let report = h.report(&schema);
+        assert!(!report.is_serializable());
+        assert_eq!(report.committed, 2);
+        assert_eq!(report.counterflow_non_antidependency_edges, 0);
+        let desc = anomaly.describe(&h);
+        assert!(desc.contains("T1") && desc.contains("T2"), "description: {desc}");
+    }
+
+    #[test]
+    fn serial_history_has_no_anomaly_and_no_counterflow() {
+        let schema = schema();
+        let r = rel(&schema);
+        let a = attr(&schema, "a");
+        let mut h = History::new();
+        let mut t1 = txn(1, "T1", 1);
+        t1.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        let mut t2 = txn(2, "T2", 2);
+        t2.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 1, attrs: a });
+        t2.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        h.record(t1);
+        h.record(t2);
+        let report = h.report(&schema);
+        assert!(report.is_serializable());
+        assert_eq!(report.counterflow_edges, 0);
+        assert_eq!(h.commits_by_program().get("T1"), Some(&1));
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+    }
+}

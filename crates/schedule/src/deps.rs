@@ -1,0 +1,388 @@
+//! Dependencies, serialization graphs and conflict serializability (Section 3.4), plus the
+//! counterflow classification of Section 4.
+
+use crate::ops::{OpKind, TxnId};
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a dependency `b_i →_s a_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependencyKind {
+    /// ww-dependency: both operations write the tuple, the source version is installed first.
+    WriteWrite,
+    /// wr-dependency: the source writes the (or an earlier) version the target reads.
+    WriteRead,
+    /// rw-antidependency: the source reads a version installed before the target's write.
+    ReadWrite,
+    /// Predicate wr-dependency: the source writes a version (not) observed by the target's
+    /// predicate read.
+    PredicateWriteRead,
+    /// Predicate rw-antidependency: the source's predicate read observed a version older than
+    /// the target's write.
+    PredicateReadWrite,
+}
+
+impl DependencyKind {
+    /// Only (predicate) rw-antidependencies can be counterflow under MVRC (Lemma 4.1).
+    pub fn is_anti_dependency(self) -> bool {
+        matches!(self, DependencyKind::ReadWrite | DependencyKind::PredicateReadWrite)
+    }
+}
+
+/// An edge of the serialization graph: a dependency from an operation of `from` to an operation
+/// of `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dependency {
+    /// The source transaction `T_i`.
+    pub from: TxnId,
+    /// Global position of the source operation `b_i`.
+    pub from_pos: usize,
+    /// The target transaction `T_j`.
+    pub to: TxnId,
+    /// Global position of the target operation `a_j`.
+    pub to_pos: usize,
+    /// The dependency kind.
+    pub kind: DependencyKind,
+    /// `true` when the dependency opposes the commit order (`C_j <_s C_i`).
+    pub counterflow: bool,
+}
+
+/// The serialization graph `SeG(s)` of a schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SerializationGraph {
+    txn_count: usize,
+    dependencies: Vec<Dependency>,
+}
+
+impl SerializationGraph {
+    /// Computes the serialization graph of a schedule (Section 3.4).
+    pub fn of(schedule: &Schedule) -> Self {
+        let mut dependencies = Vec::new();
+        let order = schedule.order();
+        for (bp, b_ref) in order.iter().enumerate() {
+            let b = schedule.operation(bp);
+            for (ap, a_ref) in order.iter().enumerate() {
+                if b_ref.txn == a_ref.txn {
+                    continue;
+                }
+                let a = schedule.operation(ap);
+                let kind = match (b.kind, a.kind) {
+                    // ww-dependency.
+                    (bk, ak) if bk.is_write() && ak.is_write() => {
+                        if b.tuple != a.tuple || !b.attrs.intersects(a.attrs) {
+                            None
+                        } else {
+                            let vb = schedule.write_version(bp).expect("write has a version");
+                            let va = schedule.write_version(ap).expect("write has a version");
+                            schedule.version_lt(vb, va).then_some(DependencyKind::WriteWrite)
+                        }
+                    }
+                    // wr-dependency.
+                    (bk, OpKind::Read) if bk.is_write() => {
+                        if b.tuple != a.tuple || !b.attrs.intersects(a.attrs) {
+                            None
+                        } else {
+                            let vb = schedule.write_version(bp).expect("write has a version");
+                            let va = schedule.read_version(ap).expect("read has a version");
+                            (vb == va || schedule.version_lt(vb, va))
+                                .then_some(DependencyKind::WriteRead)
+                        }
+                    }
+                    // rw-antidependency.
+                    (OpKind::Read, ak) if ak.is_write() => {
+                        if b.tuple != a.tuple || !b.attrs.intersects(a.attrs) {
+                            None
+                        } else {
+                            let vb = schedule.read_version(bp).expect("read has a version");
+                            let va = schedule.write_version(ap).expect("write has a version");
+                            schedule.version_lt(vb, va).then_some(DependencyKind::ReadWrite)
+                        }
+                    }
+                    // Predicate wr-dependency.
+                    (bk, OpKind::PredicateRead) if bk.is_write() => {
+                        predicate_wr(schedule, bp, b, ap, a).then_some(DependencyKind::PredicateWriteRead)
+                    }
+                    // Predicate rw-antidependency.
+                    (OpKind::PredicateRead, ak) if ak.is_write() => {
+                        predicate_rw(schedule, bp, b, ap, a).then_some(DependencyKind::PredicateReadWrite)
+                    }
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    dependencies.push(Dependency {
+                        from: b_ref.txn,
+                        from_pos: bp,
+                        to: a_ref.txn,
+                        to_pos: ap,
+                        kind,
+                        counterflow: schedule.commits_before(a_ref.txn, b_ref.txn),
+                    });
+                }
+            }
+        }
+        SerializationGraph { txn_count: schedule.transactions().len(), dependencies }
+    }
+
+    /// All dependencies (edges with operation labels).
+    pub fn dependencies(&self) -> &[Dependency] {
+        &self.dependencies
+    }
+
+    /// Number of transactions (nodes).
+    pub fn txn_count(&self) -> usize {
+        self.txn_count
+    }
+
+    /// `true` iff the graph is acyclic, i.e. the schedule is conflict serializable
+    /// (Theorem 3.2).
+    pub fn is_acyclic(&self) -> bool {
+        self.is_acyclic_filtered(|_| true)
+    }
+
+    /// Acyclicity of the subgraph restricted to dependencies satisfying the filter. Restricting
+    /// to non-counterflow (resp. counterflow) dependencies checks the two halves of the
+    /// "every cycle mixes both flavours" consequence of Theorem 4.2.
+    pub fn is_acyclic_filtered(&self, mut keep: impl FnMut(&Dependency) -> bool) -> bool {
+        // Kahn's algorithm over transaction nodes.
+        let mut adjacency = vec![Vec::new(); self.txn_count];
+        let mut in_degree = vec![0usize; self.txn_count];
+        let mut seen = std::collections::HashSet::new();
+        for d in &self.dependencies {
+            if !keep(d) {
+                continue;
+            }
+            if seen.insert((d.from, d.to)) {
+                adjacency[d.from.index()].push(d.to.index());
+                in_degree[d.to.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> =
+            (0..self.txn_count).filter(|&n| in_degree[n] == 0).collect();
+        let mut visited = 0;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            for &next in &adjacency[n] {
+                in_degree[next] -= 1;
+                if in_degree[next] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        visited == self.txn_count
+    }
+
+    /// `true` iff the schedule is conflict serializable.
+    pub fn is_conflict_serializable(&self) -> bool {
+        self.is_acyclic()
+    }
+
+    /// Counterflow dependencies.
+    pub fn counterflow_dependencies(&self) -> impl Iterator<Item = &Dependency> {
+        self.dependencies.iter().filter(|d| d.counterflow)
+    }
+}
+
+fn predicate_wr(
+    schedule: &Schedule,
+    bp: usize,
+    b: &crate::ops::Operation,
+    ap: usize,
+    a: &crate::ops::Operation,
+) -> bool {
+    let (Some(tuple), Some(rel)) = (b.tuple, a.relation) else { return false };
+    if tuple.rel != rel {
+        return false;
+    }
+    let Some(vset) = schedule.version_set(ap) else { return false };
+    let Some(&observed) = vset.get(&tuple) else { return false };
+    let vb = schedule.write_version(bp).expect("write has a version");
+    // The committed version observed for a deleted tuple is Dead; writers of the dead version
+    // are related through version_lt as usual.
+    let version_ok = vb == observed || schedule.version_lt(vb, observed);
+    if !version_ok {
+        return false;
+    }
+    // For I and D operations the attribute intersection requirement is waived (the phantom
+    // problem: the mere (dis)appearance of a tuple affects the predicate).
+    matches!(b.kind, OpKind::Insert | OpKind::Delete) || b.attrs.intersects(a.attrs)
+}
+
+fn predicate_rw(
+    schedule: &Schedule,
+    bp: usize,
+    b: &crate::ops::Operation,
+    ap: usize,
+    a: &crate::ops::Operation,
+) -> bool {
+    let (Some(rel), Some(tuple)) = (b.relation, a.tuple) else { return false };
+    if tuple.rel != rel {
+        return false;
+    }
+    let Some(vset) = schedule.version_set(bp) else { return false };
+    let Some(&observed) = vset.get(&tuple) else { return false };
+    let va = schedule.write_version(ap).expect("write has a version");
+    if !schedule.version_lt(observed, va) {
+        return false;
+    }
+    matches!(a.kind, OpKind::Insert | OpKind::Delete) || b.attrs.intersects(a.attrs)
+}
+
+/// Consequences of Lemma 4.1 and Theorem 4.2 for a schedule allowed under MVRC, used as
+/// executable sanity checks in tests and property tests.
+pub mod mvrc_theory {
+    use super::*;
+
+    /// Lemma 4.1: in a schedule allowed under MVRC, only (predicate) rw-antidependencies can be
+    /// counterflow.
+    pub fn counterflow_only_on_antidependencies(graph: &SerializationGraph) -> bool {
+        graph.counterflow_dependencies().all(|d| d.kind.is_anti_dependency())
+    }
+
+    /// Theorem 4.2 (first part): every cycle contains at least one counterflow dependency, i.e.
+    /// the subgraph of non-counterflow dependencies is acyclic.
+    pub fn non_counterflow_subgraph_is_acyclic(graph: &SerializationGraph) -> bool {
+        graph.is_acyclic_filtered(|d| !d.counterflow)
+    }
+
+    /// Theorem 4.2 (first part, dual): every cycle contains at least one non-counterflow
+    /// dependency, i.e. the subgraph of counterflow dependencies is acyclic.
+    pub fn counterflow_subgraph_is_acyclic(graph: &SerializationGraph) -> bool {
+        graph.is_acyclic_filtered(|d| d.counterflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Operation, TupleId};
+    use crate::schedule::Schedule;
+    use crate::transaction::{Transaction, TransactionBuilder};
+    use mvrc_schema::{AttrId, AttrSet, RelId};
+
+    fn tuple(idx: u32) -> TupleId {
+        TupleId { rel: RelId(0), index: idx }
+    }
+
+    fn attrs() -> AttrSet {
+        AttrSet::singleton(AttrId(1))
+    }
+
+    fn updater(id: u32, t: TupleId) -> Transaction {
+        let mut b = TransactionBuilder::new(TxnId(id));
+        b.key_update(t, attrs(), attrs());
+        b.build()
+    }
+
+    fn reader(id: u32, ts: &[TupleId]) -> Transaction {
+        let mut b = TransactionBuilder::new(TxnId(id));
+        for &t in ts {
+            b.op(Operation::read(t, attrs()));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn serial_schedules_are_conflict_serializable() {
+        let s = Schedule::execute_serial(vec![updater(0, tuple(0)), updater(1, tuple(0))]).unwrap();
+        let g = SerializationGraph::of(&s);
+        assert!(g.is_conflict_serializable());
+        // ww and wr dependencies from T0 to T1, rw from T0's read to T1's write.
+        assert!(g.dependencies().iter().any(|d| d.kind == DependencyKind::WriteWrite));
+        assert!(g.dependencies().iter().any(|d| d.kind == DependencyKind::WriteRead));
+        assert!(g.dependencies().iter().all(|d| !d.counterflow));
+    }
+
+    #[test]
+    fn write_skew_style_interleaving_is_not_serializable() {
+        // Classic lost-update shape on a single tuple, staying MVRC-legal: both transactions
+        // read t before either writes, then they write/commit one after the other. The reads
+        // observe the initial version, producing rw-antidependencies in both directions.
+        let make = |id: u32| {
+            let mut b = TransactionBuilder::new(TxnId(id));
+            b.op(Operation::read(tuple(0), attrs()));
+            b.op(Operation::write(tuple(0), attrs()));
+            b.build()
+        };
+        let s = Schedule::execute_mvrc(
+            vec![make(0), make(1)],
+            &[TxnId(0), TxnId(1), TxnId(0), TxnId(0), TxnId(1), TxnId(1)],
+        )
+        .unwrap();
+        let g = SerializationGraph::of(&s);
+        assert!(!g.is_conflict_serializable());
+        // The MVRC structural properties still hold (Lemma 4.1 / Theorem 4.2).
+        assert!(mvrc_theory::counterflow_only_on_antidependencies(&g));
+        assert!(mvrc_theory::non_counterflow_subgraph_is_acyclic(&g));
+        assert!(mvrc_theory::counterflow_subgraph_is_acyclic(&g));
+        assert!(g.counterflow_dependencies().count() > 0);
+    }
+
+    #[test]
+    fn predicate_read_sees_inserts_as_phantom_dependencies() {
+        // T0 inserts a new tuple into relation 0; T1 predicate-reads relation 0 before T0
+        // commits, so T1 observes the unborn version: a predicate rw-antidependency T1 -> T0.
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.op(Operation::insert(tuple(9), attrs()));
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.predicate_selection(RelId(0), attrs(), [(tuple(0), attrs())]);
+        let s = Schedule::execute_mvrc(
+            vec![b0.build(), b1.build()],
+            &[TxnId(1), TxnId(0), TxnId(0), TxnId(1)],
+        )
+        .unwrap();
+        let g = SerializationGraph::of(&s);
+        let pred_rw: Vec<&Dependency> = g
+            .dependencies()
+            .iter()
+            .filter(|d| d.kind == DependencyKind::PredicateReadWrite)
+            .collect();
+        assert_eq!(pred_rw.len(), 1);
+        assert_eq!(pred_rw[0].from, TxnId(1));
+        assert_eq!(pred_rw[0].to, TxnId(0));
+        // T0 commits before T1, so the antidependency is counterflow.
+        assert!(pred_rw[0].counterflow);
+    }
+
+    #[test]
+    fn predicate_wr_dependency_from_committed_insert() {
+        // T0 inserts and commits, then T1 predicate-reads: a predicate wr-dependency T0 -> T1
+        // (the phantom is observed), without requiring a common attribute.
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.op(Operation::insert(tuple(9), AttrSet::all(2)));
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.predicate_selection(RelId(0), AttrSet::singleton(AttrId(0)), [(tuple(9), attrs())]);
+        let s = Schedule::execute_mvrc(
+            vec![b0.build(), b1.build()],
+            &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)],
+        )
+        .unwrap();
+        let g = SerializationGraph::of(&s);
+        assert!(g
+            .dependencies()
+            .iter()
+            .any(|d| d.kind == DependencyKind::PredicateWriteRead && d.from == TxnId(0)));
+        assert!(g.is_conflict_serializable());
+    }
+
+    #[test]
+    fn disjoint_attribute_accesses_do_not_conflict() {
+        // A writer of attribute 1 and a reader of attribute 0 over the same tuple: no
+        // dependency at attribute granularity.
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.op(Operation::write(tuple(0), AttrSet::singleton(AttrId(1))));
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.op(Operation::read(tuple(0), AttrSet::singleton(AttrId(0))));
+        let s = Schedule::execute_serial(vec![b0.build(), b1.build()]).unwrap();
+        let g = SerializationGraph::of(&s);
+        assert!(g.dependencies().is_empty());
+    }
+
+    #[test]
+    fn reader_only_schedules_have_empty_graphs() {
+        let s = Schedule::execute_serial(vec![reader(0, &[tuple(0)]), reader(1, &[tuple(0)])]).unwrap();
+        let g = SerializationGraph::of(&s);
+        assert_eq!(g.dependencies().len(), 0);
+        assert_eq!(g.txn_count(), 2);
+        assert!(g.is_conflict_serializable());
+    }
+}

@@ -1,0 +1,289 @@
+//! Instantiating LTPs as concrete transactions (Section 5.2).
+//!
+//! An instantiation replaces every statement of an LTP by an atomic chunk of operations over
+//! concrete tuples: key-based statements touch one tuple, predicate-based statements touch an
+//! arbitrary subset of the relation's tuples, inserts create fresh tuples. Foreign-key
+//! constraint annotations force the range-side statement to access exactly the tuple the foreign
+//! key associates with the domain-side tuple.
+
+use crate::ops::{Operation, TupleId, TxnId};
+use crate::transaction::{Transaction, TransactionBuilder};
+use mvrc_btp::{LinearProgram, StatementKind};
+use mvrc_schema::{RelId, Schema};
+use rand::Rng;
+
+/// A small concrete database universe: `tuples_per_relation` pre-existing tuples per relation
+/// plus a counter for freshly inserted tuples. Foreign keys map the i-th tuple of the domain
+/// relation to the `i % tuples_per_relation`-th tuple of the range relation.
+#[derive(Debug, Clone)]
+pub struct TupleUniverse {
+    tuples_per_relation: u32,
+    next_fresh: Vec<u32>,
+}
+
+impl TupleUniverse {
+    /// Creates a universe with the given number of pre-existing tuples per relation.
+    pub fn new(schema: &Schema, tuples_per_relation: u32) -> Self {
+        assert!(tuples_per_relation >= 1, "need at least one tuple per relation");
+        TupleUniverse {
+            tuples_per_relation,
+            next_fresh: vec![tuples_per_relation; schema.relation_count()],
+        }
+    }
+
+    /// Number of pre-existing tuples per relation.
+    pub fn tuples_per_relation(&self) -> u32 {
+        self.tuples_per_relation
+    }
+
+    /// The i-th pre-existing tuple of a relation.
+    pub fn tuple(&self, rel: RelId, index: u32) -> TupleId {
+        TupleId { rel, index: index % self.tuples_per_relation }
+    }
+
+    /// A fresh, never-before-used tuple of a relation (for inserts).
+    pub fn fresh_tuple(&mut self, rel: RelId) -> TupleId {
+        let idx = self.next_fresh[rel.index()];
+        self.next_fresh[rel.index()] += 1;
+        TupleId { rel, index: idx }
+    }
+
+    /// The tuple of the range relation associated with a domain tuple through a foreign key.
+    pub fn fk_target(&self, dom_tuple: TupleId, range: RelId) -> TupleId {
+        TupleId { rel: range, index: dom_tuple.index % self.tuples_per_relation }
+    }
+}
+
+/// Instantiates an LTP as a transaction, choosing tuples with the given RNG.
+///
+/// `predicate_fanout` bounds how many tuples a predicate-based statement touches (at least one
+/// is always touched so that predicate updates/deletes produce write operations).
+pub fn instantiate_ltp<R: Rng>(
+    schema: &Schema,
+    ltp: &LinearProgram,
+    txn_id: TxnId,
+    universe: &mut TupleUniverse,
+    predicate_fanout: u32,
+    rng: &mut R,
+) -> Transaction {
+    // First choose, for every statement position, the "primary" tuple it targets.
+    let mut primary: Vec<Option<TupleId>> = ltp
+        .statements()
+        .map(|(_, stmt)| match stmt.kind() {
+            StatementKind::Insert => Some(universe.fresh_tuple(stmt.rel())),
+            StatementKind::KeySelect | StatementKind::KeyUpdate | StatementKind::KeyDelete => {
+                Some(universe.tuple(stmt.rel(), rng.gen_range(0..universe.tuples_per_relation())))
+            }
+            _ => None,
+        })
+        .collect();
+
+    // Enforce foreign-key constraints: the domain-side statement accesses a tuple whose foreign
+    // key maps to exactly the tuple accessed by the range-side statement. With the modular
+    // foreign-key mapping of [`TupleUniverse`] this pins the domain tuple to the range tuple's
+    // index. Inserted (fresh) domain tuples stay fresh — a fresh tuple can reference any range
+    // tuple — and predicate-based domain statements stay unpinned (their predicate read ranges
+    // over the whole relation anyway).
+    for constraint in ltp.fk_constraints() {
+        let fk = schema.foreign_key(constraint.fk);
+        let Some(range_tuple) = primary[constraint.range_pos] else { continue };
+        let dom_kind = ltp.statement(constraint.dom_pos).kind();
+        if dom_kind.is_key_based() {
+            primary[constraint.dom_pos] =
+                Some(universe.tuple(fk.dom(), range_tuple.index % universe.tuples_per_relation()));
+        }
+    }
+
+    let mut builder = TransactionBuilder::new(txn_id).program(ltp.name());
+    for (pos, stmt) in ltp.statements() {
+        let rel = stmt.rel();
+        let all_attrs = schema.all_attrs(rel);
+        match stmt.kind() {
+            StatementKind::Insert => {
+                let t = primary[pos].expect("insert target chosen");
+                builder.op(Operation::insert(t, all_attrs).with_statement(pos));
+            }
+            StatementKind::KeySelect => {
+                let t = primary[pos].expect("key select target chosen");
+                builder.op(Operation::read(t, stmt.read_attrs()).with_statement(pos));
+            }
+            StatementKind::KeyDelete => {
+                let t = primary[pos].expect("key delete target chosen");
+                builder.op(Operation::delete(t, all_attrs).with_statement(pos));
+            }
+            StatementKind::KeyUpdate => {
+                let t = primary[pos].expect("key update target chosen");
+                builder.chunk([
+                    Operation::read(t, stmt.read_attrs()).with_statement(pos),
+                    Operation::write(t, stmt.write_attrs()).with_statement(pos),
+                ]);
+            }
+            StatementKind::PredSelect | StatementKind::PredUpdate | StatementKind::PredDelete => {
+                let targets = predicate_targets(pos, &primary, universe, rel, predicate_fanout, rng);
+                let mut ops =
+                    vec![Operation::predicate_read(rel, stmt.pread_attrs()).with_statement(pos)];
+                for t in targets {
+                    match stmt.kind() {
+                        StatementKind::PredSelect => {
+                            ops.push(Operation::read(t, stmt.read_attrs()).with_statement(pos));
+                        }
+                        StatementKind::PredUpdate => {
+                            ops.push(Operation::read(t, stmt.read_attrs()).with_statement(pos));
+                            ops.push(Operation::write(t, stmt.write_attrs()).with_statement(pos));
+                        }
+                        StatementKind::PredDelete => {
+                            ops.push(Operation::delete(t, all_attrs).with_statement(pos));
+                        }
+                        _ => unreachable!("predicate kinds handled above"),
+                    }
+                }
+                builder.chunk(ops);
+            }
+        }
+    }
+    builder.build()
+}
+
+fn predicate_targets<R: Rng>(
+    pos: usize,
+    primary: &[Option<TupleId>],
+    universe: &TupleUniverse,
+    rel: RelId,
+    fanout: u32,
+    rng: &mut R,
+) -> Vec<TupleId> {
+    // A foreign-key constraint may have pinned a tuple even for a predicate-based statement; in
+    // that case the statement reads (at least) that tuple.
+    if let Some(t) = primary[pos] {
+        return vec![t];
+    }
+    let count = rng.gen_range(1..=fanout.max(1)).min(universe.tuples_per_relation());
+    let mut targets: Vec<TupleId> = Vec::with_capacity(count as usize);
+    while targets.len() < count as usize {
+        let t = universe.tuple(rel, rng.gen_range(0..universe.tuples_per_relation()));
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+    }
+    targets.sort_unstable();
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpKind;
+    use mvrc_btp::{unfold_set_le2, ProgramBuilder};
+    use mvrc_schema::SchemaBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn auction_schema() -> Schema {
+        let mut b = SchemaBuilder::new("auction");
+        let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        b.build()
+    }
+
+    fn place_bid_ltps(schema: &Schema) -> Vec<LinearProgram> {
+        let mut pb = ProgramBuilder::new(schema, "PlaceBid");
+        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
+        let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
+        let q6 = pb.insert("q6", "Log").unwrap();
+        pb.seq(&[q3.into(), q4.into()]);
+        pb.optional(q5.into());
+        pb.push(q6.into());
+        pb.fk_constraint("f1", q4, q3).unwrap();
+        pb.fk_constraint("f1", q5, q3).unwrap();
+        pb.fk_constraint("f2", q6, q3).unwrap();
+        unfold_set_le2(&[pb.build()])
+    }
+
+    #[test]
+    fn instantiation_matches_the_figure_3_shape() {
+        let schema = auction_schema();
+        let ltps = place_bid_ltps(&schema);
+        let with_q5 = ltps.iter().find(|l| l.len() == 4).unwrap();
+        let mut universe = TupleUniverse::new(&schema, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let txn = instantiate_ltp(&schema, with_q5, TxnId(0), &mut universe, 3, &mut rng);
+        // q3 -> R W on Buyer, q4 -> R on Bids, q5 -> R W on Bids, q6 -> I on Log, plus commit.
+        let kinds: Vec<OpKind> = txn.ops().iter().map(|o| o.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::Read,
+                OpKind::Write,
+                OpKind::Read,
+                OpKind::Read,
+                OpKind::Write,
+                OpKind::Insert,
+                OpKind::Commit
+            ]
+        );
+        assert_eq!(txn.chunks().len(), 5);
+        assert_eq!(txn.program(), Some(with_q5.name()));
+    }
+
+    #[test]
+    fn foreign_keys_tie_bids_to_the_same_buyer() {
+        let schema = auction_schema();
+        let ltps = place_bid_ltps(&schema);
+        let with_q5 = ltps.iter().find(|l| l.len() == 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut universe = TupleUniverse::new(&schema, 4);
+            let txn = instantiate_ltp(&schema, with_q5, TxnId(0), &mut universe, 3, &mut rng);
+            // Buyer tuple accessed by q3 (ops 0/1) determines the Bids tuple of q4 and q5
+            // (ops 2/3/4) under f1 (same index in the modular universe mapping).
+            let buyer = txn.ops()[0].tuple.unwrap();
+            let bids_q4 = txn.ops()[2].tuple.unwrap();
+            let bids_q5 = txn.ops()[3].tuple.unwrap();
+            assert_eq!(bids_q4.index, buyer.index);
+            assert_eq!(bids_q4, bids_q5);
+        }
+    }
+
+    #[test]
+    fn inserts_use_fresh_tuples() {
+        let schema = auction_schema();
+        let ltps = place_bid_ltps(&schema);
+        let mut universe = TupleUniverse::new(&schema, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t1 = instantiate_ltp(&schema, &ltps[0], TxnId(0), &mut universe, 2, &mut rng);
+        let t2 = instantiate_ltp(&schema, &ltps[0], TxnId(1), &mut universe, 2, &mut rng);
+        let insert_of = |t: &Transaction| {
+            t.ops().iter().find(|o| o.kind == OpKind::Insert).unwrap().tuple.unwrap()
+        };
+        assert_ne!(insert_of(&t1), insert_of(&t2), "fresh log tuples must not collide");
+        assert!(insert_of(&t1).index >= 2);
+    }
+
+    #[test]
+    fn predicate_statements_touch_bounded_tuple_sets() {
+        let schema = auction_schema();
+        let mut fb = ProgramBuilder::new(&schema, "FindBids");
+        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
+        fb.seq(&[q1.into(), q2.into()]);
+        let ltps = unfold_set_le2(&[fb.build()]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut universe = TupleUniverse::new(&schema, 5);
+        let txn = instantiate_ltp(&schema, &ltps[0], TxnId(0), &mut universe, 3, &mut rng);
+        let reads_after_pr =
+            txn.ops().iter().filter(|o| o.kind == OpKind::Read && o.tuple.map(|t| t.rel.0) == Some(1)).count();
+        assert!((1..=3).contains(&reads_after_pr));
+        assert!(txn.ops().iter().any(|o| o.kind == OpKind::PredicateRead));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn empty_universes_are_rejected() {
+        let schema = auction_schema();
+        let _ = TupleUniverse::new(&schema, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mvrc-schedule
+//!
+//! The multi-version schedule substrate of *"Detecting Robustness against MVRC for Transaction
+//! Programs with Predicate Reads"* (EDBT 2023): Sections 3–5 made executable.
+//!
+//! * [`Operation`], [`Transaction`], atomic chunks — the operational vocabulary of Section 3.2/3.3,
+//!   including predicate reads, inserts and deletes.
+//! * [`Schedule::execute_mvrc`] — builds schedules **allowed under MVRC** (read-last-committed,
+//!   no dirty writes, version order = commit order, atomic chunks) from an interleaving of
+//!   transaction chunks (Section 3.3/3.5).
+//! * [`SerializationGraph`] — dependency computation (ww/wr/rw and their predicate variants),
+//!   conflict-serializability testing and counterflow classification (Sections 3.4 and 4).
+//! * [`instantiate_ltp`] — instantiation of linear transaction programs over a concrete tuple
+//!   universe, respecting foreign-key constraint annotations (Section 5.2).
+//! * [`find_counterexample`] / [`sample_serializability`] — randomized search for
+//!   non-serializable MVRC schedules, certifying non-robustness and property-testing the
+//!   soundness of the static analysis in `mvrc-robustness`.
+//!
+//! The static analysis never needs this crate at run time; it exists so the theory can be
+//! validated against concrete schedules and so that negative verdicts can be confirmed with
+//! concrete anomalies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deps;
+mod instantiate;
+mod ops;
+mod schedule;
+mod search;
+mod transaction;
+
+pub use deps::{mvrc_theory, Dependency, DependencyKind, SerializationGraph};
+pub use instantiate::{instantiate_ltp, TupleUniverse};
+pub use ops::{OpKind, Operation, TupleId, TxnId, Version};
+pub use schedule::{MvrcError, OpRef, Schedule};
+pub use search::{
+    find_counterexample, random_mvrc_schedule, sample_serializability, Counterexample,
+    SearchConfig, SerializabilityStats,
+};
+pub use transaction::{Transaction, TransactionBuilder};

@@ -1,0 +1,241 @@
+//! Tuples, versions and operations (Section 3.1–3.2 of the paper).
+
+use mvrc_schema::{AttrSet, RelId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an abstract tuple `t ∈ I(R)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleId {
+    /// The relation the tuple belongs to (`rel(t)`).
+    pub rel: RelId,
+    /// Index of the tuple within its relation's universe.
+    pub index: u32,
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}_{}", self.rel.0, self.index)
+    }
+}
+
+/// Identifier of a transaction within a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// Zero-based index of the transaction.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A version of a tuple. The paper associates with every tuple an unborn version, a dead version
+/// and a sequence of visible versions; visible versions are identified here by the position of
+/// the operation that installed them in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Version {
+    /// The tuple has not been inserted yet.
+    Unborn,
+    /// The version present before the schedule started (for tuples of the initial database).
+    Initial,
+    /// A visible version installed by the write operation at the given global position.
+    Installed(u32),
+    /// The tuple has been deleted.
+    Dead,
+}
+
+impl Version {
+    /// Is this a version a (predicate) read may observe?
+    #[inline]
+    pub fn is_visible(self) -> bool {
+        matches!(self, Version::Initial | Version::Installed(_))
+    }
+}
+
+/// The kind of an operation over a tuple or relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `R[t]` — read of a tuple.
+    Read,
+    /// `W[t]` — write of (an existing version of) a tuple.
+    Write,
+    /// `I[t]` — insertion of a tuple (creates its first visible version).
+    Insert,
+    /// `D[t]` — deletion of a tuple (creates its dead version).
+    Delete,
+    /// `PR[R]` — predicate read evaluating a predicate over every tuple of a relation.
+    PredicateRead,
+    /// `C` — commit.
+    Commit,
+}
+
+impl OpKind {
+    /// Write operations in the paper's sense: `W`, `I` and `D`.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Write | OpKind::Insert | OpKind::Delete)
+    }
+
+    /// `true` for `R`.
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, OpKind::Read)
+    }
+}
+
+/// An operation of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    /// The operation kind.
+    pub kind: OpKind,
+    /// The tuple the operation is on (`None` for predicate reads and commits).
+    pub tuple: Option<TupleId>,
+    /// The relation a predicate read ranges over (`None` otherwise).
+    pub relation: Option<RelId>,
+    /// `Attr(o)`: the attributes read or written (for `I`/`D` operations this is the full
+    /// attribute set of the relation; empty for commits).
+    pub attrs: AttrSet,
+    /// The LTP statement position this operation was instantiated from, when applicable (used to
+    /// relate schedule-level dependencies back to summary-graph edges).
+    pub statement: Option<usize>,
+}
+
+impl Operation {
+    /// A read of `tuple` observing `attrs`.
+    pub fn read(tuple: TupleId, attrs: AttrSet) -> Self {
+        Operation { kind: OpKind::Read, tuple: Some(tuple), relation: None, attrs, statement: None }
+    }
+
+    /// A write of `tuple` modifying `attrs`.
+    pub fn write(tuple: TupleId, attrs: AttrSet) -> Self {
+        Operation { kind: OpKind::Write, tuple: Some(tuple), relation: None, attrs, statement: None }
+    }
+
+    /// An insert of `tuple` (writes all attributes).
+    pub fn insert(tuple: TupleId, all_attrs: AttrSet) -> Self {
+        Operation {
+            kind: OpKind::Insert,
+            tuple: Some(tuple),
+            relation: None,
+            attrs: all_attrs,
+            statement: None,
+        }
+    }
+
+    /// A delete of `tuple` (writes all attributes).
+    pub fn delete(tuple: TupleId, all_attrs: AttrSet) -> Self {
+        Operation {
+            kind: OpKind::Delete,
+            tuple: Some(tuple),
+            relation: None,
+            attrs: all_attrs,
+            statement: None,
+        }
+    }
+
+    /// A predicate read over `relation` evaluating a predicate over `attrs`.
+    pub fn predicate_read(relation: RelId, attrs: AttrSet) -> Self {
+        Operation {
+            kind: OpKind::PredicateRead,
+            tuple: None,
+            relation: Some(relation),
+            attrs,
+            statement: None,
+        }
+    }
+
+    /// The commit operation.
+    pub fn commit() -> Self {
+        Operation {
+            kind: OpKind::Commit,
+            tuple: None,
+            relation: None,
+            attrs: AttrSet::EMPTY,
+            statement: None,
+        }
+    }
+
+    /// Tags the operation with the LTP statement position it was instantiated from.
+    pub fn with_statement(mut self, statement: usize) -> Self {
+        self.statement = Some(statement);
+        self
+    }
+
+    /// The relation this operation concerns (the tuple's relation or the predicate-read
+    /// relation).
+    pub fn rel(&self) -> Option<RelId> {
+        self.tuple.map(|t| t.rel).or(self.relation)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            OpKind::Read => write!(f, "R[{}]", self.tuple.expect("read has a tuple")),
+            OpKind::Write => write!(f, "W[{}]", self.tuple.expect("write has a tuple")),
+            OpKind::Insert => write!(f, "I[{}]", self.tuple.expect("insert has a tuple")),
+            OpKind::Delete => write!(f, "D[{}]", self.tuple.expect("delete has a tuple")),
+            OpKind::PredicateRead => {
+                write!(f, "PR[{}]", self.relation.expect("predicate read has a relation"))
+            }
+            OpKind::Commit => write!(f, "C"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_schema::AttrId;
+
+    #[test]
+    fn constructors_set_kind_and_targets() {
+        let t = TupleId { rel: RelId(1), index: 3 };
+        let attrs = AttrSet::singleton(AttrId(0));
+        assert_eq!(Operation::read(t, attrs).kind, OpKind::Read);
+        assert_eq!(Operation::write(t, attrs).tuple, Some(t));
+        assert!(Operation::insert(t, attrs).kind.is_write());
+        assert!(Operation::delete(t, attrs).kind.is_write());
+        assert_eq!(Operation::predicate_read(RelId(1), attrs).relation, Some(RelId(1)));
+        assert_eq!(Operation::commit().kind, OpKind::Commit);
+        assert_eq!(Operation::read(t, attrs).rel(), Some(RelId(1)));
+        assert_eq!(Operation::predicate_read(RelId(2), attrs).rel(), Some(RelId(2)));
+        assert_eq!(Operation::commit().rel(), None);
+    }
+
+    #[test]
+    fn display_matches_the_paper_notation() {
+        let t = TupleId { rel: RelId(0), index: 1 };
+        let attrs = AttrSet::EMPTY;
+        assert_eq!(Operation::read(t, attrs).to_string(), "R[t0_1]");
+        assert_eq!(Operation::predicate_read(RelId(2), attrs).to_string(), "PR[R2]");
+        assert_eq!(Operation::commit().to_string(), "C");
+    }
+
+    #[test]
+    fn version_visibility() {
+        assert!(Version::Initial.is_visible());
+        assert!(Version::Installed(4).is_visible());
+        assert!(!Version::Unborn.is_visible());
+        assert!(!Version::Dead.is_visible());
+        assert!(Version::Unborn < Version::Initial);
+        assert!(Version::Initial < Version::Installed(0));
+        assert!(Version::Installed(0) < Version::Installed(1));
+        assert!(Version::Installed(9) < Version::Dead);
+    }
+
+    #[test]
+    fn statement_tagging() {
+        let t = TupleId { rel: RelId(0), index: 0 };
+        let op = Operation::read(t, AttrSet::EMPTY).with_statement(5);
+        assert_eq!(op.statement, Some(5));
+    }
+}

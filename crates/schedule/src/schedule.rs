@@ -1,0 +1,536 @@
+//! Multi-version schedules and MVRC execution (Sections 3.3 and 3.5).
+//!
+//! A [`Schedule`] is built by *executing* a set of transactions under MVRC semantics: chunks are
+//! emitted atomically in a caller-chosen interleaving, every (predicate) read observes the most
+//! recently committed version (read-last-committed), the version order follows the commit order,
+//! and dirty writes are rejected. The result is, by construction, a schedule allowed under MVRC
+//! (Definition 3.3); interleavings that would require a dirty write or a read of an
+//! unborn/deleted tuple are reported as errors.
+
+use crate::ops::{OpKind, Operation, TupleId, TxnId, Version};
+use crate::transaction::Transaction;
+use mvrc_schema::RelId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Why an interleaving is not allowed under MVRC (or not executable at all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MvrcError {
+    /// A transaction would overwrite a tuple modified by another, still uncommitted transaction.
+    DirtyWrite {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The tuple with an uncommitted change.
+        tuple: TupleId,
+        /// The transaction holding the uncommitted change.
+        blocked_by: TxnId,
+    },
+    /// A read observed a tuple whose most recently committed version is unborn or dead.
+    InvalidRead {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The tuple without a visible committed version.
+        tuple: TupleId,
+    },
+    /// An insert targeted a tuple that already has a visible version.
+    DuplicateInsert {
+        /// The inserting transaction.
+        txn: TxnId,
+        /// The already-visible tuple.
+        tuple: TupleId,
+    },
+    /// The interleaving referenced a transaction with no chunks left (or an unknown transaction).
+    InvalidInterleaving(TxnId),
+    /// Not every transaction was fully executed by the interleaving.
+    IncompleteInterleaving,
+}
+
+impl fmt::Display for MvrcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvrcError::DirtyWrite { txn, tuple, blocked_by } => {
+                write!(f, "{txn} would dirty-write {tuple} already modified by uncommitted {blocked_by}")
+            }
+            MvrcError::InvalidRead { txn, tuple } => {
+                write!(f, "{txn} reads {tuple} which has no visible committed version")
+            }
+            MvrcError::DuplicateInsert { txn, tuple } => {
+                write!(f, "{txn} inserts {tuple} which already exists")
+            }
+            MvrcError::InvalidInterleaving(txn) => {
+                write!(f, "interleaving schedules {txn} which has no remaining chunks")
+            }
+            MvrcError::IncompleteInterleaving => {
+                write!(f, "interleaving does not execute every transaction to completion")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MvrcError {}
+
+/// Reference to an operation: transaction and operation index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpRef {
+    /// The owning transaction.
+    pub txn: TxnId,
+    /// Index of the operation within the transaction.
+    pub op: usize,
+}
+
+/// A schedule allowed under MVRC, produced by [`Schedule::execute_mvrc`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    transactions: Vec<Transaction>,
+    order: Vec<OpRef>,
+    /// Global position of each transaction's commit operation.
+    commit_pos: Vec<usize>,
+    /// Per global position: the version a read observed.
+    read_version: Vec<Option<Version>>,
+    /// Per global position: the version a write installed.
+    write_version: Vec<Option<Version>>,
+    /// Per global position of a predicate read: the observed version set (`Vset`).
+    version_sets: Vec<Option<BTreeMap<TupleId, Version>>>,
+}
+
+impl Schedule {
+    /// Executes the transactions under MVRC in the given chunk interleaving.
+    ///
+    /// `interleaving` is a sequence of transaction ids; each occurrence emits the next atomic
+    /// chunk of that transaction. The interleaving must execute every transaction to completion.
+    pub fn execute_mvrc(transactions: Vec<Transaction>, interleaving: &[TxnId]) -> Result<Self, MvrcError> {
+        Executor::new(transactions).run(interleaving)
+    }
+
+    /// Executes the transactions serially, in the given order of transaction ids (a serial
+    /// schedule is trivially allowed under MVRC).
+    pub fn execute_serial(transactions: Vec<Transaction>) -> Result<Self, MvrcError> {
+        let interleaving: Vec<TxnId> = transactions
+            .iter()
+            .flat_map(|t| std::iter::repeat(t.id()).take(t.chunks().len()))
+            .collect();
+        Self::execute_mvrc(transactions, &interleaving)
+    }
+
+    /// The scheduled transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// The global operation order.
+    pub fn order(&self) -> &[OpRef] {
+        &self.order
+    }
+
+    /// The operation at a global position.
+    pub fn operation(&self, pos: usize) -> &Operation {
+        let r = self.order[pos];
+        &self.transactions[r.txn.index()].ops()[r.op]
+    }
+
+    /// Global position of a transaction's commit.
+    pub fn commit_position(&self, txn: TxnId) -> usize {
+        self.commit_pos[txn.index()]
+    }
+
+    /// The version observed by the read at the given global position.
+    pub fn read_version(&self, pos: usize) -> Option<Version> {
+        self.read_version[pos]
+    }
+
+    /// The version installed by the write at the given global position.
+    pub fn write_version(&self, pos: usize) -> Option<Version> {
+        self.write_version[pos]
+    }
+
+    /// The version set observed by the predicate read at the given global position.
+    pub fn version_set(&self, pos: usize) -> Option<&BTreeMap<TupleId, Version>> {
+        self.version_sets[pos].as_ref()
+    }
+
+    /// Version order `v1 ≪ v2` for versions of the same tuple. Installed versions are ordered by
+    /// the commit order of the transactions that installed them (MVRC requires the version order
+    /// to be consistent with the commit order).
+    pub fn version_lt(&self, v1: Version, v2: Version) -> bool {
+        let rank = |v: Version| -> (u8, usize) {
+            match v {
+                Version::Unborn => (0, 0),
+                Version::Initial => (1, 0),
+                Version::Installed(pos) => (2, self.commit_pos[self.order[pos as usize].txn.index()]),
+                Version::Dead => (3, 0),
+            }
+        };
+        rank(v1) < rank(v2)
+    }
+
+    /// `true` when the commit of `a` precedes the commit of `b`.
+    pub fn commits_before(&self, a: TxnId, b: TxnId) -> bool {
+        self.commit_pos[a.index()] < self.commit_pos[b.index()]
+    }
+
+    /// Renders the schedule as a single line of operations (indexed by transaction), e.g.
+    /// `R1[t0_0] W1[t0_0] R2[t0_0] C1 C2`.
+    pub fn render(&self) -> String {
+        self.order
+            .iter()
+            .map(|r| {
+                let op = &self.transactions[r.txn.index()].ops()[r.op];
+                let body = op.to_string();
+                match body.find('[') {
+                    Some(idx) => format!("{}{}{}", &body[..idx], r.txn.0 + 1, &body[idx..]),
+                    None => format!("{}{}", body, r.txn.0 + 1),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Incremental MVRC executor.
+struct Executor {
+    transactions: Vec<Transaction>,
+    /// Per transaction: index of the next chunk to emit.
+    next_chunk: Vec<usize>,
+    /// Last committed version per tuple.
+    committed: HashMap<TupleId, Version>,
+    /// Uncommitted writer (and the pending version) per tuple.
+    pending: HashMap<TupleId, (TxnId, Version)>,
+    /// All tuples per relation ever mentioned, for predicate-read version sets.
+    universe: HashMap<RelId, BTreeSet<TupleId>>,
+    order: Vec<OpRef>,
+    commit_pos: Vec<usize>,
+    read_version: Vec<Option<Version>>,
+    write_version: Vec<Option<Version>>,
+    version_sets: Vec<Option<BTreeMap<TupleId, Version>>>,
+}
+
+impl Executor {
+    fn new(transactions: Vec<Transaction>) -> Self {
+        // Infer the initial database: every tuple mentioned by some operation exists initially
+        // unless some transaction inserts it (inserted tuples start unborn).
+        let mut committed: HashMap<TupleId, Version> = HashMap::new();
+        let mut universe: HashMap<RelId, BTreeSet<TupleId>> = HashMap::new();
+        for txn in &transactions {
+            for op in txn.ops() {
+                if let Some(t) = op.tuple {
+                    universe.entry(t.rel).or_default().insert(t);
+                    let entry = committed.entry(t).or_insert(Version::Initial);
+                    if op.kind == OpKind::Insert {
+                        *entry = Version::Unborn;
+                    }
+                }
+            }
+        }
+        let n = transactions.len();
+        Executor {
+            transactions,
+            next_chunk: vec![0; n],
+            committed,
+            pending: HashMap::new(),
+            universe,
+            order: Vec::new(),
+            commit_pos: vec![usize::MAX; n],
+            read_version: Vec::new(),
+            write_version: Vec::new(),
+            version_sets: Vec::new(),
+        }
+    }
+
+    fn run(mut self, interleaving: &[TxnId]) -> Result<Schedule, MvrcError> {
+        for &txn in interleaving {
+            self.emit_chunk(txn)?;
+        }
+        if self.next_chunk.iter().enumerate().any(|(i, &c)| c < self.transactions[i].chunks().len()) {
+            return Err(MvrcError::IncompleteInterleaving);
+        }
+        Ok(Schedule {
+            transactions: self.transactions,
+            order: self.order,
+            commit_pos: self.commit_pos,
+            read_version: self.read_version,
+            write_version: self.write_version,
+            version_sets: self.version_sets,
+        })
+    }
+
+    fn emit_chunk(&mut self, txn: TxnId) -> Result<(), MvrcError> {
+        let t_idx = txn.index();
+        if t_idx >= self.transactions.len() {
+            return Err(MvrcError::InvalidInterleaving(txn));
+        }
+        let chunk_idx = self.next_chunk[t_idx];
+        if chunk_idx >= self.transactions[t_idx].chunks().len() {
+            return Err(MvrcError::InvalidInterleaving(txn));
+        }
+        let (start, end) = self.transactions[t_idx].chunks()[chunk_idx];
+
+        // Pre-validate the whole chunk so that a failed chunk leaves no partial effects
+        // (chunks are atomic).
+        for op_idx in start..=end {
+            let op = self.transactions[t_idx].ops()[op_idx];
+            self.validate(txn, &op)?;
+        }
+        for op_idx in start..=end {
+            let op = self.transactions[t_idx].ops()[op_idx];
+            self.apply(txn, op_idx, &op);
+        }
+        self.next_chunk[t_idx] += 1;
+        Ok(())
+    }
+
+    fn last_committed(&self, tuple: TupleId) -> Version {
+        *self.committed.get(&tuple).unwrap_or(&Version::Initial)
+    }
+
+    fn validate(&self, txn: TxnId, op: &Operation) -> Result<(), MvrcError> {
+        match op.kind {
+            OpKind::Read => {
+                let tuple = op.tuple.expect("read has a tuple");
+                if !self.last_committed(tuple).is_visible() {
+                    return Err(MvrcError::InvalidRead { txn, tuple });
+                }
+            }
+            OpKind::Write | OpKind::Delete => {
+                let tuple = op.tuple.expect("write has a tuple");
+                if let Some((holder, _)) = self.pending.get(&tuple) {
+                    if *holder != txn {
+                        return Err(MvrcError::DirtyWrite { txn, tuple, blocked_by: *holder });
+                    }
+                }
+                if !self.last_committed(tuple).is_visible() {
+                    return Err(MvrcError::InvalidRead { txn, tuple });
+                }
+            }
+            OpKind::Insert => {
+                let tuple = op.tuple.expect("insert has a tuple");
+                if let Some((holder, _)) = self.pending.get(&tuple) {
+                    if *holder != txn {
+                        return Err(MvrcError::DirtyWrite { txn, tuple, blocked_by: *holder });
+                    }
+                    return Err(MvrcError::DuplicateInsert { txn, tuple });
+                }
+                if self.last_committed(tuple).is_visible() {
+                    return Err(MvrcError::DuplicateInsert { txn, tuple });
+                }
+            }
+            OpKind::PredicateRead | OpKind::Commit => {}
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, txn: TxnId, op_idx: usize, op: &Operation) {
+        let pos = self.order.len();
+        self.order.push(OpRef { txn, op: op_idx });
+        self.read_version.push(None);
+        self.write_version.push(None);
+        self.version_sets.push(None);
+        match op.kind {
+            OpKind::Read => {
+                let tuple = op.tuple.expect("read has a tuple");
+                self.read_version[pos] = Some(self.last_committed(tuple));
+            }
+            OpKind::Write | OpKind::Insert | OpKind::Delete => {
+                let tuple = op.tuple.expect("write has a tuple");
+                let version = Version::Installed(pos as u32);
+                self.write_version[pos] = Some(version);
+                self.pending.insert(tuple, (txn, version));
+            }
+            OpKind::PredicateRead => {
+                let rel = op.relation.expect("predicate read has a relation");
+                let vset: BTreeMap<TupleId, Version> = self
+                    .universe
+                    .get(&rel)
+                    .map(|tuples| tuples.iter().map(|&t| (t, self.last_committed(t))).collect())
+                    .unwrap_or_default();
+                self.version_sets[pos] = Some(vset);
+            }
+            OpKind::Commit => {
+                self.commit_pos[txn.index()] = pos;
+                // Install this transaction's pending versions as the latest committed ones. A
+                // deleted tuple's committed version becomes Dead.
+                let mine: Vec<TupleId> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, (holder, _))| *holder == txn)
+                    .map(|(t, _)| *t)
+                    .collect();
+                for tuple in mine {
+                    let (_, version) = self.pending.remove(&tuple).expect("pending entry exists");
+                    // Determine whether the last write of this transaction on the tuple was a
+                    // delete by inspecting the operation that installed the version.
+                    let committed_version = match version {
+                        Version::Installed(p) => {
+                            let op_ref = self.order[p as usize];
+                            let op = &self.transactions[op_ref.txn.index()].ops()[op_ref.op];
+                            if op.kind == OpKind::Delete {
+                                Version::Dead
+                            } else {
+                                version
+                            }
+                        }
+                        other => other,
+                    };
+                    self.committed.insert(tuple, committed_version);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TransactionBuilder;
+    use mvrc_schema::{AttrId, AttrSet};
+
+    fn tuple(idx: u32) -> TupleId {
+        TupleId { rel: RelId(0), index: idx }
+    }
+
+    fn attrs() -> AttrSet {
+        AttrSet::singleton(AttrId(0))
+    }
+
+    /// Two transactions key-updating the same tuple.
+    fn two_updaters() -> Vec<Transaction> {
+        (0..2)
+            .map(|i| {
+                let mut b = TransactionBuilder::new(TxnId(i));
+                b.key_update(tuple(0), attrs(), attrs());
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_execution_reads_the_previous_writers_version() {
+        let s = Schedule::execute_serial(two_updaters()).unwrap();
+        assert_eq!(s.order().len(), 6);
+        // T1's read observes the initial version, T2's read observes T1's installed version.
+        assert_eq!(s.read_version(0), Some(Version::Initial));
+        match s.read_version(3) {
+            Some(Version::Installed(p)) => assert_eq!(s.order()[p as usize].txn, TxnId(0)),
+            other => panic!("expected an installed version, got {other:?}"),
+        }
+        assert!(s.commits_before(TxnId(0), TxnId(1)));
+        assert!(s.render().starts_with("R1[t0_0] W1[t0_0] C1"));
+    }
+
+    #[test]
+    fn dirty_writes_are_rejected() {
+        // Interleaving both updates before either commit requires a dirty write.
+        let err = Schedule::execute_mvrc(two_updaters(), &[TxnId(0), TxnId(1)]).unwrap_err();
+        assert!(matches!(err, MvrcError::DirtyWrite { .. }));
+        assert!(err.to_string().contains("dirty-write"));
+    }
+
+    #[test]
+    fn read_last_committed_ignores_uncommitted_writes() {
+        // T0 reads and writes t0 but has not committed; T1 reads t0 and must observe Initial.
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.key_update(tuple(0), attrs(), attrs());
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.op(Operation::read(tuple(0), attrs()));
+        let s = Schedule::execute_mvrc(
+            vec![b0.build(), b1.build()],
+            &[TxnId(0), TxnId(1), TxnId(1), TxnId(0)],
+        )
+        .unwrap();
+        // Global position 2 is T1's read.
+        assert_eq!(s.order()[2].txn, TxnId(1));
+        assert_eq!(s.read_version(2), Some(Version::Initial));
+    }
+
+    #[test]
+    fn predicate_reads_capture_version_sets() {
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.key_update(tuple(0), attrs(), attrs());
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.predicate_selection(RelId(0), attrs(), [(tuple(0), attrs()), (tuple(1), attrs())]);
+        // T0 commits before T1's predicate read, so the version set contains T0's version of t0
+        // and the initial version of t1.
+        let s = Schedule::execute_mvrc(
+            vec![b0.build(), b1.build()],
+            &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)],
+        )
+        .unwrap();
+        let pr_pos = s.order().iter().position(|r| r.txn == TxnId(1)).unwrap();
+        let vset = s.version_set(pr_pos).unwrap();
+        assert_eq!(vset.len(), 2);
+        assert!(matches!(vset[&tuple(0)], Version::Installed(_)));
+        assert_eq!(vset[&tuple(1)], Version::Initial);
+    }
+
+    #[test]
+    fn inserts_create_and_deletes_kill_tuples() {
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.op(Operation::insert(tuple(5), attrs()));
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.op(Operation::read(tuple(5), attrs()));
+        // Reading before the insert commits is invalid (the tuple is unborn).
+        let err = Schedule::execute_mvrc(
+            vec![b0.build(), b1.build()],
+            &[TxnId(1), TxnId(1), TxnId(0), TxnId(0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MvrcError::InvalidRead { .. }));
+
+        // Reading after the insert commits is fine.
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.op(Operation::insert(tuple(5), attrs()));
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.op(Operation::read(tuple(5), attrs()));
+        let s = Schedule::execute_mvrc(
+            vec![b0.build(), b1.build()],
+            &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)],
+        )
+        .unwrap();
+        assert!(matches!(s.read_version(2), Some(Version::Installed(_))));
+
+        // Deleting and then reading (in commit order) is invalid.
+        let mut b0 = TransactionBuilder::new(TxnId(0));
+        b0.op(Operation::delete(tuple(0), attrs()));
+        let mut b1 = TransactionBuilder::new(TxnId(1));
+        b1.op(Operation::read(tuple(0), attrs()));
+        let err = Schedule::execute_mvrc(
+            vec![b0.build(), b1.build()],
+            &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MvrcError::InvalidRead { .. }));
+    }
+
+    #[test]
+    fn duplicate_inserts_are_rejected() {
+        let make = |id: u32| {
+            let mut b = TransactionBuilder::new(TxnId(id));
+            b.op(Operation::insert(tuple(7), attrs()));
+            b.build()
+        };
+        let err =
+            Schedule::execute_mvrc(vec![make(0), make(1)], &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)])
+                .unwrap_err();
+        assert!(matches!(err, MvrcError::DuplicateInsert { .. }));
+    }
+
+    #[test]
+    fn incomplete_and_invalid_interleavings_are_rejected() {
+        let err = Schedule::execute_mvrc(two_updaters(), &[TxnId(0)]).unwrap_err();
+        assert_eq!(err, MvrcError::IncompleteInterleaving);
+        let err = Schedule::execute_mvrc(two_updaters(), &[TxnId(5)]).unwrap_err();
+        assert!(matches!(err, MvrcError::InvalidInterleaving(_)));
+    }
+
+    #[test]
+    fn version_order_follows_commit_order() {
+        let s = Schedule::execute_serial(two_updaters()).unwrap();
+        let v0 = s.write_version(1).unwrap();
+        let v1 = s.write_version(4).unwrap();
+        assert!(s.version_lt(v0, v1));
+        assert!(!s.version_lt(v1, v0));
+        assert!(s.version_lt(Version::Initial, v0));
+        assert!(s.version_lt(v1, Version::Dead));
+        assert!(s.version_lt(Version::Unborn, Version::Initial));
+    }
+}

@@ -1,0 +1,172 @@
+//! Transactions and atomic chunks (Section 3.3).
+
+use crate::ops::{OpKind, Operation, TupleId, TxnId};
+use mvrc_schema::{AttrSet, RelId};
+use serde::{Deserialize, Serialize};
+
+/// A transaction: a sequence of operations ending in a commit, partitioned into atomic chunks
+/// that concurrent transactions may not interleave (Section 3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    id: TxnId,
+    /// Optional name of the LTP this transaction instantiates.
+    program: Option<String>,
+    ops: Vec<Operation>,
+    /// Chunk boundaries: `(start, end)` inclusive operation index ranges. Every operation belongs
+    /// to exactly one chunk; single operations form singleton chunks.
+    chunks: Vec<(usize, usize)>,
+}
+
+impl Transaction {
+    /// The transaction id.
+    #[inline]
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The LTP the transaction was instantiated from, if any.
+    pub fn program(&self) -> Option<&str> {
+        self.program.as_deref()
+    }
+
+    /// All operations, in program order (the final one is the commit).
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// The atomic chunks as inclusive index ranges.
+    pub fn chunks(&self) -> &[(usize, usize)] {
+        &self.chunks
+    }
+
+    /// Number of operations (including the commit).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// A transaction always contains at least its commit operation.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Renders the transaction in the paper's notation, e.g. `R[t0_0] W[t0_0] C`.
+    pub fn render(&self) -> String {
+        self.ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" ")
+    }
+}
+
+/// Builder for [`Transaction`]s that groups operations into atomic chunks.
+#[derive(Debug)]
+pub struct TransactionBuilder {
+    id: TxnId,
+    program: Option<String>,
+    ops: Vec<Operation>,
+    chunks: Vec<(usize, usize)>,
+}
+
+impl TransactionBuilder {
+    /// Starts a transaction with the given id.
+    pub fn new(id: TxnId) -> Self {
+        TransactionBuilder { id, program: None, ops: Vec::new(), chunks: Vec::new() }
+    }
+
+    /// Records the LTP name this transaction instantiates.
+    pub fn program(mut self, name: impl Into<String>) -> Self {
+        self.program = Some(name.into());
+        self
+    }
+
+    /// Adds a single-operation chunk.
+    pub fn op(&mut self, op: Operation) -> &mut Self {
+        let idx = self.ops.len();
+        self.ops.push(op);
+        self.chunks.push((idx, idx));
+        self
+    }
+
+    /// Adds a multi-operation atomic chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is empty.
+    pub fn chunk(&mut self, ops: impl IntoIterator<Item = Operation>) -> &mut Self {
+        let start = self.ops.len();
+        self.ops.extend(ops);
+        let end = self.ops.len();
+        assert!(end > start, "atomic chunks must contain at least one operation");
+        self.chunks.push((start, end - 1));
+        self
+    }
+
+    /// Convenience: a key-based update chunk `R[t] W[t]`.
+    pub fn key_update(&mut self, tuple: TupleId, read: AttrSet, write: AttrSet) -> &mut Self {
+        self.chunk([Operation::read(tuple, read), Operation::write(tuple, write)])
+    }
+
+    /// Convenience: a predicate-based selection chunk `PR[R] R[t1] … R[tn]`.
+    pub fn predicate_selection(
+        &mut self,
+        relation: RelId,
+        pread: AttrSet,
+        reads: impl IntoIterator<Item = (TupleId, AttrSet)>,
+    ) -> &mut Self {
+        let mut ops = vec![Operation::predicate_read(relation, pread)];
+        ops.extend(reads.into_iter().map(|(t, attrs)| Operation::read(t, attrs)));
+        self.chunk(ops)
+    }
+
+    /// Finalizes the transaction, appending the commit operation.
+    pub fn build(mut self) -> Transaction {
+        let idx = self.ops.len();
+        self.ops.push(Operation::commit());
+        self.chunks.push((idx, idx));
+        debug_assert!(self.ops.iter().filter(|o| o.kind == OpKind::Commit).count() == 1);
+        Transaction { id: self.id, program: self.program, ops: self.ops, chunks: self.chunks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_schema::AttrId;
+
+    fn tuple(rel: u16, idx: u32) -> TupleId {
+        TupleId { rel: RelId(rel), index: idx }
+    }
+
+    #[test]
+    fn builder_appends_commit_and_tracks_chunks() {
+        let mut b = TransactionBuilder::new(TxnId(1)).program("PlaceBid[1]");
+        b.key_update(tuple(0, 0), AttrSet::singleton(AttrId(1)), AttrSet::singleton(AttrId(1)));
+        b.op(Operation::read(tuple(1, 0), AttrSet::singleton(AttrId(1))));
+        let t = b.build();
+        assert_eq!(t.id(), TxnId(1));
+        assert_eq!(t.program(), Some("PlaceBid[1]"));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.chunks(), &[(0, 1), (2, 2), (3, 3)]);
+        assert_eq!(t.ops().last().unwrap().kind, OpKind::Commit);
+        assert_eq!(t.render(), "R[t0_0] W[t0_0] R[t1_0] C");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn predicate_selection_chunk_shape() {
+        let mut b = TransactionBuilder::new(TxnId(0));
+        b.predicate_selection(
+            RelId(1),
+            AttrSet::singleton(AttrId(1)),
+            [(tuple(1, 0), AttrSet::singleton(AttrId(1))), (tuple(1, 1), AttrSet::singleton(AttrId(1)))],
+        );
+        let t = b.build();
+        assert_eq!(t.chunks()[0], (0, 2));
+        assert_eq!(t.ops()[0].kind, OpKind::PredicateRead);
+        assert_eq!(t.ops()[1].kind, OpKind::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_chunks_are_rejected() {
+        let mut b = TransactionBuilder::new(TxnId(0));
+        b.chunk(std::iter::empty());
+    }
+}

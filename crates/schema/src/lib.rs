@@ -1,0 +1,51 @@
+//! # mvrc-schema
+//!
+//! Relational schema model for MVRC robustness analysis.
+//!
+//! The paper *"Detecting Robustness against MVRC for Transaction Programs with Predicate
+//! Reads"* (EDBT 2023) formalizes a database as a relational schema `(Rels, FKeys)` where every
+//! relation `R` has a finite attribute set `Attr(R)` and foreign keys map tuples of a domain
+//! relation to tuples of a range relation (Section 3.1).
+//!
+//! This crate provides exactly that vocabulary:
+//!
+//! * [`AttrSet`] — a compact bitset over the attributes of a single relation. All hot-path
+//!   operations of Algorithm 1 (read/write/predicate-read set intersections) reduce to single
+//!   bitwise instructions.
+//! * [`Relation`] / [`RelId`] — a named relation with attribute names and a primary key.
+//! * [`ForeignKey`] / [`FkId`] — a foreign key `f` with `dom(f)` and `range(f)`.
+//! * [`Schema`] and [`SchemaBuilder`] — the catalog tying everything together.
+//!
+//! # Example
+//!
+//! ```
+//! use mvrc_schema::SchemaBuilder;
+//!
+//! let mut builder = SchemaBuilder::new("auction");
+//! let buyer = builder.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
+//! let bids = builder.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+//! builder.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+//! let schema = builder.build();
+//!
+//! assert_eq!(schema.relation(buyer).name(), "Buyer");
+//! assert_eq!(schema.relation(bids).attribute_count(), 2);
+//! assert_eq!(schema.foreign_keys_from(bids).count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attrs;
+mod error;
+mod foreign_key;
+mod relation;
+mod schema;
+
+pub use attrs::{AttrId, AttrSet, AttrSetIter};
+pub use error::SchemaError;
+pub use foreign_key::{FkId, ForeignKey};
+pub use relation::{RelId, Relation};
+pub use schema::{Schema, SchemaBuilder};
+
+/// Convenience result alias for schema construction.
+pub type Result<T> = std::result::Result<T, SchemaError>;

@@ -1,0 +1,49 @@
+//! # mvrc-repro
+//!
+//! Facade crate of the reproduction of *"Detecting Robustness against MVRC for Transaction
+//! Programs with Predicate Reads"* (Vandevoort, Ketsman, Koch, Neven — EDBT 2023).
+//!
+//! It re-exports the workspace crates under stable module names and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration / property tests (`tests/`):
+//!
+//! * [`schema`] — relational schemas, attribute sets, foreign keys ([`mvrc_schema`]).
+//! * [`btp`] — basic/linear transaction programs, unfolding, the SQL front-end ([`mvrc_btp`]).
+//! * [`schedule`] — multi-version schedules, MVRC semantics, serialization graphs,
+//!   counterexample search ([`mvrc_schedule`]).
+//! * [`robustness`] — summary graphs (Algorithm 1) and the robustness tests (Algorithm 2 and the
+//!   type-I baseline) ([`mvrc_robustness`]).
+//! * [`benchmarks`] — SmallBank, TPC-C, Auction, Auction(n) and the synthetic generator
+//!   ([`mvrc_benchmarks`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mvrc_repro::prelude::*;
+//!
+//! let workload = mvrc_repro::benchmarks::auction();
+//! let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+//! let report = analyzer.analyze(AnalysisSettings::paper_default());
+//! assert!(report.is_robust());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mvrc_benchmarks as benchmarks;
+pub use mvrc_btp as btp;
+pub use mvrc_robustness as robustness;
+pub use mvrc_schedule as schedule;
+pub use mvrc_schema as schema;
+
+/// Commonly used items, re-exported for convenient glob imports in examples and applications.
+pub mod prelude {
+    pub use mvrc_benchmarks::Workload;
+    pub use mvrc_btp::sql::{parse_catalog, parse_workload, parse_workload_file};
+    pub use mvrc_btp::{unfold_set_le2, LinearProgram, Program, ProgramBuilder, StatementKind};
+    pub use mvrc_robustness::{
+        explore_subsets, AnalysisReport, AnalysisSettings, CycleCondition, Granularity,
+        RobustnessAnalyzer, SummaryGraph,
+    };
+    pub use mvrc_schedule::{find_counterexample, SearchConfig};
+    pub use mvrc_schema::{Schema, SchemaBuilder};
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: static analysis (mvrc-robustness) and dynamic schedule
+//! substrate (mvrc-schedule) must tell a consistent story on the paper's benchmarks.
+
+use mvrc_repro::benchmarks::{auction, smallbank, tpcc};
+use mvrc_repro::prelude::*;
+use mvrc_repro::schedule::{sample_serializability, SerializationGraph};
+
+#[test]
+fn auction_static_verdict_is_confirmed_by_random_mvrc_schedules() {
+    // The whole Auction workload is attested robust; every randomly sampled MVRC schedule over
+    // its instantiations must therefore be conflict serializable.
+    let workload = auction();
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
+
+    let config = SearchConfig {
+        transactions: 3,
+        tuples_per_relation: 2,
+        attempts: 1_500,
+        ..SearchConfig::default()
+    };
+    let stats = sample_serializability(&workload.schema, analyzer.ltps(), &config);
+    assert!(stats.mvrc_schedules > 200, "sampling should produce plenty of MVRC-legal schedules");
+    assert_eq!(
+        stats.serializable, stats.mvrc_schedules,
+        "a robust workload must never produce a non-serializable MVRC schedule"
+    );
+}
+
+#[test]
+fn smallbank_robust_subset_produces_only_serializable_schedules() {
+    let workload = smallbank();
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let subset = ["Amalgamate", "DepositChecking", "TransactSavings"];
+    assert!(analyzer.analyze_programs(&subset, AnalysisSettings::paper_default()).is_robust());
+
+    let ltps: Vec<LinearProgram> = analyzer
+        .ltps()
+        .iter()
+        .filter(|l| subset.contains(&l.program_name()))
+        .cloned()
+        .collect();
+    let config = SearchConfig { transactions: 3, attempts: 1_500, ..SearchConfig::default() };
+    assert!(find_counterexample(&workload.schema, &ltps, &config).is_none());
+}
+
+#[test]
+fn smallbank_rejected_subsets_have_real_anomalies() {
+    // Section 7.2: for SmallBank the algorithm has no false negatives, so every rejected subset
+    // admits a concrete non-serializable MVRC schedule. Spot-check three rejected subsets.
+    let workload = smallbank();
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let rejected_subsets: [&[&str]; 3] =
+        [&["WriteCheck"], &["Amalgamate", "Balance"], &["DepositChecking", "WriteCheck"]];
+    for subset in rejected_subsets {
+        let report = analyzer.analyze_programs(subset, AnalysisSettings::paper_default());
+        assert!(!report.is_robust(), "{subset:?} should be rejected by Algorithm 2");
+        let ltps: Vec<LinearProgram> = analyzer
+            .ltps()
+            .iter()
+            .filter(|l| subset.contains(&l.program_name()))
+            .cloned()
+            .collect();
+        let config = SearchConfig { transactions: 3, attempts: 6_000, ..SearchConfig::default() };
+        let cex = find_counterexample(&workload.schema, &ltps, &config)
+            .unwrap_or_else(|| panic!("no concrete anomaly found for {subset:?}"));
+        assert!(!cex.graph.is_conflict_serializable());
+        // The counterexample is itself a valid MVRC schedule, so the structural theory holds.
+        assert!(mvrc_repro::schedule::mvrc_theory::counterflow_only_on_antidependencies(&cex.graph));
+        assert!(mvrc_repro::schedule::mvrc_theory::non_counterflow_subgraph_is_acyclic(&cex.graph));
+    }
+}
+
+#[test]
+fn tpcc_payment_only_deployment_is_safe_and_serializable_in_sampling() {
+    let workload = tpcc();
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let subset = ["OrderStatus", "Payment", "StockLevel"];
+    assert!(analyzer.analyze_programs(&subset, AnalysisSettings::paper_default()).is_robust());
+
+    let ltps: Vec<LinearProgram> = analyzer
+        .ltps()
+        .iter()
+        .filter(|l| subset.contains(&l.program_name()))
+        .cloned()
+        .collect();
+    let config = SearchConfig {
+        transactions: 3,
+        tuples_per_relation: 2,
+        predicate_fanout: 2,
+        attempts: 400,
+        seed: 7,
+    };
+    let stats = sample_serializability(&workload.schema, &ltps, &config);
+    assert!(stats.mvrc_schedules > 50);
+    assert_eq!(stats.serializable, stats.mvrc_schedules);
+}
+
+#[test]
+fn sql_frontend_and_builder_agree_end_to_end() {
+    // The SQL front-end and the programmatic builder produce equivalent analyses for the
+    // Auction workload, down to subset exploration.
+    let workload = auction();
+    let from_sql =
+        parse_workload(&workload.schema, mvrc_repro::benchmarks::AUCTION_SQL).expect("parses");
+    let a1 = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let a2 = RobustnessAnalyzer::new(&workload.schema, &from_sql);
+    for condition in [CycleCondition::TypeI, CycleCondition::TypeII] {
+        for settings in AnalysisSettings::evaluation_grid(condition) {
+            let e1 = explore_subsets(&a1, settings);
+            let e2 = explore_subsets(&a2, settings);
+            assert_eq!(e1.robust.len(), e2.robust.len(), "setting {}", settings.label());
+            assert_eq!(e1.maximal, e2.maximal, "setting {}", settings.label());
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_schedule_sample_satisfies_the_mvrc_theory() {
+    // Theorem 4.2 / Lemma 4.1, checked on concrete schedules of all three fixed benchmarks.
+    use mvrc_repro::schedule::{mvrc_theory, random_mvrc_schedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    for workload in [smallbank(), auction(), tpcc()] {
+        let ltps = unfold_set_le2(&workload.programs);
+        let config = SearchConfig {
+            transactions: 3,
+            tuples_per_relation: 2,
+            predicate_fanout: 2,
+            attempts: 150,
+            seed: 11,
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut checked = 0;
+        for _ in 0..config.attempts {
+            if let Some(schedule) = random_mvrc_schedule(&workload.schema, &ltps, &config, &mut rng) {
+                let graph = SerializationGraph::of(&schedule);
+                assert!(mvrc_theory::counterflow_only_on_antidependencies(&graph));
+                assert!(mvrc_theory::non_counterflow_subgraph_is_acyclic(&graph));
+                assert!(mvrc_theory::counterflow_subgraph_is_acyclic(&graph));
+                checked += 1;
+            }
+        }
+        assert!(checked > 20, "{}: too few MVRC-legal samples ({checked})", workload.name);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over randomly generated workloads.
+//!
+//! The synthetic generator of `mvrc-benchmarks` produces reproducible random workloads; the
+//! properties below capture structural guarantees of the paper:
+//!
+//! * the type-II condition is a refinement of the type-I condition (Theorem 4.2 / Definition
+//!   4.3): whatever the baseline attests robust, Algorithm 2 attests robust as well;
+//! * coarser conflict information only removes robustness: tuple-granularity robust ⇒
+//!   attribute-granularity robust, and robust without foreign keys ⇒ robust with foreign keys
+//!   (the extra information only removes summary-graph edges);
+//! * the optimized and the literal transcription of Algorithm 2 agree;
+//! * soundness end-to-end (Proposition 6.5): a workload attested robust never produces a
+//!   non-serializable MVRC schedule under randomized instantiation and interleaving.
+
+use mvrc_repro::benchmarks::{synthetic, SyntheticConfig};
+use mvrc_repro::prelude::*;
+use mvrc_repro::robustness::{find_type2_violation, find_type2_violation_naive, is_robust};
+use mvrc_repro::schedule::sample_serializability;
+use proptest::prelude::*;
+
+fn synthetic_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..=3,     // relations
+        2usize..=5,     // attributes per relation
+        1usize..=4,     // programs
+        1usize..=4,     // statements per program
+        0.0f64..=1.0,   // predicate probability
+        0.0f64..=1.0,   // write probability
+        0.0f64..=0.6,   // loop probability
+        0.0f64..=0.6,   // optional probability
+        any::<u64>(),   // seed
+    )
+        .prop_map(
+            |(relations, attrs, programs, statements, pred_p, write_p, loop_p, opt_p, seed)| {
+                SyntheticConfig {
+                    relations,
+                    attributes_per_relation: attrs,
+                    programs,
+                    statements_per_program: statements,
+                    predicate_probability: pred_p,
+                    write_probability: write_p,
+                    loop_probability: loop_p,
+                    optional_probability: opt_p,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn type1_robust_implies_type2_robust(config in synthetic_config_strategy()) {
+        let workload = synthetic(config);
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        for use_fk in [false, true] {
+            for granularity in [Granularity::Attribute, Granularity::Tuple] {
+                let graph = analyzer.summary_graph(AnalysisSettings {
+                    granularity,
+                    use_foreign_keys: use_fk,
+                    condition: CycleCondition::TypeII,
+                });
+                if is_robust(&graph, CycleCondition::TypeI) {
+                    prop_assert!(
+                        is_robust(&graph, CycleCondition::TypeII),
+                        "type-I robust but not type-II robust"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_settings_only_lose_robustness(config in synthetic_config_strategy()) {
+        let workload = synthetic(config);
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let attr = AnalysisSettings::paper_default();
+        let tuple = AnalysisSettings { granularity: Granularity::Tuple, ..attr };
+        let no_fk = AnalysisSettings { use_foreign_keys: false, ..attr };
+        // Tuple granularity adds edges; robustness at tuple granularity implies robustness at
+        // attribute granularity.
+        if analyzer.is_robust(tuple) {
+            prop_assert!(analyzer.is_robust(attr));
+        }
+        // Ignoring foreign keys adds counterflow edges; robustness without them implies
+        // robustness with them.
+        if analyzer.is_robust(no_fk) {
+            prop_assert!(analyzer.is_robust(attr));
+        }
+    }
+
+    #[test]
+    fn optimized_and_naive_algorithm2_agree(config in synthetic_config_strategy()) {
+        let workload = synthetic(config);
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+            let graph = analyzer.summary_graph(settings);
+            prop_assert_eq!(
+                find_type2_violation(&graph).is_some(),
+                find_type2_violation_naive(&graph).is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn unfolding_deeper_does_not_flip_verdicts(config in synthetic_config_strategy()) {
+        let workload = synthetic(config);
+        let le2 = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let le3 = RobustnessAnalyzer::with_unfold_options(
+            &workload.schema,
+            &workload.programs,
+            mvrc_repro::btp::UnfoldOptions { max_loop_iterations: 3, deduplicate: true },
+        );
+        let settings = AnalysisSettings::paper_default();
+        prop_assert_eq!(le2.is_robust(settings), le3.is_robust(settings));
+    }
+}
+
+proptest! {
+    // The dynamic soundness check executes schedules, so keep the number of cases lower.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn attested_robust_workloads_never_yield_non_serializable_mvrc_schedules(
+        config in synthetic_config_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let workload = synthetic(config);
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        if !analyzer.is_robust(AnalysisSettings::paper_default()) {
+            // Nothing to check: the analysis makes no claim about non-attested workloads.
+            return Ok(());
+        }
+        let search = SearchConfig {
+            transactions: 3,
+            tuples_per_relation: 2,
+            predicate_fanout: 2,
+            attempts: 120,
+            seed,
+        };
+        let stats = sample_serializability(&workload.schema, analyzer.ltps(), &search);
+        prop_assert_eq!(
+            stats.serializable, stats.mvrc_schedules,
+            "attested-robust workload produced a non-serializable MVRC schedule"
+        );
+    }
+}
