@@ -35,7 +35,10 @@ fn bench_unfold_depth(c: &mut Criterion) {
                 let analyzer = RobustnessAnalyzer::with_unfold_options(
                     &workload.schema,
                     &workload.programs,
-                    mvrc_btp::UnfoldOptions { max_loop_iterations: depth, deduplicate: true },
+                    mvrc_btp::UnfoldOptions {
+                        max_loop_iterations: depth,
+                        deduplicate: true,
+                    },
                 );
                 analyzer.is_robust(AnalysisSettings::paper_default())
             })
@@ -63,5 +66,10 @@ fn bench_granularity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_settings_grid, bench_unfold_depth, bench_granularity);
+criterion_group!(
+    benches,
+    bench_settings_grid,
+    bench_unfold_depth,
+    bench_granularity
+);
 criterion_main!(benches);

@@ -21,8 +21,10 @@ fn bench_smallbank_isolation_levels(c: &mut Criterion) {
             BenchmarkId::from_parameter(isolation.name()),
             &isolation,
             |b, &isolation| {
-                let workload =
-                    smallbank_executable(SmallBankConfig { customers: 5, initial_balance: 1_000 });
+                let workload = smallbank_executable(SmallBankConfig {
+                    customers: 5,
+                    initial_balance: 1_000,
+                });
                 b.iter(|| {
                     run_workload(
                         &workload,
@@ -48,7 +50,10 @@ fn bench_auction_isolation_levels(c: &mut Criterion) {
             BenchmarkId::from_parameter(isolation.name()),
             &isolation,
             |b, &isolation| {
-                let workload = auction_executable(AuctionConfig { buyers: 5, max_bid: 100 });
+                let workload = auction_executable(AuctionConfig {
+                    buyers: 5,
+                    max_bid: 100,
+                });
                 b.iter(|| {
                     run_workload(
                         &workload,
@@ -76,8 +81,10 @@ fn bench_contention_sweep(c: &mut Criterion) {
             BenchmarkId::from_parameter(customers),
             &customers,
             |b, &customers| {
-                let workload =
-                    smallbank_executable(SmallBankConfig { customers, initial_balance: 1_000 });
+                let workload = smallbank_executable(SmallBankConfig {
+                    customers,
+                    initial_balance: 1_000,
+                });
                 b.iter(|| {
                     run_workload(
                         &workload,
@@ -100,22 +107,29 @@ fn bench_history_checker(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/history-check");
     group.sample_size(10);
     for commits in [100usize, 400, 800] {
-        group.bench_with_input(BenchmarkId::from_parameter(commits), &commits, |b, &commits| {
-            let workload = smallbank_executable(SmallBankConfig { customers: 10, initial_balance: 1_000 });
-            // The end-to-end run includes the post-run check, whose O(n²) dependency scan
-            // dominates for large histories.
-            b.iter(|| {
-                run_workload(
-                    &workload,
-                    DriverConfig {
-                        isolation: IsolationLevel::ReadCommitted,
-                        concurrency: 6,
-                        target_commits: commits,
-                        seed: 11,
-                    },
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(commits),
+            &commits,
+            |b, &commits| {
+                let workload = smallbank_executable(SmallBankConfig {
+                    customers: 10,
+                    initial_balance: 1_000,
+                });
+                // The end-to-end run includes the post-run check, whose O(n²) dependency scan
+                // dominates for large histories.
+                b.iter(|| {
+                    run_workload(
+                        &workload,
+                        DriverConfig {
+                            isolation: IsolationLevel::ReadCommitted,
+                            concurrency: 6,
+                            target_commits: commits,
+                            seed: 11,
+                        },
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -29,7 +29,10 @@ fn bench_auction_n_graph_only(c: &mut Criterion) {
         let workload = auction_n(n);
         let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
         group.bench_with_input(BenchmarkId::from_parameter(n), &analyzer, |b, a| {
-            b.iter(|| a.summary_graph(AnalysisSettings::paper_default()).edge_count())
+            b.iter(|| {
+                a.summary_graph(AnalysisSettings::paper_default())
+                    .edge_count()
+            })
         });
     }
     group.finish();

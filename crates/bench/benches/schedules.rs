@@ -29,7 +29,11 @@ fn bench_random_schedules(c: &mut Criterion) {
 fn bench_serialization_graph(c: &mut Criterion) {
     let workload = smallbank();
     let ltps = unfold_set_le2(&workload.programs);
-    let config = SearchConfig { transactions: 6, attempts: 1, ..SearchConfig::default() };
+    let config = SearchConfig {
+        transactions: 6,
+        attempts: 1,
+        ..SearchConfig::default()
+    };
     let mut rng = StdRng::seed_from_u64(42);
     let schedule = loop {
         if let Some(s) =

@@ -1,0 +1,36 @@
+//! Criterion bench: the maximal-robust-subset exploration (Section 7.2, Figures 6/7).
+//!
+//! Compares the shared-graph exploration (one Algorithm 1 run + parallel induced-subgraph
+//! views) against the retained naive baseline (one full summary-graph reconstruction per
+//! subset, serial) on every paper benchmark. The `shared` numbers should beat `naive` by a
+//! widening margin as the workload's LTP count grows (TPC-C is the largest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvrc_benchmarks::{auction, smallbank, tpcc};
+use mvrc_robustness::{
+    explore_subsets, explore_subsets_naive, AnalysisSettings, RobustnessAnalyzer,
+};
+
+fn bench_subset_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_exploration");
+    group.sample_size(10);
+    for workload in [smallbank(), tpcc(), auction()] {
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        group.bench_with_input(
+            BenchmarkId::new("shared", &workload.name),
+            &analyzer,
+            |b, analyzer| b.iter(|| explore_subsets(analyzer, AnalysisSettings::paper_default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", &workload.name),
+            &analyzer,
+            |b, analyzer| {
+                b.iter(|| explore_subsets_naive(analyzer, AnalysisSettings::paper_default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subset_exploration);
+criterion_main!(benches);

@@ -14,7 +14,11 @@ fn bench_construction(c: &mut Criterion) {
             &ltps,
             |b, ltps| {
                 b.iter(|| {
-                    SummaryGraph::construct(ltps, &workload.schema, AnalysisSettings::paper_default())
+                    SummaryGraph::construct(
+                        ltps,
+                        &workload.schema,
+                        AnalysisSettings::paper_default(),
+                    )
                 })
             },
         );

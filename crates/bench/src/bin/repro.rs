@@ -61,7 +61,10 @@ fn main() {
 fn print_table2(json: bool) {
     let rows = table2();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("== Table 2: benchmark characteristics (attr dep + FK summary graphs) ==");
@@ -75,7 +78,10 @@ fn print_table2(json: bool) {
 fn print_figure6(json: bool) {
     let rows = figure6();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("== Figure 6: maximal robust subsets, Algorithm 2 (no type-II cycle) ==");
@@ -86,7 +92,10 @@ fn print_figure6(json: bool) {
 fn print_figure7(json: bool) {
     let rows = figure7();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("== Figure 7: maximal robust subsets, type-I condition of [Alomari & Fekete] ==");
@@ -101,15 +110,27 @@ fn print_figure8(max_n: usize, json: bool) {
         .collect();
     let rows = figure8(&ns, 10);
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("== Figure 8: Auction(n) scalability (10 repetitions, mean ± 95% CI) ==");
-    println!("  {:>5} {:>7} {:>10} {:>12} {:>16}", "n", "nodes", "edges", "cf edges", "time [ms]");
+    println!(
+        "  {:>5} {:>7} {:>10} {:>12} {:>16}",
+        "n", "nodes", "edges", "cf edges", "time [ms]"
+    );
     for row in &rows {
         println!(
             "  {:>5} {:>7} {:>10} {:>12} {:>10.2} ± {:.2}   robust={}",
-            row.n, row.nodes, row.edges, row.counterflow_edges, row.mean_ms, row.ci95_ms, row.robust
+            row.n,
+            row.nodes,
+            row.edges,
+            row.counterflow_edges,
+            row.mean_ms,
+            row.ci95_ms,
+            row.robust
         );
     }
     println!();
@@ -128,13 +149,27 @@ fn print_graphs() {
         let ltps = unfold_set_le2(&workload.programs);
         let graph =
             SummaryGraph::construct(&ltps, &workload.schema, AnalysisSettings::paper_default());
-        println!("== Summary graph for {} (DOT, Figure 11/18 style) ==", workload.name);
-        println!("{}", to_dot(&graph, DotOptions { edge_labels: false, merge_parallel_edges: true }));
+        println!(
+            "== Summary graph for {} (DOT, Figure 11/18 style) ==",
+            workload.name
+        );
+        println!(
+            "{}",
+            to_dot(
+                &graph,
+                DotOptions {
+                    edge_labels: false,
+                    merge_parallel_edges: true
+                }
+            )
+        );
     }
 }
 
 fn smallbank_ground_truth() {
-    println!("== Section 7.2: SmallBank ground truth (counterexample search for rejected subsets) ==");
+    println!(
+        "== Section 7.2: SmallBank ground truth (counterexample search for rejected subsets) =="
+    );
     let workload = smallbank();
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
     let exploration = explore_subsets(&analyzer, AnalysisSettings::paper_default());
@@ -159,7 +194,11 @@ fn smallbank_ground_truth() {
             .collect();
         // Four concurrent transactions: some anomalies (e.g. {Balance, DepositChecking,
         // TransactSavings}) need two reader instances plus both writers to close a cycle.
-        let config = SearchConfig { transactions: 4, attempts: 25_000, ..SearchConfig::default() };
+        let config = SearchConfig {
+            transactions: 4,
+            attempts: 25_000,
+            ..SearchConfig::default()
+        };
         match find_counterexample(&workload.schema, &ltps, &config) {
             Some(cex) => {
                 confirmed += 1;

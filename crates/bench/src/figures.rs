@@ -1,9 +1,7 @@
 //! Figures 6, 7 and 8 — robust subsets per setting and the Auction(n) scalability sweep.
 
 use mvrc_benchmarks::{auction, auction_n, smallbank, tpcc, Workload};
-use mvrc_robustness::{
-    explore_subsets, AnalysisSettings, CycleCondition, RobustnessAnalyzer,
-};
+use mvrc_robustness::{explore_subsets, AnalysisSettings, CycleCondition, RobustnessAnalyzer};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -77,7 +75,10 @@ pub struct Figure8Row {
 /// do the same. Absolute numbers depend on the machine — the claims being reproduced are the
 /// quadratic edge growth and that even hundreds of programs verify in seconds.
 pub fn figure8(ns: &[usize], repetitions: usize) -> Vec<Figure8Row> {
-    assert!(repetitions >= 2, "need at least two repetitions for a confidence interval");
+    assert!(
+        repetitions >= 2,
+        "need at least two repetitions for a confidence interval"
+    );
     ns.iter()
         .map(|&n| {
             let workload = auction_n(n);
@@ -132,7 +133,10 @@ pub fn render_subset_rows(rows: &[RobustSubsetRow]) -> String {
             out.push_str(&format!("{}\n", row.benchmark));
             current = &row.benchmark;
         }
-        out.push_str(&format!("  {:<14} {}\n", row.setting, row.maximal_robust_subsets));
+        out.push_str(&format!(
+            "  {:<14} {}\n",
+            row.setting, row.maximal_robust_subsets
+        ));
     }
     out
 }
@@ -156,7 +160,10 @@ mod tests {
             .iter()
             .find(|r| r.benchmark == "TPC-C" && r.setting == "attr dep + FK")
             .unwrap();
-        assert_eq!(tpcc_attr_fk.maximal_robust_subsets, "{Pay, OS, SL}, {NO, Pay}");
+        assert_eq!(
+            tpcc_attr_fk.maximal_robust_subsets,
+            "{Pay, OS, SL}, {NO, Pay}"
+        );
         let rendered = render_subset_rows(&f6);
         assert!(rendered.contains("SmallBank"));
         assert!(rendered.contains("attr dep + FK"));

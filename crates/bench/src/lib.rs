@@ -4,9 +4,6 @@
 //! (Section 7). The `repro` binary drives these functions from the command line; the Criterion
 //! benches reuse them for timing.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod figures;
 pub mod tables;
 

@@ -58,7 +58,10 @@ impl Table2Row {
 
 /// Computes Table 2 for the three fixed benchmarks (SmallBank, TPC-C, Auction).
 pub fn table2() -> Vec<Table2Row> {
-    [smallbank(), tpcc(), auction()].iter().map(Table2Row::for_workload).collect()
+    [smallbank(), tpcc(), auction()]
+        .iter()
+        .map(Table2Row::for_workload)
+        .collect()
 }
 
 #[cfg(test)]

@@ -40,11 +40,19 @@ PROGRAM PlaceBid(:B, :V) {
 /// The Auction schema of Section 2.
 pub fn auction_schema() -> Schema {
     let mut b = SchemaBuilder::new("Auction");
-    let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).expect("valid relation");
-    let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).expect("valid relation");
-    let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).expect("valid relation");
-    b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).expect("valid fk");
-    b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).expect("valid fk");
+    let buyer = b
+        .relation("Buyer", &["id", "calls"], &["id"])
+        .expect("valid relation");
+    let bids = b
+        .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+        .expect("valid relation");
+    let log = b
+        .relation("Log", &["id", "buyerId", "bid"], &["id"])
+        .expect("valid relation");
+    b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+        .expect("valid fk");
+    b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+        .expect("valid fk");
     b.build()
 }
 
@@ -52,8 +60,16 @@ pub fn auction_schema() -> Schema {
 /// foreign-key constraints `q3 = f1(q4)`, `q3 = f1(q5)`, `q3 = f2(q6)` of Section 5.1.
 pub fn auction() -> Workload {
     let schema = auction_schema();
-    let programs = vec![find_bids(&schema, "FindBids", "Bids"), place_bid(&schema, "PlaceBid", "Bids", "f1")];
-    Workload::new("Auction", schema, programs, &[("FindBids", "FB"), ("PlaceBid", "PB")])
+    let programs = vec![
+        find_bids(&schema, "FindBids", "Bids"),
+        place_bid(&schema, "PlaceBid", "Bids", "f1"),
+    ];
+    Workload::new(
+        "Auction",
+        schema,
+        programs,
+        &[("FindBids", "FB"), ("PlaceBid", "PB")],
+    )
 }
 
 /// The scalable Auction(n) workload (Section 7.3): one `Bids_i` relation and one
@@ -62,14 +78,22 @@ pub fn auction() -> Workload {
 pub fn auction_n(n: usize) -> Workload {
     assert!(n >= 1, "Auction(n) needs at least one item");
     let mut b = SchemaBuilder::new(format!("Auction({n})"));
-    let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).expect("valid relation");
-    let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).expect("valid relation");
-    b.foreign_key("f_log", log, &["buyerId"], buyer, &["id"]).expect("valid fk");
+    let buyer = b
+        .relation("Buyer", &["id", "calls"], &["id"])
+        .expect("valid relation");
+    let log = b
+        .relation("Log", &["id", "buyerId", "bid"], &["id"])
+        .expect("valid relation");
+    b.foreign_key("f_log", log, &["buyerId"], buyer, &["id"])
+        .expect("valid fk");
     let mut bids_names = Vec::with_capacity(n);
     for i in 1..=n {
         let name = format!("Bids{i}");
-        let bids = b.relation(&name, &["buyerId", "bid"], &["buyerId"]).expect("valid relation");
-        b.foreign_key(&format!("f_bids{i}"), bids, &["buyerId"], buyer, &["id"]).expect("valid fk");
+        let bids = b
+            .relation(&name, &["buyerId", "bid"], &["buyerId"])
+            .expect("valid relation");
+        b.foreign_key(&format!("f_bids{i}"), bids, &["buyerId"], buyer, &["id"])
+            .expect("valid fk");
         bids_names.push(name);
     }
     let schema = b.build();
@@ -79,20 +103,31 @@ pub fn auction_n(n: usize) -> Workload {
     for (idx, bids_name) in bids_names.iter().enumerate() {
         let i = idx + 1;
         programs.push(find_bids(&schema, &format!("FindBids{i}"), bids_name));
-        programs.push(place_bid(&schema, &format!("PlaceBid{i}"), bids_name, &format!("f_bids{i}")));
+        programs.push(place_bid(
+            &schema,
+            &format!("PlaceBid{i}"),
+            bids_name,
+            &format!("f_bids{i}"),
+        ));
         abbreviations.push((format!("FindBids{i}"), format!("FB{i}")));
         abbreviations.push((format!("PlaceBid{i}"), format!("PB{i}")));
     }
-    let abbrev_refs: Vec<(&str, &str)> =
-        abbreviations.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let abbrev_refs: Vec<(&str, &str)> = abbreviations
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     Workload::new(format!("Auction({n})"), schema, programs, &abbrev_refs)
 }
 
 /// `FindBids := q1; q2` over the given bids relation.
 fn find_bids(schema: &Schema, name: &str, bids_rel: &str) -> Program {
     let mut pb = ProgramBuilder::new(schema, name);
-    let q1 = pb.key_update("q1", "Buyer", &["calls"], &["calls"]).expect("q1");
-    let q2 = pb.pred_select("q2", bids_rel, &["bid"], &["bid"]).expect("q2");
+    let q1 = pb
+        .key_update("q1", "Buyer", &["calls"], &["calls"])
+        .expect("q1");
+    let q2 = pb
+        .pred_select("q2", bids_rel, &["bid"], &["bid"])
+        .expect("q2");
     pb.seq(&[q1.into(), q2.into()]);
     pb.build()
 }
@@ -101,14 +136,20 @@ fn find_bids(schema: &Schema, name: &str, bids_rel: &str) -> Program {
 /// constraints of Section 5.1.
 fn place_bid(schema: &Schema, name: &str, bids_rel: &str, bids_fk: &str) -> Program {
     let mut pb = ProgramBuilder::new(schema, name);
-    let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).expect("q3");
+    let q3 = pb
+        .key_update("q3", "Buyer", &["calls"], &["calls"])
+        .expect("q3");
     let q4 = pb.key_select("q4", bids_rel, &["bid"]).expect("q4");
     let q5 = pb.key_update("q5", bids_rel, &[], &["bid"]).expect("q5");
     let q6 = pb.insert("q6", "Log").expect("q6");
     pb.seq(&[q3.into(), q4.into()]);
     pb.optional(q5.into());
     pb.push(q6.into());
-    let log_fk = if schema.foreign_key_by_name("f2").is_some() { "f2" } else { "f_log" };
+    let log_fk = if schema.foreign_key_by_name("f2").is_some() {
+        "f2"
+    } else {
+        "f_log"
+    };
     pb.fk_constraint(bids_fk, q4, q3).expect("q3 = f(q4)");
     pb.fk_constraint(bids_fk, q5, q3).expect("q3 = f(q5)");
     pb.fk_constraint(log_fk, q6, q3).expect("q3 = f(q6)");
@@ -148,7 +189,10 @@ mod tests {
         for (sql_prog, built_prog) in from_sql.iter().zip(&w.programs) {
             assert_eq!(sql_prog.name(), built_prog.name());
             assert_eq!(sql_prog.statement_count(), built_prog.statement_count());
-            assert_eq!(sql_prog.fk_constraints().len(), built_prog.fk_constraints().len());
+            assert_eq!(
+                sql_prog.fk_constraints().len(),
+                built_prog.fk_constraints().len()
+            );
             for ((_, s_sql), (_, s_built)) in sql_prog.statements().zip(built_prog.statements()) {
                 assert_eq!(s_sql.kind(), s_built.kind());
                 assert_eq!(s_sql.rel(), s_built.rel());

@@ -15,9 +15,6 @@
 //! Every workload is returned as a [`Workload`]: schema + programs + the program abbreviations
 //! used in the paper's figures.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod auction;
 mod smallbank;
 mod synthetic;
@@ -51,17 +48,35 @@ mod tests {
         // Table 2, first three rows: relations, attributes per relation, transaction programs.
         let sb = smallbank();
         assert_eq!(sb.schema.relation_count(), 3);
-        assert_eq!((sb.min_attributes_per_relation(), sb.max_attributes_per_relation()), (2, 2));
+        assert_eq!(
+            (
+                sb.min_attributes_per_relation(),
+                sb.max_attributes_per_relation()
+            ),
+            (2, 2)
+        );
         assert_eq!(sb.program_count(), 5);
 
         let tp = tpcc();
         assert_eq!(tp.schema.relation_count(), 9);
-        assert_eq!((tp.min_attributes_per_relation(), tp.max_attributes_per_relation()), (3, 21));
+        assert_eq!(
+            (
+                tp.min_attributes_per_relation(),
+                tp.max_attributes_per_relation()
+            ),
+            (3, 21)
+        );
         assert_eq!(tp.program_count(), 5);
 
         let au = auction();
         assert_eq!(au.schema.relation_count(), 3);
-        assert_eq!((au.min_attributes_per_relation(), au.max_attributes_per_relation()), (2, 3));
+        assert_eq!(
+            (
+                au.min_attributes_per_relation(),
+                au.max_attributes_per_relation()
+            ),
+            (2, 3)
+        );
         assert_eq!(au.program_count(), 2);
 
         let aun = auction_n(10);

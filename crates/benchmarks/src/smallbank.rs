@@ -15,16 +15,31 @@ use mvrc_schema::{Schema, SchemaBuilder};
 /// The SmallBank schema.
 pub fn smallbank_schema() -> Schema {
     let mut b = SchemaBuilder::new("SmallBank");
-    let account =
-        b.relation("Account", &["Name", "CustomerId"], &["Name"]).expect("valid relation");
-    let savings =
-        b.relation("Savings", &["CustomerId", "Balance"], &["CustomerId"]).expect("valid relation");
-    let checking =
-        b.relation("Checking", &["CustomerId", "Balance"], &["CustomerId"]).expect("valid relation");
-    b.foreign_key("fk_savings", account, &["CustomerId"], savings, &["CustomerId"])
-        .expect("valid fk");
-    b.foreign_key("fk_checking", account, &["CustomerId"], checking, &["CustomerId"])
-        .expect("valid fk");
+    let account = b
+        .relation("Account", &["Name", "CustomerId"], &["Name"])
+        .expect("valid relation");
+    let savings = b
+        .relation("Savings", &["CustomerId", "Balance"], &["CustomerId"])
+        .expect("valid relation");
+    let checking = b
+        .relation("Checking", &["CustomerId", "Balance"], &["CustomerId"])
+        .expect("valid relation");
+    b.foreign_key(
+        "fk_savings",
+        account,
+        &["CustomerId"],
+        savings,
+        &["CustomerId"],
+    )
+    .expect("valid fk");
+    b.foreign_key(
+        "fk_checking",
+        account,
+        &["CustomerId"],
+        checking,
+        &["CustomerId"],
+    )
+    .expect("valid fk");
     b.build()
 }
 
@@ -58,13 +73,21 @@ fn amalgamate(schema: &Schema) -> Program {
     let mut pb = ProgramBuilder::new(schema, "Amalgamate");
     let q1 = pb.key_select("q1", "Account", &["CustomerId"]).expect("q1");
     let q2 = pb.key_select("q2", "Account", &["CustomerId"]).expect("q2");
-    let q3 = pb.key_update("q3", "Savings", &["Balance"], &["Balance"]).expect("q3");
-    let q4 = pb.key_update("q4", "Checking", &["Balance"], &["Balance"]).expect("q4");
-    let q5 = pb.key_update("q5", "Checking", &["Balance"], &["Balance"]).expect("q5");
+    let q3 = pb
+        .key_update("q3", "Savings", &["Balance"], &["Balance"])
+        .expect("q3");
+    let q4 = pb
+        .key_update("q4", "Checking", &["Balance"], &["Balance"])
+        .expect("q4");
+    let q5 = pb
+        .key_update("q5", "Checking", &["Balance"], &["Balance"])
+        .expect("q5");
     pb.seq(&[q1.into(), q2.into(), q3.into(), q4.into(), q5.into()]);
     pb.fk_constraint("fk_savings", q1, q3).expect("q3 = fs(q1)");
-    pb.fk_constraint("fk_checking", q1, q4).expect("q4 = fc(q1)");
-    pb.fk_constraint("fk_checking", q2, q5).expect("q5 = fc(q2)");
+    pb.fk_constraint("fk_checking", q1, q4)
+        .expect("q4 = fc(q1)");
+    pb.fk_constraint("fk_checking", q2, q5)
+        .expect("q5 = fc(q2)");
     pb.build()
 }
 
@@ -76,7 +99,8 @@ fn balance(schema: &Schema) -> Program {
     let q8 = pb.key_select("q8", "Checking", &["Balance"]).expect("q8");
     pb.seq(&[q6.into(), q7.into(), q8.into()]);
     pb.fk_constraint("fk_savings", q6, q7).expect("q7 = fs(q6)");
-    pb.fk_constraint("fk_checking", q6, q8).expect("q8 = fc(q6)");
+    pb.fk_constraint("fk_checking", q6, q8)
+        .expect("q8 = fc(q6)");
     pb.build()
 }
 
@@ -84,33 +108,48 @@ fn balance(schema: &Schema) -> Program {
 fn deposit_checking(schema: &Schema) -> Program {
     let mut pb = ProgramBuilder::new(schema, "DepositChecking");
     let q9 = pb.key_select("q9", "Account", &["CustomerId"]).expect("q9");
-    let q10 = pb.key_update("q10", "Checking", &["Balance"], &["Balance"]).expect("q10");
+    let q10 = pb
+        .key_update("q10", "Checking", &["Balance"], &["Balance"])
+        .expect("q10");
     pb.seq(&[q9.into(), q10.into()]);
-    pb.fk_constraint("fk_checking", q9, q10).expect("q10 = fc(q9)");
+    pb.fk_constraint("fk_checking", q9, q10)
+        .expect("q10 = fc(q9)");
     pb.build()
 }
 
 /// `TransactSavings := q11; q12` — deposit into / withdraw from the savings account.
 fn transact_savings(schema: &Schema) -> Program {
     let mut pb = ProgramBuilder::new(schema, "TransactSavings");
-    let q11 = pb.key_select("q11", "Account", &["CustomerId"]).expect("q11");
-    let q12 = pb.key_update("q12", "Savings", &["Balance"], &["Balance"]).expect("q12");
+    let q11 = pb
+        .key_select("q11", "Account", &["CustomerId"])
+        .expect("q11");
+    let q12 = pb
+        .key_update("q12", "Savings", &["Balance"], &["Balance"])
+        .expect("q12");
     pb.seq(&[q11.into(), q12.into()]);
-    pb.fk_constraint("fk_savings", q11, q12).expect("q12 = fs(q11)");
+    pb.fk_constraint("fk_savings", q11, q12)
+        .expect("q12 = fs(q11)");
     pb.build()
 }
 
 /// `WriteCheck := q13; q14; q15; q16` — write a check, penalizing overdraws.
 fn write_check(schema: &Schema) -> Program {
     let mut pb = ProgramBuilder::new(schema, "WriteCheck");
-    let q13 = pb.key_select("q13", "Account", &["CustomerId"]).expect("q13");
+    let q13 = pb
+        .key_select("q13", "Account", &["CustomerId"])
+        .expect("q13");
     let q14 = pb.key_select("q14", "Savings", &["Balance"]).expect("q14");
     let q15 = pb.key_select("q15", "Checking", &["Balance"]).expect("q15");
-    let q16 = pb.key_update("q16", "Checking", &["Balance"], &["Balance"]).expect("q16");
+    let q16 = pb
+        .key_update("q16", "Checking", &["Balance"], &["Balance"])
+        .expect("q16");
     pb.seq(&[q13.into(), q14.into(), q15.into(), q16.into()]);
-    pb.fk_constraint("fk_savings", q13, q14).expect("q14 = fs(q13)");
-    pb.fk_constraint("fk_checking", q13, q15).expect("q15 = fc(q13)");
-    pb.fk_constraint("fk_checking", q13, q16).expect("q16 = fc(q13)");
+    pb.fk_constraint("fk_savings", q13, q14)
+        .expect("q14 = fs(q13)");
+    pb.fk_constraint("fk_checking", q13, q15)
+        .expect("q15 = fc(q13)");
+    pb.fk_constraint("fk_checking", q13, q16)
+        .expect("q16 = fc(q13)");
     pb.build()
 }
 
@@ -133,7 +172,13 @@ mod tests {
     fn five_linear_programs_with_figure_10_statement_counts() {
         let w = smallbank();
         assert_eq!(w.program_count(), 5);
-        let expected = [("Amalgamate", 5), ("Balance", 3), ("DepositChecking", 2), ("TransactSavings", 2), ("WriteCheck", 4)];
+        let expected = [
+            ("Amalgamate", 5),
+            ("Balance", 3),
+            ("DepositChecking", 2),
+            ("TransactSavings", 2),
+            ("WriteCheck", 4),
+        ];
         for (name, count) in expected {
             let p = w.program(name).unwrap();
             assert_eq!(p.statement_count(), count, "statement count of {name}");
@@ -142,7 +187,10 @@ mod tests {
         // No inserts, deletes or predicate-based statements anywhere (Section 7.1).
         for p in &w.programs {
             for (_, s) in p.statements() {
-                assert!(matches!(s.kind(), StatementKind::KeySelect | StatementKind::KeyUpdate));
+                assert!(matches!(
+                    s.kind(),
+                    StatementKind::KeySelect | StatementKind::KeyUpdate
+                ));
             }
         }
     }

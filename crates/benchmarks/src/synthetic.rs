@@ -60,17 +60,26 @@ pub fn synthetic(config: SyntheticConfig) -> Workload {
     );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schema = synthetic_schema(&config);
-    let programs: Vec<Program> =
-        (0..config.programs).map(|i| synthetic_program(&schema, &config, i, &mut rng)).collect();
-    Workload::new(format!("Synthetic(seed={})", config.seed), schema, programs, &[])
+    let programs: Vec<Program> = (0..config.programs)
+        .map(|i| synthetic_program(&schema, &config, i, &mut rng))
+        .collect();
+    Workload::new(
+        format!("Synthetic(seed={})", config.seed),
+        schema,
+        programs,
+        &[],
+    )
 }
 
 fn synthetic_schema(config: &SyntheticConfig) -> Schema {
     let mut b = SchemaBuilder::new("Synthetic");
-    let attr_names: Vec<String> = (0..config.attributes_per_relation).map(|i| format!("a{i}")).collect();
+    let attr_names: Vec<String> = (0..config.attributes_per_relation)
+        .map(|i| format!("a{i}"))
+        .collect();
     let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
     for r in 0..config.relations {
-        b.relation(&format!("R{r}"), &attr_refs, &[attr_refs[0]]).expect("valid synthetic relation");
+        b.relation(&format!("R{r}"), &attr_refs, &[attr_refs[0]])
+            .expect("valid synthetic relation");
     }
     b.build()
 }
@@ -93,7 +102,9 @@ fn synthetic_program(
         // Pick 1..=3 random attribute names.
         let pick = |rng: &mut StdRng| -> Vec<String> {
             let n = rng.gen_range(1..=3.min(attr_count));
-            (0..n).map(|_| format!("a{}", rng.gen_range(0..attr_count))).collect()
+            (0..n)
+                .map(|_| format!("a{}", rng.gen_range(0..attr_count)))
+                .collect()
         };
         fn to_refs(v: &[String]) -> Vec<&str> {
             v.iter().map(String::as_str).collect()
@@ -101,12 +112,14 @@ fn synthetic_program(
         let stmt = match (predicate, write) {
             (false, false) => {
                 let read = pick(rng);
-                pb.key_select(&name, rel, &to_refs(&read)).expect("key select")
+                pb.key_select(&name, rel, &to_refs(&read))
+                    .expect("key select")
             }
             (true, false) => {
                 let pread = pick(rng);
                 let read = pick(rng);
-                pb.pred_select(&name, rel, &to_refs(&pread), &to_refs(&read)).expect("pred select")
+                pb.pred_select(&name, rel, &to_refs(&pread), &to_refs(&read))
+                    .expect("pred select")
             }
             (false, true) => match rng.gen_range(0..3u8) {
                 0 => pb.insert(&name, rel).expect("insert"),
@@ -121,13 +134,20 @@ fn synthetic_program(
             (true, true) => {
                 if rng.gen_bool(0.5) {
                     let pread = pick(rng);
-                    pb.pred_delete(&name, rel, &to_refs(&pread)).expect("pred delete")
+                    pb.pred_delete(&name, rel, &to_refs(&pread))
+                        .expect("pred delete")
                 } else {
                     let pread = pick(rng);
                     let read = pick(rng);
                     let write_attrs = pick(rng);
-                    pb.pred_update(&name, rel, &to_refs(&pread), &to_refs(&read), &to_refs(&write_attrs))
-                        .expect("pred update")
+                    pb.pred_update(
+                        &name,
+                        rel,
+                        &to_refs(&pread),
+                        &to_refs(&read),
+                        &to_refs(&write_attrs),
+                    )
+                    .expect("pred update")
                 }
             }
         };
@@ -141,7 +161,9 @@ fn synthetic_program(
     // Possibly wrap the last half of the statements in a loop.
     if exprs.len() >= 2 && rng.gen_bool(config.loop_probability) {
         let tail = exprs.split_off(exprs.len() / 2);
-        exprs.push(mvrc_btp::ProgramExpr::looped(mvrc_btp::ProgramExpr::Seq(tail)));
+        exprs.push(mvrc_btp::ProgramExpr::looped(mvrc_btp::ProgramExpr::Seq(
+            tail,
+        )));
     }
     for e in exprs {
         pb.push(e);
@@ -162,14 +184,20 @@ mod tests {
         for (pa, pb) in a.programs.iter().zip(&b.programs) {
             assert_eq!(pa, pb);
         }
-        let c = synthetic(SyntheticConfig { seed: 7, ..SyntheticConfig::default() });
+        let c = synthetic(SyntheticConfig {
+            seed: 7,
+            ..SyntheticConfig::default()
+        });
         // Different seeds virtually always give different programs.
         assert_ne!(a.programs, c.programs);
     }
 
     #[test]
     fn generated_workloads_unfold() {
-        let w = synthetic(SyntheticConfig { programs: 8, ..SyntheticConfig::default() });
+        let w = synthetic(SyntheticConfig {
+            programs: 8,
+            ..SyntheticConfig::default()
+        });
         assert_eq!(w.program_count(), 8);
         let ltps = unfold_set_le2(&w.programs);
         assert!(ltps.len() >= 8);
@@ -177,9 +205,15 @@ mod tests {
 
     #[test]
     fn config_bounds_are_enforced() {
-        let bad = SyntheticConfig { attributes_per_relation: 1, ..SyntheticConfig::default() };
+        let bad = SyntheticConfig {
+            attributes_per_relation: 1,
+            ..SyntheticConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| synthetic(bad)).is_err());
-        let bad = SyntheticConfig { relations: 0, ..SyntheticConfig::default() };
+        let bad = SyntheticConfig {
+            relations: 0,
+            ..SyntheticConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| synthetic(bad)).is_err());
     }
 
@@ -203,7 +237,11 @@ mod tests {
         let writes = write_heavy
             .programs
             .iter()
-            .flat_map(|p| p.statements().map(|(_, s)| s.kind().writes()).collect::<Vec<_>>())
+            .flat_map(|p| {
+                p.statements()
+                    .map(|(_, s)| s.kind().writes())
+                    .collect::<Vec<_>>()
+            })
             .filter(|w| *w)
             .count();
         assert!(writes > 0);

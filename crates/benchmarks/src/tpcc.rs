@@ -38,7 +38,17 @@ pub fn tpcc_schema() -> Schema {
     let warehouse = b
         .relation(
             "Warehouse",
-            &["w_id", "w_name", "w_street_1", "w_street_2", "w_city", "w_state", "w_zip", "w_tax", "w_ytd"],
+            &[
+                "w_id",
+                "w_name",
+                "w_street_1",
+                "w_street_2",
+                "w_city",
+                "w_state",
+                "w_zip",
+                "w_tax",
+                "w_ytd",
+            ],
             &["w_id"],
         )
         .expect("Warehouse");
@@ -46,8 +56,17 @@ pub fn tpcc_schema() -> Schema {
         .relation(
             "District",
             &[
-                "d_id", "d_w_id", "d_name", "d_street_1", "d_street_2", "d_city", "d_state", "d_zip",
-                "d_tax", "d_ytd", "d_next_o_id",
+                "d_id",
+                "d_w_id",
+                "d_name",
+                "d_street_1",
+                "d_street_2",
+                "d_city",
+                "d_state",
+                "d_zip",
+                "d_tax",
+                "d_ytd",
+                "d_next_o_id",
             ],
             &["d_id", "d_w_id"],
         )
@@ -56,9 +75,27 @@ pub fn tpcc_schema() -> Schema {
         .relation(
             "Customer",
             &[
-                "c_id", "c_d_id", "c_w_id", "c_first", "c_middle", "c_last", "c_street_1", "c_street_2",
-                "c_city", "c_state", "c_zip", "c_phone", "c_since", "c_credit", "c_credit_lim",
-                "c_discount", "c_balance", "c_ytd_payment", "c_payment_cnt", "c_delivery_cnt", "c_data",
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "c_first",
+                "c_middle",
+                "c_last",
+                "c_street_1",
+                "c_street_2",
+                "c_city",
+                "c_state",
+                "c_zip",
+                "c_phone",
+                "c_since",
+                "c_credit",
+                "c_credit_lim",
+                "c_discount",
+                "c_balance",
+                "c_ytd_payment",
+                "c_payment_cnt",
+                "c_delivery_cnt",
+                "c_data",
             ],
             &["c_id", "c_d_id", "c_w_id"],
         )
@@ -66,17 +103,35 @@ pub fn tpcc_schema() -> Schema {
     let history = b
         .relation(
             "History",
-            &["h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date", "h_amount", "h_data"],
-            &["h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date"],
+            &[
+                "h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date", "h_amount",
+                "h_data",
+            ],
+            &[
+                "h_c_id", "h_c_d_id", "h_c_w_id", "h_d_id", "h_w_id", "h_date",
+            ],
         )
         .expect("History");
     let new_order = b
-        .relation("New_Order", &["no_o_id", "no_d_id", "no_w_id"], &["no_o_id", "no_d_id", "no_w_id"])
+        .relation(
+            "New_Order",
+            &["no_o_id", "no_d_id", "no_w_id"],
+            &["no_o_id", "no_d_id", "no_w_id"],
+        )
         .expect("New_Order");
     let orders = b
         .relation(
             "Orders",
-            &["o_id", "o_d_id", "o_w_id", "o_c_id", "o_entry_id", "o_carrier_id", "o_ol_cnt", "o_all_local"],
+            &[
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_c_id",
+                "o_entry_id",
+                "o_carrier_id",
+                "o_ol_cnt",
+                "o_all_local",
+            ],
             &["o_id", "o_d_id", "o_w_id"],
         )
         .expect("Orders");
@@ -84,42 +139,119 @@ pub fn tpcc_schema() -> Schema {
         .relation(
             "Order_Line",
             &[
-                "ol_o_id", "ol_d_id", "ol_w_id", "ol_number", "ol_i_id", "ol_supply_w_id",
-                "ol_delivery_d", "ol_quantity", "ol_amount", "ol_dist_info",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_number",
+                "ol_i_id",
+                "ol_supply_w_id",
+                "ol_delivery_d",
+                "ol_quantity",
+                "ol_amount",
+                "ol_dist_info",
             ],
             &["ol_o_id", "ol_d_id", "ol_w_id", "ol_number"],
         )
         .expect("Order_Line");
-    let item =
-        b.relation("Item", &["i_id", "i_im_id", "i_name", "i_price", "i_data"], &["i_id"]).expect("Item");
+    let item = b
+        .relation(
+            "Item",
+            &["i_id", "i_im_id", "i_name", "i_price", "i_data"],
+            &["i_id"],
+        )
+        .expect("Item");
     let stock = b
         .relation(
             "Stock",
             &[
-                "s_i_id", "s_w_id", "s_quantity", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04",
-                "s_dist_05", "s_dist_06", "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10", "s_ytd",
-                "s_order_cnt", "s_remote_cnt", "s_data",
+                "s_i_id",
+                "s_w_id",
+                "s_quantity",
+                "s_dist_01",
+                "s_dist_02",
+                "s_dist_03",
+                "s_dist_04",
+                "s_dist_05",
+                "s_dist_06",
+                "s_dist_07",
+                "s_dist_08",
+                "s_dist_09",
+                "s_dist_10",
+                "s_ytd",
+                "s_order_cnt",
+                "s_remote_cnt",
+                "s_data",
             ],
             &["s_i_id", "s_w_id"],
         )
         .expect("Stock");
 
-    b.foreign_key("f1", district, &["d_w_id"], warehouse, &["w_id"]).expect("f1");
-    b.foreign_key("f2", customer, &["c_d_id", "c_w_id"], district, &["d_id", "d_w_id"]).expect("f2");
-    b.foreign_key("f3", history, &["h_c_id", "h_c_d_id", "h_c_w_id"], customer, &["c_id", "c_d_id", "c_w_id"])
-        .expect("f3");
-    b.foreign_key("f4", history, &["h_d_id", "h_w_id"], district, &["d_id", "d_w_id"]).expect("f4");
-    b.foreign_key("f5", new_order, &["no_o_id", "no_d_id", "no_w_id"], orders, &["o_id", "o_d_id", "o_w_id"])
-        .expect("f5");
-    b.foreign_key("f6", orders, &["o_d_id", "o_w_id"], district, &["d_id", "d_w_id"]).expect("f6");
-    b.foreign_key("f7", orders, &["o_c_id", "o_d_id", "o_w_id"], customer, &["c_id", "c_d_id", "c_w_id"])
-        .expect("f7");
-    b.foreign_key("f8", order_line, &["ol_o_id", "ol_d_id", "ol_w_id"], orders, &["o_id", "o_d_id", "o_w_id"])
-        .expect("f8");
-    b.foreign_key("f9", order_line, &["ol_i_id"], item, &["i_id"]).expect("f9");
-    b.foreign_key("f10", order_line, &["ol_supply_w_id"], warehouse, &["w_id"]).expect("f10");
-    b.foreign_key("f11", stock, &["s_i_id"], item, &["i_id"]).expect("f11");
-    b.foreign_key("f12", stock, &["s_w_id"], warehouse, &["w_id"]).expect("f12");
+    b.foreign_key("f1", district, &["d_w_id"], warehouse, &["w_id"])
+        .expect("f1");
+    b.foreign_key(
+        "f2",
+        customer,
+        &["c_d_id", "c_w_id"],
+        district,
+        &["d_id", "d_w_id"],
+    )
+    .expect("f2");
+    b.foreign_key(
+        "f3",
+        history,
+        &["h_c_id", "h_c_d_id", "h_c_w_id"],
+        customer,
+        &["c_id", "c_d_id", "c_w_id"],
+    )
+    .expect("f3");
+    b.foreign_key(
+        "f4",
+        history,
+        &["h_d_id", "h_w_id"],
+        district,
+        &["d_id", "d_w_id"],
+    )
+    .expect("f4");
+    b.foreign_key(
+        "f5",
+        new_order,
+        &["no_o_id", "no_d_id", "no_w_id"],
+        orders,
+        &["o_id", "o_d_id", "o_w_id"],
+    )
+    .expect("f5");
+    b.foreign_key(
+        "f6",
+        orders,
+        &["o_d_id", "o_w_id"],
+        district,
+        &["d_id", "d_w_id"],
+    )
+    .expect("f6");
+    b.foreign_key(
+        "f7",
+        orders,
+        &["o_c_id", "o_d_id", "o_w_id"],
+        customer,
+        &["c_id", "c_d_id", "c_w_id"],
+    )
+    .expect("f7");
+    b.foreign_key(
+        "f8",
+        order_line,
+        &["ol_o_id", "ol_d_id", "ol_w_id"],
+        orders,
+        &["o_id", "o_d_id", "o_w_id"],
+    )
+    .expect("f8");
+    b.foreign_key("f9", order_line, &["ol_i_id"], item, &["i_id"])
+        .expect("f9");
+    b.foreign_key("f10", order_line, &["ol_supply_w_id"], warehouse, &["w_id"])
+        .expect("f10");
+    b.foreign_key("f11", stock, &["s_i_id"], item, &["i_id"])
+        .expect("f11");
+    b.foreign_key("f12", stock, &["s_w_id"], warehouse, &["w_id"])
+        .expect("f12");
     b.build()
 }
 
@@ -155,12 +287,25 @@ fn delivery(schema: &Schema) -> Program {
         .expect("q1");
     let q2 = pb.key_delete("q2", "New_Order").expect("q2");
     let q3 = pb.key_select("q3", "Orders", &["o_c_id"]).expect("q3");
-    let q4 = pb.key_update("q4", "Orders", &[], &["o_carrier_id"]).expect("q4");
+    let q4 = pb
+        .key_update("q4", "Orders", &[], &["o_carrier_id"])
+        .expect("q4");
     let q5 = pb
-        .pred_update("q5", "Order_Line", &["ol_d_id", "ol_o_id", "ol_w_id"], &[], &["ol_delivery_d"])
+        .pred_update(
+            "q5",
+            "Order_Line",
+            &["ol_d_id", "ol_o_id", "ol_w_id"],
+            &[],
+            &["ol_delivery_d"],
+        )
         .expect("q5");
     let q6 = pb
-        .pred_select("q6", "Order_Line", &["ol_d_id", "ol_o_id", "ol_w_id"], &["ol_amount"])
+        .pred_select(
+            "q6",
+            "Order_Line",
+            &["ol_d_id", "ol_o_id", "ol_w_id"],
+            &["ol_amount"],
+        )
         .expect("q6");
     let q7 = pb
         .key_update(
@@ -202,19 +347,38 @@ fn new_order(schema: &Schema) -> Program {
         .expect("q8");
     let q9 = pb.key_select("q9", "Warehouse", &["w_tax"]).expect("q9");
     let q10 = pb
-        .key_update("q10", "District", &["d_next_o_id", "d_tax"], &["d_next_o_id"])
+        .key_update(
+            "q10",
+            "District",
+            &["d_next_o_id", "d_tax"],
+            &["d_next_o_id"],
+        )
         .expect("q10");
     let q11 = pb.insert("q11", "Orders").expect("q11");
     let q12 = pb.insert("q12", "New_Order").expect("q12");
-    let q13 = pb.key_select("q13", "Item", &["i_data", "i_name", "i_price"]).expect("q13");
+    let q13 = pb
+        .key_select("q13", "Item", &["i_data", "i_name", "i_price"])
+        .expect("q13");
     let q14 = pb
         .key_update(
             "q14",
             "Stock",
             &[
-                "s_data", "s_dist_01", "s_dist_02", "s_dist_03", "s_dist_04", "s_dist_05", "s_dist_06",
-                "s_dist_07", "s_dist_08", "s_dist_09", "s_dist_10", "s_order_cnt", "s_quantity",
-                "s_remote_cnt", "s_ytd",
+                "s_data",
+                "s_dist_01",
+                "s_dist_02",
+                "s_dist_03",
+                "s_dist_04",
+                "s_dist_05",
+                "s_dist_06",
+                "s_dist_07",
+                "s_dist_08",
+                "s_dist_09",
+                "s_dist_10",
+                "s_order_cnt",
+                "s_quantity",
+                "s_remote_cnt",
+                "s_ytd",
             ],
             &["s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"],
         )
@@ -249,7 +413,11 @@ fn order_status(schema: &Schema) -> Program {
         )
         .expect("q16");
     let q17 = pb
-        .key_select("q17", "Customer", &["c_balance", "c_first", "c_last", "c_middle"])
+        .key_select(
+            "q17",
+            "Customer",
+            &["c_balance", "c_first", "c_last", "c_middle"],
+        )
         .expect("q17");
     let q18 = pb
         .pred_select(
@@ -264,7 +432,13 @@ fn order_status(schema: &Schema) -> Program {
             "q19",
             "Order_Line",
             &["ol_d_id", "ol_o_id", "ol_w_id"],
-            &["ol_amount", "ol_delivery_d", "ol_i_id", "ol_quantity", "ol_supply_w_id"],
+            &[
+                "ol_amount",
+                "ol_delivery_d",
+                "ol_i_id",
+                "ol_quantity",
+                "ol_supply_w_id",
+            ],
         )
         .expect("q19");
     pb.choice(q16.into(), q17.into());
@@ -281,7 +455,15 @@ fn payment(schema: &Schema) -> Program {
         .key_update(
             "q20",
             "Warehouse",
-            &["w_city", "w_name", "w_state", "w_street_1", "w_street_2", "w_ytd", "w_zip"],
+            &[
+                "w_city",
+                "w_name",
+                "w_state",
+                "w_street_1",
+                "w_street_2",
+                "w_ytd",
+                "w_zip",
+            ],
             &["w_ytd"],
         )
         .expect("q20");
@@ -289,27 +471,54 @@ fn payment(schema: &Schema) -> Program {
         .key_update(
             "q21",
             "District",
-            &["d_city", "d_name", "d_state", "d_street_1", "d_street_2", "d_ytd", "d_zip"],
+            &[
+                "d_city",
+                "d_name",
+                "d_state",
+                "d_street_1",
+                "d_street_2",
+                "d_ytd",
+                "d_zip",
+            ],
             &["d_ytd"],
         )
         .expect("q21");
     let q22 = pb
-        .pred_select("q22", "Customer", &["c_d_id", "c_last", "c_w_id"], &["c_id"])
+        .pred_select(
+            "q22",
+            "Customer",
+            &["c_d_id", "c_last", "c_w_id"],
+            &["c_id"],
+        )
         .expect("q22");
     let q23 = pb
         .key_update(
             "q23",
             "Customer",
             &[
-                "c_balance", "c_city", "c_credit", "c_credit_lim", "c_discount", "c_first", "c_last",
-                "c_middle", "c_phone", "c_since", "c_state", "c_street_1", "c_street_2",
-                "c_ytd_payment", "c_zip",
+                "c_balance",
+                "c_city",
+                "c_credit",
+                "c_credit_lim",
+                "c_discount",
+                "c_first",
+                "c_last",
+                "c_middle",
+                "c_phone",
+                "c_since",
+                "c_state",
+                "c_street_1",
+                "c_street_2",
+                "c_ytd_payment",
+                "c_zip",
             ],
             &["c_balance", "c_payment_cnt", "c_ytd_payment"],
         )
         .expect("q23");
     let q24 = pb.key_select("q24", "Customer", &["c_data"]).expect("q24");
-    let q25 = pb.key_update("q25", "Customer", &[], &["c_data"]).expect("q25");
+    let q25 = pb
+        .key_update("q25", "Customer", &[], &["c_data"])
+        .expect("q25");
     let q26 = pb.insert("q26", "History").expect("q26");
     pb.seq(&[q20.into(), q21.into()]);
     pb.optional(q22.into());
@@ -331,11 +540,20 @@ fn payment(schema: &Schema) -> Program {
 /// `StockLevel := q27; q28; q29` — recently sold items whose stock is below a threshold.
 fn stock_level(schema: &Schema) -> Program {
     let mut pb = ProgramBuilder::new(schema, "StockLevel");
-    let q27 = pb.key_select("q27", "District", &["d_next_o_id"]).expect("q27");
+    let q27 = pb
+        .key_select("q27", "District", &["d_next_o_id"])
+        .expect("q27");
     let q28 = pb
-        .pred_select("q28", "Order_Line", &["ol_d_id", "ol_o_id", "ol_w_id"], &["ol_i_id"])
+        .pred_select(
+            "q28",
+            "Order_Line",
+            &["ol_d_id", "ol_o_id", "ol_w_id"],
+            &["ol_i_id"],
+        )
         .expect("q28");
-    let q29 = pb.pred_select("q29", "Stock", &["s_quantity", "s_w_id"], &["s_i_id"]).expect("q29");
+    let q29 = pb
+        .pred_select("q29", "Stock", &["s_quantity", "s_w_id"], &["s_i_id"])
+        .expect("q29");
     pb.seq(&[q27.into(), q28.into(), q29.into()]);
     pb.build()
 }
@@ -353,8 +571,20 @@ mod tests {
         let attr_counts: Vec<usize> = schema.relations().map(|r| r.attribute_count()).collect();
         assert_eq!(*attr_counts.iter().min().unwrap(), 3);
         assert_eq!(*attr_counts.iter().max().unwrap(), 21);
-        assert_eq!(schema.relation_by_name("Customer").unwrap().attribute_count(), 21);
-        assert_eq!(schema.relation_by_name("New_Order").unwrap().attribute_count(), 3);
+        assert_eq!(
+            schema
+                .relation_by_name("Customer")
+                .unwrap()
+                .attribute_count(),
+            21
+        );
+        assert_eq!(
+            schema
+                .relation_by_name("New_Order")
+                .unwrap()
+                .attribute_count(),
+            3
+        );
     }
 
     #[test]
@@ -362,7 +592,11 @@ mod tests {
         let w = tpcc();
         assert_eq!(w.program_count(), 5);
         let ltps = unfold_set_le2(&w.programs);
-        assert_eq!(ltps.len(), 13, "Table 2: TPC-C has 13 unfolded transaction programs");
+        assert_eq!(
+            ltps.len(),
+            13,
+            "Table 2: TPC-C has 13 unfolded transaction programs"
+        );
         // Per-program unfolding counts: NewOrder 3, Payment 4, OrderStatus 2, Delivery 3,
         // StockLevel 1.
         let count = |name: &str| ltps.iter().filter(|l| l.program_name() == name).count();
@@ -381,25 +615,43 @@ mod tests {
         let district = schema.relation_by_name("District").unwrap();
 
         let payment = w.program("Payment").unwrap();
-        let q23 = payment.statements().find(|(_, s)| s.name() == "q23").unwrap().1;
+        let q23 = payment
+            .statements()
+            .find(|(_, s)| s.name() == "q23")
+            .unwrap()
+            .1;
         assert_eq!(q23.kind(), StatementKind::KeyUpdate);
         assert_eq!(q23.rel(), customer.id());
         assert_eq!(q23.write_set().unwrap().len(), 3);
         assert_eq!(q23.read_set().unwrap().len(), 15);
 
         let new_order = w.program("NewOrder").unwrap();
-        let q10 = new_order.statements().find(|(_, s)| s.name() == "q10").unwrap().1;
+        let q10 = new_order
+            .statements()
+            .find(|(_, s)| s.name() == "q10")
+            .unwrap()
+            .1;
         assert_eq!(q10.rel(), district.id());
         assert_eq!(
             q10.write_set(),
-            Some(mvrc_schema::AttrSet::singleton(district.attr_by_name("d_next_o_id").unwrap()))
+            Some(mvrc_schema::AttrSet::singleton(
+                district.attr_by_name("d_next_o_id").unwrap()
+            ))
         );
-        let q14 = new_order.statements().find(|(_, s)| s.name() == "q14").unwrap().1;
+        let q14 = new_order
+            .statements()
+            .find(|(_, s)| s.name() == "q14")
+            .unwrap()
+            .1;
         assert_eq!(q14.read_set().unwrap().len(), 15);
         assert_eq!(q14.write_set().unwrap().len(), 4);
 
         let delivery = w.program("Delivery").unwrap();
-        let q5 = delivery.statements().find(|(_, s)| s.name() == "q5").unwrap().1;
+        let q5 = delivery
+            .statements()
+            .find(|(_, s)| s.name() == "q5")
+            .unwrap()
+            .1;
         assert_eq!(q5.kind(), StatementKind::PredUpdate);
         assert_eq!(q5.pread_set().unwrap().len(), 3);
         assert_eq!(q5.write_set().unwrap().len(), 1);
@@ -429,7 +681,10 @@ mod tests {
             w.program("Payment").unwrap().to_string(),
             "Payment := q20; q21; (q22 | ε); q23; (q24; q25 | ε); q26"
         );
-        assert_eq!(w.program("StockLevel").unwrap().to_string(), "StockLevel := q27; q28; q29");
+        assert_eq!(
+            w.program("StockLevel").unwrap().to_string(),
+            "StockLevel := q27; q28; q29"
+        );
     }
 
     #[test]

@@ -58,12 +58,20 @@ impl Workload {
 
     /// Maximum number of attributes over all relations (Table 2 reports the range).
     pub fn max_attributes_per_relation(&self) -> usize {
-        self.schema.relations().map(|r| r.attribute_count()).max().unwrap_or(0)
+        self.schema
+            .relations()
+            .map(|r| r.attribute_count())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum number of attributes over all relations.
     pub fn min_attributes_per_relation(&self) -> usize {
-        self.schema.relations().map(|r| r.attribute_count()).min().unwrap_or(0)
+        self.schema
+            .relations()
+            .map(|r| r.attribute_count())
+            .min()
+            .unwrap_or(0)
     }
 }
 

@@ -38,14 +38,17 @@ impl<'a> ProgramBuilder<'a> {
     }
 
     fn relation(&self, name: &str) -> Result<&'a Relation, BtpError> {
-        self.schema.relation_by_name(name).ok_or_else(|| BtpError::UnknownRelation(name.to_string()))
+        self.schema
+            .relation_by_name(name)
+            .ok_or_else(|| BtpError::UnknownRelation(name.to_string()))
     }
 
     fn attrs(&self, rel: &Relation, names: &[&str]) -> Result<AttrSet, BtpError> {
-        rel.attrs_by_names(names.iter().copied()).map_err(|attribute| BtpError::UnknownAttribute {
-            relation: rel.name().to_string(),
-            attribute,
-        })
+        rel.attrs_by_names(names.iter().copied())
+            .map_err(|attribute| BtpError::UnknownAttribute {
+                relation: rel.name().to_string(),
+                attribute,
+            })
     }
 
     fn add_statement(&mut self, statement: Statement) -> StmtId {
@@ -81,8 +84,14 @@ impl<'a> ProgramBuilder<'a> {
         let rel = self.relation(rel)?;
         let pread = self.attrs(rel, pread)?;
         let read = self.attrs(rel, read)?;
-        let stmt =
-            Statement::new(name, rel, StatementKind::PredSelect, Some(pread), Some(read), None)?;
+        let stmt = Statement::new(
+            name,
+            rel,
+            StatementKind::PredSelect,
+            Some(pread),
+            Some(read),
+            None,
+        )?;
         Ok(self.add_statement(stmt))
     }
 
@@ -97,8 +106,14 @@ impl<'a> ProgramBuilder<'a> {
         let rel = self.relation(rel)?;
         let read = self.attrs(rel, read)?;
         let write = self.attrs(rel, write)?;
-        let stmt =
-            Statement::new(name, rel, StatementKind::KeyUpdate, None, Some(read), Some(write))?;
+        let stmt = Statement::new(
+            name,
+            rel,
+            StatementKind::KeyUpdate,
+            None,
+            Some(read),
+            Some(write),
+        )?;
         Ok(self.add_statement(stmt))
     }
 
@@ -135,10 +150,22 @@ impl<'a> ProgramBuilder<'a> {
     }
 
     /// Declares a `pred del` statement over `rel` with predicate attributes `pread`.
-    pub fn pred_delete(&mut self, name: &str, rel: &str, pread: &[&str]) -> Result<StmtId, BtpError> {
+    pub fn pred_delete(
+        &mut self,
+        name: &str,
+        rel: &str,
+        pread: &[&str],
+    ) -> Result<StmtId, BtpError> {
         let rel = self.relation(rel)?;
         let pread = self.attrs(rel, pread)?;
-        let stmt = Statement::new(name, rel, StatementKind::PredDelete, Some(pread), None, None)?;
+        let stmt = Statement::new(
+            name,
+            rel,
+            StatementKind::PredDelete,
+            Some(pread),
+            None,
+            None,
+        )?;
         Ok(self.add_statement(stmt))
     }
 
@@ -228,7 +255,11 @@ impl<'a> ProgramBuilder<'a> {
                 ),
             });
         }
-        self.fk_constraints.push(FkConstraint { fk: fk_ref.id(), dom_stmt, range_stmt });
+        self.fk_constraints.push(FkConstraint {
+            fk: fk_ref.id(),
+            dom_stmt,
+            range_stmt,
+        });
         Ok(self)
     }
 
@@ -252,10 +283,16 @@ mod tests {
     fn auction_schema() -> Schema {
         let mut b = SchemaBuilder::new("auction");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = b
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         b.build()
     }
 
@@ -263,7 +300,9 @@ mod tests {
     fn builds_place_bid_with_constraints() {
         let schema = auction_schema();
         let mut pb = ProgramBuilder::new(&schema, "PlaceBid");
-        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
         let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
         let q6 = pb.insert("q6", "Log").unwrap();
@@ -284,7 +323,10 @@ mod tests {
     fn unknown_relation_and_attribute_errors() {
         let schema = auction_schema();
         let mut pb = ProgramBuilder::new(&schema, "P");
-        assert!(matches!(pb.insert("q", "Nope"), Err(BtpError::UnknownRelation(_))));
+        assert!(matches!(
+            pb.insert("q", "Nope"),
+            Err(BtpError::UnknownRelation(_))
+        ));
         assert!(matches!(
             pb.key_select("q", "Buyer", &["missing"]),
             Err(BtpError::UnknownAttribute { .. })
@@ -295,7 +337,9 @@ mod tests {
     fn fk_constraint_validation() {
         let schema = auction_schema();
         let mut pb = ProgramBuilder::new(&schema, "P");
-        let q_buyer = pb.key_update("qa", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q_buyer = pb
+            .key_update("qa", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q_bids_pred = pb.pred_select("qb", "Bids", &["bid"], &["bid"]).unwrap();
         let q_bids_key = pb.key_select("qc", "Bids", &["bid"]).unwrap();
 
@@ -326,7 +370,9 @@ mod tests {
     fn fk_constraint_range_must_identify_single_tuple() {
         let schema = auction_schema();
         let mut pb = ProgramBuilder::new(&schema, "P");
-        let q_buyer_pred = pb.pred_select("qa", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q_buyer_pred = pb
+            .pred_select("qa", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q_bids = pb.key_select("qb", "Bids", &["bid"]).unwrap();
         let err = pb.fk_constraint("f1", q_bids, q_buyer_pred).unwrap_err();
         assert!(matches!(err, BtpError::InvalidFkConstraint { .. }));

@@ -46,15 +46,24 @@ impl fmt::Display for BtpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BtpError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
-            BtpError::UnknownAttribute { relation, attribute } => {
+            BtpError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "relation `{relation}` has no attribute `{attribute}`")
             }
             BtpError::UnknownForeignKey(name) => write!(f, "unknown foreign key `{name}`"),
             BtpError::InvalidStatement { statement, reason } => {
                 write!(f, "statement `{statement}` is not well-formed: {reason}")
             }
-            BtpError::InvalidFkConstraint { foreign_key, reason } => {
-                write!(f, "foreign-key constraint over `{foreign_key}` is invalid: {reason}")
+            BtpError::InvalidFkConstraint {
+                foreign_key,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "foreign-key constraint over `{foreign_key}` is invalid: {reason}"
+                )
             }
             BtpError::UnknownStatement(name) => write!(f, "unknown statement `{name}`"),
             BtpError::SqlParse { line, message } => {
@@ -72,10 +81,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = BtpError::InvalidStatement { statement: "q1".into(), reason: "empty write set".into() };
+        let e = BtpError::InvalidStatement {
+            statement: "q1".into(),
+            reason: "empty write set".into(),
+        };
         assert!(e.to_string().contains("q1"));
         assert!(e.to_string().contains("empty write set"));
-        let e = BtpError::SqlParse { line: 7, message: "expected FROM".into() };
+        let e = BtpError::SqlParse {
+            line: 7,
+            message: "expected FROM".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 }

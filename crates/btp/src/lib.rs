@@ -57,9 +57,6 @@
 //! assert_eq!(ltps.len(), 2); // PlaceBid1 = q3;q4;q5;q6 and PlaceBid2 = q3;q4;q6
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod builder;
 mod error;
 mod linear;

@@ -73,8 +73,10 @@ impl LinearProgram {
             program.name()
         );
         let order = program.body().statements();
-        let statements: Vec<Statement> =
-            order.iter().map(|id| program.statement(*id).clone()).collect();
+        let statements: Vec<Statement> = order
+            .iter()
+            .map(|id| program.statement(*id).clone())
+            .collect();
         let pos_of = |stmt: StmtId| order.iter().position(|s| *s == stmt);
         let fk_constraints = program
             .fk_constraints()
@@ -199,14 +201,19 @@ mod tests {
     fn schema() -> mvrc_schema::Schema {
         let mut b = SchemaBuilder::new("auction");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
         b.build()
     }
 
     fn find_bids(schema: &mvrc_schema::Schema) -> Program {
         let mut pb = ProgramBuilder::new(schema, "FindBids");
-        let q1 = pb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = pb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = pb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         pb.seq(&[q1.into(), q2.into()]);
         pb.build()
@@ -244,7 +251,9 @@ mod tests {
     fn fk_constraints_with_dom_filters_by_position() {
         let schema = schema();
         let mut pb = ProgramBuilder::new(&schema, "PlaceBidLinear");
-        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
         pb.seq(&[q3.into(), q4.into()]);
         pb.fk_constraint("f1", q4, q3).unwrap();

@@ -149,7 +149,12 @@ impl Program {
         body: ProgramExpr,
         fk_constraints: Vec<FkConstraint>,
     ) -> Self {
-        Program { name: name.into(), statements, body, fk_constraints }
+        Program {
+            name: name.into(),
+            statements,
+            body,
+            fk_constraints,
+        }
     }
 
     /// The program's name.
@@ -175,7 +180,10 @@ impl Program {
 
     /// Iterate over all declared statements with their ids.
     pub fn statements(&self) -> impl Iterator<Item = (StmtId, &Statement)> {
-        self.statements.iter().enumerate().map(|(i, s)| (StmtId(i as u16), s))
+        self.statements
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StmtId(i as u16), s))
     }
 
     /// The program's control-flow body.
@@ -258,8 +266,15 @@ mod tests {
             Some(rel.all_attrs()),
         )
         .unwrap();
-        let q1 = Statement::new("q1", rel, StatementKind::KeySelect, None, Some(rel.all_attrs()), None)
-            .unwrap();
+        let q1 = Statement::new(
+            "q1",
+            rel,
+            StatementKind::KeySelect,
+            None,
+            Some(rel.all_attrs()),
+            None,
+        )
+        .unwrap();
         let body = ProgramExpr::seq([
             ProgramExpr::Statement(StmtId(0)),
             ProgramExpr::optional(ProgramExpr::Statement(StmtId(1))),
@@ -284,7 +299,10 @@ mod tests {
         let linear = Program::from_parts(
             "L",
             p.statements.clone(),
-            ProgramExpr::seq([ProgramExpr::Statement(StmtId(0)), ProgramExpr::Statement(StmtId(1))]),
+            ProgramExpr::seq([
+                ProgramExpr::Statement(StmtId(0)),
+                ProgramExpr::Statement(StmtId(1)),
+            ]),
             vec![],
         );
         assert!(linear.is_linear());
@@ -295,8 +313,10 @@ mod tests {
         let looped = ProgramExpr::looped(ProgramExpr::Statement(StmtId(0)));
         assert!(looped.contains_loop());
         assert!(!looped.contains_branching());
-        let choice =
-            ProgramExpr::choice(ProgramExpr::Statement(StmtId(0)), ProgramExpr::Statement(StmtId(1)));
+        let choice = ProgramExpr::choice(
+            ProgramExpr::Statement(StmtId(0)),
+            ProgramExpr::Statement(StmtId(1)),
+        );
         assert!(choice.contains_branching());
         assert!(!choice.contains_loop());
         assert_eq!(choice.statements(), vec![StmtId(0), StmtId(1)]);

@@ -74,7 +74,10 @@ pub struct Comparison {
 impl Comparison {
     /// Column names mentioned on either side.
     pub fn columns(&self) -> impl Iterator<Item = &str> {
-        self.left.iter().chain(self.right.iter()).filter_map(Value::as_column)
+        self.left
+            .iter()
+            .chain(self.right.iter())
+            .filter_map(Value::as_column)
     }
 
     /// If the comparison is a simple equality binding a single column to a single non-column
@@ -115,7 +118,10 @@ impl Condition {
 
     /// All `(column, operand)` equality bindings.
     pub fn bindings(&self) -> Vec<(&str, &Value)> {
-        self.comparisons.iter().filter_map(Comparison::column_binding).collect()
+        self.comparisons
+            .iter()
+            .filter_map(Comparison::column_binding)
+            .collect()
     }
 }
 

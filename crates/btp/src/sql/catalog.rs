@@ -30,8 +30,8 @@
 //! BTPs.
 
 use super::lexer::{tokenize, Token, TokenKind};
-use super::translate::translate_workload;
 use super::parser::parse_text;
+use super::translate::translate_workload;
 use crate::error::BtpError;
 use crate::program::Program;
 use mvrc_schema::{Schema, SchemaBuilder};
@@ -98,10 +98,12 @@ pub fn parse_catalog(text: &str) -> Result<Schema, BtpError> {
     for table in &tables {
         let attrs: Vec<&str> = table.attributes.iter().map(String::as_str).collect();
         let pk: Vec<&str> = table.primary_key.iter().map(String::as_str).collect();
-        builder.relation(&table.name, &attrs, &pk).map_err(|e| BtpError::SqlParse {
-            line: table.line,
-            message: format!("invalid TABLE `{}`: {e}", table.name),
-        })?;
+        builder
+            .relation(&table.name, &attrs, &pk)
+            .map_err(|e| BtpError::SqlParse {
+                line: table.line,
+                message: format!("invalid TABLE `{}`: {e}", table.name),
+            })?;
     }
     for fk in &fks {
         let dom_attrs: Vec<&str> = fk.dom_attrs.iter().map(String::as_str).collect();
@@ -136,11 +138,17 @@ impl Cursor {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(1, |t| t.line)
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |t| t.line)
     }
 
     fn error(&self, message: impl Into<String>) -> BtpError {
-        BtpError::SqlParse { line: self.line(), message: message.into() }
+        BtpError::SqlParse {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -241,7 +249,12 @@ impl Cursor {
         if primary_key.is_empty() {
             primary_key.push(attributes[0].clone());
         }
-        Ok(TableDecl { name, attributes, primary_key, line })
+        Ok(TableDecl {
+            name,
+            attributes,
+            primary_key,
+            line,
+        })
     }
 
     /// Parses `[<name> :] <dom> ( attrs ) REFERENCES <range> ( attrs ) ;` after `FOREIGN KEY`.
@@ -263,7 +276,14 @@ impl Cursor {
         let range = self.expect_ident("referenced relation")?;
         let range_attrs = self.parse_attr_list("referenced attribute")?;
         self.expect_semicolon()?;
-        Ok(ForeignKeyDecl { name, dom, dom_attrs, range, range_attrs, line })
+        Ok(ForeignKeyDecl {
+            name,
+            dom,
+            dom_attrs,
+            range,
+            range_attrs,
+            line,
+        })
     }
 
     fn parse_attr_list(&mut self, what: &str) -> Result<Vec<String>, BtpError> {
@@ -386,7 +406,14 @@ mod tests {
             FOREIGN KEY f2: Customer (c_d_id, c_w_id) REFERENCES District (d_id, d_w_id);
         "#;
         let schema = parse_catalog(text).unwrap();
-        assert_eq!(schema.relation_by_name("District").unwrap().primary_key().len(), 2);
+        assert_eq!(
+            schema
+                .relation_by_name("District")
+                .unwrap()
+                .primary_key()
+                .len(),
+            2
+        );
         let f2 = schema.foreign_key_by_name("f2").unwrap();
         assert_eq!(f2.dom_attrs().len(), 2);
         assert_eq!(f2.range_attrs().len(), 2);
@@ -405,7 +432,10 @@ mod tests {
         assert!(err.to_string().contains("invalid FOREIGN KEY"), "{err}");
         // Unexpected top-level token.
         let err = parse_catalog("TABLE T (a); SELECT a FROM T;").unwrap_err();
-        assert!(err.to_string().contains("expected a catalog declaration"), "{err}");
+        assert!(
+            err.to_string().contains("expected a catalog declaration"),
+            "{err}"
+        );
         // Empty attribute list.
         let err = parse_catalog("TABLE T ();").unwrap_err();
         assert!(err.to_string().contains("no attributes"), "{err}");

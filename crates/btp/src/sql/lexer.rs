@@ -91,7 +91,10 @@ pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
                         }
                     }
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                    });
                 }
             }
             ':' => {
@@ -100,9 +103,15 @@ pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
                 if name.is_empty() {
                     // A bare `:` (e.g. `FOREIGN KEY f1 : Bids (…)`); parameters are always
                     // written without a space, so this is a plain colon token.
-                    tokens.push(Token { kind: TokenKind::Colon, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Colon,
+                        line,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Param(name), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Param(name),
+                        line,
+                    });
                 }
             }
             '\'' => {
@@ -120,9 +129,15 @@ pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
                     s.push(c);
                 }
                 if !closed {
-                    return Err(BtpError::SqlParse { line, message: "unterminated string literal".into() });
+                    return Err(BtpError::SqlParse {
+                        line,
+                        message: "unterminated string literal".into(),
+                    });
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
@@ -134,11 +149,17 @@ pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Number(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Number(s),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let s = take_ident(&mut chars);
-                tokens.push(Token { kind: TokenKind::Ident(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
             }
             _ => {
                 chars.next();
@@ -220,28 +241,39 @@ mod tests {
         let tokens = tokenize("UPDATE Buyer SET calls = calls + 1 WHERE id = :B;").unwrap();
         let kinds: Vec<&TokenKind> = tokens.iter().map(|t| &t.kind).collect();
         assert!(kinds.iter().any(|k| k.is_keyword("update")));
-        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Param(p) if p == "B")));
-        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Number(n) if n == "1")));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TokenKind::Param(p) if p == "B")));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TokenKind::Number(n) if n == "1")));
         assert_eq!(*kinds.last().unwrap(), &TokenKind::Semicolon);
     }
 
     #[test]
     fn comments_are_skipped_and_lines_tracked() {
         let tokens = tokenize("SELECT a -- the a column\nFROM R;").unwrap();
-        assert!(tokens.iter().any(|t| t.kind.is_keyword("from") && t.line == 2));
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind.is_keyword("from") && t.line == 2));
         assert!(!tokens.iter().any(|t| t.kind.is_keyword("column")));
     }
 
     #[test]
     fn comparison_operators() {
-        let tokens = tokenize("a >= 1 AND b <> 2 AND c <= 3 AND d != 4 AND e < 5 AND f > 6").unwrap();
+        let tokens =
+            tokenize("a >= 1 AND b <> 2 AND c <= 3 AND d != 4 AND e < 5 AND f > 6").unwrap();
         let ops: Vec<&TokenKind> = tokens
             .iter()
             .map(|t| &t.kind)
             .filter(|k| {
                 matches!(
                     k,
-                    TokenKind::Ge | TokenKind::NotEq | TokenKind::Le | TokenKind::Lt | TokenKind::Gt
+                    TokenKind::Ge
+                        | TokenKind::NotEq
+                        | TokenKind::Le
+                        | TokenKind::Lt
+                        | TokenKind::Gt
                 )
             })
             .collect();
@@ -251,7 +283,9 @@ mod tests {
     #[test]
     fn string_literals_and_errors() {
         let tokens = tokenize("SET c_credit = 'BC'").unwrap();
-        assert!(tokens.iter().any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "BC")));
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "BC")));
         assert!(tokenize("SET x = 'oops").is_err());
         let colon = tokenize("FOREIGN KEY f1 : Bids").unwrap();
         assert!(colon.iter().any(|t| t.kind == TokenKind::Colon));

@@ -60,7 +60,7 @@ mod lexer;
 mod parser;
 mod translate;
 
-pub use ast::{Comparison, CompareOp, Condition, SqlProgram, SqlStatement, Value};
+pub use ast::{CompareOp, Comparison, Condition, SqlProgram, SqlStatement, Value};
 pub use catalog::{parse_catalog, parse_workload_file};
 pub use parser::parse_text;
 pub use translate::{translate_program, translate_workload};

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the SQL subset.
 
-use super::ast::{Assignment, Comparison, CompareOp, Condition, SqlProgram, SqlStatement, Value};
+use super::ast::{Assignment, CompareOp, Comparison, Condition, SqlProgram, SqlStatement, Value};
 use super::lexer::{tokenize, Token, TokenKind};
 use crate::error::BtpError;
 
@@ -38,11 +38,17 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos).or_else(|| self.tokens.last()).map_or(1, |t| t.line)
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |t| t.line)
     }
 
     fn error(&self, message: impl Into<String>) -> BtpError {
-        BtpError::SqlParse { line: self.line(), message: message.into() }
+        BtpError::SqlParse {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -187,7 +193,9 @@ impl Parser {
                     star = true;
                     self.pos += 1;
                 }
-                Some(TokenKind::Ident(_)) if !self.peek_keyword("from") && !self.peek_keyword("into") => {
+                Some(TokenKind::Ident(_))
+                    if !self.peek_keyword("from") && !self.peek_keyword("into") =>
+                {
                     let mut col = self.expect_ident("column name")?;
                     // Qualified column `alias.column` — keep only the column name.
                     if self.eat(&TokenKind::Dot) {
@@ -203,13 +211,8 @@ impl Parser {
         }
         if self.eat_keyword("into") {
             // Host variables receiving the result; irrelevant to the analysis.
-            loop {
-                match self.peek() {
-                    Some(TokenKind::Param(_)) => {
-                        self.pos += 1;
-                    }
-                    _ => break,
-                }
+            while let Some(TokenKind::Param(_)) = self.peek() {
+                self.pos += 1;
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -219,7 +222,12 @@ impl Parser {
         let relation = self.expect_ident("relation name")?;
         let where_clause = self.parse_optional_where()?;
         self.eat(&TokenKind::Semicolon);
-        Ok(SqlStatement::Select { relation, columns, star, where_clause })
+        Ok(SqlStatement::Select {
+            relation,
+            columns,
+            star,
+            where_clause,
+        })
     }
 
     fn parse_update(&mut self) -> Result<SqlStatement, BtpError> {
@@ -251,13 +259,8 @@ impl Parser {
                 }
             }
             if self.eat_keyword("into") {
-                loop {
-                    match self.peek() {
-                        Some(TokenKind::Param(_)) => {
-                            self.pos += 1;
-                        }
-                        _ => break,
-                    }
+                while let Some(TokenKind::Param(_)) = self.peek() {
+                    self.pos += 1;
                     if !self.eat(&TokenKind::Comma) {
                         break;
                     }
@@ -265,7 +268,12 @@ impl Parser {
             }
         }
         self.eat(&TokenKind::Semicolon);
-        Ok(SqlStatement::Update { relation, assignments, where_clause, returning })
+        Ok(SqlStatement::Update {
+            relation,
+            assignments,
+            where_clause,
+            returning,
+        })
     }
 
     fn parse_insert(&mut self) -> Result<SqlStatement, BtpError> {
@@ -295,7 +303,11 @@ impl Parser {
             break;
         }
         self.eat(&TokenKind::Semicolon);
-        Ok(SqlStatement::Insert { relation, columns, values })
+        Ok(SqlStatement::Insert {
+            relation,
+            columns,
+            values,
+        })
     }
 
     fn parse_delete(&mut self) -> Result<SqlStatement, BtpError> {
@@ -304,7 +316,10 @@ impl Parser {
         let relation = self.expect_ident("relation name")?;
         let where_clause = self.parse_optional_where()?;
         self.eat(&TokenKind::Semicolon);
-        Ok(SqlStatement::Delete { relation, where_clause })
+        Ok(SqlStatement::Delete {
+            relation,
+            where_clause,
+        })
     }
 
     fn parse_if(&mut self) -> Result<SqlStatement, BtpError> {
@@ -318,19 +333,27 @@ impl Parser {
             self.pos += 1;
         }
         self.expect_keyword("then")?;
-        let then_branch =
-            self.parse_statements_until(&[Terminator::Keyword("else"), Terminator::Keyword("endif"), Terminator::EndPair("end", "if")])?;
+        let then_branch = self.parse_statements_until(&[
+            Terminator::Keyword("else"),
+            Terminator::Keyword("endif"),
+            Terminator::EndPair("end", "if"),
+        ])?;
         let mut else_branch = Vec::new();
         if self.eat_keyword("else") {
-            else_branch = self
-                .parse_statements_until(&[Terminator::Keyword("endif"), Terminator::EndPair("end", "if")])?;
+            else_branch = self.parse_statements_until(&[
+                Terminator::Keyword("endif"),
+                Terminator::EndPair("end", "if"),
+            ])?;
         }
         if !self.eat_keyword("endif") {
             self.expect_keyword("end")?;
             self.expect_keyword("if")?;
         }
         self.eat(&TokenKind::Semicolon);
-        Ok(SqlStatement::If { then_branch, else_branch })
+        Ok(SqlStatement::If {
+            then_branch,
+            else_branch,
+        })
     }
 
     fn parse_loop(&mut self) -> Result<SqlStatement, BtpError> {
@@ -442,7 +465,9 @@ impl Parser {
                 _ => return Err(self.error("expected expression operand")),
             }
             match self.peek() {
-                Some(TokenKind::Plus) | Some(TokenKind::Minus) | Some(TokenKind::Star)
+                Some(TokenKind::Plus)
+                | Some(TokenKind::Minus)
+                | Some(TokenKind::Star)
                 | Some(TokenKind::Slash) => {
                     self.pos += 1;
                 }
@@ -555,7 +580,10 @@ mod tests {
         let body = &programs[0].body;
         assert_eq!(body.len(), 2);
         match &body[0] {
-            SqlStatement::If { then_branch, else_branch } => {
+            SqlStatement::If {
+                then_branch,
+                else_branch,
+            } => {
                 assert_eq!(then_branch.len(), 1);
                 assert_eq!(else_branch.len(), 1);
             }
@@ -578,15 +606,25 @@ mod tests {
         )
         .unwrap();
         match &programs[0].body[0] {
-            SqlStatement::Update { assignments, returning, where_clause, .. } => {
+            SqlStatement::Update {
+                assignments,
+                returning,
+                where_clause,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 1);
-                assert_eq!(returning, &vec!["d_next_o_id".to_string(), "d_tax".to_string()]);
+                assert_eq!(
+                    returning,
+                    &vec!["d_next_o_id".to_string(), "d_tax".to_string()]
+                );
                 assert_eq!(where_clause.as_ref().unwrap().comparisons.len(), 2);
             }
             other => panic!("expected update, got {other:?}"),
         }
         match &programs[0].body[1] {
-            SqlStatement::Select { columns, .. } => assert_eq!(columns, &vec!["Balance".to_string()]),
+            SqlStatement::Select { columns, .. } => {
+                assert_eq!(columns, &vec!["Balance".to_string()])
+            }
             other => panic!("expected select, got {other:?}"),
         }
     }
@@ -595,7 +633,9 @@ mod tests {
     fn select_star_and_missing_where() {
         let programs = parse_text("PROGRAM P { SELECT * FROM R; }").unwrap();
         match &programs[0].body[0] {
-            SqlStatement::Select { star, where_clause, .. } => {
+            SqlStatement::Select {
+                star, where_clause, ..
+            } => {
                 assert!(*star);
                 assert!(where_clause.is_none());
             }

@@ -8,17 +8,32 @@ use mvrc_schema::{AttrId, AttrSet, Relation, Schema};
 use std::collections::HashMap;
 
 /// Translates every parsed program of a workload.
-pub fn translate_workload(schema: &Schema, programs: &[SqlProgram]) -> Result<Vec<Program>, BtpError> {
-    programs.iter().map(|p| translate_program(schema, p)).collect()
+pub fn translate_workload(
+    schema: &Schema,
+    programs: &[SqlProgram],
+) -> Result<Vec<Program>, BtpError> {
+    programs
+        .iter()
+        .map(|p| translate_program(schema, p))
+        .collect()
 }
 
 /// Translates a single parsed program into a BTP, inferring foreign-key constraints from host
 /// parameter reuse.
 pub fn translate_program(schema: &Schema, program: &SqlProgram) -> Result<Program, BtpError> {
-    let mut ctx = TranslateCtx { schema, statements: Vec::new(), bindings: Vec::new() };
+    let mut ctx = TranslateCtx {
+        schema,
+        statements: Vec::new(),
+        bindings: Vec::new(),
+    };
     let body = ctx.translate_block(&program.body)?;
     let fk_constraints = ctx.infer_fk_constraints();
-    Ok(Program::from_parts(program.name.clone(), ctx.statements, body, fk_constraints))
+    Ok(Program::from_parts(
+        program.name.clone(),
+        ctx.statements,
+        body,
+        fk_constraints,
+    ))
 }
 
 struct TranslateCtx<'a> {
@@ -37,10 +52,11 @@ impl<'a> TranslateCtx<'a> {
     }
 
     fn attr(&self, rel: &Relation, name: &str) -> Result<AttrId, BtpError> {
-        rel.attr_by_name(name).ok_or_else(|| BtpError::UnknownAttribute {
-            relation: rel.name().to_string(),
-            attribute: name.to_string(),
-        })
+        rel.attr_by_name(name)
+            .ok_or_else(|| BtpError::UnknownAttribute {
+                relation: rel.name().to_string(),
+                attribute: name.to_string(),
+            })
     }
 
     fn attrs(&self, rel: &Relation, names: &[String]) -> Result<AttrSet, BtpError> {
@@ -76,9 +92,18 @@ impl<'a> TranslateCtx<'a> {
 
     fn translate_statement(&mut self, stmt: &SqlStatement) -> Result<ProgramExpr, BtpError> {
         match stmt {
-            SqlStatement::Select { relation, columns, star, where_clause } => {
+            SqlStatement::Select {
+                relation,
+                columns,
+                star,
+                where_clause,
+            } => {
                 let rel = self.relation(relation)?;
-                let read = if *star { rel.all_attrs() } else { self.attrs(rel, columns)? };
+                let read = if *star {
+                    rel.all_attrs()
+                } else {
+                    self.attrs(rel, columns)?
+                };
                 let analysis = self.analyze_where(rel, where_clause.as_ref())?;
                 let name = self.next_name();
                 let (kind, pread) = if analysis.key_based {
@@ -89,7 +114,12 @@ impl<'a> TranslateCtx<'a> {
                 let statement = Statement::new(name, rel, kind, pread, Some(read), None)?;
                 Ok(self.add(statement, analysis.bindings).into())
             }
-            SqlStatement::Update { relation, assignments, where_clause, returning } => {
+            SqlStatement::Update {
+                relation,
+                assignments,
+                where_clause,
+                returning,
+            } => {
                 let rel = self.relation(relation)?;
                 let mut write = AttrSet::empty();
                 let mut read = AttrSet::empty();
@@ -112,7 +142,11 @@ impl<'a> TranslateCtx<'a> {
                 let statement = Statement::new(name, rel, kind, pread, Some(read), Some(write))?;
                 Ok(self.add(statement, analysis.bindings).into())
             }
-            SqlStatement::Insert { relation, columns, values } => {
+            SqlStatement::Insert {
+                relation,
+                columns,
+                values,
+            } => {
                 let rel = self.relation(relation)?;
                 let mut bindings = HashMap::new();
                 // Pair values with attributes either positionally or through the column list and
@@ -135,7 +169,10 @@ impl<'a> TranslateCtx<'a> {
                 let statement = Statement::new(name, rel, StatementKind::Insert, None, None, None)?;
                 Ok(self.add(statement, bindings).into())
             }
-            SqlStatement::Delete { relation, where_clause } => {
+            SqlStatement::Delete {
+                relation,
+                where_clause,
+            } => {
                 let rel = self.relation(relation)?;
                 let analysis = self.analyze_where(rel, where_clause.as_ref())?;
                 let name = self.next_name();
@@ -147,7 +184,10 @@ impl<'a> TranslateCtx<'a> {
                 let statement = Statement::new(name, rel, kind, pread, None, None)?;
                 Ok(self.add(statement, analysis.bindings).into())
             }
-            SqlStatement::If { then_branch, else_branch } => {
+            SqlStatement::If {
+                then_branch,
+                else_branch,
+            } => {
                 let then_expr = self.translate_block(then_branch)?;
                 if else_branch.is_empty() {
                     Ok(ProgramExpr::optional(then_expr))
@@ -171,7 +211,11 @@ impl<'a> TranslateCtx<'a> {
         let Some(cond) = where_clause else {
             // No WHERE clause: a scan over the whole relation, i.e. predicate-based with an
             // empty predicate read set.
-            return Ok(WhereAnalysis { key_based: false, pread: AttrSet::empty(), bindings: HashMap::new() });
+            return Ok(WhereAnalysis {
+                key_based: false,
+                pread: AttrSet::empty(),
+                bindings: HashMap::new(),
+            });
         };
         let mut pread = AttrSet::empty();
         for col in cond.columns() {
@@ -189,7 +233,11 @@ impl<'a> TranslateCtx<'a> {
         // Key-based: the equality-bound attributes cover the primary key (Appendix A
         // "key-condition intended to find a tuple by its primary key").
         let key_based = rel.primary_key().is_subset_of(bound);
-        Ok(WhereAnalysis { key_based, pread, bindings })
+        Ok(WhereAnalysis {
+            key_based,
+            pread,
+            bindings,
+        })
     }
 
     /// Infers foreign-key constraints `q_j = f(q_i)` from parameter reuse: when the foreign-key
@@ -207,7 +255,10 @@ impl<'a> TranslateCtx<'a> {
                         continue;
                     }
                     let all_pairs_match = fk.attr_pairs().all(|(dom_attr, range_attr)| {
-                        match (self.bindings[i].get(&dom_attr), self.bindings[j].get(&range_attr)) {
+                        match (
+                            self.bindings[i].get(&dom_attr),
+                            self.bindings[j].get(&range_attr),
+                        ) {
                             (Some(a), Some(b)) => a == b,
                             _ => false,
                         }
@@ -241,10 +292,16 @@ mod tests {
     fn auction_schema() -> Schema {
         let mut sb = SchemaBuilder::new("auction");
         let buyer = sb.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = sb.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = sb.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        sb.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        sb.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = sb
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = sb
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        sb.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        sb.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         sb.build()
     }
 
@@ -338,8 +395,14 @@ mod tests {
             }"#,
         )
         .unwrap();
-        assert_eq!(programs[0].statement(StmtId(0)).kind(), StatementKind::KeyDelete);
-        assert_eq!(programs[0].statement(StmtId(1)).kind(), StatementKind::PredDelete);
+        assert_eq!(
+            programs[0].statement(StmtId(0)).kind(),
+            StatementKind::KeyDelete
+        );
+        assert_eq!(
+            programs[0].statement(StmtId(1)).kind(),
+            StatementKind::PredDelete
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl StatementKind {
     /// tuple.
     #[inline]
     pub fn is_key_based(self) -> bool {
-        matches!(self, StatementKind::KeySelect | StatementKind::KeyUpdate | StatementKind::KeyDelete)
+        matches!(
+            self,
+            StatementKind::KeySelect | StatementKind::KeyUpdate | StatementKind::KeyDelete
+        )
     }
 
     /// Returns `true` for predicate-based statements (`pred sel`, `pred upd`, `pred del`), i.e.
@@ -174,7 +177,9 @@ impl Statement {
                     return Err(invalid("ins statements have PReadSet = ReadSet = ⊥"));
                 }
                 if write_set.is_some() && write_set != Some(all) {
-                    return Err(invalid("ins statements write all attributes of the relation"));
+                    return Err(invalid(
+                        "ins statements write all attributes of the relation",
+                    ));
                 }
                 (None, None, Some(all))
             }
@@ -183,7 +188,9 @@ impl Statement {
                     return Err(invalid("key del statements have PReadSet = ReadSet = ⊥"));
                 }
                 if write_set.is_some() && write_set != Some(all) {
-                    return Err(invalid("key del statements write all attributes of the relation"));
+                    return Err(invalid(
+                        "key del statements write all attributes of the relation",
+                    ));
                 }
                 (None, None, Some(all))
             }
@@ -192,7 +199,9 @@ impl Statement {
                     return Err(invalid("pred del statements have ReadSet = ⊥"));
                 }
                 if write_set.is_some() && write_set != Some(all) {
-                    return Err(invalid("pred del statements write all attributes of the relation"));
+                    return Err(invalid(
+                        "pred del statements write all attributes of the relation",
+                    ));
                 }
                 (Some(pread_set.unwrap_or(AttrSet::EMPTY)), None, Some(all))
             }
@@ -219,17 +228,22 @@ impl Statement {
                 if pread_set.is_some() {
                     return Err(invalid("key upd statements have PReadSet = ⊥"));
                 }
-                let ws = write_set.ok_or_else(|| invalid("key upd statements must define a WriteSet"))?;
+                let ws = write_set
+                    .ok_or_else(|| invalid("key upd statements must define a WriteSet"))?;
                 if ws.is_empty() {
-                    return Err(invalid("key upd statements must write at least one attribute"));
+                    return Err(invalid(
+                        "key upd statements must write at least one attribute",
+                    ));
                 }
                 (None, Some(read_set.unwrap_or(AttrSet::EMPTY)), Some(ws))
             }
             StatementKind::PredUpdate => {
-                let ws =
-                    write_set.ok_or_else(|| invalid("pred upd statements must define a WriteSet"))?;
+                let ws = write_set
+                    .ok_or_else(|| invalid("pred upd statements must define a WriteSet"))?;
                 if ws.is_empty() {
-                    return Err(invalid("pred upd statements must write at least one attribute"));
+                    return Err(invalid(
+                        "pred upd statements must write at least one attribute",
+                    ));
                 }
                 (
                     Some(pread_set.unwrap_or(AttrSet::EMPTY)),
@@ -239,7 +253,14 @@ impl Statement {
             }
         };
 
-        Ok(Statement { name, rel: rel.id(), kind, read_set, write_set, pread_set })
+        Ok(Statement {
+            name,
+            rel: rel.id(),
+            kind,
+            read_set,
+            write_set,
+            pread_set,
+        })
     }
 
     /// The statement's name (e.g. `q3`). Names are informational; identity within a program is
@@ -329,7 +350,9 @@ mod tests {
 
     fn bids_relation() -> (mvrc_schema::Schema, RelId) {
         let mut b = SchemaBuilder::new("s");
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
         (b.build(), bids)
     }
 
@@ -348,8 +371,15 @@ mod tests {
     fn insert_rejects_read_sets() {
         let (schema, bids) = bids_relation();
         let rel = schema.relation(bids);
-        let err = Statement::new("q", rel, StatementKind::Insert, None, Some(AttrSet::EMPTY), None)
-            .unwrap_err();
+        let err = Statement::new(
+            "q",
+            rel,
+            StatementKind::Insert,
+            None,
+            Some(AttrSet::EMPTY),
+            None,
+        )
+        .unwrap_err();
         assert!(matches!(err, BtpError::InvalidStatement { .. }));
     }
 

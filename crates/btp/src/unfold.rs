@@ -21,7 +21,10 @@ pub struct UnfoldOptions {
 
 impl Default for UnfoldOptions {
     fn default() -> Self {
-        UnfoldOptions { max_loop_iterations: 2, deduplicate: true }
+        UnfoldOptions {
+            max_loop_iterations: 2,
+            deduplicate: true,
+        }
     }
 }
 
@@ -97,7 +100,10 @@ fn annotate(expr: &ProgramExpr, next_loop_id: &mut usize) -> Annotated {
 
 fn expand(expr: &Annotated, max_iters: usize) -> Vec<Vec<Occurrence>> {
     match expr {
-        Annotated::Stmt(id) => vec![vec![Occurrence { stmt: *id, context: Vec::new() }]],
+        Annotated::Stmt(id) => vec![vec![Occurrence {
+            stmt: *id,
+            context: Vec::new(),
+        }]],
         Annotated::Empty => vec![Vec::new()],
         Annotated::Seq(parts) => {
             let mut acc: Vec<Vec<Occurrence>> = vec![Vec::new()];
@@ -195,8 +201,10 @@ fn build_ltp(
     } else {
         program.name().to_string()
     };
-    let statements =
-        occurrences.iter().map(|o| program.statement(o.stmt).clone()).collect::<Vec<_>>();
+    let statements = occurrences
+        .iter()
+        .map(|o| program.statement(o.stmt).clone())
+        .collect::<Vec<_>>();
     let origins = occurrences.iter().map(|o| o.stmt).collect::<Vec<_>>();
 
     let mut fk_constraints = Vec::new();
@@ -232,16 +240,24 @@ mod tests {
     fn schema() -> Schema {
         let mut b = SchemaBuilder::new("s");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = b
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         b.build()
     }
 
     fn place_bid(schema: &Schema) -> Program {
         let mut pb = ProgramBuilder::new(schema, "PlaceBid");
-        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
         let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
         let q6 = pb.insert("q6", "Log").unwrap();
@@ -274,7 +290,9 @@ mod tests {
     fn linear_program_unfolds_to_itself() {
         let schema = schema();
         let mut pb = ProgramBuilder::new(&schema, "FindBids");
-        let q1 = pb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = pb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = pb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         pb.seq(&[q1.into(), q2.into()]);
         let ltps = unfold_le2(&pb.build());
@@ -302,8 +320,13 @@ mod tests {
         let q = pb.key_update("q", "Buyer", &["calls"], &["calls"]).unwrap();
         pb.looped(q.into());
         let program = pb.build();
-        let ltps =
-            unfold(&program, UnfoldOptions { max_loop_iterations: 4, deduplicate: true });
+        let ltps = unfold(
+            &program,
+            UnfoldOptions {
+                max_loop_iterations: 4,
+                deduplicate: true,
+            },
+        );
         let mut lens: Vec<usize> = ltps.iter().map(|l| l.len()).collect();
         lens.sort_unstable();
         assert_eq!(lens, vec![0, 1, 2, 3, 4]);
@@ -314,15 +337,20 @@ mod tests {
         let schema = schema();
         let mut pb = ProgramBuilder::new(&schema, "LoopedPair");
         // Inside the loop: a Buyer key update followed by a Bids key select constrained to it.
-        let qa = pb.key_update("qa", "Buyer", &["calls"], &["calls"]).unwrap();
+        let qa = pb
+            .key_update("qa", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let qb = pb.key_select("qb", "Bids", &["bid"]).unwrap();
         pb.looped(ProgramExpr::seq([qa.into(), qb.into()]));
         pb.fk_constraint("f1", qb, qa).unwrap();
         let ltps = unfold_le2(&pb.build());
         let two_iter = ltps.iter().find(|l| l.len() == 4).unwrap();
         // Positions: 0 = qa(it 0), 1 = qb(it 0), 2 = qa(it 1), 3 = qb(it 1).
-        let constraints: Vec<(usize, usize)> =
-            two_iter.fk_constraints().iter().map(|c| (c.dom_pos, c.range_pos)).collect();
+        let constraints: Vec<(usize, usize)> = two_iter
+            .fk_constraints()
+            .iter()
+            .map(|c| (c.dom_pos, c.range_pos))
+            .collect();
         assert!(constraints.contains(&(1, 0)));
         assert!(constraints.contains(&(3, 2)));
         assert!(!constraints.contains(&(1, 2)));
@@ -334,15 +362,20 @@ mod tests {
     fn constraints_from_outside_a_loop_pair_with_every_iteration() {
         let schema = schema();
         let mut pb = ProgramBuilder::new(&schema, "OuterTarget");
-        let qa = pb.key_update("qa", "Buyer", &["calls"], &["calls"]).unwrap();
+        let qa = pb
+            .key_update("qa", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let qb = pb.key_select("qb", "Bids", &["bid"]).unwrap();
         pb.push(qa.into());
         pb.looped(qb.into());
         pb.fk_constraint("f1", qb, qa).unwrap();
         let ltps = unfold_le2(&pb.build());
         let two_iter = ltps.iter().find(|l| l.len() == 3).unwrap();
-        let constraints: Vec<(usize, usize)> =
-            two_iter.fk_constraints().iter().map(|c| (c.dom_pos, c.range_pos)).collect();
+        let constraints: Vec<(usize, usize)> = two_iter
+            .fk_constraints()
+            .iter()
+            .map(|c| (c.dom_pos, c.range_pos))
+            .collect();
         assert_eq!(constraints, vec![(1, 0), (2, 0)]);
     }
 
@@ -356,7 +389,10 @@ mod tests {
         assert_eq!(ltps.len(), 1);
         let undeduped = unfold(
             &pb_program(&schema),
-            UnfoldOptions { max_loop_iterations: 2, deduplicate: false },
+            UnfoldOptions {
+                max_loop_iterations: 2,
+                deduplicate: false,
+            },
         );
         assert_eq!(undeduped.len(), 2);
     }
@@ -372,7 +408,9 @@ mod tests {
     fn unfold_set_concatenates_programs() {
         let schema = schema();
         let mut fb = ProgramBuilder::new(&schema, "FindBids");
-        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = fb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         fb.seq(&[q1.into(), q2.into()]);
         let programs = vec![fb.build(), place_bid(&schema)];

@@ -137,13 +137,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         i += 1;
     }
 
-    let input = input
-        .ok_or_else(|| CliError::Usage("a workload file or `--benchmark <name>` is required".to_string()))?;
+    let input = input.ok_or_else(|| {
+        CliError::Usage("a workload file or `--benchmark <name>` is required".to_string())
+    })?;
 
     match command {
-        "analyze" => Ok(Command::Analyze { input, settings, format }),
-        "subsets" => Ok(Command::Subsets { input, settings, format }),
-        "graph" => Ok(Command::Graph { input, settings, labels }),
+        "analyze" => Ok(Command::Analyze {
+            input,
+            settings,
+            format,
+        }),
+        "subsets" => Ok(Command::Subsets {
+            input,
+            settings,
+            format,
+        }),
+        "graph" => Ok(Command::Graph {
+            input,
+            settings,
+            labels,
+        }),
         "programs" => Ok(Command::Programs { input }),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -168,7 +181,11 @@ mod tests {
     fn analyze_with_defaults_uses_the_paper_setting() {
         let cmd = parse_args(&args(&["analyze", "workload.sql"])).unwrap();
         match cmd {
-            Command::Analyze { input, settings, format } => {
+            Command::Analyze {
+                input,
+                settings,
+                format,
+            } => {
                 assert_eq!(input, Input::File("workload.sql".into()));
                 assert_eq!(settings, AnalysisSettings::paper_default());
                 assert_eq!(format, Format::Text);
@@ -190,7 +207,11 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Subsets { input, settings, format } => {
+            Command::Subsets {
+                input,
+                settings,
+                format,
+            } => {
                 assert_eq!(input, Input::Benchmark("smallbank".into()));
                 assert_eq!(settings.granularity, Granularity::Tuple);
                 assert!(!settings.use_foreign_keys);
@@ -209,10 +230,25 @@ mod tests {
 
     #[test]
     fn usage_errors_are_reported() {
-        assert!(matches!(parse_args(&args(&["analyze"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&args(&["bogus", "w.sql"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&args(&["analyze", "--wat", "w.sql"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&args(&["analyze", "a.sql", "b.sql"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&args(&["analyze", "--benchmark"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["analyze"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["bogus", "w.sql"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["analyze", "--wat", "w.sql"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["analyze", "a.sql", "b.sql"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["analyze", "--benchmark"])),
+            Err(CliError::Usage(_))
+        ));
     }
 }

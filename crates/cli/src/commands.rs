@@ -31,9 +31,21 @@ impl CommandOutput {
 pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
     match command {
         Command::Help => Ok(CommandOutput::ok(crate::args::USAGE.to_string())),
-        Command::Analyze { input, settings, format } => analyze(&input, settings, format),
-        Command::Subsets { input, settings, format } => subsets(&input, settings, format),
-        Command::Graph { input, settings, labels } => graph(&input, settings, labels),
+        Command::Analyze {
+            input,
+            settings,
+            format,
+        } => analyze(&input, settings, format),
+        Command::Subsets {
+            input,
+            settings,
+            format,
+        } => subsets(&input, settings, format),
+        Command::Graph {
+            input,
+            settings,
+            labels,
+        } => graph(&input, settings, labels),
         Command::Programs { input } => programs(&input),
     }
 }
@@ -60,7 +72,9 @@ pub fn load_workload(input: &Input) -> Result<Workload, CliError> {
                     CliError::Usage(format!("invalid scaling factor in `{scaled}`"))
                 })?;
                 if n == 0 {
-                    return Err(CliError::Usage("auction-n needs a scaling factor ≥ 1".into()));
+                    return Err(CliError::Usage(
+                        "auction-n needs a scaling factor ≥ 1".into(),
+                    ));
                 }
                 Ok(mvrc_benchmarks::auction_n(n))
             }
@@ -82,7 +96,11 @@ fn abbreviator(workload: &Workload) -> impl Fn(&str) -> String + '_ {
     }
 }
 
-fn analyze(input: &Input, settings: AnalysisSettings, format: Format) -> Result<CommandOutput, CliError> {
+fn analyze(
+    input: &Input,
+    settings: AnalysisSettings,
+    format: Format,
+) -> Result<CommandOutput, CliError> {
     let workload = load_workload(input)?;
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
     let report = analyzer.analyze(settings);
@@ -100,7 +118,12 @@ fn analyze(input: &Input, settings: AnalysisSettings, format: Format) -> Result<
         Format::Text => {
             let mut out = String::new();
             writeln!(out, "workload:           {}", workload.name).unwrap();
-            writeln!(out, "programs:           {}", analyzer.program_names().join(", ")).unwrap();
+            writeln!(
+                out,
+                "programs:           {}",
+                analyzer.program_names().join(", ")
+            )
+            .unwrap();
             writeln!(out, "unfolded LTPs:      {}", analyzer.ltps().len()).unwrap();
             writeln!(out, "{report}").unwrap();
             if report.is_robust() {
@@ -124,7 +147,11 @@ fn analyze(input: &Input, settings: AnalysisSettings, format: Format) -> Result<
     Ok(CommandOutput { text, exit_code })
 }
 
-fn subsets(input: &Input, settings: AnalysisSettings, format: Format) -> Result<CommandOutput, CliError> {
+fn subsets(
+    input: &Input,
+    settings: AnalysisSettings,
+    format: Format,
+) -> Result<CommandOutput, CliError> {
     let workload = load_workload(input)?;
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
     let exploration = explore_subsets(&analyzer, settings);
@@ -152,11 +179,21 @@ fn subsets(input: &Input, settings: AnalysisSettings, format: Format) -> Result<
     Ok(CommandOutput::ok(text))
 }
 
-fn graph(input: &Input, settings: AnalysisSettings, labels: bool) -> Result<CommandOutput, CliError> {
+fn graph(
+    input: &Input,
+    settings: AnalysisSettings,
+    labels: bool,
+) -> Result<CommandOutput, CliError> {
     let workload = load_workload(input)?;
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
     let graph = analyzer.summary_graph(settings);
-    let dot = to_dot(&graph, DotOptions { edge_labels: labels, merge_parallel_edges: true });
+    let dot = to_dot(
+        &graph,
+        DotOptions {
+            edge_labels: labels,
+            merge_parallel_edges: true,
+        },
+    );
     Ok(CommandOutput::ok(dot))
 }
 
@@ -185,9 +222,24 @@ mod tests {
 
     #[test]
     fn load_workload_resolves_builtin_benchmarks() {
-        assert_eq!(load_workload(&Input::Benchmark("smallbank".into())).unwrap().name, "SmallBank");
-        assert_eq!(load_workload(&Input::Benchmark("tpcc".into())).unwrap().name, "TPC-C");
-        assert_eq!(load_workload(&Input::Benchmark("auction".into())).unwrap().name, "Auction");
+        assert_eq!(
+            load_workload(&Input::Benchmark("smallbank".into()))
+                .unwrap()
+                .name,
+            "SmallBank"
+        );
+        assert_eq!(
+            load_workload(&Input::Benchmark("tpcc".into()))
+                .unwrap()
+                .name,
+            "TPC-C"
+        );
+        assert_eq!(
+            load_workload(&Input::Benchmark("auction".into()))
+                .unwrap()
+                .name,
+            "Auction"
+        );
         let scaled = load_workload(&Input::Benchmark("auction-n=3".into())).unwrap();
         assert_eq!(scaled.programs.len(), 6);
         assert!(load_workload(&Input::Benchmark("auction-n=0".into())).is_err());
@@ -248,7 +300,11 @@ mod tests {
         .unwrap();
         assert_eq!(out.exit_code, 0);
         for expected in ["Am", "DC", "TS", "Bal"] {
-            assert!(out.text.contains(expected), "missing {expected} in: {}", out.text);
+            assert!(
+                out.text.contains(expected),
+                "missing {expected} in: {}",
+                out.text
+            );
         }
     }
 
@@ -262,13 +318,25 @@ mod tests {
         .unwrap();
         assert!(out.text.starts_with("digraph"));
         assert!(out.text.contains("FindBids"));
-        assert!(out.text.contains("style=dashed"), "counterflow edges are dashed: {}", out.text);
+        assert!(
+            out.text.contains("style=dashed"),
+            "counterflow edges are dashed: {}",
+            out.text
+        );
     }
 
     #[test]
     fn programs_lists_unfolded_ltps() {
-        let out = execute(Command::Programs { input: Input::Benchmark("tpcc".into()) }).unwrap();
-        assert!(out.text.contains("unfolded linear transaction programs: 13"), "{}", out.text);
+        let out = execute(Command::Programs {
+            input: Input::Benchmark("tpcc".into()),
+        })
+        .unwrap();
+        assert!(
+            out.text
+                .contains("unfolded linear transaction programs: 13"),
+            "{}",
+            out.text
+        );
     }
 
     #[test]

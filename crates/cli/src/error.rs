@@ -37,9 +37,16 @@ mod tests {
 
     #[test]
     fn errors_render_with_context() {
-        assert!(CliError::Usage("missing file".into()).to_string().contains("usage error"));
-        let io = CliError::Io { path: "w.sql".into(), message: "no such file".into() };
+        assert!(CliError::Usage("missing file".into())
+            .to_string()
+            .contains("usage error"));
+        let io = CliError::Io {
+            path: "w.sql".into(),
+            message: "no such file".into(),
+        };
         assert!(io.to_string().contains("w.sql"));
-        assert!(CliError::Workload("bad".into()).to_string().contains("invalid workload"));
+        assert!(CliError::Workload("bad".into())
+            .to_string()
+            .contains("invalid workload"));
     }
 }

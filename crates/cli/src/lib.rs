@@ -25,9 +25,6 @@
 //! Built-in benchmarks (`--benchmark smallbank|tpcc|auction|auction-n=<N>`) allow reproducing
 //! the paper's results without writing a workload file.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod args;
 mod commands;
 mod error;

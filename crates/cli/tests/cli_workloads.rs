@@ -15,10 +15,18 @@ fn workload_path(file: &str) -> String {
 fn analyzing_the_bundled_auction_file_matches_the_paper() {
     let path = workload_path("auction.sql");
     let out = run(&args(&["analyze", &path])).unwrap();
-    assert_eq!(out.exit_code, 0, "the Auction workload is robust (Figure 6): {}", out.text);
+    assert_eq!(
+        out.exit_code, 0,
+        "the Auction workload is robust (Figure 6): {}",
+        out.text
+    );
     assert!(out.text.contains("robust against MVRC"));
     // Summary-graph size matches Table 2: 3 LTP nodes, 17 edges, 1 counterflow.
-    assert!(out.text.contains("3 nodes, 17 edges (1 counterflow)"), "{}", out.text);
+    assert!(
+        out.text.contains("3 nodes, 17 edges (1 counterflow)"),
+        "{}",
+        out.text
+    );
 }
 
 #[test]
@@ -48,7 +56,11 @@ fn subsets_and_graph_work_on_the_bundled_file() {
     let out = run(&args(&["graph", &path, "--labels"])).unwrap();
     assert!(out.text.starts_with("digraph"));
     // Exactly one counterflow (dashed) edge, from FindBids to PlaceBid[1] (Figure 4).
-    let dashed: Vec<&str> = out.text.lines().filter(|l| l.contains("style=dashed")).collect();
+    let dashed: Vec<&str> = out
+        .text
+        .lines()
+        .filter(|l| l.contains("style=dashed"))
+        .collect();
     assert_eq!(dashed.len(), 1, "{}", out.text);
     assert!(out.text.contains("PlaceBid[1]"), "{}", out.text);
 }
@@ -58,7 +70,11 @@ fn the_shop_workload_parses_and_produces_a_verdict() {
     let path = workload_path("shop.sql");
     let out = run(&args(&["analyze", &path])).unwrap();
     assert!(out.exit_code == 0 || out.exit_code == 1);
-    assert!(out.text.contains("workload:") && out.text.contains("shop"), "{}", out.text);
+    assert!(
+        out.text.contains("workload:") && out.text.contains("shop"),
+        "{}",
+        out.text
+    );
     let out = run(&args(&["programs", &path])).unwrap();
     assert!(out.text.contains("PlaceOrder"), "{}", out.text);
     assert!(out.text.contains("Restock"), "{}", out.text);
@@ -82,7 +98,11 @@ fn json_output_round_trips_for_files_and_benchmarks() {
 fn tpcc_benchmark_reproduces_the_figure_6_subsets_from_the_cli() {
     let out = run(&args(&["subsets", "--benchmark", "tpcc"])).unwrap();
     for expected in ["OS", "Pay", "SL", "NO"] {
-        assert!(out.text.contains(expected), "missing {expected}: {}", out.text);
+        assert!(
+            out.text.contains(expected),
+            "missing {expected}: {}",
+            out.text
+        );
     }
 }
 
@@ -100,8 +120,11 @@ fn missing_files_and_bad_flags_are_clean_errors() {
 fn malformed_workload_files_are_reported_with_context() {
     let dir = std::env::temp_dir();
     let path = dir.join("mvrc_cli_bad_workload.sql");
-    std::fs::write(&path, "TABLE T (a); PROGRAM P() { UPDATE Nope SET x = 1 WHERE y = :z; }")
-        .unwrap();
+    std::fs::write(
+        &path,
+        "TABLE T (a); PROGRAM P() { UPDATE Nope SET x = 1 WHERE y = :z; }",
+    )
+    .unwrap();
     let err = run(&args(&["analyze", path.to_str().unwrap()])).unwrap_err();
     assert!(matches!(err, CliError::Workload(_)), "{err}");
     std::fs::remove_file(&path).ok();

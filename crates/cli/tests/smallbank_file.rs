@@ -3,9 +3,7 @@
 //! `mvrc-benchmarks` (which are validated against Figure 6 of the paper).
 
 use mvrc_cli::{load_workload, run, Input};
-use mvrc_robustness::{
-    explore_subsets, AnalysisSettings, CycleCondition, RobustnessAnalyzer,
-};
+use mvrc_robustness::{explore_subsets, AnalysisSettings, CycleCondition, RobustnessAnalyzer};
 use std::collections::BTreeSet;
 
 fn args(parts: &[&str]) -> Vec<String> {
@@ -27,7 +25,12 @@ fn maximal_subsets(
     exploration
         .maximal
         .iter()
-        .map(|subset| subset.iter().map(|&i| exploration.programs[i].clone()).collect())
+        .map(|subset| {
+            subset
+                .iter()
+                .map(|&i| exploration.programs[i].clone())
+                .collect()
+        })
         .collect()
 }
 
@@ -57,5 +60,10 @@ fn analyzing_the_smallbank_file_rejects_the_full_mix() {
     let out = run(&args(&["subsets", &path, "--json"])).unwrap();
     let value: serde_json::Value = serde_json::from_str(&out.text).unwrap();
     let maximal = value["exploration"]["maximal"].as_array().unwrap();
-    assert_eq!(maximal.len(), 3, "three maximal robust subsets (Figure 6): {}", out.text);
+    assert_eq!(
+        maximal.len(),
+        3,
+        "three maximal robust subsets (Figure 6): {}",
+        out.text
+    );
 }

@@ -1,0 +1,20 @@
+-- A small web-shop workload, exercising inserts, predicate reads and loops — not from the
+-- paper; bundled as a user-provided-file example for the CLI tests and documentation.
+SCHEMA shop;
+
+TABLE Product (id, stock, price, PRIMARY KEY (id));
+TABLE Orders  (id, productId, qty, PRIMARY KEY (id));
+
+FOREIGN KEY f1: Orders (productId) REFERENCES Product (id);
+
+-- PlaceOrder: check the price, decrement the stock and record the order.
+PROGRAM PlaceOrder(:P, :O, :Q) {
+    SELECT stock, price FROM Product WHERE id = :P;
+    UPDATE Product SET stock = stock - :Q WHERE id = :P;
+    INSERT INTO Orders (id, productId, qty) VALUES (:O, :P, :Q);
+}
+
+-- Restock: bump the stock of every low-stock product (a predicate update).
+PROGRAM Restock(:T, :Q) {
+    UPDATE Product SET stock = stock + :Q WHERE stock < :T;
+}

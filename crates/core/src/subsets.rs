@@ -4,11 +4,12 @@
 //! transaction programs that the respective test attests robust (Figures 6 and 7). This module
 //! reproduces that exploration.
 
-use crate::algorithm::is_robust;
+use crate::algorithm::{is_robust, is_robust_view};
 use crate::analysis::RobustnessAnalyzer;
 use crate::settings::AnalysisSettings;
-use crate::summary::SummaryGraph;
+use crate::summary::{NodeId, SummaryGraph};
 use mvrc_btp::LinearProgram;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Result of exploring all subsets of a workload's programs.
@@ -28,16 +29,21 @@ impl SubsetExploration {
     /// Renders a subset like the paper does, e.g. `{OS, Pay, SL}`, using the provided
     /// abbreviation function.
     pub fn render_subset(&self, subset: &[usize], abbreviate: impl Fn(&str) -> String) -> String {
-        let names: Vec<String> =
-            subset.iter().map(|&i| abbreviate(&self.programs[i])).collect();
+        let names: Vec<String> = subset
+            .iter()
+            .map(|&i| abbreviate(&self.programs[i]))
+            .collect();
         format!("{{{}}}", names.join(", "))
     }
 
     /// Renders the maximal robust subsets as a comma-separated list, e.g.
     /// `{Am, DC, TS}, {Bal, DC}, {Bal, TS}`.
     pub fn render_maximal(&self, abbreviate: impl Fn(&str) -> String) -> String {
-        let mut rendered: Vec<String> =
-            self.maximal.iter().map(|s| self.render_subset(s, &abbreviate)).collect();
+        let mut rendered: Vec<String> = self
+            .maximal
+            .iter()
+            .map(|s| self.render_subset(s, &abbreviate))
+            .collect();
         rendered.sort_by_key(|s| (usize::MAX - s.matches(',').count(), s.clone()));
         rendered.join(", ")
     }
@@ -57,26 +63,102 @@ impl SubsetExploration {
 /// Explores every non-empty subset of the workload's programs and reports which are robust under
 /// the given settings.
 ///
-/// The workload's BTPs are unfolded once (inside the analyzer); each subset only pays for
-/// summary-graph construction over its own LTPs plus the cycle test.
-pub fn explore_subsets(analyzer: &RobustnessAnalyzer, settings: AnalysisSettings) -> SubsetExploration {
+/// The workload's BTPs are unfolded once (inside the analyzer) and the summary graph is
+/// constructed **once** over the full LTP set; every subset is then tested on a cheap
+/// [induced-subgraph view](SummaryGraph::induced) of that shared graph. This is sound because
+/// Algorithm 1's edges are defined pairwise over LTPs: the summary graph of a subset equals the
+/// induced subgraph of the full summary graph (only reachability has to be recomputed per
+/// view). The `2^n - 1` subset tests are independent and run in parallel via rayon.
+///
+/// [`explore_subsets_naive`] retains the literal per-subset reconstruction for cross-checking
+/// and benchmarking.
+pub fn explore_subsets(
+    analyzer: &RobustnessAnalyzer,
+    settings: AnalysisSettings,
+) -> SubsetExploration {
     let programs: Vec<String> = analyzer.program_names().to_vec();
     let n = programs.len();
-    assert!(n <= 20, "subset exploration is exponential; {n} programs is too many");
+    assert!(
+        n <= 20,
+        "subset exploration is exponential; {n} programs is too many"
+    );
+
+    // One Algorithm 1 run over the full LTP set; node ids follow the LTP order.
+    let graph = SummaryGraph::construct(analyzer.ltps(), analyzer.schema(), settings);
+    let nodes_per_program: Vec<Vec<NodeId>> = programs
+        .iter()
+        .map(|name| {
+            analyzer
+                .ltps()
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.program_name() == name)
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect();
+
+    let test_mask = |mask: usize| {
+        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        let members: Vec<NodeId> = subset
+            .iter()
+            .flat_map(|&i| nodes_per_program[i].iter().copied())
+            .collect();
+        let view = graph.induced(&members);
+        is_robust_view(&view, settings.condition).then_some(subset)
+    };
+    let total = 1usize << n;
+    // Below ~6 programs the whole sweep is microseconds; thread fan-out would dominate.
+    let mut robust: Vec<Vec<usize>> = if total >= 64 {
+        (1usize..total)
+            .into_par_iter()
+            .filter_map(test_mask)
+            .collect()
+    } else {
+        (1usize..total).filter_map(test_mask).collect()
+    };
+    robust.sort();
+
+    let maximal = maximal_sets(&robust);
+    SubsetExploration {
+        programs,
+        settings,
+        robust,
+        maximal,
+    }
+}
+
+/// The pre-refactor subset exploration: reconstructs a full summary graph per subset, serially.
+///
+/// Semantically equivalent to [`explore_subsets`]; kept as the oracle for the
+/// induced-view cross-check tests and as the baseline of the `subset_exploration` Criterion
+/// bench.
+pub fn explore_subsets_naive(
+    analyzer: &RobustnessAnalyzer,
+    settings: AnalysisSettings,
+) -> SubsetExploration {
+    let programs: Vec<String> = analyzer.program_names().to_vec();
+    let n = programs.len();
+    assert!(
+        n <= 20,
+        "subset exploration is exponential; {n} programs is too many"
+    );
 
     // Group the unfolded LTPs per program index once.
     let ltps_per_program: Vec<Vec<&LinearProgram>> = programs
         .iter()
-        .map(|name| analyzer.ltps().iter().filter(|l| l.program_name() == name).collect())
+        .map(|name| {
+            analyzer
+                .ltps()
+                .iter()
+                .filter(|l| l.program_name() == name)
+                .collect()
+        })
         .collect();
 
     let mut robust: Vec<Vec<usize>> = Vec::new();
     for mask in 1usize..(1 << n) {
         let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
-        // Monotonicity shortcut (Proposition 5.2): if any superset already known robust existed
-        // we could skip, but robustness is anti-monotone (subsets of robust sets are robust), so
-        // we check supersets first is not possible in increasing mask order. Instead, skip the
-        // check when a known-robust superset exists after the fact is impossible; simply test.
         let ltps: Vec<LinearProgram> = subset
             .iter()
             .flat_map(|&i| ltps_per_program[i].iter().map(|l| (*l).clone()))
@@ -86,9 +168,15 @@ pub fn explore_subsets(analyzer: &RobustnessAnalyzer, settings: AnalysisSettings
             robust.push(subset);
         }
     }
+    robust.sort();
 
     let maximal = maximal_sets(&robust);
-    SubsetExploration { programs, settings, robust, maximal }
+    SubsetExploration {
+        programs,
+        settings,
+        robust,
+        maximal,
+    }
 }
 
 /// Filters a family of sets down to its maximal elements (no other set is a strict superset).
@@ -107,8 +195,10 @@ fn maximal_sets(sets: &[Vec<usize>]) -> Vec<Vec<usize>> {
 /// program name, e.g. `NewOrder → NO`, `DepositChecking → DC`. Falls back to the full name when
 /// the name contains no upper-case letters.
 pub fn abbreviate_program_name(name: &str) -> String {
-    let abbrev: String =
-        name.chars().filter(|c| c.is_ascii_uppercase() || c.is_ascii_digit()).collect();
+    let abbrev: String = name
+        .chars()
+        .filter(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+        .collect();
     if abbrev.is_empty() {
         name.to_string()
     } else {
@@ -126,19 +216,29 @@ mod tests {
     fn auction_analyzer() -> RobustnessAnalyzer {
         let mut b = SchemaBuilder::new("auction");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = b
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         let schema = b.build();
 
         let mut fb = ProgramBuilder::new(&schema, "FindBids");
-        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = fb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         fb.seq(&[q1.into(), q2.into()]);
 
         let mut pb = ProgramBuilder::new(&schema, "PlaceBid");
-        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
         let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
         let q6 = pb.insert("q6", "Log").unwrap();

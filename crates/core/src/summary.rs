@@ -11,6 +11,7 @@ use crate::tables::{c_dep_table, nc_dep_table};
 use mvrc_btp::{LinearProgram, Statement, StmtPos};
 use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::fmt;
 
 /// Index of an LTP node within a [`SummaryGraph`].
@@ -69,7 +70,40 @@ struct Reachability {
 impl Reachability {
     fn new(nodes: usize) -> Self {
         let words_per_row = nodes.div_ceil(64).max(1);
-        Reachability { nodes, words_per_row, bits: vec![0; nodes * words_per_row] }
+        Reachability {
+            nodes,
+            words_per_row,
+            bits: vec![0; nodes * words_per_row],
+        }
+    }
+
+    /// BFS closure over an adjacency given as edge-index lists, restricted to `starts`.
+    fn compute<'a>(
+        nodes: usize,
+        starts: impl Iterator<Item = usize>,
+        edges: &[SummaryEdge],
+        out_edges: &impl Fn(usize) -> &'a [usize],
+    ) -> Self {
+        let mut reach = Reachability::new(nodes);
+        let mut stack = Vec::new();
+        let mut visited = vec![false; nodes];
+        for start in starts {
+            visited.iter_mut().for_each(|v| *v = false);
+            stack.clear();
+            stack.push(start);
+            visited[start] = true;
+            while let Some(node) = stack.pop() {
+                reach.set(start, node);
+                for &edge_idx in out_edges(node) {
+                    let next = edges[edge_idx].to;
+                    if !visited[next] {
+                        visited[next] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        reach
     }
 
     #[inline]
@@ -105,6 +139,7 @@ impl SummaryGraph {
     /// attribute set of its relation; the `use_foreign_keys` setting controls the foreign-key
     /// suppression inside `cDepConds`.
     pub fn construct(ltps: &[LinearProgram], schema: &Schema, settings: AnalysisSettings) -> Self {
+        CONSTRUCTIONS.with(|c| c.set(c.get() + 1));
         let nodes: Vec<LinearProgram> = match settings.granularity {
             Granularity::Attribute => ltps.to_vec(),
             Granularity::Tuple => ltps
@@ -136,7 +171,9 @@ impl SummaryGraph {
                         }
                         let allow_c = match c_dep_table(qi.kind(), qj.kind()) {
                             Some(v) => v,
-                            None => c_dep_conds(pi, pos_i, qi, pj, pos_j, qj, settings.use_foreign_keys),
+                            None => {
+                                c_dep_conds(pi, pos_i, qi, pj, pos_j, qj, settings.use_foreign_keys)
+                            }
                         };
                         if allow_c {
                             edges.push(SummaryEdge {
@@ -158,8 +195,25 @@ impl SummaryGraph {
             out_edges[e.from].push(idx);
             in_edges[e.to].push(idx);
         }
-        let reach = compute_reachability(nodes.len(), &edges, &out_edges);
-        SummaryGraph { nodes, edges, out_edges, in_edges, reach, settings }
+        let reach = Reachability::compute(nodes.len(), 0..nodes.len(), &edges, &|n| &out_edges[n]);
+        SummaryGraph {
+            nodes,
+            edges,
+            out_edges,
+            in_edges,
+            reach,
+            settings,
+        }
+    }
+
+    /// Number of `SummaryGraph::construct` calls made by the current thread.
+    ///
+    /// Diagnostic counter for the subset-exploration cross-check: the shared-graph exploration
+    /// must construct exactly one graph per settings combination, however many subsets it
+    /// enumerates. Thread-local so concurrently running tests cannot interfere with each other
+    /// (the parallel subset enumeration itself never constructs graphs on worker threads).
+    pub fn constructions_on_current_thread() -> u64 {
+        CONSTRUCTIONS.with(Cell::get)
     }
 
     /// The settings the graph was constructed under.
@@ -179,7 +233,10 @@ impl SummaryGraph {
 
     /// Number of counterflow edges, the parenthesized count in Table 2.
     pub fn counterflow_edge_count(&self) -> usize {
-        self.edges.iter().filter(|e| e.kind.is_counterflow()).count()
+        self.edges
+            .iter()
+            .filter(|e| e.kind.is_counterflow())
+            .count()
     }
 
     /// The LTP at a node.
@@ -204,7 +261,9 @@ impl SummaryGraph {
 
     /// Edges leaving a node.
     pub fn edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> {
-        self.out_edges[node].iter().map(move |&idx| &self.edges[idx])
+        self.out_edges[node]
+            .iter()
+            .map(move |&idx| &self.edges[idx])
     }
 
     /// Edges entering a node.
@@ -229,23 +288,260 @@ impl SummaryGraph {
     }
 
     /// The bitset row of nodes reachable from `from` (64 nodes per word, node `i` at bit
-    /// `i % 64` of word `i / 64`). Exposed for the optimized robustness check.
-    pub(crate) fn reachable_row(&self, from: NodeId) -> &[u64] {
+    /// `i % 64` of word `i / 64`). Exposed for the optimized robustness check; equals
+    /// [`SummaryGraphView::view_reachable_row`].
+    pub fn reachable_row(&self, from: NodeId) -> &[u64] {
         self.reach.row(from)
     }
 
     /// Renders an edge with program and statement names (diagnostics, DOT export).
     pub fn describe_edge(&self, edge: &SummaryEdge) -> String {
-        let from = &self.nodes[edge.from];
-        let to = &self.nodes[edge.to];
-        format!(
-            "{} --[{} -> {}, {}]--> {}",
-            from.name(),
-            from.statement(edge.from_stmt).name(),
-            to.statement(edge.to_stmt).name(),
-            edge.kind,
-            to.name()
-        )
+        describe_edge_in(self, edge)
+    }
+
+    /// The induced subgraph over a set of node ids.
+    ///
+    /// The view borrows this graph: it keeps the edges whose endpoints both lie in `members`
+    /// (filtered by a node mask — no statement-level reconstruction) and recomputes only the
+    /// reachability closure, which — unlike the edge set — is not preserved under taking
+    /// induced subgraphs (paths may run through excluded nodes).
+    ///
+    /// Since the edges of `SuG(𝒫)` are defined pairwise over the LTPs of `𝒫` (Algorithm 1
+    /// consults only `P_i` and `P_j` for an edge between them), the induced view over the nodes
+    /// of `𝒫' ⊆ 𝒫` is *identical* to `SuG(𝒫')` up to node numbering — this is what lets the
+    /// subset exploration construct a single graph instead of one per subset.
+    pub fn induced(&self, members: &[NodeId]) -> InducedView<'_> {
+        let mut members = members.to_vec();
+        // The subset-exploration hot loop always passes strictly ascending ids; only pay for
+        // normalization when the caller didn't.
+        if !members.windows(2).all(|w| w[0] < w[1]) {
+            members.sort_unstable();
+            members.dedup();
+        }
+        let n = self.nodes.len();
+        let words = n.div_ceil(64).max(1);
+        let mut mask = vec![0u64; words];
+        for &m in &members {
+            assert!(m < n, "induced(): node id {m} out of range ({n} nodes)");
+            mask[m / 64] |= 1u64 << (m % 64);
+        }
+        let in_mask = |id: NodeId| mask[id / 64] & (1u64 << (id % 64)) != 0;
+
+        let mut edge_indices = Vec::new();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for (idx, e) in self.edges.iter().enumerate() {
+            if in_mask(e.from) && in_mask(e.to) {
+                edge_indices.push(idx);
+                out_edges[e.from].push(idx);
+                in_edges[e.to].push(idx);
+            }
+        }
+        let reach = Reachability::compute(n, members.iter().copied(), &self.edges, &|node| {
+            &out_edges[node]
+        });
+        InducedView {
+            graph: self,
+            members,
+            edge_indices,
+            out_edges,
+            in_edges,
+            reach,
+        }
+    }
+
+    /// The induced subgraph over the LTP nodes unfolded from the given programs.
+    pub fn induced_for_programs(&self, program_names: &[&str]) -> InducedView<'_> {
+        let members: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, ltp)| program_names.contains(&ltp.program_name()))
+            .map(|(id, _)| id)
+            .collect();
+        self.induced(&members)
+    }
+}
+
+/// Read access to a summary graph or an induced subgraph of one.
+///
+/// The robustness cycle tests ([`crate::find_type2_violation`] and friends) are written against
+/// this trait so that one [`SummaryGraph`] constructed over the full LTP set can answer queries
+/// for every subset through cheap [`InducedView`]s. Node ids always refer to the underlying
+/// graph's numbering ([`Self::universe`] is the size of that id space), so bitsets and
+/// adjacency queries can be shared between the full graph and its views.
+pub trait SummaryGraphView {
+    /// Size of the node-id space (the underlying graph's node count). Views report the parent
+    /// universe even when they contain fewer nodes.
+    fn universe(&self) -> usize;
+
+    /// Node ids present in this view, in ascending order.
+    fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_;
+
+    /// The LTP at a node (of the underlying graph).
+    fn node(&self, id: NodeId) -> &LinearProgram;
+
+    /// The edges of this view.
+    fn view_edges(&self) -> impl Iterator<Item = &SummaryEdge> + '_;
+
+    /// Edges of this view entering a node.
+    fn view_edges_to(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_;
+
+    /// Counterflow edges of this view leaving a node.
+    fn view_counterflow_edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_;
+
+    /// Reachability `from →* to` within this view (paths may not leave the view).
+    fn view_reachable(&self, from: NodeId, to: NodeId) -> bool;
+
+    /// The reachability bitset row of a node (64 node ids per word).
+    fn view_reachable_row(&self, from: NodeId) -> &[u64];
+
+    /// Number of nodes in this view.
+    fn view_node_count(&self) -> usize {
+        self.node_ids().count()
+    }
+
+    /// Number of edges in this view.
+    fn view_edge_count(&self) -> usize {
+        self.view_edges().count()
+    }
+
+    /// Number of counterflow edges in this view.
+    fn view_counterflow_edge_count(&self) -> usize {
+        self.view_edges()
+            .filter(|e| e.kind.is_counterflow())
+            .count()
+    }
+}
+
+/// Renders an edge of any view with program and statement names.
+pub fn describe_edge_in<G: SummaryGraphView + ?Sized>(view: &G, edge: &SummaryEdge) -> String {
+    let from = view.node(edge.from);
+    let to = view.node(edge.to);
+    format!(
+        "{} --[{} -> {}, {}]--> {}",
+        from.name(),
+        from.statement(edge.from_stmt).name(),
+        to.statement(edge.to_stmt).name(),
+        edge.kind,
+        to.name()
+    )
+}
+
+impl SummaryGraphView for SummaryGraph {
+    fn universe(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.nodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> &LinearProgram {
+        &self.nodes[id]
+    }
+
+    fn view_edges(&self) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.edges.iter()
+    }
+
+    fn view_edges_to(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.edges_to(node)
+    }
+
+    fn view_counterflow_edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.counterflow_edges_from(node)
+    }
+
+    fn view_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.reach.get(from, to)
+    }
+
+    fn view_reachable_row(&self, from: NodeId) -> &[u64] {
+        self.reach.row(from)
+    }
+
+    fn view_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn view_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// A borrowed induced subgraph of a [`SummaryGraph`]: the nodes in a mask plus every edge whose
+/// endpoints both lie in the mask, with freshly computed view-local reachability.
+///
+/// Node ids are the *parent graph's* ids; the view is cheap to build (`O(E + m·E/64)`) compared
+/// to re-running Algorithm 1, which is quadratic in statements with attribute-set and
+/// foreign-key reasoning per pair.
+#[derive(Debug, Clone)]
+pub struct InducedView<'g> {
+    graph: &'g SummaryGraph,
+    members: Vec<NodeId>,
+    edge_indices: Vec<usize>,
+    out_edges: Vec<Vec<usize>>,
+    in_edges: Vec<Vec<usize>>,
+    reach: Reachability,
+}
+
+impl InducedView<'_> {
+    /// The underlying full graph.
+    pub fn parent(&self) -> &SummaryGraph {
+        self.graph
+    }
+
+    /// The member node ids, ascending.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+}
+
+impl SummaryGraphView for InducedView<'_> {
+    fn universe(&self) -> usize {
+        self.graph.nodes.len()
+    }
+
+    fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    fn node(&self, id: NodeId) -> &LinearProgram {
+        &self.graph.nodes[id]
+    }
+
+    fn view_edges(&self) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.edge_indices.iter().map(|&idx| &self.graph.edges[idx])
+    }
+
+    fn view_edges_to(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.in_edges[node]
+            .iter()
+            .map(|&idx| &self.graph.edges[idx])
+    }
+
+    fn view_counterflow_edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.out_edges[node]
+            .iter()
+            .map(|&idx| &self.graph.edges[idx])
+            .filter(|e| e.kind.is_counterflow())
+    }
+
+    fn view_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.reach.get(from, to)
+    }
+
+    fn view_reachable_row(&self, from: NodeId) -> &[u64] {
+        self.reach.row(from)
+    }
+
+    fn view_node_count(&self) -> usize {
+        self.members.len()
+    }
+
+    fn view_edge_count(&self) -> usize {
+        self.edge_indices.len()
     }
 }
 
@@ -254,7 +550,11 @@ impl SummaryGraph {
 pub fn nc_dep_conds(qi: &Statement, qj: &Statement) -> bool {
     let (wi, ri, pi) = (qi.write_attrs(), qi.read_attrs(), qi.pread_attrs());
     let (wj, rj, pj) = (qj.write_attrs(), qj.read_attrs(), qj.pread_attrs());
-    wi.intersects(wj) || wi.intersects(rj) || wi.intersects(pj) || ri.intersects(wj) || pi.intersects(wj)
+    wi.intersects(wj)
+        || wi.intersects(rj)
+        || wi.intersects(pj)
+        || ri.intersects(wj)
+        || pi.intersects(wj)
 }
 
 /// `cDepConds(q_i, q_j)` from Algorithm 1: the attribute-set and foreign-key checks for the `⊥`
@@ -310,31 +610,8 @@ pub fn c_dep_conds(
     false
 }
 
-fn compute_reachability(
-    node_count: usize,
-    edges: &[SummaryEdge],
-    out_edges: &[Vec<usize>],
-) -> Reachability {
-    let mut reach = Reachability::new(node_count);
-    let mut stack = Vec::new();
-    let mut visited = vec![false; node_count];
-    for start in 0..node_count {
-        visited.iter_mut().for_each(|v| *v = false);
-        stack.clear();
-        stack.push(start);
-        visited[start] = true;
-        while let Some(node) = stack.pop() {
-            reach.set(start, node);
-            for &edge_idx in &out_edges[node] {
-                let next = edges[edge_idx].to;
-                if !visited[next] {
-                    visited[next] = true;
-                    stack.push(next);
-                }
-            }
-        }
-    }
-    reach
+thread_local! {
+    static CONSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
 }
 
 #[cfg(test)]
@@ -347,15 +624,21 @@ mod tests {
     fn schema() -> Schema {
         let mut b = SchemaBuilder::new("s");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        b.relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
         b.build()
     }
 
     fn find_bids(schema: &Schema) -> LinearProgram {
         let mut pb = ProgramBuilder::new(schema, "FindBids");
-        let q1 = pb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = pb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = pb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         pb.seq(&[q1.into(), q2.into()]);
         mvrc_btp::LinearProgram::from_linear_program(&pb.build())
@@ -400,8 +683,11 @@ mod tests {
     #[test]
     fn node_lookup_and_edge_iterators() {
         let schema = schema();
-        let graph =
-            SummaryGraph::construct(&[find_bids(&schema), find_bids(&schema)], &schema, settings());
+        let graph = SummaryGraph::construct(
+            &[find_bids(&schema), find_bids(&schema)],
+            &schema,
+            settings(),
+        );
         assert_eq!(graph.node_count(), 2);
         assert!(graph.node_by_name("FindBids").is_some());
         assert!(graph.node_by_name("Nope").is_none());
@@ -432,7 +718,10 @@ mod tests {
         let tuple = SummaryGraph::construct(
             &ltps,
             &schema,
-            AnalysisSettings { granularity: Granularity::Tuple, ..settings() },
+            AnalysisSettings {
+                granularity: Granularity::Tuple,
+                ..settings()
+            },
         );
         // Attribute granularity: only the writer/writer self conflict.
         assert_eq!(attr.edge_count(), 1);
@@ -448,7 +737,9 @@ mod tests {
         // Both programs: update Buyer (key-based, on the FK target) then read/update Bids.
         let build = |name: &str, update_bids: bool| {
             let mut pb = ProgramBuilder::new(&schema, name);
-            let qb = pb.key_update("qb", "Buyer", &["calls"], &["calls"]).unwrap();
+            let qb = pb
+                .key_update("qb", "Buyer", &["calls"], &["calls"])
+                .unwrap();
             let qx = if update_bids {
                 pb.key_update("qx", "Bids", &[], &["bid"]).unwrap()
             } else {
@@ -463,7 +754,10 @@ mod tests {
         let without_fk = SummaryGraph::construct(
             &ltps,
             &schema,
-            AnalysisSettings { use_foreign_keys: false, ..settings() },
+            AnalysisSettings {
+                use_foreign_keys: false,
+                ..settings()
+            },
         );
         // Without FK reasoning the Reader.qx -> Writer.qx rw-antidependency can be counterflow;
         // with FK reasoning it cannot (both programs key-update the same Buyer tuple first).

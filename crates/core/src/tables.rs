@@ -24,7 +24,8 @@ const U: TableEntry = None;
 /// `ncDepTable` — Table (1a): when can a **non-counterflow** dependency be admitted.
 pub const NC_DEP_TABLE: [[TableEntry; 7]; 7] = [
     //  ins, key sel, pred sel, key upd, pred upd, key del, pred del
-    /* ins      */ [F, U, T, U, T, U, T],
+    /* ins      */
+    [F, U, T, U, T, U, T],
     /* key sel  */ [F, F, F, U, U, U, U],
     /* pred sel */ [T, F, F, U, U, T, T],
     /* key upd  */ [F, U, U, U, U, U, U],
@@ -40,7 +41,8 @@ pub const NC_DEP_TABLE: [[TableEntry; 7]; 7] = [
 /// transaction's write is all-`false`.
 pub const C_DEP_TABLE: [[TableEntry; 7]; 7] = [
     //  ins, key sel, pred sel, key upd, pred upd, key del, pred del
-    /* ins      */ [F, F, F, F, F, F, F],
+    /* ins      */
+    [F, F, F, F, F, F, F],
     /* key sel  */ [F, F, F, U, U, U, U],
     /* pred sel */ [T, F, F, U, U, T, T],
     /* key upd  */ [F, F, F, F, F, F, F],

@@ -27,7 +27,10 @@ fn sql_pipeline_reaches_the_same_verdict_as_the_programmatic_model() {
     let g_sql = sql_analyzer.summary_graph(settings);
     let g_built = built_analyzer.summary_graph(settings);
     assert_eq!(g_sql.edge_count(), g_built.edge_count());
-    assert_eq!(g_sql.counterflow_edge_count(), g_built.counterflow_edge_count());
+    assert_eq!(
+        g_sql.counterflow_edge_count(),
+        g_built.counterflow_edge_count()
+    );
 }
 
 #[test]
@@ -41,8 +44,11 @@ fn figure4_nodes_are_findbids_and_the_two_placebid_unfoldings() {
 #[test]
 fn figure4_has_exactly_one_counterflow_edge_from_findbids_to_placebid1() {
     let graph = figure4_graph();
-    let counterflow: Vec<_> =
-        graph.edges().iter().filter(|e| e.kind == EdgeKind::Counterflow).collect();
+    let counterflow: Vec<_> = graph
+        .edges()
+        .iter()
+        .filter(|e| e.kind == EdgeKind::Counterflow)
+        .collect();
     assert_eq!(counterflow.len(), 1);
     let edge = counterflow[0];
     let from = graph.node(edge.from);
@@ -85,7 +91,10 @@ fn figure4_contains_a_type1_but_no_type2_cycle() {
     let graph = figure4_graph();
     let type1 = find_type1_violation(&graph).expect("Figure 4 contains a type-I cycle");
     assert_eq!(graph.node(type1.counterflow_edge.from).name(), "FindBids");
-    assert!(find_type2_violation(&graph).is_none(), "Figure 4 contains no type-II cycle");
+    assert!(
+        find_type2_violation(&graph).is_none(),
+        "Figure 4 contains no type-II cycle"
+    );
 }
 
 #[test]
@@ -95,7 +104,11 @@ fn figure4_dot_export_is_well_formed() {
     assert!(dot.contains("digraph"));
     assert!(dot.contains("FindBids"));
     assert!(dot.contains("PlaceBid[1]"));
-    assert_eq!(dot.matches("style=dashed").count(), 1, "exactly one dashed (counterflow) edge");
+    assert_eq!(
+        dot.matches("style=dashed").count(),
+        1,
+        "exactly one dashed (counterflow) edge"
+    );
 }
 
 #[test]

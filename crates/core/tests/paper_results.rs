@@ -34,11 +34,23 @@ fn table2_smallbank_characteristics() {
     assert_eq!(w.schema.relation_count(), 3);
     assert_eq!(w.program_count(), 5);
     let a = analyzer(&w);
-    assert_eq!(a.ltps().len(), 5, "Table 2: 5 unfolded transaction programs");
+    assert_eq!(
+        a.ltps().len(),
+        5,
+        "Table 2: 5 unfolded transaction programs"
+    );
     let g = a.summary_graph(AnalysisSettings::paper_default());
     assert_eq!(g.node_count(), 5);
-    assert_eq!(g.edge_count(), 56, "Table 2: SmallBank has 56 summary-graph edges");
-    assert_eq!(g.counterflow_edge_count(), 12, "Table 2: 12 of them counterflow");
+    assert_eq!(
+        g.edge_count(),
+        56,
+        "Table 2: SmallBank has 56 summary-graph edges"
+    );
+    assert_eq!(
+        g.counterflow_edge_count(),
+        12,
+        "Table 2: 12 of them counterflow"
+    );
 }
 
 #[test]
@@ -47,14 +59,22 @@ fn table2_tpcc_characteristics() {
     assert_eq!(w.schema.relation_count(), 9);
     assert_eq!(w.program_count(), 5);
     let a = analyzer(&w);
-    assert_eq!(a.ltps().len(), 13, "Table 2: 13 unfolded transaction programs");
+    assert_eq!(
+        a.ltps().len(),
+        13,
+        "Table 2: 13 unfolded transaction programs"
+    );
     let g = a.summary_graph(AnalysisSettings::paper_default());
     assert_eq!(g.node_count(), 13);
     // Paper: 396 edges (83 counterflow). Our TPC-C model yields 405 edges with the identical
     // counterflow count; the +9 non-counterflow edges stem from counting every occurrence of a
     // loop-unrolled statement pair as its own quintuple (see EXPERIMENTS.md). All robustness
     // verdicts of Figures 6/7 are unaffected.
-    assert_eq!(g.counterflow_edge_count(), 83, "Table 2: 83 counterflow edges");
+    assert_eq!(
+        g.counterflow_edge_count(),
+        83,
+        "Table 2: 83 counterflow edges"
+    );
     assert!(
         (396..=405).contains(&g.edge_count()),
         "Table 2: expected ~396 edges, measured {}",
@@ -68,10 +88,22 @@ fn table2_auction_characteristics() {
     assert_eq!(w.schema.relation_count(), 3);
     assert_eq!(w.program_count(), 2);
     let a = analyzer(&w);
-    assert_eq!(a.ltps().len(), 3, "Table 2: 3 unfolded transaction programs");
+    assert_eq!(
+        a.ltps().len(),
+        3,
+        "Table 2: 3 unfolded transaction programs"
+    );
     let g = a.summary_graph(AnalysisSettings::paper_default());
-    assert_eq!(g.edge_count(), 17, "Table 2: Auction has 17 summary-graph edges");
-    assert_eq!(g.counterflow_edge_count(), 1, "Table 2: 1 of them counterflow");
+    assert_eq!(
+        g.edge_count(),
+        17,
+        "Table 2: Auction has 17 summary-graph edges"
+    );
+    assert_eq!(
+        g.counterflow_edge_count(),
+        1,
+        "Table 2: 1 of them counterflow"
+    );
 }
 
 #[test]
@@ -83,7 +115,11 @@ fn table2_auction_n_edge_formula() {
         let g = a.summary_graph(AnalysisSettings::paper_default());
         assert_eq!(g.node_count(), 3 * n, "Auction({n}) node count");
         assert_eq!(g.edge_count(), 8 * n + 9 * n * n, "Auction({n}) edge count");
-        assert_eq!(g.counterflow_edge_count(), n, "Auction({n}) counterflow edge count");
+        assert_eq!(
+            g.counterflow_edge_count(),
+            n,
+            "Auction({n}) counterflow edge count"
+        );
     }
 }
 
@@ -113,9 +149,14 @@ fn figure6_tpcc_all_settings() {
         ("tpl dep + FK", "{OS, SL}, {NO}"),
         ("attr dep + FK", "{Pay, OS, SL}, {NO, Pay}"),
     ];
-    for (settings, (label, expected)) in grid(CycleCondition::TypeII).into_iter().zip(expectations) {
+    for (settings, (label, expected)) in grid(CycleCondition::TypeII).into_iter().zip(expectations)
+    {
         assert_eq!(settings.label(), label);
-        assert_eq!(maximal(&w, settings), expected, "Figure 6, TPC-C, setting `{label}`");
+        assert_eq!(
+            maximal(&w, settings),
+            expected,
+            "Figure 6, TPC-C, setting `{label}`"
+        );
     }
 }
 
@@ -128,9 +169,14 @@ fn figure6_auction_all_settings() {
         ("tpl dep + FK", "{FB, PB}"),
         ("attr dep + FK", "{FB, PB}"),
     ];
-    for (settings, (label, expected)) in grid(CycleCondition::TypeII).into_iter().zip(expectations) {
+    for (settings, (label, expected)) in grid(CycleCondition::TypeII).into_iter().zip(expectations)
+    {
         assert_eq!(settings.label(), label);
-        assert_eq!(maximal(&w, settings), expected, "Figure 6, Auction, setting `{label}`");
+        assert_eq!(
+            maximal(&w, settings),
+            expected,
+            "Figure 6, Auction, setting `{label}`"
+        );
     }
 }
 
@@ -140,7 +186,10 @@ fn figure6_bold_subsets_are_exactly_the_improvements_over_type_i() {
     // the workloads only the refined condition can attest. Check the three headline cases.
     let sb = smallbank();
     let sb_analyzer = analyzer(&sb);
-    for subset in [vec!["Balance", "DepositChecking"], vec!["Balance", "TransactSavings"]] {
+    for subset in [
+        vec!["Balance", "DepositChecking"],
+        vec!["Balance", "TransactSavings"],
+    ] {
         let attr_fk = AnalysisSettings::paper_default();
         let graph = sb_analyzer.summary_graph_for_programs(&subset, attr_fk);
         assert!(mvrc_robustness::find_type1_violation(&graph).is_some());
@@ -149,8 +198,8 @@ fn figure6_bold_subsets_are_exactly_the_improvements_over_type_i() {
 
     let au = auction();
     let au_analyzer = analyzer(&au);
-    let graph =
-        au_analyzer.summary_graph_for_programs(&["FindBids", "PlaceBid"], AnalysisSettings::paper_default());
+    let graph = au_analyzer
+        .summary_graph_for_programs(&["FindBids", "PlaceBid"], AnalysisSettings::paper_default());
     assert!(mvrc_robustness::find_type1_violation(&graph).is_some());
     assert!(mvrc_robustness::find_type2_violation(&graph).is_none());
 }
@@ -183,7 +232,11 @@ fn figure7_tpcc_all_settings() {
     ];
     for (settings, (label, expected)) in grid(CycleCondition::TypeI).into_iter().zip(expectations) {
         assert_eq!(settings.label(), label);
-        assert_eq!(maximal(&w, settings), expected, "Figure 7, TPC-C, setting `{label}`");
+        assert_eq!(
+            maximal(&w, settings),
+            expected,
+            "Figure 7, TPC-C, setting `{label}`"
+        );
     }
 }
 
@@ -198,7 +251,11 @@ fn figure7_auction_all_settings() {
     ];
     for (settings, (label, expected)) in grid(CycleCondition::TypeI).into_iter().zip(expectations) {
         assert_eq!(settings.label(), label);
-        assert_eq!(maximal(&w, settings), expected, "Figure 7, Auction, setting `{label}`");
+        assert_eq!(
+            maximal(&w, settings),
+            expected,
+            "Figure 7, Auction, setting `{label}`"
+        );
     }
 }
 
@@ -286,7 +343,10 @@ fn unfolding_deeper_than_two_does_not_change_any_verdict() {
         let deeper = RobustnessAnalyzer::with_unfold_options(
             &w.schema,
             &w.programs,
-            mvrc_btp::UnfoldOptions { max_loop_iterations: 3, deduplicate: true },
+            mvrc_btp::UnfoldOptions {
+                max_loop_iterations: 3,
+                deduplicate: true,
+            },
         );
         for condition in [CycleCondition::TypeI, CycleCondition::TypeII] {
             for settings in grid(condition) {

@@ -1,0 +1,142 @@
+//! Cross-check of the shared-graph subset exploration against the naive per-subset oracle.
+//!
+//! [`explore_subsets`] constructs one summary graph per settings combination and tests every
+//! subset on an induced-subgraph view; [`explore_subsets_naive`] re-runs Algorithm 1 for every
+//! subset. The two must agree *exactly* — same robust family, same maximal subsets — on every
+//! workload (the `assert_agree` cross-check idiom of the dbcop consistency checker). The
+//! property tests drive the comparison over random synthetic workloads across the full
+//! evaluation grid; a separate test pins down the "exactly one construction per settings
+//! combination" contract of the shared-graph path.
+
+use mvrc_benchmarks::{auction, smallbank, synthetic, SyntheticConfig};
+use mvrc_robustness::{
+    explore_subsets, explore_subsets_naive, AnalysisSettings, CycleCondition, RobustnessAnalyzer,
+    SummaryGraph,
+};
+use proptest::prelude::*;
+
+/// Asserts that the induced-view exploration and the naive reconstruction agree on a workload
+/// under one settings combination.
+fn assert_agree(analyzer: &RobustnessAnalyzer, settings: AnalysisSettings) {
+    let shared = explore_subsets(analyzer, settings);
+    let naive = explore_subsets_naive(analyzer, settings);
+    assert_eq!(
+        shared.robust, naive.robust,
+        "robust families differ under {settings} for programs {:?}",
+        shared.programs
+    );
+    assert_eq!(
+        shared.maximal, naive.maximal,
+        "maximal subsets differ under {settings} for programs {:?}",
+        shared.programs
+    );
+}
+
+fn synthetic_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..=3,   // relations
+        2usize..=5,   // attributes per relation
+        1usize..=4,   // programs (the exploration is exponential in this)
+        1usize..=4,   // statements per program
+        0.0f64..=1.0, // predicate probability
+        0.0f64..=1.0, // write probability
+        0.0f64..=0.6, // loop probability
+        0.0f64..=0.6, // optional probability
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(relations, attrs, programs, statements, pred_p, write_p, loop_p, opt_p, seed)| {
+                SyntheticConfig {
+                    relations,
+                    attributes_per_relation: attrs,
+                    programs,
+                    statements_per_program: statements,
+                    predicate_probability: pred_p,
+                    write_probability: write_p,
+                    loop_probability: loop_p,
+                    optional_probability: opt_p,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn induced_view_exploration_agrees_with_naive_reconstruction(
+        config in synthetic_config_strategy(),
+    ) {
+        let workload = synthetic(config);
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            for settings in AnalysisSettings::evaluation_grid(condition) {
+                assert_agree(&analyzer, settings);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_enumeration_agrees_on_larger_workloads() {
+    // Workloads with ≥ 6 programs cross the explore_subsets threshold that fans the subset
+    // sweep out across threads; pin the parallel path against the serial oracle explicitly.
+    for seed in [7u64, 99, 4242] {
+        let workload = synthetic(SyntheticConfig {
+            relations: 3,
+            attributes_per_relation: 4,
+            programs: 7,
+            statements_per_program: 3,
+            predicate_probability: 0.4,
+            write_probability: 0.5,
+            loop_probability: 0.2,
+            optional_probability: 0.2,
+            seed,
+        });
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        assert_agree(&analyzer, AnalysisSettings::paper_default());
+        assert_agree(
+            &analyzer,
+            AnalysisSettings::baseline(mvrc_robustness::Granularity::Attribute, true),
+        );
+    }
+}
+
+#[test]
+fn paper_benchmarks_agree_across_the_evaluation_grid() {
+    for workload in [smallbank(), auction()] {
+        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            for settings in AnalysisSettings::evaluation_grid(condition) {
+                assert_agree(&analyzer, settings);
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_exploration_constructs_exactly_one_graph_per_settings_combination() {
+    let workload = smallbank();
+    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let subsets_per_run = (1usize << workload.programs.len()) - 1;
+
+    for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+        let before = SummaryGraph::constructions_on_current_thread();
+        let exploration = explore_subsets(&analyzer, settings);
+        let after = SummaryGraph::constructions_on_current_thread();
+        assert!(exploration.robust.len() <= subsets_per_run);
+        assert_eq!(
+            after - before,
+            1,
+            "explore_subsets must construct exactly one summary graph under {settings}"
+        );
+    }
+
+    // The retained naive oracle really does reconstruct one graph per subset — the comparison
+    // the Criterion bench `subset_exploration` measures.
+    let before = SummaryGraph::constructions_on_current_thread();
+    explore_subsets_naive(&analyzer, AnalysisSettings::paper_default());
+    let after = SummaryGraph::constructions_on_current_thread();
+    assert_eq!(after - before, subsets_per_run as u64);
+}

@@ -47,7 +47,10 @@ impl Default for DriverConfig {
 impl DriverConfig {
     /// Convenience constructor with a specific isolation level.
     pub fn with_isolation(isolation: IsolationLevel) -> Self {
-        DriverConfig { isolation, ..DriverConfig::default() }
+        DriverConfig {
+            isolation,
+            ..DriverConfig::default()
+        }
     }
 }
 
@@ -139,8 +142,12 @@ pub fn run_workload(workload: &ExecutableWorkload, config: DriverConfig) -> RunS
                 to_start -= 1;
             }
         }
-        let occupied: Vec<usize> =
-            slots.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(i, _)| i).collect();
+        let occupied: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| i)
+            .collect();
         if occupied.is_empty() {
             break;
         }
@@ -176,17 +183,18 @@ pub fn run_workload(workload: &ExecutableWorkload, config: DriverConfig) -> RunS
             Err(EngineError::DuplicateKey(_)) => {
                 // Application-level conflict (e.g. two concurrent inserts picked the same key):
                 // treat as an application abort and move on.
-                engine.rollback(slot.txn).expect("rollback after duplicate key");
-                *aborts.entry(AbortReason::ApplicationAbort("duplicate key".into())).or_insert(0) +=
-                    1;
+                engine
+                    .rollback(slot.txn)
+                    .expect("rollback after duplicate key");
+                *aborts
+                    .entry(AbortReason::ApplicationAbort("duplicate key".into()))
+                    .or_insert(0) += 1;
                 slots[slot_idx] = None;
             }
             Err(other) => panic!("engine misuse during step: {other}"),
         }
 
-        if commits >= config.target_commits
-            && slots.iter().all(|s| s.is_none())
-        {
+        if commits >= config.target_commits && slots.iter().all(|s| s.is_none()) {
             break;
         }
     }
@@ -219,14 +227,23 @@ pub fn compare_isolation_levels(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workloads::{auction_executable, smallbank_executable, AuctionConfig, SmallBankConfig};
+    use crate::workloads::{
+        auction_executable, smallbank_executable, AuctionConfig, SmallBankConfig,
+    };
 
     #[test]
     fn driver_reaches_the_commit_target_under_low_contention() {
-        let workload = smallbank_executable(SmallBankConfig { customers: 50, initial_balance: 1000 });
+        let workload = smallbank_executable(SmallBankConfig {
+            customers: 50,
+            initial_balance: 1000,
+        });
         let stats = run_workload(
             &workload,
-            DriverConfig { target_commits: 50, concurrency: 3, ..DriverConfig::default() },
+            DriverConfig {
+                target_commits: 50,
+                concurrency: 3,
+                ..DriverConfig::default()
+            },
         );
         assert_eq!(stats.commits, 50);
         assert!(stats.steps >= 50);
@@ -237,7 +254,10 @@ mod tests {
     #[test]
     fn serial_driver_runs_are_always_serializable() {
         for seed in 0..3 {
-            let workload = smallbank_executable(SmallBankConfig { customers: 4, initial_balance: 100 });
+            let workload = smallbank_executable(SmallBankConfig {
+                customers: 4,
+                initial_balance: 100,
+            });
             let stats = run_workload(
                 &workload,
                 DriverConfig {
@@ -247,7 +267,10 @@ mod tests {
                     ..DriverConfig::default()
                 },
             );
-            assert!(stats.is_serializable(), "seed {seed}: a serial run can never contain a cycle");
+            assert!(
+                stats.is_serializable(),
+                "seed {seed}: a serial run can never contain a cycle"
+            );
             assert_eq!(stats.report.counterflow_edges, 0);
         }
     }
@@ -255,7 +278,10 @@ mod tests {
     #[test]
     fn serializable_runs_never_contain_anomalies() {
         for seed in [1, 2, 3] {
-            let workload = smallbank_executable(SmallBankConfig { customers: 3, initial_balance: 100 });
+            let workload = smallbank_executable(SmallBankConfig {
+                customers: 3,
+                initial_balance: 100,
+            });
             let stats = run_workload(
                 &workload,
                 DriverConfig {
@@ -263,7 +289,6 @@ mod tests {
                     concurrency: 6,
                     target_commits: 80,
                     seed,
-                    ..DriverConfig::default()
                 },
             );
             assert!(
@@ -279,7 +304,10 @@ mod tests {
         // contention the driver observes a real serialization anomaly.
         let mut found = false;
         for seed in 0..20 {
-            let workload = smallbank_executable(SmallBankConfig { customers: 2, initial_balance: 100 });
+            let workload = smallbank_executable(SmallBankConfig {
+                customers: 2,
+                initial_balance: 100,
+            });
             let stats = run_workload(
                 &workload,
                 DriverConfig {
@@ -287,17 +315,22 @@ mod tests {
                     concurrency: 6,
                     target_commits: 120,
                     seed,
-                    ..DriverConfig::default()
                 },
             );
             // Lemma 4.1 must hold in every run, anomalous or not.
-            assert_eq!(stats.report.counterflow_non_antidependency_edges, 0, "seed {seed}");
+            assert_eq!(
+                stats.report.counterflow_non_antidependency_edges, 0,
+                "seed {seed}"
+            );
             if !stats.is_serializable() {
                 found = true;
                 break;
             }
         }
-        assert!(found, "expected at least one seed to exhibit a non-serializable MVRC execution");
+        assert!(
+            found,
+            "expected at least one seed to exhibit a non-serializable MVRC execution"
+        );
     }
 
     #[test]
@@ -305,7 +338,10 @@ mod tests {
         // {FindBids, PlaceBid} is attested robust against MVRC (Figure 6): no run may contain a
         // cycle, no matter the contention.
         for seed in 0..10 {
-            let workload = auction_executable(AuctionConfig { buyers: 2, max_bid: 20 });
+            let workload = auction_executable(AuctionConfig {
+                buyers: 2,
+                max_bid: 20,
+            });
             let stats = run_workload(
                 &workload,
                 DriverConfig {
@@ -313,7 +349,6 @@ mod tests {
                     concurrency: 6,
                     target_commits: 100,
                     seed,
-                    ..DriverConfig::default()
                 },
             );
             assert!(
@@ -325,11 +360,18 @@ mod tests {
 
     #[test]
     fn compare_isolation_levels_runs_every_level() {
-        let workload = smallbank_executable(SmallBankConfig { customers: 4, initial_balance: 500 });
+        let workload = smallbank_executable(SmallBankConfig {
+            customers: 4,
+            initial_balance: 500,
+        });
         let stats = compare_isolation_levels(
             &workload,
             &IsolationLevel::ALL,
-            DriverConfig { target_commits: 40, concurrency: 4, ..DriverConfig::default() },
+            DriverConfig {
+                target_commits: 40,
+                concurrency: 4,
+                ..DriverConfig::default()
+            },
         );
         assert_eq!(stats.len(), 3);
         assert_eq!(stats[0].isolation, IsolationLevel::ReadCommitted);

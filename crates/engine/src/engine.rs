@@ -96,7 +96,10 @@ impl ActiveTxn {
     }
 
     fn pending_for(&self, rel: RelId, key: &Key) -> Option<&PendingWrite> {
-        self.writes.iter().rev().find(|w| w.rel == rel && &w.key == key)
+        self.writes
+            .iter()
+            .rev()
+            .find(|w| w.rel == rel && &w.key == key)
     }
 }
 
@@ -165,10 +168,13 @@ impl Engine {
         let relation = self.schema.relation(rel);
         let mut set = AttrSet::empty();
         for name in names {
-            let attr = relation.attr_by_name(name).ok_or_else(|| EngineError::UnknownAttribute {
-                relation: relation.name().to_string(),
-                attribute: name.to_string(),
-            })?;
+            let attr =
+                relation
+                    .attr_by_name(name)
+                    .ok_or_else(|| EngineError::UnknownAttribute {
+                        relation: relation.name().to_string(),
+                        attribute: name.to_string(),
+                    })?;
             set.insert(attr);
         }
         Ok(set)
@@ -176,10 +182,13 @@ impl Engine {
 
     /// Resolves a single attribute id by name.
     pub fn attr(&self, rel: RelId, name: &str) -> EngineResult<AttrId> {
-        self.schema.relation(rel).attr_by_name(name).ok_or_else(|| EngineError::UnknownAttribute {
-            relation: self.schema.relation(rel).name().to_string(),
-            attribute: name.to_string(),
-        })
+        self.schema
+            .relation(rel)
+            .attr_by_name(name)
+            .ok_or_else(|| EngineError::UnknownAttribute {
+                relation: self.schema.relation(rel).name().to_string(),
+                attribute: name.to_string(),
+            })
     }
 
     // ------------------------------------------------------------------ initial load
@@ -200,16 +209,29 @@ impl Engine {
         let all = relation.all_attrs();
         let chain = self.storage.table_mut(rel).chain_mut(&key);
         if chain.latest().map(|v| !v.is_tombstone()).unwrap_or(false) {
-            return Err(EngineError::DuplicateKey(format!("{}{}", relation.name(), key)));
+            return Err(EngineError::DuplicateKey(format!(
+                "{}{}",
+                relation.name(),
+                key
+            )));
         }
-        chain.install(StoredVersion { commit_ts: 0, writer: 0, data: Some(row), written_attrs: all });
+        chain.install(StoredVersion {
+            commit_ts: 0,
+            writer: 0,
+            data: Some(row),
+            written_attrs: all,
+        });
         Ok(())
     }
 
     /// Reads the latest committed row for a key, outside any transaction (used by tests and by
     /// invariant checks after a run).
     pub fn latest_row(&self, rel: RelId, key: &Key) -> Option<Row> {
-        self.storage.table(rel).chain(key).and_then(|c| c.row_at(self.commit_counter)).cloned()
+        self.storage
+            .table(rel)
+            .chain(key)
+            .and_then(|c| c.row_at(self.commit_counter))
+            .cloned()
     }
 
     /// Scans the latest committed state of a relation, outside any transaction.
@@ -217,7 +239,10 @@ impl Engine {
         self.storage
             .table(rel)
             .chains()
-            .filter_map(|(k, c)| c.row_at(self.commit_counter).map(|r| (k.clone(), r.clone())))
+            .filter_map(|(k, c)| {
+                c.row_at(self.commit_counter)
+                    .map(|r| (k.clone(), r.clone()))
+            })
             .collect()
     }
 
@@ -278,9 +303,9 @@ impl Engine {
             match t.isolation {
                 IsolationLevel::ReadCommitted => Ok(()),
                 IsolationLevel::SnapshotIsolation => self.validate_writes(t),
-                IsolationLevel::Serializable => {
-                    self.validate_writes(t).and_then(|()| self.validate_reads(t))
-                }
+                IsolationLevel::Serializable => self
+                    .validate_writes(t)
+                    .and_then(|()| self.validate_reads(t)),
             }
         };
         if let Err(reason) = validation {
@@ -309,7 +334,12 @@ impl Engine {
                 written_attrs: w.attrs,
             });
             chain.unlock(t.token);
-            recorded_writes.push(RecordedWrite { rel: w.rel, key: w.key, attrs: w.attrs, kind: w.kind });
+            recorded_writes.push(RecordedWrite {
+                rel: w.rel,
+                key: w.key,
+                attrs: w.attrs,
+                kind: w.kind,
+            });
         }
         // Locks acquired without a buffered write (cannot happen today, but stay safe).
         for (rel, key) in &t.locked {
@@ -345,7 +375,8 @@ impl Engine {
         for r in &t.reads {
             if let Some(chain) = self.storage.table(r.rel).chain(&r.key) {
                 if let Some(latest) = chain.latest() {
-                    if latest.commit_ts > r.observed_ts && latest.written_attrs.intersects(r.attrs) {
+                    if latest.commit_ts > r.observed_ts && latest.written_attrs.intersects(r.attrs)
+                    {
                         return Err(AbortReason::SerializationConflict);
                     }
                 }
@@ -357,7 +388,8 @@ impl Engine {
                     if v.commit_ts <= p.read_ts || v.writer == t.token {
                         continue;
                     }
-                    let phantom = v.is_tombstone() || chain.versions().first().map(|f| f.commit_ts) == Some(v.commit_ts);
+                    let phantom = v.is_tombstone()
+                        || chain.versions().first().map(|f| f.commit_ts) == Some(v.commit_ts);
                     if phantom || v.written_attrs.intersects(p.pread_attrs) {
                         return Err(AbortReason::SerializationConflict);
                     }
@@ -402,9 +434,21 @@ impl Engine {
         };
         // The dependency-relevant observation is the committed base version (own writes never
         // create dependencies).
-        if base_row.is_some() || self.storage.table(rel).chain(key).map(|c| !c.is_unborn()).unwrap_or(false) {
+        if base_row.is_some()
+            || self
+                .storage
+                .table(rel)
+                .chain(key)
+                .map(|c| !c.is_unborn())
+                .unwrap_or(false)
+        {
             let t = self.txn_mut(txn)?;
-            t.reads.push(RecordedRead { rel, key: key.clone(), observed_ts, attrs });
+            t.reads.push(RecordedRead {
+                rel,
+                key: key.clone(),
+                observed_ts,
+                attrs,
+            });
         }
         let _ = token;
         Ok(result.map(|r| project(&r, attrs)))
@@ -440,9 +484,18 @@ impl Engine {
             }
         }
         let t = self.txn_mut(txn)?;
-        t.pred_reads.push(RecordedPredicateRead { rel, read_ts, pread_attrs });
+        t.pred_reads.push(RecordedPredicateRead {
+            rel,
+            read_ts,
+            pread_attrs,
+        });
         for (key, observed_ts) in observed {
-            t.reads.push(RecordedRead { rel, key, observed_ts, attrs: read_attrs });
+            t.reads.push(RecordedRead {
+                rel,
+                key,
+                observed_ts,
+                attrs: read_attrs,
+            });
         }
         Ok(matches)
     }
@@ -486,7 +539,9 @@ impl Engine {
         let Some(base_row) = base else {
             self.abort_now(txn)?;
             let name = self.schema.relation(rel).name().to_string();
-            return Err(EngineError::Aborted(AbortReason::MissingRow(format!("{name}{key}"))));
+            return Err(EngineError::Aborted(AbortReason::MissingRow(format!(
+                "{name}{key}"
+            ))));
         };
 
         // Acquire the write lock (no dirty writes).
@@ -504,7 +559,12 @@ impl Engine {
 
         let t = self.txn_mut(txn)?;
         if !read_attrs.is_empty() {
-            t.reads.push(RecordedRead { rel, key: key.clone(), observed_ts, attrs: read_attrs });
+            t.reads.push(RecordedRead {
+                rel,
+                key: key.clone(),
+                observed_ts,
+                attrs: read_attrs,
+            });
         }
         t.locked.push((rel, key.clone()));
         t.writes.push(PendingWrite {
@@ -541,7 +601,10 @@ impl Engine {
             .chain(&key)
             .and_then(|c| c.row_at(read_ts))
             .is_some();
-        let own_insert = t.pending_for(rel, &key).map(|w| w.kind != WriteKind::Delete).unwrap_or(false);
+        let own_insert = t
+            .pending_for(rel, &key)
+            .map(|w| w.kind != WriteKind::Delete)
+            .unwrap_or(false);
         if visible_exists || own_insert {
             return Err(EngineError::DuplicateKey(format!("{rel_name}{key}")));
         }
@@ -552,7 +615,13 @@ impl Engine {
         }
         let t = self.txn_mut(txn)?;
         t.locked.push((rel, key.clone()));
-        t.writes.push(PendingWrite { rel, key, kind: WriteKind::Insert, row: Some(row), attrs: all });
+        t.writes.push(PendingWrite {
+            rel,
+            key,
+            kind: WriteKind::Insert,
+            row: Some(row),
+            attrs: all,
+        });
         Ok(())
     }
 
@@ -566,7 +635,12 @@ impl Engine {
         let own = t.pending_for(rel, key).cloned();
         let visible = match own {
             Some(w) => w.kind != WriteKind::Delete && w.row.is_some(),
-            None => self.storage.table(rel).chain(key).and_then(|c| c.row_at(read_ts)).is_some(),
+            None => self
+                .storage
+                .table(rel)
+                .chain(key)
+                .and_then(|c| c.row_at(read_ts))
+                .is_some(),
         };
         if !visible {
             self.abort_now(txn)?;
@@ -593,11 +667,15 @@ impl Engine {
     // ------------------------------------------------------------------ internals
 
     fn txn(&self, txn: TxnToken) -> EngineResult<&ActiveTxn> {
-        self.active.get(&txn.0).ok_or(EngineError::UnknownTransaction(txn.0))
+        self.active
+            .get(&txn.0)
+            .ok_or(EngineError::UnknownTransaction(txn.0))
     }
 
     fn txn_mut(&mut self, txn: TxnToken) -> EngineResult<&mut ActiveTxn> {
-        self.active.get_mut(&txn.0).ok_or(EngineError::UnknownTransaction(txn.0))
+        self.active
+            .get_mut(&txn.0)
+            .ok_or(EngineError::UnknownTransaction(txn.0))
     }
 
     /// Rolls back after an operation-level abort so the caller only has to propagate the error.
@@ -611,7 +689,10 @@ impl Engine {
 fn collapse_writes(writes: impl Iterator<Item = PendingWrite>) -> Vec<PendingWrite> {
     let mut collapsed: Vec<PendingWrite> = Vec::new();
     for w in writes {
-        match collapsed.iter_mut().position(|e| e.rel == w.rel && e.key == w.key) {
+        match collapsed
+            .iter_mut()
+            .position(|e| e.rel == w.rel && e.key == w.key)
+        {
             None => collapsed.push(w),
             Some(idx) => {
                 let existing = &mut collapsed[idx];
@@ -628,7 +709,8 @@ fn collapse_writes(writes: impl Iterator<Item = PendingWrite>) -> Vec<PendingWri
                     }
                     // Delete followed by re-insert (or update of the buffered image): the net
                     // effect is an update of the pre-existing row.
-                    (WriteKind::Delete, WriteKind::Insert) | (WriteKind::Delete, WriteKind::Update) => {
+                    (WriteKind::Delete, WriteKind::Insert)
+                    | (WriteKind::Delete, WriteKind::Update) => {
                         existing.kind = WriteKind::Update;
                         existing.row = w.row;
                         existing.attrs = merged_attrs;
@@ -653,8 +735,10 @@ mod tests {
 
     fn bank_schema() -> Schema {
         let mut b = SchemaBuilder::new("bank");
-        b.relation("Checking", &["customer_id", "balance"], &["customer_id"]).unwrap();
-        b.relation("Savings", &["customer_id", "balance"], &["customer_id"]).unwrap();
+        b.relation("Checking", &["customer_id", "balance"], &["customer_id"])
+            .unwrap();
+        b.relation("Savings", &["customer_id", "balance"], &["customer_id"])
+            .unwrap();
         b.build()
     }
 
@@ -664,8 +748,12 @@ mod tests {
         let savings = schema.relation_by_name("Savings").unwrap().id();
         let mut engine = Engine::new(schema);
         for i in 0..n {
-            engine.load(checking, vec![Value::Int(i), Value::Int(100)]).unwrap();
-            engine.load(savings, vec![Value::Int(i), Value::Int(100)]).unwrap();
+            engine
+                .load(checking, vec![Value::Int(i), Value::Int(100)])
+                .unwrap();
+            engine
+                .load(savings, vec![Value::Int(i), Value::Int(100)])
+                .unwrap();
         }
         (engine, checking, savings)
     }
@@ -674,11 +762,20 @@ mod tests {
         engine.attrs(rel, &["balance"]).unwrap()
     }
 
-    fn deposit(engine: &mut Engine, txn: TxnToken, rel: RelId, customer: i64, amount: i64) -> EngineResult<()> {
+    fn deposit(
+        engine: &mut Engine,
+        txn: TxnToken,
+        rel: RelId,
+        customer: i64,
+        amount: i64,
+    ) -> EngineResult<()> {
         let attrs = balance_attr(engine, rel);
         let attr_id = engine.attr(rel, "balance").unwrap();
         engine.update_key(txn, rel, &Key::int(customer), attrs, attrs, |row| {
-            vec![(attr_id, Value::Int(row[attr_id.index()].as_int().unwrap() + amount))]
+            vec![(
+                attr_id,
+                Value::Int(row[attr_id.index()].as_int().unwrap() + amount),
+            )]
         })
     }
 
@@ -688,9 +785,15 @@ mod tests {
         assert_eq!(engine.latest_rows(checking).len(), 3);
         let txn = engine.begin("Reader", IsolationLevel::ReadCommitted);
         let attrs = balance_attr(&engine, checking);
-        let row = engine.read_key(txn, checking, &Key::int(1), attrs).unwrap().unwrap();
+        let row = engine
+            .read_key(txn, checking, &Key::int(1), attrs)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(100));
-        assert!(engine.read_key(txn, checking, &Key::int(99), attrs).unwrap().is_none());
+        assert!(engine
+            .read_key(txn, checking, &Key::int(99), attrs)
+            .unwrap()
+            .is_none());
         engine.commit(txn).unwrap();
         assert_eq!(engine.history().len(), 1);
     }
@@ -698,7 +801,9 @@ mod tests {
     #[test]
     fn duplicate_load_is_rejected() {
         let (mut engine, checking, _) = engine_with_accounts(1);
-        let err = engine.load(checking, vec![Value::Int(0), Value::Int(5)]).unwrap_err();
+        let err = engine
+            .load(checking, vec![Value::Int(0), Value::Int(5)])
+            .unwrap_err();
         assert!(matches!(err, EngineError::DuplicateKey(_)));
         let err = engine.load(checking, vec![Value::Int(9)]).unwrap_err();
         assert!(matches!(err, EngineError::ArityMismatch { .. }));
@@ -713,7 +818,10 @@ mod tests {
 
         let t2 = engine.begin("Reader", IsolationLevel::ReadCommitted);
         let attrs = balance_attr(&engine, checking);
-        let row = engine.read_key(t2, checking, &Key::int(0), attrs).unwrap().unwrap();
+        let row = engine
+            .read_key(t2, checking, &Key::int(0), attrs)
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(125));
         engine.commit(t2).unwrap();
     }
@@ -724,7 +832,10 @@ mod tests {
         let reader = engine.begin("Reader", IsolationLevel::ReadCommitted);
         let attrs = balance_attr(&engine, checking);
         engine.begin_statement(reader).unwrap();
-        let before = engine.read_key(reader, checking, &Key::int(0), attrs).unwrap().unwrap();
+        let before = engine
+            .read_key(reader, checking, &Key::int(0), attrs)
+            .unwrap()
+            .unwrap();
         assert_eq!(before[1], Value::Int(100));
 
         // A concurrent deposit commits while the reader is still running.
@@ -734,8 +845,15 @@ mod tests {
 
         // The next statement of the reader observes the new committed version …
         engine.begin_statement(reader).unwrap();
-        let after = engine.read_key(reader, checking, &Key::int(0), attrs).unwrap().unwrap();
-        assert_eq!(after[1], Value::Int(150), "read committed observes the latest commit");
+        let after = engine
+            .read_key(reader, checking, &Key::int(0), attrs)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            after[1],
+            Value::Int(150),
+            "read committed observes the latest commit"
+        );
         engine.commit(reader).unwrap();
     }
 
@@ -749,8 +867,15 @@ mod tests {
         engine.commit(writer).unwrap();
 
         engine.begin_statement(reader).unwrap();
-        let row = engine.read_key(reader, checking, &Key::int(0), attrs).unwrap().unwrap();
-        assert_eq!(row[1], Value::Int(100), "snapshot isolation ignores later commits");
+        let row = engine
+            .read_key(reader, checking, &Key::int(0), attrs)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            row[1],
+            Value::Int(100),
+            "snapshot isolation ignores later commits"
+        );
         engine.commit(reader).unwrap();
     }
 
@@ -762,10 +887,17 @@ mod tests {
             let t2 = engine.begin("W2", level);
             deposit(&mut engine, t1, checking, 0, 10).unwrap();
             let err = deposit(&mut engine, t2, checking, 0, 20).unwrap_err();
-            assert_eq!(err, EngineError::Aborted(AbortReason::WriteLocked), "level {level:?}");
+            assert_eq!(
+                err,
+                EngineError::Aborted(AbortReason::WriteLocked),
+                "level {level:?}"
+            );
             // t2 was rolled back automatically; t1 can still commit.
             engine.commit(t1).unwrap();
-            assert_eq!(engine.latest_row(checking, &Key::int(0)).unwrap()[1], Value::Int(110));
+            assert_eq!(
+                engine.latest_row(checking, &Key::int(0)).unwrap()[1],
+                Value::Int(110)
+            );
         }
     }
 
@@ -782,7 +914,10 @@ mod tests {
         engine.begin_statement(t2).unwrap();
         deposit(&mut engine, t2, checking, 0, 20).unwrap();
         engine.commit(t2).unwrap();
-        assert_eq!(engine.latest_row(checking, &Key::int(0)).unwrap()[1], Value::Int(130));
+        assert_eq!(
+            engine.latest_row(checking, &Key::int(0)).unwrap()[1],
+            Value::Int(130)
+        );
 
         // … but when the statement already started (stale statement snapshot), the update is
         // based on the old balance and t1's deposit is lost — allowed under read committed.
@@ -827,8 +962,14 @@ mod tests {
             let t2 = engine.begin("W2", level);
             // Both read both balances.
             for t in [t1, t2] {
-                engine.read_key(t, checking, &Key::int(0), attrs_c).unwrap().unwrap();
-                engine.read_key(t, savings, &Key::int(0), attrs_s).unwrap().unwrap();
+                engine
+                    .read_key(t, checking, &Key::int(0), attrs_c)
+                    .unwrap()
+                    .unwrap();
+                engine
+                    .read_key(t, savings, &Key::int(0), attrs_s)
+                    .unwrap()
+                    .unwrap();
             }
             // t1 withdraws 150 from checking, t2 withdraws 150 from savings.
             let attr_c = engine.attr(checking, "balance").unwrap();
@@ -848,9 +989,15 @@ mod tests {
             if expect_both_commit {
                 second.unwrap();
                 let report = engine.history().report(engine.schema());
-                assert!(!report.is_serializable(), "write skew must show up as a cycle");
+                assert!(
+                    !report.is_serializable(),
+                    "write skew must show up as a cycle"
+                );
             } else {
-                assert_eq!(second.unwrap_err(), EngineError::Aborted(AbortReason::SerializationConflict));
+                assert_eq!(
+                    second.unwrap_err(),
+                    EngineError::Aborted(AbortReason::SerializationConflict)
+                );
                 let report = engine.history().report(engine.schema());
                 assert!(report.is_serializable());
             }
@@ -863,32 +1010,46 @@ mod tests {
         let attrs = balance_attr(&engine, checking);
         let scanner = engine.begin("Scan", IsolationLevel::Serializable);
         let rows = engine
-            .scan(scanner, checking, attrs, attrs, |row| row[1].as_int().unwrap() >= 0)
+            .scan(scanner, checking, attrs, attrs, |row| {
+                row[1].as_int().unwrap() >= 0
+            })
             .unwrap();
         assert_eq!(rows.len(), 2);
 
         // A concurrent transaction inserts a new account and commits.
         let inserter = engine.begin("Insert", IsolationLevel::ReadCommitted);
-        engine.insert(inserter, checking, vec![Value::Int(7), Value::Int(500)]).unwrap();
+        engine
+            .insert(inserter, checking, vec![Value::Int(7), Value::Int(500)])
+            .unwrap();
         engine.commit(inserter).unwrap();
 
         // The scanner also writes something so that the missed phantom matters, then commits.
         deposit(&mut engine, scanner, checking, 0, 1).unwrap();
         let err = engine.commit(scanner).unwrap_err();
-        assert_eq!(err, EngineError::Aborted(AbortReason::SerializationConflict));
+        assert_eq!(
+            err,
+            EngineError::Aborted(AbortReason::SerializationConflict)
+        );
     }
 
     #[test]
     fn insert_delete_roundtrip_and_missing_row_aborts() {
         let (mut engine, checking, _) = engine_with_accounts(1);
         let t = engine.begin("Admin", IsolationLevel::ReadCommitted);
-        engine.insert(t, checking, vec![Value::Int(5), Value::Int(10)]).unwrap();
+        engine
+            .insert(t, checking, vec![Value::Int(5), Value::Int(10)])
+            .unwrap();
         // Own pending insert is visible to the same transaction.
         let attrs = balance_attr(&engine, checking);
-        let own = engine.read_key(t, checking, &Key::int(5), attrs).unwrap().unwrap();
+        let own = engine
+            .read_key(t, checking, &Key::int(5), attrs)
+            .unwrap()
+            .unwrap();
         assert_eq!(own[1], Value::Int(10));
         // Duplicate insert of the same key is an application error, not an abort.
-        let err = engine.insert(t, checking, vec![Value::Int(5), Value::Int(11)]).unwrap_err();
+        let err = engine
+            .insert(t, checking, vec![Value::Int(5), Value::Int(11)])
+            .unwrap_err();
         assert!(matches!(err, EngineError::DuplicateKey(_)));
         engine.commit(t).unwrap();
         assert!(engine.latest_row(checking, &Key::int(5)).is_some());
@@ -900,7 +1061,10 @@ mod tests {
 
         let t = engine.begin("Admin", IsolationLevel::ReadCommitted);
         let err = engine.delete_key(t, checking, &Key::int(5)).unwrap_err();
-        assert!(matches!(err, EngineError::Aborted(AbortReason::MissingRow(_))));
+        assert!(matches!(
+            err,
+            EngineError::Aborted(AbortReason::MissingRow(_))
+        ));
         // The transaction was rolled back by the abort.
         assert_eq!(engine.active_count(), 0);
     }
@@ -911,19 +1075,31 @@ mod tests {
         let t1 = engine.begin("W1", IsolationLevel::ReadCommitted);
         deposit(&mut engine, t1, checking, 0, 10).unwrap();
         engine.rollback(t1).unwrap();
-        assert_eq!(engine.latest_row(checking, &Key::int(0)).unwrap()[1], Value::Int(100));
+        assert_eq!(
+            engine.latest_row(checking, &Key::int(0)).unwrap()[1],
+            Value::Int(100)
+        );
 
         let t2 = engine.begin("W2", IsolationLevel::ReadCommitted);
         deposit(&mut engine, t2, checking, 0, 10).unwrap();
         engine.commit(t2).unwrap();
-        assert_eq!(engine.latest_row(checking, &Key::int(0)).unwrap()[1], Value::Int(110));
+        assert_eq!(
+            engine.latest_row(checking, &Key::int(0)).unwrap()[1],
+            Value::Int(110)
+        );
     }
 
     #[test]
     fn unknown_handles_and_names_are_reported() {
         let (mut engine, checking, _) = engine_with_accounts(1);
-        assert!(matches!(engine.rel("Nope"), Err(EngineError::UnknownRelation(_))));
-        assert!(matches!(engine.attrs(checking, &["nope"]), Err(EngineError::UnknownAttribute { .. })));
+        assert!(matches!(
+            engine.rel("Nope"),
+            Err(EngineError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            engine.attrs(checking, &["nope"]),
+            Err(EngineError::UnknownAttribute { .. })
+        ));
         assert!(matches!(
             engine.commit(TxnToken(999)),
             Err(EngineError::UnknownTransaction(999))
@@ -942,7 +1118,10 @@ mod tests {
     #[test]
     fn isolation_level_names_are_stable() {
         assert_eq!(IsolationLevel::ReadCommitted.name(), "read-committed");
-        assert_eq!(IsolationLevel::SnapshotIsolation.name(), "snapshot-isolation");
+        assert_eq!(
+            IsolationLevel::SnapshotIsolation.name(),
+            "snapshot-isolation"
+        );
         assert_eq!(IsolationLevel::Serializable.name(), "serializable");
         assert_eq!(IsolationLevel::ALL.len(), 3);
     }

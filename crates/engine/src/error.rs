@@ -33,7 +33,10 @@ impl fmt::Display for AbortReason {
             AbortReason::WriteLocked => write!(f, "write lock held by an uncommitted transaction"),
             AbortReason::WriteConflict => write!(f, "first-committer-wins write conflict"),
             AbortReason::SerializationConflict => {
-                write!(f, "serializable certification failed: an observed version was overwritten")
+                write!(
+                    f,
+                    "serializable certification failed: an observed version was overwritten"
+                )
             }
             AbortReason::MissingRow(key) => write!(f, "key-based statement found no row for {key}"),
             AbortReason::ApplicationAbort(msg) => write!(f, "application abort: {msg}"),
@@ -76,11 +79,18 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownTransaction(id) => write!(f, "unknown transaction t{id}"),
             EngineError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
-            EngineError::ArityMismatch { relation, expected, got } => write!(
+            EngineError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
                 f,
                 "relation `{relation}` has {expected} attributes but {got} values were supplied"
             ),
-            EngineError::UnknownAttribute { relation, attribute } => {
+            EngineError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "relation `{relation}` has no attribute `{attribute}`")
             }
             EngineError::DuplicateKey(key) => write!(f, "duplicate primary key {key}"),
@@ -102,21 +112,44 @@ mod tests {
     #[test]
     fn abort_reasons_render_human_readably() {
         assert!(AbortReason::WriteLocked.to_string().contains("uncommitted"));
-        assert!(AbortReason::WriteConflict.to_string().contains("first-committer-wins"));
-        assert!(AbortReason::SerializationConflict.to_string().contains("certification"));
-        assert!(AbortReason::MissingRow("Account(7)".into()).to_string().contains("Account(7)"));
-        assert!(AbortReason::ApplicationAbort("x".into()).to_string().contains("x"));
+        assert!(AbortReason::WriteConflict
+            .to_string()
+            .contains("first-committer-wins"));
+        assert!(AbortReason::SerializationConflict
+            .to_string()
+            .contains("certification"));
+        assert!(AbortReason::MissingRow("Account(7)".into())
+            .to_string()
+            .contains("Account(7)"));
+        assert!(AbortReason::ApplicationAbort("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]
     fn engine_errors_render_human_readably() {
-        assert!(EngineError::UnknownTransaction(3).to_string().contains("t3"));
-        assert!(EngineError::UnknownRelation("R".into()).to_string().contains("`R`"));
-        let arity = EngineError::ArityMismatch { relation: "R".into(), expected: 2, got: 3 };
+        assert!(EngineError::UnknownTransaction(3)
+            .to_string()
+            .contains("t3"));
+        assert!(EngineError::UnknownRelation("R".into())
+            .to_string()
+            .contains("`R`"));
+        let arity = EngineError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            got: 3,
+        };
         assert!(arity.to_string().contains("2 attributes"));
-        let attr = EngineError::UnknownAttribute { relation: "R".into(), attribute: "z".into() };
+        let attr = EngineError::UnknownAttribute {
+            relation: "R".into(),
+            attribute: "z".into(),
+        };
         assert!(attr.to_string().contains("`z`"));
-        assert!(EngineError::DuplicateKey("R(1)".into()).to_string().contains("R(1)"));
-        assert!(EngineError::Aborted(AbortReason::WriteLocked).to_string().contains("aborted"));
+        assert!(EngineError::DuplicateKey("R(1)".into())
+            .to_string()
+            .contains("R(1)"));
+        assert!(EngineError::Aborted(AbortReason::WriteLocked)
+            .to_string()
+            .contains("aborted"));
     }
 }

@@ -160,7 +160,10 @@ impl Anomaly {
                 out.push_str(&history.committed[edge.from].program);
             }
             let marker = if edge.counterflow { "*" } else { "" };
-            out.push_str(&format!(" -{}{marker}-> {}", edge.kind, history.committed[edge.to].program));
+            out.push_str(&format!(
+                " -{}{marker}-> {}",
+                edge.kind, history.committed[edge.to].program
+            ));
         }
         out
     }
@@ -168,7 +171,10 @@ impl Anomaly {
     /// Whether every counterflow edge of the cycle is a (predicate) rw-antidependency
     /// (the dynamic statement of Lemma 4.1).
     pub fn counterflow_edges_are_antidependencies(&self) -> bool {
-        self.cycle.iter().filter(|e| e.counterflow).all(|e| e.kind.is_antidependency())
+        self.cycle
+            .iter()
+            .filter(|e| e.counterflow)
+            .all(|e| e.kind.is_antidependency())
     }
 
     /// Whether the cycle contains at least one counterflow edge (type-I condition).
@@ -193,7 +199,10 @@ impl History {
     /// Appends a committed transaction. The engine calls this at commit time, in commit order.
     pub fn record(&mut self, txn: CommittedTransaction) {
         debug_assert!(
-            self.committed.last().map(|t| t.commit_ts < txn.commit_ts).unwrap_or(true),
+            self.committed
+                .last()
+                .map(|t| t.commit_ts < txn.commit_ts)
+                .unwrap_or(true),
             "history must be recorded in commit order"
         );
         self.committed.push(txn);
@@ -355,11 +364,14 @@ impl History {
                         Color::Gray => {
                             // Found a cycle: edges from edge.to ... node, then the closing edge.
                             let mut cycle = Vec::new();
-                            let pos = stack.iter().position(|(n, _, _)| *n == edge.to).expect(
-                                "gray node must be on the DFS stack",
-                            );
+                            let pos = stack
+                                .iter()
+                                .position(|(n, _, _)| *n == edge.to)
+                                .expect("gray node must be on the DFS stack");
                             for (_, incoming, _) in &stack[pos + 1..] {
-                                cycle.push(incoming.expect("non-root stack entries have incoming edges"));
+                                cycle.push(
+                                    incoming.expect("non-root stack entries have incoming edges"),
+                                );
                             }
                             cycle.push(edge);
                             return Some(Anomaly { cycle });
@@ -446,7 +458,13 @@ mod tests {
     }
 
     fn attr(schema: &Schema, name: &str) -> AttrSet {
-        AttrSet::singleton(schema.relation_by_name("R").unwrap().attr_by_name(name).unwrap())
+        AttrSet::singleton(
+            schema
+                .relation_by_name("R")
+                .unwrap()
+                .attr_by_name(name)
+                .unwrap(),
+        )
     }
 
     fn txn(token: WriterId, program: &str, commit_ts: CommitTs) -> CommittedTransaction {
@@ -467,9 +485,19 @@ mod tests {
         let a = attr(&schema, "a");
         let mut h = History::new();
         let mut t1 = txn(1, "Writer", 1);
-        t1.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        t1.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(1),
+            attrs: a,
+            kind: WriteKind::Update,
+        });
         let mut t2 = txn(2, "Reader", 2);
-        t2.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 1, attrs: a });
+        t2.reads.push(RecordedRead {
+            rel: r,
+            key: Key::int(1),
+            observed_ts: 1,
+            attrs: a,
+        });
         h.record(t1);
         h.record(t2);
         let deps = h.dependencies();
@@ -489,9 +517,19 @@ mod tests {
         // Reader -> Writer is an rw-antidependency; Writer committed BEFORE Reader, so the edge
         // direction (Reader -> Writer) runs against commit order → counterflow.
         let mut writer = txn(1, "Writer", 1);
-        writer.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        writer.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(1),
+            attrs: a,
+            kind: WriteKind::Update,
+        });
         let mut reader = txn(2, "Reader", 2);
-        reader.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 0, attrs: a });
+        reader.reads.push(RecordedRead {
+            rel: r,
+            key: Key::int(1),
+            observed_ts: 0,
+            attrs: a,
+        });
         h.record(writer);
         h.record(reader);
         let deps = h.dependencies();
@@ -547,7 +585,9 @@ mod tests {
         h.record(scanner);
         h.record(inserter);
         let deps = h.dependencies();
-        assert!(deps.iter().any(|e| e.kind == DynDepKind::PredicateRw && e.from == 0 && e.to == 1));
+        assert!(deps
+            .iter()
+            .any(|e| e.kind == DynDepKind::PredicateRw && e.from == 0 && e.to == 1));
     }
 
     #[test]
@@ -559,13 +599,43 @@ mod tests {
         let a = attr(&schema, "a");
         let mut h = History::new();
         let mut t1 = txn(1, "T1", 1);
-        t1.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 0, attrs: a });
-        t1.reads.push(RecordedRead { rel: r, key: Key::int(2), observed_ts: 0, attrs: a });
-        t1.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        t1.reads.push(RecordedRead {
+            rel: r,
+            key: Key::int(1),
+            observed_ts: 0,
+            attrs: a,
+        });
+        t1.reads.push(RecordedRead {
+            rel: r,
+            key: Key::int(2),
+            observed_ts: 0,
+            attrs: a,
+        });
+        t1.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(1),
+            attrs: a,
+            kind: WriteKind::Update,
+        });
         let mut t2 = txn(2, "T2", 2);
-        t2.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 0, attrs: a });
-        t2.reads.push(RecordedRead { rel: r, key: Key::int(2), observed_ts: 0, attrs: a });
-        t2.writes.push(RecordedWrite { rel: r, key: Key::int(2), attrs: a, kind: WriteKind::Update });
+        t2.reads.push(RecordedRead {
+            rel: r,
+            key: Key::int(1),
+            observed_ts: 0,
+            attrs: a,
+        });
+        t2.reads.push(RecordedRead {
+            rel: r,
+            key: Key::int(2),
+            observed_ts: 0,
+            attrs: a,
+        });
+        t2.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(2),
+            attrs: a,
+            kind: WriteKind::Update,
+        });
         h.record(t1);
         h.record(t2);
         let anomaly = h.find_anomaly().expect("write skew must produce a cycle");
@@ -576,7 +646,10 @@ mod tests {
         assert_eq!(report.committed, 2);
         assert_eq!(report.counterflow_non_antidependency_edges, 0);
         let desc = anomaly.describe(&h);
-        assert!(desc.contains("T1") && desc.contains("T2"), "description: {desc}");
+        assert!(
+            desc.contains("T1") && desc.contains("T2"),
+            "description: {desc}"
+        );
     }
 
     #[test]
@@ -586,10 +659,25 @@ mod tests {
         let a = attr(&schema, "a");
         let mut h = History::new();
         let mut t1 = txn(1, "T1", 1);
-        t1.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        t1.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(1),
+            attrs: a,
+            kind: WriteKind::Update,
+        });
         let mut t2 = txn(2, "T2", 2);
-        t2.reads.push(RecordedRead { rel: r, key: Key::int(1), observed_ts: 1, attrs: a });
-        t2.writes.push(RecordedWrite { rel: r, key: Key::int(1), attrs: a, kind: WriteKind::Update });
+        t2.reads.push(RecordedRead {
+            rel: r,
+            key: Key::int(1),
+            observed_ts: 1,
+            attrs: a,
+        });
+        t2.writes.push(RecordedWrite {
+            rel: r,
+            key: Key::int(1),
+            attrs: a,
+            kind: WriteKind::Update,
+        });
         h.record(t1);
         h.record(t2);
         let report = h.report(&schema);

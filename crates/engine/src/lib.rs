@@ -35,9 +35,6 @@
 //! assert!(stats.is_serializable()); // the Auction workload is robust against MVRC
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod driver;
 mod engine;
 mod error;

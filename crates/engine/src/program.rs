@@ -74,7 +74,12 @@ impl fmt::Debug for ProgramInstance {
 impl ProgramInstance {
     /// Creates an instance of the named program with the given parameters and steps.
     pub fn new(program: impl Into<String>, locals: Locals, steps: Vec<StepFn>) -> Self {
-        ProgramInstance { program: program.into(), steps, next: 0, locals }
+        ProgramInstance {
+            program: program.into(),
+            steps,
+            next: 0,
+            locals,
+        }
     }
 
     /// The program this instance was created from.
@@ -103,7 +108,10 @@ impl ProgramInstance {
     /// On an abort error the caller must consider the transaction gone (the engine already
     /// rolled it back); the instance itself can be discarded or re-created for a retry.
     pub fn step(&mut self, engine: &mut Engine, txn: TxnToken) -> EngineResult<()> {
-        assert!(!self.is_done(), "step() called on a finished program instance");
+        assert!(
+            !self.is_done(),
+            "step() called on a finished program instance"
+        );
         engine.begin_statement(txn)?;
         let idx = self.next;
         let result = (self.steps[idx])(engine, txn, &mut self.locals);
@@ -161,7 +169,9 @@ mod tests {
             let key = Key::int(locals.get_int("key"));
             let attr = engine.attr(rel, "v").unwrap();
             let bump = locals.get_int("seen") + 1;
-            engine.update_key(txn, rel, &key, attrs, attrs, |_| vec![(attr, Value::Int(bump))])
+            engine.update_key(txn, rel, &key, attrs, attrs, |_| {
+                vec![(attr, Value::Int(bump))]
+            })
         });
 
         let mut instance = ProgramInstance::new("Bump", locals, vec![read, write]);
@@ -173,7 +183,10 @@ mod tests {
         instance.step(&mut engine, txn).unwrap();
         assert!(instance.is_done());
         engine.commit(txn).unwrap();
-        assert_eq!(engine.latest_row(rel, &Key::int(1)).unwrap()[1], Value::Int(11));
+        assert_eq!(
+            engine.latest_row(rel, &Key::int(1)).unwrap()[1],
+            Value::Int(11)
+        );
     }
 
     #[test]

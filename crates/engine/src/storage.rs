@@ -80,7 +80,10 @@ impl VersionChain {
     /// The commit timestamp of the version that directly succeeds the version visible at `ts`,
     /// if a newer committed version exists (used by the first-committer-wins check).
     pub fn first_commit_after(&self, ts: CommitTs) -> Option<CommitTs> {
-        self.versions.iter().find(|v| v.commit_ts > ts).map(|v| v.commit_ts)
+        self.versions
+            .iter()
+            .find(|v| v.commit_ts > ts)
+            .map(|v| v.commit_ts)
     }
 
     /// The current lock holder, if an uncommitted transaction has written this row.
@@ -138,7 +141,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table for the relation.
     pub fn new(rel: RelId) -> Self {
-        Table { rel, rows: BTreeMap::new() }
+        Table {
+            rel,
+            rows: BTreeMap::new(),
+        }
     }
 
     /// The relation this table stores.
@@ -169,7 +175,10 @@ impl Table {
 
     /// Number of keys that currently have at least one committed, non-tombstone latest version.
     pub fn live_row_count(&self) -> usize {
-        self.rows.values().filter(|c| c.latest().map(|v| !v.is_tombstone()).unwrap_or(false)).count()
+        self.rows
+            .values()
+            .filter(|c| c.latest().map(|v| !v.is_tombstone()).unwrap_or(false))
+            .count()
     }
 }
 
@@ -212,8 +221,10 @@ mod tests {
 
     fn schema() -> Schema {
         let mut b = SchemaBuilder::new("bank");
-        b.relation("Checking", &["customer_id", "balance"], &["customer_id"]).unwrap();
-        b.relation("Savings", &["customer_id", "balance"], &["customer_id"]).unwrap();
+        b.relation("Checking", &["customer_id", "balance"], &["customer_id"])
+            .unwrap();
+        b.relation("Savings", &["customer_id", "balance"], &["customer_id"])
+            .unwrap();
         b.build()
     }
 
@@ -265,8 +276,14 @@ mod tests {
         let mut chain = VersionChain::new();
         assert_eq!(chain.lock_holder(), None);
         assert!(chain.try_lock(7));
-        assert!(chain.try_lock(7), "re-locking by the same transaction must succeed");
-        assert!(!chain.try_lock(8), "a second transaction must not acquire the lock");
+        assert!(
+            chain.try_lock(7),
+            "re-locking by the same transaction must succeed"
+        );
+        assert!(
+            !chain.try_lock(8),
+            "a second transaction must not acquire the lock"
+        );
         chain.unlock(8); // not the holder: no-op
         assert_eq!(chain.lock_holder(), Some(7));
         chain.unlock(7);
@@ -292,7 +309,10 @@ mod tests {
         assert_eq!(storage.table(checking).live_row_count(), 0);
 
         let key = Key::int(1);
-        storage.table_mut(checking).chain_mut(&key).install(version(1, 1, 50));
+        storage
+            .table_mut(checking)
+            .chain_mut(&key)
+            .install(version(1, 1, 50));
         assert_eq!(storage.table(checking).live_row_count(), 1);
         assert!(storage.table(checking).chain(&key).is_some());
         assert!(storage.table(checking).chain(&Key::int(2)).is_none());

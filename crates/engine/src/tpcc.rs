@@ -42,7 +42,13 @@ pub struct TpccConfig {
 
 impl Default for TpccConfig {
     fn default() -> Self {
-        TpccConfig { warehouses: 1, districts: 2, customers: 3, items: 10, initial_orders: 3 }
+        TpccConfig {
+            warehouses: 1,
+            districts: 2,
+            customers: 3,
+            items: 10,
+            initial_orders: 3,
+        }
     }
 }
 
@@ -51,9 +57,9 @@ fn row(engine: &Engine, rel: RelId, values: &[(&str, Value)]) -> Row {
     let relation = engine.schema().relation(rel);
     let mut row = vec![Value::Null; relation.attribute_count()];
     for (name, value) in values {
-        let attr = relation.attr_by_name(name).unwrap_or_else(|| {
-            panic!("relation {} has no attribute {name}", relation.name())
-        });
+        let attr = relation
+            .attr_by_name(name)
+            .unwrap_or_else(|| panic!("relation {} has no attribute {name}", relation.name()));
         row[attr.index()] = value.clone();
     }
     row
@@ -243,7 +249,11 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
             steps.push(Box::new(|engine, txn, locals| {
                 let customer = engine.rel("Customer")?;
                 let attrs = engine.attrs(customer, &["c_discount", "c_last", "c_credit"])?;
-                let key = key3(locals.get_int("c"), locals.get_int("d"), locals.get_int("w"));
+                let key = key3(
+                    locals.get_int("c"),
+                    locals.get_int("d"),
+                    locals.get_int("w"),
+                );
                 engine
                     .read_key(txn, customer, &key, attrs)?
                     .ok_or_else(|| missing(engine, customer, &key))?;
@@ -323,10 +333,18 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                     let stock = engine.rel("Stock")?;
                     let read = engine.attrs(
                         stock,
-                        &["s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt", "s_data"],
+                        &[
+                            "s_quantity",
+                            "s_ytd",
+                            "s_order_cnt",
+                            "s_remote_cnt",
+                            "s_data",
+                        ],
                     )?;
-                    let write =
-                        engine.attrs(stock, &["s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt"])?;
+                    let write = engine.attrs(
+                        stock,
+                        &["s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt"],
+                    )?;
                     let quantity = engine.attr(stock, "s_quantity")?;
                     let ytd = engine.attr(stock, "s_ytd")?;
                     let order_cnt = engine.attr(stock, "s_order_cnt")?;
@@ -337,7 +355,10 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                         vec![
                             (quantity, Value::Int(new_q)),
                             (ytd, Value::Int(row[ytd.index()].as_int().unwrap_or(0) + 1)),
-                            (order_cnt, Value::Int(row[order_cnt.index()].as_int().unwrap_or(0) + 1)),
+                            (
+                                order_cnt,
+                                Value::Int(row[order_cnt.index()].as_int().unwrap_or(0) + 1),
+                            ),
                         ]
                     })
                 }));
@@ -382,14 +403,25 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                 let warehouse = engine.rel("Warehouse")?;
                 let read = engine.attrs(
                     warehouse,
-                    &["w_street_1", "w_street_2", "w_city", "w_state", "w_zip", "w_name", "w_ytd"],
+                    &[
+                        "w_street_1",
+                        "w_street_2",
+                        "w_city",
+                        "w_state",
+                        "w_zip",
+                        "w_name",
+                        "w_ytd",
+                    ],
                 )?;
                 let write = engine.attrs(warehouse, &["w_ytd"])?;
                 let ytd = engine.attr(warehouse, "w_ytd")?;
                 let amount = locals.get_int("amount");
                 let key = Key::int(locals.get_int("w"));
                 engine.update_key(txn, warehouse, &key, read, write, move |row| {
-                    vec![(ytd, Value::Int(row[ytd.index()].as_int().unwrap_or(0) + amount))]
+                    vec![(
+                        ytd,
+                        Value::Int(row[ytd.index()].as_int().unwrap_or(0) + amount),
+                    )]
                 })
             }));
             // q21: UPDATE District SET d_ytd = d_ytd + :amount.
@@ -397,14 +429,25 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                 let district = engine.rel("District")?;
                 let read = engine.attrs(
                     district,
-                    &["d_street_1", "d_street_2", "d_city", "d_state", "d_zip", "d_name", "d_ytd"],
+                    &[
+                        "d_street_1",
+                        "d_street_2",
+                        "d_city",
+                        "d_state",
+                        "d_zip",
+                        "d_name",
+                        "d_ytd",
+                    ],
                 )?;
                 let write = engine.attrs(district, &["d_ytd"])?;
                 let ytd = engine.attr(district, "d_ytd")?;
                 let amount = locals.get_int("amount");
                 let key = key2(locals.get_int("d"), locals.get_int("w"));
                 engine.update_key(txn, district, &key, read, write, move |row| {
-                    vec![(ytd, Value::Int(row[ytd.index()].as_int().unwrap_or(0) + amount))]
+                    vec![(
+                        ytd,
+                        Value::Int(row[ytd.index()].as_int().unwrap_or(0) + amount),
+                    )]
                 })
             }));
             // q23: UPDATE Customer (balance, ytd_payment, payment_cnt) RETURNING customer info.
@@ -413,21 +456,45 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                 let read = engine.attrs(
                     customer,
                     &[
-                        "c_first", "c_middle", "c_last", "c_street_1", "c_street_2", "c_city",
-                        "c_state", "c_zip", "c_phone", "c_credit", "c_credit_lim", "c_discount",
-                        "c_balance", "c_ytd_payment", "c_payment_cnt", "c_since",
+                        "c_first",
+                        "c_middle",
+                        "c_last",
+                        "c_street_1",
+                        "c_street_2",
+                        "c_city",
+                        "c_state",
+                        "c_zip",
+                        "c_phone",
+                        "c_credit",
+                        "c_credit_lim",
+                        "c_discount",
+                        "c_balance",
+                        "c_ytd_payment",
+                        "c_payment_cnt",
+                        "c_since",
                     ],
                 )?;
-                let write = engine.attrs(customer, &["c_balance", "c_ytd_payment", "c_payment_cnt"])?;
+                let write =
+                    engine.attrs(customer, &["c_balance", "c_ytd_payment", "c_payment_cnt"])?;
                 let balance = engine.attr(customer, "c_balance")?;
                 let ytd = engine.attr(customer, "c_ytd_payment")?;
                 let cnt = engine.attr(customer, "c_payment_cnt")?;
                 let amount = locals.get_int("amount");
-                let key = key3(locals.get_int("c"), locals.get_int("d"), locals.get_int("w"));
+                let key = key3(
+                    locals.get_int("c"),
+                    locals.get_int("d"),
+                    locals.get_int("w"),
+                );
                 engine.update_key(txn, customer, &key, read, write, move |row| {
                     vec![
-                        (balance, Value::Int(row[balance.index()].as_int().unwrap_or(0) - amount)),
-                        (ytd, Value::Int(row[ytd.index()].as_int().unwrap_or(0) + amount)),
+                        (
+                            balance,
+                            Value::Int(row[balance.index()].as_int().unwrap_or(0) - amount),
+                        ),
+                        (
+                            ytd,
+                            Value::Int(row[ytd.index()].as_int().unwrap_or(0) + amount),
+                        ),
                         (cnt, Value::Int(row[cnt.index()].as_int().unwrap_or(0) + 1)),
                     ]
                 })
@@ -470,8 +537,13 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
             // q17: SELECT … FROM Customer WHERE key.
             steps.push(Box::new(|engine, txn, locals| {
                 let customer = engine.rel("Customer")?;
-                let attrs = engine.attrs(customer, &["c_balance", "c_first", "c_middle", "c_last"])?;
-                let key = key3(locals.get_int("c"), locals.get_int("d"), locals.get_int("w"));
+                let attrs =
+                    engine.attrs(customer, &["c_balance", "c_first", "c_middle", "c_last"])?;
+                let key = key3(
+                    locals.get_int("c"),
+                    locals.get_int("d"),
+                    locals.get_int("w"),
+                );
                 engine
                     .read_key(txn, customer, &key, attrs)?
                     .ok_or_else(|| missing(engine, customer, &key))?;
@@ -483,12 +555,19 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                 let pread = engine.attrs(orders, &["o_c_id", "o_d_id", "o_w_id"])?;
                 let read = engine.attrs(orders, &["o_id", "o_carrier_id", "o_entry_id"])?;
                 let o_id = engine.attr(orders, "o_id")?;
-                let (w, d, c) = (locals.get_int("w"), locals.get_int("d"), locals.get_int("c"));
+                let (w, d, c) = (
+                    locals.get_int("w"),
+                    locals.get_int("d"),
+                    locals.get_int("c"),
+                );
                 let rows = engine.scan(txn, orders, pread, read, move |r| {
                     r[3].as_int() == Some(c) && r[1].as_int() == Some(d) && r[2].as_int() == Some(w)
                 })?;
-                let latest =
-                    rows.iter().filter_map(|(_, r)| r[o_id.index()].as_int()).max().unwrap_or(0);
+                let latest = rows
+                    .iter()
+                    .filter_map(|(_, r)| r[o_id.index()].as_int())
+                    .max()
+                    .unwrap_or(0);
                 locals.set("o_id", latest);
                 Ok(())
             }));
@@ -498,9 +577,19 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                 let pread = engine.attrs(order_line, &["ol_o_id", "ol_d_id", "ol_w_id"])?;
                 let read = engine.attrs(
                     order_line,
-                    &["ol_i_id", "ol_supply_w_id", "ol_quantity", "ol_amount", "ol_delivery_d"],
+                    &[
+                        "ol_i_id",
+                        "ol_supply_w_id",
+                        "ol_quantity",
+                        "ol_amount",
+                        "ol_delivery_d",
+                    ],
                 )?;
-                let (w, d, o) = (locals.get_int("w"), locals.get_int("d"), locals.get_int("o_id"));
+                let (w, d, o) = (
+                    locals.get_int("w"),
+                    locals.get_int("d"),
+                    locals.get_int("o_id"),
+                );
                 engine.scan(txn, order_line, pread, read, move |r| {
                     r[0].as_int() == Some(o) && r[1].as_int() == Some(d) && r[2].as_int() == Some(w)
                 })?;
@@ -535,11 +624,18 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                 let order_line = engine.rel("Order_Line")?;
                 let pread = engine.attrs(order_line, &["ol_o_id", "ol_d_id", "ol_w_id"])?;
                 let read = engine.attrs(order_line, &["ol_i_id"])?;
-                let (w, d, o) = (locals.get_int("w"), locals.get_int("d"), locals.get_int("o_id"));
+                let (w, d, o) = (
+                    locals.get_int("w"),
+                    locals.get_int("d"),
+                    locals.get_int("o_id"),
+                );
                 engine.scan(txn, order_line, pread, read, move |r| {
                     r[1].as_int() == Some(d)
                         && r[2].as_int() == Some(w)
-                        && r[0].as_int().map(|id| id < o && id >= o - 20).unwrap_or(false)
+                        && r[0]
+                            .as_int()
+                            .map(|id| id < o && id >= o - 20)
+                            .unwrap_or(false)
                 })?;
                 Ok(())
             }));
@@ -701,8 +797,10 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                                 && r[1].as_int() == Some(d)
                                 && r[2].as_int() == Some(w)
                         })?;
-                        let total: i64 =
-                            rows.iter().filter_map(|(_, r)| r[amount_attr.index()].as_int()).sum();
+                        let total: i64 = rows
+                            .iter()
+                            .filter_map(|(_, r)| r[amount_attr.index()].as_int())
+                            .sum();
                         locals.set(&amount_var, total);
                         Ok(())
                     }
@@ -724,7 +822,10 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
                         let key = key3(locals.get_int(&customer_var), d, locals.get_int("w"));
                         engine.update_key(txn, customer, &key, attrs, attrs, move |row| {
                             vec![
-                                (balance, Value::Int(row[balance.index()].as_int().unwrap_or(0) + total)),
+                                (
+                                    balance,
+                                    Value::Int(row[balance.index()].as_int().unwrap_or(0) + total),
+                                ),
                                 (cnt, Value::Int(row[cnt.index()].as_int().unwrap_or(0) + 1)),
                             ]
                         })
@@ -739,7 +840,13 @@ pub fn tpcc_executable(config: TpccConfig) -> ExecutableWorkload {
         "TPC-C",
         schema,
         setup,
-        vec![new_order_gen, payment_gen, order_status_gen, stock_level_gen, delivery_gen],
+        vec![
+            new_order_gen,
+            payment_gen,
+            order_status_gen,
+            stock_level_gen,
+            delivery_gen,
+        ],
     )
 }
 
@@ -774,11 +881,20 @@ mod tests {
         let workload = tpcc_executable(TpccConfig::default());
         let stats = run_workload(
             &workload,
-            DriverConfig { concurrency: 1, target_commits: 40, seed: 5, ..DriverConfig::default() },
+            DriverConfig {
+                concurrency: 1,
+                target_commits: 40,
+                seed: 5,
+                ..DriverConfig::default()
+            },
         );
         assert_eq!(stats.commits, 40);
         assert!(stats.is_serializable());
-        assert!(stats.commits_by_program.len() >= 4, "{:?}", stats.commits_by_program);
+        assert!(
+            stats.commits_by_program.len() >= 4,
+            "{:?}",
+            stats.commits_by_program
+        );
     }
 
     #[test]
@@ -786,7 +902,12 @@ mod tests {
         let workload = tpcc_executable(TpccConfig::default()).restrict(&["NewOrder"]);
         let stats = run_workload(
             &workload,
-            DriverConfig { concurrency: 4, target_commits: 30, seed: 9, ..DriverConfig::default() },
+            DriverConfig {
+                concurrency: 4,
+                target_commits: 30,
+                seed: 9,
+                ..DriverConfig::default()
+            },
         );
         assert_eq!(stats.commits, 30);
         // Replaying the history: every committed NewOrder inserted exactly one Orders row and
@@ -822,8 +943,14 @@ mod tests {
                 },
             );
             conflicts += stats.total_aborts();
-            assert!(stats.is_serializable(), "seed {seed}: Delivery-only runs stay serializable");
+            assert!(
+                stats.is_serializable(),
+                "seed {seed}: Delivery-only runs stay serializable"
+            );
         }
-        assert!(conflicts > 0, "concurrent deliveries should conflict at least once");
+        assert!(
+            conflicts > 0,
+            "concurrent deliveries should conflict at least once"
+        );
     }
 }

@@ -118,7 +118,10 @@ impl fmt::Display for Key {
 
 /// Extracts the values of the attributes in `attrs` from `row`, in attribute order.
 pub fn extract(row: &Row, attrs: AttrSet) -> Vec<Value> {
-    attrs.iter().map(|a| row.get(a.index()).cloned().unwrap_or(Value::Null)).collect()
+    attrs
+        .iter()
+        .map(|a| row.get(a.index()).cloned().unwrap_or(Value::Null))
+        .collect()
 }
 
 /// Projects a row to the attributes in `attrs`, replacing every other position with `Null`.
@@ -146,7 +149,9 @@ mod tests {
 
     fn relation() -> (mvrc_schema::Schema, mvrc_schema::RelId) {
         let mut b = SchemaBuilder::new("s");
-        let r = b.relation("Account", &["name", "customer_id"], &["name"]).unwrap();
+        let r = b
+            .relation("Account", &["name", "customer_id"], &["name"])
+            .unwrap();
         (b.build(), r)
     }
 
@@ -184,7 +189,10 @@ mod tests {
     #[test]
     fn keys_order_like_their_values() {
         assert!(Key::int(1) < Key::int(2));
-        assert!(Key::composite([Value::Int(1), Value::Int(5)]) < Key::composite([Value::Int(2), Value::Int(0)]));
+        assert!(
+            Key::composite([Value::Int(1), Value::Int(5)])
+                < Key::composite([Value::Int(2), Value::Int(0)])
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl ProgramGenerator {
         weight: u32,
         make: impl Fn(&mut StdRng) -> ProgramInstance + Send + Sync + 'static,
     ) -> Self {
-        ProgramGenerator { name: name.into(), weight, make: Box::new(make) }
+        ProgramGenerator {
+            name: name.into(),
+            weight,
+            make: Box::new(make),
+        }
     }
 
     /// Produces a fresh instance.
@@ -81,7 +85,12 @@ impl ExecutableWorkload {
         setup: impl Fn(&mut Engine) + Send + Sync + 'static,
         generators: Vec<ProgramGenerator>,
     ) -> Self {
-        ExecutableWorkload { name: name.into(), schema, setup: Box::new(setup), generators }
+        ExecutableWorkload {
+            name: name.into(),
+            schema,
+            setup: Box::new(setup),
+            generators,
+        }
     }
 
     /// Builds a fresh engine with the initial database state loaded.
@@ -105,7 +114,11 @@ impl ExecutableWorkload {
 
     /// Picks a generator according to the weights and produces an instance.
     pub fn generate(&self, rng: &mut StdRng) -> ProgramInstance {
-        assert!(!self.generators.is_empty(), "workload `{}` has no programs", self.name);
+        assert!(
+            !self.generators.is_empty(),
+            "workload `{}` has no programs",
+            self.name
+        );
         let total: u32 = self.generators.iter().map(|g| g.weight).sum();
         let mut pick = rng.gen_range(0..total.max(1));
         for g in &self.generators {
@@ -131,7 +144,10 @@ pub struct SmallBankConfig {
 
 impl Default for SmallBankConfig {
     fn default() -> Self {
-        SmallBankConfig { customers: 10, initial_balance: 1_000 }
+        SmallBankConfig {
+            customers: 10,
+            initial_balance: 1_000,
+        }
     }
 }
 
@@ -151,8 +167,12 @@ pub fn smallbank_executable(config: SmallBankConfig) -> ExecutableWorkload {
             engine
                 .load(account, vec![Value::Str(format!("c{i}")), Value::Int(i)])
                 .expect("load account");
-            engine.load(savings, vec![Value::Int(i), Value::Int(initial)]).expect("load savings");
-            engine.load(checking, vec![Value::Int(i), Value::Int(initial)]).expect("load checking");
+            engine
+                .load(savings, vec![Value::Int(i), Value::Int(initial)])
+                .expect("load savings");
+            engine
+                .load(checking, vec![Value::Int(i), Value::Int(initial)])
+                .expect("load checking");
         }
     };
 
@@ -223,7 +243,6 @@ pub fn smallbank_executable(config: SmallBankConfig) -> ExecutableWorkload {
     }
 
     let balance = ProgramGenerator::new("Balance", 25, {
-        let customer = customer;
         move |rng: &mut StdRng| {
             let mut locals = Locals::new();
             locals.set("N", format!("c{}", customer(rng)));
@@ -325,7 +344,13 @@ pub fn smallbank_executable(config: SmallBankConfig) -> ExecutableWorkload {
         "SmallBank",
         schema,
         setup,
-        vec![balance, deposit_checking, transact_savings, amalgamate, write_check],
+        vec![
+            balance,
+            deposit_checking,
+            transact_savings,
+            amalgamate,
+            write_check,
+        ],
     )
 }
 
@@ -342,7 +367,10 @@ pub struct AuctionConfig {
 
 impl Default for AuctionConfig {
     fn default() -> Self {
-        AuctionConfig { buyers: 10, max_bid: 100 }
+        AuctionConfig {
+            buyers: 10,
+            max_bid: 100,
+        }
     }
 }
 
@@ -358,8 +386,12 @@ pub fn auction_executable(config: AuctionConfig) -> ExecutableWorkload {
         let buyer = engine.rel("Buyer").expect("Buyer relation");
         let bids = engine.rel("Bids").expect("Bids relation");
         for i in 0..buyers as i64 {
-            engine.load(buyer, vec![Value::Int(i), Value::Int(0)]).expect("load buyer");
-            engine.load(bids, vec![Value::Int(i), Value::Int(1 + i % 10)]).expect("load bid");
+            engine
+                .load(buyer, vec![Value::Int(i), Value::Int(0)])
+                .expect("load buyer");
+            engine
+                .load(bids, vec![Value::Int(i), Value::Int(1 + i % 10)])
+                .expect("load bid");
         }
     };
 
@@ -371,7 +403,10 @@ pub fn auction_executable(config: AuctionConfig) -> ExecutableWorkload {
             let attr = engine.attr(buyer, "calls")?;
             let key = Key::int(locals.get_int("B"));
             engine.update_key(txn, buyer, &key, attrs, attrs, |row| {
-                vec![(attr, Value::Int(row[attr.index()].as_int().unwrap_or(0) + 1))]
+                vec![(
+                    attr,
+                    Value::Int(row[attr.index()].as_int().unwrap_or(0) + 1),
+                )]
             })
         })
     }
@@ -422,9 +457,14 @@ pub fn auction_executable(config: AuctionConfig) -> ExecutableWorkload {
                 let attr = engine.attr(bids, "bid")?;
                 let key = Key::int(locals.get_int("B"));
                 let v = locals.get_int("V");
-                engine.update_key(txn, bids, &key, mvrc_schema::AttrSet::empty(), write, move |_| {
-                    vec![(attr, Value::Int(v))]
-                })
+                engine.update_key(
+                    txn,
+                    bids,
+                    &key,
+                    mvrc_schema::AttrSet::empty(),
+                    write,
+                    move |_| vec![(attr, Value::Int(v))],
+                )
             });
             // q6: INSERT INTO Log VALUES (:logId, :B, :V) (ins).
             let insert_log: StepFn = Box::new({
@@ -482,7 +522,10 @@ mod tests {
 
     #[test]
     fn smallbank_setup_loads_every_account() {
-        let workload = smallbank_executable(SmallBankConfig { customers: 5, initial_balance: 100 });
+        let workload = smallbank_executable(SmallBankConfig {
+            customers: 5,
+            initial_balance: 100,
+        });
         let engine = workload.build_engine();
         for rel in ["Account", "Savings", "Checking"] {
             let id = engine.rel(rel).unwrap();
@@ -490,7 +533,13 @@ mod tests {
         }
         assert_eq!(
             workload.program_names(),
-            vec!["Balance", "DepositChecking", "TransactSavings", "Amalgamate", "WriteCheck"]
+            vec![
+                "Balance",
+                "DepositChecking",
+                "TransactSavings",
+                "Amalgamate",
+                "WriteCheck"
+            ]
         );
     }
 
@@ -498,28 +547,44 @@ mod tests {
     fn smallbank_serial_execution_is_serializable_and_conserves_structure() {
         let workload = smallbank_executable(SmallBankConfig::default());
         let engine = run_one(&workload, 42);
-        assert!(engine.history().len() >= 15, "most serial transactions commit");
+        assert!(
+            engine.history().len() >= 15,
+            "most serial transactions commit"
+        );
         let report = engine.history().report(engine.schema());
-        assert!(report.is_serializable(), "serial execution must be serializable");
+        assert!(
+            report.is_serializable(),
+            "serial execution must be serializable"
+        );
         assert_eq!(report.counterflow_non_antidependency_edges, 0);
     }
 
     #[test]
     fn auction_serial_execution_logs_every_placed_bid() {
-        let workload = auction_executable(AuctionConfig { buyers: 4, max_bid: 50 });
+        let workload = auction_executable(AuctionConfig {
+            buyers: 4,
+            max_bid: 50,
+        });
         let engine = run_one(&workload, 7);
         let log = engine.rel("Log").unwrap();
         let commits = engine.history().commits_by_program();
         let placed = commits.get("PlaceBid").copied().unwrap_or(0);
-        assert_eq!(engine.latest_rows(log).len(), placed, "one log row per committed PlaceBid");
+        assert_eq!(
+            engine.latest_rows(log).len(),
+            placed,
+            "one log row per committed PlaceBid"
+        );
         let report = engine.history().report(engine.schema());
         assert!(report.is_serializable());
     }
 
     #[test]
     fn restrict_filters_the_program_mix() {
-        let workload = smallbank_executable(SmallBankConfig::default())
-            .restrict(&["Balance", "DepositChecking", "NoSuchProgram"]);
+        let workload = smallbank_executable(SmallBankConfig::default()).restrict(&[
+            "Balance",
+            "DepositChecking",
+            "NoSuchProgram",
+        ]);
         assert_eq!(workload.program_names(), vec!["Balance", "DepositChecking"]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {

@@ -21,13 +21,26 @@ use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
 
 /// High-contention SmallBank: 2 customers, 6 interleaved transactions.
 fn contended_smallbank(programs: &[&str]) -> mvrc_engine::ExecutableWorkload {
-    smallbank_executable(SmallBankConfig { customers: 2, initial_balance: 100 }).restrict(programs)
+    smallbank_executable(SmallBankConfig {
+        customers: 2,
+        initial_balance: 100,
+    })
+    .restrict(programs)
 }
 
-fn drive(workload: &mvrc_engine::ExecutableWorkload, isolation: IsolationLevel, seed: u64) -> mvrc_engine::RunStats {
+fn drive(
+    workload: &mvrc_engine::ExecutableWorkload,
+    isolation: IsolationLevel,
+    seed: u64,
+) -> mvrc_engine::RunStats {
     run_workload(
         workload,
-        DriverConfig { isolation, concurrency: 6, target_commits: 120, seed },
+        DriverConfig {
+            isolation,
+            concurrency: 6,
+            target_commits: 120,
+            seed,
+        },
     )
 }
 
@@ -58,11 +71,20 @@ fn robust_smallbank_subsets_never_produce_anomalies_under_read_committed() {
             "Algorithm 2 must attest {subset:?} robust (Figure 6)"
         );
         for seed in 0..8 {
-            let stats = drive(&contended_smallbank(subset), IsolationLevel::ReadCommitted, seed);
+            let stats = drive(
+                &contended_smallbank(subset),
+                IsolationLevel::ReadCommitted,
+                seed,
+            );
             assert!(
                 stats.is_serializable(),
                 "subset {subset:?}, seed {seed}: robust subsets must never yield anomalies, got {}",
-                stats.report.anomaly.as_ref().map(|a| a.cycle.len()).unwrap_or(0)
+                stats
+                    .report
+                    .anomaly
+                    .as_ref()
+                    .map(|a| a.cycle.len())
+                    .unwrap_or(0)
             );
             assert_eq!(
                 stats.report.counterflow_non_antidependency_edges, 0,
@@ -78,7 +100,13 @@ fn non_robust_smallbank_subsets_produce_concrete_anomalies_under_read_committed(
     // under contention a concrete non-serializable MVRC execution must show up.
     let non_robust_subsets: [&[&str]; 2] = [
         &["Balance", "WriteCheck"],
-        &["Balance", "Amalgamate", "DepositChecking", "TransactSavings", "WriteCheck"],
+        &[
+            "Balance",
+            "Amalgamate",
+            "DepositChecking",
+            "TransactSavings",
+            "WriteCheck",
+        ],
     ];
     for subset in non_robust_subsets {
         assert!(
@@ -87,14 +115,21 @@ fn non_robust_smallbank_subsets_produce_concrete_anomalies_under_read_committed(
         );
         let mut found = false;
         for seed in 0..25 {
-            let stats = drive(&contended_smallbank(subset), IsolationLevel::ReadCommitted, seed);
+            let stats = drive(
+                &contended_smallbank(subset),
+                IsolationLevel::ReadCommitted,
+                seed,
+            );
             assert_eq!(stats.report.counterflow_non_antidependency_edges, 0);
             if !stats.is_serializable() {
                 found = true;
                 break;
             }
         }
-        assert!(found, "subset {subset:?}: expected a concrete anomaly under read-committed");
+        assert!(
+            found,
+            "subset {subset:?}: expected a concrete anomaly under read-committed"
+        );
     }
 }
 
@@ -109,7 +144,10 @@ fn serializable_level_is_always_anomaly_free_even_for_non_robust_workloads() {
     ]);
     for seed in 0..10 {
         let stats = drive(&workload, IsolationLevel::Serializable, seed);
-        assert!(stats.is_serializable(), "seed {seed}: serializable must never admit cycles");
+        assert!(
+            stats.is_serializable(),
+            "seed {seed}: serializable must never admit cycles"
+        );
     }
 }
 
@@ -121,7 +159,10 @@ fn snapshot_isolation_blocks_lost_updates_but_not_write_skew() {
     for seed in 0..6 {
         let workload = contended_smallbank(&["Balance", "WriteCheck", "TransactSavings"]);
         let stats = drive(&workload, IsolationLevel::SnapshotIsolation, seed);
-        assert_eq!(stats.report.counterflow_non_antidependency_edges, 0, "seed {seed}");
+        assert_eq!(
+            stats.report.counterflow_non_antidependency_edges, 0,
+            "seed {seed}"
+        );
     }
 }
 
@@ -134,7 +175,10 @@ fn auction_is_robust_statically_and_dynamically() {
         "the Auction benchmark is robust against MVRC (Figure 6)"
     );
     for seed in 0..8 {
-        let executable = auction_executable(AuctionConfig { buyers: 2, max_bid: 15 });
+        let executable = auction_executable(AuctionConfig {
+            buyers: 2,
+            max_bid: 15,
+        });
         let stats = drive(&executable, IsolationLevel::ReadCommitted, seed);
         assert!(
             stats.is_serializable(),
@@ -148,7 +192,10 @@ fn auction_is_robust_statically_and_dynamically() {
 fn serializable_costs_more_aborts_than_read_committed_on_smallbank() {
     // The motivation of the paper: when a workload is robust, running it under MVRC gives
     // serializability "for free", whereas the serializable level pays with certification aborts.
-    let workload = smallbank_executable(SmallBankConfig { customers: 3, initial_balance: 1_000 });
+    let workload = smallbank_executable(SmallBankConfig {
+        customers: 3,
+        initial_balance: 1_000,
+    });
     let mut rc_aborts = 0usize;
     let mut ser_aborts = 0usize;
     for seed in 0..5 {

@@ -28,12 +28,14 @@ enum WorkloadChoice {
 
 fn build(choice: WorkloadChoice, scale: usize) -> ExecutableWorkload {
     match choice {
-        WorkloadChoice::SmallBank => {
-            smallbank_executable(SmallBankConfig { customers: scale, initial_balance: 100 })
-        }
-        WorkloadChoice::Auction => {
-            auction_executable(AuctionConfig { buyers: scale, max_bid: 50 })
-        }
+        WorkloadChoice::SmallBank => smallbank_executable(SmallBankConfig {
+            customers: scale,
+            initial_balance: 100,
+        }),
+        WorkloadChoice::Auction => auction_executable(AuctionConfig {
+            buyers: scale,
+            max_bid: 50,
+        }),
         WorkloadChoice::Tpcc => tpcc_executable(TpccConfig {
             warehouses: 1,
             districts: scale.clamp(1, 3),

@@ -12,29 +12,47 @@ use mvrc_engine::{run_workload, tpcc_executable, DriverConfig, IsolationLevel, T
 use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
 
 fn contended_config() -> TpccConfig {
-    TpccConfig { warehouses: 1, districts: 1, customers: 2, items: 4, initial_orders: 2 }
+    TpccConfig {
+        warehouses: 1,
+        districts: 1,
+        customers: 2,
+        items: 4,
+        initial_orders: 2,
+    }
 }
 
 fn drive(programs: &[&str], isolation: IsolationLevel, seed: u64) -> mvrc_engine::RunStats {
     let workload = tpcc_executable(contended_config()).restrict(programs);
     run_workload(
         &workload,
-        DriverConfig { isolation, concurrency: 6, target_commits: 80, seed },
+        DriverConfig {
+            isolation,
+            concurrency: 6,
+            target_commits: 80,
+            seed,
+        },
     )
 }
 
 fn static_verdict(programs: &[&str]) -> bool {
     let workload = tpcc();
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    analyzer.analyze_programs(programs, AnalysisSettings::paper_default()).is_robust()
+    analyzer
+        .analyze_programs(programs, AnalysisSettings::paper_default())
+        .is_robust()
 }
 
 #[test]
 fn robust_tpcc_subsets_stay_serializable_under_read_committed() {
-    let robust_subsets: [&[&str]; 2] =
-        [&["OrderStatus", "Payment", "StockLevel"], &["NewOrder", "Payment"]];
+    let robust_subsets: [&[&str]; 2] = [
+        &["OrderStatus", "Payment", "StockLevel"],
+        &["NewOrder", "Payment"],
+    ];
     for subset in robust_subsets {
-        assert!(static_verdict(subset), "Figure 6 lists {subset:?} as robust under attr dep + FK");
+        assert!(
+            static_verdict(subset),
+            "Figure 6 lists {subset:?} as robust under attr dep + FK"
+        );
         for seed in 0..6 {
             let stats = drive(subset, IsolationLevel::ReadCommitted, seed);
             assert!(
@@ -49,23 +67,44 @@ fn robust_tpcc_subsets_stay_serializable_under_read_committed() {
 
 #[test]
 fn the_full_tpcc_mix_is_rejected_and_produces_anomalies_under_read_committed() {
-    let all = ["NewOrder", "Payment", "OrderStatus", "StockLevel", "Delivery"];
-    assert!(!static_verdict(&all), "the full TPC-C mix is not robust against MVRC");
+    let all = [
+        "NewOrder",
+        "Payment",
+        "OrderStatus",
+        "StockLevel",
+        "Delivery",
+    ];
+    assert!(
+        !static_verdict(&all),
+        "the full TPC-C mix is not robust against MVRC"
+    );
     let mut found = false;
     for seed in 0..20 {
         let stats = drive(&all, IsolationLevel::ReadCommitted, seed);
-        assert_eq!(stats.report.counterflow_non_antidependency_edges, 0, "Lemma 4.1, seed {seed}");
+        assert_eq!(
+            stats.report.counterflow_non_antidependency_edges, 0,
+            "Lemma 4.1, seed {seed}"
+        );
         if !stats.is_serializable() {
             found = true;
             break;
         }
     }
-    assert!(found, "expected a concrete non-serializable MVRC execution of the full TPC-C mix");
+    assert!(
+        found,
+        "expected a concrete non-serializable MVRC execution of the full TPC-C mix"
+    );
 }
 
 #[test]
 fn the_full_tpcc_mix_under_serializable_certification_never_shows_anomalies() {
-    let all = ["NewOrder", "Payment", "OrderStatus", "StockLevel", "Delivery"];
+    let all = [
+        "NewOrder",
+        "Payment",
+        "OrderStatus",
+        "StockLevel",
+        "Delivery",
+    ];
     for seed in 0..5 {
         let stats = drive(&all, IsolationLevel::Serializable, seed);
         assert!(stats.is_serializable(), "seed {seed}");
@@ -78,7 +117,10 @@ fn delivery_alone_never_misbehaves_even_though_the_analysis_rejects_it() {
     // two Delivery instances over the same warehouse can both deliver the same oldest order — the
     // second one aborts because the New_Order row is already gone. Dynamically, Delivery-only
     // executions therefore stay serializable.
-    assert!(!static_verdict(&["Delivery"]), "{{Delivery}} is rejected by Algorithm 2 (false negative)");
+    assert!(
+        !static_verdict(&["Delivery"]),
+        "{{Delivery}} is rejected by Algorithm 2 (false negative)"
+    );
     for seed in 0..10 {
         let stats = drive(&["Delivery"], IsolationLevel::ReadCommitted, seed);
         assert!(

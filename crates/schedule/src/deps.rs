@@ -25,7 +25,10 @@ pub enum DependencyKind {
 impl DependencyKind {
     /// Only (predicate) rw-antidependencies can be counterflow under MVRC (Lemma 4.1).
     pub fn is_anti_dependency(self) -> bool {
-        matches!(self, DependencyKind::ReadWrite | DependencyKind::PredicateReadWrite)
+        matches!(
+            self,
+            DependencyKind::ReadWrite | DependencyKind::PredicateReadWrite
+        )
     }
 }
 
@@ -74,7 +77,9 @@ impl SerializationGraph {
                         } else {
                             let vb = schedule.write_version(bp).expect("write has a version");
                             let va = schedule.write_version(ap).expect("write has a version");
-                            schedule.version_lt(vb, va).then_some(DependencyKind::WriteWrite)
+                            schedule
+                                .version_lt(vb, va)
+                                .then_some(DependencyKind::WriteWrite)
                         }
                     }
                     // wr-dependency.
@@ -95,16 +100,20 @@ impl SerializationGraph {
                         } else {
                             let vb = schedule.read_version(bp).expect("read has a version");
                             let va = schedule.write_version(ap).expect("write has a version");
-                            schedule.version_lt(vb, va).then_some(DependencyKind::ReadWrite)
+                            schedule
+                                .version_lt(vb, va)
+                                .then_some(DependencyKind::ReadWrite)
                         }
                     }
                     // Predicate wr-dependency.
                     (bk, OpKind::PredicateRead) if bk.is_write() => {
-                        predicate_wr(schedule, bp, b, ap, a).then_some(DependencyKind::PredicateWriteRead)
+                        predicate_wr(schedule, bp, b, ap, a)
+                            .then_some(DependencyKind::PredicateWriteRead)
                     }
                     // Predicate rw-antidependency.
                     (OpKind::PredicateRead, ak) if ak.is_write() => {
-                        predicate_rw(schedule, bp, b, ap, a).then_some(DependencyKind::PredicateReadWrite)
+                        predicate_rw(schedule, bp, b, ap, a)
+                            .then_some(DependencyKind::PredicateReadWrite)
                     }
                     _ => None,
                 };
@@ -120,7 +129,10 @@ impl SerializationGraph {
                 }
             }
         }
-        SerializationGraph { txn_count: schedule.transactions().len(), dependencies }
+        SerializationGraph {
+            txn_count: schedule.transactions().len(),
+            dependencies,
+        }
     }
 
     /// All dependencies (edges with operation labels).
@@ -156,8 +168,7 @@ impl SerializationGraph {
                 in_degree[d.to.index()] += 1;
             }
         }
-        let mut queue: Vec<usize> =
-            (0..self.txn_count).filter(|&n| in_degree[n] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.txn_count).filter(|&n| in_degree[n] == 0).collect();
         let mut visited = 0;
         while let Some(n) = queue.pop() {
             visited += 1;
@@ -189,12 +200,18 @@ fn predicate_wr(
     ap: usize,
     a: &crate::ops::Operation,
 ) -> bool {
-    let (Some(tuple), Some(rel)) = (b.tuple, a.relation) else { return false };
+    let (Some(tuple), Some(rel)) = (b.tuple, a.relation) else {
+        return false;
+    };
     if tuple.rel != rel {
         return false;
     }
-    let Some(vset) = schedule.version_set(ap) else { return false };
-    let Some(&observed) = vset.get(&tuple) else { return false };
+    let Some(vset) = schedule.version_set(ap) else {
+        return false;
+    };
+    let Some(&observed) = vset.get(&tuple) else {
+        return false;
+    };
     let vb = schedule.write_version(bp).expect("write has a version");
     // The committed version observed for a deleted tuple is Dead; writers of the dead version
     // are related through version_lt as usual.
@@ -214,12 +231,18 @@ fn predicate_rw(
     ap: usize,
     a: &crate::ops::Operation,
 ) -> bool {
-    let (Some(rel), Some(tuple)) = (b.relation, a.tuple) else { return false };
+    let (Some(rel), Some(tuple)) = (b.relation, a.tuple) else {
+        return false;
+    };
     if tuple.rel != rel {
         return false;
     }
-    let Some(vset) = schedule.version_set(bp) else { return false };
-    let Some(&observed) = vset.get(&tuple) else { return false };
+    let Some(vset) = schedule.version_set(bp) else {
+        return false;
+    };
+    let Some(&observed) = vset.get(&tuple) else {
+        return false;
+    };
     let va = schedule.write_version(ap).expect("write has a version");
     if !schedule.version_lt(observed, va) {
         return false;
@@ -235,7 +258,9 @@ pub mod mvrc_theory {
     /// Lemma 4.1: in a schedule allowed under MVRC, only (predicate) rw-antidependencies can be
     /// counterflow.
     pub fn counterflow_only_on_antidependencies(graph: &SerializationGraph) -> bool {
-        graph.counterflow_dependencies().all(|d| d.kind.is_anti_dependency())
+        graph
+            .counterflow_dependencies()
+            .all(|d| d.kind.is_anti_dependency())
     }
 
     /// Theorem 4.2 (first part): every cycle contains at least one counterflow dependency, i.e.
@@ -260,7 +285,10 @@ mod tests {
     use mvrc_schema::{AttrId, AttrSet, RelId};
 
     fn tuple(idx: u32) -> TupleId {
-        TupleId { rel: RelId(0), index: idx }
+        TupleId {
+            rel: RelId(0),
+            index: idx,
+        }
     }
 
     fn attrs() -> AttrSet {
@@ -287,8 +315,14 @@ mod tests {
         let g = SerializationGraph::of(&s);
         assert!(g.is_conflict_serializable());
         // ww and wr dependencies from T0 to T1, rw from T0's read to T1's write.
-        assert!(g.dependencies().iter().any(|d| d.kind == DependencyKind::WriteWrite));
-        assert!(g.dependencies().iter().any(|d| d.kind == DependencyKind::WriteRead));
+        assert!(g
+            .dependencies()
+            .iter()
+            .any(|d| d.kind == DependencyKind::WriteWrite));
+        assert!(g
+            .dependencies()
+            .iter()
+            .any(|d| d.kind == DependencyKind::WriteRead));
         assert!(g.dependencies().iter().all(|d| !d.counterflow));
     }
 
@@ -350,7 +384,11 @@ mod tests {
         let mut b0 = TransactionBuilder::new(TxnId(0));
         b0.op(Operation::insert(tuple(9), AttrSet::all(2)));
         let mut b1 = TransactionBuilder::new(TxnId(1));
-        b1.predicate_selection(RelId(0), AttrSet::singleton(AttrId(0)), [(tuple(9), attrs())]);
+        b1.predicate_selection(
+            RelId(0),
+            AttrSet::singleton(AttrId(0)),
+            [(tuple(9), attrs())],
+        );
         let s = Schedule::execute_mvrc(
             vec![b0.build(), b1.build()],
             &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)],
@@ -379,7 +417,8 @@ mod tests {
 
     #[test]
     fn reader_only_schedules_have_empty_graphs() {
-        let s = Schedule::execute_serial(vec![reader(0, &[tuple(0)]), reader(1, &[tuple(0)])]).unwrap();
+        let s =
+            Schedule::execute_serial(vec![reader(0, &[tuple(0)]), reader(1, &[tuple(0)])]).unwrap();
         let g = SerializationGraph::of(&s);
         assert_eq!(g.dependencies().len(), 0);
         assert_eq!(g.txn_count(), 2);

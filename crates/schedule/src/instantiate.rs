@@ -24,7 +24,10 @@ pub struct TupleUniverse {
 impl TupleUniverse {
     /// Creates a universe with the given number of pre-existing tuples per relation.
     pub fn new(schema: &Schema, tuples_per_relation: u32) -> Self {
-        assert!(tuples_per_relation >= 1, "need at least one tuple per relation");
+        assert!(
+            tuples_per_relation >= 1,
+            "need at least one tuple per relation"
+        );
         TupleUniverse {
             tuples_per_relation,
             next_fresh: vec![tuples_per_relation; schema.relation_count()],
@@ -38,7 +41,10 @@ impl TupleUniverse {
 
     /// The i-th pre-existing tuple of a relation.
     pub fn tuple(&self, rel: RelId, index: u32) -> TupleId {
-        TupleId { rel, index: index % self.tuples_per_relation }
+        TupleId {
+            rel,
+            index: index % self.tuples_per_relation,
+        }
     }
 
     /// A fresh, never-before-used tuple of a relation (for inserts).
@@ -50,7 +56,10 @@ impl TupleUniverse {
 
     /// The tuple of the range relation associated with a domain tuple through a foreign key.
     pub fn fk_target(&self, dom_tuple: TupleId, range: RelId) -> TupleId {
-        TupleId { rel: range, index: dom_tuple.index % self.tuples_per_relation }
+        TupleId {
+            rel: range,
+            index: dom_tuple.index % self.tuples_per_relation,
+        }
     }
 }
 
@@ -86,7 +95,9 @@ pub fn instantiate_ltp<R: Rng>(
     // over the whole relation anyway).
     for constraint in ltp.fk_constraints() {
         let fk = schema.foreign_key(constraint.fk);
-        let Some(range_tuple) = primary[constraint.range_pos] else { continue };
+        let Some(range_tuple) = primary[constraint.range_pos] else {
+            continue;
+        };
         let dom_kind = ltp.statement(constraint.dom_pos).kind();
         if dom_kind.is_key_based() {
             primary[constraint.dom_pos] =
@@ -119,7 +130,8 @@ pub fn instantiate_ltp<R: Rng>(
                 ]);
             }
             StatementKind::PredSelect | StatementKind::PredUpdate | StatementKind::PredDelete => {
-                let targets = predicate_targets(pos, &primary, universe, rel, predicate_fanout, rng);
+                let targets =
+                    predicate_targets(pos, &primary, universe, rel, predicate_fanout, rng);
                 let mut ops =
                     vec![Operation::predicate_read(rel, stmt.pread_attrs()).with_statement(pos)];
                 for t in targets {
@@ -157,7 +169,9 @@ fn predicate_targets<R: Rng>(
     if let Some(t) = primary[pos] {
         return vec![t];
     }
-    let count = rng.gen_range(1..=fanout.max(1)).min(universe.tuples_per_relation());
+    let count = rng
+        .gen_range(1..=fanout.max(1))
+        .min(universe.tuples_per_relation());
     let mut targets: Vec<TupleId> = Vec::with_capacity(count as usize);
     while targets.len() < count as usize {
         let t = universe.tuple(rel, rng.gen_range(0..universe.tuples_per_relation()));
@@ -181,16 +195,24 @@ mod tests {
     fn auction_schema() -> Schema {
         let mut b = SchemaBuilder::new("auction");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = b
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         b.build()
     }
 
     fn place_bid_ltps(schema: &Schema) -> Vec<LinearProgram> {
         let mut pb = ProgramBuilder::new(schema, "PlaceBid");
-        let q3 = pb.key_update("q3", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q4 = pb.key_select("q4", "Bids", &["bid"]).unwrap();
         let q5 = pb.key_update("q5", "Bids", &[], &["bid"]).unwrap();
         let q6 = pb.insert("q6", "Log").unwrap();
@@ -257,9 +279,18 @@ mod tests {
         let t1 = instantiate_ltp(&schema, &ltps[0], TxnId(0), &mut universe, 2, &mut rng);
         let t2 = instantiate_ltp(&schema, &ltps[0], TxnId(1), &mut universe, 2, &mut rng);
         let insert_of = |t: &Transaction| {
-            t.ops().iter().find(|o| o.kind == OpKind::Insert).unwrap().tuple.unwrap()
+            t.ops()
+                .iter()
+                .find(|o| o.kind == OpKind::Insert)
+                .unwrap()
+                .tuple
+                .unwrap()
         };
-        assert_ne!(insert_of(&t1), insert_of(&t2), "fresh log tuples must not collide");
+        assert_ne!(
+            insert_of(&t1),
+            insert_of(&t2),
+            "fresh log tuples must not collide"
+        );
         assert!(insert_of(&t1).index >= 2);
     }
 
@@ -267,15 +298,20 @@ mod tests {
     fn predicate_statements_touch_bounded_tuple_sets() {
         let schema = auction_schema();
         let mut fb = ProgramBuilder::new(&schema, "FindBids");
-        let q1 = fb.key_update("q1", "Buyer", &["calls"], &["calls"]).unwrap();
+        let q1 = fb
+            .key_update("q1", "Buyer", &["calls"], &["calls"])
+            .unwrap();
         let q2 = fb.pred_select("q2", "Bids", &["bid"], &["bid"]).unwrap();
         fb.seq(&[q1.into(), q2.into()]);
         let ltps = unfold_set_le2(&[fb.build()]);
         let mut rng = StdRng::seed_from_u64(11);
         let mut universe = TupleUniverse::new(&schema, 5);
         let txn = instantiate_ltp(&schema, &ltps[0], TxnId(0), &mut universe, 3, &mut rng);
-        let reads_after_pr =
-            txn.ops().iter().filter(|o| o.kind == OpKind::Read && o.tuple.map(|t| t.rel.0) == Some(1)).count();
+        let reads_after_pr = txn
+            .ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::Read && o.tuple.map(|t| t.rel.0) == Some(1))
+            .count();
         assert!((1..=3).contains(&reads_after_pr));
         assert!(txn.ops().iter().any(|o| o.kind == OpKind::PredicateRead));
     }

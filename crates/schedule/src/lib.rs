@@ -20,9 +20,6 @@
 //! validated against concrete schedules and so that negative verdicts can be confirmed with
 //! concrete anomalies.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod deps;
 mod instantiate;
 mod ops;

@@ -111,12 +111,24 @@ pub struct Operation {
 impl Operation {
     /// A read of `tuple` observing `attrs`.
     pub fn read(tuple: TupleId, attrs: AttrSet) -> Self {
-        Operation { kind: OpKind::Read, tuple: Some(tuple), relation: None, attrs, statement: None }
+        Operation {
+            kind: OpKind::Read,
+            tuple: Some(tuple),
+            relation: None,
+            attrs,
+            statement: None,
+        }
     }
 
     /// A write of `tuple` modifying `attrs`.
     pub fn write(tuple: TupleId, attrs: AttrSet) -> Self {
-        Operation { kind: OpKind::Write, tuple: Some(tuple), relation: None, attrs, statement: None }
+        Operation {
+            kind: OpKind::Write,
+            tuple: Some(tuple),
+            relation: None,
+            attrs,
+            statement: None,
+        }
     }
 
     /// An insert of `tuple` (writes all attributes).
@@ -184,7 +196,11 @@ impl fmt::Display for Operation {
             OpKind::Insert => write!(f, "I[{}]", self.tuple.expect("insert has a tuple")),
             OpKind::Delete => write!(f, "D[{}]", self.tuple.expect("delete has a tuple")),
             OpKind::PredicateRead => {
-                write!(f, "PR[{}]", self.relation.expect("predicate read has a relation"))
+                write!(
+                    f,
+                    "PR[{}]",
+                    self.relation.expect("predicate read has a relation")
+                )
             }
             OpKind::Commit => write!(f, "C"),
         }
@@ -198,25 +214,40 @@ mod tests {
 
     #[test]
     fn constructors_set_kind_and_targets() {
-        let t = TupleId { rel: RelId(1), index: 3 };
+        let t = TupleId {
+            rel: RelId(1),
+            index: 3,
+        };
         let attrs = AttrSet::singleton(AttrId(0));
         assert_eq!(Operation::read(t, attrs).kind, OpKind::Read);
         assert_eq!(Operation::write(t, attrs).tuple, Some(t));
         assert!(Operation::insert(t, attrs).kind.is_write());
         assert!(Operation::delete(t, attrs).kind.is_write());
-        assert_eq!(Operation::predicate_read(RelId(1), attrs).relation, Some(RelId(1)));
+        assert_eq!(
+            Operation::predicate_read(RelId(1), attrs).relation,
+            Some(RelId(1))
+        );
         assert_eq!(Operation::commit().kind, OpKind::Commit);
         assert_eq!(Operation::read(t, attrs).rel(), Some(RelId(1)));
-        assert_eq!(Operation::predicate_read(RelId(2), attrs).rel(), Some(RelId(2)));
+        assert_eq!(
+            Operation::predicate_read(RelId(2), attrs).rel(),
+            Some(RelId(2))
+        );
         assert_eq!(Operation::commit().rel(), None);
     }
 
     #[test]
     fn display_matches_the_paper_notation() {
-        let t = TupleId { rel: RelId(0), index: 1 };
+        let t = TupleId {
+            rel: RelId(0),
+            index: 1,
+        };
         let attrs = AttrSet::EMPTY;
         assert_eq!(Operation::read(t, attrs).to_string(), "R[t0_1]");
-        assert_eq!(Operation::predicate_read(RelId(2), attrs).to_string(), "PR[R2]");
+        assert_eq!(
+            Operation::predicate_read(RelId(2), attrs).to_string(),
+            "PR[R2]"
+        );
         assert_eq!(Operation::commit().to_string(), "C");
     }
 
@@ -234,7 +265,10 @@ mod tests {
 
     #[test]
     fn statement_tagging() {
-        let t = TupleId { rel: RelId(0), index: 0 };
+        let t = TupleId {
+            rel: RelId(0),
+            index: 0,
+        };
         let op = Operation::read(t, AttrSet::EMPTY).with_statement(5);
         assert_eq!(op.statement, Some(5));
     }

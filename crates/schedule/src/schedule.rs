@@ -49,20 +49,36 @@ pub enum MvrcError {
 impl fmt::Display for MvrcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MvrcError::DirtyWrite { txn, tuple, blocked_by } => {
-                write!(f, "{txn} would dirty-write {tuple} already modified by uncommitted {blocked_by}")
+            MvrcError::DirtyWrite {
+                txn,
+                tuple,
+                blocked_by,
+            } => {
+                write!(
+                    f,
+                    "{txn} would dirty-write {tuple} already modified by uncommitted {blocked_by}"
+                )
             }
             MvrcError::InvalidRead { txn, tuple } => {
-                write!(f, "{txn} reads {tuple} which has no visible committed version")
+                write!(
+                    f,
+                    "{txn} reads {tuple} which has no visible committed version"
+                )
             }
             MvrcError::DuplicateInsert { txn, tuple } => {
                 write!(f, "{txn} inserts {tuple} which already exists")
             }
             MvrcError::InvalidInterleaving(txn) => {
-                write!(f, "interleaving schedules {txn} which has no remaining chunks")
+                write!(
+                    f,
+                    "interleaving schedules {txn} which has no remaining chunks"
+                )
             }
             MvrcError::IncompleteInterleaving => {
-                write!(f, "interleaving does not execute every transaction to completion")
+                write!(
+                    f,
+                    "interleaving does not execute every transaction to completion"
+                )
             }
         }
     }
@@ -99,7 +115,10 @@ impl Schedule {
     ///
     /// `interleaving` is a sequence of transaction ids; each occurrence emits the next atomic
     /// chunk of that transaction. The interleaving must execute every transaction to completion.
-    pub fn execute_mvrc(transactions: Vec<Transaction>, interleaving: &[TxnId]) -> Result<Self, MvrcError> {
+    pub fn execute_mvrc(
+        transactions: Vec<Transaction>,
+        interleaving: &[TxnId],
+    ) -> Result<Self, MvrcError> {
         Executor::new(transactions).run(interleaving)
     }
 
@@ -157,7 +176,9 @@ impl Schedule {
             match v {
                 Version::Unborn => (0, 0),
                 Version::Initial => (1, 0),
-                Version::Installed(pos) => (2, self.commit_pos[self.order[pos as usize].txn.index()]),
+                Version::Installed(pos) => {
+                    (2, self.commit_pos[self.order[pos as usize].txn.index()])
+                }
                 Version::Dead => (3, 0),
             }
         };
@@ -241,7 +262,12 @@ impl Executor {
         for &txn in interleaving {
             self.emit_chunk(txn)?;
         }
-        if self.next_chunk.iter().enumerate().any(|(i, &c)| c < self.transactions[i].chunks().len()) {
+        if self
+            .next_chunk
+            .iter()
+            .enumerate()
+            .any(|(i, &c)| c < self.transactions[i].chunks().len())
+        {
             return Err(MvrcError::IncompleteInterleaving);
         }
         Ok(Schedule {
@@ -295,7 +321,11 @@ impl Executor {
                 let tuple = op.tuple.expect("write has a tuple");
                 if let Some((holder, _)) = self.pending.get(&tuple) {
                     if *holder != txn {
-                        return Err(MvrcError::DirtyWrite { txn, tuple, blocked_by: *holder });
+                        return Err(MvrcError::DirtyWrite {
+                            txn,
+                            tuple,
+                            blocked_by: *holder,
+                        });
                     }
                 }
                 if !self.last_committed(tuple).is_visible() {
@@ -306,7 +336,11 @@ impl Executor {
                 let tuple = op.tuple.expect("insert has a tuple");
                 if let Some((holder, _)) = self.pending.get(&tuple) {
                     if *holder != txn {
-                        return Err(MvrcError::DirtyWrite { txn, tuple, blocked_by: *holder });
+                        return Err(MvrcError::DirtyWrite {
+                            txn,
+                            tuple,
+                            blocked_by: *holder,
+                        });
                     }
                     return Err(MvrcError::DuplicateInsert { txn, tuple });
                 }
@@ -341,7 +375,12 @@ impl Executor {
                 let vset: BTreeMap<TupleId, Version> = self
                     .universe
                     .get(&rel)
-                    .map(|tuples| tuples.iter().map(|&t| (t, self.last_committed(t))).collect())
+                    .map(|tuples| {
+                        tuples
+                            .iter()
+                            .map(|&t| (t, self.last_committed(t)))
+                            .collect()
+                    })
                     .unwrap_or_default();
                 self.version_sets[pos] = Some(vset);
             }
@@ -385,7 +424,10 @@ mod tests {
     use mvrc_schema::{AttrId, AttrSet};
 
     fn tuple(idx: u32) -> TupleId {
-        TupleId { rel: RelId(0), index: idx }
+        TupleId {
+            rel: RelId(0),
+            index: idx,
+        }
     }
 
     fn attrs() -> AttrSet {
@@ -447,7 +489,11 @@ mod tests {
         let mut b0 = TransactionBuilder::new(TxnId(0));
         b0.key_update(tuple(0), attrs(), attrs());
         let mut b1 = TransactionBuilder::new(TxnId(1));
-        b1.predicate_selection(RelId(0), attrs(), [(tuple(0), attrs()), (tuple(1), attrs())]);
+        b1.predicate_selection(
+            RelId(0),
+            attrs(),
+            [(tuple(0), attrs()), (tuple(1), attrs())],
+        );
         // T0 commits before T1's predicate read, so the version set contains T0's version of t0
         // and the initial version of t1.
         let s = Schedule::execute_mvrc(
@@ -508,9 +554,11 @@ mod tests {
             b.op(Operation::insert(tuple(7), attrs()));
             b.build()
         };
-        let err =
-            Schedule::execute_mvrc(vec![make(0), make(1)], &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)])
-                .unwrap_err();
+        let err = Schedule::execute_mvrc(
+            vec![make(0), make(1)],
+            &[TxnId(0), TxnId(0), TxnId(1), TxnId(1)],
+        )
+        .unwrap_err();
         assert!(matches!(err, MvrcError::DuplicateInsert { .. }));
     }
 

@@ -117,7 +117,9 @@ pub fn find_counterexample(
 ) -> Option<Counterexample> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     for _ in 0..config.attempts {
-        let Some(schedule) = random_mvrc_schedule(schema, ltps, config, &mut rng) else { continue };
+        let Some(schedule) = random_mvrc_schedule(schema, ltps, config, &mut rng) else {
+            continue;
+        };
         let graph = SerializationGraph::of(&schedule);
         if !graph.is_conflict_serializable() {
             let programs = schedule
@@ -125,7 +127,11 @@ pub fn find_counterexample(
                 .iter()
                 .map(|t| t.program().unwrap_or("<anonymous>").to_string())
                 .collect();
-            return Some(Counterexample { schedule, graph, programs });
+            return Some(Counterexample {
+                schedule,
+                graph,
+                programs,
+            });
         }
     }
     None
@@ -174,8 +180,10 @@ mod tests {
 
     fn bank_schema() -> Schema {
         let mut b = SchemaBuilder::new("bank");
-        b.relation("Checking", &["CustomerId", "Balance"], &["CustomerId"]).unwrap();
-        b.relation("Savings", &["CustomerId", "Balance"], &["CustomerId"]).unwrap();
+        b.relation("Checking", &["CustomerId", "Balance"], &["CustomerId"])
+            .unwrap();
+        b.relation("Savings", &["CustomerId", "Balance"], &["CustomerId"])
+            .unwrap();
         b.build()
     }
 
@@ -184,7 +192,9 @@ mod tests {
         let mut pb = ProgramBuilder::new(schema, "WriteCheck");
         let q1 = pb.key_select("q1", "Savings", &["Balance"]).unwrap();
         let q2 = pb.key_select("q2", "Checking", &["Balance"]).unwrap();
-        let q3 = pb.key_update("q3", "Checking", &["Balance"], &["Balance"]).unwrap();
+        let q3 = pb
+            .key_update("q3", "Checking", &["Balance"], &["Balance"])
+            .unwrap();
         pb.seq(&[q1.into(), q2.into(), q3.into()]);
         pb.build()
     }
@@ -202,7 +212,11 @@ mod tests {
     fn finds_the_classic_write_check_anomaly() {
         let schema = bank_schema();
         let ltps = unfold_set_le2(&[write_check(&schema)]);
-        let config = SearchConfig { transactions: 2, attempts: 500, ..SearchConfig::default() };
+        let config = SearchConfig {
+            transactions: 2,
+            attempts: 500,
+            ..SearchConfig::default()
+        };
         let counterexample =
             find_counterexample(&schema, &ltps, &config).expect("WriteCheck alone is not robust");
         assert_eq!(counterexample.programs.len(), 2);
@@ -214,7 +228,10 @@ mod tests {
     fn read_only_workloads_never_produce_counterexamples() {
         let schema = bank_schema();
         let ltps = unfold_set_le2(&[balance(&schema)]);
-        let config = SearchConfig { attempts: 300, ..SearchConfig::default() };
+        let config = SearchConfig {
+            attempts: 300,
+            ..SearchConfig::default()
+        };
         assert!(find_counterexample(&schema, &ltps, &config).is_none());
         let stats = sample_serializability(&schema, &ltps, &config);
         assert_eq!(stats.rejected, 0);
@@ -226,7 +243,10 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let schema = bank_schema();
         let ltps = unfold_set_le2(&[write_check(&schema), balance(&schema)]);
-        let config = SearchConfig { attempts: 200, ..SearchConfig::default() };
+        let config = SearchConfig {
+            attempts: 200,
+            ..SearchConfig::default()
+        };
         let a = sample_serializability(&schema, &ltps, &config);
         let b = sample_serializability(&schema, &ltps, &config);
         assert_eq!(a, b);
@@ -240,7 +260,10 @@ mod tests {
         use crate::deps::mvrc_theory;
         let schema = bank_schema();
         let ltps = unfold_set_le2(&[write_check(&schema), balance(&schema)]);
-        let config = SearchConfig { attempts: 200, ..SearchConfig::default() };
+        let config = SearchConfig {
+            attempts: 200,
+            ..SearchConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(1234);
         let mut checked = 0;
         for _ in 0..config.attempts {
@@ -252,6 +275,9 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 50, "expected a healthy number of MVRC-legal samples, got {checked}");
+        assert!(
+            checked > 50,
+            "expected a healthy number of MVRC-legal samples, got {checked}"
+        );
     }
 }

@@ -51,7 +51,11 @@ impl Transaction {
 
     /// Renders the transaction in the paper's notation, e.g. `R[t0_0] W[t0_0] C`.
     pub fn render(&self) -> String {
-        self.ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" ")
+        self.ops
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -67,7 +71,12 @@ pub struct TransactionBuilder {
 impl TransactionBuilder {
     /// Starts a transaction with the given id.
     pub fn new(id: TxnId) -> Self {
-        TransactionBuilder { id, program: None, ops: Vec::new(), chunks: Vec::new() }
+        TransactionBuilder {
+            id,
+            program: None,
+            ops: Vec::new(),
+            chunks: Vec::new(),
+        }
     }
 
     /// Records the LTP name this transaction instantiates.
@@ -93,7 +102,10 @@ impl TransactionBuilder {
         let start = self.ops.len();
         self.ops.extend(ops);
         let end = self.ops.len();
-        assert!(end > start, "atomic chunks must contain at least one operation");
+        assert!(
+            end > start,
+            "atomic chunks must contain at least one operation"
+        );
         self.chunks.push((start, end - 1));
         self
     }
@@ -111,7 +123,11 @@ impl TransactionBuilder {
         reads: impl IntoIterator<Item = (TupleId, AttrSet)>,
     ) -> &mut Self {
         let mut ops = vec![Operation::predicate_read(relation, pread)];
-        ops.extend(reads.into_iter().map(|(t, attrs)| Operation::read(t, attrs)));
+        ops.extend(
+            reads
+                .into_iter()
+                .map(|(t, attrs)| Operation::read(t, attrs)),
+        );
         self.chunk(ops)
     }
 
@@ -121,7 +137,12 @@ impl TransactionBuilder {
         self.ops.push(Operation::commit());
         self.chunks.push((idx, idx));
         debug_assert!(self.ops.iter().filter(|o| o.kind == OpKind::Commit).count() == 1);
-        Transaction { id: self.id, program: self.program, ops: self.ops, chunks: self.chunks }
+        Transaction {
+            id: self.id,
+            program: self.program,
+            ops: self.ops,
+            chunks: self.chunks,
+        }
     }
 }
 
@@ -131,13 +152,20 @@ mod tests {
     use mvrc_schema::AttrId;
 
     fn tuple(rel: u16, idx: u32) -> TupleId {
-        TupleId { rel: RelId(rel), index: idx }
+        TupleId {
+            rel: RelId(rel),
+            index: idx,
+        }
     }
 
     #[test]
     fn builder_appends_commit_and_tracks_chunks() {
         let mut b = TransactionBuilder::new(TxnId(1)).program("PlaceBid[1]");
-        b.key_update(tuple(0, 0), AttrSet::singleton(AttrId(1)), AttrSet::singleton(AttrId(1)));
+        b.key_update(
+            tuple(0, 0),
+            AttrSet::singleton(AttrId(1)),
+            AttrSet::singleton(AttrId(1)),
+        );
         b.op(Operation::read(tuple(1, 0), AttrSet::singleton(AttrId(1))));
         let t = b.build();
         assert_eq!(t.id(), TxnId(1));
@@ -155,7 +183,10 @@ mod tests {
         b.predicate_selection(
             RelId(1),
             AttrSet::singleton(AttrId(1)),
-            [(tuple(1, 0), AttrSet::singleton(AttrId(1))), (tuple(1, 1), AttrSet::singleton(AttrId(1)))],
+            [
+                (tuple(1, 0), AttrSet::singleton(AttrId(1))),
+                (tuple(1, 1), AttrSet::singleton(AttrId(1))),
+            ],
         );
         let t = b.build();
         assert_eq!(t.chunks()[0], (0, 2));

@@ -55,7 +55,10 @@ impl AttrSet {
     /// Panics if `n > 64`.
     #[inline]
     pub fn all(n: usize) -> Self {
-        assert!(n <= MAX_ATTRS, "relations support at most {MAX_ATTRS} attributes");
+        assert!(
+            n <= MAX_ATTRS,
+            "relations support at most {MAX_ATTRS} attributes"
+        );
         if n == MAX_ATTRS {
             AttrSet(u64::MAX)
         } else {

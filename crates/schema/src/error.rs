@@ -53,8 +53,14 @@ impl fmt::Display for SchemaError {
             SchemaError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` is declared twice")
             }
-            SchemaError::DuplicateAttribute { relation, attribute } => {
-                write!(f, "attribute `{attribute}` is declared twice in relation `{relation}`")
+            SchemaError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "attribute `{attribute}` is declared twice in relation `{relation}`"
+                )
             }
             SchemaError::TooManyAttributes { relation, count } => {
                 write!(
@@ -66,8 +72,14 @@ impl fmt::Display for SchemaError {
             SchemaError::EmptyRelation(name) => {
                 write!(f, "relation `{name}` must declare at least one attribute")
             }
-            SchemaError::UnknownAttribute { relation, attribute } => {
-                write!(f, "relation `{relation}` has no attribute named `{attribute}`")
+            SchemaError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}` has no attribute named `{attribute}`"
+                )
             }
             SchemaError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             SchemaError::EmptyPrimaryKey(name) => {
@@ -76,7 +88,11 @@ impl fmt::Display for SchemaError {
             SchemaError::DuplicateForeignKey(name) => {
                 write!(f, "foreign key `{name}` is declared twice")
             }
-            SchemaError::ForeignKeyArityMismatch { foreign_key, dom_attrs, range_attrs } => {
+            SchemaError::ForeignKeyArityMismatch {
+                foreign_key,
+                dom_attrs,
+                range_attrs,
+            } => {
                 write!(
                     f,
                     "foreign key `{foreign_key}` maps {dom_attrs} attributes to {range_attrs} attributes"
@@ -96,7 +112,10 @@ mod tests {
     fn display_messages_mention_names() {
         let e = SchemaError::DuplicateRelation("Buyer".into());
         assert!(e.to_string().contains("Buyer"));
-        let e = SchemaError::UnknownAttribute { relation: "Bids".into(), attribute: "x".into() };
+        let e = SchemaError::UnknownAttribute {
+            relation: "Bids".into(),
+            attribute: "x".into(),
+        };
         assert!(e.to_string().contains("Bids"));
         assert!(e.to_string().contains("`x`"));
         let e = SchemaError::ForeignKeyArityMismatch {

@@ -80,7 +80,10 @@ impl ForeignKey {
     /// The correspondence between domain and range attributes, in declaration order: the i-th
     /// domain attribute references the i-th range attribute.
     pub fn attr_pairs(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
-        self.dom_attr_list.iter().copied().zip(self.range_attr_list.iter().copied())
+        self.dom_attr_list
+            .iter()
+            .copied()
+            .zip(self.range_attr_list.iter().copied())
     }
 }
 
@@ -107,7 +110,10 @@ mod tests {
         assert_eq!(fk.range(), RelId(0));
         assert_eq!(fk.dom_attrs().len(), 1);
         assert_eq!(fk.range_attrs().len(), 1);
-        assert_eq!(fk.attr_pairs().collect::<Vec<_>>(), vec![(AttrId(0), AttrId(0))]);
+        assert_eq!(
+            fk.attr_pairs().collect::<Vec<_>>(),
+            vec![(AttrId(0), AttrId(0))]
+        );
         assert_eq!(FkId(3).to_string(), "f3");
     }
 }

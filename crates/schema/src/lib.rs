@@ -32,9 +32,6 @@
 //! assert_eq!(schema.foreign_keys_from(bids).count(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod attrs;
 mod error;
 mod foreign_key;

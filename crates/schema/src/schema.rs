@@ -67,7 +67,9 @@ impl Schema {
         if let Some(&id) = self.rel_by_name.get(name) {
             return Some(self.relation(id));
         }
-        self.relations.iter().find(|r| r.name().eq_ignore_ascii_case(name))
+        self.relations
+            .iter()
+            .find(|r| r.name().eq_ignore_ascii_case(name))
     }
 
     /// Looks up a foreign key by name.
@@ -92,8 +94,11 @@ impl Schema {
 
     /// Rebuilds internal lookup indexes (needed after deserialization).
     pub fn rebuild_indexes(&mut self) {
-        self.rel_by_name =
-            self.relations.iter().map(|r| (r.name().to_string(), r.id())).collect();
+        self.rel_by_name = self
+            .relations
+            .iter()
+            .map(|r| (r.name().to_string(), r.id()))
+            .collect();
     }
 }
 
@@ -133,7 +138,10 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Starts a new schema with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        SchemaBuilder { name: name.into(), ..Default::default() }
+        SchemaBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declares a relation with its attributes and primary-key attributes.
@@ -177,10 +185,16 @@ impl SchemaBuilder {
             attributes: attr_names,
             primary_key: AttrSet::empty(),
         };
-        let pk = relation.attrs_by_names(primary_key.iter().copied()).map_err(|attribute| {
-            SchemaError::UnknownAttribute { relation: name.to_string(), attribute }
-        })?;
-        let relation = Relation { primary_key: pk, ..relation };
+        let pk = relation
+            .attrs_by_names(primary_key.iter().copied())
+            .map_err(|attribute| SchemaError::UnknownAttribute {
+                relation: name.to_string(),
+                attribute,
+            })?;
+        let relation = Relation {
+            primary_key: pk,
+            ..relation
+        };
         self.rel_by_name.insert(name.to_string(), id);
         self.relations.push(relation);
         Ok(id)
@@ -217,7 +231,11 @@ impl SchemaBuilder {
         };
         let dom_list: Vec<_> = dom_attrs
             .iter()
-            .map(|a| dom_rel.attr_by_name(a).ok_or_else(|| unknown_attr(dom_rel, a.to_string())))
+            .map(|a| {
+                dom_rel
+                    .attr_by_name(a)
+                    .ok_or_else(|| unknown_attr(dom_rel, a.to_string()))
+            })
             .collect::<Result<_, _>>()?;
         let dom_set = AttrSet::from_attrs(dom_list.iter().copied());
         let range_rel = self
@@ -227,7 +245,9 @@ impl SchemaBuilder {
         let range_list: Vec<_> = range_attrs
             .iter()
             .map(|a| {
-                range_rel.attr_by_name(a).ok_or_else(|| unknown_attr(range_rel, a.to_string()))
+                range_rel
+                    .attr_by_name(a)
+                    .ok_or_else(|| unknown_attr(range_rel, a.to_string()))
             })
             .collect::<Result<_, _>>()?;
         let range_set = AttrSet::from_attrs(range_list.iter().copied());
@@ -285,10 +305,16 @@ mod tests {
     fn auction() -> Schema {
         let mut b = SchemaBuilder::new("auction");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
-        let bids = b.relation("Bids", &["buyerId", "bid"], &["buyerId"]).unwrap();
-        let log = b.relation("Log", &["id", "buyerId", "bid"], &["id"]).unwrap();
-        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"]).unwrap();
-        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"]).unwrap();
+        let bids = b
+            .relation("Bids", &["buyerId", "bid"], &["buyerId"])
+            .unwrap();
+        let log = b
+            .relation("Log", &["id", "buyerId", "bid"], &["id"])
+            .unwrap();
+        b.foreign_key("f1", bids, &["buyerId"], buyer, &["id"])
+            .unwrap();
+        b.foreign_key("f2", log, &["buyerId"], buyer, &["id"])
+            .unwrap();
         b.build()
     }
 
@@ -306,7 +332,10 @@ mod tests {
     #[test]
     fn primary_keys_are_resolved() {
         let s = auction();
-        assert_eq!(s.relation(RelId(0)).primary_key(), AttrSet::singleton(AttrId(0)));
+        assert_eq!(
+            s.relation(RelId(0)).primary_key(),
+            AttrSet::singleton(AttrId(0))
+        );
     }
 
     #[test]
@@ -366,9 +395,13 @@ mod tests {
         let mut b = SchemaBuilder::new("s");
         b.relation("R1", &["a"], &["a"]).unwrap();
         b.relation("R2", &["x"], &["x"]).unwrap();
-        let fk = b.foreign_key_by_names("f", "R1", &["a"], "R2", &["x"]).unwrap();
+        let fk = b
+            .foreign_key_by_names("f", "R1", &["a"], "R2", &["x"])
+            .unwrap();
         assert_eq!(fk, FkId(0));
-        assert!(b.foreign_key_by_names("g", "R1", &["a"], "Nope", &["x"]).is_err());
+        assert!(b
+            .foreign_key_by_names("g", "R1", &["a"], "Nope", &["x"])
+            .is_err());
     }
 
     #[test]

@@ -24,7 +24,10 @@ fn main() {
     let programs = parse_workload(&schema, AUCTION_SQL).expect("the auction SQL parses");
     println!("-- basic transaction programs ------------------------------------------");
     for p in &programs {
-        println!("{p}   ({} foreign-key constraints)", p.fk_constraints().len());
+        println!(
+            "{p}   ({} foreign-key constraints)",
+            p.fk_constraints().len()
+        );
     }
     println!();
 

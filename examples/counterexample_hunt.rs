@@ -52,19 +52,35 @@ fn main() {
                     .graph
                     .dependencies()
                     .iter()
-                    .map(|d| format!("{}→{}{}", d.from, d.to, if d.counterflow { "*" } else { "" }))
+                    .map(|d| {
+                        format!(
+                            "{}→{}{}",
+                            d.from,
+                            d.to,
+                            if d.counterflow { "*" } else { "" }
+                        )
+                    })
                     .collect::<Vec<_>>()
                     .join(", ");
                 println!("    dependencies (counterflow marked *): {cycle_edges}");
-                assert!(!report.is_robust(), "a counterexample contradicts a robust verdict");
+                assert!(
+                    !report.is_robust(),
+                    "a counterexample contradicts a robust verdict"
+                );
             }
             None => {
-                println!("  dynamic search:  no counterexample in {} attempts", config.attempts);
+                println!(
+                    "  dynamic search:  no counterexample in {} attempts",
+                    config.attempts
+                );
                 // Sample additional schedules and confirm they were all serializable.
                 let stats = mvrc_repro::schedule::sample_serializability(
                     &workload.schema,
                     &ltps,
-                    &SearchConfig { attempts: 1_000, ..config },
+                    &SearchConfig {
+                        attempts: 1_000,
+                        ..config
+                    },
                 );
                 println!(
                     "    sampled {} MVRC schedules, {} serializable, {} rejected interleavings",
@@ -85,7 +101,11 @@ fn main() {
     if let Some(cex) = find_counterexample(
         &workload.schema,
         &wc_ltps,
-        &SearchConfig { transactions: 2, attempts: 5_000, ..SearchConfig::default() },
+        &SearchConfig {
+            transactions: 2,
+            attempts: 5_000,
+            ..SearchConfig::default()
+        },
     ) {
         println!("anatomy of the WriteCheck anomaly:");
         println!("{}", cex.describe());

@@ -22,8 +22,11 @@ use mvrc_engine::{
 use mvrc_repro::prelude::*;
 
 fn drive_smallbank(programs: &[&str], seed: u64) -> mvrc_engine::RunStats {
-    let workload = smallbank_executable(SmallBankConfig { customers: 2, initial_balance: 100 })
-        .restrict(programs);
+    let workload = smallbank_executable(SmallBankConfig {
+        customers: 2,
+        initial_balance: 100,
+    })
+    .restrict(programs);
     run_workload(
         &workload,
         DriverConfig {
@@ -45,7 +48,13 @@ fn main() {
         &["Balance", "DepositChecking"],
         &["Balance", "TransactSavings"],
         &["Balance", "WriteCheck"],
-        &["Balance", "Amalgamate", "DepositChecking", "TransactSavings", "WriteCheck"],
+        &[
+            "Balance",
+            "Amalgamate",
+            "DepositChecking",
+            "TransactSavings",
+            "WriteCheck",
+        ],
     ];
 
     println!("SmallBank under read committed (2 customers, 6 concurrent transactions)");
@@ -75,7 +84,10 @@ fn main() {
             anomalies
         );
         if robust {
-            assert_eq!(anomalies, 0, "a robust subset must never produce an anomaly");
+            assert_eq!(
+                anomalies, 0,
+                "a robust subset must never produce an anomaly"
+            );
         }
     }
 
@@ -87,7 +99,10 @@ fn main() {
     let verdict = auction_analyzer.is_robust(settings);
     let mut anomalies = 0usize;
     for seed in 0..15 {
-        let workload = auction_executable(AuctionConfig { buyers: 2, max_bid: 15 });
+        let workload = auction_executable(AuctionConfig {
+            buyers: 2,
+            max_bid: 15,
+        });
         let stats = run_workload(
             &workload,
             DriverConfig {
@@ -106,8 +121,14 @@ fn main() {
         if verdict { "robust" } else { "rejected" },
         anomalies
     );
-    assert!(verdict, "the Auction benchmark is robust against MVRC (Figure 6)");
-    assert_eq!(anomalies, 0, "a robust workload must never produce an anomaly");
+    assert!(
+        verdict,
+        "the Auction benchmark is robust against MVRC (Figure 6)"
+    );
+    assert_eq!(
+        anomalies, 0,
+        "a robust workload must never produce an anomaly"
+    );
 
     println!();
     println!(

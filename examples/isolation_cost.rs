@@ -38,19 +38,33 @@ fn print_table(title: &str, stats: &[mvrc_engine::RunStats]) {
 }
 
 fn main() {
-    let base = DriverConfig { concurrency: 8, target_commits: 400, seed: 2024, ..DriverConfig::default() };
+    let base = DriverConfig {
+        concurrency: 8,
+        target_commits: 400,
+        seed: 2024,
+        ..DriverConfig::default()
+    };
 
     // SmallBank with a hot working set: the full mix is NOT robust against MVRC, so the cheap
     // level occasionally admits anomalies — the price of the cheap level when robustness does
     // not hold.
-    let smallbank = smallbank_executable(SmallBankConfig { customers: 4, initial_balance: 1_000 });
+    let smallbank = smallbank_executable(SmallBankConfig {
+        customers: 4,
+        initial_balance: 1_000,
+    });
     let stats = compare_isolation_levels(&smallbank, &IsolationLevel::ALL, base);
-    print_table("SmallBank, full mix, 4 customers, 8 concurrent transactions", &stats);
+    print_table(
+        "SmallBank, full mix, 4 customers, 8 concurrent transactions",
+        &stats,
+    );
 
     // The robust SmallBank subset {Amalgamate, DepositChecking, TransactSavings}: read committed
     // is both the cheapest level *and* serializable — this is the deployment the paper enables.
-    let robust_subset = smallbank_executable(SmallBankConfig { customers: 4, initial_balance: 1_000 })
-        .restrict(&["Amalgamate", "DepositChecking", "TransactSavings"]);
+    let robust_subset = smallbank_executable(SmallBankConfig {
+        customers: 4,
+        initial_balance: 1_000,
+    })
+    .restrict(&["Amalgamate", "DepositChecking", "TransactSavings"]);
     let stats = compare_isolation_levels(&robust_subset, &IsolationLevel::ALL, base);
     print_table(
         "SmallBank, robust subset {Amalgamate, DepositChecking, TransactSavings}",
@@ -62,10 +76,19 @@ fn main() {
     );
 
     // Auction: robust as a whole (the headline result of the running example).
-    let auction = auction_executable(AuctionConfig { buyers: 4, max_bid: 100 });
+    let auction = auction_executable(AuctionConfig {
+        buyers: 4,
+        max_bid: 100,
+    });
     let stats = compare_isolation_levels(&auction, &IsolationLevel::ALL, base);
-    print_table("Auction {FindBids, PlaceBid}, 4 buyers, 8 concurrent transactions", &stats);
-    assert!(stats[0].is_serializable(), "Auction is robust: MVRC executions are serializable");
+    print_table(
+        "Auction {FindBids, PlaceBid}, 4 buyers, 8 concurrent transactions",
+        &stats,
+    );
+    assert!(
+        stats[0].is_serializable(),
+        "Auction is robust: MVRC executions are serializable"
+    );
 
     println!(
         "Reading the tables: the serializable level aborts (and therefore re-executes) far more\n\

@@ -17,7 +17,13 @@ fn main() {
         .relation("Orders", &["id", "customerId", "total"], &["id"])
         .expect("valid relation");
     builder
-        .foreign_key("fk_orders_customer", orders, &["customerId"], customers, &["id"])
+        .foreign_key(
+            "fk_orders_customer",
+            orders,
+            &["customerId"],
+            customers,
+            &["id"],
+        )
         .expect("valid foreign key");
     let schema = builder.build();
 
@@ -27,14 +33,19 @@ fn main() {
     let charge = place_order
         .key_update("charge", "Customers", &["balance"], &["balance"])
         .expect("valid statement");
-    let record = place_order.insert("record", "Orders").expect("valid statement");
+    let record = place_order
+        .insert("record", "Orders")
+        .expect("valid statement");
     place_order.seq(&[charge.into(), record.into()]);
-    place_order.fk_constraint("fk_orders_customer", record, charge).expect("valid constraint");
+    place_order
+        .fk_constraint("fk_orders_customer", record, charge)
+        .expect("valid constraint");
     let place_order = place_order.build();
 
     let mut report = ProgramBuilder::new(&schema, "CustomerReport");
-    let read_customer =
-        report.key_select("read_customer", "Customers", &["name", "balance"]).expect("valid statement");
+    let read_customer = report
+        .key_select("read_customer", "Customers", &["name", "balance"])
+        .expect("valid statement");
     let scan_orders = report
         .pred_select("scan_orders", "Orders", &["customerId"], &["total"])
         .expect("valid statement");

@@ -37,14 +37,22 @@ PROGRAM CancelBooking(:booking, :seat) {
 
 fn main() {
     let mut builder = SchemaBuilder::new("booking");
-    let shows = builder.relation("Shows", &["id", "views"], &["id"]).expect("valid relation");
+    let shows = builder
+        .relation("Shows", &["id", "views"], &["id"])
+        .expect("valid relation");
     let seats = builder
-        .relation("Seats", &["seatNo", "showId", "price", "booked"], &["seatNo"])
+        .relation(
+            "Seats",
+            &["seatNo", "showId", "price", "booked"],
+            &["seatNo"],
+        )
         .expect("valid relation");
     let bookings = builder
         .relation("Bookings", &["id", "seatNo", "customer"], &["id"])
         .expect("valid relation");
-    builder.foreign_key("fk_seat_show", seats, &["showId"], shows, &["id"]).expect("valid fk");
+    builder
+        .foreign_key("fk_seat_show", seats, &["showId"], shows, &["id"])
+        .expect("valid fk");
     builder
         .foreign_key("fk_booking_seat", bookings, &["seatNo"], seats, &["seatNo"])
         .expect("valid fk");
@@ -60,9 +68,15 @@ fn main() {
                 statement.name(),
                 statement.kind().label(),
                 schema.relation(statement.rel()).name(),
-                statement.pread_set().map(|s| schema.relation(statement.rel()).render_attrs(s)),
-                statement.read_set().map(|s| schema.relation(statement.rel()).render_attrs(s)),
-                statement.write_set().map(|s| schema.relation(statement.rel()).render_attrs(s)),
+                statement
+                    .pread_set()
+                    .map(|s| schema.relation(statement.rel()).render_attrs(s)),
+                statement
+                    .read_set()
+                    .map(|s| schema.relation(statement.rel()).render_attrs(s)),
+                statement
+                    .write_set()
+                    .map(|s| schema.relation(statement.rel()).render_attrs(s)),
             );
         }
     }
@@ -81,6 +95,9 @@ fn main() {
         exploration.render_maximal(|name| name.to_string())
     );
     for subset in &exploration.robust {
-        println!("  robust: {}", exploration.render_subset(subset, |n| n.to_string()));
+        println!(
+            "  robust: {}",
+            exploration.render_subset(subset, |n| n.to_string())
+        );
     }
 }

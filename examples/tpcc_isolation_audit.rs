@@ -13,7 +13,11 @@ fn main() {
     let workload = tpcc();
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
 
-    println!("TPC-C: {} programs, {} unfolded LTPs", workload.program_count(), analyzer.ltps().len());
+    println!(
+        "TPC-C: {} programs, {} unfolded LTPs",
+        workload.program_count(),
+        analyzer.ltps().len()
+    );
     for ltp in analyzer.ltps() {
         println!("  {}", ltp.name());
     }
@@ -55,9 +59,10 @@ fn main() {
         AnalysisSettings::paper_default(),
     );
     println!("{{OrderStatus, Payment, StockLevel}}: {}", safe.outcome);
-    let unsafe_mix = analyzer.analyze_programs(
-        &["NewOrder", "Delivery"],
-        AnalysisSettings::paper_default(),
+    let unsafe_mix =
+        analyzer.analyze_programs(&["NewOrder", "Delivery"], AnalysisSettings::paper_default());
+    println!(
+        "{{NewOrder, Delivery}}:               {}",
+        unsafe_mix.outcome
     );
-    println!("{{NewOrder, Delivery}}:               {}", unsafe_mix.outcome);
 }

@@ -26,9 +26,6 @@
 //! assert!(report.is_robust());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use mvrc_benchmarks as benchmarks;
 pub use mvrc_btp as btp;
 pub use mvrc_robustness as robustness;
@@ -41,8 +38,8 @@ pub mod prelude {
     pub use mvrc_btp::sql::{parse_catalog, parse_workload, parse_workload_file};
     pub use mvrc_btp::{unfold_set_le2, LinearProgram, Program, ProgramBuilder, StatementKind};
     pub use mvrc_robustness::{
-        explore_subsets, AnalysisReport, AnalysisSettings, CycleCondition, Granularity,
-        RobustnessAnalyzer, SummaryGraph,
+        explore_subsets, explore_subsets_naive, AnalysisReport, AnalysisSettings, CycleCondition,
+        Granularity, InducedView, RobustnessAnalyzer, SummaryGraph, SummaryGraphView,
     };
     pub use mvrc_schedule::{find_counterexample, SearchConfig};
     pub use mvrc_schema::{Schema, SchemaBuilder};

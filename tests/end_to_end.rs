@@ -20,7 +20,10 @@ fn auction_static_verdict_is_confirmed_by_random_mvrc_schedules() {
         ..SearchConfig::default()
     };
     let stats = sample_serializability(&workload.schema, analyzer.ltps(), &config);
-    assert!(stats.mvrc_schedules > 200, "sampling should produce plenty of MVRC-legal schedules");
+    assert!(
+        stats.mvrc_schedules > 200,
+        "sampling should produce plenty of MVRC-legal schedules"
+    );
     assert_eq!(
         stats.serializable, stats.mvrc_schedules,
         "a robust workload must never produce a non-serializable MVRC schedule"
@@ -32,7 +35,9 @@ fn smallbank_robust_subset_produces_only_serializable_schedules() {
     let workload = smallbank();
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
     let subset = ["Amalgamate", "DepositChecking", "TransactSavings"];
-    assert!(analyzer.analyze_programs(&subset, AnalysisSettings::paper_default()).is_robust());
+    assert!(analyzer
+        .analyze_programs(&subset, AnalysisSettings::paper_default())
+        .is_robust());
 
     let ltps: Vec<LinearProgram> = analyzer
         .ltps()
@@ -40,7 +45,11 @@ fn smallbank_robust_subset_produces_only_serializable_schedules() {
         .filter(|l| subset.contains(&l.program_name()))
         .cloned()
         .collect();
-    let config = SearchConfig { transactions: 3, attempts: 1_500, ..SearchConfig::default() };
+    let config = SearchConfig {
+        transactions: 3,
+        attempts: 1_500,
+        ..SearchConfig::default()
+    };
     assert!(find_counterexample(&workload.schema, &ltps, &config).is_none());
 }
 
@@ -50,23 +59,35 @@ fn smallbank_rejected_subsets_have_real_anomalies() {
     // admits a concrete non-serializable MVRC schedule. Spot-check three rejected subsets.
     let workload = smallbank();
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    let rejected_subsets: [&[&str]; 3] =
-        [&["WriteCheck"], &["Amalgamate", "Balance"], &["DepositChecking", "WriteCheck"]];
+    let rejected_subsets: [&[&str]; 3] = [
+        &["WriteCheck"],
+        &["Amalgamate", "Balance"],
+        &["DepositChecking", "WriteCheck"],
+    ];
     for subset in rejected_subsets {
         let report = analyzer.analyze_programs(subset, AnalysisSettings::paper_default());
-        assert!(!report.is_robust(), "{subset:?} should be rejected by Algorithm 2");
+        assert!(
+            !report.is_robust(),
+            "{subset:?} should be rejected by Algorithm 2"
+        );
         let ltps: Vec<LinearProgram> = analyzer
             .ltps()
             .iter()
             .filter(|l| subset.contains(&l.program_name()))
             .cloned()
             .collect();
-        let config = SearchConfig { transactions: 3, attempts: 6_000, ..SearchConfig::default() };
+        let config = SearchConfig {
+            transactions: 3,
+            attempts: 6_000,
+            ..SearchConfig::default()
+        };
         let cex = find_counterexample(&workload.schema, &ltps, &config)
             .unwrap_or_else(|| panic!("no concrete anomaly found for {subset:?}"));
         assert!(!cex.graph.is_conflict_serializable());
         // The counterexample is itself a valid MVRC schedule, so the structural theory holds.
-        assert!(mvrc_repro::schedule::mvrc_theory::counterflow_only_on_antidependencies(&cex.graph));
+        assert!(
+            mvrc_repro::schedule::mvrc_theory::counterflow_only_on_antidependencies(&cex.graph)
+        );
         assert!(mvrc_repro::schedule::mvrc_theory::non_counterflow_subgraph_is_acyclic(&cex.graph));
     }
 }
@@ -76,7 +97,9 @@ fn tpcc_payment_only_deployment_is_safe_and_serializable_in_sampling() {
     let workload = tpcc();
     let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
     let subset = ["OrderStatus", "Payment", "StockLevel"];
-    assert!(analyzer.analyze_programs(&subset, AnalysisSettings::paper_default()).is_robust());
+    assert!(analyzer
+        .analyze_programs(&subset, AnalysisSettings::paper_default())
+        .is_robust());
 
     let ltps: Vec<LinearProgram> = analyzer
         .ltps()
@@ -109,7 +132,12 @@ fn sql_frontend_and_builder_agree_end_to_end() {
         for settings in AnalysisSettings::evaluation_grid(condition) {
             let e1 = explore_subsets(&a1, settings);
             let e2 = explore_subsets(&a2, settings);
-            assert_eq!(e1.robust.len(), e2.robust.len(), "setting {}", settings.label());
+            assert_eq!(
+                e1.robust.len(),
+                e2.robust.len(),
+                "setting {}",
+                settings.label()
+            );
             assert_eq!(e1.maximal, e2.maximal, "setting {}", settings.label());
         }
     }
@@ -134,7 +162,8 @@ fn every_benchmark_schedule_sample_satisfies_the_mvrc_theory() {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut checked = 0;
         for _ in 0..config.attempts {
-            if let Some(schedule) = random_mvrc_schedule(&workload.schema, &ltps, &config, &mut rng) {
+            if let Some(schedule) = random_mvrc_schedule(&workload.schema, &ltps, &config, &mut rng)
+            {
                 let graph = SerializationGraph::of(&schedule);
                 assert!(mvrc_theory::counterflow_only_on_antidependencies(&graph));
                 assert!(mvrc_theory::non_counterflow_subgraph_is_acyclic(&graph));
@@ -142,6 +171,10 @@ fn every_benchmark_schedule_sample_satisfies_the_mvrc_theory() {
                 checked += 1;
             }
         }
-        assert!(checked > 20, "{}: too few MVRC-legal samples ({checked})", workload.name);
+        assert!(
+            checked > 20,
+            "{}: too few MVRC-legal samples ({checked})",
+            workload.name
+        );
     }
 }

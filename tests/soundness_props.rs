@@ -20,15 +20,15 @@ use proptest::prelude::*;
 
 fn synthetic_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
     (
-        1usize..=3,     // relations
-        2usize..=5,     // attributes per relation
-        1usize..=4,     // programs
-        1usize..=4,     // statements per program
-        0.0f64..=1.0,   // predicate probability
-        0.0f64..=1.0,   // write probability
-        0.0f64..=0.6,   // loop probability
-        0.0f64..=0.6,   // optional probability
-        any::<u64>(),   // seed
+        1usize..=3,   // relations
+        2usize..=5,   // attributes per relation
+        1usize..=4,   // programs
+        1usize..=4,   // statements per program
+        0.0f64..=1.0, // predicate probability
+        0.0f64..=1.0, // write probability
+        0.0f64..=0.6, // loop probability
+        0.0f64..=0.6, // optional probability
+        any::<u64>(), // seed
     )
         .prop_map(
             |(relations, attrs, programs, statements, pred_p, write_p, loop_p, opt_p, seed)| {

@@ -1,0 +1,101 @@
+//! Test-runner plumbing: configuration, per-case RNG and the case-level error type.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented in the stub.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a rejection (treated like a failure in the stub).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-case random source (splitmix64 over a hash of test name and case index).
+///
+/// Default runs are fully reproducible; set `PROPTEST_SEED=<u64>` to mix a run-level seed into
+/// every case and explore inputs beyond the frozen default set (e.g. a nightly CI job).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+/// Run-level seed from `PROPTEST_SEED`, or 0 when unset/invalid (the reproducible default).
+fn run_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+impl TestRng {
+    /// Derives the RNG for one case of one property.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test path, mixed with the case index and the run-level seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ run_seed();
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A float in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `0..bound` (`bound > 0`).
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_index bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `rand` crate (0.8-style API surface).
+//!
+//! Provides the subset the workspace uses: [`Rng::gen_range`] over integer and float ranges,
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom`] (`shuffle`/`choose`). The generator is a splitmix64 stream — not
+//! cryptographic, but deterministic, well-distributed and dependency-free.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level random source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type (only the primitives the workspace
+    /// needs).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps a random `u64` to the unit interval `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: a splitmix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6a09_e667_f3bc_c909,
+            }
+        }
+    }
+}
+
+/// Types samplable from the `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Ranges a value can be sampled from.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        start + unit_f64(rng.next_u64()) * (end - start)
+    }
+}
+
+/// Random operations on slices.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// `shuffle` and `choose` for slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Picks a uniformly random element, or `None` when empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}

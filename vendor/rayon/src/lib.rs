@@ -1,0 +1,219 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small rayon-shaped surface the workspace uses — `into_par_iter()` /
+//! `par_iter()` followed by `map` / `filter` / `filter_map` / `collect` / `sum` / `count` —
+//! with honest data parallelism on top of [`std::thread::scope`]. Unlike real rayon the
+//! adaptors are *eager*: each combinator runs one parallel pass over contiguous chunks (one per
+//! available core) and materializes its output in order. For the fan-out-over-independent-items
+//! workloads in this repository that is an excellent approximation of rayon's behaviour without
+//! any work-stealing machinery.
+
+use std::num::NonZeroUsize;
+
+/// Everything needed to call the parallel-iterator methods.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel passes.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items`, in parallel over contiguous chunks, preserving order.
+fn par_apply<I: Send, O: Send>(items: Vec<I>, f: impl Fn(I) -> O + Sync) -> Vec<O> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::new();
+    let mut rest = items;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    let f = &f;
+    let mut results: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager parallel iterator holding its (already materialized) items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// The parallel-iterator combinators.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes the iterator, returning its items in order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> ParIter<O> {
+        ParIter {
+            items: par_apply(self.into_items(), f),
+        }
+    }
+
+    /// Parallel filter.
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, f: F) -> ParIter<Self::Item> {
+        let kept = par_apply(
+            self.into_items(),
+            |item| if f(&item) { Some(item) } else { None },
+        );
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter-map.
+    fn filter_map<O: Send, F: Fn(Self::Item) -> Option<O> + Sync>(self, f: F) -> ParIter<O> {
+        let kept = par_apply(self.into_items(), f);
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects into any container buildable from an ordered iterator.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.into_items().len()
+    }
+
+    /// Parallel fold-to-sum.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_items().into_iter().sum()
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        par_apply(self.into_items(), f);
+    }
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+
+    fn into_items(self) -> Vec<I> {
+        self.items
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    type Iter = ParIter<u64>;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send + 'a;
+
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let doubled: Vec<usize> = (0usize..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let odds: Vec<usize> = (0usize..100)
+            .into_par_iter()
+            .filter_map(|i| (i % 2 == 1).then_some(i))
+            .collect();
+        assert_eq!(odds, (0..100).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slices() {
+        let items = vec![1u64, 2, 3, 4];
+        let total: u64 = items.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 10);
+    }
+}

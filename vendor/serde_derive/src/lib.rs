@@ -1,0 +1,328 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` generates an `impl serde::Serialize` that converts the type into the
+//! stub's JSON `Value` model, following serde's default conventions: structs become objects,
+//! newtype structs serialize their inner value, enums are externally tagged. `#[serde(skip)]`
+//! on a field is honoured. `#[derive(Deserialize)]` is accepted but emits nothing — the
+//! workspace never deserializes typed data, only `serde_json::Value`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline); it supports the non-generic structs and enums used in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Accepts `#[derive(Deserialize)]` (and its `#[serde(...)]` attributes) without generating
+/// code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = expect_ident(&tokens, i + 1);
+                assert_no_generics(&tokens, i + 2, &name);
+                return match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Item::Struct {
+                            name,
+                            fields: Fields::Named(parse_named_fields(g.stream())),
+                        }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Item::Struct {
+                            name,
+                            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                        }
+                    }
+                    _ => Item::Struct {
+                        name,
+                        fields: Fields::Unit,
+                    },
+                };
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                let name = expect_ident(&tokens, i + 1);
+                assert_no_generics(&tokens, i + 2, &name);
+                let TokenTree::Group(g) = &tokens[i + 2] else {
+                    panic!("expected enum body for `{name}`");
+                };
+                return Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                };
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: usize) -> String {
+    match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected an identifier, found `{other}`"),
+    }
+}
+
+fn assert_no_generics(tokens: &[TokenTree], i: usize, name: &str) {
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Does an attribute token pair (`#`, `[serde(...)]`) at `i` mark a skipped field?
+fn attr_is_serde_skip(tokens: &[TokenTree], i: usize) -> bool {
+    let Some(TokenTree::Group(attr)) = tokens.get(i + 1) else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            skip |= attr_is_serde_skip(&tokens, i);
+            i += 2;
+        }
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, i);
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found `{other}`"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    count + usize::from(saw_tokens)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, i);
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn object_from_named(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();",
+    );
+    for field in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), ::serde::Serialize::to_value({access_prefix}{name})));",
+            name = field.name,
+        ));
+    }
+    out.push_str("::serde::Value::Object(__fields) }");
+    out
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => object_from_named(fields, "&self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                }
+                Fields::Unit => {
+                    format!("::serde::Value::String(::std::string::String::from(\"{name}\"))")
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binders}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                            binders = binders.join(","),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| if f.skip { format!("{}: _", f.name) } else { f.name.clone() })
+                            .collect();
+                        let inner = object_from_named(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                            binders = binders.join(","),
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
