@@ -4,21 +4,25 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvrc_benchmarks::tpcc;
 use mvrc_robustness::{
-    is_robust, AnalysisSettings, CycleCondition, Granularity, RobustnessAnalyzer,
+    is_robust_view, AnalysisSettings, CycleCondition, Granularity, RobustnessSession,
 };
 
 fn bench_settings_grid(c: &mut Criterion) {
-    let workload = tpcc();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(tpcc());
     let mut group = c.benchmark_group("ablation_settings_tpcc");
     for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
         group.bench_with_input(
             BenchmarkId::from_parameter(settings.label()),
             &settings,
             |b, &settings| {
+                // A cold cache per iteration measures graph construction + cycle test.
                 b.iter(|| {
-                    let graph = analyzer.summary_graph(settings);
-                    is_robust(&graph, settings.condition)
+                    let graph = mvrc_robustness::SummaryGraph::construct(
+                        session.ltps(),
+                        session.schema(),
+                        settings,
+                    );
+                    is_robust_view(&graph, settings.condition)
                 })
             },
         );
@@ -32,15 +36,13 @@ fn bench_unfold_depth(c: &mut Criterion) {
     for depth in [2usize, 3, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
             b.iter(|| {
-                let analyzer = RobustnessAnalyzer::with_unfold_options(
-                    &workload.schema,
-                    &workload.programs,
+                let session = RobustnessSession::new(workload.clone().with_unfold_options(
                     mvrc_btp::UnfoldOptions {
                         max_loop_iterations: depth,
                         deduplicate: true,
                     },
-                );
-                analyzer.is_robust(AnalysisSettings::paper_default())
+                ));
+                session.is_robust(AnalysisSettings::paper_default())
             })
         });
     }
@@ -48,8 +50,7 @@ fn bench_unfold_depth(c: &mut Criterion) {
 }
 
 fn bench_granularity(c: &mut Criterion) {
-    let workload = tpcc();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(tpcc());
     let mut group = c.benchmark_group("ablation_granularity_graph_tpcc");
     for granularity in [Granularity::Attribute, Granularity::Tuple] {
         let settings = AnalysisSettings {
@@ -60,7 +61,16 @@ fn bench_granularity(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{granularity}")),
             &settings,
-            |b, &settings| b.iter(|| analyzer.summary_graph(settings).edge_count()),
+            |b, &settings| {
+                b.iter(|| {
+                    mvrc_robustness::SummaryGraph::construct(
+                        session.ltps(),
+                        session.schema(),
+                        settings,
+                    )
+                    .edge_count()
+                })
+            },
         );
     }
     group.finish();

@@ -3,33 +3,31 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvrc_benchmarks::{auction, auction_n, smallbank, tpcc, Workload};
-use mvrc_btp::unfold_set_le2;
 use mvrc_robustness::{
     find_type1_violation, find_type2_violation, find_type2_violation_naive, AnalysisSettings,
-    SummaryGraph,
+    RobustnessSession, SummaryGraph,
 };
+use std::sync::Arc;
 
-fn graph_for(workload: &Workload) -> SummaryGraph {
-    let ltps = unfold_set_le2(&workload.programs);
-    SummaryGraph::construct(&ltps, &workload.schema, AnalysisSettings::paper_default())
+fn graph_for(workload: Workload) -> Arc<SummaryGraph> {
+    RobustnessSession::new(workload).graph(AnalysisSettings::paper_default())
 }
 
 fn bench_cycle_tests(c: &mut Criterion) {
     let workloads = vec![smallbank(), tpcc(), auction(), auction_n(10)];
     let mut group = c.benchmark_group("cycle_tests");
-    for workload in &workloads {
+    for workload in workloads {
+        let name = workload.name.clone();
         let graph = graph_for(workload);
         group.bench_with_input(
-            BenchmarkId::new("type2_optimized", &workload.name),
+            BenchmarkId::new("type2_optimized", &name),
             &graph,
             |b, g| b.iter(|| find_type2_violation(g)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("type2_naive", &workload.name),
-            &graph,
-            |b, g| b.iter(|| find_type2_violation_naive(g)),
-        );
-        group.bench_with_input(BenchmarkId::new("type1", &workload.name), &graph, |b, g| {
+        group.bench_with_input(BenchmarkId::new("type2_naive", &name), &graph, |b, g| {
+            b.iter(|| find_type2_violation_naive(g))
+        });
+        group.bench_with_input(BenchmarkId::new("type1", &name), &graph, |b, g| {
             b.iter(|| find_type1_violation(g))
         });
     }

@@ -1,33 +1,40 @@
 //! Criterion bench: the maximal-robust-subset exploration (Section 7.2, Figures 6/7).
 //!
-//! Compares the shared-graph exploration (one Algorithm 1 run + parallel induced-subgraph
-//! views) against the retained naive baseline (one full summary-graph reconstruction per
-//! subset, serial) on every paper benchmark. The `shared` numbers should beat `naive` by a
-//! widening margin as the workload's LTP count grows (TPC-C is the largest).
+//! Compares three paths on every paper benchmark: the closure-pruned session sweep (the
+//! default — one cached Algorithm 1 run, induced views, Proposition 5.2 pruning), the
+//! exhaustive shared-graph sweep (every mask tested on an induced view) and the retained naive
+//! baseline (one full summary-graph reconstruction per subset, serial). `pruned` should at
+//! least match `shared`, and both should beat `naive` by a widening margin as the workload's
+//! LTP count grows (TPC-C is the largest).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvrc_benchmarks::{auction, smallbank, tpcc};
 use mvrc_robustness::{
-    explore_subsets, explore_subsets_naive, AnalysisSettings, RobustnessAnalyzer,
+    explore_subsets, explore_subsets_naive, explore_subsets_with, AnalysisSettings, ExploreOptions,
+    RobustnessSession,
 };
 
 fn bench_subset_exploration(c: &mut Criterion) {
     let mut group = c.benchmark_group("subset_exploration");
     group.sample_size(10);
+    let exhaustive = ExploreOptions {
+        closure_pruning: false,
+        ..ExploreOptions::default()
+    };
     for workload in [smallbank(), tpcc(), auction()] {
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-        group.bench_with_input(
-            BenchmarkId::new("shared", &workload.name),
-            &analyzer,
-            |b, analyzer| b.iter(|| explore_subsets(analyzer, AnalysisSettings::paper_default())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive", &workload.name),
-            &analyzer,
-            |b, analyzer| {
-                b.iter(|| explore_subsets_naive(analyzer, AnalysisSettings::paper_default()))
-            },
-        );
+        let name = workload.name.clone();
+        let session = RobustnessSession::new(workload);
+        // Warm the graph cache so every variant measures the sweep, not Algorithm 1.
+        session.graph(AnalysisSettings::paper_default());
+        group.bench_with_input(BenchmarkId::new("pruned", &name), &session, |b, session| {
+            b.iter(|| explore_subsets(session, AnalysisSettings::paper_default()))
+        });
+        group.bench_with_input(BenchmarkId::new("shared", &name), &session, |b, session| {
+            b.iter(|| explore_subsets_with(session, AnalysisSettings::paper_default(), exhaustive))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &name), &session, |b, session| {
+            b.iter(|| explore_subsets_naive(session, AnalysisSettings::paper_default()))
+        });
     }
     group.finish();
 }

@@ -9,6 +9,8 @@
 //! repro graphs                 Figures 11/18: DOT summary graphs for SmallBank and TPC-C
 //! repro smallbank-ground-truth Section 7.2: confirm non-robust SmallBank subsets with concrete
 //!                              MVRC counterexample schedules
+//! repro bench-subsets [--out P] median subset-exploration times (naive vs shared vs pruned),
+//!                              written to BENCH_subsets.json (or P)
 //! repro all                    everything above (figure8 capped at n = 50)
 //! ```
 //!
@@ -17,11 +19,13 @@
 
 use mvrc_bench::{figure6, figure7, figure8, table2};
 use mvrc_benchmarks::{auction, smallbank, tpcc};
-use mvrc_btp::unfold_set_le2;
 use mvrc_robustness::{
-    explore_subsets, to_dot, AnalysisSettings, DotOptions, RobustnessAnalyzer, SummaryGraph,
+    explore_subsets, explore_subsets_naive, explore_subsets_with, to_dot, AnalysisSettings,
+    DotOptions, ExploreOptions, RobustnessSession,
 };
 use mvrc_schedule::{find_counterexample, SearchConfig};
+use serde::Serialize;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +37,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(50);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_subsets.json".to_string());
 
     match command {
         "table2" => print_table2(json),
@@ -42,6 +52,7 @@ fn main() {
         "figure4" => print_figure4(),
         "graphs" => print_graphs(),
         "smallbank-ground-truth" => smallbank_ground_truth(),
+        "bench-subsets" => bench_subsets(&out_path),
         "all" => {
             print_table2(json);
             print_figure6(json);
@@ -49,10 +60,11 @@ fn main() {
             print_figure8(max_n, json);
             print_figure4();
             smallbank_ground_truth();
+            bench_subsets(&out_path);
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|all] [--max N] [--json]");
+            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|all] [--max N] [--json] [--out PATH]");
             std::process::exit(2);
         }
     }
@@ -137,21 +149,19 @@ fn print_figure8(max_n: usize, json: bool) {
 }
 
 fn print_figure4() {
-    let workload = auction();
-    let ltps = unfold_set_le2(&workload.programs);
-    let graph = SummaryGraph::construct(&ltps, &workload.schema, AnalysisSettings::paper_default());
+    let session = RobustnessSession::new(auction());
+    let graph = session.graph(AnalysisSettings::paper_default());
     println!("== Figure 4: summary graph of the Auction running example (DOT) ==");
     println!("{}", to_dot(&graph, DotOptions::default()));
 }
 
 fn print_graphs() {
     for workload in [smallbank(), tpcc()] {
-        let ltps = unfold_set_le2(&workload.programs);
-        let graph =
-            SummaryGraph::construct(&ltps, &workload.schema, AnalysisSettings::paper_default());
+        let session = RobustnessSession::new(workload);
+        let graph = session.graph(AnalysisSettings::paper_default());
         println!(
             "== Summary graph for {} (DOT, Figure 11/18 style) ==",
-            workload.name
+            session.workload().name
         );
         println!(
             "{}",
@@ -166,13 +176,97 @@ fn print_graphs() {
     }
 }
 
+/// One row of `BENCH_subsets.json`: median wall-clock time of the three subset-exploration
+/// paths on one benchmark, plus the cycle-test savings of the closure pruning.
+#[derive(Debug, Clone, Serialize)]
+struct SubsetBenchRow {
+    benchmark: String,
+    programs: usize,
+    subsets: usize,
+    /// Median time of the naive per-subset reconstruction, in microseconds.
+    naive_us: f64,
+    /// Median time of the shared-graph exhaustive sweep, in microseconds.
+    shared_us: f64,
+    /// Median time of the closure-pruned sweep, in microseconds.
+    pruned_us: f64,
+    /// Cycle tests actually run by the pruned sweep (the other paths run `subsets` tests).
+    cycle_tests: usize,
+    /// Subsets decided by downward-closure pruning alone.
+    pruned_subsets: usize,
+}
+
+/// Median wall-clock time of `f` over `runs` executions, in microseconds.
+fn median_us(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    samples[samples.len() / 2]
+}
+
+fn bench_subsets(out_path: &str) {
+    const RUNS: usize = 11;
+    let settings = AnalysisSettings::paper_default();
+    let exhaustive = ExploreOptions {
+        closure_pruning: false,
+        ..ExploreOptions::default()
+    };
+    let rows: Vec<SubsetBenchRow> = [smallbank(), tpcc(), auction()]
+        .into_iter()
+        .map(|workload| {
+            let session = RobustnessSession::new(workload);
+            let pruned = explore_subsets(&session, settings);
+            // Warm the cache outside the timings so all three variants amortize the same
+            // (single) graph construction and measure only the sweep itself.
+            let naive_us = median_us(RUNS, || {
+                explore_subsets_naive(&session, settings);
+            });
+            let shared_us = median_us(RUNS, || {
+                explore_subsets_with(&session, settings, exhaustive);
+            });
+            let pruned_us = median_us(RUNS, || {
+                explore_subsets(&session, settings);
+            });
+            let programs = session.program_names().len();
+            SubsetBenchRow {
+                benchmark: session.workload().name.clone(),
+                programs,
+                subsets: (1 << programs) - 1,
+                naive_us,
+                shared_us,
+                pruned_us,
+                cycle_tests: pruned.cycle_tests,
+                pruned_subsets: pruned.pruned,
+            }
+        })
+        .collect();
+
+    println!("== Subset exploration medians ({RUNS} runs): naive vs shared vs closure-pruned ==");
+    for row in &rows {
+        println!(
+            "  {:<10} naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  ({} of {} cycle tests run)",
+            row.benchmark, row.naive_us, row.shared_us, row.pruned_us, row.cycle_tests, row.subsets
+        );
+    }
+    let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    match std::fs::write(out_path, &payload) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+    println!();
+}
+
 fn smallbank_ground_truth() {
     println!(
         "== Section 7.2: SmallBank ground truth (counterexample search for rejected subsets) =="
     );
     let workload = smallbank();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    let exploration = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+    let session = RobustnessSession::new(workload.clone());
+    let exploration = explore_subsets(&session, AnalysisSettings::paper_default());
     let names = exploration.programs.clone();
     // Check every subset of up to three programs that Algorithm 2 rejects: a concrete
     // non-serializable MVRC schedule should exist (the algorithm is exact on SmallBank, per the
@@ -186,7 +280,7 @@ fn smallbank_ground_truth() {
         }
         rejected += 1;
         let subset_names: Vec<&str> = subset.iter().map(|&i| names[i].as_str()).collect();
-        let ltps: Vec<_> = analyzer
+        let ltps: Vec<_> = session
             .ltps()
             .iter()
             .filter(|l| subset_names.contains(&l.program_name()))

@@ -1,7 +1,7 @@
 //! Figures 6, 7 and 8 — robust subsets per setting and the Auction(n) scalability sweep.
 
 use mvrc_benchmarks::{auction, auction_n, smallbank, tpcc, Workload};
-use mvrc_robustness::{explore_subsets, AnalysisSettings, CycleCondition, RobustnessAnalyzer};
+use mvrc_robustness::{explore_subsets, AnalysisSettings, CycleCondition, RobustnessSession};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -22,9 +22,9 @@ pub struct RobustSubsetRow {
 fn robust_subset_rows(condition: CycleCondition) -> Vec<RobustSubsetRow> {
     let mut rows = Vec::new();
     for workload in [smallbank(), tpcc(), auction()] {
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let session = RobustnessSession::new(workload.clone());
         for settings in AnalysisSettings::evaluation_grid(condition) {
-            let exploration = explore_subsets(&analyzer, settings);
+            let exploration = explore_subsets(&session, settings);
             rows.push(RobustSubsetRow {
                 benchmark: workload.name.clone(),
                 setting: settings.label(),
@@ -90,9 +90,10 @@ pub fn figure8(ns: &[usize], repetitions: usize) -> Vec<Figure8Row> {
             for _ in 0..repetitions {
                 let start = Instant::now();
                 // The measured quantity is the full pipeline on the BTP workload, as in the
-                // paper: unfold, build the summary graph, run Algorithm 2.
-                let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-                let graph = analyzer.summary_graph(AnalysisSettings::paper_default());
+                // paper: unfold, build the summary graph, run Algorithm 2. A fresh session per
+                // repetition keeps the construction inside the measurement.
+                let session = RobustnessSession::new(workload.clone());
+                let graph = session.graph(AnalysisSettings::paper_default());
                 robust = mvrc_robustness::find_type2_violation(&graph).is_none();
                 durations_ms.push(start.elapsed().as_secs_f64() * 1e3);
                 nodes = graph.node_count();

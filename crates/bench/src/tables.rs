@@ -1,7 +1,7 @@
 //! Table 2 — benchmark characteristics.
 
 use mvrc_benchmarks::{auction, smallbank, tpcc, Workload};
-use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
+use mvrc_robustness::{AnalysisSettings, RobustnessSession};
 use serde::Serialize;
 
 /// One row of Table 2.
@@ -27,8 +27,8 @@ pub struct Table2Row {
 
 impl Table2Row {
     fn for_workload(workload: &Workload) -> Table2Row {
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-        let graph = analyzer.summary_graph(AnalysisSettings::paper_default());
+        let session = RobustnessSession::new(workload.clone());
+        let graph = session.graph(AnalysisSettings::paper_default());
         Table2Row {
             benchmark: workload.name.clone(),
             relations: workload.schema.relation_count(),

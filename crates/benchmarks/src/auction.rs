@@ -14,7 +14,7 @@
 //! Auction(n) replicates the `Bids` relation and both programs per item `i`, keeping `Buyer` and
 //! `Log` shared; its summary graph has `3n` nodes and `9n² + 8n` edges (`n` counterflow).
 
-use crate::workload::Workload;
+use mvrc_btp::Workload;
 use mvrc_btp::{Program, ProgramBuilder};
 use mvrc_schema::{Schema, SchemaBuilder};
 

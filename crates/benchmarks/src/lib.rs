@@ -12,20 +12,20 @@
 //! * [`synthetic`] — a reproducible random workload generator used for property-based testing
 //!   and ablations.
 //!
-//! Every workload is returned as a [`Workload`]: schema + programs + the program abbreviations
-//! used in the paper's figures.
+//! Every workload is returned as a [`Workload`] (the shared value type of [`mvrc_btp`]):
+//! schema + programs + unfolding options + the program abbreviations used in the paper's
+//! figures.
 
 mod auction;
 mod smallbank;
 mod synthetic;
 mod tpcc;
-mod workload;
 
 pub use auction::{auction, auction_n, auction_schema, AUCTION_SQL};
+pub use mvrc_btp::Workload;
 pub use smallbank::{smallbank, smallbank_schema};
 pub use synthetic::{synthetic, SyntheticConfig};
 pub use tpcc::{tpcc, tpcc_schema};
-pub use workload::Workload;
 
 /// All fixed-size benchmarks of the paper (SmallBank, TPC-C, Auction), in the order used by
 /// Table 2 and Figures 6/7.

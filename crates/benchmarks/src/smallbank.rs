@@ -8,7 +8,7 @@
 //! the earlier work `[46]` gives a complete characterization, making SmallBank the paper's
 //! ground-truth benchmark for false-negative analysis.
 
-use crate::workload::Workload;
+use mvrc_btp::Workload;
 use mvrc_btp::{Program, ProgramBuilder};
 use mvrc_schema::{Schema, SchemaBuilder};
 

@@ -6,7 +6,7 @@
 //! at tuple granularity is also attested robust at attribute granularity") and the benchmark
 //! harness uses for ablation studies.
 
-use crate::workload::Workload;
+use mvrc_btp::Workload;
 use mvrc_btp::{Program, ProgramBuilder};
 use mvrc_schema::{Schema, SchemaBuilder};
 use rand::rngs::StdRng;

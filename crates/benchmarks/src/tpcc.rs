@@ -28,7 +28,7 @@
 //! * **StockLevel** — read-only scans with no key-based statement over a referenced relation, so
 //!   no constraints.
 
-use crate::workload::Workload;
+use mvrc_btp::Workload;
 use mvrc_btp::{Program, ProgramBuilder, ProgramExpr};
 use mvrc_schema::{Schema, SchemaBuilder};
 

@@ -64,6 +64,7 @@ mod program;
 pub mod sql;
 mod statement;
 mod unfold;
+mod workload;
 
 pub use builder::ProgramBuilder;
 pub use error::BtpError;
@@ -71,6 +72,7 @@ pub use linear::{LinearFkConstraint, LinearProgram, StmtPos};
 pub use program::{FkConstraint, Program, ProgramExpr, StmtId};
 pub use statement::{Statement, StatementKind};
 pub use unfold::{unfold, unfold_le2, unfold_set, unfold_set_le2, UnfoldOptions};
+pub use workload::Workload;
 
 /// Convenience result alias for program construction.
 pub type Result<T> = std::result::Result<T, BtpError>;

@@ -163,6 +163,15 @@ impl Program {
         &self.name
     }
 
+    /// Returns a copy of the program under a different name (program names must be unique
+    /// within a workload; renaming lets a program template be instantiated several times).
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            ..self.clone()
+        }
+    }
+
     /// Number of declared statements.
     #[inline]
     pub fn statement_count(&self) -> usize {

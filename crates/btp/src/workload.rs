@@ -1,11 +1,17 @@
-//! The [`Workload`] container: a schema together with the transaction programs that operate on
-//! it, plus presentation metadata (program abbreviations as used in the paper's figures).
+//! The [`Workload`] value type: a schema together with the transaction programs that operate on
+//! it, the unfolding options used to linearize them, and presentation metadata (the program
+//! abbreviations used in the paper's figures).
+//!
+//! A `Workload` is the unit every analysis entry point consumes: the robustness session in
+//! `mvrc-robustness` is constructed from one, the benchmark crate returns its workloads as one,
+//! and the CLI/bench harnesses pass them through unchanged.
 
-use mvrc_btp::Program;
+use crate::program::Program;
+use crate::unfold::{unfold_set, UnfoldOptions};
 use mvrc_schema::Schema;
 
-/// A benchmark workload: schema, transaction programs and the abbreviations the paper uses when
-/// listing robust subsets (e.g. `NewOrder → NO`, `Payment → Pay`).
+/// A workload: schema, transaction programs (BTPs), unfolding options and the abbreviations the
+/// paper uses when listing robust subsets (e.g. `NewOrder → NO`, `Payment → Pay`).
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Workload name (e.g. `SmallBank`).
@@ -16,10 +22,12 @@ pub struct Workload {
     pub programs: Vec<Program>,
     /// `(program name, abbreviation)` pairs.
     pub abbreviations: Vec<(String, String)>,
+    /// Options used when unfolding the BTPs into LTPs (`Unfold≤2` by default).
+    pub unfold: UnfoldOptions,
 }
 
 impl Workload {
-    /// Creates a workload.
+    /// Creates a workload with the paper's default `Unfold≤2` options.
     pub fn new(
         name: impl Into<String>,
         schema: Schema,
@@ -34,7 +42,20 @@ impl Workload {
                 .iter()
                 .map(|(n, a)| (n.to_string(), a.to_string()))
                 .collect(),
+            unfold: UnfoldOptions::default(),
         }
+    }
+
+    /// Replaces the unfolding options (builder style), e.g. for the Proposition 6.1 sanity
+    /// ablation that unfolds loops more than twice.
+    pub fn with_unfold_options(mut self, options: UnfoldOptions) -> Self {
+        self.unfold = options;
+        self
+    }
+
+    /// Unfolds the workload's BTPs into LTPs using the workload's unfolding options.
+    pub fn unfolded(&self) -> Vec<crate::linear::LinearProgram> {
+        unfold_set(&self.programs, self.unfold)
     }
 
     /// Number of programs at the application level.
@@ -91,5 +112,28 @@ mod tests {
         assert!(w.program("NewOrder").is_none());
         assert_eq!(w.max_attributes_per_relation(), 2);
         assert_eq!(w.min_attributes_per_relation(), 2);
+        assert_eq!(w.unfold, UnfoldOptions::default());
+        assert!(w.unfolded().is_empty());
+    }
+
+    #[test]
+    fn unfold_options_are_carried_and_applied() {
+        let mut b = SchemaBuilder::new("s");
+        b.relation("R", &["a"], &["a"]).unwrap();
+        let schema = b.build();
+        let mut pb = crate::ProgramBuilder::new(&schema, "Loopy");
+        let q = pb.key_update("q", "R", &["a"], &["a"]).unwrap();
+        pb.looped(q.into());
+        let program = pb.build();
+        let w = Workload::new("W", schema, vec![program], &[]);
+        let le2 = w.clone().unfolded().len();
+        let le3 = w
+            .with_unfold_options(UnfoldOptions {
+                max_loop_iterations: 3,
+                deduplicate: true,
+            })
+            .unfolded()
+            .len();
+        assert!(le3 > le2, "deeper unfolding must produce more LTPs");
     }
 }

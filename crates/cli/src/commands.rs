@@ -7,7 +7,7 @@ use mvrc_btp::sql::parse_workload_file;
 use mvrc_btp::unfold_set_le2;
 use mvrc_robustness::{
     abbreviate_program_name, explore_subsets, to_dot, AnalysisSettings, DotOptions,
-    RobustnessAnalyzer,
+    RobustnessSession,
 };
 use std::fmt::Write as _;
 use std::fs;
@@ -101,30 +101,29 @@ fn analyze(
     settings: AnalysisSettings,
     format: Format,
 ) -> Result<CommandOutput, CliError> {
-    let workload = load_workload(input)?;
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    let report = analyzer.analyze(settings);
+    let session = RobustnessSession::new(load_workload(input)?);
+    let report = session.analyze(settings);
     let exit_code = if report.is_robust() { 0 } else { 1 };
 
     let text = match format {
         Format::Json => {
             let value = serde_json::json!({
-                "workload": workload.name,
-                "programs": analyzer.program_names(),
+                "workload": session.workload().name,
+                "programs": session.program_names(),
                 "report": report,
             });
             serde_json::to_string_pretty(&value).expect("report serializes")
         }
         Format::Text => {
             let mut out = String::new();
-            writeln!(out, "workload:           {}", workload.name).unwrap();
+            writeln!(out, "workload:           {}", session.workload().name).unwrap();
             writeln!(
                 out,
                 "programs:           {}",
-                analyzer.program_names().join(", ")
+                session.program_names().join(", ")
             )
             .unwrap();
-            writeln!(out, "unfolded LTPs:      {}", analyzer.ltps().len()).unwrap();
+            writeln!(out, "unfolded LTPs:      {}", session.ltps().len()).unwrap();
             writeln!(out, "{report}").unwrap();
             if report.is_robust() {
                 writeln!(
@@ -152,9 +151,9 @@ fn subsets(
     settings: AnalysisSettings,
     format: Format,
 ) -> Result<CommandOutput, CliError> {
-    let workload = load_workload(input)?;
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    let exploration = explore_subsets(&analyzer, settings);
+    let session = RobustnessSession::new(load_workload(input)?);
+    let exploration = explore_subsets(&session, settings);
+    let workload = session.workload();
 
     let text = match format {
         Format::Json => {
@@ -165,12 +164,18 @@ fn subsets(
             serde_json::to_string_pretty(&value).expect("exploration serializes")
         }
         Format::Text => {
-            let abbreviate = abbreviator(&workload);
+            let abbreviate = abbreviator(workload);
             let mut out = String::new();
             writeln!(out, "workload:        {}", workload.name).unwrap();
             writeln!(out, "setting:         {}", settings).unwrap();
             writeln!(out, "programs:        {}", exploration.programs.join(", ")).unwrap();
             writeln!(out, "robust subsets:  {}", exploration.robust.len()).unwrap();
+            writeln!(
+                out,
+                "cycle tests:     {} run, {} pruned via downward closure",
+                exploration.cycle_tests, exploration.pruned
+            )
+            .unwrap();
             writeln!(out, "maximal robust subsets:").unwrap();
             writeln!(out, "  {}", exploration.render_maximal(&abbreviate)).unwrap();
             out
@@ -184,9 +189,8 @@ fn graph(
     settings: AnalysisSettings,
     labels: bool,
 ) -> Result<CommandOutput, CliError> {
-    let workload = load_workload(input)?;
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    let graph = analyzer.summary_graph(settings);
+    let session = RobustnessSession::new(load_workload(input)?);
+    let graph = session.graph(settings);
     let dot = to_dot(
         &graph,
         DotOptions {

@@ -3,7 +3,7 @@
 //! `mvrc-benchmarks` (which are validated against Figure 6 of the paper).
 
 use mvrc_cli::{load_workload, run, Input};
-use mvrc_robustness::{explore_subsets, AnalysisSettings, CycleCondition, RobustnessAnalyzer};
+use mvrc_robustness::{explore_subsets, AnalysisSettings, CycleCondition, RobustnessSession};
 use std::collections::BTreeSet;
 
 fn args(parts: &[&str]) -> Vec<String> {
@@ -20,8 +20,8 @@ fn maximal_subsets(
     programs: &[mvrc_btp::Program],
     settings: AnalysisSettings,
 ) -> BTreeSet<BTreeSet<String>> {
-    let analyzer = RobustnessAnalyzer::new(schema, programs);
-    let exploration = explore_subsets(&analyzer, settings);
+    let session = RobustnessSession::from_programs(schema, programs);
+    let exploration = explore_subsets(&session, settings);
     exploration
         .maximal
         .iter()

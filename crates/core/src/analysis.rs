@@ -1,32 +1,40 @@
-//! High-level robustness analysis over BTP workloads.
+//! [`AnalysisReport`] and the deprecated [`RobustnessAnalyzer`] shim.
 //!
-//! [`RobustnessAnalyzer`] ties the pieces together the way Algorithm 2 of the paper does:
-//! unfold the BTPs into `Unfold≤2(𝒫)`, construct the summary graph (Algorithm 1), and test for
-//! the absence of dangerous cycles.
+//! The stateless analyzer was superseded by the stateful [`RobustnessSession`], which caches
+//! one summary graph per settings combination and answers every query through views instead of
+//! reconstructing. The shim remains only to ease migration; it delegates to an internal
+//! session.
 
 use crate::algorithm::{RobustnessOutcome, Violation};
+use crate::session::RobustnessSession;
 use crate::settings::AnalysisSettings;
 use crate::summary::{describe_edge_in, SummaryGraph, SummaryGraphView};
-use mvrc_btp::{unfold_set, LinearProgram, Program, UnfoldOptions};
+use mvrc_btp::{LinearProgram, Program, UnfoldOptions, Workload};
 use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Analyzer for a fixed workload (schema + BTPs).
+/// Deprecated stateless analyzer; use [`RobustnessSession`] instead.
 ///
-/// The BTPs are unfolded once at construction time; every [`analyze`](Self::analyze) call only
-/// re-runs graph construction and the cycle test, so sweeping over settings or subsets is cheap.
+/// Every method delegates to an internal session, so repeated queries still benefit from the
+/// graph cache — but the session API additionally offers incremental workload edits, explicit
+/// unknown-program errors and the subset-exploration entry points.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RobustnessSession` (constructed from a `Workload`) instead"
+)]
 #[derive(Debug, Clone)]
 pub struct RobustnessAnalyzer {
-    schema: Schema,
-    program_names: Vec<String>,
-    ltps: Vec<LinearProgram>,
+    session: RobustnessSession,
 }
 
+#[allow(deprecated)]
 impl RobustnessAnalyzer {
     /// Creates an analyzer for the given workload using the paper's `Unfold≤2`.
     pub fn new(schema: &Schema, programs: &[Program]) -> Self {
-        Self::with_unfold_options(schema, programs, UnfoldOptions::default())
+        RobustnessAnalyzer {
+            session: RobustnessSession::from_programs(schema, programs),
+        }
     }
 
     /// Creates an analyzer with a custom unfolding bound (for the Proposition 6.1 sanity
@@ -37,78 +45,88 @@ impl RobustnessAnalyzer {
         options: UnfoldOptions,
     ) -> Self {
         RobustnessAnalyzer {
-            schema: schema.clone(),
-            program_names: programs.iter().map(|p| p.name().to_string()).collect(),
-            ltps: unfold_set(programs, options),
+            session: RobustnessSession::new(
+                Workload::new(schema.name(), schema.clone(), programs.to_vec(), &[])
+                    .with_unfold_options(options),
+            ),
         }
     }
 
     /// Creates an analyzer directly from LTPs (skipping unfolding).
     pub fn from_ltps(schema: &Schema, ltps: Vec<LinearProgram>) -> Self {
-        let mut program_names: Vec<String> =
-            ltps.iter().map(|l| l.program_name().to_string()).collect();
-        program_names.dedup();
         RobustnessAnalyzer {
-            schema: schema.clone(),
-            program_names,
-            ltps,
+            session: RobustnessSession::from_ltps(schema, ltps),
         }
     }
 
     /// The workload's schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.session.schema()
     }
 
     /// Names of the analyzed programs (application-level BTPs).
     pub fn program_names(&self) -> &[String] {
-        &self.program_names
+        self.session.program_names()
     }
 
     /// The unfolded LTPs.
     pub fn ltps(&self) -> &[LinearProgram] {
-        &self.ltps
+        self.session.ltps()
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &RobustnessSession {
+        &self.session
     }
 
     /// Constructs the summary graph for the full workload under the given settings.
     pub fn summary_graph(&self, settings: AnalysisSettings) -> SummaryGraph {
-        SummaryGraph::construct(&self.ltps, &self.schema, settings)
+        (*self.session.graph(settings)).clone()
     }
 
     /// Constructs the summary graph restricted to the LTPs unfolded from the given programs.
+    ///
+    /// This is the one remaining per-query construction in the crate; the session answers the
+    /// same question through [`SummaryGraph::induced_for_programs`] without reconstructing.
     pub fn summary_graph_for_programs(
         &self,
         program_names: &[&str],
         settings: AnalysisSettings,
     ) -> SummaryGraph {
         let subset: Vec<LinearProgram> = self
-            .ltps
+            .session
+            .ltps()
             .iter()
             .filter(|l| program_names.contains(&l.program_name()))
             .cloned()
             .collect();
-        SummaryGraph::construct(&subset, &self.schema, settings)
+        SummaryGraph::construct(&subset, self.session.schema(), settings)
     }
 
     /// Runs the full analysis (Algorithm 1 + cycle test) under the given settings.
     pub fn analyze(&self, settings: AnalysisSettings) -> AnalysisReport {
-        let graph = self.summary_graph(settings);
-        AnalysisReport::from_graph(&graph, settings)
+        self.session.analyze(settings)
     }
 
     /// Runs the analysis for a subset of the programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a requested program name is unknown (the session API returns the error
+    /// instead).
     pub fn analyze_programs(
         &self,
         program_names: &[&str],
         settings: AnalysisSettings,
     ) -> AnalysisReport {
-        let graph = self.summary_graph_for_programs(program_names, settings);
-        AnalysisReport::from_graph(&graph, settings)
+        self.session
+            .analyze_programs(program_names, settings)
+            .unwrap_or_else(|e| panic!("analyze_programs: {e}"))
     }
 
     /// Convenience: is the complete workload attested robust under the given settings?
     pub fn is_robust(&self, settings: AnalysisSettings) -> bool {
-        self.analyze(settings).outcome.robust
+        self.session.is_robust(settings)
     }
 }
 
@@ -185,6 +203,7 @@ impl fmt::Display for AnalysisReport {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::settings::{CycleCondition, Granularity};
@@ -272,6 +291,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unknown program `Nope`")]
+    fn analyze_programs_panics_on_unknown_names() {
+        let (schema, programs) = auction();
+        let analyzer = RobustnessAnalyzer::new(&schema, &programs);
+        analyzer.analyze_programs(&["Nope"], AnalysisSettings::paper_default());
+    }
+
+    #[test]
     fn unfold_bound_does_not_change_the_verdict() {
         // Proposition 6.1 sanity check: using a larger unfolding bound must not change the
         // analysis result.
@@ -297,6 +324,7 @@ mod tests {
         let analyzer = RobustnessAnalyzer::from_ltps(&schema, ltps);
         assert_eq!(analyzer.program_names().len(), 2);
         assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
+        assert_eq!(analyzer.session().program_names().len(), 2);
     }
 
     #[test]

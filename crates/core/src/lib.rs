@@ -21,13 +21,17 @@
 //!    contains no *type-II cycle* (Theorem 6.4); [`find_type1_violation`] implements the older
 //!    type-I condition of Alomari & Fekete for comparison.
 //!
-//! The high-level entry point is [`RobustnessAnalyzer`]; [`explore_subsets`] reproduces the
-//! maximal-robust-subset experiments of Section 7.
+//! The high-level entry point is the stateful [`RobustnessSession`], opened over a
+//! [`Workload`] (schema + programs + unfold options): it builds and caches one summary graph
+//! per settings combination and answers every query — full-workload analyses, program subsets,
+//! the [`explore_subsets`] sweep of Section 7 — through cheap views of the cached graphs,
+//! updating them incrementally under workload edits. The subset sweep additionally exploits
+//! downward closure (Proposition 5.2) to skip the cycle test for subsets of known-robust sets.
 //!
 //! ```
 //! use mvrc_schema::SchemaBuilder;
-//! use mvrc_btp::sql::parse_workload;
-//! use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
+//! use mvrc_btp::{sql::parse_workload, Workload};
+//! use mvrc_robustness::{AnalysisSettings, RobustnessSession};
 //!
 //! let mut sb = SchemaBuilder::new("auction");
 //! let buyer = sb.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
@@ -52,13 +56,14 @@
 //!     }
 //! "#).unwrap();
 //!
-//! let analyzer = RobustnessAnalyzer::new(&schema, &programs);
-//! assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
+//! let session = RobustnessSession::new(Workload::new("Auction", schema, programs, &[]));
+//! assert!(session.is_robust(AnalysisSettings::paper_default()));
 //! ```
 
 mod algorithm;
 mod analysis;
 mod dot;
+mod session;
 mod settings;
 mod subsets;
 mod summary;
@@ -69,13 +74,18 @@ pub use algorithm::{
     find_type2_violation_naive, find_type2_violation_naive_in, is_robust, is_robust_view,
     RobustnessOutcome, Type1Witness, Type2Witness, Violation,
 };
-pub use analysis::{AnalysisReport, RobustnessAnalyzer};
+pub use analysis::AnalysisReport;
+#[allow(deprecated)]
+pub use analysis::RobustnessAnalyzer;
 pub use dot::{to_dot, to_dot_view, DotOptions};
+pub use mvrc_btp::Workload;
+pub use session::RobustnessSession;
 pub use settings::{AnalysisSettings, CycleCondition, Granularity};
 pub use subsets::{
-    abbreviate_program_name, explore_subsets, explore_subsets_naive, SubsetExploration,
+    abbreviate_program_name, explore_subsets, explore_subsets_naive, explore_subsets_with,
+    ExploreOptions, SubsetExploration,
 };
 pub use summary::{
     c_dep_conds, describe_edge_in, nc_dep_conds, EdgeKind, InducedView, NodeId, SummaryEdge,
-    SummaryGraph, SummaryGraphView,
+    SummaryGraph, SummaryGraphView, UnknownProgram,
 };

@@ -2,15 +2,42 @@
 //!
 //! Section 7.2 of the paper reports, for every benchmark and setting, the *maximal* subsets of
 //! transaction programs that the respective test attests robust (Figures 6 and 7). This module
-//! reproduces that exploration.
+//! reproduces that exploration on top of the [`RobustnessSession`]: one cached summary graph
+//! per settings combination, one cheap induced view per tested subset, and — by default —
+//! **downward-closure pruning** (Proposition 5.2): robustness is preserved under taking
+//! subsets, so masks are enumerated by descending popcount and every subset of a set already
+//! attested robust is marked robust without running its cycle test.
 
 use crate::algorithm::{is_robust, is_robust_view};
-use crate::analysis::RobustnessAnalyzer;
+use crate::session::RobustnessSession;
 use crate::settings::AnalysisSettings;
 use crate::summary::{NodeId, SummaryGraph};
 use mvrc_btp::LinearProgram;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Options controlling the subset exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreOptions {
+    /// The sweep runs serially when the total number of subsets (`2^n`) is below this
+    /// threshold and fans out via rayon otherwise. Below the default of 64 subsets the whole
+    /// sweep takes microseconds and thread fan-out would dominate.
+    pub parallel_threshold: usize,
+    /// Exploit downward closure (Proposition 5.2): enumerate masks by descending popcount and
+    /// mark every subset of a known-robust set robust without running its cycle test. Exact —
+    /// the attested-robust family is downward closed because an induced subgraph can only lose
+    /// cycles — and cross-checked against the exhaustive path in the test-suite.
+    pub closure_pruning: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            parallel_threshold: 64,
+            closure_pruning: true,
+        }
+    }
+}
 
 /// Result of exploring all subsets of a workload's programs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +50,10 @@ pub struct SubsetExploration {
     pub robust: Vec<Vec<usize>>,
     /// The maximal robust subsets (no robust strict superset exists).
     pub maximal: Vec<Vec<usize>>,
+    /// Number of cycle tests actually run (`2^n - 1` minus the subsets decided by pruning).
+    pub cycle_tests: usize,
+    /// Number of subsets attested robust by downward-closure pruning alone.
+    pub pruned: usize,
 }
 
 impl SubsetExploration {
@@ -60,35 +91,49 @@ impl SubsetExploration {
     }
 }
 
-/// Explores every non-empty subset of the workload's programs and reports which are robust under
-/// the given settings.
+/// Explores every non-empty subset of the workload's programs and reports which are robust
+/// under the given settings, using the default [`ExploreOptions`] (closure pruning on).
+pub fn explore_subsets(
+    session: &RobustnessSession,
+    settings: AnalysisSettings,
+) -> SubsetExploration {
+    explore_subsets_with(session, settings, ExploreOptions::default())
+}
+
+/// [`explore_subsets`] with explicit options.
 ///
-/// The workload's BTPs are unfolded once (inside the analyzer) and the summary graph is
-/// constructed **once** over the full LTP set; every subset is then tested on a cheap
-/// [induced-subgraph view](SummaryGraph::induced) of that shared graph. This is sound because
-/// Algorithm 1's edges are defined pairwise over LTPs: the summary graph of a subset equals the
-/// induced subgraph of the full summary graph (only reachability has to be recomputed per
-/// view). The `2^n - 1` subset tests are independent and run in parallel via rayon.
+/// The session's cached summary graph for `settings` is (built once and) shared across the
+/// whole sweep; every tested subset is a cheap [induced view](SummaryGraph::induced) of it.
+/// This is sound because Algorithm 1's edges are defined pairwise over LTPs: the summary graph
+/// of a subset equals the induced subgraph of the full summary graph (only reachability has to
+/// be recomputed per view).
+///
+/// With `closure_pruning` enabled (the default), masks are processed level by level in
+/// descending popcount order; a mask whose immediate superset (one extra program) is already
+/// known robust inherits robustness by Proposition 5.2 without a cycle test. The cycle tests
+/// within one level are independent and fan out via rayon when the sweep is large enough.
 ///
 /// [`explore_subsets_naive`] retains the literal per-subset reconstruction for cross-checking
 /// and benchmarking.
-pub fn explore_subsets(
-    analyzer: &RobustnessAnalyzer,
+pub fn explore_subsets_with(
+    session: &RobustnessSession,
     settings: AnalysisSettings,
+    options: ExploreOptions,
 ) -> SubsetExploration {
-    let programs: Vec<String> = analyzer.program_names().to_vec();
+    let programs: Vec<String> = session.program_names().to_vec();
     let n = programs.len();
     assert!(
         n <= 20,
         "subset exploration is exponential; {n} programs is too many"
     );
 
-    // One Algorithm 1 run over the full LTP set; node ids follow the LTP order.
-    let graph = SummaryGraph::construct(analyzer.ltps(), analyzer.schema(), settings);
+    // One (cached) Algorithm 1 run over the full LTP set; node ids follow the LTP order, so the
+    // per-program node lists are ascending and so are their concatenations.
+    let graph = session.graph(settings);
     let nodes_per_program: Vec<Vec<NodeId>> = programs
         .iter()
         .map(|name| {
-            analyzer
+            session
                 .ltps()
                 .iter()
                 .enumerate()
@@ -99,24 +144,53 @@ pub fn explore_subsets(
         .collect();
 
     let test_mask = |mask: usize| {
-        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
-        let members: Vec<NodeId> = subset
-            .iter()
-            .flat_map(|&i| nodes_per_program[i].iter().copied())
+        let members: Vec<NodeId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .flat_map(|i| nodes_per_program[i].iter().copied())
             .collect();
-        let view = graph.induced(&members);
-        is_robust_view(&view, settings.condition).then_some(subset)
+        is_robust_view(&graph.induced(&members), settings.condition)
     };
+
     let total = 1usize << n;
-    // Below ~6 programs the whole sweep is microseconds; thread fan-out would dominate.
-    let mut robust: Vec<Vec<usize>> = if total >= 64 {
-        (1usize..total)
-            .into_par_iter()
-            .filter_map(test_mask)
-            .collect()
-    } else {
-        (1usize..total).filter_map(test_mask).collect()
-    };
+    let parallel = total >= options.parallel_threshold;
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for mask in 1..total {
+        levels[mask.count_ones() as usize].push(mask);
+    }
+
+    let mut robust_bits = vec![0u64; total.div_ceil(64)];
+    let is_marked = |bits: &[u64], mask: usize| bits[mask / 64] & (1u64 << (mask % 64)) != 0;
+    let mut cycle_tests = 0usize;
+    let mut pruned = 0usize;
+    for level in (1..=n).rev() {
+        let mut to_test = Vec::with_capacity(levels[level].len());
+        for &mask in &levels[level] {
+            let inherited = options.closure_pruning
+                && (0..n).any(|i| mask & (1 << i) == 0 && is_marked(&robust_bits, mask | (1 << i)));
+            if inherited {
+                robust_bits[mask / 64] |= 1u64 << (mask % 64);
+                pruned += 1;
+            } else {
+                to_test.push(mask);
+            }
+        }
+        cycle_tests += to_test.len();
+        let verdicts: Vec<(usize, bool)> = if parallel {
+            to_test.into_par_iter().map(|m| (m, test_mask(m))).collect()
+        } else {
+            to_test.into_iter().map(|m| (m, test_mask(m))).collect()
+        };
+        for (mask, ok) in verdicts {
+            if ok {
+                robust_bits[mask / 64] |= 1u64 << (mask % 64);
+            }
+        }
+    }
+
+    let mut robust: Vec<Vec<usize>> = (1..total)
+        .filter(|&mask| is_marked(&robust_bits, mask))
+        .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+        .collect();
     robust.sort();
 
     let maximal = maximal_sets(&robust);
@@ -125,19 +199,22 @@ pub fn explore_subsets(
         settings,
         robust,
         maximal,
+        cycle_tests,
+        pruned,
     }
 }
 
-/// The pre-refactor subset exploration: reconstructs a full summary graph per subset, serially.
+/// The pre-refactor subset exploration: reconstructs a full summary graph per subset, serially,
+/// testing every mask.
 ///
-/// Semantically equivalent to [`explore_subsets`]; kept as the oracle for the
-/// induced-view cross-check tests and as the baseline of the `subset_exploration` Criterion
-/// bench.
+/// Semantically equivalent to [`explore_subsets`]; kept as the exhaustive oracle for the
+/// induced-view and closure-pruning cross-check tests and as the baseline of the
+/// `subset_exploration` Criterion bench.
 pub fn explore_subsets_naive(
-    analyzer: &RobustnessAnalyzer,
+    session: &RobustnessSession,
     settings: AnalysisSettings,
 ) -> SubsetExploration {
-    let programs: Vec<String> = analyzer.program_names().to_vec();
+    let programs: Vec<String> = session.program_names().to_vec();
     let n = programs.len();
     assert!(
         n <= 20,
@@ -148,7 +225,7 @@ pub fn explore_subsets_naive(
     let ltps_per_program: Vec<Vec<&LinearProgram>> = programs
         .iter()
         .map(|name| {
-            analyzer
+            session
                 .ltps()
                 .iter()
                 .filter(|l| l.program_name() == name)
@@ -163,7 +240,7 @@ pub fn explore_subsets_naive(
             .iter()
             .flat_map(|&i| ltps_per_program[i].iter().map(|l| (*l).clone()))
             .collect();
-        let graph = SummaryGraph::construct(&ltps, analyzer.schema(), settings);
+        let graph = SummaryGraph::construct(&ltps, session.schema(), settings);
         if is_robust(&graph, settings.condition) {
             robust.push(subset);
         }
@@ -176,6 +253,8 @@ pub fn explore_subsets_naive(
         settings,
         robust,
         maximal,
+        cycle_tests: (1 << n) - 1,
+        pruned: 0,
     }
 }
 
@@ -213,7 +292,7 @@ mod tests {
     use mvrc_btp::ProgramBuilder;
     use mvrc_schema::SchemaBuilder;
 
-    fn auction_analyzer() -> RobustnessAnalyzer {
+    fn auction_session() -> RobustnessSession {
         let mut b = SchemaBuilder::new("auction");
         let buyer = b.relation("Buyer", &["id", "calls"], &["id"]).unwrap();
         let bids = b
@@ -250,30 +329,34 @@ mod tests {
         pb.fk_constraint("f2", q6, q3).unwrap();
 
         let programs = vec![fb.build(), pb.build()];
-        RobustnessAnalyzer::new(&schema, &programs)
+        RobustnessSession::from_programs(&schema, &programs)
     }
 
     #[test]
     fn auction_maximal_subsets_match_figure_6_and_7() {
-        let analyzer = auction_analyzer();
+        let session = auction_session();
 
         // Algorithm 2, attr dep + FK: the whole benchmark {FB, PB} is robust (Figure 6).
-        let type2 = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+        let type2 = explore_subsets(&session, AnalysisSettings::paper_default());
         assert_eq!(type2.maximal, vec![vec![0, 1]]);
         assert!(type2.is_maximal_robust(&["FindBids", "PlaceBid"]));
         assert_eq!(type2.render_maximal(abbreviate_program_name), "{FB, PB}");
+        // The full set is robust, so both singletons are pruned: exactly one cycle test runs.
+        assert_eq!(type2.cycle_tests, 1);
+        assert_eq!(type2.pruned, 2);
 
         // Baseline [3], attr dep + FK: only the singletons are robust (Figure 7).
         let type1 = explore_subsets(
-            &analyzer,
+            &session,
             AnalysisSettings::baseline(Granularity::Attribute, true),
         );
         assert_eq!(type1.maximal, vec![vec![0], vec![1]]);
         assert_eq!(type1.render_maximal(abbreviate_program_name), "{FB}, {PB}");
+        assert_eq!(type1.cycle_tests, 3);
 
         // Without foreign keys even Algorithm 2 only attests {FB} (Figure 6, rows 1-2).
         let no_fk = explore_subsets(
-            &analyzer,
+            &session,
             AnalysisSettings {
                 granularity: Granularity::Attribute,
                 use_foreign_keys: false,
@@ -284,10 +367,33 @@ mod tests {
     }
 
     #[test]
+    fn pruned_and_exhaustive_paths_agree() {
+        let session = auction_session();
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            for settings in AnalysisSettings::evaluation_grid(condition) {
+                let pruned = explore_subsets(&session, settings);
+                let exhaustive = explore_subsets_with(
+                    &session,
+                    settings,
+                    ExploreOptions {
+                        closure_pruning: false,
+                        ..ExploreOptions::default()
+                    },
+                );
+                assert_eq!(pruned.robust, exhaustive.robust, "under {settings}");
+                assert_eq!(pruned.maximal, exhaustive.maximal, "under {settings}");
+                assert_eq!(exhaustive.pruned, 0);
+                assert_eq!(exhaustive.cycle_tests, 3);
+                assert!(pruned.cycle_tests <= exhaustive.cycle_tests);
+            }
+        }
+    }
+
+    #[test]
     fn robust_family_is_downward_closed() {
         // Proposition 5.2: every subset of a robust set is robust.
-        let analyzer = auction_analyzer();
-        let exploration = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+        let session = auction_session();
+        let exploration = explore_subsets(&session, AnalysisSettings::paper_default());
         for set in &exploration.robust {
             for drop_idx in 0..set.len() {
                 let mut smaller = set.clone();
@@ -321,8 +427,8 @@ mod tests {
 
     #[test]
     fn render_subset_uses_program_names() {
-        let analyzer = auction_analyzer();
-        let exploration = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+        let session = auction_session();
+        let exploration = explore_subsets(&session, AnalysisSettings::paper_default());
         let rendered = exploration.render_subset(&[0], |s| s.to_string());
         assert_eq!(rendered, "{FindBids}");
         assert!(!exploration.is_maximal_robust(&["FindBids", "Unknown"]));

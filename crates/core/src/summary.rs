@@ -5,20 +5,26 @@
 //! a dependency of that flavour between operations instantiated from `q_i` and `q_j`
 //! (Condition 6.2). The same statement pair can carry both a counterflow and a non-counterflow
 //! edge.
+//!
+//! Beyond the one-shot [`SummaryGraph::construct`], the graph supports *incremental
+//! maintenance* ([`SummaryGraph::add_ltps`] / [`SummaryGraph::remove_nodes`]): because
+//! Algorithm 1 derives edges pairwise, a workload edit only requires re-deriving the edge rows
+//! that touch changed nodes — the [`crate::RobustnessSession`] uses this to keep its cached
+//! graphs fresh under `add_program` / `remove_program` without rebuilding from scratch.
 
 use crate::settings::{AnalysisSettings, Granularity};
 use crate::tables::{c_dep_table, nc_dep_table};
 use mvrc_btp::{LinearProgram, Statement, StmtPos};
 use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 
 /// Index of an LTP node within a [`SummaryGraph`].
 pub type NodeId = usize;
 
 /// Flavour of a summary-graph edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum EdgeKind {
     /// The dependency follows the commit order.
     NonCounterflow,
@@ -45,7 +51,7 @@ impl fmt::Display for EdgeKind {
 }
 
 /// An edge `(P_from, q_from, kind, q_to, P_to)` of the summary graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SummaryEdge {
     /// The source program node.
     pub from: NodeId,
@@ -59,45 +65,64 @@ pub struct SummaryEdge {
     pub to: NodeId,
 }
 
-/// A compact bit-matrix recording node-to-node reachability.
+/// Error returned when a program-name lookup does not match any node of the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProgram {
+    /// The program name that matched no LTP node.
+    pub name: String,
+    /// The program names the graph does know, for the error message.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown program `{}` (known programs: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownProgram {}
+
+/// A compact bit-matrix recording reachability: one row per tracked source node, one bit per
+/// node of the underlying id space (the *universe*). The full graph tracks every node; an
+/// [`InducedView`] tracks only its members, so a view over `m` of `n` nodes costs `m · ⌈n/64⌉`
+/// words instead of `n · ⌈n/64⌉`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Reachability {
-    nodes: usize,
     words_per_row: usize,
     bits: Vec<u64>,
 }
 
 impl Reachability {
-    fn new(nodes: usize) -> Self {
-        let words_per_row = nodes.div_ceil(64).max(1);
+    fn new(rows: usize, universe: usize) -> Self {
+        let words_per_row = universe.div_ceil(64).max(1);
         Reachability {
-            nodes,
             words_per_row,
-            bits: vec![0; nodes * words_per_row],
+            bits: vec![0; rows * words_per_row],
         }
     }
 
-    /// BFS closure over an adjacency given as edge-index lists, restricted to `starts`.
-    fn compute<'a>(
-        nodes: usize,
-        starts: impl Iterator<Item = usize>,
-        edges: &[SummaryEdge],
-        out_edges: &impl Fn(usize) -> &'a [usize],
-    ) -> Self {
-        let mut reach = Reachability::new(nodes);
+    /// Full closure over an adjacency given as edge-index lists: one BFS per node, row index =
+    /// node id.
+    fn full(nodes: usize, edges: &[SummaryEdge], out_edges: &[Vec<usize>]) -> Self {
+        let mut reach = Reachability::new(nodes, nodes);
         let mut stack = Vec::new();
-        let mut visited = vec![false; nodes];
-        for start in starts {
-            visited.iter_mut().for_each(|v| *v = false);
+        let mut visited = vec![0u64; nodes.div_ceil(64).max(1)];
+        for start in 0..nodes {
+            visited.fill(0);
             stack.clear();
             stack.push(start);
-            visited[start] = true;
+            visited[start / 64] |= 1u64 << (start % 64);
             while let Some(node) = stack.pop() {
                 reach.set(start, node);
-                for &edge_idx in out_edges(node) {
+                for &edge_idx in &out_edges[node] {
                     let next = edges[edge_idx].to;
-                    if !visited[next] {
-                        visited[next] = true;
+                    if visited[next / 64] & (1u64 << (next % 64)) == 0 {
+                        visited[next / 64] |= 1u64 << (next % 64);
                         stack.push(next);
                     }
                 }
@@ -107,17 +132,17 @@ impl Reachability {
     }
 
     #[inline]
-    fn set(&mut self, from: usize, to: usize) {
-        self.bits[from * self.words_per_row + to / 64] |= 1u64 << (to % 64);
+    fn set(&mut self, row: usize, to: usize) {
+        self.bits[row * self.words_per_row + to / 64] |= 1u64 << (to % 64);
     }
 
     #[inline]
-    fn get(&self, from: usize, to: usize) -> bool {
-        self.bits[from * self.words_per_row + to / 64] & (1u64 << (to % 64)) != 0
+    fn get(&self, row: usize, to: usize) -> bool {
+        self.bits[row * self.words_per_row + to / 64] & (1u64 << (to % 64)) != 0
     }
 
-    fn row(&self, from: usize) -> &[u64] {
-        &self.bits[from * self.words_per_row..(from + 1) * self.words_per_row]
+    fn row(&self, row: usize) -> &[u64] {
+        &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
     }
 }
 
@@ -132,6 +157,52 @@ pub struct SummaryGraph {
     settings: AnalysisSettings,
 }
 
+/// Derives the Algorithm 1 edges between one ordered node pair `(i, j)` and appends them to
+/// `edges`. Factored out so that incremental maintenance re-derives exactly the pairs touching
+/// changed nodes.
+fn push_pair_edges(
+    i: NodeId,
+    pi: &LinearProgram,
+    j: NodeId,
+    pj: &LinearProgram,
+    settings: AnalysisSettings,
+    edges: &mut Vec<SummaryEdge>,
+) {
+    for (pos_i, qi) in pi.statements() {
+        for (pos_j, qj) in pj.statements() {
+            if qi.rel() != qj.rel() {
+                continue;
+            }
+            let allow_nc = match nc_dep_table(qi.kind(), qj.kind()) {
+                Some(v) => v,
+                None => nc_dep_conds(qi, qj),
+            };
+            if allow_nc {
+                edges.push(SummaryEdge {
+                    from: i,
+                    from_stmt: pos_i,
+                    kind: EdgeKind::NonCounterflow,
+                    to_stmt: pos_j,
+                    to: j,
+                });
+            }
+            let allow_c = match c_dep_table(qi.kind(), qj.kind()) {
+                Some(v) => v,
+                None => c_dep_conds(pi, pos_i, qi, pj, pos_j, qj, settings.use_foreign_keys),
+            };
+            if allow_c {
+                edges.push(SummaryEdge {
+                    from: i,
+                    from_stmt: pos_i,
+                    kind: EdgeKind::Counterflow,
+                    to_stmt: pos_j,
+                    to: j,
+                });
+            }
+        }
+    }
+}
+
 impl SummaryGraph {
     /// Algorithm 1: constructs `SuG(𝒫)` for a set of LTPs under the given settings.
     ///
@@ -140,78 +211,111 @@ impl SummaryGraph {
     /// suppression inside `cDepConds`.
     pub fn construct(ltps: &[LinearProgram], schema: &Schema, settings: AnalysisSettings) -> Self {
         CONSTRUCTIONS.with(|c| c.set(c.get() + 1));
-        let nodes: Vec<LinearProgram> = match settings.granularity {
-            Granularity::Attribute => ltps.to_vec(),
-            Granularity::Tuple => ltps
-                .iter()
-                .map(|l| l.widen_to_tuple_granularity(|rel| schema.all_attrs(rel)))
-                .collect(),
-        };
+        let nodes = widen_ltps(ltps, schema, settings.granularity);
 
         let mut edges = Vec::new();
         for (i, pi) in nodes.iter().enumerate() {
             for (j, pj) in nodes.iter().enumerate() {
-                for (pos_i, qi) in pi.statements() {
-                    for (pos_j, qj) in pj.statements() {
-                        if qi.rel() != qj.rel() {
-                            continue;
-                        }
-                        let allow_nc = match nc_dep_table(qi.kind(), qj.kind()) {
-                            Some(v) => v,
-                            None => nc_dep_conds(qi, qj),
-                        };
-                        if allow_nc {
-                            edges.push(SummaryEdge {
-                                from: i,
-                                from_stmt: pos_i,
-                                kind: EdgeKind::NonCounterflow,
-                                to_stmt: pos_j,
-                                to: j,
-                            });
-                        }
-                        let allow_c = match c_dep_table(qi.kind(), qj.kind()) {
-                            Some(v) => v,
-                            None => {
-                                c_dep_conds(pi, pos_i, qi, pj, pos_j, qj, settings.use_foreign_keys)
-                            }
-                        };
-                        if allow_c {
-                            edges.push(SummaryEdge {
-                                from: i,
-                                from_stmt: pos_i,
-                                kind: EdgeKind::Counterflow,
-                                to_stmt: pos_j,
-                                to: j,
-                            });
-                        }
-                    }
-                }
+                push_pair_edges(i, pi, j, pj, settings, &mut edges);
             }
         }
 
-        let mut out_edges = vec![Vec::new(); nodes.len()];
-        let mut in_edges = vec![Vec::new(); nodes.len()];
-        for (idx, e) in edges.iter().enumerate() {
-            out_edges[e.from].push(idx);
-            in_edges[e.to].push(idx);
-        }
-        let reach = Reachability::compute(nodes.len(), 0..nodes.len(), &edges, &|n| &out_edges[n]);
-        SummaryGraph {
+        let mut graph = SummaryGraph {
             nodes,
             edges,
-            out_edges,
-            in_edges,
-            reach,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+            reach: Reachability::new(0, 0),
             settings,
+        };
+        graph.rebuild_adjacency_and_reachability();
+        graph
+    }
+
+    /// Rebuilds the adjacency lists and the reachability closure from `self.edges`.
+    fn rebuild_adjacency_and_reachability(&mut self) {
+        let n = self.nodes.len();
+        self.out_edges = vec![Vec::new(); n];
+        self.in_edges = vec![Vec::new(); n];
+        for (idx, e) in self.edges.iter().enumerate() {
+            self.out_edges[e.from].push(idx);
+            self.in_edges[e.to].push(idx);
         }
+        self.reach = Reachability::full(n, &self.edges, &self.out_edges);
+    }
+
+    /// Incrementally extends the graph with additional LTPs.
+    ///
+    /// Because Algorithm 1 derives edges pairwise, only the edge rows touching the new nodes
+    /// have to be computed: the `(old, new)`, `(new, old)` and `(new, new)` pairs. Existing
+    /// edges are untouched; the reachability closure is recomputed (it is not preserved under
+    /// node addition, but its BFS cost is tiny next to the attribute-set and foreign-key
+    /// reasoning of a full reconstruction). The construction counter does **not** advance.
+    pub fn add_ltps(&mut self, ltps: &[LinearProgram], schema: &Schema) {
+        let old_n = self.nodes.len();
+        self.nodes
+            .extend(widen_ltps(ltps, schema, self.settings.granularity));
+        for (i, pi) in self.nodes.iter().enumerate() {
+            for (j, pj) in self.nodes.iter().enumerate() {
+                if i < old_n && j < old_n {
+                    continue;
+                }
+                push_pair_edges(i, pi, j, pj, self.settings, &mut self.edges);
+            }
+        }
+        self.rebuild_adjacency_and_reachability();
+    }
+
+    /// Incrementally removes a set of nodes (and every edge touching them), compacting node
+    /// ids: surviving nodes are renumbered to `0..new_len` in their existing order.
+    ///
+    /// No Algorithm 1 work is performed at all — the edges between surviving nodes are exactly
+    /// the surviving edges (edge derivation is pairwise); only adjacency and reachability are
+    /// rebuilt.
+    pub fn remove_nodes(&mut self, remove: &[NodeId]) {
+        let n = self.nodes.len();
+        let mut keep = vec![true; n];
+        for &id in remove {
+            assert!(
+                id < n,
+                "remove_nodes(): node id {id} out of range ({n} nodes)"
+            );
+            keep[id] = false;
+        }
+        let mut new_id = vec![usize::MAX; n];
+        let mut next = 0;
+        for (id, &k) in keep.iter().enumerate() {
+            if k {
+                new_id[id] = next;
+                next += 1;
+            }
+        }
+        let mut idx = 0;
+        self.nodes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        self.edges.retain_mut(|e| {
+            if keep[e.from] && keep[e.to] {
+                e.from = new_id[e.from];
+                e.to = new_id[e.to];
+                true
+            } else {
+                false
+            }
+        });
+        self.rebuild_adjacency_and_reachability();
     }
 
     /// Number of `SummaryGraph::construct` calls made by the current thread.
     ///
-    /// Diagnostic counter for the subset-exploration cross-check: the shared-graph exploration
-    /// must construct exactly one graph per settings combination, however many subsets it
-    /// enumerates. Thread-local so concurrently running tests cannot interfere with each other
-    /// (the parallel subset enumeration itself never constructs graphs on worker threads).
+    /// Diagnostic counter for the session/subset-exploration contracts: the session must build
+    /// exactly one graph per settings combination, however many queries, subsets or incremental
+    /// edits it serves ([`add_ltps`](Self::add_ltps) and [`remove_nodes`](Self::remove_nodes)
+    /// do not advance the counter). Thread-local so concurrently running tests cannot interfere
+    /// with each other (the parallel subset enumeration itself never constructs graphs on
+    /// worker threads).
     pub fn constructions_on_current_thread() -> u64 {
         CONSTRUCTIONS.with(Cell::get)
     }
@@ -302,9 +406,14 @@ impl SummaryGraph {
     /// The induced subgraph over a set of node ids.
     ///
     /// The view borrows this graph: it keeps the edges whose endpoints both lie in `members`
-    /// (filtered by a node mask — no statement-level reconstruction) and recomputes only the
-    /// reachability closure, which — unlike the edge set — is not preserved under taking
-    /// induced subgraphs (paths may run through excluded nodes).
+    /// and recomputes only the reachability closure, which — unlike the edge set — is not
+    /// preserved under taking induced subgraphs (paths may run through excluded nodes).
+    ///
+    /// The construction iterates **only the member nodes' adjacency lists** — `O(Σ deg(m))`
+    /// over the members `m`, not `O(E)` over the parent's full edge list — and draws its
+    /// temporaries (membership mask, position lookup, BFS state) from a reusable per-thread
+    /// scratch buffer, so the subset-exploration hot loop performs no universe-sized
+    /// allocations per view.
     ///
     /// Since the edges of `SuG(𝒫)` are defined pairwise over the LTPs of `𝒫` (Algorithm 1
     /// consults only `P_i` and `P_j` for an edge between them), the induced view over the nodes
@@ -319,47 +428,134 @@ impl SummaryGraph {
             members.dedup();
         }
         let n = self.nodes.len();
+        let m = members.len();
         let words = n.div_ceil(64).max(1);
-        let mut mask = vec![0u64; words];
-        for &m in &members {
-            assert!(m < n, "induced(): node id {m} out of range ({n} nodes)");
-            mask[m / 64] |= 1u64 << (m % 64);
-        }
-        let in_mask = |id: NodeId| mask[id / 64] & (1u64 << (id % 64)) != 0;
 
-        let mut edge_indices = Vec::new();
-        let mut out_edges = vec![Vec::new(); n];
-        let mut in_edges = vec![Vec::new(); n];
-        for (idx, e) in self.edges.iter().enumerate() {
-            if in_mask(e.from) && in_mask(e.to) {
-                edge_indices.push(idx);
-                out_edges[e.from].push(idx);
-                in_edges[e.to].push(idx);
+        INDUCED_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let scratch = &mut *scratch;
+            scratch.mask.clear();
+            scratch.mask.resize(words, 0);
+            scratch.pos_of.resize(n.max(1), 0);
+            for (pos, &id) in members.iter().enumerate() {
+                assert!(id < n, "induced(): node id {id} out of range ({n} nodes)");
+                scratch.mask[id / 64] |= 1u64 << (id % 64);
+                // Stale entries for non-members are never read: every read is guarded by the
+                // membership mask.
+                scratch.pos_of[id] = pos as u32;
             }
-        }
-        let reach = Reachability::compute(n, members.iter().copied(), &self.edges, &|node| {
-            &out_edges[node]
-        });
-        InducedView {
-            graph: self,
-            members,
-            edge_indices,
-            out_edges,
-            in_edges,
-            reach,
-        }
+            let in_mask = |id: NodeId| scratch.mask[id / 64] & (1u64 << (id % 64)) != 0;
+
+            // Kept edges in CSR layout, grouped by source member; count in-degrees as we go.
+            let mut out_csr = Vec::new();
+            let mut out_offsets = Vec::with_capacity(m + 1);
+            let mut in_degree = vec![0usize; m];
+            out_offsets.push(0);
+            for &member in &members {
+                for &edge_idx in &self.out_edges[member] {
+                    let to = self.edges[edge_idx].to;
+                    if in_mask(to) {
+                        out_csr.push(edge_idx);
+                        in_degree[scratch.pos_of[to] as usize] += 1;
+                    }
+                }
+                out_offsets.push(out_csr.len());
+            }
+            let mut in_offsets = Vec::with_capacity(m + 1);
+            in_offsets.push(0);
+            for &d in &in_degree {
+                in_offsets.push(in_offsets.last().unwrap() + d);
+            }
+            let mut cursor = in_offsets.clone();
+            let mut in_csr = vec![0usize; out_csr.len()];
+            for &edge_idx in &out_csr {
+                let pos = scratch.pos_of[self.edges[edge_idx].to] as usize;
+                in_csr[cursor[pos]] = edge_idx;
+                cursor[pos] += 1;
+            }
+
+            // Per-member BFS over member positions; rows are member positions, columns are
+            // universe node ids (so views share the parent's bitset numbering).
+            let mut reach = Reachability::new(m, n);
+            let visited_words = m.div_ceil(64).max(1);
+            scratch.visited.resize(visited_words, 0);
+            scratch.stack.clear();
+            for start in 0..m {
+                scratch.visited[..visited_words].fill(0);
+                scratch.stack.push(start);
+                scratch.visited[start / 64] |= 1u64 << (start % 64);
+                while let Some(pos) = scratch.stack.pop() {
+                    reach.set(start, members[pos]);
+                    for &edge_idx in &out_csr[out_offsets[pos]..out_offsets[pos + 1]] {
+                        let next = scratch.pos_of[self.edges[edge_idx].to] as usize;
+                        if scratch.visited[next / 64] & (1u64 << (next % 64)) == 0 {
+                            scratch.visited[next / 64] |= 1u64 << (next % 64);
+                            scratch.stack.push(next);
+                        }
+                    }
+                }
+            }
+
+            InducedView {
+                graph: self,
+                members,
+                out_csr,
+                out_offsets,
+                in_csr,
+                in_offsets,
+                reach,
+            }
+        })
     }
 
     /// The induced subgraph over the LTP nodes unfolded from the given programs.
-    pub fn induced_for_programs(&self, program_names: &[&str]) -> InducedView<'_> {
-        let members: Vec<NodeId> = self
-            .nodes
+    ///
+    /// Every requested name must match at least one LTP node; an unmatched name returns
+    /// [`UnknownProgram`] instead of being silently skipped (a silently shrunken subset would
+    /// turn a robustness *question* about absent programs into a spurious `robust` answer).
+    pub fn induced_for_programs(
+        &self,
+        program_names: &[&str],
+    ) -> Result<InducedView<'_>, UnknownProgram> {
+        let mut members: Vec<NodeId> = Vec::new();
+        for &name in program_names {
+            let before = members.len();
+            members.extend(
+                self.nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ltp)| ltp.program_name() == name)
+                    .map(|(id, _)| id),
+            );
+            if members.len() == before {
+                let mut known: Vec<String> = self
+                    .nodes
+                    .iter()
+                    .map(|l| l.program_name().to_string())
+                    .collect();
+                known.dedup();
+                return Err(UnknownProgram {
+                    name: name.to_string(),
+                    known,
+                });
+            }
+        }
+        Ok(self.induced(&members))
+    }
+}
+
+/// Applies the granularity setting to a slice of LTPs.
+fn widen_ltps(
+    ltps: &[LinearProgram],
+    schema: &Schema,
+    granularity: Granularity,
+) -> Vec<LinearProgram> {
+    match granularity {
+        Granularity::Attribute => ltps.to_vec(),
+        Granularity::Tuple => ltps
             .iter()
-            .enumerate()
-            .filter(|(_, ltp)| program_names.contains(&ltp.program_name()))
-            .map(|(id, _)| id)
-            .collect();
-        self.induced(&members)
+            .map(|l| l.widen_to_tuple_granularity(|rel| schema.all_attrs(rel)))
+            .collect(),
     }
 }
 
@@ -470,19 +666,26 @@ impl SummaryGraphView for SummaryGraph {
     }
 }
 
-/// A borrowed induced subgraph of a [`SummaryGraph`]: the nodes in a mask plus every edge whose
-/// endpoints both lie in the mask, with freshly computed view-local reachability.
+/// A borrowed induced subgraph of a [`SummaryGraph`]: the nodes in a member set plus every edge
+/// whose endpoints both lie in it, with freshly computed view-local reachability.
 ///
-/// Node ids are the *parent graph's* ids; the view is cheap to build (`O(E + m·E/64)`) compared
-/// to re-running Algorithm 1, which is quadratic in statements with attribute-set and
-/// foreign-key reasoning per pair.
+/// Node ids are the *parent graph's* ids; internally, adjacency is stored in CSR layout indexed
+/// by member *position* (ids are mapped by binary search over the sorted member list), and the
+/// reachability matrix holds one row per member — so a view over `m` of `n` nodes costs
+/// `O(Σ deg(members) + m · n/64)` space, independent of the parent's total edge count. Building
+/// a view is `O(Σ deg(members))` plus the member-local BFS, compared to re-running Algorithm 1,
+/// which is quadratic in statements with attribute-set and foreign-key reasoning per pair.
 #[derive(Debug, Clone)]
 pub struct InducedView<'g> {
     graph: &'g SummaryGraph,
     members: Vec<NodeId>,
-    edge_indices: Vec<usize>,
-    out_edges: Vec<Vec<usize>>,
-    in_edges: Vec<Vec<usize>>,
+    /// Kept edge indices grouped by source member; `out_offsets[p]..out_offsets[p + 1]` is the
+    /// out-adjacency of the member at position `p`.
+    out_csr: Vec<usize>,
+    out_offsets: Vec<usize>,
+    /// The same edge indices grouped by target member.
+    in_csr: Vec<usize>,
+    in_offsets: Vec<usize>,
     reach: Reachability,
 }
 
@@ -495,6 +698,28 @@ impl InducedView<'_> {
     /// The member node ids, ascending.
     pub fn members(&self) -> &[NodeId] {
         &self.members
+    }
+
+    /// Position of a node id within the member list, if it is a member.
+    #[inline]
+    fn member_pos(&self, id: NodeId) -> Option<usize> {
+        self.members.binary_search(&id).ok()
+    }
+
+    /// Out-adjacency slice of a node (empty for non-members).
+    fn out_slice(&self, id: NodeId) -> &[usize] {
+        match self.member_pos(id) {
+            Some(p) => &self.out_csr[self.out_offsets[p]..self.out_offsets[p + 1]],
+            None => &[],
+        }
+    }
+
+    /// In-adjacency slice of a node (empty for non-members).
+    fn in_slice(&self, id: NodeId) -> &[usize] {
+        match self.member_pos(id) {
+            Some(p) => &self.in_csr[self.in_offsets[p]..self.in_offsets[p + 1]],
+            None => &[],
+        }
     }
 }
 
@@ -512,28 +737,31 @@ impl SummaryGraphView for InducedView<'_> {
     }
 
     fn view_edges(&self) -> impl Iterator<Item = &SummaryEdge> + '_ {
-        self.edge_indices.iter().map(|&idx| &self.graph.edges[idx])
+        self.out_csr.iter().map(|&idx| &self.graph.edges[idx])
     }
 
     fn view_edges_to(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
-        self.in_edges[node]
+        self.in_slice(node)
             .iter()
             .map(|&idx| &self.graph.edges[idx])
     }
 
     fn view_counterflow_edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
-        self.out_edges[node]
+        self.out_slice(node)
             .iter()
             .map(|&idx| &self.graph.edges[idx])
             .filter(|e| e.kind.is_counterflow())
     }
 
     fn view_reachable(&self, from: NodeId, to: NodeId) -> bool {
-        self.reach.get(from, to)
+        self.member_pos(from).is_some_and(|p| self.reach.get(p, to))
     }
 
     fn view_reachable_row(&self, from: NodeId) -> &[u64] {
-        self.reach.row(from)
+        let p = self
+            .member_pos(from)
+            .expect("view_reachable_row: node is not a member of this induced view");
+        self.reach.row(p)
     }
 
     fn view_node_count(&self) -> usize {
@@ -541,7 +769,7 @@ impl SummaryGraphView for InducedView<'_> {
     }
 
     fn view_edge_count(&self) -> usize {
-        self.edge_indices.len()
+        self.out_csr.len()
     }
 }
 
@@ -610,8 +838,20 @@ pub fn c_dep_conds(
     false
 }
 
+/// Reusable per-thread temporaries for [`SummaryGraph::induced`]: membership mask, node-id →
+/// member-position lookup and BFS state. Amortizes the universe-sized allocations that used to
+/// be paid per view across the entire subset sweep running on a thread.
+#[derive(Default)]
+struct InducedScratch {
+    mask: Vec<u64>,
+    pos_of: Vec<u32>,
+    visited: Vec<u64>,
+    stack: Vec<usize>,
+}
+
 thread_local! {
     static CONSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
+    static INDUCED_SCRATCH: RefCell<InducedScratch> = RefCell::new(InducedScratch::default());
 }
 
 #[cfg(test)]
@@ -803,5 +1043,126 @@ mod tests {
         assert!(nc_dep_conds(&upd_bid, &upd_bid));
         assert!(!nc_dep_conds(&sel_buyer, &upd_bid));
         assert!(!nc_dep_conds(&sel_bid, &sel_bid));
+    }
+
+    #[test]
+    fn induced_view_matches_fresh_construction() {
+        let schema = schema();
+        let a = find_bids(&schema);
+        let mut pb = ProgramBuilder::new(&schema, "Writer");
+        let q = pb.key_update("qw", "Bids", &["bid"], &["bid"]).unwrap();
+        pb.push(q.into());
+        let b = mvrc_btp::LinearProgram::from_linear_program(&pb.build());
+        let full = SummaryGraph::construct(&[a.clone(), b.clone()], &schema, settings());
+        for (members, ltps) in [
+            (vec![0usize], vec![a.clone()]),
+            (vec![1usize], vec![b.clone()]),
+            (vec![0usize, 1], vec![a.clone(), b.clone()]),
+        ] {
+            let view = full.induced(&members);
+            let fresh = SummaryGraph::construct(&ltps, &schema, settings());
+            assert_eq!(view.view_edge_count(), fresh.edge_count());
+            assert_eq!(
+                view.view_counterflow_edge_count(),
+                fresh.counterflow_edge_count()
+            );
+            for (pos, &m) in members.iter().enumerate() {
+                for (pos2, &m2) in members.iter().enumerate() {
+                    assert_eq!(view.view_reachable(m, m2), fresh.reachable(pos, pos2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn induced_normalizes_unsorted_and_duplicate_members() {
+        let schema = schema();
+        let graph = SummaryGraph::construct(
+            &[find_bids(&schema), find_bids(&schema)],
+            &schema,
+            settings(),
+        );
+        let view = graph.induced(&[1, 0, 1]);
+        assert_eq!(view.members(), &[0, 1]);
+        assert_eq!(view.view_edge_count(), 4);
+        assert_eq!(view.view_edges_to(1).count(), 2);
+        // Non-members have empty adjacency and no reachability.
+        assert!(!view.view_reachable(5, 0));
+    }
+
+    #[test]
+    fn induced_for_programs_rejects_unknown_names() {
+        let schema = schema();
+        let graph = SummaryGraph::construct(&[find_bids(&schema)], &schema, settings());
+        let err = graph
+            .induced_for_programs(&["FindBids", "Nope"])
+            .unwrap_err();
+        assert_eq!(err.name, "Nope");
+        assert!(err.to_string().contains("unknown program `Nope`"));
+        assert!(err.to_string().contains("FindBids"));
+        assert_eq!(
+            graph.induced_for_programs(&["FindBids"]).unwrap().members(),
+            &[0]
+        );
+    }
+
+    #[test]
+    fn add_ltps_matches_fresh_construction() {
+        let schema = schema();
+        let a = find_bids(&schema);
+        let mut pb = ProgramBuilder::new(&schema, "Writer");
+        let q = pb.key_update("qw", "Bids", &["bid"], &["bid"]).unwrap();
+        pb.push(q.into());
+        let b = mvrc_btp::LinearProgram::from_linear_program(&pb.build());
+
+        for s in [
+            settings(),
+            AnalysisSettings {
+                granularity: Granularity::Tuple,
+                ..settings()
+            },
+        ] {
+            let mut incremental = SummaryGraph::construct(std::slice::from_ref(&a), &schema, s);
+            let before = SummaryGraph::constructions_on_current_thread();
+            incremental.add_ltps(std::slice::from_ref(&b), &schema);
+            assert_eq!(
+                SummaryGraph::constructions_on_current_thread(),
+                before,
+                "incremental extension must not count as a construction"
+            );
+            let fresh = SummaryGraph::construct(&[a.clone(), b.clone()], &schema, s);
+            let mut inc_edges = incremental.edges().to_vec();
+            let mut fresh_edges = fresh.edges().to_vec();
+            inc_edges.sort();
+            fresh_edges.sort();
+            assert_eq!(inc_edges, fresh_edges);
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(incremental.reachable(i, j), fresh.reachable(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_nodes_matches_fresh_construction() {
+        let schema = schema();
+        let a = find_bids(&schema);
+        let mut pb = ProgramBuilder::new(&schema, "Writer");
+        let q = pb.key_update("qw", "Bids", &["bid"], &["bid"]).unwrap();
+        pb.push(q.into());
+        let b = mvrc_btp::LinearProgram::from_linear_program(&pb.build());
+
+        let mut graph = SummaryGraph::construct(&[a.clone(), b.clone()], &schema, settings());
+        graph.remove_nodes(&[0]);
+        let fresh = SummaryGraph::construct(&[b], &schema, settings());
+        assert_eq!(graph.node_count(), 1);
+        assert_eq!(graph.node(0).name(), "Writer");
+        let mut got = graph.edges().to_vec();
+        let mut want = fresh.edges().to_vec();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(graph.reachable(0, 0), fresh.reachable(0, 0));
     }
 }

@@ -3,29 +3,27 @@
 
 use mvrc_benchmarks::{auction, AUCTION_SQL};
 use mvrc_btp::sql::parse_workload;
-use mvrc_btp::unfold_set_le2;
 use mvrc_robustness::{
     find_type1_violation, find_type2_violation, to_dot, AnalysisSettings, DotOptions, EdgeKind,
-    RobustnessAnalyzer, SummaryGraph,
+    RobustnessSession, SummaryGraph,
 };
+use std::sync::Arc;
 
-fn figure4_graph() -> SummaryGraph {
-    let w = auction();
-    let ltps = unfold_set_le2(&w.programs);
-    SummaryGraph::construct(&ltps, &w.schema, AnalysisSettings::paper_default())
+fn figure4_graph() -> Arc<SummaryGraph> {
+    RobustnessSession::new(auction()).graph(AnalysisSettings::paper_default())
 }
 
 #[test]
 fn sql_pipeline_reaches_the_same_verdict_as_the_programmatic_model() {
     let w = auction();
     let from_sql = parse_workload(&w.schema, AUCTION_SQL).unwrap();
-    let sql_analyzer = RobustnessAnalyzer::new(&w.schema, &from_sql);
-    let built_analyzer = RobustnessAnalyzer::new(&w.schema, &w.programs);
+    let sql_session = RobustnessSession::from_programs(&w.schema, &from_sql);
+    let built_session = RobustnessSession::new(w.clone());
     let settings = AnalysisSettings::paper_default();
-    assert!(sql_analyzer.is_robust(settings));
-    assert!(built_analyzer.is_robust(settings));
-    let g_sql = sql_analyzer.summary_graph(settings);
-    let g_built = built_analyzer.summary_graph(settings);
+    assert!(sql_session.is_robust(settings));
+    assert!(built_session.is_robust(settings));
+    let g_sql = sql_session.graph(settings);
+    let g_built = built_session.graph(settings);
     assert_eq!(g_sql.edge_count(), g_built.edge_count());
     assert_eq!(
         g_sql.counterflow_edge_count(),

@@ -7,16 +7,16 @@
 
 use mvrc_benchmarks::{auction, auction_n, smallbank, tpcc, Workload};
 use mvrc_robustness::{
-    explore_subsets, AnalysisSettings, CycleCondition, Granularity, RobustnessAnalyzer,
+    explore_subsets, AnalysisSettings, CycleCondition, Granularity, RobustnessSession,
     SubsetExploration,
 };
 
-fn analyzer(w: &Workload) -> RobustnessAnalyzer {
-    RobustnessAnalyzer::new(&w.schema, &w.programs)
+fn session(w: &Workload) -> RobustnessSession {
+    RobustnessSession::new(w.clone())
 }
 
 fn maximal(w: &Workload, settings: AnalysisSettings) -> String {
-    let exploration: SubsetExploration = explore_subsets(&analyzer(w), settings);
+    let exploration: SubsetExploration = explore_subsets(&session(w), settings);
     exploration.render_maximal(|name| w.abbreviate(name))
 }
 
@@ -33,13 +33,13 @@ fn table2_smallbank_characteristics() {
     let w = smallbank();
     assert_eq!(w.schema.relation_count(), 3);
     assert_eq!(w.program_count(), 5);
-    let a = analyzer(&w);
+    let a = session(&w);
     assert_eq!(
         a.ltps().len(),
         5,
         "Table 2: 5 unfolded transaction programs"
     );
-    let g = a.summary_graph(AnalysisSettings::paper_default());
+    let g = a.graph(AnalysisSettings::paper_default());
     assert_eq!(g.node_count(), 5);
     assert_eq!(
         g.edge_count(),
@@ -58,13 +58,13 @@ fn table2_tpcc_characteristics() {
     let w = tpcc();
     assert_eq!(w.schema.relation_count(), 9);
     assert_eq!(w.program_count(), 5);
-    let a = analyzer(&w);
+    let a = session(&w);
     assert_eq!(
         a.ltps().len(),
         13,
         "Table 2: 13 unfolded transaction programs"
     );
-    let g = a.summary_graph(AnalysisSettings::paper_default());
+    let g = a.graph(AnalysisSettings::paper_default());
     assert_eq!(g.node_count(), 13);
     // Paper: 396 edges (83 counterflow). Our TPC-C model yields 405 edges with the identical
     // counterflow count; the +9 non-counterflow edges stem from counting every occurrence of a
@@ -87,13 +87,13 @@ fn table2_auction_characteristics() {
     let w = auction();
     assert_eq!(w.schema.relation_count(), 3);
     assert_eq!(w.program_count(), 2);
-    let a = analyzer(&w);
+    let a = session(&w);
     assert_eq!(
         a.ltps().len(),
         3,
         "Table 2: 3 unfolded transaction programs"
     );
-    let g = a.summary_graph(AnalysisSettings::paper_default());
+    let g = a.graph(AnalysisSettings::paper_default());
     assert_eq!(
         g.edge_count(),
         17,
@@ -111,8 +111,8 @@ fn table2_auction_n_edge_formula() {
     // Table 2: Auction(n) has 3n nodes and 8n + 9n² edges, n of them counterflow.
     for n in [1usize, 2, 3, 5, 8] {
         let w = auction_n(n);
-        let a = analyzer(&w);
-        let g = a.summary_graph(AnalysisSettings::paper_default());
+        let a = session(&w);
+        let g = a.graph(AnalysisSettings::paper_default());
         assert_eq!(g.node_count(), 3 * n, "Auction({n}) node count");
         assert_eq!(g.edge_count(), 8 * n + 9 * n * n, "Auction({n}) edge count");
         assert_eq!(
@@ -184,24 +184,27 @@ fn figure6_auction_all_settings() {
 fn figure6_bold_subsets_are_exactly_the_improvements_over_type_i() {
     // The bold subsets of Figure 6 are those whose summary graph contains a type-I cycle, i.e.
     // the workloads only the refined condition can attest. Check the three headline cases.
+    let attr_fk = AnalysisSettings::paper_default();
     let sb = smallbank();
-    let sb_analyzer = analyzer(&sb);
+    let sb_session = session(&sb);
+    let sb_graph = sb_session.graph(attr_fk);
     for subset in [
         vec!["Balance", "DepositChecking"],
         vec!["Balance", "TransactSavings"],
     ] {
-        let attr_fk = AnalysisSettings::paper_default();
-        let graph = sb_analyzer.summary_graph_for_programs(&subset, attr_fk);
-        assert!(mvrc_robustness::find_type1_violation(&graph).is_some());
-        assert!(mvrc_robustness::find_type2_violation(&graph).is_none());
+        let view = sb_graph.induced_for_programs(&subset).unwrap();
+        assert!(mvrc_robustness::find_type1_violation_in(&view).is_some());
+        assert!(mvrc_robustness::find_type2_violation_in(&view).is_none());
     }
 
     let au = auction();
-    let au_analyzer = analyzer(&au);
-    let graph = au_analyzer
-        .summary_graph_for_programs(&["FindBids", "PlaceBid"], AnalysisSettings::paper_default());
-    assert!(mvrc_robustness::find_type1_violation(&graph).is_some());
-    assert!(mvrc_robustness::find_type2_violation(&graph).is_none());
+    let au_session = session(&au);
+    let au_graph = au_session.graph(attr_fk);
+    let view = au_graph
+        .induced_for_programs(&["FindBids", "PlaceBid"])
+        .unwrap();
+    assert!(mvrc_robustness::find_type1_violation_in(&view).is_some());
+    assert!(mvrc_robustness::find_type2_violation_in(&view).is_none());
 }
 
 // ---------------------------------------------------------------------------------------------
@@ -267,7 +270,7 @@ fn figure7_auction_all_settings() {
 fn algorithm2_detects_strictly_more_subsets_than_the_baseline() {
     // "our technique detects more and larger subsets as robust for all benchmarks"
     for w in [smallbank(), tpcc(), auction()] {
-        let a = analyzer(&w);
+        let a = session(&w);
         let attr_fk_type2 = AnalysisSettings::paper_default();
         let attr_fk_type1 = AnalysisSettings::baseline(Granularity::Attribute, true);
         let robust2 = explore_subsets(&a, attr_fk_type2).robust;
@@ -293,8 +296,10 @@ fn tpcc_delivery_is_a_known_false_negative() {
     // predicate read + delete of the oldest open order prevents concurrent instances, which the
     // summary graph cannot see. We assert the (conservative) negative verdict.
     let w = tpcc();
-    let a = analyzer(&w);
-    let report = a.analyze_programs(&["Delivery"], AnalysisSettings::paper_default());
+    let a = session(&w);
+    let report = a
+        .analyze_programs(&["Delivery"], AnalysisSettings::paper_default())
+        .unwrap();
     assert!(!report.is_robust());
 }
 
@@ -303,7 +308,7 @@ fn auction_n_is_robust_for_every_n() {
     // Section 7.3: "Algorithm 2 detects Auction(n) as robust against MVRC for each n."
     for n in [1usize, 2, 4, 6] {
         let w = auction_n(n);
-        let a = analyzer(&w);
+        let a = session(&w);
         assert!(
             a.is_robust(AnalysisSettings::paper_default()),
             "Auction({n}) must be attested robust"
@@ -318,10 +323,10 @@ fn auction_n_is_robust_for_every_n() {
 #[test]
 fn optimized_and_naive_algorithm2_agree_on_all_benchmarks() {
     for w in [smallbank(), tpcc(), auction(), auction_n(3)] {
-        let a = analyzer(&w);
+        let a = session(&w);
         for condition in [CycleCondition::TypeI, CycleCondition::TypeII] {
             for settings in grid(condition) {
-                let graph = a.summary_graph(settings);
+                let graph = a.graph(settings);
                 assert_eq!(
                     mvrc_robustness::find_type2_violation(&graph).is_some(),
                     mvrc_robustness::find_type2_violation_naive(&graph).is_some(),
@@ -339,15 +344,12 @@ fn unfolding_deeper_than_two_does_not_change_any_verdict() {
     // Proposition 6.1 in practice: unfolding loops three times instead of two must not change
     // the verdict for any benchmark or setting.
     for w in [tpcc(), auction_n(2)] {
-        let default = RobustnessAnalyzer::new(&w.schema, &w.programs);
-        let deeper = RobustnessAnalyzer::with_unfold_options(
-            &w.schema,
-            &w.programs,
-            mvrc_btp::UnfoldOptions {
+        let default = session(&w);
+        let deeper =
+            RobustnessSession::new(w.clone().with_unfold_options(mvrc_btp::UnfoldOptions {
                 max_loop_iterations: 3,
                 deduplicate: true,
-            },
-        );
+            }));
         for condition in [CycleCondition::TypeI, CycleCondition::TypeII] {
             for settings in grid(condition) {
                 assert_eq!(

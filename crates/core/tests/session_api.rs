@@ -1,0 +1,157 @@
+//! Property tests for the session API: downward closure end-to-end (Proposition 5.2) and the
+//! session's graph-cache and incremental-edit contracts.
+
+use mvrc_benchmarks::{smallbank, synthetic, SyntheticConfig};
+use mvrc_robustness::{
+    explore_subsets, AnalysisSettings, CycleCondition, RobustnessSession, SummaryGraph,
+};
+use proptest::prelude::*;
+
+fn synthetic_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..=3,   // relations
+        2usize..=5,   // attributes per relation
+        1usize..=5,   // programs
+        1usize..=4,   // statements per program
+        0.0f64..=1.0, // predicate probability
+        0.0f64..=1.0, // write probability
+        0.0f64..=0.6, // loop probability
+        0.0f64..=0.6, // optional probability
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(relations, attrs, programs, statements, pred_p, write_p, loop_p, opt_p, seed)| {
+                SyntheticConfig {
+                    relations,
+                    attributes_per_relation: attrs,
+                    programs,
+                    statements_per_program: statements,
+                    predicate_probability: pred_p,
+                    write_probability: write_p,
+                    loop_probability: loop_p,
+                    optional_probability: opt_p,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn robust_family_is_downward_closed_end_to_end(config in synthetic_config_strategy()) {
+        // Proposition 5.2, end to end through the public API: every non-empty subset of a set
+        // the exploration reports robust is itself reported robust — both in the exploration's
+        // own output and when re-asked through `analyze_programs` on the same session.
+        let session = RobustnessSession::new(synthetic(config));
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            let settings = AnalysisSettings {
+                condition,
+                ..AnalysisSettings::paper_default()
+            };
+            let exploration = explore_subsets(&session, settings);
+            for set in &exploration.robust {
+                for drop_idx in 0..set.len() {
+                    let mut smaller = set.clone();
+                    smaller.remove(drop_idx);
+                    if smaller.is_empty() {
+                        continue;
+                    }
+                    prop_assert!(
+                        exploration.robust.contains(&smaller),
+                        "robust family not downward closed under {}: {:?} missing",
+                        settings,
+                        smaller
+                    );
+                    let names: Vec<&str> = smaller
+                        .iter()
+                        .map(|&i| exploration.programs[i].as_str())
+                        .collect();
+                    prop_assert!(
+                        session.analyze_programs(&names, settings).unwrap().is_robust(),
+                        "analyze_programs disagrees with the exploration on {:?}",
+                        names
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_builds_one_graph_per_shape_across_queries_and_edits(
+        config in synthetic_config_strategy(),
+        extra_seed in any::<u64>(),
+    ) {
+        let workload = synthetic(config);
+        let extra = synthetic(SyntheticConfig {
+            programs: 1,
+            seed: extra_seed,
+            ..config
+        });
+        let mut session = RobustnessSession::new(workload);
+        let settings = AnalysisSettings::paper_default();
+
+        let before = SummaryGraph::constructions_on_current_thread();
+        // Repeated queries under one settings combination: exactly one build.
+        session.analyze(settings);
+        session.is_robust(settings);
+        explore_subsets(&session, settings);
+        prop_assert_eq!(SummaryGraph::constructions_on_current_thread() - before, 1);
+
+        // Incremental edits recompute rows in place — still no new construction, and the
+        // edited cache answers exactly like a session built from scratch.
+        session.add_program(extra.programs[0].renamed("ExtraProgram"));
+        prop_assert_eq!(SummaryGraph::constructions_on_current_thread() - before, 1);
+        let fresh = RobustnessSession::new(session.workload().clone());
+        prop_assert_eq!(session.is_robust(settings), fresh.is_robust(settings));
+        prop_assert_eq!(
+            session.graph(settings).edge_count(),
+            fresh.graph(settings).edge_count()
+        );
+        prop_assert_eq!(
+            session.graph(settings).counterflow_edge_count(),
+            fresh.graph(settings).counterflow_edge_count()
+        );
+        prop_assert_eq!(SummaryGraph::constructions_on_current_thread() - before, 2);
+
+        session.remove_program("ExtraProgram").unwrap();
+        prop_assert_eq!(SummaryGraph::constructions_on_current_thread() - before, 2);
+        let rebuilt = RobustnessSession::new(session.workload().clone());
+        prop_assert_eq!(session.is_robust(settings), rebuilt.is_robust(settings));
+        prop_assert_eq!(
+            session.graph(settings).edge_count(),
+            rebuilt.graph(settings).edge_count()
+        );
+    }
+}
+
+#[test]
+fn smallbank_session_edits_reproduce_figure_6_verdicts() {
+    // Walk the SmallBank workload through incremental edits and check the cached graph keeps
+    // giving the Figure 6 answers at every step.
+    let settings = AnalysisSettings::paper_default();
+    let full = smallbank();
+    let mut session = RobustnessSession::new(full.clone());
+    assert!(!session.is_robust(settings));
+
+    let before = SummaryGraph::constructions_on_current_thread();
+    session.remove_program("WriteCheck").unwrap();
+    session.remove_program("Balance").unwrap();
+    assert!(
+        session.is_robust(settings),
+        "{{Am, DC, TS}} is a maximal robust subset (Figure 6)"
+    );
+
+    let balance = full.program("Balance").expect("Balance exists").clone();
+    session.add_program(balance);
+    assert!(
+        !session.is_robust(settings),
+        "{{Am, Bal, DC, TS}} is not robust (Figure 6)"
+    );
+    assert_eq!(
+        SummaryGraph::constructions_on_current_thread(),
+        before,
+        "all three edits must be answered from the incrementally maintained graph"
+    );
+}

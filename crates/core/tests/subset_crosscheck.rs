@@ -1,34 +1,54 @@
-//! Cross-check of the shared-graph subset exploration against the naive per-subset oracle.
+//! Cross-check of the closure-pruned, shared-graph subset exploration against the exhaustive
+//! paths.
 //!
-//! [`explore_subsets`] constructs one summary graph per settings combination and tests every
-//! subset on an induced-subgraph view; [`explore_subsets_naive`] re-runs Algorithm 1 for every
-//! subset. The two must agree *exactly* — same robust family, same maximal subsets — on every
-//! workload (the `assert_agree` cross-check idiom of the dbcop consistency checker). The
-//! property tests drive the comparison over random synthetic workloads across the full
-//! evaluation grid; a separate test pins down the "exactly one construction per settings
-//! combination" contract of the shared-graph path.
+//! [`explore_subsets`] answers every subset on an induced view of the session's cached summary
+//! graph and skips cycle tests via downward-closure pruning (Proposition 5.2);
+//! [`explore_subsets_with`] with pruning disabled tests every mask on the shared graph;
+//! [`explore_subsets_naive`] re-runs Algorithm 1 for every subset. All three must agree
+//! *exactly* — same robust family, same maximal subsets — on every workload (the
+//! `assert_agree` cross-check idiom of the dbcop consistency checker). The property tests drive
+//! the comparison over random synthetic workloads across the full evaluation grid; separate
+//! tests pin down the "exactly one construction per graph-shape combination" contract of the
+//! session and the strictly-fewer-cycle-tests claim of the pruning on TPC-C.
 
-use mvrc_benchmarks::{auction, smallbank, synthetic, SyntheticConfig};
+use mvrc_benchmarks::{auction, smallbank, synthetic, tpcc, SyntheticConfig};
 use mvrc_robustness::{
-    explore_subsets, explore_subsets_naive, AnalysisSettings, CycleCondition, RobustnessAnalyzer,
-    SummaryGraph,
+    explore_subsets, explore_subsets_naive, explore_subsets_with, AnalysisSettings, CycleCondition,
+    ExploreOptions, RobustnessSession, SummaryGraph,
 };
 use proptest::prelude::*;
 
-/// Asserts that the induced-view exploration and the naive reconstruction agree on a workload
-/// under one settings combination.
-fn assert_agree(analyzer: &RobustnessAnalyzer, settings: AnalysisSettings) {
-    let shared = explore_subsets(analyzer, settings);
-    let naive = explore_subsets_naive(analyzer, settings);
+/// Asserts that the pruned, exhaustive-shared and naive explorations agree on a workload under
+/// one settings combination.
+fn assert_agree(session: &RobustnessSession, settings: AnalysisSettings) {
+    let pruned = explore_subsets(session, settings);
+    let exhaustive = explore_subsets_with(
+        session,
+        settings,
+        ExploreOptions {
+            closure_pruning: false,
+            ..ExploreOptions::default()
+        },
+    );
+    let naive = explore_subsets_naive(session, settings);
     assert_eq!(
-        shared.robust, naive.robust,
-        "robust families differ under {settings} for programs {:?}",
-        shared.programs
+        pruned.robust, naive.robust,
+        "robust families differ (pruned vs naive) under {settings} for programs {:?}",
+        pruned.programs
     );
     assert_eq!(
-        shared.maximal, naive.maximal,
+        exhaustive.robust, naive.robust,
+        "robust families differ (exhaustive vs naive) under {settings} for programs {:?}",
+        exhaustive.programs
+    );
+    assert_eq!(
+        pruned.maximal, naive.maximal,
         "maximal subsets differ under {settings} for programs {:?}",
-        shared.programs
+        pruned.programs
+    );
+    assert!(
+        pruned.cycle_tests + pruned.pruned == naive.cycle_tests,
+        "every subset must be either tested or pruned"
     );
 }
 
@@ -65,14 +85,13 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
     #[test]
-    fn induced_view_exploration_agrees_with_naive_reconstruction(
+    fn pruned_exploration_agrees_with_exhaustive_reconstruction(
         config in synthetic_config_strategy(),
     ) {
-        let workload = synthetic(config);
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let session = RobustnessSession::new(synthetic(config));
         for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
             for settings in AnalysisSettings::evaluation_grid(condition) {
-                assert_agree(&analyzer, settings);
+                assert_agree(&session, settings);
             }
         }
     }
@@ -80,7 +99,7 @@ proptest! {
 
 #[test]
 fn parallel_enumeration_agrees_on_larger_workloads() {
-    // Workloads with ≥ 6 programs cross the explore_subsets threshold that fans the subset
+    // Workloads with ≥ 6 programs cross the default parallel threshold that fans the subset
     // sweep out across threads; pin the parallel path against the serial oracle explicitly.
     for seed in [7u64, 99, 4242] {
         let workload = synthetic(SyntheticConfig {
@@ -94,36 +113,66 @@ fn parallel_enumeration_agrees_on_larger_workloads() {
             optional_probability: 0.2,
             seed,
         });
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-        assert_agree(&analyzer, AnalysisSettings::paper_default());
+        let session = RobustnessSession::new(workload);
+        assert_agree(&session, AnalysisSettings::paper_default());
         assert_agree(
-            &analyzer,
+            &session,
             AnalysisSettings::baseline(mvrc_robustness::Granularity::Attribute, true),
+        );
+        // An absurd threshold forces the serial path even on the larger workload; the result
+        // must not depend on the fan-out decision.
+        let serial = explore_subsets_with(
+            &session,
+            AnalysisSettings::paper_default(),
+            ExploreOptions {
+                parallel_threshold: usize::MAX,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(
+            serial.robust,
+            explore_subsets(&session, AnalysisSettings::paper_default()).robust
         );
     }
 }
 
 #[test]
 fn paper_benchmarks_agree_across_the_evaluation_grid() {
-    for workload in [smallbank(), auction()] {
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    for workload in [smallbank(), tpcc(), auction()] {
+        let session = RobustnessSession::new(workload);
         for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
             for settings in AnalysisSettings::evaluation_grid(condition) {
-                assert_agree(&analyzer, settings);
+                assert_agree(&session, settings);
             }
         }
     }
 }
 
 #[test]
-fn shared_exploration_constructs_exactly_one_graph_per_settings_combination() {
+fn closure_pruning_saves_cycle_tests_on_tpcc() {
+    // TPC-C, attr dep + FK: {Pay, OS, SL} and {NO, Pay} are robust (Figure 6), so their
+    // subsets are inherited by Proposition 5.2 instead of tested.
+    let session = RobustnessSession::new(tpcc());
+    let exploration = explore_subsets(&session, AnalysisSettings::paper_default());
+    let total = (1usize << session.program_names().len()) - 1;
+    assert!(
+        exploration.cycle_tests < total,
+        "pruning must run strictly fewer cycle tests than the {total}-subset sweep, ran {}",
+        exploration.cycle_tests
+    );
+    assert!(exploration.pruned > 0);
+    assert_eq!(exploration.cycle_tests + exploration.pruned, total);
+}
+
+#[test]
+fn session_constructs_exactly_one_graph_per_shape_combination() {
     let workload = smallbank();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
     let subsets_per_run = (1usize << workload.programs.len()) - 1;
+    let session = RobustnessSession::new(workload);
 
     for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
         let before = SummaryGraph::constructions_on_current_thread();
-        let exploration = explore_subsets(&analyzer, settings);
+        let exploration = explore_subsets(&session, settings);
         let after = SummaryGraph::constructions_on_current_thread();
         assert!(exploration.robust.len() <= subsets_per_run);
         assert_eq!(
@@ -133,10 +182,19 @@ fn shared_exploration_constructs_exactly_one_graph_per_settings_combination() {
         );
     }
 
+    // Re-running any sweep hits the session cache: zero further constructions.
+    let before = SummaryGraph::constructions_on_current_thread();
+    explore_subsets(&session, AnalysisSettings::paper_default());
+    explore_subsets(
+        &session,
+        AnalysisSettings::baseline(mvrc_robustness::Granularity::Attribute, true),
+    );
+    assert_eq!(SummaryGraph::constructions_on_current_thread(), before);
+
     // The retained naive oracle really does reconstruct one graph per subset — the comparison
     // the Criterion bench `subset_exploration` measures.
     let before = SummaryGraph::constructions_on_current_thread();
-    explore_subsets_naive(&analyzer, AnalysisSettings::paper_default());
+    explore_subsets_naive(&session, AnalysisSettings::paper_default());
     let after = SummaryGraph::constructions_on_current_thread();
     assert_eq!(after - before, subsets_per_run as u64);
 }

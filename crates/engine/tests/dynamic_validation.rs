@@ -17,7 +17,7 @@ use mvrc_engine::{
     auction_executable, run_workload, smallbank_executable, AuctionConfig, DriverConfig,
     IsolationLevel, SmallBankConfig,
 };
-use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
+use mvrc_robustness::{AnalysisSettings, RobustnessSession};
 
 /// High-contention SmallBank: 2 customers, 6 interleaved transactions.
 fn contended_smallbank(programs: &[&str]) -> mvrc_engine::ExecutableWorkload {
@@ -53,8 +53,8 @@ fn static_verdict_smallbank(programs: &[&str]) -> bool {
         .filter(|p| programs.contains(&p.name()))
         .cloned()
         .collect();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &subset);
-    analyzer.is_robust(AnalysisSettings::paper_default())
+    let session = RobustnessSession::from_programs(&workload.schema, &subset);
+    session.is_robust(AnalysisSettings::paper_default())
 }
 
 #[test]
@@ -169,9 +169,9 @@ fn snapshot_isolation_blocks_lost_updates_but_not_write_skew() {
 #[test]
 fn auction_is_robust_statically_and_dynamically() {
     let workload = auction();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(workload);
     assert!(
-        analyzer.is_robust(AnalysisSettings::paper_default()),
+        session.is_robust(AnalysisSettings::paper_default()),
         "the Auction benchmark is robust against MVRC (Figure 6)"
     );
     for seed in 0..8 {

@@ -9,7 +9,7 @@
 
 use mvrc_benchmarks::tpcc;
 use mvrc_engine::{run_workload, tpcc_executable, DriverConfig, IsolationLevel, TpccConfig};
-use mvrc_robustness::{AnalysisSettings, RobustnessAnalyzer};
+use mvrc_robustness::{AnalysisSettings, RobustnessSession};
 
 fn contended_config() -> TpccConfig {
     TpccConfig {
@@ -36,9 +36,10 @@ fn drive(programs: &[&str], isolation: IsolationLevel, seed: u64) -> mvrc_engine
 
 fn static_verdict(programs: &[&str]) -> bool {
     let workload = tpcc();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    analyzer
+    let session = RobustnessSession::new(workload);
+    session
         .analyze_programs(programs, AnalysisSettings::paper_default())
+        .expect("known TPC-C program names")
         .is_robust()
 }
 

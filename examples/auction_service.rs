@@ -31,15 +31,15 @@ fn main() {
     }
     println!();
 
-    let analyzer = RobustnessAnalyzer::new(&schema, &programs);
-    let ltps = analyzer.ltps();
+    let session = RobustnessSession::from_programs(&schema, &programs);
+    let ltps = session.ltps();
     println!("-- Unfold≤2 -------------------------------------------------------------");
     for ltp in ltps {
         println!("{ltp}");
     }
     println!();
 
-    let graph = analyzer.summary_graph(AnalysisSettings::paper_default());
+    let graph = session.graph(AnalysisSettings::paper_default());
     println!("-- summary graph (Algorithm 1) -------------------------------------------");
     println!(
         "{} nodes, {} edges ({} counterflow)",

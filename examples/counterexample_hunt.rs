@@ -14,7 +14,7 @@ use mvrc_repro::schedule::SerializationGraph;
 
 fn main() {
     let workload = smallbank();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(workload.clone());
     let settings = AnalysisSettings::paper_default();
 
     // A few interesting subsets: the first two are rejected by the static analysis, the third is
@@ -27,11 +27,13 @@ fn main() {
     ];
 
     for subset in subsets {
-        let report = analyzer.analyze_programs(subset, settings);
+        let report = session
+            .analyze_programs(subset, settings)
+            .expect("known program names");
         println!("subset {{{}}}", subset.join(", "));
         println!("  static analysis: {}", report.outcome);
 
-        let ltps: Vec<LinearProgram> = analyzer
+        let ltps: Vec<LinearProgram> = session
             .ltps()
             .iter()
             .filter(|l| subset.contains(&l.program_name()))
@@ -92,7 +94,7 @@ fn main() {
     }
 
     // Show the anatomy of one non-serializable schedule in detail for the WriteCheck anomaly.
-    let wc_ltps: Vec<LinearProgram> = analyzer
+    let wc_ltps: Vec<LinearProgram> = session
         .ltps()
         .iter()
         .filter(|l| l.program_name() == "WriteCheck")

@@ -40,7 +40,7 @@ fn drive_smallbank(programs: &[&str], seed: u64) -> mvrc_engine::RunStats {
 
 fn main() {
     let smallbank = mvrc_repro::benchmarks::smallbank();
-    let analyzer = RobustnessAnalyzer::new(&smallbank.schema, &smallbank.programs);
+    let session = RobustnessSession::new(smallbank.clone());
     let settings = AnalysisSettings::paper_default();
 
     let subsets: &[&[&str]] = &[
@@ -64,7 +64,9 @@ fn main() {
         "program subset", "Algorithm 2", "runs checked", "anomalies found"
     );
     for subset in subsets {
-        let report = analyzer.analyze_programs(subset, settings);
+        let report = session
+            .analyze_programs(subset, settings)
+            .expect("known program names");
         let robust = report.is_robust();
         let mut anomalies = 0usize;
         let runs = 15u64;
@@ -95,8 +97,8 @@ fn main() {
     println!("Auction (the paper's running example) under read committed");
     println!("{:-<100}", "");
     let auction = mvrc_repro::benchmarks::auction();
-    let auction_analyzer = RobustnessAnalyzer::new(&auction.schema, &auction.programs);
-    let verdict = auction_analyzer.is_robust(settings);
+    let auction_session = RobustnessSession::new(auction.clone());
+    let verdict = auction_session.is_robust(settings);
     let mut anomalies = 0usize;
     for seed in 0..15 {
         let workload = auction_executable(AuctionConfig {

@@ -58,8 +58,8 @@ fn main() {
     println!();
 
     // 3. Run the robustness analysis (Algorithm 1 + Algorithm 2 of the paper).
-    let analyzer = RobustnessAnalyzer::new(&schema, &[place_order, report]);
-    let verdict = analyzer.analyze(AnalysisSettings::paper_default());
+    let session = RobustnessSession::from_programs(&schema, &[place_order, report]);
+    let verdict = session.analyze(AnalysisSettings::paper_default());
     println!("{verdict}");
     println!();
 
@@ -72,7 +72,7 @@ fn main() {
     }
 
     // 4. Compare with the older type-I condition of Alomari & Fekete.
-    let baseline = analyzer.analyze(AnalysisSettings::baseline(Granularity::Attribute, true));
+    let baseline = session.analyze(AnalysisSettings::baseline(Granularity::Attribute, true));
     println!();
     println!("baseline (type-I condition): {}", baseline.outcome);
 }

@@ -82,14 +82,14 @@ fn main() {
     }
     println!();
 
-    let analyzer = RobustnessAnalyzer::new(&schema, &programs);
+    let session = RobustnessSession::from_programs(&schema, &programs);
     println!("full workload:");
-    println!("{}", analyzer.analyze(AnalysisSettings::paper_default()));
+    println!("{}", session.analyze(AnalysisSettings::paper_default()));
     println!();
 
     // BookSeat races with itself (two customers booking the same seat read the old price and
     // both overwrite it), so the full workload is not robust. Explore which subsets are.
-    let exploration = explore_subsets(&analyzer, AnalysisSettings::paper_default());
+    let exploration = explore_subsets(&session, AnalysisSettings::paper_default());
     println!(
         "maximal robust subsets: {}",
         exploration.render_maximal(|name| name.to_string())

@@ -11,21 +11,21 @@ use mvrc_repro::prelude::*;
 
 fn main() {
     let workload = tpcc();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(workload.clone());
 
     println!(
         "TPC-C: {} programs, {} unfolded LTPs",
         workload.program_count(),
-        analyzer.ltps().len()
+        session.ltps().len()
     );
-    for ltp in analyzer.ltps() {
+    for ltp in session.ltps() {
         println!("  {}", ltp.name());
     }
     println!();
 
     // Full-workload verdicts: TPC-C as a whole is not robust against MVRC (Delivery/NewOrder
     // conflicts), so the interesting question is which subsets are.
-    let full = analyzer.analyze(AnalysisSettings::paper_default());
+    let full = session.analyze(AnalysisSettings::paper_default());
     println!("full workload: {}", full.outcome);
     if let Some(witness) = &full.violation_description {
         println!("  witness: {witness}");
@@ -41,7 +41,7 @@ fn main() {
             }
         );
         for settings in AnalysisSettings::evaluation_grid(condition) {
-            let exploration = explore_subsets(&analyzer, settings);
+            let exploration = explore_subsets(&session, settings);
             println!(
                 "  {:<14} {}",
                 settings.label(),
@@ -54,13 +54,16 @@ fn main() {
     // Practical reading of the result: a deployment that only issues OrderStatus, Payment and
     // StockLevel (e.g. a read-mostly reporting replica plus payments) can run at READ COMMITTED;
     // one that also issues NewOrder or Delivery cannot be attested safe.
-    let safe = analyzer.analyze_programs(
-        &["OrderStatus", "Payment", "StockLevel"],
-        AnalysisSettings::paper_default(),
-    );
+    let safe = session
+        .analyze_programs(
+            &["OrderStatus", "Payment", "StockLevel"],
+            AnalysisSettings::paper_default(),
+        )
+        .expect("known TPC-C program names");
     println!("{{OrderStatus, Payment, StockLevel}}: {}", safe.outcome);
-    let unsafe_mix =
-        analyzer.analyze_programs(&["NewOrder", "Delivery"], AnalysisSettings::paper_default());
+    let unsafe_mix = session
+        .analyze_programs(&["NewOrder", "Delivery"], AnalysisSettings::paper_default())
+        .expect("known TPC-C program names");
     println!(
         "{{NewOrder, Delivery}}:               {}",
         unsafe_mix.outcome

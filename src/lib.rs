@@ -20,9 +20,8 @@
 //! ```
 //! use mvrc_repro::prelude::*;
 //!
-//! let workload = mvrc_repro::benchmarks::auction();
-//! let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-//! let report = analyzer.analyze(AnalysisSettings::paper_default());
+//! let session = RobustnessSession::new(mvrc_repro::benchmarks::auction());
+//! let report = session.analyze(AnalysisSettings::paper_default());
 //! assert!(report.is_robust());
 //! ```
 
@@ -34,12 +33,14 @@ pub use mvrc_schema as schema;
 
 /// Commonly used items, re-exported for convenient glob imports in examples and applications.
 pub mod prelude {
-    pub use mvrc_benchmarks::Workload;
     pub use mvrc_btp::sql::{parse_catalog, parse_workload, parse_workload_file};
-    pub use mvrc_btp::{unfold_set_le2, LinearProgram, Program, ProgramBuilder, StatementKind};
+    pub use mvrc_btp::{
+        unfold_set_le2, LinearProgram, Program, ProgramBuilder, StatementKind, Workload,
+    };
     pub use mvrc_robustness::{
-        explore_subsets, explore_subsets_naive, AnalysisReport, AnalysisSettings, CycleCondition,
-        Granularity, InducedView, RobustnessAnalyzer, SummaryGraph, SummaryGraphView,
+        explore_subsets, explore_subsets_naive, explore_subsets_with, AnalysisReport,
+        AnalysisSettings, CycleCondition, ExploreOptions, Granularity, InducedView,
+        RobustnessSession, SummaryGraph, SummaryGraphView,
     };
     pub use mvrc_schedule::{find_counterexample, SearchConfig};
     pub use mvrc_schema::{Schema, SchemaBuilder};

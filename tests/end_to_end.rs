@@ -10,8 +10,8 @@ fn auction_static_verdict_is_confirmed_by_random_mvrc_schedules() {
     // The whole Auction workload is attested robust; every randomly sampled MVRC schedule over
     // its instantiations must therefore be conflict serializable.
     let workload = auction();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
+    let session = RobustnessSession::new(workload.clone());
+    assert!(session.is_robust(AnalysisSettings::paper_default()));
 
     let config = SearchConfig {
         transactions: 3,
@@ -19,7 +19,7 @@ fn auction_static_verdict_is_confirmed_by_random_mvrc_schedules() {
         attempts: 1_500,
         ..SearchConfig::default()
     };
-    let stats = sample_serializability(&workload.schema, analyzer.ltps(), &config);
+    let stats = sample_serializability(&workload.schema, session.ltps(), &config);
     assert!(
         stats.mvrc_schedules > 200,
         "sampling should produce plenty of MVRC-legal schedules"
@@ -33,13 +33,14 @@ fn auction_static_verdict_is_confirmed_by_random_mvrc_schedules() {
 #[test]
 fn smallbank_robust_subset_produces_only_serializable_schedules() {
     let workload = smallbank();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(workload.clone());
     let subset = ["Amalgamate", "DepositChecking", "TransactSavings"];
-    assert!(analyzer
+    assert!(session
         .analyze_programs(&subset, AnalysisSettings::paper_default())
+        .expect("known program names")
         .is_robust());
 
-    let ltps: Vec<LinearProgram> = analyzer
+    let ltps: Vec<LinearProgram> = session
         .ltps()
         .iter()
         .filter(|l| subset.contains(&l.program_name()))
@@ -58,19 +59,21 @@ fn smallbank_rejected_subsets_have_real_anomalies() {
     // Section 7.2: for SmallBank the algorithm has no false negatives, so every rejected subset
     // admits a concrete non-serializable MVRC schedule. Spot-check three rejected subsets.
     let workload = smallbank();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(workload.clone());
     let rejected_subsets: [&[&str]; 3] = [
         &["WriteCheck"],
         &["Amalgamate", "Balance"],
         &["DepositChecking", "WriteCheck"],
     ];
     for subset in rejected_subsets {
-        let report = analyzer.analyze_programs(subset, AnalysisSettings::paper_default());
+        let report = session
+            .analyze_programs(subset, AnalysisSettings::paper_default())
+            .expect("known program names");
         assert!(
             !report.is_robust(),
             "{subset:?} should be rejected by Algorithm 2"
         );
-        let ltps: Vec<LinearProgram> = analyzer
+        let ltps: Vec<LinearProgram> = session
             .ltps()
             .iter()
             .filter(|l| subset.contains(&l.program_name()))
@@ -95,13 +98,14 @@ fn smallbank_rejected_subsets_have_real_anomalies() {
 #[test]
 fn tpcc_payment_only_deployment_is_safe_and_serializable_in_sampling() {
     let workload = tpcc();
-    let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+    let session = RobustnessSession::new(workload.clone());
     let subset = ["OrderStatus", "Payment", "StockLevel"];
-    assert!(analyzer
+    assert!(session
         .analyze_programs(&subset, AnalysisSettings::paper_default())
+        .expect("known program names")
         .is_robust());
 
-    let ltps: Vec<LinearProgram> = analyzer
+    let ltps: Vec<LinearProgram> = session
         .ltps()
         .iter()
         .filter(|l| subset.contains(&l.program_name()))
@@ -126,8 +130,8 @@ fn sql_frontend_and_builder_agree_end_to_end() {
     let workload = auction();
     let from_sql =
         parse_workload(&workload.schema, mvrc_repro::benchmarks::AUCTION_SQL).expect("parses");
-    let a1 = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-    let a2 = RobustnessAnalyzer::new(&workload.schema, &from_sql);
+    let a1 = RobustnessSession::new(workload.clone());
+    let a2 = RobustnessSession::from_programs(&workload.schema, &from_sql);
     for condition in [CycleCondition::TypeI, CycleCondition::TypeII] {
         for settings in AnalysisSettings::evaluation_grid(condition) {
             let e1 = explore_subsets(&a1, settings);

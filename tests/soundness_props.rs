@@ -53,10 +53,10 @@ proptest! {
     #[test]
     fn type1_robust_implies_type2_robust(config in synthetic_config_strategy()) {
         let workload = synthetic(config);
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let session = RobustnessSession::new(workload.clone());
         for use_fk in [false, true] {
             for granularity in [Granularity::Attribute, Granularity::Tuple] {
-                let graph = analyzer.summary_graph(AnalysisSettings {
+                let graph = session.graph(AnalysisSettings {
                     granularity,
                     use_foreign_keys: use_fk,
                     condition: CycleCondition::TypeII,
@@ -74,28 +74,28 @@ proptest! {
     #[test]
     fn coarser_settings_only_lose_robustness(config in synthetic_config_strategy()) {
         let workload = synthetic(config);
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let session = RobustnessSession::new(workload.clone());
         let attr = AnalysisSettings::paper_default();
         let tuple = AnalysisSettings { granularity: Granularity::Tuple, ..attr };
         let no_fk = AnalysisSettings { use_foreign_keys: false, ..attr };
         // Tuple granularity adds edges; robustness at tuple granularity implies robustness at
         // attribute granularity.
-        if analyzer.is_robust(tuple) {
-            prop_assert!(analyzer.is_robust(attr));
+        if session.is_robust(tuple) {
+            prop_assert!(session.is_robust(attr));
         }
         // Ignoring foreign keys adds counterflow edges; robustness without them implies
         // robustness with them.
-        if analyzer.is_robust(no_fk) {
-            prop_assert!(analyzer.is_robust(attr));
+        if session.is_robust(no_fk) {
+            prop_assert!(session.is_robust(attr));
         }
     }
 
     #[test]
     fn optimized_and_naive_algorithm2_agree(config in synthetic_config_strategy()) {
         let workload = synthetic(config);
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
+        let session = RobustnessSession::new(workload.clone());
         for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
-            let graph = analyzer.summary_graph(settings);
+            let graph = session.graph(settings);
             prop_assert_eq!(
                 find_type2_violation(&graph).is_some(),
                 find_type2_violation_naive(&graph).is_some()
@@ -106,12 +106,10 @@ proptest! {
     #[test]
     fn unfolding_deeper_does_not_flip_verdicts(config in synthetic_config_strategy()) {
         let workload = synthetic(config);
-        let le2 = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-        let le3 = RobustnessAnalyzer::with_unfold_options(
-            &workload.schema,
-            &workload.programs,
+        let le2 = RobustnessSession::new(workload.clone());
+        let le3 = RobustnessSession::new(workload.clone().with_unfold_options(
             mvrc_repro::btp::UnfoldOptions { max_loop_iterations: 3, deduplicate: true },
-        );
+        ));
         let settings = AnalysisSettings::paper_default();
         prop_assert_eq!(le2.is_robust(settings), le3.is_robust(settings));
     }
@@ -127,8 +125,8 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let workload = synthetic(config);
-        let analyzer = RobustnessAnalyzer::new(&workload.schema, &workload.programs);
-        if !analyzer.is_robust(AnalysisSettings::paper_default()) {
+        let session = RobustnessSession::new(workload.clone());
+        if !session.is_robust(AnalysisSettings::paper_default()) {
             // Nothing to check: the analysis makes no claim about non-attested workloads.
             return Ok(());
         }
@@ -139,7 +137,7 @@ proptest! {
             attempts: 120,
             seed,
         };
-        let stats = sample_serializability(&workload.schema, analyzer.ltps(), &search);
+        let stats = sample_serializability(&workload.schema, session.ltps(), &search);
         prop_assert_eq!(
             stats.serializable, stats.mvrc_schedules,
             "attested-robust workload produced a non-serializable MVRC schedule"

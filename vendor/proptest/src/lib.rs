@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the slice of proptest this workspace uses: the [`proptest!`] macro (with an
-//! optional `#![proptest_config(...)]` header), range / tuple / [`Just`] / `prop_oneof!` /
+//! optional `#![proptest_config(...)]` header), range / tuple / [`strategy::Just`] / `prop_oneof!` /
 //! `prop_map` / `any::<T>()` strategies and the `prop_assert*` macros. Cases are generated from
 //! a deterministic per-case seed; there is **no shrinking** — a failing case reports its inputs
 //! via the panic message instead.
