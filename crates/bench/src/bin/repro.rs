@@ -15,7 +15,8 @@
 //! ```
 //!
 //! Add `--json` to emit machine-readable output for `table2`, `figure6`, `figure7` and
-//! `figure8`.
+//! `figure8`. Add `--threads N` to pin the size of the `mvrc-par` worker pool (equivalent to
+//! setting `MVRC_THREADS=N`); the benchmark rows record the pool size actually used.
 
 use mvrc_bench::{figure6, figure7, figure8, table2};
 use mvrc_benchmarks::{auction, smallbank, tpcc};
@@ -43,6 +44,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_subsets.json".to_string());
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let Some(threads) = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        else {
+            eprintln!("--threads needs a positive thread count");
+            std::process::exit(2);
+        };
+        // Must run before the first parallel pass starts the pool lazily.
+        if !mvrc_par::configure_thread_count(threads) {
+            eprintln!("--threads {threads}: pool already running with a different size");
+            std::process::exit(2);
+        }
+    }
 
     match command {
         "table2" => print_table2(json),
@@ -64,7 +80,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|all] [--max N] [--json] [--out PATH]");
+            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|all] [--max N] [--json] [--out PATH] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -177,7 +193,9 @@ fn print_graphs() {
 }
 
 /// One row of `BENCH_subsets.json`: median wall-clock time of the three subset-exploration
-/// paths on one benchmark, plus the cycle-test savings of the closure pruning.
+/// paths on one benchmark, plus the counters that make the perf trajectory interpretable —
+/// how many cycle tests the pruned sweep actually ran, how many subsets the closure pruning
+/// decided for free, and how many pool workers the parallel passes had available.
 #[derive(Debug, Clone, Serialize)]
 struct SubsetBenchRow {
     benchmark: String,
@@ -193,6 +211,8 @@ struct SubsetBenchRow {
     cycle_tests: usize,
     /// Subsets decided by downward-closure pruning alone.
     pruned_subsets: usize,
+    /// Size of the `mvrc-par` worker pool during the run (`MVRC_THREADS` / `--threads`).
+    threads: usize,
 }
 
 /// Median wall-clock time of `f` over `runs` executions, in microseconds.
@@ -241,6 +261,9 @@ fn bench_subsets(out_path: &str) {
                 pruned_us,
                 cycle_tests: pruned.cycle_tests,
                 pruned_subsets: pruned.pruned,
+                // `planned`, not `pool`: asking the running pool would *start* it, and with it
+                // end the single-threaded allocator fast path the serial sweeps benefit from.
+                threads: mvrc_par::planned_thread_count(),
             }
         })
         .collect();
@@ -248,8 +271,9 @@ fn bench_subsets(out_path: &str) {
     println!("== Subset exploration medians ({RUNS} runs): naive vs shared vs closure-pruned ==");
     for row in &rows {
         println!(
-            "  {:<10} naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  ({} of {} cycle tests run)",
-            row.benchmark, row.naive_us, row.shared_us, row.pruned_us, row.cycle_tests, row.subsets
+            "  {:<10} naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
+            row.benchmark, row.naive_us, row.shared_us, row.pruned_us, row.cycle_tests, row.subsets,
+            row.pruned_subsets, row.threads
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");

@@ -84,6 +84,8 @@ OPTIONS:
     --type1       use the type-I cycle condition of Alomari & Fekete instead of type-II
     --json        print machine-readable JSON (analyze / subsets)
     --labels      include statement labels on graph edges (graph)
+    --threads N   pin the worker-pool size used by parallel sweeps (default: MVRC_THREADS
+                  or the available parallelism)
 
 EXIT CODES:
     0  the workload (or every program subset asked about) is robust / command succeeded

@@ -1,134 +1,16 @@
-//! [`AnalysisReport`] and the deprecated [`RobustnessAnalyzer`] shim.
+//! [`AnalysisReport`]: the serializable result of one robustness analysis run.
 //!
-//! The stateless analyzer was superseded by the stateful [`RobustnessSession`], which caches
-//! one summary graph per settings combination and answers every query through views instead of
-//! reconstructing. The shim remains only to ease migration; it delegates to an internal
-//! session.
+//! Reports are produced by [`RobustnessSession::analyze`](crate::RobustnessSession::analyze)
+//! and [`analyze_programs`](crate::RobustnessSession::analyze_programs) from views of the
+//! session's cached summary graphs. (The stateless `RobustnessAnalyzer` that used to live here
+//! was deprecated in 0.2.0 and has been removed; construct a [`RobustnessSession`] from a
+//! [`mvrc_btp::Workload`] instead.)
 
 use crate::algorithm::{RobustnessOutcome, Violation};
-use crate::session::RobustnessSession;
 use crate::settings::AnalysisSettings;
 use crate::summary::{describe_edge_in, SummaryGraph, SummaryGraphView};
-use mvrc_btp::{LinearProgram, Program, UnfoldOptions, Workload};
-use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-
-/// Deprecated stateless analyzer; use [`RobustnessSession`] instead.
-///
-/// Every method delegates to an internal session, so repeated queries still benefit from the
-/// graph cache — but the session API additionally offers incremental workload edits, explicit
-/// unknown-program errors and the subset-exploration entry points.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RobustnessSession` (constructed from a `Workload`) instead"
-)]
-#[derive(Debug, Clone)]
-pub struct RobustnessAnalyzer {
-    session: RobustnessSession,
-}
-
-#[allow(deprecated)]
-impl RobustnessAnalyzer {
-    /// Creates an analyzer for the given workload using the paper's `Unfold≤2`.
-    pub fn new(schema: &Schema, programs: &[Program]) -> Self {
-        RobustnessAnalyzer {
-            session: RobustnessSession::from_programs(schema, programs),
-        }
-    }
-
-    /// Creates an analyzer with a custom unfolding bound (for the Proposition 6.1 sanity
-    /// ablation).
-    pub fn with_unfold_options(
-        schema: &Schema,
-        programs: &[Program],
-        options: UnfoldOptions,
-    ) -> Self {
-        RobustnessAnalyzer {
-            session: RobustnessSession::new(
-                Workload::new(schema.name(), schema.clone(), programs.to_vec(), &[])
-                    .with_unfold_options(options),
-            ),
-        }
-    }
-
-    /// Creates an analyzer directly from LTPs (skipping unfolding).
-    pub fn from_ltps(schema: &Schema, ltps: Vec<LinearProgram>) -> Self {
-        RobustnessAnalyzer {
-            session: RobustnessSession::from_ltps(schema, ltps),
-        }
-    }
-
-    /// The workload's schema.
-    pub fn schema(&self) -> &Schema {
-        self.session.schema()
-    }
-
-    /// Names of the analyzed programs (application-level BTPs).
-    pub fn program_names(&self) -> &[String] {
-        self.session.program_names()
-    }
-
-    /// The unfolded LTPs.
-    pub fn ltps(&self) -> &[LinearProgram] {
-        self.session.ltps()
-    }
-
-    /// The underlying session.
-    pub fn session(&self) -> &RobustnessSession {
-        &self.session
-    }
-
-    /// Constructs the summary graph for the full workload under the given settings.
-    pub fn summary_graph(&self, settings: AnalysisSettings) -> SummaryGraph {
-        (*self.session.graph(settings)).clone()
-    }
-
-    /// Constructs the summary graph restricted to the LTPs unfolded from the given programs.
-    ///
-    /// This is the one remaining per-query construction in the crate; the session answers the
-    /// same question through [`SummaryGraph::induced_for_programs`] without reconstructing.
-    pub fn summary_graph_for_programs(
-        &self,
-        program_names: &[&str],
-        settings: AnalysisSettings,
-    ) -> SummaryGraph {
-        let subset: Vec<LinearProgram> = self
-            .session
-            .ltps()
-            .iter()
-            .filter(|l| program_names.contains(&l.program_name()))
-            .cloned()
-            .collect();
-        SummaryGraph::construct(&subset, self.session.schema(), settings)
-    }
-
-    /// Runs the full analysis (Algorithm 1 + cycle test) under the given settings.
-    pub fn analyze(&self, settings: AnalysisSettings) -> AnalysisReport {
-        self.session.analyze(settings)
-    }
-
-    /// Runs the analysis for a subset of the programs.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a requested program name is unknown (the session API returns the error
-    /// instead).
-    pub fn analyze_programs(
-        &self,
-        program_names: &[&str],
-        settings: AnalysisSettings,
-    ) -> AnalysisReport {
-        self.session
-            .analyze_programs(program_names, settings)
-            .unwrap_or_else(|e| panic!("analyze_programs: {e}"))
-    }
-
-    /// Convenience: is the complete workload attested robust under the given settings?
-    pub fn is_robust(&self, settings: AnalysisSettings) -> bool {
-        self.session.is_robust(settings)
-    }
-}
 
 /// Result of one robustness analysis run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -202,13 +84,15 @@ impl fmt::Display for AnalysisReport {
     }
 }
 
+// Session-level report behaviour is tested here (rather than in `session.rs`) because the
+// assertions are about report contents.
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::session::RobustnessSession;
     use crate::settings::{CycleCondition, Granularity};
-    use mvrc_btp::ProgramBuilder;
-    use mvrc_schema::SchemaBuilder;
+    use mvrc_btp::{Program, ProgramBuilder, Workload};
+    use mvrc_schema::{Schema, SchemaBuilder};
 
     fn auction() -> (Schema, Vec<Program>) {
         let mut b = SchemaBuilder::new("auction");
@@ -253,14 +137,14 @@ mod tests {
     #[test]
     fn full_auction_analysis_matches_the_paper() {
         let (schema, programs) = auction();
-        let analyzer = RobustnessAnalyzer::new(&schema, &programs);
-        assert_eq!(analyzer.ltps().len(), 3);
+        let session = RobustnessSession::from_programs(&schema, &programs);
+        assert_eq!(session.ltps().len(), 3);
         assert_eq!(
-            analyzer.program_names(),
+            session.program_names(),
             &["FindBids".to_string(), "PlaceBid".to_string()]
         );
 
-        let report = analyzer.analyze(AnalysisSettings::paper_default());
+        let report = session.analyze(AnalysisSettings::paper_default());
         assert!(report.is_robust());
         assert_eq!(report.node_count, 3);
         assert_eq!(report.edge_count, 17);
@@ -269,7 +153,7 @@ mod tests {
         assert!(report.to_string().contains("robust against MVRC"));
 
         // The baseline condition cannot attest the full benchmark (type-I cycle exists).
-        let baseline = analyzer.analyze(AnalysisSettings::baseline(Granularity::Attribute, true));
+        let baseline = session.analyze(AnalysisSettings::baseline(Granularity::Attribute, true));
         assert!(!baseline.is_robust());
         assert!(baseline.violation_description.unwrap().contains("type-I"));
     }
@@ -277,25 +161,20 @@ mod tests {
     #[test]
     fn program_subset_analysis() {
         let (schema, programs) = auction();
-        let analyzer = RobustnessAnalyzer::new(&schema, &programs);
-        let report = analyzer.analyze_programs(
-            &["FindBids"],
-            AnalysisSettings::baseline(Granularity::Attribute, true),
-        );
+        let session = RobustnessSession::from_programs(&schema, &programs);
+        let report = session
+            .analyze_programs(
+                &["FindBids"],
+                AnalysisSettings::baseline(Granularity::Attribute, true),
+            )
+            .unwrap();
         assert!(report.is_robust());
         assert_eq!(report.node_count, 1);
 
-        let graph =
-            analyzer.summary_graph_for_programs(&["PlaceBid"], AnalysisSettings::paper_default());
-        assert_eq!(graph.node_count(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown program `Nope`")]
-    fn analyze_programs_panics_on_unknown_names() {
-        let (schema, programs) = auction();
-        let analyzer = RobustnessAnalyzer::new(&schema, &programs);
-        analyzer.analyze_programs(&["Nope"], AnalysisSettings::paper_default());
+        let report = session
+            .analyze_programs(&["PlaceBid"], AnalysisSettings::paper_default())
+            .unwrap();
+        assert_eq!(report.node_count, 2);
     }
 
     #[test]
@@ -303,28 +182,18 @@ mod tests {
         // Proposition 6.1 sanity check: using a larger unfolding bound must not change the
         // analysis result.
         let (schema, programs) = auction();
-        let default = RobustnessAnalyzer::new(&schema, &programs);
-        let deeper = RobustnessAnalyzer::with_unfold_options(
-            &schema,
-            &programs,
-            mvrc_btp::UnfoldOptions {
-                max_loop_iterations: 4,
-                deduplicate: true,
-            },
+        let default = RobustnessSession::from_programs(&schema, &programs);
+        let deeper = RobustnessSession::new(
+            Workload::new(schema.name(), schema.clone(), programs, &[]).with_unfold_options(
+                mvrc_btp::UnfoldOptions {
+                    max_loop_iterations: 4,
+                    deduplicate: true,
+                },
+            ),
         );
         for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
             assert_eq!(default.is_robust(settings), deeper.is_robust(settings));
         }
-    }
-
-    #[test]
-    fn from_ltps_constructor() {
-        let (schema, programs) = auction();
-        let ltps = mvrc_btp::unfold_set_le2(&programs);
-        let analyzer = RobustnessAnalyzer::from_ltps(&schema, ltps);
-        assert_eq!(analyzer.program_names().len(), 2);
-        assert!(analyzer.is_robust(AnalysisSettings::paper_default()));
-        assert_eq!(analyzer.session().program_names().len(), 2);
     }
 
     #[test]
@@ -334,8 +203,8 @@ mod tests {
         let qr = pb.key_select("qr", "Bids", &["bid"]).unwrap();
         let qw = pb.key_update("qw", "Bids", &["bid"], &["bid"]).unwrap();
         pb.seq(&[qr.into(), qw.into()]);
-        let analyzer = RobustnessAnalyzer::new(&schema, &[pb.build()]);
-        let report = analyzer.analyze(AnalysisSettings::paper_default());
+        let session = RobustnessSession::from_programs(&schema, &[pb.build()]);
+        let report = session.analyze(AnalysisSettings::paper_default());
         assert!(!report.is_robust());
         let description = report.violation_description.unwrap();
         assert!(description.contains("type-II"));

@@ -26,7 +26,10 @@
 //! per settings combination and answers every query — full-workload analyses, program subsets,
 //! the [`explore_subsets`] sweep of Section 7 — through cheap views of the cached graphs,
 //! updating them incrementally under workload edits. The subset sweep additionally exploits
-//! downward closure (Proposition 5.2) to skip the cycle test for subsets of known-robust sets.
+//! downward closure (Proposition 5.2) to skip the cycle test for subsets of known-robust sets,
+//! and runs on the `mvrc-par` work-stealing runtime: each popcount level is *streamed* as
+//! lazily split rank ranges (no level is ever materialized), with the fan-out pinnable through
+//! [`Parallelism`] on the session or on [`ExploreOptions`].
 //!
 //! ```
 //! use mvrc_schema::SchemaBuilder;
@@ -75,15 +78,14 @@ pub use algorithm::{
     RobustnessOutcome, Type1Witness, Type2Witness, Violation,
 };
 pub use analysis::AnalysisReport;
-#[allow(deprecated)]
-pub use analysis::RobustnessAnalyzer;
 pub use dot::{to_dot, to_dot_view, DotOptions};
 pub use mvrc_btp::Workload;
+pub use mvrc_par::Parallelism;
 pub use session::RobustnessSession;
 pub use settings::{AnalysisSettings, CycleCondition, Granularity};
 pub use subsets::{
     abbreviate_program_name, explore_subsets, explore_subsets_naive, explore_subsets_with,
-    ExploreOptions, SubsetExploration,
+    ExploreOptions, SubsetExploration, SweepStrategy,
 };
 pub use summary::{
     c_dep_conds, describe_edge_in, nc_dep_conds, EdgeKind, InducedView, NodeId, SummaryEdge,

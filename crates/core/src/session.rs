@@ -7,6 +7,7 @@ use crate::analysis::AnalysisReport;
 use crate::settings::{AnalysisSettings, CycleCondition, Granularity};
 use crate::summary::{SummaryGraph, UnknownProgram};
 use mvrc_btp::{unfold, LinearProgram, Program, Workload};
+use mvrc_par::Parallelism;
 use mvrc_schema::Schema;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -78,6 +79,7 @@ pub struct RobustnessSession {
     program_names: Vec<String>,
     ltps: Vec<LinearProgram>,
     cache: Mutex<HashMap<GraphKey, Arc<SummaryGraph>>>,
+    parallelism: Parallelism,
 }
 
 impl RobustnessSession {
@@ -96,6 +98,7 @@ impl RobustnessSession {
             program_names,
             ltps,
             cache: Mutex::new(HashMap::new()),
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -127,7 +130,26 @@ impl RobustnessSession {
             program_names,
             ltps,
             cache: Mutex::new(HashMap::new()),
+            parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Pins how much of the `mvrc-par` pool this session's parallel sweeps may use
+    /// ([`Parallelism::Auto`] — the default — means the whole pool). Individual calls can
+    /// still override this through [`crate::ExploreOptions::parallelism`].
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Changes the session's [`Parallelism`] in place; see [`Self::with_parallelism`].
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The session's parallelism pin (how much of the pool sweeps may use).
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The workload this session analyzes.
@@ -274,6 +296,7 @@ impl Clone for RobustnessSession {
             program_names: self.program_names.clone(),
             ltps: self.ltps.clone(),
             cache: Mutex::new(self.cache.lock().expect("session cache poisoned").clone()),
+            parallelism: self.parallelism,
         }
     }
 }

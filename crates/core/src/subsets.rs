@@ -7,27 +7,58 @@
 //! **downward-closure pruning** (Proposition 5.2): robustness is preserved under taking
 //! subsets, so masks are enumerated by descending popcount and every subset of a set already
 //! attested robust is marked robust without running its cycle test.
+//!
+//! # Streaming level traversal
+//!
+//! Each popcount level is swept as a parallel fold over the *rank space* `0..C(n, k)` of its
+//! `k`-subsets: the `mvrc-par` runtime splits the rank range lazily across its workers, each
+//! chunk positions a cursor by colexicographic unranking (the combinatorial number system) and
+//! then walks masks in numerically increasing order with Gosper's hack. No level is ever
+//! collected into a `Vec` — peak memory is one small accumulator per active chunk,
+//! O(workers × chunk state), independent of the level size ([`SubsetExploration::masks_buffered`]
+//! makes this observable). The pre-runtime level-materializing traversal is retained behind
+//! [`SweepStrategy::Materialized`] as a cross-check oracle.
 
 use crate::algorithm::{is_robust, is_robust_view};
 use crate::session::RobustnessSession;
 use crate::settings::AnalysisSettings;
 use crate::summary::{NodeId, SummaryGraph};
 use mvrc_btp::LinearProgram;
-use rayon::prelude::*;
+use mvrc_par::{fold_chunks, Parallelism};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a popcount level of the sweep is traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SweepStrategy {
+    /// Stream the level as lazily split rank ranges (colex unranking + Gosper successor):
+    /// nothing is materialized, peak memory is O(workers × chunk).
+    #[default]
+    Streamed,
+    /// Materialize the level's masks into a `Vec` before fanning out — the pre-runtime
+    /// behaviour, kept as the oracle the streamed path is cross-checked against.
+    Materialized,
+}
 
 /// Options controlling the subset exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExploreOptions {
     /// The sweep runs serially when the total number of subsets (`2^n`) is below this
-    /// threshold and fans out via rayon otherwise. Below the default of 64 subsets the whole
-    /// sweep takes microseconds and thread fan-out would dominate.
+    /// threshold and fans out across the `mvrc-par` pool otherwise. Below the default of 64
+    /// subsets the whole sweep takes microseconds and fan-out would dominate.
     pub parallel_threshold: usize,
     /// Exploit downward closure (Proposition 5.2): enumerate masks by descending popcount and
     /// mark every subset of a known-robust set robust without running its cycle test. Exact —
     /// the attested-robust family is downward closed because an induced subgraph can only lose
     /// cycles — and cross-checked against the exhaustive path in the test-suite.
     pub closure_pruning: bool,
+    /// Level traversal: streamed rank ranges (default) or the materializing oracle.
+    pub strategy: SweepStrategy,
+    /// How much of the pool the sweep may use. [`Parallelism::Auto`] defers to the session's
+    /// [`RobustnessSession::parallelism`] setting; any other value overrides it for this call.
+    /// (Not serialized: a thread cap is an execution detail, not part of the result's shape.)
+    #[serde(skip)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExploreOptions {
@@ -35,6 +66,8 @@ impl Default for ExploreOptions {
         ExploreOptions {
             parallel_threshold: 64,
             closure_pruning: true,
+            strategy: SweepStrategy::Streamed,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -54,6 +87,10 @@ pub struct SubsetExploration {
     pub cycle_tests: usize,
     /// Number of subsets attested robust by downward-closure pruning alone.
     pub pruned: usize,
+    /// Number of level masks that were materialized into buffers before testing: `0` on the
+    /// streamed path (the acceptance gauge for "no level is collected into a `Vec`"), the sum
+    /// of the level sizes under [`SweepStrategy::Materialized`].
+    pub masks_buffered: usize,
 }
 
 impl SubsetExploration {
@@ -91,8 +128,67 @@ impl SubsetExploration {
     }
 }
 
+/// Pascal's triangle up to `C(n, k)` for `n ≤ 20`: the rank arithmetic of the streamed
+/// traversal (level sizes, colex unranking). Lives on the stack (3.5 KiB) so opening one
+/// costs no allocation per sweep.
+struct Binomials {
+    n: usize,
+    choose: [[usize; 21]; 21],
+}
+
+impl Binomials {
+    fn new(n: usize) -> Self {
+        // Unreachable through `explore_subsets*` (which bound n at 20 first); a hard assert
+        // so any future caller fails loudly instead of indexing out of bounds.
+        assert!(n <= 20, "Binomials supports n <= 20, got {n}");
+        let mut choose = [[0usize; 21]; 21];
+        for row in 0..=n {
+            choose[row][0] = 1;
+            for col in 1..=row {
+                let above = if col < row { choose[row - 1][col] } else { 0 };
+                choose[row][col] = choose[row - 1][col - 1] + above;
+            }
+        }
+        Binomials { n, choose }
+    }
+
+    #[inline]
+    fn c(&self, n: usize, k: usize) -> usize {
+        if k > n {
+            0
+        } else {
+            self.choose[n][k]
+        }
+    }
+}
+
+/// The `rank`-th `k`-subset mask of `0..n` in colexicographic order — which coincides with
+/// increasing numeric order of the masks, so [`next_same_popcount`] is its successor function.
+/// Combinatorial number system: pick the largest `c` with `C(c, i) ≤ rank` for `i = k..1`.
+fn unrank_colex(mut rank: usize, k: usize, binomials: &Binomials) -> usize {
+    let mut mask = 0usize;
+    let mut c = binomials.n;
+    for i in (1..=k).rev() {
+        while binomials.c(c, i) > rank {
+            c -= 1;
+        }
+        mask |= 1 << c;
+        rank -= binomials.c(c, i);
+    }
+    mask
+}
+
+/// Gosper's hack: the numerically next mask with the same popcount.
+#[inline]
+fn next_same_popcount(mask: usize) -> usize {
+    let lowest = mask & mask.wrapping_neg();
+    let ripple = mask + lowest;
+    ripple | (((mask ^ ripple) / lowest) >> 2)
+}
+
 /// Explores every non-empty subset of the workload's programs and reports which are robust
-/// under the given settings, using the default [`ExploreOptions`] (closure pruning on).
+/// under the given settings, using the default [`ExploreOptions`] (closure pruning on,
+/// streamed levels).
 pub fn explore_subsets(
     session: &RobustnessSession,
     settings: AnalysisSettings,
@@ -110,8 +206,10 @@ pub fn explore_subsets(
 ///
 /// With `closure_pruning` enabled (the default), masks are processed level by level in
 /// descending popcount order; a mask whose immediate superset (one extra program) is already
-/// known robust inherits robustness by Proposition 5.2 without a cycle test. The cycle tests
-/// within one level are independent and fan out via rayon when the sweep is large enough.
+/// known robust inherits robustness by Proposition 5.2 without a cycle test. Levels are
+/// independent-within and ordered-between: each level is one parallel pass over the pool (a
+/// barrier between levels keeps the pruning reads race-free — a level only ever reads verdict
+/// bits of the level above it, which the preceding pass fully published).
 ///
 /// [`explore_subsets_naive`] retains the literal per-subset reconstruction for cross-checking
 /// and benchmarking.
@@ -143,52 +241,133 @@ pub fn explore_subsets_with(
         })
         .collect();
 
-    let test_mask = |mask: usize| {
-        let members: Vec<NodeId> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .flat_map(|i| nodes_per_program[i].iter().copied())
-            .collect();
-        is_robust_view(&graph.induced(&members), settings.condition)
+    let total = 1usize << n;
+    let parallelism = if total >= options.parallel_threshold {
+        match options.parallelism {
+            Parallelism::Auto => session.parallelism(),
+            pinned => pinned,
+        }
+    } else {
+        Parallelism::Serial
     };
 
-    let total = 1usize << n;
-    let parallel = total >= options.parallel_threshold;
-    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
-    for mask in 1..total {
-        levels[mask.count_ones() as usize].push(mask);
-    }
-
-    let mut robust_bits = vec![0u64; total.div_ceil(64)];
-    let is_marked = |bits: &[u64], mask: usize| bits[mask / 64] & (1u64 << (mask % 64)) != 0;
-    let mut cycle_tests = 0usize;
-    let mut pruned = 0usize;
-    for level in (1..=n).rev() {
-        let mut to_test = Vec::with_capacity(levels[level].len());
-        for &mask in &levels[level] {
-            let inherited = options.closure_pruning
-                && (0..n).any(|i| mask & (1 << i) == 0 && is_marked(&robust_bits, mask | (1 << i)));
-            if inherited {
-                robust_bits[mask / 64] |= 1u64 << (mask % 64);
-                pruned += 1;
-            } else {
-                to_test.push(mask);
+    // Robustness verdicts, one bit per mask. Within a level workers publish their own bits
+    // concurrently (`fetch_or`); across levels the runtime's fold barrier orders every store
+    // of level k+1 before every load at level k, so `Relaxed` suffices.
+    let robust_bits: Vec<AtomicU64> = (0..total.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+    let is_marked =
+        |mask: usize| robust_bits[mask / 64].load(Ordering::Relaxed) & (1u64 << (mask % 64)) != 0;
+    let mark = |mask: usize| {
+        robust_bits[mask / 64].fetch_or(1u64 << (mask % 64), Ordering::Relaxed);
+    };
+    // Decides one mask: inherit through Proposition 5.2 or run the cycle test on an induced
+    // view. `members` is a reusable per-chunk scratch buffer. Returns (cycle_tests, pruned)
+    // deltas.
+    let visit_mask = |mask: usize, members: &mut Vec<NodeId>| -> (usize, usize) {
+        let inherited = options.closure_pruning
+            && (0..n).any(|i| mask & (1 << i) == 0 && is_marked(mask | (1 << i)));
+        if inherited {
+            mark(mask);
+            return (0, 1);
+        }
+        members.clear();
+        for (i, nodes) in nodes_per_program.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                members.extend_from_slice(nodes);
             }
         }
-        cycle_tests += to_test.len();
-        let verdicts: Vec<(usize, bool)> = if parallel {
-            to_test.into_par_iter().map(|m| (m, test_mask(m))).collect()
-        } else {
-            to_test.into_iter().map(|m| (m, test_mask(m))).collect()
-        };
-        for (mask, ok) in verdicts {
-            if ok {
-                robust_bits[mask / 64] |= 1u64 << (mask % 64);
+        if is_robust_view(&graph.induced(members), settings.condition) {
+            mark(mask);
+        }
+        (1, 0)
+    };
+
+    let binomials = Binomials::new(n);
+    let mut cycle_tests = 0usize;
+    let mut pruned = 0usize;
+    let mut masks_buffered = 0usize;
+    for level in (1..=n).rev() {
+        let level_len = binomials.c(n, level);
+        match options.strategy {
+            SweepStrategy::Streamed => {
+                // Fold over the level's rank space: each chunk unranks its first mask once and
+                // then steps with Gosper's hack — no level buffer exists anywhere. The grain
+                // hint keeps chunks large enough to amortize the unranking.
+                let (t, p, _) = fold_chunks(
+                    0..level_len,
+                    parallelism,
+                    4,
+                    || (0usize, 0usize, Vec::new()),
+                    |(mut t, mut p, mut members), chunk| {
+                        let mut mask = unrank_colex(chunk.start, level, &binomials);
+                        for rank in chunk.clone() {
+                            let (dt, dp) = visit_mask(mask, &mut members);
+                            t += dt;
+                            p += dp;
+                            if rank + 1 < chunk.end {
+                                mask = next_same_popcount(mask);
+                            }
+                        }
+                        (t, p, members)
+                    },
+                    |(t1, p1, members), (t2, p2, _)| (t1 + t2, p1 + p2, members),
+                );
+                cycle_tests += t;
+                pruned += p;
+            }
+            SweepStrategy::Materialized => {
+                // The pre-runtime oracle: collect the level's masks, partition into inherited
+                // and to-test, fan the tests out eagerly.
+                let mut masks = Vec::with_capacity(level_len);
+                let mut mask = unrank_colex(0, level, &binomials);
+                for rank in 0..level_len {
+                    masks.push(mask);
+                    if rank + 1 < level_len {
+                        mask = next_same_popcount(mask);
+                    }
+                }
+                masks_buffered += masks.len();
+                let mut to_test = Vec::with_capacity(masks.len());
+                for mask in masks {
+                    let inherited = options.closure_pruning
+                        && (0..n).any(|i| mask & (1 << i) == 0 && is_marked(mask | (1 << i)));
+                    if inherited {
+                        mark(mask);
+                        pruned += 1;
+                    } else {
+                        to_test.push(mask);
+                    }
+                }
+                cycle_tests += to_test.len();
+                // The fan-out honors the same `Parallelism` pin as the streamed path (it
+                // merely materializes its work-list first).
+                fold_chunks(
+                    0..to_test.len(),
+                    parallelism,
+                    1,
+                    Vec::new,
+                    |mut members, chunk| {
+                        for &mask in &to_test[chunk] {
+                            members.clear();
+                            for (i, nodes) in nodes_per_program.iter().enumerate() {
+                                if mask & (1 << i) != 0 {
+                                    members.extend_from_slice(nodes);
+                                }
+                            }
+                            if is_robust_view(&graph.induced(&members), settings.condition) {
+                                mark(mask);
+                            }
+                        }
+                        members
+                    },
+                    |members, _| members,
+                );
             }
         }
     }
 
     let mut robust: Vec<Vec<usize>> = (1..total)
-        .filter(|&mask| is_marked(&robust_bits, mask))
+        .filter(|&mask| is_marked(mask))
         .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
         .collect();
     robust.sort();
@@ -201,6 +380,7 @@ pub fn explore_subsets_with(
         maximal,
         cycle_tests,
         pruned,
+        masks_buffered,
     }
 }
 
@@ -255,6 +435,7 @@ pub fn explore_subsets_naive(
         maximal,
         cycle_tests: (1 << n) - 1,
         pruned: 0,
+        masks_buffered: 0,
     }
 }
 
@@ -390,6 +571,35 @@ mod tests {
     }
 
     #[test]
+    fn streamed_and_materialized_levels_agree() {
+        let session = auction_session();
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            for settings in AnalysisSettings::evaluation_grid(condition) {
+                for closure_pruning in [true, false] {
+                    let base = ExploreOptions {
+                        closure_pruning,
+                        ..ExploreOptions::default()
+                    };
+                    let streamed = explore_subsets_with(&session, settings, base);
+                    let materialized = explore_subsets_with(
+                        &session,
+                        settings,
+                        ExploreOptions {
+                            strategy: SweepStrategy::Materialized,
+                            ..base
+                        },
+                    );
+                    assert_eq!(streamed.robust, materialized.robust, "under {settings}");
+                    assert_eq!(streamed.cycle_tests, materialized.cycle_tests);
+                    assert_eq!(streamed.pruned, materialized.pruned);
+                    assert_eq!(streamed.masks_buffered, 0);
+                    assert_eq!(materialized.masks_buffered, (1 << 2) - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn robust_family_is_downward_closed() {
         // Proposition 5.2: every subset of a robust set is robust.
         let session = auction_session();
@@ -414,6 +624,49 @@ mod tests {
         let sets = vec![vec![0], vec![0, 1], vec![2], vec![1]];
         let maximal = maximal_sets(&sets);
         assert_eq!(maximal, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn binomials_match_the_closed_form() {
+        let b = Binomials::new(20);
+        assert_eq!(b.c(20, 10), 184_756);
+        assert_eq!(b.c(7, 3), 35);
+        assert_eq!(b.c(5, 0), 1);
+        assert_eq!(b.c(5, 5), 1);
+        assert_eq!(b.c(3, 4), 0);
+        for n in 0..=20usize {
+            for k in 1..=n {
+                assert_eq!(
+                    b.c(n, k),
+                    b.c(n - 1, k - 1) + b.c(n - 1, k),
+                    "Pascal identity at C({n}, {k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unranking_enumerates_each_level_in_numeric_order() {
+        for n in 1..=10usize {
+            let binomials = Binomials::new(n);
+            for k in 1..=n {
+                let expected: Vec<usize> = (1usize..1 << n)
+                    .filter(|m| m.count_ones() as usize == k)
+                    .collect();
+                assert_eq!(binomials.c(n, k), expected.len());
+                // Direct unranking hits every rank...
+                let unranked: Vec<usize> = (0..expected.len())
+                    .map(|r| unrank_colex(r, k, &binomials))
+                    .collect();
+                assert_eq!(unranked, expected, "unrank(n={n}, k={k})");
+                // ...and the Gosper successor walks the same sequence from any start.
+                let mut mask = unrank_colex(0, k, &binomials);
+                for want in &expected {
+                    assert_eq!(mask, *want);
+                    mask = next_same_popcount(mask);
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,10 +15,12 @@
 use crate::settings::{AnalysisSettings, Granularity};
 use crate::tables::{c_dep_table, nc_dep_table};
 use mvrc_btp::{LinearProgram, Statement, StmtPos};
+use mvrc_par::WorkerLocal;
 use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of an LTP node within a [`SummaryGraph`].
 pub type NodeId = usize;
@@ -411,9 +413,9 @@ impl SummaryGraph {
     ///
     /// The construction iterates **only the member nodes' adjacency lists** — `O(Σ deg(m))`
     /// over the members `m`, not `O(E)` over the parent's full edge list — and draws its
-    /// temporaries (membership mask, position lookup, BFS state) from a reusable per-thread
-    /// scratch buffer, so the subset-exploration hot loop performs no universe-sized
-    /// allocations per view.
+    /// temporaries (membership mask, position lookup, BFS state) from a reusable per-worker
+    /// scratch slot of the `mvrc-par` pool, so the subset-exploration hot loop performs no
+    /// universe-sized allocations per view.
     ///
     /// Since the edges of `SuG(𝒫)` are defined pairwise over the LTPs of `𝒫` (Algorithm 1
     /// consults only `P_i` and `P_j` for an edge between them), the induced view over the nodes
@@ -431,9 +433,7 @@ impl SummaryGraph {
         let m = members.len();
         let words = n.div_ceil(64).max(1);
 
-        INDUCED_SCRATCH.with(|scratch| {
-            let mut scratch = scratch.borrow_mut();
-            let scratch = &mut *scratch;
+        with_induced_scratch(|scratch| {
             scratch.mask.clear();
             scratch.mask.resize(words, 0);
             scratch.pos_of.resize(n.max(1), 0);
@@ -838,9 +838,13 @@ pub fn c_dep_conds(
     false
 }
 
-/// Reusable per-thread temporaries for [`SummaryGraph::induced`]: membership mask, node-id →
-/// member-position lookup and BFS state. Amortizes the universe-sized allocations that used to
-/// be paid per view across the entire subset sweep running on a thread.
+/// Reusable temporaries for [`SummaryGraph::induced`]: membership mask, node-id →
+/// member-position lookup and BFS state. Pool workers use one [`WorkerLocal`] slot each, so a
+/// worker sweeping thousands of subset views touches the same warm buffers for the whole
+/// sweep (the arena's lifetime and sizing are tied to the pool, not to whatever threads
+/// happen to exist); application threads — which also execute fold chunks inline, and run
+/// every serial sweep — keep a plain thread-local so the hot path stays a borrow, not a
+/// checkout through the arena's shared spare lock.
 #[derive(Default)]
 struct InducedScratch {
     mask: Vec<u64>,
@@ -849,9 +853,21 @@ struct InducedScratch {
     stack: Vec<usize>,
 }
 
+fn with_induced_scratch<R>(f: impl FnOnce(&mut InducedScratch) -> R) -> R {
+    static SCRATCH: OnceLock<WorkerLocal<InducedScratch>> = OnceLock::new();
+    if mvrc_par::current_worker_index().is_some() {
+        SCRATCH
+            .get_or_init(|| WorkerLocal::new(InducedScratch::default))
+            .with(f)
+    } else {
+        NON_WORKER_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+    }
+}
+
 thread_local! {
     static CONSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
-    static INDUCED_SCRATCH: RefCell<InducedScratch> = RefCell::new(InducedScratch::default());
+    static NON_WORKER_SCRATCH: std::cell::RefCell<InducedScratch> =
+        std::cell::RefCell::new(InducedScratch::default());
 }
 
 #[cfg(test)]

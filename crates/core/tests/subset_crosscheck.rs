@@ -2,26 +2,38 @@
 //! paths.
 //!
 //! [`explore_subsets`] answers every subset on an induced view of the session's cached summary
-//! graph and skips cycle tests via downward-closure pruning (Proposition 5.2);
+//! graph, skips cycle tests via downward-closure pruning (Proposition 5.2), and *streams* each
+//! popcount level as lazily split rank ranges across the `mvrc-par` pool;
+//! [`SweepStrategy::Materialized`] retains the level-materializing traversal;
 //! [`explore_subsets_with`] with pruning disabled tests every mask on the shared graph;
-//! [`explore_subsets_naive`] re-runs Algorithm 1 for every subset. All three must agree
-//! *exactly* — same robust family, same maximal subsets — on every workload (the
-//! `assert_agree` cross-check idiom of the dbcop consistency checker). The property tests drive
-//! the comparison over random synthetic workloads across the full evaluation grid; separate
-//! tests pin down the "exactly one construction per graph-shape combination" contract of the
-//! session and the strictly-fewer-cycle-tests claim of the pruning on TPC-C.
+//! [`explore_subsets_naive`] re-runs Algorithm 1 for every subset. All of them must agree
+//! *exactly* — same robust family, same maximal subsets, same pruning counters where
+//! applicable — on every workload (the `assert_agree` cross-check idiom of the dbcop
+//! consistency checker). The property tests drive the comparison over random synthetic
+//! workloads across the full evaluation grid; separate tests pin down the "exactly one
+//! construction per graph-shape combination" contract of the session, the
+//! strictly-fewer-cycle-tests claim of the pruning on TPC-C, and the "no level buffer" claim
+//! of the streamed traversal.
 
 use mvrc_benchmarks::{auction, smallbank, synthetic, tpcc, SyntheticConfig};
 use mvrc_robustness::{
     explore_subsets, explore_subsets_naive, explore_subsets_with, AnalysisSettings, CycleCondition,
-    ExploreOptions, RobustnessSession, SummaryGraph,
+    ExploreOptions, Parallelism, RobustnessSession, SummaryGraph, SweepStrategy,
 };
 use proptest::prelude::*;
 
-/// Asserts that the pruned, exhaustive-shared and naive explorations agree on a workload under
-/// one settings combination.
+/// Asserts that the streamed-pruned, materialized-pruned, exhaustive-shared and naive
+/// explorations agree on a workload under one settings combination.
 fn assert_agree(session: &RobustnessSession, settings: AnalysisSettings) {
     let pruned = explore_subsets(session, settings);
+    let materialized = explore_subsets_with(
+        session,
+        settings,
+        ExploreOptions {
+            strategy: SweepStrategy::Materialized,
+            ..ExploreOptions::default()
+        },
+    );
     let exhaustive = explore_subsets_with(
         session,
         settings,
@@ -49,6 +61,24 @@ fn assert_agree(session: &RobustnessSession, settings: AnalysisSettings) {
     assert!(
         pruned.cycle_tests + pruned.pruned == naive.cycle_tests,
         "every subset must be either tested or pruned"
+    );
+    // The streamed default and the level-materializing oracle must be indistinguishable in
+    // everything but their buffering behaviour.
+    assert_eq!(
+        pruned.robust, materialized.robust,
+        "robust families differ (streamed vs materialized) under {settings} for programs {:?}",
+        pruned.programs
+    );
+    assert_eq!(pruned.maximal, materialized.maximal);
+    assert_eq!(pruned.cycle_tests, materialized.cycle_tests);
+    assert_eq!(pruned.pruned, materialized.pruned);
+    assert_eq!(
+        pruned.masks_buffered, 0,
+        "the streamed traversal must not materialize level masks"
+    );
+    assert_eq!(
+        materialized.masks_buffered, naive.cycle_tests,
+        "the materializing oracle buffers every non-empty mask exactly once"
     );
 }
 
@@ -162,6 +192,77 @@ fn closure_pruning_saves_cycle_tests_on_tpcc() {
     );
     assert!(exploration.pruned > 0);
     assert_eq!(exploration.cycle_tests + exploration.pruned, total);
+}
+
+#[test]
+fn streamed_sweep_never_buffers_a_level_even_when_parallel() {
+    // Force the fan-out (TPC-C's 31 subsets sit below the default serial threshold): the sweep
+    // runs across the pool and still must report zero materialized level masks — the
+    // acceptance gauge for "explore_subsets no longer collects a popcount level into a Vec
+    // before fanning out".
+    let session = RobustnessSession::new(tpcc());
+    let total = (1usize << session.program_names().len()) - 1;
+    let parallel = ExploreOptions {
+        parallel_threshold: 1,
+        ..ExploreOptions::default()
+    };
+    let streamed = explore_subsets_with(&session, AnalysisSettings::paper_default(), parallel);
+    assert_eq!(streamed.masks_buffered, 0);
+    assert_eq!(
+        streamed.robust,
+        explore_subsets(&session, AnalysisSettings::paper_default()).robust,
+        "forced fan-out must not change the verdicts"
+    );
+
+    // The materializing oracle on the same sweep buffers every level, and agrees on content.
+    let materialized = explore_subsets_with(
+        &session,
+        AnalysisSettings::paper_default(),
+        ExploreOptions {
+            strategy: SweepStrategy::Materialized,
+            ..parallel
+        },
+    );
+    assert_eq!(materialized.masks_buffered, total);
+    assert_eq!(streamed.robust, materialized.robust);
+    assert_eq!(streamed.cycle_tests, materialized.cycle_tests);
+}
+
+#[test]
+fn parallelism_pins_do_not_change_results() {
+    // The verdicts (and the pruning counters, which are scheduling-independent because levels
+    // are barrier-separated) must not depend on how much of the pool the sweep may use —
+    // whether pinned per call or per session.
+    let session = RobustnessSession::new(tpcc());
+    let settings = AnalysisSettings::paper_default();
+    let reference = explore_subsets(&session, settings);
+    for parallelism in [
+        Parallelism::Serial,
+        Parallelism::Threads(1),
+        Parallelism::Threads(2),
+        Parallelism::Threads(usize::MAX),
+        Parallelism::Auto,
+    ] {
+        let pinned = explore_subsets_with(
+            &session,
+            settings,
+            ExploreOptions {
+                parallelism,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(pinned.robust, reference.robust, "under {parallelism:?}");
+        assert_eq!(pinned.cycle_tests, reference.cycle_tests);
+        assert_eq!(pinned.pruned, reference.pruned);
+
+        let session_pinned = RobustnessSession::new(tpcc()).with_parallelism(parallelism);
+        assert_eq!(session_pinned.parallelism(), parallelism);
+        let via_session = explore_subsets(&session_pinned, settings);
+        assert_eq!(
+            via_session.robust, reference.robust,
+            "under {parallelism:?}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,479 @@
+//! Rayon-style parallel iterators on top of [`crate::join`].
+//!
+//! This is the adaptor surface the workspace's former vendored `rayon` stand-in exposed —
+//! `into_par_iter()` / `par_iter()` followed by `map` / `filter` / `filter_map` / `collect` /
+//! `sum` / `count` / `for_each` — kept as this crate's drop-in-for-rayon public API (the
+//! in-tree sweeps have since moved to the leaner [`crate::fold_chunks`]), re-implemented
+//! *lazily*: a pipeline is a splittable [`Producer`] (range, vector, slice, or an adaptor
+//! over one), and nothing runs until a consuming method drives it. Consumption splits the producer recursively, deferring right
+//! halves to the pool exactly like [`crate::fold_chunks`], and stitches leaf results back
+//! together in index order — so `collect` preserves the sequential order of every combinator
+//! chain.
+
+#![forbid(unsafe_code)]
+
+use crate::{join, pool, Parallelism};
+use std::sync::Arc;
+
+/// A splittable source of items: the engine behind every parallel iterator.
+pub trait Producer: Sized + Send {
+    /// The item type.
+    type Item: Send;
+
+    /// Number of underlying index positions left (filtering adaptors may yield fewer items).
+    fn len(&self) -> usize;
+
+    /// `true` when no positions are left.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the first `index` positions and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Feeds every item, in order, into `sink`.
+    fn drain(self, sink: &mut dyn FnMut(Self::Item));
+}
+
+/// Recursively splits `producer` and folds each leaf with `leaf`, combining in index order.
+fn drive<P: Producer, T: Send>(
+    producer: P,
+    grain: usize,
+    leaf: &(impl Fn(P) -> T + Sync),
+    combine: &(impl Fn(T, T) -> T + Sync),
+) -> T {
+    let len = producer.len();
+    if len <= grain {
+        return leaf(producer);
+    }
+    let (left, right) = producer.split_at(len / 2);
+    let (left, right) = join(
+        || drive(left, grain, leaf, combine),
+        || drive(right, grain, leaf, combine),
+    );
+    combine(left, right)
+}
+
+/// The shared consumer driver: runs `leaf` inline — without any pool interaction — on a
+/// one-thread pool or when the producer fits one grain, and splits across the pool otherwise.
+/// Keeping the serial fast path in one place matters beyond speed: touching the pool spawns
+/// its workers, which ends the process's single-threaded allocator fast paths.
+fn consume<P: Producer, T: Send>(
+    producer: P,
+    leaf: impl Fn(P) -> T + Sync,
+    combine: impl Fn(T, T) -> T + Sync,
+) -> T {
+    let len = producer.len();
+    let threads = Parallelism::Auto.effective_threads();
+    let grain = len.div_ceil(threads.max(1) * 4).max(1);
+    if threads <= 1 || len <= grain {
+        return leaf(producer);
+    }
+    drive(producer, grain, &leaf, &combine)
+}
+
+/// Consumes a producer into an ordered `Vec`.
+fn collect_vec<P: Producer>(producer: P) -> Vec<P::Item> {
+    consume(
+        producer,
+        |leaf: P| {
+            let mut items = Vec::with_capacity(leaf.len());
+            leaf.drain(&mut |item| items.push(item));
+            items
+        },
+        |mut left, mut right| {
+            left.append(&mut right);
+            left
+        },
+    )
+}
+
+/// Everything needed to call the parallel-iterator methods.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A lazy parallel iterator over a [`Producer`].
+pub struct ParIter<P: Producer> {
+    producer: P,
+}
+
+/// The parallel-iterator combinators and consumers.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+    /// The underlying splittable source.
+    type Source: Producer<Item = Self::Item>;
+
+    /// Unwraps the underlying producer.
+    fn into_producer(self) -> Self::Source;
+
+    /// Lazy parallel map.
+    fn map<O, F>(self, f: F) -> ParIter<MapProducer<Self::Source, F>>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Send + Sync,
+    {
+        ParIter {
+            producer: MapProducer {
+                base: self.into_producer(),
+                f: Arc::new(f),
+            },
+        }
+    }
+
+    /// Lazy parallel filter.
+    fn filter<F>(self, f: F) -> ParIter<FilterProducer<Self::Source, F>>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        ParIter {
+            producer: FilterProducer {
+                base: self.into_producer(),
+                f: Arc::new(f),
+            },
+        }
+    }
+
+    /// Lazy parallel filter-map.
+    fn filter_map<O, F>(self, f: F) -> ParIter<FilterMapProducer<Self::Source, F>>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> Option<O> + Send + Sync,
+    {
+        ParIter {
+            producer: FilterMapProducer {
+                base: self.into_producer(),
+                f: Arc::new(f),
+            },
+        }
+    }
+
+    /// Collects into any container buildable from an ordered iterator. Runs the pipeline in
+    /// parallel; leaf outputs are concatenated in index order, so the result matches the
+    /// equivalent sequential iterator chain exactly.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        collect_vec(self.into_producer()).into_iter().collect()
+    }
+
+    /// Number of items produced.
+    fn count(self) -> usize {
+        consume(
+            self.into_producer(),
+            |leaf: Self::Source| {
+                let mut count = 0usize;
+                leaf.drain(&mut |_| count += 1);
+                count
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Parallel sum: leaves sum their items, partial sums are summed again.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        consume(
+            self.into_producer(),
+            |leaf: Self::Source| {
+                let mut items = Vec::with_capacity(leaf.len());
+                leaf.drain(&mut |item| items.push(item));
+                items.into_iter().sum::<S>()
+            },
+            |a, b| [a, b].into_iter().sum(),
+        )
+    }
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        consume(
+            self.into_producer(),
+            |leaf: Self::Source| leaf.drain(&mut |item| f(item)),
+            |(), ()| (),
+        );
+    }
+}
+
+impl<P: Producer> ParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Source = P;
+
+    fn into_producer(self) -> P {
+        self.producer
+    }
+}
+
+/// Producer applying a function to a base producer's items.
+pub struct MapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, O> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    O: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+    type Item = O;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        let f = self.f;
+        (
+            MapProducer {
+                base: left,
+                f: Arc::clone(&f),
+            },
+            MapProducer { base: right, f },
+        )
+    }
+
+    fn drain(self, sink: &mut dyn FnMut(O)) {
+        let f = self.f;
+        self.base.drain(&mut |item| sink(f(item)));
+    }
+}
+
+/// Producer keeping only the base items matching a predicate.
+pub struct FilterProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F> Producer for FilterProducer<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        let f = self.f;
+        (
+            FilterProducer {
+                base: left,
+                f: Arc::clone(&f),
+            },
+            FilterProducer { base: right, f },
+        )
+    }
+
+    fn drain(self, sink: &mut dyn FnMut(P::Item)) {
+        let f = self.f;
+        self.base.drain(&mut |item| {
+            if f(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+/// Producer filtering and mapping in one pass.
+pub struct FilterMapProducer<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, O> Producer for FilterMapProducer<P, F>
+where
+    P: Producer,
+    O: Send,
+    F: Fn(P::Item) -> Option<O> + Send + Sync,
+{
+    type Item = O;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        let f = self.f;
+        (
+            FilterMapProducer {
+                base: left,
+                f: Arc::clone(&f),
+            },
+            FilterMapProducer { base: right, f },
+        )
+    }
+
+    fn drain(self, sink: &mut dyn FnMut(O)) {
+        let f = self.f;
+        self.base.drain(&mut |item| {
+            if let Some(mapped) = f(item) {
+                sink(mapped);
+            }
+        });
+    }
+}
+
+/// Producer over an owned vector. Splitting moves the tail into its own allocation
+/// (`Vec::split_off`), so a full recursive split costs `O(n log pieces)` moves — fine for the
+/// pointer-sized payloads parallel passes carry.
+pub struct VecProducer<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        (self, VecProducer { items: tail })
+    }
+
+    fn drain(self, sink: &mut dyn FnMut(T)) {
+        for item in self.items {
+            sink(item);
+        }
+    }
+}
+
+/// Producer over a borrowed slice.
+pub struct SliceProducer<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.items.split_at(index);
+        (
+            SliceProducer { items: left },
+            SliceProducer { items: right },
+        )
+    }
+
+    fn drain(self, sink: &mut dyn FnMut(&'a T)) {
+        for item in self.items {
+            sink(item);
+        }
+    }
+}
+
+/// Producer over an index range.
+pub struct RangeProducer<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeProducer { range: self.range.start..mid },
+                    RangeProducer { range: mid..self.range.end },
+                )
+            }
+
+            fn drain(self, sink: &mut dyn FnMut($t)) {
+                for value in self.range {
+                    sink(value);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeProducer<$t>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter { producer: RangeProducer { range: self } }
+            }
+        }
+    )*};
+}
+
+range_producer!(usize, u64);
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecProducer<T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            producer: VecProducer { items: self },
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceProducer<'a, T>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            producer: SliceProducer { items: self },
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<SliceProducer<'a, T>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            producer: SliceProducer { items: self },
+        }
+    }
+}
+
+/// Number of worker threads parallel passes may use (the global pool's planned size; asking
+/// does not start the pool). Name kept from the rayon surface this crate replaces.
+pub fn current_num_threads() -> usize {
+    pool::planned_thread_count()
+}

@@ -1,0 +1,195 @@
+//! Lifetime-erased job references — the only `unsafe` in the runtime.
+//!
+//! A work-stealing pool must move closures that borrow the *caller's stack* onto worker
+//! threads whose lifetime is the whole process. Safe Rust cannot express that transfer (it is
+//! exactly what [`std::thread::scope`] hides behind its own internal `unsafe`), so this module
+//! erases job lifetimes behind raw pointers and re-establishes safety through a structural
+//! protocol:
+//!
+//! * a [`StackJob`] lives in the frame of a [`crate::join`] call, which **blocks** until the
+//!   job's completion latch is set — the referent therefore outlives every access;
+//! * a [`HeapJob`] (used by [`crate::scope`] spawns) owns its closure in a [`Box`]; the scope
+//!   blocks on a pending-jobs counter until every spawned job has executed, which keeps the
+//!   data *borrowed by* the closure alive.
+//!
+//! Everything above this module (deques, latches, join, scope, iterators) is `forbid(unsafe)`
+//! safe code operating on opaque [`JobRef`] values.
+
+use crate::latch::CompletionLatch;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// A panic payload captured from a job, re-thrown at the join/scope boundary.
+pub(crate) type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// Something executable through a type-erased pointer.
+///
+/// # Safety
+///
+/// `execute` must be called at most once, with a pointer obtained from [`JobRef::new`] over a
+/// live value of the implementing type.
+pub(crate) unsafe trait Job {
+    /// Runs the job. The pointee must be live and never executed before.
+    unsafe fn execute(this: *const Self);
+}
+
+/// A type-erased, `Send`-able handle to a job awaiting execution.
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a `JobRef` is only constructed over jobs whose closures are `Send` and whose
+// referents are kept alive until execution completes (module contract above), so shipping the
+// raw pointer to another thread is sound.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erases a job pointer.
+    ///
+    /// # Safety
+    ///
+    /// `data` must stay valid until [`JobRef::execute`] returns, and `execute` must be called
+    /// exactly once.
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        unsafe fn execute_erased<T: Job>(this: *const ()) {
+            // SAFETY: forwarded from `JobRef::execute`, whose caller upholds the contract.
+            unsafe { T::execute(this.cast::<T>()) }
+        }
+        JobRef {
+            pointer: data.cast::<()>(),
+            execute_fn: execute_erased::<T>,
+        }
+    }
+
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once, while the underlying job is still alive.
+    pub(crate) unsafe fn execute(self) {
+        // SAFETY: forwarded to the contract of `JobRef::new`.
+        unsafe { (self.execute_fn)(self.pointer) }
+    }
+}
+
+/// A job allocated in the frame of a blocking call (`join`): closure in, result out, completion
+/// signalled through a latch the owning frame waits on.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<Result<R, PanicPayload>>>,
+    latch: CompletionLatch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: CompletionLatch::new(),
+        }
+    }
+
+    /// The latch the owning frame must wait on before touching [`Self::into_result`] or
+    /// letting the job go out of scope.
+    pub(crate) fn latch(&self) -> &CompletionLatch {
+        &self.latch
+    }
+
+    /// Erases this job.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive (and its address stable) until the latch is set, and
+    /// must hand the returned ref to exactly one executor.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        // SAFETY: forwarded to the caller's obligation.
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Takes the result. Only valid after the latch has been observed set.
+    pub(crate) fn into_result(self) -> Result<R, PanicPayload> {
+        self.result
+            .into_inner()
+            .expect("StackJob result taken before completion")
+    }
+}
+
+// SAFETY: `execute` runs once (JobRef contract); the owning frame reads `result` only after
+// observing the latch set, which the release/acquire pair in `CompletionLatch` orders after the
+// write below.
+unsafe impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        // SAFETY: the pointee is live until the latch is set (owner blocks on it).
+        let this = unsafe { &*this };
+        // SAFETY: `execute` runs at most once, so the closure is still present and no other
+        // reference to the cell exists.
+        let func = unsafe { &mut *this.func.get() }
+            .take()
+            .expect("StackJob executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        // SAFETY: the owner does not read the result until the latch is set below.
+        unsafe { *this.result.get() = Some(result) };
+        // The owning frame may pop as soon as it observes the latch: `set` is the final access
+        // to `this`, and its post-store notification only touches the 'static registry.
+        this.latch.set();
+    }
+}
+
+/// Executes a job taken from one of the registry's queues.
+///
+/// Safe wrapper for the queue-draining loops in `pool.rs`: every `JobRef` that reaches a queue
+/// was minted by [`StackJob::as_job_ref`] or [`HeapJob::into_job_ref`], is executed by exactly
+/// one dequeuer, and its referent is kept alive by the blocking frame that queued it.
+pub(crate) fn execute_job(job: JobRef) {
+    // SAFETY: see above — queue discipline guarantees single execution over a live referent.
+    unsafe { job.execute() }
+}
+
+/// A heap-allocated fire-and-forget job (`scope` spawns): the closure is owned by the box and
+/// dropped after execution; completion accounting happens inside the closure itself.
+pub(crate) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Erases this job, leaking the box until execution reclaims it.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that everything the closure borrows outlives its execution
+    /// (the scope protocol: the owning scope blocks until all spawned jobs have run), and that
+    /// the returned ref is executed exactly once (otherwise the box leaks).
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        // SAFETY: forwarded to the caller's obligation.
+        unsafe { JobRef::new(Box::into_raw(self)) }
+    }
+}
+
+// SAFETY: the pointer comes from `Box::into_raw` in `into_job_ref` and is reclaimed exactly
+// once here.
+unsafe impl<F> Job for HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    unsafe fn execute(this: *const Self) {
+        // SAFETY: ownership transfers back from the raw pointer minted in `into_job_ref`.
+        let job = unsafe { Box::from_raw(this.cast_mut()) };
+        (job.func)();
+    }
+}

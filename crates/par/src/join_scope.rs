@@ -1,0 +1,127 @@
+//! Structured fork–join primitives: [`join`] and [`scope`].
+//!
+//! Besides `job.rs` this is the only module with `unsafe`: the two lifetime-erasure call
+//! sites, each paired with the blocking protocol that makes it sound.
+
+use crate::job::{HeapJob, PanicPayload, StackJob};
+use crate::latch::CountLatch;
+use crate::pool;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Runs two closures, potentially in parallel, and returns both results.
+///
+/// The second closure is published to the pool (the calling worker's own deque, or the
+/// injection queue when called from an application thread) and the first runs inline; while
+/// the deferred half is outstanding the caller *helps* — it pops its own deque and steals from
+/// others instead of blocking idle, so nested `join`s compose into a work-stealing computation
+/// tree. If nothing steals the second closure, the caller pops it back and runs it inline:
+/// sequential execution is the uncontended fast path, parallelism is opportunistic.
+///
+/// # Panics
+///
+/// A panic in either closure is caught and re-thrown by `join` after **both** closures have
+/// finished (the deferred half may borrow from the caller's frame, so unwinding early would
+/// free data it still uses). When both panic, the first closure's payload wins.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = pool::global();
+    let job_b = StackJob::new(oper_b);
+    // SAFETY: `job_b` stays on this frame, and this frame does not return before
+    // `wait_until(job_b.latch())` observes execution complete.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    registry.push(job_b_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+    registry.wait_until(job_b.latch());
+    let result_b = job_b.into_result();
+
+    match (result_a, result_b) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// A scope for spawning an arbitrary number of jobs that may borrow from the caller's stack.
+///
+/// Created by [`scope`]; see there.
+pub struct Scope<'scope> {
+    pending: CountLatch,
+    panic: Mutex<Option<PanicPayload>>,
+    /// Invariant in `'scope` (a covariant or contravariant scope lifetime would let borrows
+    /// escape), while staying `Send + Sync`.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+/// Creates a scope in which closures borrowing the caller's stack can be spawned onto the
+/// pool, and blocks until every spawned job (including transitively spawned ones) has
+/// finished.
+///
+/// While blocked, the calling thread helps execute pool work rather than idling. Panics from
+/// the body or from any spawned job are re-thrown once all jobs have completed; the body's own
+/// panic takes precedence over job panics, and among job panics the first recorded wins.
+pub fn scope<'scope, F, R>(body: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        pending: CountLatch::new(),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&scope)));
+    pool::global().wait_until(&scope.pending);
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(value) => {
+            let job_panic = scope
+                .panic
+                .lock()
+                .expect("scope panic slot poisoned")
+                .take();
+            match job_panic {
+                Some(payload) => panic::resume_unwind(payload),
+                None => value,
+            }
+        }
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a job onto the pool. The closure may borrow anything that outlives the
+    /// enclosing [`scope`] call and may itself spawn further jobs through the `&Scope` it
+    /// receives.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.increment();
+        let scope_ref: &Scope<'scope> = self;
+        let job = HeapJob::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope_ref))) {
+                scope_ref.record_panic(payload);
+            }
+            // Final use of the scope: after this decrement the blocked `scope` call may
+            // return and pop the frame the closure borrowed from.
+            scope_ref.pending.decrement();
+        });
+        // SAFETY: the enclosing `scope` call blocks on `pending` until this job has executed,
+        // so every borrow captured by `body` (all outliving `'scope`, which outlives the
+        // `scope` frame) stays valid; the ref is queued, hence executed, exactly once.
+        let job_ref = unsafe { job.into_job_ref() };
+        pool::global().push(job_ref);
+    }
+
+    fn record_panic(&self, payload: PanicPayload) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+}

@@ -1,0 +1,80 @@
+//! Completion signalling between jobs and the frames blocked on them.
+//!
+//! Both latches keep their state in plain atomics and route wake-ups through the registry's
+//! 'static [`Sleep`](crate::pool) primitive — a latch itself lives in a (possibly soon to be
+//! popped) stack frame, so a setter must never touch latch memory after its final store.
+//!
+//! Orderings: the completion store and every probe are `SeqCst`, not merely release/acquire.
+//! The no-lost-wake-up argument is a Dekker-style handshake — waiter: `sleepers += 1` then
+//! probe; setter: store completion then read `sleepers` — and under TSO a release store may
+//! still sit in the store buffer while the subsequent `sleepers` load executes, letting both
+//! sides miss each other. `SeqCst` on both stores puts them in the single total order the
+//! argument needs (the waiter's increment and the setter's read are `SeqCst` RMW/loads in
+//! `pool.rs`).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Anything a thread can block on while helping with other work.
+pub(crate) trait Probe {
+    /// `true` once the awaited event has happened.
+    fn probe(&self) -> bool;
+}
+
+/// One-shot latch set by the single job a `join` frame waits for.
+pub(crate) struct CompletionLatch {
+    done: AtomicBool,
+}
+
+impl CompletionLatch {
+    pub(crate) fn new() -> Self {
+        CompletionLatch {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the job complete and wakes sleepers. The store is the final access to `self`;
+    /// the notification only touches the process-wide registry.
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        crate::pool::global().notify_sleepers();
+    }
+}
+
+impl Probe for CompletionLatch {
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+}
+
+/// Counting latch tracking the spawned-but-unfinished jobs of a `scope`.
+pub(crate) struct CountLatch {
+    pending: AtomicUsize,
+}
+
+impl CountLatch {
+    pub(crate) fn new() -> Self {
+        CountLatch {
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn increment(&self) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one job complete; the last completion wakes sleepers. As with
+    /// [`CompletionLatch::set`], nothing touches `self` after the decrement.
+    pub(crate) fn decrement(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            crate::pool::global().notify_sleepers();
+        }
+    }
+}
+
+impl Probe for CountLatch {
+    fn probe(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) == 0
+    }
+}

@@ -1,0 +1,112 @@
+//! # mvrc-par
+//!
+//! A small work-stealing parallel runtime: the execution substrate under the exponential
+//! subset sweeps of `mvrc-robustness`, and a general fork–join library for the rest of the
+//! workspace.
+//!
+//! The workspace previously vendored an *eager* rayon stand-in that materialized every
+//! parallel pass into a `Vec` and cut it into one contiguous chunk per thread. This crate
+//! replaces it with the real architecture:
+//!
+//! * a **persistent global thread pool** ([`pool_thread_count`], [`configure_thread_count`]),
+//!   created lazily on first use and sized by `MVRC_THREADS` or the available parallelism;
+//! * **per-worker deques with stealing** in the Chase–Lev discipline (owner pops LIFO at the
+//!   back, thieves steal FIFO from the front), plus an injection queue for parallelism entered
+//!   from application threads;
+//! * structured fork–join: [`join`] and [`scope`], with panic propagation across the fork and
+//!   full work-stealing while blocked (a waiting thread helps instead of idling);
+//! * **lazy index-range splitting** ([`fold_chunks`], [`for_each_chunk`],
+//!   [`for_each_index`]): subranges are deferred to the pool and split further only while
+//!   idle workers exist, with adaptive grain sizes — peak memory is O(threads × chunk), never
+//!   O(items);
+//! * the rayon-style adaptor surface ([`prelude`], `into_par_iter`/`par_iter` with `map`,
+//!   `filter`, `filter_map`, `collect`, `sum`, `count`, `for_each`) so existing call sites
+//!   keep compiling, now lazy end to end;
+//! * [`WorkerLocal`] scratch arenas keyed by worker slot, replacing ad-hoc thread-locals;
+//! * a [`Parallelism`] handle for pinning the fan-out of an individual operation.
+//!
+//! # Example
+//!
+//! ```
+//! use mvrc_par::{fold_chunks, join, Parallelism};
+//!
+//! let (evens, odds) = join(
+//!     || (0..1_000).filter(|n| n % 2 == 0).count(),
+//!     || (0..1_000).filter(|n| n % 2 == 1).count(),
+//! );
+//! assert_eq!(evens + odds, 1_000);
+//!
+//! // Sum 0..10_000 without ever materializing the range.
+//! let total: u64 = fold_chunks(
+//!     0..10_000,
+//!     Parallelism::Auto,
+//!     0,
+//!     || 0u64,
+//!     |acc, chunk| acc + chunk.map(|i| i as u64).sum::<u64>(),
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(total, 10_000 * 9_999 / 2);
+//! ```
+
+mod iter;
+mod job;
+mod join_scope;
+mod latch;
+mod pool;
+mod range;
+mod worker_local;
+
+pub use iter::{
+    current_num_threads, prelude, FilterMapProducer, FilterProducer, IntoParallelIterator,
+    IntoParallelRefIterator, MapProducer, ParIter, ParallelIterator, Producer, RangeProducer,
+    SliceProducer, VecProducer,
+};
+pub use join_scope::{join, scope, Scope};
+pub use pool::{
+    configure_thread_count, current_worker_index, planned_thread_count, pool_thread_count,
+};
+pub use range::{fold_chunks, for_each_chunk, for_each_index};
+pub use worker_local::WorkerLocal;
+
+/// How much of the pool one parallel operation may use.
+///
+/// The pool itself is global and fixed-size; a `Parallelism` value caps the *fan-out* of an
+/// individual call, so a library can expose "run this serially" or "use at most k threads"
+/// without the process juggling multiple pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Use every pool worker (the default).
+    #[default]
+    Auto,
+    /// Run inline on the calling thread; the pool is not touched (nor started).
+    Serial,
+    /// Cap the operation at this many concurrent strands. Values of `0` behave like `1`;
+    /// values at or above the pool size behave like [`Parallelism::Auto`]. The cap is
+    /// enforced by splitting the work into at most this many chunks, trading steal-based
+    /// load balancing for the bound.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Number of threads this operation may occupy (`1` means run inline). Uses the *planned*
+    /// pool size: sizing a computation must not itself start the pool — workers spawn when
+    /// the first job is pushed.
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => planned_thread_count(),
+            Parallelism::Threads(n) => n.clamp(1, planned_thread_count()),
+        }
+    }
+
+    /// The pinned chunk length enforcing a [`Parallelism::Threads`] cap over `len` items, or
+    /// `None` when the adaptive grain applies.
+    pub(crate) fn chunk_len(self, len: usize) -> Option<usize> {
+        match self {
+            Parallelism::Threads(n) if n.max(1) < planned_thread_count() => {
+                Some(len.div_ceil(n.max(1)).max(1))
+            }
+            _ => None,
+        }
+    }
+}

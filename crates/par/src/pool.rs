@@ -1,0 +1,327 @@
+//! The persistent global thread pool: per-worker deques with stealing, a shared injection
+//! queue for jobs arriving from outside the pool, and the sleep/wake protocol idle workers and
+//! blocked frames park on.
+//!
+//! # Scheduling discipline
+//!
+//! Each worker owns one deque operated Chase–Lev-style: the owner pushes and pops at the
+//! *back* (LIFO — the most recently split, smallest piece of work, hot in cache), thieves
+//! steal from the *front* (FIFO — the oldest, largest pending piece, which amortizes the cost
+//! of the steal). The deques are mutex-guarded rather than lock-free: every queued item is a
+//! two-word [`JobRef`], so the critical sections are a few instructions and uncontended in the
+//! common case, while the ownership discipline — and therefore the scheduling behaviour — is
+//! exactly that of the classic deque.
+//!
+//! Jobs pushed by threads that are not pool workers (a `join` or `scope` entered from the
+//! application) go to the shared *injection queue*, which workers drain front-first like any
+//! other victim; the injecting thread itself pops the queue's back while it waits, mirroring
+//! the owner/thief split.
+//!
+//! # Pool size
+//!
+//! The pool is created lazily on first use with, in order of precedence: the size requested
+//! via [`configure_thread_count`], the `MVRC_THREADS` environment variable, or
+//! [`std::thread::available_parallelism`]. It lives for the remainder of the process.
+
+#![forbid(unsafe_code)]
+
+use crate::job::JobRef;
+use crate::latch::Probe;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Spins (with `yield_now`) before a waiting thread engages the sleep protocol.
+const SPINS_BEFORE_SLEEP: u32 = 32;
+
+/// Upper bound on one parked wait; a paranoia cap that turns any (theoretically impossible)
+/// missed wake-up into bounded latency instead of a hang. Long on purpose: every real wake-up
+/// goes through [`Registry::notify_sleepers`], and a short timeout makes idle workers burn
+/// scheduler time (on single-core hosts that measurably perturbs the running computation).
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+
+static REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Thread-count request recorded by [`configure_thread_count`] before the pool starts.
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Requests a specific worker count for the global pool.
+///
+/// Must be called before the pool is first used (the pool is created lazily by the first
+/// parallel operation). Returns `true` when the request took effect — or the pool already runs
+/// with exactly that size — and `false` when the pool was already started with a different
+/// size.
+pub fn configure_thread_count(threads: usize) -> bool {
+    let threads = threads.max(1);
+    if REGISTRY.get().is_some() {
+        return pool_thread_count() == threads;
+    }
+    REQUESTED_THREADS.store(threads, Ordering::SeqCst);
+    // A racing first use may have started the pool between the check and the store.
+    match REGISTRY.get() {
+        Some(registry) => registry.workers.len() == threads,
+        None => true,
+    }
+}
+
+/// Number of worker threads in the global pool (starting it if necessary).
+pub fn pool_thread_count() -> usize {
+    global().workers.len()
+}
+
+/// The pool size — the running pool's worker count, or the size the pool *would* start with —
+/// **without starting it**.
+///
+/// Spawning the first pool thread flips the whole process out of the single-threaded fast
+/// paths of its allocator, so size queries made on serial paths (arena construction,
+/// reporting) must not force the pool into existence.
+pub fn planned_thread_count() -> usize {
+    match REGISTRY.get() {
+        Some(registry) => registry.workers.len(),
+        None => desired_threads(),
+    }
+}
+
+/// The index of the pool worker executing the current thread, or `None` on application
+/// threads. Worker indices are dense in `0..pool_thread_count()`; [`crate::WorkerLocal`]
+/// uses them as slot keys.
+pub fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.get()
+}
+
+/// The pool size the lazy initializer would use.
+fn desired_threads() -> usize {
+    let requested = REQUESTED_THREADS.load(Ordering::SeqCst);
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("MVRC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The global registry, created on first use.
+pub(crate) fn global() -> &'static Arc<Registry> {
+    REGISTRY.get_or_init(|| Registry::start(desired_threads()))
+}
+
+/// One worker's mutex-guarded deque (owner: back; thieves: front).
+struct WorkerQueue {
+    deque: Mutex<VecDeque<JobRef>>,
+}
+
+/// The sleep/wake protocol. Parking requires the `generation` lock; waking bumps the
+/// generation under the same lock, but only when `sleepers` says anyone might be parked — the
+/// hot (everyone busy) path is a single relaxed-ish atomic load.
+struct Sleep {
+    generation: Mutex<u64>,
+    wakeup: Condvar,
+    sleepers: AtomicUsize,
+}
+
+pub(crate) struct Registry {
+    workers: Vec<WorkerQueue>,
+    injected: Mutex<VecDeque<JobRef>>,
+    /// Queued-but-not-yet-executed jobs, across all queues. Lets sleepers check "is there any
+    /// work?" without taking every deque lock.
+    pending_jobs: AtomicUsize,
+    sleep: Sleep,
+}
+
+impl Registry {
+    fn start(threads: usize) -> Arc<Registry> {
+        let threads = threads.max(1);
+        let registry = Arc::new(Registry {
+            workers: (0..threads)
+                .map(|_| WorkerQueue {
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            injected: Mutex::new(VecDeque::new()),
+            pending_jobs: AtomicUsize::new(0),
+            sleep: Sleep {
+                generation: Mutex::new(0),
+                wakeup: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
+        });
+        for index in 0..threads {
+            let registry = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name(format!("mvrc-par-{index}"))
+                .spawn(move || worker_main(&registry, index))
+                .expect("failed to spawn mvrc-par worker thread");
+        }
+        registry
+    }
+
+    /// Pushes a job onto the current thread's own deque (pool workers) or the injection queue
+    /// (application threads), then wakes a sleeper to come steal it.
+    pub(crate) fn push(&self, job: JobRef) {
+        // Count first: a job is stealable the moment the deque lock drops, and a taker's
+        // decrement racing ahead of a deferred increment would wrap the counter. Transient
+        // *over*-counting (job counted, not yet pushed) only costs a parked worker one
+        // spurious rescan.
+        self.pending_jobs.fetch_add(1, Ordering::SeqCst);
+        match current_worker_index() {
+            Some(index) => self.workers[index]
+                .deque
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(job),
+            None => self
+                .injected
+                .lock()
+                .expect("injection queue poisoned")
+                .push_back(job),
+        }
+        self.notify_sleepers();
+    }
+
+    /// Takes the next job for a thread that is ready to execute one, in Chase–Lev order:
+    /// workers pop their own back, then steal other fronts, then drain the injection front;
+    /// application threads pop the injection back (their own most recent push), then steal
+    /// worker fronts.
+    fn take_job(&self) -> Option<JobRef> {
+        let job = match current_worker_index() {
+            Some(index) => self
+                .pop_own(index)
+                .or_else(|| self.steal(index))
+                .or_else(|| self.pop_injected_front()),
+            None => self.pop_injected_back().or_else(|| self.steal(usize::MAX)),
+        };
+        if job.is_some() {
+            self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    fn pop_own(&self, index: usize) -> Option<JobRef> {
+        self.workers[index]
+            .deque
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_back()
+    }
+
+    /// Steals from the front of the other workers' deques, round-robin from the thief's index.
+    fn steal(&self, thief: usize) -> Option<JobRef> {
+        let n = self.workers.len();
+        let start = if thief < n { thief + 1 } else { 0 };
+        (0..n)
+            .map(|offset| (start + offset) % n)
+            .filter(|&victim| victim != thief)
+            .find_map(|victim| {
+                self.workers[victim]
+                    .deque
+                    .lock()
+                    .expect("worker deque poisoned")
+                    .pop_front()
+            })
+    }
+
+    fn pop_injected_front(&self) -> Option<JobRef> {
+        self.injected
+            .lock()
+            .expect("injection queue poisoned")
+            .pop_front()
+    }
+
+    fn pop_injected_back(&self) -> Option<JobRef> {
+        self.injected
+            .lock()
+            .expect("injection queue poisoned")
+            .pop_back()
+    }
+
+    /// Wakes every parked thread, if any might be parked.
+    ///
+    /// Must not be called while holding a deque or injection lock (lock order is
+    /// `generation` → deques, established by the parked-side work re-check).
+    pub(crate) fn notify_sleepers(&self) {
+        if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut generation = self.sleep.generation.lock().expect("sleep lock poisoned");
+            *generation = generation.wrapping_add(1);
+            self.sleep.wakeup.notify_all();
+        }
+    }
+
+    /// Parks the current thread until `wake` returns true, a wake-up arrives, or the paranoia
+    /// timeout elapses.
+    ///
+    /// The `sleepers` increment happens *before* the final `wake` check under the generation
+    /// lock; any event signalled after that check therefore sees `sleepers > 0` and takes the
+    /// lock to notify, which cannot complete until this thread is actually parked in `wait` —
+    /// no lost wake-ups.
+    fn park_unless(&self, wake: impl Fn() -> bool) {
+        self.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
+        let generation = self.sleep.generation.lock().expect("sleep lock poisoned");
+        if !wake() {
+            let _unused = self
+                .sleep
+                .wakeup
+                .wait_timeout(generation, PARK_TIMEOUT)
+                .expect("sleep lock poisoned");
+        }
+        self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// `true` when some queue holds a job.
+    fn has_pending_jobs(&self) -> bool {
+        self.pending_jobs.load(Ordering::SeqCst) > 0
+    }
+
+    /// Runs jobs (own, stolen, injected) until `latch` is set, parking only when there is
+    /// neither a result nor anything to help with.
+    ///
+    /// A pool worker calling this drains its *own* deque first, which is what guarantees a
+    /// `join`'s deferred half cannot be stranded: either a thief took it (and will set the
+    /// latch) or the waiter pops it back and runs it inline.
+    pub(crate) fn wait_until<L: Probe>(&self, latch: &L) {
+        let mut spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.take_job() {
+                crate::job::execute_job(job);
+                spins = 0;
+            } else if spins < SPINS_BEFORE_SLEEP {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                self.park_unless(|| latch.probe() || self.has_pending_jobs());
+                spins = 0;
+            }
+        }
+    }
+}
+
+/// Main loop of a pool worker: execute anything available, park otherwise.
+fn worker_main(registry: &Registry, index: usize) {
+    WORKER_INDEX.set(Some(index));
+    let mut spins = 0u32;
+    loop {
+        if let Some(job) = registry.take_job() {
+            crate::job::execute_job(job);
+            spins = 0;
+        } else if spins < SPINS_BEFORE_SLEEP {
+            spins += 1;
+            std::thread::yield_now();
+        } else {
+            registry.park_unless(|| registry.has_pending_jobs());
+            spins = 0;
+        }
+    }
+}

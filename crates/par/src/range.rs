@@ -1,0 +1,120 @@
+//! Lazy index-range splitting: parallel folds over `lo..hi` without materializing items.
+//!
+//! The eager runtime this crate replaced collected every item of a parallel pass into a `Vec`
+//! and cut it into one contiguous chunk per thread up front. Here a range is split *lazily*:
+//! each recursion level defers its right half to the pool (where it is stolen only if another
+//! worker is actually idle) and descends into the left half, so with no contention the whole
+//! fold runs sequentially on the caller, and under contention work moves at the granularity of
+//! the largest pending subrange. Peak memory is one accumulator per *active* chunk — O(threads)
+//! — independent of the range length.
+
+#![forbid(unsafe_code)]
+
+use crate::{join, Parallelism};
+use std::ops::Range;
+
+/// Grain size below which a subrange is no longer split.
+///
+/// With `grain_hint = 0` an adaptive threshold is used: ranges split until there are roughly
+/// four pending pieces per available thread (enough slack for stealing to balance uneven
+/// chunks without drowning tiny workloads in scheduling overhead). A non-zero hint is a lower
+/// bound on the chunk size — use it when per-chunk setup (e.g. positioning a streaming cursor)
+/// needs amortizing over several items.
+fn grain_for(len: usize, threads: usize, grain_hint: usize) -> usize {
+    let adaptive = len.div_ceil(threads.max(1) * 4);
+    adaptive.max(grain_hint).max(1)
+}
+
+/// Folds every index of `range`, in parallel chunks, into per-chunk accumulators that are then
+/// combined with `reduce`.
+///
+/// * `identity` makes a fresh accumulator for each chunk (it can carry reusable scratch —
+///   buffers allocated once per chunk, not per item);
+/// * `fold_chunk` consumes one contiguous subrange and updates the accumulator;
+/// * `reduce` combines two accumulators; chunks are reduced in index order, so for
+///   non-commutative reductions the result still respects the range order.
+///
+/// With [`Parallelism::Serial`] (or a one-thread pool, or a range no longer than the grain)
+/// this degenerates to a single inline `fold_chunk` call on the current thread — no pool
+/// interaction at all.
+pub fn fold_chunks<T, ID, F, RD>(
+    range: Range<usize>,
+    parallelism: Parallelism,
+    grain_hint: usize,
+    identity: ID,
+    fold_chunk: F,
+    reduce: RD,
+) -> T
+where
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, Range<usize>) -> T + Sync,
+    RD: Fn(T, T) -> T + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    let threads = parallelism.effective_threads();
+    let grain = match parallelism.chunk_len(len) {
+        Some(pinned) => pinned,
+        None => grain_for(len, threads, grain_hint),
+    };
+    if threads <= 1 || len <= grain {
+        return fold_chunk(identity(), range);
+    }
+    fold_rec(range, grain, &identity, &fold_chunk, &reduce)
+}
+
+fn fold_rec<T, ID, F, RD>(
+    range: Range<usize>,
+    grain: usize,
+    identity: &ID,
+    fold_chunk: &F,
+    reduce: &RD,
+) -> T
+where
+    T: Send,
+    ID: Fn() -> T + Sync,
+    F: Fn(T, Range<usize>) -> T + Sync,
+    RD: Fn(T, T) -> T + Sync,
+{
+    let len = range.end - range.start;
+    if len <= grain {
+        return fold_chunk(identity(), range);
+    }
+    // Split near the middle, *aligned to a grain multiple*: every leaf is then a full grain
+    // (except possibly the last), so the recursion yields exactly `ceil(len / grain)` chunks.
+    // With the pinned grain of a `Parallelism::Threads(n)` cap that makes "at most n chunks"
+    // a hard guarantee — unaligned halving could produce up to 2n off-size leaves.
+    let mid = range.start + ((len / 2).div_ceil(grain) * grain).min(len - 1).max(1);
+    let (left, right) = join(
+        || fold_rec(range.start..mid, grain, identity, fold_chunk, reduce),
+        || fold_rec(mid..range.end, grain, identity, fold_chunk, reduce),
+    );
+    reduce(left, right)
+}
+
+/// Runs `body` on every contiguous chunk of `range`, in parallel. See [`fold_chunks`] for the
+/// splitting and grain semantics.
+pub fn for_each_chunk(
+    range: Range<usize>,
+    parallelism: Parallelism,
+    grain_hint: usize,
+    body: impl Fn(Range<usize>) + Sync,
+) {
+    fold_chunks(
+        range,
+        parallelism,
+        grain_hint,
+        || (),
+        |(), chunk| body(chunk),
+        |(), ()| (),
+    );
+}
+
+/// Runs `body` on every index of `range`, in parallel. See [`fold_chunks`].
+pub fn for_each_index(range: Range<usize>, parallelism: Parallelism, body: impl Fn(usize) + Sync) {
+    for_each_chunk(range, parallelism, 0, |chunk| {
+        for index in chunk {
+            body(index);
+        }
+    });
+}

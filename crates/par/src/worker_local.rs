@@ -1,0 +1,62 @@
+//! Per-worker scratch arenas.
+
+#![forbid(unsafe_code)]
+
+use crate::pool;
+use std::sync::Mutex;
+
+/// One value slot per pool worker, plus a shared spare pool for application threads.
+///
+/// The intended use is *scratch reuse across jobs*: hot code that needs temporary buffers
+/// (masks, stacks, lookup tables) borrows the slot of the worker it runs on, so a worker
+/// processing thousands of jobs over a sweep touches the same warm allocation every time —
+/// the pool-aware replacement for ad-hoc `thread_local!` scratch, with the lifetime and
+/// sizing of the arena tied to the pool instead of to whatever threads happen to exist.
+///
+/// Calls from threads outside the pool (and, defensively, re-entrant calls on a worker) check
+/// a value out of a shared spare list and return it afterwards, so the type is safe to use
+/// anywhere. If the closure panics, a checked-out spare is dropped rather than returned.
+pub struct WorkerLocal<T> {
+    slots: Box<[Mutex<T>]>,
+    /// Boxed so a checkout moves one pointer through the lock, not the value itself.
+    spare: Mutex<Vec<Box<T>>>,
+    make: Box<dyn Fn() -> T + Send + Sync>,
+}
+
+impl<T: Send> WorkerLocal<T> {
+    /// Creates an arena with one `make()` value per (planned) pool worker. Deliberately does
+    /// **not** start the pool: arenas are often built on serial paths, and spawning the first
+    /// worker costs the whole process its single-threaded allocator fast paths.
+    pub fn new(make: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        let slots = (0..pool::planned_thread_count())
+            .map(|_| Mutex::new(make()))
+            .collect();
+        WorkerLocal {
+            slots,
+            spare: Mutex::new(Vec::new()),
+            make: Box::new(make),
+        }
+    }
+
+    /// Runs `f` with exclusive access to this thread's slot (or a spare value).
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        // The defensive `>= slots.len()` guard covers a pool that was re-configured larger
+        // between arena construction and first use; such workers share the spare pool.
+        if let Some(index) = pool::current_worker_index().filter(|&i| i < self.slots.len()) {
+            // Only this worker locks its slot, so the lock is uncontended; `try_lock` fails
+            // only on re-entrance, which falls through to the spare pool below.
+            if let Ok(mut slot) = self.slots[index].try_lock() {
+                return f(&mut slot);
+            }
+        }
+        let mut value = self
+            .spare
+            .lock()
+            .expect("spare pool poisoned")
+            .pop()
+            .unwrap_or_else(|| Box::new((self.make)()));
+        let result = f(&mut value);
+        self.spare.lock().expect("spare pool poisoned").push(value);
+        result
+    }
+}

@@ -1,0 +1,405 @@
+//! Behavioural tests for the work-stealing runtime: result correctness, panic propagation out
+//! of `join`/`scope`, nested joins, adaptor ordering, range-fold coverage, `Parallelism`
+//! pinning and `WorkerLocal` checkout semantics.
+//!
+//! Everything here runs against the shared global pool, concurrently with the other tests in
+//! this binary — which is itself part of the test: the pool must serve many independent
+//! parallel computations at once.
+
+use mvrc_par::prelude::*;
+use mvrc_par::{
+    current_worker_index, fold_chunks, for_each_index, join, pool_thread_count, scope, Parallelism,
+    WorkerLocal,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[test]
+fn pool_size_honors_env_override() {
+    let threads = pool_thread_count();
+    assert!(threads >= 1);
+    // The CI matrix runs the suite under MVRC_THREADS=1; when the variable is set it must win
+    // over available_parallelism.
+    if let Some(requested) = std::env::var("MVRC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        assert_eq!(threads, requested.max(1));
+    }
+}
+
+#[test]
+fn join_returns_both_results() {
+    let (a, b) = join(|| 2 + 2, || "forty".len());
+    assert_eq!((a, b), (4, 5));
+}
+
+#[test]
+fn nested_joins_compute_recursive_sums() {
+    fn parallel_sum(range: std::ops::Range<u64>) -> u64 {
+        let len = range.end - range.start;
+        if len <= 128 {
+            return range.sum();
+        }
+        let mid = range.start + len / 2;
+        let (left, right) = join(
+            || parallel_sum(range.start..mid),
+            || parallel_sum(mid..range.end),
+        );
+        left + right
+    }
+    assert_eq!(parallel_sum(0..100_000), 100_000 * 99_999 / 2);
+}
+
+#[test]
+fn join_propagates_panic_from_first_closure() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        join(|| panic!("left went wrong"), || 1 + 1)
+    }));
+    let payload = result.expect_err("left panic must propagate");
+    let message = payload.downcast_ref::<&str>().expect("str payload");
+    assert_eq!(*message, "left went wrong");
+}
+
+#[test]
+fn join_propagates_panic_from_second_closure() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        join(|| 1 + 1, || -> usize { panic!("right went wrong") })
+    }));
+    let payload = result.expect_err("right panic must propagate");
+    let message = payload.downcast_ref::<&str>().expect("str payload");
+    assert_eq!(*message, "right went wrong");
+}
+
+#[test]
+fn join_prefers_first_panic_when_both_closures_panic() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        join(
+            || -> usize { panic!("first") },
+            || -> usize { panic!("second") },
+        )
+    }));
+    let payload = result.expect_err("panic must propagate");
+    let message = payload.downcast_ref::<&str>().expect("str payload");
+    assert_eq!(*message, "first");
+}
+
+#[test]
+fn join_still_runs_second_closure_when_first_panics() {
+    // The deferred half may borrow the caller's frame, so join must not unwind before it has
+    // finished — observable as its side effect always happening.
+    let ran = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        join(
+            || -> usize { panic!("boom") },
+            || ran.fetch_add(1, Ordering::SeqCst),
+        )
+    }));
+    assert!(result.is_err());
+    assert_eq!(ran.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn scope_runs_every_spawned_job() {
+    let counter = AtomicUsize::new(0);
+    scope(|s| {
+        for _ in 0..100 {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn scope_supports_nested_spawns() {
+    let counter = AtomicUsize::new(0);
+    scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 8 + 8 * 4);
+}
+
+#[test]
+fn scope_returns_the_body_result_and_borrows_locals() {
+    let results = Mutex::new(Vec::new());
+    let answer = scope(|s| {
+        for i in 0..10usize {
+            let results = &results;
+            s.spawn(move |_| {
+                results.lock().unwrap().push(i * i);
+            });
+        }
+        42
+    });
+    assert_eq!(answer, 42);
+    let mut collected = results.into_inner().unwrap();
+    collected.sort_unstable();
+    assert_eq!(collected, (0..10).map(|i| i * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn scope_propagates_panics_from_spawned_jobs() {
+    let completed = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        scope(|s| {
+            s.spawn(|_| panic!("job blew up"));
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    completed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    }));
+    let payload = result.expect_err("job panic must propagate out of scope");
+    let message = payload.downcast_ref::<&str>().expect("str payload");
+    assert_eq!(*message, "job blew up");
+    // No cancellation: already-spawned siblings still ran.
+    assert_eq!(completed.load(Ordering::SeqCst), 10);
+}
+
+#[test]
+fn scope_propagates_panic_from_the_body() {
+    let ran = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        scope(|s| {
+            s.spawn(|_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            panic!("body blew up");
+        });
+    }));
+    let payload = result.expect_err("body panic must propagate");
+    let message = payload.downcast_ref::<&str>().expect("str payload");
+    assert_eq!(*message, "body blew up");
+    assert_eq!(ran.load(Ordering::SeqCst), 1, "spawned job still runs");
+}
+
+#[test]
+fn map_collect_preserves_order() {
+    let doubled: Vec<usize> = (0usize..10_000).into_par_iter().map(|i| i * 2).collect();
+    assert_eq!(doubled, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn filter_map_preserves_order_and_drops_items() {
+    let odds: Vec<usize> = (0usize..1_000)
+        .into_par_iter()
+        .filter_map(|i| (i % 2 == 1).then_some(i))
+        .collect();
+    assert_eq!(odds, (0..1_000).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+}
+
+#[test]
+fn chained_adaptors_match_sequential_semantics() {
+    let expected: Vec<String> = (0u64..512)
+        .map(|i| i * 3)
+        .filter(|v| v % 2 == 0)
+        .map(|v| format!("#{v}"))
+        .collect();
+    let parallel: Vec<String> = (0u64..512)
+        .into_par_iter()
+        .map(|i| i * 3)
+        .filter(|v| v % 2 == 0)
+        .map(|v| format!("#{v}"))
+        .collect();
+    assert_eq!(parallel, expected);
+}
+
+#[test]
+fn par_iter_over_slices_and_vecs() {
+    let items: Vec<u64> = (1..=1_000).collect();
+    let total: u64 = items.par_iter().map(|&x| x).sum();
+    assert_eq!(total, 1_000 * 1_001 / 2);
+    let count = items.as_slice().par_iter().filter(|&&x| x > 500).count();
+    assert_eq!(count, 500);
+
+    let consumed: Vec<u64> = items.into_par_iter().map(|x| x + 1).collect();
+    assert_eq!(consumed, (2..=1_001).collect::<Vec<_>>());
+}
+
+#[test]
+fn for_each_visits_every_item() {
+    let sum = AtomicUsize::new(0);
+    (0usize..4_096).into_par_iter().for_each(|i| {
+        sum.fetch_add(i, Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 4_096 * 4_095 / 2);
+}
+
+#[test]
+fn fold_chunks_covers_the_range_exactly_once() {
+    let seen = Mutex::new(Vec::new());
+    fold_chunks(
+        0..10_000,
+        Parallelism::Auto,
+        0,
+        Vec::new,
+        |mut acc: Vec<usize>, chunk| {
+            acc.extend(chunk);
+            acc
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    )
+    .into_iter()
+    .for_each(|i| seen.lock().unwrap().push(i));
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..10_000).collect::<Vec<_>>());
+}
+
+#[test]
+fn fold_chunks_reduces_in_index_order() {
+    // Concatenation is non-commutative: any out-of-order reduction would scramble the digits.
+    let digits = fold_chunks(
+        0..100,
+        Parallelism::Auto,
+        0,
+        String::new,
+        |mut acc, chunk| {
+            use std::fmt::Write;
+            for i in chunk {
+                write!(acc, "{i},").unwrap();
+            }
+            acc
+        },
+        |a, b| a + &b,
+    );
+    let expected: String = (0..100).map(|i| format!("{i},")).collect();
+    assert_eq!(digits, expected);
+}
+
+#[test]
+fn serial_parallelism_runs_inline_without_the_pool() {
+    let chunks = Mutex::new(Vec::new());
+    fold_chunks(
+        0..1_000,
+        Parallelism::Serial,
+        0,
+        || (),
+        |(), chunk| {
+            assert_eq!(
+                current_worker_index(),
+                None,
+                "Serial fold must stay on the calling thread"
+            );
+            chunks.lock().unwrap().push(chunk);
+        },
+        |(), ()| (),
+    );
+    assert_eq!(chunks.into_inner().unwrap(), vec![0..1_000]);
+}
+
+#[test]
+fn thread_cap_bounds_the_number_of_chunks() {
+    for_each_index(0..1_000, Parallelism::Threads(2), |_| {});
+    // Awkward (non-power-of-two, non-multiple) combinations included: the grain-aligned
+    // splitting must never exceed the cap, regardless of how the halving lands. A cap at or
+    // above the pool size behaves like `Auto` (the pool itself bounds concurrency there), so
+    // the chunk-count bound only applies to caps below the pool size.
+    for (len, cap) in [(1_000, 2), (10, 3), (11, 3), (1_000, 7), (97, 5)] {
+        let chunks = AtomicUsize::new(0);
+        let items = AtomicUsize::new(0);
+        fold_chunks(
+            0..len,
+            Parallelism::Threads(cap),
+            0,
+            || (),
+            |(), chunk| {
+                chunks.fetch_add(1, Ordering::SeqCst);
+                items.fetch_add(chunk.end - chunk.start, Ordering::SeqCst);
+            },
+            |(), ()| (),
+        );
+        if cap < mvrc_par::pool_thread_count() {
+            assert!(
+                chunks.load(Ordering::SeqCst) <= cap,
+                "len={len} cap={cap} produced {} chunks",
+                chunks.load(Ordering::SeqCst)
+            );
+        }
+        assert_eq!(items.load(Ordering::SeqCst), len, "full coverage");
+    }
+}
+
+#[test]
+fn grain_hint_bounds_chunk_size_from_below() {
+    let min_seen = Mutex::new(usize::MAX);
+    fold_chunks(
+        0..1_000,
+        Parallelism::Auto,
+        64,
+        || (),
+        |(), chunk| {
+            let len = chunk.end - chunk.start;
+            let mut min = min_seen.lock().unwrap();
+            *min = (*min).min(len);
+        },
+        |(), ()| (),
+    );
+    assert!(
+        *min_seen.lock().unwrap() >= 64 / 2,
+        "splitting may halve once below 2*grain"
+    );
+}
+
+#[test]
+fn worker_local_reuses_and_returns_scratch() {
+    let arena: WorkerLocal<Vec<u64>> = WorkerLocal::new(Vec::new);
+    // From the application thread: spare checkout, mutation persists across calls only via
+    // the spare pool, so capacity is reused.
+    arena.with(|buf| {
+        buf.clear();
+        buf.extend(0..100);
+        assert_eq!(buf.len(), 100);
+    });
+    arena.with(|buf| {
+        assert!(
+            buf.capacity() >= 100,
+            "spare scratch is returned and reused"
+        );
+    });
+
+    // From inside the pool, under concurrency: every job sees a private buffer.
+    let arena = &arena;
+    scope(|s| {
+        for i in 0..64u64 {
+            s.spawn(move |_| {
+                arena.with(|buf| {
+                    buf.clear();
+                    buf.push(i);
+                    assert_eq!(*buf, vec![i]);
+                });
+            });
+        }
+    });
+}
+
+#[test]
+fn many_concurrent_external_entries() {
+    // Several application threads hammer the pool at once; all results must come back intact.
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..50 {
+                    let total: u64 = (0u64..1_000).into_par_iter().map(|i| i * i).sum();
+                    assert_eq!(total, (0..1_000).map(|i| i * i).sum());
+                }
+            });
+        }
+    });
+}

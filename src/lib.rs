@@ -10,6 +10,7 @@
 //! * [`btp`] — basic/linear transaction programs, unfolding, the SQL front-end ([`mvrc_btp`]).
 //! * [`schedule`] — multi-version schedules, MVRC semantics, serialization graphs,
 //!   counterexample search ([`mvrc_schedule`]).
+//! * [`par`] — the work-stealing parallel runtime under the analysis layers ([`mvrc_par`]).
 //! * [`robustness`] — summary graphs (Algorithm 1) and the robustness tests (Algorithm 2 and the
 //!   type-I baseline) ([`mvrc_robustness`]).
 //! * [`benchmarks`] — SmallBank, TPC-C, Auction, Auction(n) and the synthetic generator
@@ -27,6 +28,7 @@
 
 pub use mvrc_benchmarks as benchmarks;
 pub use mvrc_btp as btp;
+pub use mvrc_par as par;
 pub use mvrc_robustness as robustness;
 pub use mvrc_schedule as schedule;
 pub use mvrc_schema as schema;
@@ -39,8 +41,8 @@ pub mod prelude {
     };
     pub use mvrc_robustness::{
         explore_subsets, explore_subsets_naive, explore_subsets_with, AnalysisReport,
-        AnalysisSettings, CycleCondition, ExploreOptions, Granularity, InducedView,
-        RobustnessSession, SummaryGraph, SummaryGraphView,
+        AnalysisSettings, CycleCondition, ExploreOptions, Granularity, InducedView, Parallelism,
+        RobustnessSession, SummaryGraph, SummaryGraphView, SweepStrategy,
     };
     pub use mvrc_schedule::{find_counterexample, SearchConfig};
     pub use mvrc_schema::{Schema, SchemaBuilder};
