@@ -9,8 +9,9 @@
 //! repro graphs                 Figures 11/18: DOT summary graphs for SmallBank and TPC-C
 //! repro smallbank-ground-truth Section 7.2: confirm non-robust SmallBank subsets with concrete
 //!                              MVRC counterexample schedules
-//! repro bench-subsets [--out P] median subset-exploration times (naive vs shared vs pruned),
-//!                              written to BENCH_subsets.json (or P)
+//! repro bench-subsets [--out P] median subset-exploration times (naive vs shared vs pruned
+//!                              vs sharded) on the paper benchmarks + YCSB-T, written to
+//!                              BENCH_subsets.json (or P)
 //! repro all                    everything above (figure8 capped at n = 50)
 //! ```
 //!
@@ -19,10 +20,10 @@
 //! setting `MVRC_THREADS=N`); the benchmark rows record the pool size actually used.
 
 use mvrc_bench::{figure6, figure7, figure8, table2};
-use mvrc_benchmarks::{auction, smallbank, tpcc};
+use mvrc_benchmarks::{auction, smallbank, tpcc, ycsb_t, YcsbtConfig};
 use mvrc_robustness::{
     explore_subsets, explore_subsets_naive, explore_subsets_with, to_dot, AnalysisSettings,
-    DotOptions, ExploreOptions, RobustnessSession,
+    DotOptions, ExploreOptions, RobustnessSession, SweepStrategy,
 };
 use mvrc_schedule::{find_counterexample, SearchConfig};
 use serde::Serialize;
@@ -207,6 +208,10 @@ struct SubsetBenchRow {
     shared_us: f64,
     /// Median time of the closure-pruned sweep, in microseconds.
     pruned_us: f64,
+    /// Median time of the closure-pruned sweep driven by the eager `ShardSpec` plan
+    /// (`SweepStrategy::Sharded` — the in-process twin of the `mvrc shard` protocol), in
+    /// microseconds.
+    sharded_us: f64,
     /// Cycle tests actually run by the pruned sweep (the other paths run `subsets` tests).
     cycle_tests: usize,
     /// Subsets decided by downward-closure pruning alone.
@@ -235,45 +240,60 @@ fn bench_subsets(out_path: &str) {
         closure_pruning: false,
         ..ExploreOptions::default()
     };
-    let rows: Vec<SubsetBenchRow> = [smallbank(), tpcc(), auction()]
-        .into_iter()
-        .map(|workload| {
-            let session = RobustnessSession::new(workload);
-            let pruned = explore_subsets(&session, settings);
-            // Warm the cache outside the timings so all three variants amortize the same
-            // (single) graph construction and measure only the sweep itself.
-            let naive_us = median_us(RUNS, || {
-                explore_subsets_naive(&session, settings);
-            });
-            let shared_us = median_us(RUNS, || {
-                explore_subsets_with(&session, settings, exhaustive);
-            });
-            let pruned_us = median_us(RUNS, || {
-                explore_subsets(&session, settings);
-            });
-            let programs = session.program_names().len();
-            SubsetBenchRow {
-                benchmark: session.workload().name.clone(),
-                programs,
-                subsets: (1 << programs) - 1,
-                naive_us,
-                shared_us,
-                pruned_us,
-                cycle_tests: pruned.cycle_tests,
-                pruned_subsets: pruned.pruned,
-                // `planned`, not `pool`: asking the running pool would *start* it, and with it
-                // end the single-threaded allocator fast path the serial sweeps benefit from.
-                threads: mvrc_par::planned_thread_count(),
-            }
-        })
-        .collect();
+    let sharded = ExploreOptions {
+        strategy: SweepStrategy::Sharded,
+        ..ExploreOptions::default()
+    };
+    let rows: Vec<SubsetBenchRow> = [
+        smallbank(),
+        tpcc(),
+        auction(),
+        ycsb_t(YcsbtConfig::default()),
+    ]
+    .into_iter()
+    .map(|workload| {
+        let session = RobustnessSession::new(workload);
+        let pruned = explore_subsets(&session, settings);
+        // Warm the cache outside the timings so all variants amortize the same (single)
+        // graph construction and measure only the sweep itself.
+        let naive_us = median_us(RUNS, || {
+            explore_subsets_naive(&session, settings);
+        });
+        let shared_us = median_us(RUNS, || {
+            explore_subsets_with(&session, settings, exhaustive);
+        });
+        let pruned_us = median_us(RUNS, || {
+            explore_subsets(&session, settings);
+        });
+        let sharded_us = median_us(RUNS, || {
+            explore_subsets_with(&session, settings, sharded);
+        });
+        let programs = session.program_names().len();
+        SubsetBenchRow {
+            benchmark: session.workload().name.clone(),
+            programs,
+            subsets: (1 << programs) - 1,
+            naive_us,
+            shared_us,
+            pruned_us,
+            sharded_us,
+            cycle_tests: pruned.cycle_tests,
+            pruned_subsets: pruned.pruned,
+            // `planned`, not `pool`: asking the running pool would *start* it, and with it
+            // end the single-threaded allocator fast path the serial sweeps benefit from.
+            threads: mvrc_par::planned_thread_count(),
+        }
+    })
+    .collect();
 
-    println!("== Subset exploration medians ({RUNS} runs): naive vs shared vs closure-pruned ==");
+    println!(
+        "== Subset exploration medians ({RUNS} runs): naive vs shared vs closure-pruned vs sharded =="
+    );
     for row in &rows {
         println!(
-            "  {:<10} naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
-            row.benchmark, row.naive_us, row.shared_us, row.pruned_us, row.cycle_tests, row.subsets,
-            row.pruned_subsets, row.threads
+            "  {:<10} naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  sharded={:>9.1}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
+            row.benchmark, row.naive_us, row.shared_us, row.pruned_us, row.sharded_us,
+            row.cycle_tests, row.subsets, row.pruned_subsets, row.threads
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");

@@ -11,6 +11,8 @@
 //! * [`auction_n`] — the scalable Auction(n) benchmark of Section 7.3 with `2n` programs.
 //! * [`synthetic`] — a reproducible random workload generator used for property-based testing
 //!   and ablations.
+//! * [`ycsb_t`] — a deterministic YCSB-T-like transactional key-value mix with a
+//!   parameterized read-modify-write share, beyond the paper's own benchmarks.
 //!
 //! Every workload is returned as a [`Workload`] (the shared value type of [`mvrc_btp`]):
 //! schema + programs + unfolding options + the program abbreviations used in the paper's
@@ -24,7 +26,7 @@ mod tpcc;
 pub use auction::{auction, auction_n, auction_schema, AUCTION_SQL};
 pub use mvrc_btp::Workload;
 pub use smallbank::{smallbank, smallbank_schema};
-pub use synthetic::{synthetic, SyntheticConfig};
+pub use synthetic::{synthetic, ycsb_t, SyntheticConfig, YcsbtConfig};
 pub use tpcc::{tpcc, tpcc_schema};
 
 /// All fixed-size benchmarks of the paper (SmallBank, TPC-C, Auction), in the order used by

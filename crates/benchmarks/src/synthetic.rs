@@ -171,10 +171,237 @@ fn synthetic_program(
     pb.build()
 }
 
+/// Parameters of the YCSB-T-like workload generator: a deterministic transactional variant of
+/// the Yahoo! Cloud Serving Benchmark over a single `Usertable`, with a parameterized
+/// read-modify-write mix (the transactional "T" extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YcsbtConfig {
+    /// Number of payload fields `f0..f{fields-1}` on `Usertable` (YCSB's F1–F10), 2..=63.
+    pub fields: usize,
+    /// Number of read-only point-lookup programs (`Read<i>`: key sel).
+    pub reads: usize,
+    /// Number of read-modify-write programs (`ReadModifyWrite<i>`: key sel, then key upd of
+    /// the same field group) — the YCSB-T workload-A-style RMW transactions.
+    pub rmws: usize,
+    /// Number of blind-write programs (`Update<i>`: key upd without reading the fields).
+    pub updates: usize,
+    /// Number of scan programs (`Scan<i>`: pred sel over the key).
+    pub scans: usize,
+    /// Number of insert programs (`Insert<i>`: ins).
+    pub inserts: usize,
+    /// Number of consecutive fields each operation touches (wrapping around), 1..=fields.
+    pub fields_per_op: usize,
+}
+
+impl Default for YcsbtConfig {
+    /// The default mix: 10 fields like YCSB, one reader, two RMW writers, one blind updater,
+    /// one scanner and one inserter — 6 programs, small enough for the full subset sweep.
+    fn default() -> Self {
+        YcsbtConfig {
+            fields: 10,
+            reads: 1,
+            rmws: 2,
+            updates: 1,
+            scans: 1,
+            inserts: 1,
+            fields_per_op: 2,
+        }
+    }
+}
+
+impl YcsbtConfig {
+    /// Total number of programs in the mix.
+    pub fn program_count(&self) -> usize {
+        self.reads + self.rmws + self.updates + self.scans + self.inserts
+    }
+}
+
+/// Generates the YCSB-T-like workload: a single `Usertable(ycsb_key, f0, …)` relation and a
+/// deterministic program mix per [`YcsbtConfig`]. Program `i` of the mix touches the
+/// `fields_per_op` consecutive fields starting at `i * fields_per_op mod fields` — groups
+/// tile the field space disjointly, and overlap arises only where the rotation wraps past
+/// `fields` (with the default 6 × 2 groups over 10 fields, the scanner and inserter wrap onto
+/// the reader's and RMW writers' fields). An RMW program additionally conflicts with *itself*
+/// (two concurrent instances race the same read-modify-write), so the robust-subset structure
+/// is non-trivial even without cross-program field overlap: read-only subsets are robust,
+/// while any subset containing an RMW program exhibits the classic MVRC lost-update
+/// counterflow.
+pub fn ycsb_t(config: YcsbtConfig) -> Workload {
+    assert!(
+        (2..=63).contains(&config.fields),
+        "YCSB-T needs 2..=63 payload fields"
+    );
+    assert!(
+        (1..=config.fields).contains(&config.fields_per_op),
+        "fields_per_op must be in 1..=fields"
+    );
+    assert!(config.program_count() >= 1, "the mix needs programs");
+
+    let mut b = SchemaBuilder::new("YCSB-T");
+    let field_names: Vec<String> = std::iter::once("ycsb_key".to_string())
+        .chain((0..config.fields).map(|i| format!("f{i}")))
+        .collect();
+    let field_refs: Vec<&str> = field_names.iter().map(String::as_str).collect();
+    b.relation("Usertable", &field_refs, &["ycsb_key"])
+        .expect("valid Usertable relation");
+    let schema = b.build();
+
+    // The i-th program of the whole mix works on `fields_per_op` consecutive fields starting
+    // at a rotating offset, so neighbouring programs overlap partially.
+    let group = |index: usize| -> Vec<String> {
+        (0..config.fields_per_op)
+            .map(|k| format!("f{}", (index * config.fields_per_op + k) % config.fields))
+            .collect()
+    };
+    let mut programs = Vec::with_capacity(config.program_count());
+    let mut index = 0usize;
+
+    for i in 0..config.reads {
+        let fields = group(index);
+        index += 1;
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let mut pb = ProgramBuilder::new(&schema, format!("Read{i}"));
+        let q = pb
+            .key_select("q0", "Usertable", &field_refs)
+            .expect("key select");
+        pb.push(q.into());
+        programs.push(pb.build());
+    }
+    for i in 0..config.rmws {
+        let fields = group(index);
+        index += 1;
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let mut pb = ProgramBuilder::new(&schema, format!("ReadModifyWrite{i}"));
+        let q0 = pb
+            .key_select("q0", "Usertable", &field_refs)
+            .expect("key select");
+        let q1 = pb
+            .key_update("q1", "Usertable", &field_refs, &field_refs)
+            .expect("key update");
+        pb.seq(&[q0.into(), q1.into()]);
+        programs.push(pb.build());
+    }
+    for i in 0..config.updates {
+        let fields = group(index);
+        index += 1;
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let mut pb = ProgramBuilder::new(&schema, format!("Update{i}"));
+        let q = pb
+            .key_update("q0", "Usertable", &[], &field_refs)
+            .expect("key update");
+        pb.push(q.into());
+        programs.push(pb.build());
+    }
+    for i in 0..config.scans {
+        let fields = group(index);
+        index += 1;
+        let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        let mut pb = ProgramBuilder::new(&schema, format!("Scan{i}"));
+        let q = pb
+            .pred_select("q0", "Usertable", &["ycsb_key"], &field_refs)
+            .expect("pred select");
+        pb.push(q.into());
+        programs.push(pb.build());
+    }
+    for i in 0..config.inserts {
+        let mut pb = ProgramBuilder::new(&schema, format!("Insert{i}"));
+        let q = pb.insert("q0", "Usertable").expect("insert");
+        pb.push(q.into());
+        programs.push(pb.build());
+    }
+
+    Workload::new("YCSB-T", schema, programs, &[])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mvrc_btp::unfold_set_le2;
+
+    #[test]
+    fn ycsb_t_builds_the_configured_mix() {
+        let w = ycsb_t(YcsbtConfig::default());
+        assert_eq!(w.name, "YCSB-T");
+        assert_eq!(w.program_count(), 6);
+        assert_eq!(w.schema.relation_count(), 1);
+        assert_eq!(w.max_attributes_per_relation(), 11); // ycsb_key + 10 fields
+        let names: Vec<&str> = w.programs.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Read0",
+                "ReadModifyWrite0",
+                "ReadModifyWrite1",
+                "Update0",
+                "Scan0",
+                "Insert0"
+            ]
+        );
+        // Deterministic: no RNG anywhere.
+        assert_eq!(ycsb_t(YcsbtConfig::default()).programs, w.programs);
+        // Everything unfolds (all programs are linear).
+        assert_eq!(unfold_set_le2(&w.programs).len(), 6);
+    }
+
+    #[test]
+    fn ycsb_t_mix_is_parameterized() {
+        let heavy = ycsb_t(YcsbtConfig {
+            rmws: 4,
+            reads: 2,
+            updates: 0,
+            scans: 0,
+            inserts: 0,
+            ..YcsbtConfig::default()
+        });
+        assert_eq!(heavy.program_count(), 6);
+        assert!(heavy
+            .programs
+            .iter()
+            .any(|p| p.name() == "ReadModifyWrite3"));
+        assert!(!heavy.programs.iter().any(|p| p.name() == "Update0"));
+        // An RMW program reads then updates the same field group.
+        let rmw = heavy.program("ReadModifyWrite0").unwrap();
+        assert_eq!(rmw.statement_count(), 2);
+        let stmts: Vec<_> = rmw.statements().map(|(_, s)| s.kind()).collect();
+        assert_eq!(
+            stmts,
+            vec![
+                mvrc_btp::StatementKind::KeySelect,
+                mvrc_btp::StatementKind::KeyUpdate
+            ]
+        );
+    }
+
+    #[test]
+    fn ycsb_t_config_bounds_are_enforced() {
+        for bad in [
+            YcsbtConfig {
+                fields: 1,
+                ..YcsbtConfig::default()
+            },
+            YcsbtConfig {
+                fields_per_op: 0,
+                ..YcsbtConfig::default()
+            },
+            YcsbtConfig {
+                fields_per_op: 11,
+                ..YcsbtConfig::default()
+            },
+            YcsbtConfig {
+                reads: 0,
+                rmws: 0,
+                updates: 0,
+                scans: 0,
+                inserts: 0,
+                ..YcsbtConfig::default()
+            },
+        ] {
+            assert!(
+                std::panic::catch_unwind(|| ycsb_t(bad)).is_err(),
+                "expected {bad:?} to be rejected"
+            );
+        }
+    }
 
     #[test]
     fn generation_is_deterministic_per_seed() {

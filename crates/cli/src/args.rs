@@ -56,6 +56,36 @@ pub enum Command {
         /// Workload source.
         input: Input,
     },
+    /// `mvrc shard plan <workload> --dir D`: write a snapshot + shard plan for a distributed
+    /// subset sweep.
+    ShardPlan {
+        /// Workload source.
+        input: Input,
+        /// Analysis settings.
+        settings: AnalysisSettings,
+        /// The shard directory to create.
+        dir: String,
+        /// Number of worker processes the plan fans out to.
+        workers: usize,
+        /// Upper bound on shards per popcount level (default: `2 × workers`).
+        shards_per_level: Option<usize>,
+    },
+    /// `mvrc shard work --dir D --worker I`: run one worker process of a planned sweep.
+    ShardWork {
+        /// The shard directory holding `plan.json` + snapshot.
+        dir: String,
+        /// This worker's index (`0..workers`).
+        worker: usize,
+        /// Barrier timeout in seconds while waiting for peer verdict files.
+        wait_secs: u64,
+    },
+    /// `mvrc shard merge --dir D`: merge every worker's verdicts into the final exploration.
+    ShardMerge {
+        /// The shard directory.
+        dir: String,
+        /// Output format.
+        format: Format,
+    },
     /// `mvrc help`.
     Help,
 }
@@ -68,24 +98,32 @@ USAGE:
     mvrc <COMMAND> <WORKLOAD> [OPTIONS]
 
 COMMANDS:
-    analyze    Decide whether the whole workload is robust against MVRC
-    subsets    Enumerate the maximal robust program subsets
-    graph      Emit the summary graph as Graphviz DOT
-    programs   List the programs and their unfolded linear transaction programs
-    help       Show this message
+    analyze      Decide whether the whole workload is robust against MVRC
+    subsets      Enumerate the maximal robust program subsets
+    graph        Emit the summary graph as Graphviz DOT
+    programs     List the programs and their unfolded linear transaction programs
+    shard plan   Snapshot the workload and plan a multi-process subset sweep (--dir D)
+    shard work   Run one worker process of a planned sweep (--dir D --worker I)
+    shard merge  Merge every worker's verdict files into the final exploration (--dir D)
+    help         Show this message
 
 WORKLOAD:
     <path.sql>            a self-contained workload file (TABLE / FOREIGN KEY / PROGRAM blocks)
-    --benchmark <name>    a built-in benchmark: smallbank, tpcc, auction, auction-n=<N>
+    --benchmark <name>    a built-in benchmark: smallbank, tpcc, auction, auction-n=<N>, ycsb-t
 
 OPTIONS:
     --tuple       track dependencies per tuple instead of per attribute ('tpl dep')
     --no-fk       ignore foreign-key constraint annotations
     --type1       use the type-I cycle condition of Alomari & Fekete instead of type-II
-    --json        print machine-readable JSON (analyze / subsets)
+    --json        print machine-readable JSON (analyze / subsets / shard merge)
     --labels      include statement labels on graph edges (graph)
     --threads N   pin the worker-pool size used by parallel sweeps (default: MVRC_THREADS
-                  or the available parallelism)
+                  or the available parallelism); N must be at least 1
+    --dir D       the shard directory shared by plan, work and merge (shard commands)
+    --workers N   number of worker processes a shard plan fans out to (plan; default 2)
+    --shards N    upper bound on shards per popcount level (plan; default 2 x workers)
+    --worker I    this worker's index, 0-based (work)
+    --wait-secs S barrier timeout while waiting for peer verdicts (work; default 120)
 
 EXIT CODES:
     0  the workload (or every program subset asked about) is robust / command succeeded
@@ -93,19 +131,69 @@ EXIT CODES:
     2  usage or input error
 ";
 
+/// Consumes a global `--threads N` option from the argument list, validating the count.
+///
+/// `--threads 0` is a usage error with a dedicated message — a zero-sized pool cannot run
+/// anything, so the value is rejected here instead of being passed through to the pool
+/// configuration.
+pub fn extract_threads(args: &mut Vec<String>) -> Result<Option<usize>, CliError> {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    let Some(value) = args.get(i + 1).cloned() else {
+        return Err(CliError::Usage(
+            "`--threads` needs a thread count".to_string(),
+        ));
+    };
+    let threads: usize = value.parse().map_err(|_| {
+        CliError::Usage(format!(
+            "`--threads` needs a positive integer, got `{value}`"
+        ))
+    })?;
+    if threads == 0 {
+        return Err(CliError::Usage(
+            "`--threads 0` is invalid: the worker pool needs at least one thread".to_string(),
+        ));
+    }
+    args.drain(i..=i + 1);
+    Ok(Some(threads))
+}
+
 /// Parses the command-line arguments (excluding the binary name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter().map(String::as_str);
-    let command = match it.next() {
+    let mut command = match it.next() {
         None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
-        Some(cmd) => cmd,
+        Some(cmd) => cmd.to_string(),
     };
+    if command == "shard" {
+        let sub = it.next().ok_or_else(|| {
+            CliError::Usage("`shard` needs a subcommand: plan, work or merge".to_string())
+        })?;
+        command = format!("shard {sub}");
+    }
 
     let rest: Vec<&str> = it.collect();
     let mut input: Option<Input> = None;
     let mut settings = AnalysisSettings::paper_default();
     let mut format = Format::Text;
     let mut labels = false;
+    let mut dir: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut shards_per_level: Option<usize> = None;
+    let mut worker: Option<usize> = None;
+    let mut wait_secs: Option<u64> = None;
+
+    // Shared parser for `--flag <positive integer>` values.
+    fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+        flag: &str,
+        value: Option<&&str>,
+    ) -> Result<T, CliError> {
+        value
+            .and_then(|v| v.parse::<T>().ok())
+            .filter(|v| *v >= T::from(1u8))
+            .ok_or_else(|| CliError::Usage(format!("`{flag}` needs a positive integer")))
+    }
 
     let mut i = 0;
     while i < rest.len() {
@@ -126,6 +214,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 })?;
                 input = Some(Input::Benchmark((*name).to_string()));
             }
+            "--dir" => {
+                i += 1;
+                let path = rest
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("`--dir` needs a directory".to_string()))?;
+                dir = Some((*path).to_string());
+            }
+            "--workers" => {
+                i += 1;
+                workers = Some(positive("--workers", rest.get(i))?);
+            }
+            "--shards" => {
+                i += 1;
+                shards_per_level = Some(positive("--shards", rest.get(i))?);
+            }
+            "--worker" => {
+                i += 1;
+                worker = Some(
+                    rest.get(i)
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .ok_or_else(|| {
+                            CliError::Usage("`--worker` needs a 0-based index".to_string())
+                        })?,
+                );
+            }
+            "--wait-secs" => {
+                i += 1;
+                wait_secs = Some(positive("--wait-secs", rest.get(i))?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown option `{flag}`")));
             }
@@ -139,27 +256,68 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         i += 1;
     }
 
-    let input = input.ok_or_else(|| {
-        CliError::Usage("a workload file or `--benchmark <name>` is required".to_string())
-    })?;
+    let require_input = |input: Option<Input>| {
+        input.ok_or_else(|| {
+            CliError::Usage("a workload file or `--benchmark <name>` is required".to_string())
+        })
+    };
+    let require_dir = |dir: Option<String>| {
+        dir.ok_or_else(|| CliError::Usage("`--dir <directory>` is required".to_string()))
+    };
 
-    match command {
+    match command.as_str() {
         "analyze" => Ok(Command::Analyze {
-            input,
+            input: require_input(input)?,
             settings,
             format,
         }),
         "subsets" => Ok(Command::Subsets {
-            input,
+            input: require_input(input)?,
             settings,
             format,
         }),
         "graph" => Ok(Command::Graph {
-            input,
+            input: require_input(input)?,
             settings,
             labels,
         }),
-        "programs" => Ok(Command::Programs { input }),
+        "programs" => Ok(Command::Programs {
+            input: require_input(input)?,
+        }),
+        "shard plan" => Ok(Command::ShardPlan {
+            input: require_input(input)?,
+            settings,
+            dir: require_dir(dir)?,
+            workers: workers.unwrap_or(2),
+            shards_per_level,
+        }),
+        "shard work" => {
+            if input.is_some() {
+                return Err(CliError::Usage(
+                    "`shard work` reads its workload from the snapshot; drop the workload argument"
+                        .to_string(),
+                ));
+            }
+            Ok(Command::ShardWork {
+                dir: require_dir(dir)?,
+                worker: worker.ok_or_else(|| {
+                    CliError::Usage("`shard work` needs `--worker <index>`".to_string())
+                })?,
+                wait_secs: wait_secs.unwrap_or(120),
+            })
+        }
+        "shard merge" => {
+            if input.is_some() {
+                return Err(CliError::Usage(
+                    "`shard merge` reads its workload from the snapshot; drop the workload argument"
+                        .to_string(),
+                ));
+            }
+            Ok(Command::ShardMerge {
+                dir: require_dir(dir)?,
+                format,
+            })
+        }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -228,6 +386,136 @@ mod tests {
     fn graph_accepts_labels() {
         let cmd = parse_args(&args(&["graph", "w.sql", "--labels"])).unwrap();
         assert!(matches!(cmd, Command::Graph { labels: true, .. }));
+    }
+
+    #[test]
+    fn shard_subcommands_parse() {
+        let cmd = parse_args(&args(&[
+            "shard",
+            "plan",
+            "--benchmark",
+            "smallbank",
+            "--dir",
+            "/tmp/shards",
+            "--workers",
+            "3",
+            "--shards",
+            "8",
+            "--tuple",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::ShardPlan {
+                input,
+                settings,
+                dir,
+                workers,
+                shards_per_level,
+            } => {
+                assert_eq!(input, Input::Benchmark("smallbank".into()));
+                assert_eq!(settings.granularity, Granularity::Tuple);
+                assert_eq!(dir, "/tmp/shards");
+                assert_eq!(workers, 3);
+                assert_eq!(shards_per_level, Some(8));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+
+        let cmd = parse_args(&args(&["shard", "work", "--dir", "d", "--worker", "0"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ShardWork {
+                dir: "d".into(),
+                worker: 0,
+                wait_secs: 120,
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "shard",
+            "work",
+            "--dir",
+            "d",
+            "--worker",
+            "1",
+            "--wait-secs",
+            "5",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::ShardWork {
+                worker: 1,
+                wait_secs: 5,
+                ..
+            }
+        ));
+
+        let cmd = parse_args(&args(&["shard", "merge", "--dir", "d", "--json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ShardMerge {
+                dir: "d".into(),
+                format: Format::Json,
+            }
+        );
+    }
+
+    #[test]
+    fn shard_usage_errors_are_reported() {
+        for bad in [
+            vec!["shard"],
+            vec!["shard", "frobnicate", "--dir", "d"],
+            vec!["shard", "plan", "--benchmark", "smallbank"], // missing --dir
+            vec!["shard", "plan", "--dir", "d"],               // missing workload
+            vec![
+                "shard",
+                "plan",
+                "--benchmark",
+                "smallbank",
+                "--dir",
+                "d",
+                "--workers",
+                "0",
+            ],
+            vec!["shard", "work", "--dir", "d"], // missing --worker
+            vec!["shard", "work", "--worker", "0"], // missing --dir
+            vec!["shard", "work", "--dir", "d", "--worker", "x"],
+            vec!["shard", "work", "--dir", "d", "--worker", "0", "w.sql"],
+            vec!["shard", "merge", "--benchmark", "smallbank", "--dir", "d"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))),
+                "expected a usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_extraction_validates_the_count() {
+        let mut ok = args(&["analyze", "--threads", "4", "w.sql"]);
+        assert_eq!(extract_threads(&mut ok).unwrap(), Some(4));
+        assert_eq!(ok, args(&["analyze", "w.sql"]));
+
+        let mut absent = args(&["analyze", "w.sql"]);
+        assert_eq!(extract_threads(&mut absent).unwrap(), None);
+
+        // `--threads 0` is rejected with a dedicated message instead of reaching the pool.
+        let mut zero = args(&["analyze", "--threads", "0", "w.sql"]);
+        match extract_threads(&mut zero).unwrap_err() {
+            CliError::Usage(msg) => assert!(msg.contains("--threads 0"), "{msg}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        let mut garbage = args(&["--threads", "lots"]);
+        assert!(matches!(
+            extract_threads(&mut garbage),
+            Err(CliError::Usage(_))
+        ));
+        let mut missing = args(&["--threads"]);
+        assert!(matches!(
+            extract_threads(&mut missing),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use mvrc_robustness::{
 };
 use std::fmt::Write as _;
 use std::fs;
+use std::path::Path;
 
 /// The result of running a command: the text to print and the process exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +48,19 @@ pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
             labels,
         } => graph(&input, settings, labels),
         Command::Programs { input } => programs(&input),
+        Command::ShardPlan {
+            input,
+            settings,
+            dir,
+            workers,
+            shards_per_level,
+        } => shard_plan(&input, settings, &dir, workers, shards_per_level),
+        Command::ShardWork {
+            dir,
+            worker,
+            wait_secs,
+        } => shard_work(&dir, worker, wait_secs),
+        Command::ShardMerge { dir, format } => shard_merge(&dir, format),
     }
 }
 
@@ -67,6 +81,9 @@ pub fn load_workload(input: &Input) -> Result<Workload, CliError> {
             "smallbank" => Ok(mvrc_benchmarks::smallbank()),
             "tpcc" | "tpc-c" => Ok(mvrc_benchmarks::tpcc()),
             "auction" => Ok(mvrc_benchmarks::auction()),
+            "ycsb-t" | "ycsbt" => Ok(mvrc_benchmarks::ycsb_t(
+                mvrc_benchmarks::YcsbtConfig::default(),
+            )),
             scaled if scaled.starts_with("auction-n=") => {
                 let n: usize = scaled["auction-n=".len()..].parse().map_err(|_| {
                     CliError::Usage(format!("invalid scaling factor in `{scaled}`"))
@@ -79,7 +96,7 @@ pub fn load_workload(input: &Input) -> Result<Workload, CliError> {
                 Ok(mvrc_benchmarks::auction_n(n))
             }
             other => Err(CliError::Usage(format!(
-                "unknown benchmark `{other}` (expected smallbank, tpcc, auction or auction-n=<N>)"
+                "unknown benchmark `{other}` (expected smallbank, tpcc, auction, auction-n=<N> or ycsb-t)"
             ))),
         },
     }
@@ -199,6 +216,118 @@ fn graph(
         },
     );
     Ok(CommandOutput::ok(dot))
+}
+
+fn shard_plan(
+    input: &Input,
+    settings: AnalysisSettings,
+    dir: &str,
+    workers: usize,
+    shards_per_level: Option<usize>,
+) -> Result<CommandOutput, CliError> {
+    let session = RobustnessSession::new(load_workload(input)?);
+    let mut options = mvrc_dist::PlanOptions::for_workers(workers);
+    if let Some(shards) = shards_per_level {
+        options.shards_per_level = shards;
+    }
+    let plan = mvrc_dist::create_plan_dir(&session, settings, &options, Path::new(dir))
+        .map_err(|e| CliError::Shard(e.to_string()))?;
+
+    let mut out = String::new();
+    writeln!(out, "shard directory: {dir}").unwrap();
+    writeln!(
+        out,
+        "snapshot:        {} (fingerprint {:016x})",
+        mvrc_dist::snapshot_path(Path::new(dir)).display(),
+        plan.snapshot_fingerprint
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "workload:        {} ({} programs, {} non-empty subsets)",
+        plan.workload,
+        plan.programs,
+        (1usize << plan.programs) - 1
+    )
+    .unwrap();
+    writeln!(out, "setting:         {settings}").unwrap();
+    writeln!(
+        out,
+        "plan:            {} levels, {} shards, {} workers (run fingerprint {:016x})",
+        plan.levels.len(),
+        plan.shard_count(),
+        plan.workers,
+        plan.run_fingerprint
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "next:            start `mvrc shard work --dir {dir} --worker I` for every I in 0..{}, \
+         then `mvrc shard merge --dir {dir}`",
+        plan.workers
+    )
+    .unwrap();
+    Ok(CommandOutput::ok(out))
+}
+
+fn shard_work(dir: &str, worker: usize, wait_secs: u64) -> Result<CommandOutput, CliError> {
+    let report = mvrc_dist::run_worker(
+        Path::new(dir),
+        worker,
+        std::time::Duration::from_secs(wait_secs),
+    )
+    .map_err(|e| CliError::Shard(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "worker {}: swept {} shards across {} levels ({} cycle tests run, {} subsets pruned)",
+        report.worker,
+        report.shards_run,
+        report.levels,
+        report.counters.cycle_tests,
+        report.counters.pruned
+    )
+    .unwrap();
+    Ok(CommandOutput::ok(out))
+}
+
+fn shard_merge(dir: &str, format: Format) -> Result<CommandOutput, CliError> {
+    let report =
+        mvrc_dist::merge_verdicts(Path::new(dir)).map_err(|e| CliError::Shard(e.to_string()))?;
+    let exploration = &report.exploration;
+    let text = match format {
+        // Exactly the `mvrc subsets --json` shape, so a sharded run can be diffed against the
+        // single-process sweep byte for byte (the CI smoke job does).
+        Format::Json => {
+            let value = serde_json::json!({
+                "workload": report.workload,
+                "exploration": exploration,
+            });
+            serde_json::to_string_pretty(&value).expect("exploration serializes")
+        }
+        Format::Text => {
+            let mut out = String::new();
+            writeln!(out, "workload:        {}", report.workload).unwrap();
+            writeln!(out, "setting:         {}", exploration.settings).unwrap();
+            writeln!(out, "programs:        {}", exploration.programs.join(", ")).unwrap();
+            writeln!(out, "robust subsets:  {}", exploration.robust.len()).unwrap();
+            writeln!(
+                out,
+                "cycle tests:     {} run, {} pruned via downward closure (summed across shards)",
+                exploration.cycle_tests, exploration.pruned
+            )
+            .unwrap();
+            writeln!(out, "maximal robust subsets:").unwrap();
+            writeln!(
+                out,
+                "  {}",
+                exploration.render_maximal(|name| report.abbreviate(name))
+            )
+            .unwrap();
+            out
+        }
+    };
+    Ok(CommandOutput::ok(text))
 }
 
 fn programs(input: &Input) -> Result<CommandOutput, CliError> {

@@ -17,6 +17,8 @@ pub enum CliError {
     },
     /// The workload file could not be parsed or translated into BTPs.
     Workload(String),
+    /// A `shard plan|work|merge` step failed (snapshot, plan, verdict or barrier error).
+    Shard(String),
 }
 
 impl fmt::Display for CliError {
@@ -25,6 +27,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io { path, message } => write!(f, "cannot read `{path}`: {message}"),
             CliError::Workload(msg) => write!(f, "invalid workload: {msg}"),
+            CliError::Shard(msg) => write!(f, "shard error: {msg}"),
         }
     }
 }

@@ -29,27 +29,20 @@ mod args;
 mod commands;
 mod error;
 
-pub use args::{parse_args, Command, Format, Input, USAGE};
+pub use args::{extract_threads, parse_args, Command, Format, Input, USAGE};
 pub use commands::{execute, load_workload, CommandOutput};
 pub use error::CliError;
 
 /// Parses the command line (excluding the binary name) and executes it.
 ///
-/// The global `--threads N` option is consumed here, before command parsing: it pins the size
-/// of the `mvrc-par` worker pool used by the parallel subset sweeps (equivalent to setting
-/// `MVRC_THREADS=N`). The pool is process-wide and created on first use, so the pin is best
-/// effort when `run` is called more than once in one process.
+/// The global `--threads N` option is consumed here, before command parsing (validation —
+/// including the dedicated `--threads 0` rejection — lives in [`extract_threads`]): it pins
+/// the size of the `mvrc-par` worker pool used by the parallel subset sweeps (equivalent to
+/// setting `MVRC_THREADS=N`). The pool is process-wide and created on first use, so the pin
+/// is best effort when `run` is called more than once in one process.
 pub fn run(args: &[String]) -> Result<CommandOutput, CliError> {
     let mut args = args.to_vec();
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        let threads = args
-            .get(i + 1)
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .ok_or_else(|| {
-                CliError::Usage("`--threads` needs a positive thread count".to_string())
-            })?;
-        args.drain(i..=i + 1);
+    if let Some(threads) = extract_threads(&mut args)? {
         mvrc_par::configure_thread_count(threads);
     }
     execute(parse_args(&args)?)

@@ -85,7 +85,8 @@ pub use session::RobustnessSession;
 pub use settings::{AnalysisSettings, CycleCondition, Granularity};
 pub use subsets::{
     abbreviate_program_name, explore_subsets, explore_subsets_naive, explore_subsets_with,
-    ExploreOptions, SubsetExploration, SweepStrategy,
+    level_size, plan_level_shards, ExploreOptions, RankRangeSweep, ShardCounters, ShardSpec,
+    SubsetExploration, SweepStrategy,
 };
 pub use summary::{
     c_dep_conds, describe_edge_in, nc_dep_conds, EdgeKind, InducedView, NodeId, SummaryEdge,

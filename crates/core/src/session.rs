@@ -178,6 +178,65 @@ impl RobustnessSession {
         self.cache.lock().expect("session cache poisoned").len()
     }
 
+    /// The summary graphs currently cached, in a deterministic order (attribute before tuple
+    /// granularity, no-FK before FK). This is the serialization hook of the `mvrc-dist`
+    /// snapshot layer: persisting these graphs lets a worker process answer queries without
+    /// re-running any Algorithm 1 edge derivation.
+    pub fn cached_graphs(&self) -> Vec<Arc<SummaryGraph>> {
+        let cache = self.cache.lock().expect("session cache poisoned");
+        let mut entries: Vec<(GraphKey, Arc<SummaryGraph>)> = cache
+            .iter()
+            .map(|(key, graph)| (*key, Arc::clone(graph)))
+            .collect();
+        entries.sort_by_key(|(key, _)| {
+            (
+                matches!(key.granularity, Granularity::Tuple),
+                key.use_foreign_keys,
+            )
+        });
+        entries.into_iter().map(|(_, graph)| graph).collect()
+    }
+
+    /// Reassembles a session from snapshot parts — the deserialization hook of the `mvrc-dist`
+    /// snapshot layer.
+    ///
+    /// `ltps` must be the workload's unfolded LTPs (no unfolding runs) and every graph a
+    /// previously cached summary graph of an equivalent session (each is re-cached under its
+    /// own granularity/foreign-key combination, so queries against those combinations run no
+    /// Algorithm 1 edge derivation either).
+    pub fn from_snapshot_parts(
+        workload: Workload,
+        ltps: Vec<LinearProgram>,
+        graphs: Vec<SummaryGraph>,
+    ) -> Self {
+        let program_names: Vec<String> = if workload.programs.is_empty() {
+            let mut names: Vec<String> = Vec::new();
+            for ltp in &ltps {
+                if !names.iter().any(|n| n == ltp.program_name()) {
+                    names.push(ltp.program_name().to_string());
+                }
+            }
+            names
+        } else {
+            workload
+                .programs
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect()
+        };
+        let cache: HashMap<GraphKey, Arc<SummaryGraph>> = graphs
+            .into_iter()
+            .map(|graph| (GraphKey::from(graph.settings()), Arc::new(graph)))
+            .collect();
+        RobustnessSession {
+            workload,
+            program_names,
+            ltps,
+            cache: Mutex::new(cache),
+            parallelism: Parallelism::Auto,
+        }
+    }
+
     /// The summary graph for the given settings: built by Algorithm 1 on first use, cached and
     /// shared afterwards. The graph shape only depends on `granularity` and
     /// `use_foreign_keys`, so settings differing only in the cycle condition share one graph;
@@ -381,6 +440,44 @@ mod tests {
         let session = RobustnessSession::from_ltps(&schema, ltps);
         assert_eq!(session.program_names().len(), 2);
         assert!(!session.is_robust(AnalysisSettings::paper_default()));
+    }
+
+    #[test]
+    fn snapshot_parts_round_trip_without_rebuilding() {
+        let schema = schema();
+        let session =
+            RobustnessSession::from_programs(&schema, &[reader(&schema), read_then_write(&schema)]);
+        for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+            session.analyze(settings);
+        }
+        let graphs: Vec<SummaryGraph> = session
+            .cached_graphs()
+            .iter()
+            .map(|g| (**g).clone())
+            .collect();
+        assert_eq!(graphs.len(), 4);
+
+        let before = SummaryGraph::constructions_on_current_thread();
+        let reopened = RobustnessSession::from_snapshot_parts(
+            session.workload().clone(),
+            session.ltps().to_vec(),
+            graphs,
+        );
+        assert_eq!(reopened.cached_graph_count(), 4);
+        assert_eq!(reopened.program_names(), session.program_names());
+        for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+            assert_eq!(reopened.is_robust(settings), session.is_robust(settings));
+            assert_eq!(
+                *reopened.graph(settings),
+                *session.graph(settings),
+                "cached graphs must round-trip bit-identically"
+            );
+        }
+        assert_eq!(
+            SummaryGraph::constructions_on_current_thread(),
+            before,
+            "reassembly and cached queries must not construct graphs"
+        );
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub enum SweepStrategy {
     /// Materialize the level's masks into a `Vec` before fanning out — the pre-runtime
     /// behaviour, kept as the oracle the streamed path is cross-checked against.
     Materialized,
+    /// Drive each level through an eagerly planned [`ShardSpec`] partition — the same work
+    /// description the `mvrc-dist` coordinator fans out to worker *processes* — executed
+    /// in-process over the pool. Cross-checked against [`SweepStrategy::Streamed`] and
+    /// [`SweepStrategy::Materialized`] so the distributed protocol rides on a plan shape the
+    /// oracles validate.
+    Sharded,
 }
 
 /// Options controlling the subset exploration.
@@ -186,6 +192,305 @@ fn next_same_popcount(mask: usize) -> usize {
     ripple | (((mask ^ ripple) / lowest) >> 2)
 }
 
+/// One shard of a popcount level: the contiguous slice `rank_start..rank_end` of the
+/// colexicographic rank space `0..C(n, level)` of the `level`-subsets.
+///
+/// A `ShardSpec` is the *work description* of the sweep: in-process,
+/// [`SweepStrategy::Sharded`] folds a planned list of them over the `mvrc-par` pool; across
+/// processes, the `mvrc-dist` coordinator fans the same specs out to worker processes. Either
+/// way, [`RankRangeSweep::run_shard`] executes one spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Popcount of the masks this shard covers (the sweep level).
+    pub level: usize,
+    /// First colexicographic rank covered (inclusive).
+    pub rank_start: usize,
+    /// One past the last rank covered (exclusive).
+    pub rank_end: usize,
+}
+
+impl ShardSpec {
+    /// Number of masks the shard covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rank_end.saturating_sub(self.rank_start)
+    }
+
+    /// `true` when the shard covers no masks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rank_end <= self.rank_start
+    }
+}
+
+/// Work counters produced by sweeping one or more shards: how many cycle tests ran and how
+/// many masks were decided by downward-closure pruning alone. Summing the counters of a
+/// partition of the mask space reproduces the single-sweep accounting exactly (each mask is
+/// visited by exactly one shard, and the inherit-or-test decision depends only on the fully
+/// merged verdicts of the level above).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCounters {
+    /// Number of cycle tests actually run.
+    pub cycle_tests: usize,
+    /// Number of masks attested robust by Proposition 5.2 pruning without a cycle test.
+    pub pruned: usize,
+}
+
+impl ShardCounters {
+    /// Component-wise sum of two counter sets.
+    #[must_use]
+    pub fn merged(self, other: ShardCounters) -> ShardCounters {
+        ShardCounters {
+            cycle_tests: self.cycle_tests + other.cycle_tests,
+            pruned: self.pruned + other.pruned,
+        }
+    }
+}
+
+/// `C(n, level)`: the number of masks on a popcount level, i.e. the size of the rank space
+/// [`ShardSpec`]s partition. Supports `n ≤ 20` (the sweep's own bound).
+pub fn level_size(n: usize, level: usize) -> usize {
+    Binomials::new(n).c(n, level)
+}
+
+/// Partitions the rank space `0..C(n, level)` into at most `shards` contiguous, non-empty,
+/// near-equal [`ShardSpec`]s (sizes differ by at most one). Returns an empty plan for an
+/// empty level.
+pub fn plan_level_shards(n: usize, level: usize, shards: usize) -> Vec<ShardSpec> {
+    let size = level_size(n, level);
+    if size == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, size);
+    (0..shards)
+        .map(|s| ShardSpec {
+            level,
+            rank_start: size * s / shards,
+            rank_end: size * (s + 1) / shards,
+        })
+        .collect()
+}
+
+/// The resumable core of the subset sweep: a session-backed cycle tester over the shared
+/// summary graph plus the atomic verdict bitset, addressed by [`ShardSpec`] rank ranges.
+///
+/// This is the public entry point the distributed shard workers of `mvrc-dist` drive — and
+/// what every [`SweepStrategy`] of [`explore_subsets_with`] runs on in-process. The split
+/// into `run_shard` calls is *invisible in the result*: verdicts are deterministic per mask,
+/// and the pruning decision for a mask only reads the (fully published) verdicts of the level
+/// above, so any partition of a level — chunks, shards, processes — produces identical
+/// verdict bits and identical summed [`ShardCounters`].
+///
+/// External verdicts (e.g. the merged bits of other worker processes) are folded in through
+/// [`or_verdict_words`](Self::or_verdict_words); [`verdict_words`](Self::verdict_words)
+/// exposes the current bitset for persistence (64 masks per word, mask `m` at bit `m % 64` of
+/// word `m / 64`).
+pub struct RankRangeSweep {
+    graph: std::sync::Arc<SummaryGraph>,
+    settings: AnalysisSettings,
+    closure_pruning: bool,
+    programs: Vec<String>,
+    nodes_per_program: Vec<Vec<NodeId>>,
+    binomials: Binomials,
+    bits: Vec<AtomicU64>,
+}
+
+impl RankRangeSweep {
+    /// Opens a sweep over the session's programs under the given settings, using the session's
+    /// cached summary graph (built on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session has more than 20 programs (the sweep is exponential).
+    pub fn new(
+        session: &RobustnessSession,
+        settings: AnalysisSettings,
+        closure_pruning: bool,
+    ) -> Self {
+        let programs: Vec<String> = session.program_names().to_vec();
+        let n = programs.len();
+        assert!(
+            n <= 20,
+            "subset exploration is exponential; {n} programs is too many"
+        );
+        // One (cached) Algorithm 1 run over the full LTP set; node ids follow the LTP order,
+        // so the per-program node lists are ascending and so are their concatenations.
+        let graph = session.graph(settings);
+        let nodes_per_program: Vec<Vec<NodeId>> = programs
+            .iter()
+            .map(|name| {
+                session
+                    .ltps()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.program_name() == name)
+                    .map(|(id, _)| id)
+                    .collect()
+            })
+            .collect();
+        let total = 1usize << n;
+        RankRangeSweep {
+            graph,
+            settings,
+            closure_pruning,
+            programs,
+            nodes_per_program,
+            binomials: Binomials::new(n),
+            bits: (0..total.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of programs (`n`); masks range over `1..2^n`.
+    pub fn program_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Number of `u64` words in the verdict bitset (`⌈2^n / 64⌉`).
+    pub fn word_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `C(n, level)` for this sweep's `n` — the bound on [`ShardSpec`] ranks at a level.
+    pub fn level_size(&self, level: usize) -> usize {
+        self.binomials.c(self.programs.len(), level)
+    }
+
+    /// A snapshot of the verdict bitset (64 masks per word).
+    pub fn verdict_words(&self) -> Vec<u64> {
+        self.bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// ORs externally produced verdict bits into the sweep — how a shard worker folds in the
+    /// merged verdicts of its peers at a level barrier before descending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `words` does not have exactly [`word_count`](Self::word_count) entries.
+    pub fn or_verdict_words(&self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.bits.len(),
+            "verdict word count mismatch: got {}, sweep has {}",
+            words.len(),
+            self.bits.len()
+        );
+        for (slot, &word) in self.bits.iter().zip(words) {
+            if word != 0 {
+                slot.fetch_or(word, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[inline]
+    fn is_marked(&self, mask: usize) -> bool {
+        self.bits[mask / 64].load(Ordering::Relaxed) & (1u64 << (mask % 64)) != 0
+    }
+
+    #[inline]
+    fn mark(&self, mask: usize) {
+        self.bits[mask / 64].fetch_or(1u64 << (mask % 64), Ordering::Relaxed);
+    }
+
+    /// Runs the cycle test for one mask (no pruning check) and publishes the verdict.
+    /// `members` is a reusable scratch buffer.
+    fn test_mask(&self, mask: usize, members: &mut Vec<NodeId>) {
+        members.clear();
+        for (i, nodes) in self.nodes_per_program.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                members.extend_from_slice(nodes);
+            }
+        }
+        if is_robust_view(&self.graph.induced(members), self.settings.condition) {
+            self.mark(mask);
+        }
+    }
+
+    /// Decides one mask: inherit through Proposition 5.2 or run the cycle test on an induced
+    /// view. `members` is a reusable scratch buffer. Returns the counter deltas.
+    fn visit_mask(&self, mask: usize, members: &mut Vec<NodeId>) -> ShardCounters {
+        let n = self.programs.len();
+        let inherited = self.closure_pruning
+            && (0..n).any(|i| mask & (1 << i) == 0 && self.is_marked(mask | (1 << i)));
+        if inherited {
+            self.mark(mask);
+            return ShardCounters {
+                cycle_tests: 0,
+                pruned: 1,
+            };
+        }
+        self.test_mask(mask, members);
+        ShardCounters {
+            cycle_tests: 1,
+            pruned: 0,
+        }
+    }
+
+    /// Sweeps one shard: unranks the first mask of the range once, then walks the range with
+    /// Gosper's hack, deciding every mask. Verdicts are published into the shared bitset;
+    /// the returned counters cover exactly this range.
+    ///
+    /// Correct accounting requires the caller to respect the level order: every shard of level
+    /// `k + 1` must complete (and, across processes, be merged in) before any shard of level
+    /// `k` runs — [`explore_subsets_with`] and the `mvrc-dist` level barrier both do.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec's level or rank range is out of bounds for this sweep.
+    pub fn run_shard(&self, spec: ShardSpec) -> ShardCounters {
+        let n = self.programs.len();
+        assert!(
+            spec.level >= 1 && spec.level <= n,
+            "shard level {} out of range 1..={n}",
+            spec.level
+        );
+        assert!(
+            spec.rank_end <= self.level_size(spec.level),
+            "shard ranks {}..{} exceed level size {}",
+            spec.rank_start,
+            spec.rank_end,
+            self.level_size(spec.level)
+        );
+        let mut counters = ShardCounters::default();
+        if spec.is_empty() {
+            return counters;
+        }
+        let mut members: Vec<NodeId> = Vec::new();
+        let mut mask = unrank_colex(spec.rank_start, spec.level, &self.binomials);
+        for rank in spec.rank_start..spec.rank_end {
+            counters = counters.merged(self.visit_mask(mask, &mut members));
+            if rank + 1 < spec.rank_end {
+                mask = next_same_popcount(mask);
+            }
+        }
+        counters
+    }
+
+    /// Assembles the final [`SubsetExploration`] from the current verdict bits and the summed
+    /// counters of every shard that contributed (across chunks, shards or processes).
+    pub fn exploration(&self, counters: ShardCounters, masks_buffered: usize) -> SubsetExploration {
+        let n = self.programs.len();
+        let total = 1usize << n;
+        let mut robust: Vec<Vec<usize>> = (1..total)
+            .filter(|&mask| self.is_marked(mask))
+            .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+            .collect();
+        robust.sort();
+        let maximal = maximal_sets(&robust);
+        SubsetExploration {
+            programs: self.programs.clone(),
+            settings: self.settings,
+            robust,
+            maximal,
+            cycle_tests: counters.cycle_tests,
+            pruned: counters.pruned,
+            masks_buffered,
+        }
+    }
+}
+
 /// Explores every non-empty subset of the workload's programs and reports which are robust
 /// under the given settings, using the default [`ExploreOptions`] (closure pruning on,
 /// streamed levels).
@@ -218,28 +523,8 @@ pub fn explore_subsets_with(
     settings: AnalysisSettings,
     options: ExploreOptions,
 ) -> SubsetExploration {
-    let programs: Vec<String> = session.program_names().to_vec();
-    let n = programs.len();
-    assert!(
-        n <= 20,
-        "subset exploration is exponential; {n} programs is too many"
-    );
-
-    // One (cached) Algorithm 1 run over the full LTP set; node ids follow the LTP order, so the
-    // per-program node lists are ascending and so are their concatenations.
-    let graph = session.graph(settings);
-    let nodes_per_program: Vec<Vec<NodeId>> = programs
-        .iter()
-        .map(|name| {
-            session
-                .ltps()
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| l.program_name() == name)
-                .map(|(id, _)| id)
-                .collect()
-        })
-        .collect();
+    let sweep = RankRangeSweep::new(session, settings, options.closure_pruning);
+    let n = sweep.program_count();
 
     let total = 1usize << n;
     let parallelism = if total >= options.parallel_threshold {
@@ -250,76 +535,73 @@ pub fn explore_subsets_with(
     } else {
         Parallelism::Serial
     };
-
-    // Robustness verdicts, one bit per mask. Within a level workers publish their own bits
-    // concurrently (`fetch_or`); across levels the runtime's fold barrier orders every store
-    // of level k+1 before every load at level k, so `Relaxed` suffices.
-    let robust_bits: Vec<AtomicU64> = (0..total.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
-    let is_marked =
-        |mask: usize| robust_bits[mask / 64].load(Ordering::Relaxed) & (1u64 << (mask % 64)) != 0;
-    let mark = |mask: usize| {
-        robust_bits[mask / 64].fetch_or(1u64 << (mask % 64), Ordering::Relaxed);
-    };
-    // Decides one mask: inherit through Proposition 5.2 or run the cycle test on an induced
-    // view. `members` is a reusable per-chunk scratch buffer. Returns (cycle_tests, pruned)
-    // deltas.
-    let visit_mask = |mask: usize, members: &mut Vec<NodeId>| -> (usize, usize) {
-        let inherited = options.closure_pruning
-            && (0..n).any(|i| mask & (1 << i) == 0 && is_marked(mask | (1 << i)));
-        if inherited {
-            mark(mask);
-            return (0, 1);
+    // The eager shard plan mirrors what the `mvrc-dist` coordinator would hand to worker
+    // processes: a few shards per pool worker so the level still load-balances. Serial sweeps
+    // get a fixed small plan — querying the pool size would cost an env/parallelism lookup
+    // per sweep on a path that never fans out.
+    let shards_per_level = if options.strategy == SweepStrategy::Sharded {
+        match parallelism {
+            Parallelism::Serial => 4,
+            Parallelism::Threads(n) => n.max(1).saturating_mul(4),
+            Parallelism::Auto => mvrc_par::planned_thread_count().max(1) * 4,
         }
-        members.clear();
-        for (i, nodes) in nodes_per_program.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                members.extend_from_slice(nodes);
-            }
-        }
-        if is_robust_view(&graph.induced(members), settings.condition) {
-            mark(mask);
-        }
-        (1, 0)
+    } else {
+        0
     };
 
-    let binomials = Binomials::new(n);
-    let mut cycle_tests = 0usize;
-    let mut pruned = 0usize;
+    // Robustness verdicts live in the sweep's atomic bitset. Within a level workers publish
+    // their own bits concurrently (`fetch_or`); across levels the runtime's fold barrier
+    // orders every store of level k+1 before every load at level k, so `Relaxed` suffices.
+    let mut totals = ShardCounters::default();
     let mut masks_buffered = 0usize;
     for level in (1..=n).rev() {
-        let level_len = binomials.c(n, level);
+        let level_len = sweep.level_size(level);
         match options.strategy {
             SweepStrategy::Streamed => {
                 // Fold over the level's rank space: each chunk unranks its first mask once and
                 // then steps with Gosper's hack — no level buffer exists anywhere. The grain
                 // hint keeps chunks large enough to amortize the unranking.
-                let (t, p, _) = fold_chunks(
+                let counters = fold_chunks(
                     0..level_len,
                     parallelism,
                     4,
-                    || (0usize, 0usize, Vec::new()),
-                    |(mut t, mut p, mut members), chunk| {
-                        let mut mask = unrank_colex(chunk.start, level, &binomials);
-                        for rank in chunk.clone() {
-                            let (dt, dp) = visit_mask(mask, &mut members);
-                            t += dt;
-                            p += dp;
-                            if rank + 1 < chunk.end {
-                                mask = next_same_popcount(mask);
-                            }
-                        }
-                        (t, p, members)
+                    ShardCounters::default,
+                    |acc, chunk| {
+                        acc.merged(sweep.run_shard(ShardSpec {
+                            level,
+                            rank_start: chunk.start,
+                            rank_end: chunk.end,
+                        }))
                     },
-                    |(t1, p1, members), (t2, p2, _)| (t1 + t2, p1 + p2, members),
+                    ShardCounters::merged,
                 );
-                cycle_tests += t;
-                pruned += p;
+                totals = totals.merged(counters);
+            }
+            SweepStrategy::Sharded => {
+                // The coordinator shape: partition the level eagerly into `ShardSpec`s, fan
+                // the shard list out. (The shard list is O(shards), not O(level) — the masks
+                // themselves are still never materialized.)
+                let shards = plan_level_shards(n, level, shards_per_level);
+                let counters = fold_chunks(
+                    0..shards.len(),
+                    parallelism,
+                    1,
+                    ShardCounters::default,
+                    |mut acc, chunk| {
+                        for &spec in &shards[chunk] {
+                            acc = acc.merged(sweep.run_shard(spec));
+                        }
+                        acc
+                    },
+                    ShardCounters::merged,
+                );
+                totals = totals.merged(counters);
             }
             SweepStrategy::Materialized => {
                 // The pre-runtime oracle: collect the level's masks, partition into inherited
                 // and to-test, fan the tests out eagerly.
                 let mut masks = Vec::with_capacity(level_len);
-                let mut mask = unrank_colex(0, level, &binomials);
+                let mut mask = unrank_colex(0, level, &sweep.binomials);
                 for rank in 0..level_len {
                     masks.push(mask);
                     if rank + 1 < level_len {
@@ -330,15 +612,15 @@ pub fn explore_subsets_with(
                 let mut to_test = Vec::with_capacity(masks.len());
                 for mask in masks {
                     let inherited = options.closure_pruning
-                        && (0..n).any(|i| mask & (1 << i) == 0 && is_marked(mask | (1 << i)));
+                        && (0..n).any(|i| mask & (1 << i) == 0 && sweep.is_marked(mask | (1 << i)));
                     if inherited {
-                        mark(mask);
-                        pruned += 1;
+                        sweep.mark(mask);
+                        totals.pruned += 1;
                     } else {
                         to_test.push(mask);
                     }
                 }
-                cycle_tests += to_test.len();
+                totals.cycle_tests += to_test.len();
                 // The fan-out honors the same `Parallelism` pin as the streamed path (it
                 // merely materializes its work-list first).
                 fold_chunks(
@@ -348,15 +630,7 @@ pub fn explore_subsets_with(
                     Vec::new,
                     |mut members, chunk| {
                         for &mask in &to_test[chunk] {
-                            members.clear();
-                            for (i, nodes) in nodes_per_program.iter().enumerate() {
-                                if mask & (1 << i) != 0 {
-                                    members.extend_from_slice(nodes);
-                                }
-                            }
-                            if is_robust_view(&graph.induced(&members), settings.condition) {
-                                mark(mask);
-                            }
+                            sweep.test_mask(mask, &mut members);
                         }
                         members
                     },
@@ -366,22 +640,7 @@ pub fn explore_subsets_with(
         }
     }
 
-    let mut robust: Vec<Vec<usize>> = (1..total)
-        .filter(|&mask| is_marked(mask))
-        .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
-        .collect();
-    robust.sort();
-
-    let maximal = maximal_sets(&robust);
-    SubsetExploration {
-        programs,
-        settings,
-        robust,
-        maximal,
-        cycle_tests,
-        pruned,
-        masks_buffered,
-    }
+    sweep.exploration(totals, masks_buffered)
 }
 
 /// The pre-refactor subset exploration: reconstructs a full summary graph per subset, serially,
@@ -571,7 +830,7 @@ mod tests {
     }
 
     #[test]
-    fn streamed_and_materialized_levels_agree() {
+    fn streamed_materialized_and_sharded_levels_agree() {
         let session = auction_session();
         for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
             for settings in AnalysisSettings::evaluation_grid(condition) {
@@ -589,14 +848,115 @@ mod tests {
                             ..base
                         },
                     );
+                    let sharded = explore_subsets_with(
+                        &session,
+                        settings,
+                        ExploreOptions {
+                            strategy: SweepStrategy::Sharded,
+                            ..base
+                        },
+                    );
                     assert_eq!(streamed.robust, materialized.robust, "under {settings}");
                     assert_eq!(streamed.cycle_tests, materialized.cycle_tests);
                     assert_eq!(streamed.pruned, materialized.pruned);
                     assert_eq!(streamed.masks_buffered, 0);
                     assert_eq!(materialized.masks_buffered, (1 << 2) - 1);
+                    assert_eq!(streamed.robust, sharded.robust, "under {settings}");
+                    assert_eq!(streamed.cycle_tests, sharded.cycle_tests);
+                    assert_eq!(streamed.pruned, sharded.pruned);
+                    assert_eq!(sharded.masks_buffered, 0);
                 }
             }
         }
+    }
+
+    #[test]
+    fn level_plans_partition_the_rank_space() {
+        for n in 1..=10usize {
+            for level in 1..=n {
+                let size = level_size(n, level);
+                for shards in [1usize, 2, 3, 7, 64] {
+                    let plan = plan_level_shards(n, level, shards);
+                    assert!(plan.len() <= shards.min(size));
+                    // Contiguous, non-empty, exactly covering 0..size.
+                    let mut next = 0;
+                    for spec in &plan {
+                        assert_eq!(spec.level, level);
+                        assert_eq!(spec.rank_start, next);
+                        assert!(!spec.is_empty());
+                        next = spec.rank_end;
+                    }
+                    assert_eq!(next, size);
+                    // Near-equal: sizes differ by at most one.
+                    let lens: Vec<usize> = plan.iter().map(ShardSpec::len).collect();
+                    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(max - min <= 1, "uneven plan {lens:?}");
+                }
+            }
+        }
+        assert!(plan_level_shards(5, 0, 4).len() == 1); // C(5, 0) = 1: the empty mask's level
+    }
+
+    #[test]
+    fn rank_range_sweep_partitions_reproduce_the_whole_sweep() {
+        // Running a level in arbitrary shard splits (here: one spec per rank) must reproduce
+        // the monolithic sweep's verdicts and summed counters exactly.
+        let session = auction_session();
+        let settings = AnalysisSettings::paper_default();
+        let reference = explore_subsets(&session, settings);
+
+        let sweep = RankRangeSweep::new(&session, settings, true);
+        let n = sweep.program_count();
+        let mut totals = ShardCounters::default();
+        for level in (1..=n).rev() {
+            for rank in 0..sweep.level_size(level) {
+                totals = totals.merged(sweep.run_shard(ShardSpec {
+                    level,
+                    rank_start: rank,
+                    rank_end: rank + 1,
+                }));
+            }
+        }
+        let exploration = sweep.exploration(totals, 0);
+        assert_eq!(exploration.robust, reference.robust);
+        assert_eq!(exploration.maximal, reference.maximal);
+        assert_eq!(exploration.cycle_tests, reference.cycle_tests);
+        assert_eq!(exploration.pruned, reference.pruned);
+    }
+
+    #[test]
+    fn seeded_verdicts_prune_like_locally_computed_ones() {
+        // Simulate the distributed barrier: compute the top level in one sweep, transfer its
+        // verdict words into a fresh sweep, and run only the lower levels there. The second
+        // sweep must prune exactly as if it had computed the top level itself.
+        let session = auction_session();
+        let settings = AnalysisSettings::paper_default();
+        let n = 2;
+
+        let top = RankRangeSweep::new(&session, settings, true);
+        let top_counters = top.run_shard(ShardSpec {
+            level: n,
+            rank_start: 0,
+            rank_end: top.level_size(n),
+        });
+        assert_eq!(top_counters.cycle_tests, 1);
+
+        let rest = RankRangeSweep::new(&session, settings, true);
+        assert_eq!(rest.word_count(), top.word_count());
+        rest.or_verdict_words(&top.verdict_words());
+        let mut totals = top_counters;
+        for level in (1..n).rev() {
+            totals = totals.merged(rest.run_shard(ShardSpec {
+                level,
+                rank_start: 0,
+                rank_end: rest.level_size(level),
+            }));
+        }
+        let exploration = rest.exploration(totals, 0);
+        let reference = explore_subsets(&session, settings);
+        assert_eq!(exploration.robust, reference.robust);
+        assert_eq!(exploration.cycle_tests, reference.cycle_tests);
+        assert_eq!(exploration.pruned, reference.pruned);
     }
 
     #[test]

@@ -149,7 +149,10 @@ impl Reachability {
 }
 
 /// The summary graph over a set of LTPs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every derived array as well (adjacency, reachability bits) — the
+/// bit-identity contract of the `mvrc-dist` snapshot round-trip tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SummaryGraph {
     nodes: Vec<LinearProgram>,
     edges: Vec<SummaryEdge>,
@@ -308,6 +311,48 @@ impl SummaryGraph {
             }
         });
         self.rebuild_adjacency_and_reachability();
+    }
+
+    /// Reassembles a graph from persisted parts — the deserialization hook of the `mvrc-dist`
+    /// snapshot layer.
+    ///
+    /// `nodes` must be the already-widened LTPs the graph was built over and `edges` its
+    /// complete Algorithm 1 edge list; **no edge derivation runs** (and the construction
+    /// counter does not advance). The adjacency lists and the reachability closure are
+    /// deterministic functions of `(nodes, edges)` and are rebuilt, so a graph round-tripped
+    /// through [`edges`](Self::edges)/[`nodes`](Self::nodes) and this constructor compares
+    /// equal to the original on every array (`PartialEq` covers the derived arrays too).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge endpoint or statement position is out of range — snapshot decoders
+    /// are expected to validate untrusted input *before* calling this.
+    pub fn from_snapshot_parts(
+        nodes: Vec<LinearProgram>,
+        edges: Vec<SummaryEdge>,
+        settings: AnalysisSettings,
+    ) -> Self {
+        let n = nodes.len();
+        for e in &edges {
+            assert!(
+                e.from < n && e.to < n,
+                "from_snapshot_parts: edge endpoint out of range ({n} nodes)"
+            );
+            assert!(
+                e.from_stmt < nodes[e.from].len() && e.to_stmt < nodes[e.to].len(),
+                "from_snapshot_parts: edge statement position out of range"
+            );
+        }
+        let mut graph = SummaryGraph {
+            nodes,
+            edges,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+            reach: Reachability::new(0, 0),
+            settings,
+        };
+        graph.rebuild_adjacency_and_reachability();
+        graph
     }
 
     /// Number of `SummaryGraph::construct` calls made by the current thread.

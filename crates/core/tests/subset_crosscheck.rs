@@ -22,8 +22,8 @@ use mvrc_robustness::{
 };
 use proptest::prelude::*;
 
-/// Asserts that the streamed-pruned, materialized-pruned, exhaustive-shared and naive
-/// explorations agree on a workload under one settings combination.
+/// Asserts that the streamed-pruned, materialized-pruned, sharded-pruned, exhaustive-shared
+/// and naive explorations agree on a workload under one settings combination.
 fn assert_agree(session: &RobustnessSession, settings: AnalysisSettings) {
     let pruned = explore_subsets(session, settings);
     let materialized = explore_subsets_with(
@@ -31,6 +31,14 @@ fn assert_agree(session: &RobustnessSession, settings: AnalysisSettings) {
         settings,
         ExploreOptions {
             strategy: SweepStrategy::Materialized,
+            ..ExploreOptions::default()
+        },
+    );
+    let sharded = explore_subsets_with(
+        session,
+        settings,
+        ExploreOptions {
+            strategy: SweepStrategy::Sharded,
             ..ExploreOptions::default()
         },
     );
@@ -79,6 +87,20 @@ fn assert_agree(session: &RobustnessSession, settings: AnalysisSettings) {
     assert_eq!(
         materialized.masks_buffered, naive.cycle_tests,
         "the materializing oracle buffers every non-empty mask exactly once"
+    );
+    // The eagerly planned `ShardSpec` traversal — the in-process twin of the `mvrc shard`
+    // process protocol — is indistinguishable from the streamed default.
+    assert_eq!(
+        pruned.robust, sharded.robust,
+        "robust families differ (streamed vs sharded) under {settings} for programs {:?}",
+        pruned.programs
+    );
+    assert_eq!(pruned.maximal, sharded.maximal);
+    assert_eq!(pruned.cycle_tests, sharded.cycle_tests);
+    assert_eq!(pruned.pruned, sharded.pruned);
+    assert_eq!(
+        sharded.masks_buffered, 0,
+        "the sharded traversal materializes shard specs, never level masks"
     );
 }
 

@@ -1,0 +1,849 @@
+//! The shard layer: a coordinator/worker protocol that fans the closure-pruned subset sweep
+//! out across **processes**, communicating through files only.
+//!
+//! The protocol has three phases, mirrored by the `mvrc shard plan|work|merge` subcommands:
+//!
+//! 1. **Plan** ([`create_plan_dir`]): the coordinator saves a session snapshot, walks the
+//!    popcount levels in descending order and partitions each level's `C(n, k)` rank space
+//!    into [`ShardSpec`]s, assigning shards to workers round-robin. The plan (JSON) and the
+//!    snapshot are written into a shared directory.
+//! 2. **Work** ([`run_worker`]): each worker process opens the snapshot (verifying the
+//!    workload fingerprint), then walks the plan's levels. Per level it sweeps its own shards
+//!    through [`RankRangeSweep::run_shard`], writes the *new* verdict bits plus its
+//!    [`ShardCounters`] into a per-`(level, worker)` verdict-bitset file, and then blocks at
+//!    the **level barrier**: it polls for every peer's verdict file for the same level and
+//!    ORs the peers' bits into its sweep before descending. Because a mask's Proposition 5.2
+//!    pruning decision reads only the (by then fully merged) verdicts of the level above,
+//!    every worker makes exactly the decision the single-process sweep would — verdicts *and*
+//!    counters are reproduced exactly, just summed across shards.
+//! 3. **Merge** ([`merge_verdicts`]): ORs every verdict file into a fresh sweep and sums the
+//!    per-file counters, yielding a [`SubsetExploration`] identical to the single-process
+//!    [`mvrc_robustness::explore_subsets`] result.
+//!
+//! Verdict files are written atomically (temp file + rename) and carry a *run fingerprint*
+//! binding them to the snapshot, the analysis settings and the pruning switch, so artifacts
+//! from a different run can never be merged by accident.
+
+use crate::codec::{fnv64, Reader, Writer};
+use crate::snapshot::{open_snapshot_expecting, save_snapshot, SnapshotError};
+use mvrc_robustness::{
+    level_size, plan_level_shards, AnalysisSettings, CycleCondition, Granularity, RankRangeSweep,
+    RobustnessSession, ShardCounters, ShardSpec, SubsetExploration,
+};
+use serde_json::Value;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// The 8-byte magic at offset 0 of every verdict-bitset file.
+pub const VERDICT_MAGIC: [u8; 8] = *b"MVRCVERD";
+
+/// The current verdict-file format version.
+pub const VERDICT_FORMAT_VERSION: u32 = 1;
+
+/// File name of the snapshot inside a shard directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.mvrcsnap";
+
+/// File name of the plan inside a shard directory.
+pub const PLAN_FILE: &str = "plan.json";
+
+/// Errors of the shard protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The underlying snapshot failed to save, open or verify.
+    Snapshot(SnapshotError),
+    /// A protocol file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The plan file is missing, malformed or inconsistent.
+    Plan(String),
+    /// A verdict file is malformed or belongs to a different run.
+    Verdict(String),
+    /// A peer's verdict file did not appear within the barrier timeout.
+    BarrierTimeout {
+        /// The level being waited on.
+        level: usize,
+        /// The peer worker whose file is missing.
+        worker: usize,
+        /// How long the barrier waited, in milliseconds.
+        waited_ms: u128,
+    },
+    /// The request contradicts the plan (unknown worker index, wrong program count, …).
+    Protocol(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Snapshot(e) => write!(f, "{e}"),
+            ShardError::Io { path, message } => write!(f, "shard io `{path}`: {message}"),
+            ShardError::Plan(msg) => write!(f, "invalid shard plan: {msg}"),
+            ShardError::Verdict(msg) => write!(f, "invalid verdict file: {msg}"),
+            ShardError::BarrierTimeout {
+                level,
+                worker,
+                waited_ms,
+            } => write!(
+                f,
+                "level {level} barrier timed out after {waited_ms} ms waiting for worker {worker} \
+                 (is every `mvrc shard work` process running?)"
+            ),
+            ShardError::Protocol(msg) => write!(f, "shard protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<SnapshotError> for ShardError {
+    fn from(e: SnapshotError) -> Self {
+        ShardError::Snapshot(e)
+    }
+}
+
+/// One planned shard: a rank-range spec plus the worker it is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedShard {
+    /// The rank range to sweep.
+    pub spec: ShardSpec,
+    /// Index of the worker process that owns this shard.
+    pub worker: usize,
+}
+
+/// The shard partition of one popcount level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelPlan {
+    /// The popcount level.
+    pub level: usize,
+    /// `C(n, level)`: the size of the level's rank space.
+    pub size: usize,
+    /// The shards partitioning `0..size`, in rank order.
+    pub shards: Vec<PlannedShard>,
+}
+
+/// Coordinator options for [`create_plan_dir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Number of worker processes the plan fans out to.
+    pub workers: usize,
+    /// Upper bound on shards per level (each level gets at most this many, never more than
+    /// its size). More shards per worker smooth out load imbalance between rank ranges.
+    pub shards_per_level: usize,
+    /// Whether the sweep exploits Proposition 5.2 downward-closure pruning.
+    pub closure_pruning: bool,
+}
+
+impl PlanOptions {
+    /// Sensible defaults for `workers` processes: two shards per worker and level, pruning on.
+    pub fn for_workers(workers: usize) -> Self {
+        PlanOptions {
+            workers: workers.max(1),
+            shards_per_level: workers.max(1) * 2,
+            closure_pruning: true,
+        }
+    }
+}
+
+/// A complete coordinator plan: identity (fingerprints), analysis configuration and the
+/// per-level shard partition, in the descending level order workers must follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Fingerprint binding verdict files to this run: snapshot fingerprint ⊕ settings ⊕
+    /// pruning switch ⊕ worker count (FNV-1a over their canonical encoding).
+    pub run_fingerprint: u64,
+    /// Fingerprint of the snapshot file workers must open.
+    pub snapshot_fingerprint: u64,
+    /// The workload's name (informational).
+    pub workload: String,
+    /// Number of programs (`n`); the sweep covers masks `1..2^n`.
+    pub programs: usize,
+    /// The analysis settings of the sweep.
+    pub settings: AnalysisSettings,
+    /// Whether Proposition 5.2 pruning is enabled.
+    pub closure_pruning: bool,
+    /// Number of worker processes.
+    pub workers: usize,
+    /// The levels in descending popcount order, each partitioned into shards.
+    pub levels: Vec<LevelPlan>,
+}
+
+impl ShardPlan {
+    /// Total number of shards across all levels.
+    pub fn shard_count(&self) -> usize {
+        self.levels.iter().map(|l| l.shards.len()).sum()
+    }
+
+    /// Number of shards assigned to one worker.
+    pub fn shards_for_worker(&self, worker: usize) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.shards)
+            .filter(|s| s.worker == worker)
+            .count()
+    }
+}
+
+/// The run fingerprint: FNV-1a over the snapshot fingerprint, settings, pruning switch and
+/// worker count. The worker count participates because merge reads exactly one verdict file
+/// per `(level, worker ∈ 0..workers)` — files from a differently-fanned-out earlier run must
+/// not satisfy that schema by accident.
+fn run_fingerprint(
+    snapshot_fingerprint: u64,
+    settings: AnalysisSettings,
+    pruning: bool,
+    workers: usize,
+) -> u64 {
+    let mut w = Writer::new();
+    w.u64(snapshot_fingerprint);
+    w.u8(match settings.granularity {
+        Granularity::Attribute => 0,
+        Granularity::Tuple => 1,
+    });
+    w.bool(settings.use_foreign_keys);
+    w.u8(match settings.condition {
+        CycleCondition::TypeI => 0,
+        CycleCondition::TypeII => 1,
+    });
+    w.bool(pruning);
+    w.u64(workers as u64);
+    fnv64(&w.into_bytes())
+}
+
+/// Builds the in-memory plan for a session: descending levels, each partitioned by
+/// [`plan_level_shards`], shards assigned to workers round-robin.
+pub fn build_plan(
+    session: &RobustnessSession,
+    settings: AnalysisSettings,
+    options: &PlanOptions,
+    snapshot_fingerprint: u64,
+) -> ShardPlan {
+    let n = session.program_names().len();
+    assert!(
+        n <= 20,
+        "subset exploration is exponential; {n} programs is too many"
+    );
+    let workers = options.workers.max(1);
+    let levels: Vec<LevelPlan> = (1..=n)
+        .rev()
+        .map(|level| {
+            let shards = plan_level_shards(n, level, options.shards_per_level.max(1))
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| PlannedShard {
+                    spec,
+                    worker: i % workers,
+                })
+                .collect();
+            LevelPlan {
+                level,
+                size: level_size(n, level),
+                shards,
+            }
+        })
+        .collect();
+    ShardPlan {
+        run_fingerprint: run_fingerprint(
+            snapshot_fingerprint,
+            settings,
+            options.closure_pruning,
+            workers,
+        ),
+        snapshot_fingerprint,
+        workload: session.workload().name.clone(),
+        programs: n,
+        settings,
+        closure_pruning: options.closure_pruning,
+        workers,
+        levels,
+    }
+}
+
+/// Path of the snapshot file inside a shard directory.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Path of the plan file inside a shard directory.
+pub fn plan_path(dir: &Path) -> PathBuf {
+    dir.join(PLAN_FILE)
+}
+
+/// Path of the verdict-bitset file one worker writes for one level.
+pub fn verdict_path(dir: &Path, level: usize, worker: usize) -> PathBuf {
+    dir.join(format!("level_{level:02}.worker_{worker}.verdicts"))
+}
+
+/// The coordinator entry point: caches the summary graph for `settings` in the session,
+/// saves the snapshot and the plan into `dir` (created if needed) and returns the plan.
+///
+/// Any verdict files left over from an earlier run in the same directory are deleted first —
+/// re-planning invalidates them, and a later merge must fail on missing files rather than
+/// silently combine runs.
+pub fn create_plan_dir(
+    session: &RobustnessSession,
+    settings: AnalysisSettings,
+    options: &PlanOptions,
+    dir: &Path,
+) -> Result<ShardPlan, ShardError> {
+    std::fs::create_dir_all(dir).map_err(|e| ShardError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let stale = std::fs::read_dir(dir).map_err(|e| ShardError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    for entry in stale.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|ext| ext == "verdicts") {
+            std::fs::remove_file(&path).map_err(|e| ShardError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        }
+    }
+    // Build the graph *before* snapshotting so every worker reuses it instead of re-deriving
+    // Algorithm 1 edges per process.
+    session.graph(settings);
+    let snapshot_fingerprint = save_snapshot(session, snapshot_path(dir))?;
+    let plan = build_plan(session, settings, options, snapshot_fingerprint);
+    let json = serde_json::to_string_pretty(&plan_to_json(&plan)).expect("plan serializes");
+    write_atomically(&plan_path(dir), json.as_bytes())?;
+    Ok(plan)
+}
+
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), ShardError> {
+    let io_err = |e: std::io::Error| ShardError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+// ---------------------------------------------------------------------------
+// Plan JSON
+// ---------------------------------------------------------------------------
+
+fn plan_to_json(plan: &ShardPlan) -> Value {
+    let levels: Vec<Value> = plan
+        .levels
+        .iter()
+        .map(|level| {
+            let shards: Vec<Value> = level
+                .shards
+                .iter()
+                .map(|s| {
+                    serde_json::json!({
+                        "rank_start": s.spec.rank_start,
+                        "rank_end": s.spec.rank_end,
+                        "worker": s.worker,
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "level": level.level,
+                "size": level.size,
+                "shards": Value::Array(shards),
+            })
+        })
+        .collect();
+    let settings = serde_json::json!({
+        "granularity": match plan.settings.granularity {
+            Granularity::Attribute => "attribute",
+            Granularity::Tuple => "tuple",
+        },
+        "use_foreign_keys": plan.settings.use_foreign_keys,
+        "condition": match plan.settings.condition {
+            CycleCondition::TypeI => "type-i",
+            CycleCondition::TypeII => "type-ii",
+        },
+    });
+    serde_json::json!({
+        "format_version": 1u64,
+        "run_fingerprint": format!("{:016x}", plan.run_fingerprint),
+        "snapshot_fingerprint": format!("{:016x}", plan.snapshot_fingerprint),
+        "snapshot": SNAPSHOT_FILE,
+        "workload": plan.workload.clone(),
+        "programs": plan.programs,
+        "settings": settings,
+        "closure_pruning": plan.closure_pruning,
+        "workers": plan.workers,
+        "levels": Value::Array(levels),
+    })
+}
+
+fn json_u64(value: &Value, key: &str) -> Result<u64, ShardError> {
+    value[key]
+        .as_u64()
+        .ok_or_else(|| ShardError::Plan(format!("missing or non-integer field `{key}`")))
+}
+
+fn json_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, ShardError> {
+    value[key]
+        .as_str()
+        .ok_or_else(|| ShardError::Plan(format!("missing or non-string field `{key}`")))
+}
+
+fn json_bool(value: &Value, key: &str) -> Result<bool, ShardError> {
+    value[key]
+        .as_bool()
+        .ok_or_else(|| ShardError::Plan(format!("missing or non-boolean field `{key}`")))
+}
+
+fn json_fingerprint(value: &Value, key: &str) -> Result<u64, ShardError> {
+    let hex = json_str(value, key)?;
+    u64::from_str_radix(hex, 16)
+        .map_err(|_| ShardError::Plan(format!("field `{key}` is not a hex fingerprint: `{hex}`")))
+}
+
+fn plan_from_json(value: &Value) -> Result<ShardPlan, ShardError> {
+    let version = json_u64(value, "format_version")?;
+    if version != 1 {
+        return Err(ShardError::Plan(format!(
+            "unsupported plan format version {version}"
+        )));
+    }
+    let settings_value = &value["settings"];
+    let granularity = match json_str(settings_value, "granularity")? {
+        "attribute" => Granularity::Attribute,
+        "tuple" => Granularity::Tuple,
+        other => return Err(ShardError::Plan(format!("unknown granularity `{other}`"))),
+    };
+    let condition = match json_str(settings_value, "condition")? {
+        "type-i" => CycleCondition::TypeI,
+        "type-ii" => CycleCondition::TypeII,
+        other => {
+            return Err(ShardError::Plan(format!(
+                "unknown cycle condition `{other}`"
+            )))
+        }
+    };
+    let settings = AnalysisSettings {
+        granularity,
+        use_foreign_keys: json_bool(settings_value, "use_foreign_keys")?,
+        condition,
+    };
+    let programs = json_u64(value, "programs")? as usize;
+    let workers = json_u64(value, "workers")? as usize;
+    if programs == 0 || programs > 20 {
+        return Err(ShardError::Plan(format!(
+            "program count {programs} out of range 1..=20"
+        )));
+    }
+    if workers == 0 {
+        return Err(ShardError::Plan("plan has zero workers".to_string()));
+    }
+
+    let levels_value = value["levels"]
+        .as_array()
+        .ok_or_else(|| ShardError::Plan("missing `levels` array".to_string()))?;
+    let mut levels = Vec::with_capacity(levels_value.len());
+    for level_value in levels_value {
+        let level = json_u64(level_value, "level")? as usize;
+        let size = json_u64(level_value, "size")? as usize;
+        let shards_value = level_value["shards"]
+            .as_array()
+            .ok_or_else(|| ShardError::Plan(format!("level {level} misses `shards`")))?;
+        let mut shards = Vec::with_capacity(shards_value.len());
+        for shard_value in shards_value {
+            let worker = json_u64(shard_value, "worker")? as usize;
+            if worker >= workers {
+                return Err(ShardError::Plan(format!(
+                    "level {level} assigns a shard to worker {worker} of {workers}"
+                )));
+            }
+            shards.push(PlannedShard {
+                spec: ShardSpec {
+                    level,
+                    rank_start: json_u64(shard_value, "rank_start")? as usize,
+                    rank_end: json_u64(shard_value, "rank_end")? as usize,
+                },
+                worker,
+            });
+        }
+        levels.push(LevelPlan {
+            level,
+            size,
+            shards,
+        });
+    }
+
+    let plan = ShardPlan {
+        run_fingerprint: json_fingerprint(value, "run_fingerprint")?,
+        snapshot_fingerprint: json_fingerprint(value, "snapshot_fingerprint")?,
+        workload: json_str(value, "workload")?.to_string(),
+        programs,
+        settings,
+        closure_pruning: json_bool(value, "closure_pruning")?,
+        workers,
+        levels,
+    };
+    validate_plan(&plan)?;
+    Ok(plan)
+}
+
+/// Structural validation: the plan must cover exactly the levels `n..=1` in descending order,
+/// each level's shards must partition `0..C(n, level)` contiguously, and the run fingerprint
+/// must re-derive from the snapshot fingerprint and settings. A tampered or hand-edited plan
+/// fails loudly here instead of producing silently wrong verdicts.
+fn validate_plan(plan: &ShardPlan) -> Result<(), ShardError> {
+    let expected_fp = run_fingerprint(
+        plan.snapshot_fingerprint,
+        plan.settings,
+        plan.closure_pruning,
+        plan.workers,
+    );
+    if plan.run_fingerprint != expected_fp {
+        return Err(ShardError::Plan(format!(
+            "run fingerprint {:016x} does not derive from the snapshot fingerprint and settings \
+             (expected {expected_fp:016x})",
+            plan.run_fingerprint
+        )));
+    }
+    let n = plan.programs;
+    if plan.levels.len() != n {
+        return Err(ShardError::Plan(format!(
+            "expected {n} levels, found {}",
+            plan.levels.len()
+        )));
+    }
+    for (i, level_plan) in plan.levels.iter().enumerate() {
+        let expected_level = n - i;
+        if level_plan.level != expected_level {
+            return Err(ShardError::Plan(format!(
+                "levels must descend {n}..=1; position {i} holds level {}",
+                level_plan.level
+            )));
+        }
+        let size = level_size(n, level_plan.level);
+        if level_plan.size != size {
+            return Err(ShardError::Plan(format!(
+                "level {} claims size {}, C({n}, {}) is {size}",
+                level_plan.level, level_plan.size, level_plan.level
+            )));
+        }
+        let mut next = 0usize;
+        for shard in &level_plan.shards {
+            if shard.spec.level != level_plan.level
+                || shard.spec.rank_start != next
+                || shard.spec.is_empty()
+            {
+                return Err(ShardError::Plan(format!(
+                    "level {} shards do not partition 0..{size} contiguously",
+                    level_plan.level
+                )));
+            }
+            next = shard.spec.rank_end;
+        }
+        if next != size {
+            return Err(ShardError::Plan(format!(
+                "level {} shards cover 0..{next}, expected 0..{size}",
+                level_plan.level
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates the plan file of a shard directory.
+pub fn read_plan(dir: &Path) -> Result<ShardPlan, ShardError> {
+    let path = plan_path(dir);
+    let text = std::fs::read_to_string(&path).map_err(|e| ShardError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let value: Value = serde_json::from_str(&text)
+        .map_err(|e| ShardError::Plan(format!("plan is not valid JSON: {e}")))?;
+    plan_from_json(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Verdict files
+// ---------------------------------------------------------------------------
+
+/// A decoded verdict-bitset file: the bits one worker newly set at one level, plus its
+/// counters for that level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictFile {
+    /// The run fingerprint the file belongs to.
+    pub run_fingerprint: u64,
+    /// The level the bits belong to.
+    pub level: usize,
+    /// The worker that produced the file.
+    pub worker: usize,
+    /// The worker's counters for this level.
+    pub counters: ShardCounters,
+    /// The verdict bits (64 masks per word, full `⌈2^n / 64⌉` width).
+    pub words: Vec<u64>,
+}
+
+fn encode_verdicts(file: &VerdictFile) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(file.run_fingerprint);
+    w.u32(u32::try_from(file.level).expect("level exceeds u32"));
+    w.u32(u32::try_from(file.worker).expect("worker exceeds u32"));
+    w.u64(file.counters.cycle_tests as u64);
+    w.u64(file.counters.pruned as u64);
+    w.len(file.words.len());
+    for &word in &file.words {
+        w.u64(word);
+    }
+    let payload = w.into_bytes();
+    let mut bytes = Vec::with_capacity(12 + payload.len());
+    bytes.extend_from_slice(&VERDICT_MAGIC);
+    bytes.extend_from_slice(&VERDICT_FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+fn decode_verdicts(bytes: &[u8]) -> Result<VerdictFile, ShardError> {
+    if bytes.len() < 12 || bytes[0..8] != VERDICT_MAGIC {
+        return Err(ShardError::Verdict(
+            "not a verdict file (bad magic)".to_string(),
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERDICT_FORMAT_VERSION {
+        return Err(ShardError::Verdict(format!(
+            "unsupported verdict format version {version}"
+        )));
+    }
+    let mut r = Reader::new(&bytes[12..]);
+    let mut parse = || -> Result<VerdictFile, String> {
+        let run_fingerprint = r.u64()?;
+        let level = r.u32()? as usize;
+        let worker = r.u32()? as usize;
+        let cycle_tests = r.u64()? as usize;
+        let pruned = r.u64()? as usize;
+        let word_count = r.len()?;
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(r.u64()?);
+        }
+        if !r.is_at_end() {
+            return Err("trailing bytes".to_string());
+        }
+        Ok(VerdictFile {
+            run_fingerprint,
+            level,
+            worker,
+            counters: ShardCounters {
+                cycle_tests,
+                pruned,
+            },
+            words,
+        })
+    };
+    parse().map_err(ShardError::Verdict)
+}
+
+/// Reads one verdict file and checks it belongs to the expected run, level and worker.
+fn read_verdicts(
+    path: &Path,
+    expected_fingerprint: u64,
+    level: usize,
+    worker: usize,
+) -> Result<VerdictFile, ShardError> {
+    let bytes = std::fs::read(path).map_err(|e| ShardError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let file = decode_verdicts(&bytes)?;
+    if file.run_fingerprint != expected_fingerprint {
+        return Err(ShardError::Verdict(format!(
+            "verdicts at `{}` belong to run {:016x}, expected {expected_fingerprint:016x}",
+            path.display(),
+            file.run_fingerprint
+        )));
+    }
+    if file.level != level || file.worker != worker {
+        return Err(ShardError::Verdict(format!(
+            "verdicts at `{}` claim level {} / worker {}, expected level {level} / worker {worker}",
+            path.display(),
+            file.level,
+            file.worker
+        )));
+    }
+    Ok(file)
+}
+
+/// Polls for a peer's verdict file until it appears or the timeout elapses.
+fn await_verdicts(
+    path: &Path,
+    expected_fingerprint: u64,
+    level: usize,
+    worker: usize,
+    timeout: Duration,
+) -> Result<VerdictFile, ShardError> {
+    let start = Instant::now();
+    loop {
+        if path.exists() {
+            return read_verdicts(path, expected_fingerprint, level, worker);
+        }
+        if start.elapsed() >= timeout {
+            return Err(ShardError::BarrierTimeout {
+                level,
+                worker,
+                waited_ms: start.elapsed().as_millis(),
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// What one worker process did: which shards it ran and its summed counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The worker's index.
+    pub worker: usize,
+    /// Number of shards the worker swept.
+    pub shards_run: usize,
+    /// Number of level barriers the worker passed.
+    pub levels: usize,
+    /// The worker's summed counters across all levels.
+    pub counters: ShardCounters,
+}
+
+/// Runs one worker process over a shard directory prepared by [`create_plan_dir`]: sweeps the
+/// worker's shards level by level, publishing per-level verdict files and merging peers' at
+/// each level barrier (waiting at most `barrier_timeout` per peer file).
+pub fn run_worker(
+    dir: &Path,
+    worker: usize,
+    barrier_timeout: Duration,
+) -> Result<WorkerReport, ShardError> {
+    let plan = read_plan(dir)?;
+    if worker >= plan.workers {
+        return Err(ShardError::Protocol(format!(
+            "worker index {worker} out of range: the plan fans out to {} workers",
+            plan.workers
+        )));
+    }
+    let session = open_snapshot_expecting(snapshot_path(dir), plan.snapshot_fingerprint)?;
+    let sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
+    if sweep.program_count() != plan.programs {
+        return Err(ShardError::Protocol(format!(
+            "snapshot has {} programs, the plan was computed for {}",
+            sweep.program_count(),
+            plan.programs
+        )));
+    }
+
+    let mut totals = ShardCounters::default();
+    let mut shards_run = 0usize;
+    for level_plan in &plan.levels {
+        // Sweep this worker's shards of the level; the XOR against the pre-level snapshot
+        // isolates exactly the bits this level newly set (all of them ours — peers' bits only
+        // arrive through the barrier below).
+        let before = sweep.verdict_words();
+        let mut counters = ShardCounters::default();
+        for shard in level_plan.shards.iter().filter(|s| s.worker == worker) {
+            counters = counters.merged(sweep.run_shard(shard.spec));
+            shards_run += 1;
+        }
+        let after = sweep.verdict_words();
+        let delta: Vec<u64> = before.iter().zip(&after).map(|(b, a)| a ^ b).collect();
+        let file = VerdictFile {
+            run_fingerprint: plan.run_fingerprint,
+            level: level_plan.level,
+            worker,
+            counters,
+            words: delta,
+        };
+        write_atomically(
+            &verdict_path(dir, level_plan.level, worker),
+            &encode_verdicts(&file),
+        )?;
+        totals = totals.merged(counters);
+
+        // Level barrier: fold in every peer's verdicts for this level before descending, so
+        // the next level's pruning sees exactly the fully merged verdict set.
+        for peer in 0..plan.workers {
+            if peer == worker {
+                continue;
+            }
+            let peer_file = await_verdicts(
+                &verdict_path(dir, level_plan.level, peer),
+                plan.run_fingerprint,
+                level_plan.level,
+                peer,
+                barrier_timeout,
+            )?;
+            if peer_file.words.len() != sweep.word_count() {
+                return Err(ShardError::Verdict(format!(
+                    "worker {peer} published {} verdict words, expected {}",
+                    peer_file.words.len(),
+                    sweep.word_count()
+                )));
+            }
+            sweep.or_verdict_words(&peer_file.words);
+        }
+    }
+    Ok(WorkerReport {
+        worker,
+        shards_run,
+        levels: plan.levels.len(),
+        counters: totals,
+    })
+}
+
+/// The merged result of a completed shard run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeReport {
+    /// The workload's name.
+    pub workload: String,
+    /// The workload's `(program, abbreviation)` pairs, for paper-style rendering.
+    pub abbreviations: Vec<(String, String)>,
+    /// The merged exploration — identical to the single-process
+    /// [`mvrc_robustness::explore_subsets`] result, with `cycle_tests`/`pruned` summed across
+    /// every shard.
+    pub exploration: SubsetExploration,
+}
+
+impl MergeReport {
+    /// The abbreviation for a program name: the workload's own mapping when present, the
+    /// uppercase-letter fallback of [`mvrc_robustness::abbreviate_program_name`] otherwise.
+    pub fn abbreviate(&self, program: &str) -> String {
+        self.abbreviations
+            .iter()
+            .find(|(name, _)| name == program)
+            .map(|(_, abbrev)| abbrev.clone())
+            .unwrap_or_else(|| mvrc_robustness::abbreviate_program_name(program))
+    }
+}
+
+/// Merges every verdict file of a completed run into the final [`SubsetExploration`]. Fails
+/// (without waiting) when a verdict file is missing — run every `shard work` first.
+pub fn merge_verdicts(dir: &Path) -> Result<MergeReport, ShardError> {
+    let plan = read_plan(dir)?;
+    let session = open_snapshot_expecting(snapshot_path(dir), plan.snapshot_fingerprint)?;
+    let sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
+    let mut totals = ShardCounters::default();
+    for level_plan in &plan.levels {
+        for worker in 0..plan.workers {
+            let path = verdict_path(dir, level_plan.level, worker);
+            let file = read_verdicts(&path, plan.run_fingerprint, level_plan.level, worker)?;
+            if file.words.len() != sweep.word_count() {
+                return Err(ShardError::Verdict(format!(
+                    "`{}` has {} verdict words, expected {}",
+                    path.display(),
+                    file.words.len(),
+                    sweep.word_count()
+                )));
+            }
+            sweep.or_verdict_words(&file.words);
+            totals = totals.merged(file.counters);
+        }
+    }
+    Ok(MergeReport {
+        workload: plan.workload,
+        abbreviations: session.workload().abbreviations.clone(),
+        exploration: sweep.exploration(totals, 0),
+    })
+}

@@ -1,0 +1,817 @@
+//! The snapshot layer: a versioned, self-describing binary format persisting a
+//! [`RobustnessSession`] — its [`Workload`], the unfolded LTPs and every cached
+//! [`SummaryGraph`] — so another process can answer robustness queries without re-unfolding
+//! the workload or re-deriving a single Algorithm 1 edge.
+//!
+//! # File format
+//!
+//! A snapshot is a 20-byte header followed by a canonical little-endian payload:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 8    | magic `MVRCSNAP` ([`SNAPSHOT_MAGIC`]) |
+//! | 8      | 4    | format version, `u32` LE ([`SNAPSHOT_FORMAT_VERSION`], currently 1) |
+//! | 12     | 8    | workload fingerprint, `u64` LE — FNV-1a over the payload |
+//! | 20     | …    | payload: workload section, LTP section, graph section |
+//!
+//! The payload encoding is *canonical* (fixed-width integers, length-prefixed lists, no maps
+//! in nondeterministic order), so the fingerprint doubles as a content identity: the shard
+//! protocol of [`crate::shard`] stamps it into plans and verdict files, and refuses to merge
+//! artifacts whose fingerprints disagree. [`open_snapshot`] recomputes the FNV over the
+//! payload and rejects any header/payload mismatch, which catches truncation and bit flips.
+//!
+//! The graph section stores, per cached granularity/foreign-key combination, the widened LTP
+//! nodes and the complete Algorithm 1 edge list. Opening a snapshot rebuilds only the
+//! adjacency lists and the reachability closure (deterministic functions of the edge list,
+//! via [`SummaryGraph::from_snapshot_parts`]); the round-trip is **bit-identical** on every
+//! graph array — `reopened.graph(s) == original.graph(s)` including the derived arrays.
+
+use crate::codec::{fnv64, Reader, Writer};
+use mvrc_btp::{
+    FkConstraint, LinearFkConstraint, LinearProgram, Program, ProgramExpr, Statement,
+    StatementKind, StmtId, UnfoldOptions, Workload,
+};
+use mvrc_robustness::{
+    AnalysisSettings, CycleCondition, EdgeKind, Granularity, RobustnessSession, SummaryEdge,
+    SummaryGraph,
+};
+use mvrc_schema::{AttrSet, FkId, RelId, Schema, SchemaBuilder};
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte magic at offset 0 of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MVRCSNAP";
+
+/// The current snapshot format version (header offset 8).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Errors produced by snapshot encoding, decoding and file I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Reading or writing the snapshot file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The file does not start with [`SNAPSHOT_MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file's format version is not [`SNAPSHOT_FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The fingerprint check failed: either the payload does not hash to the header's
+    /// fingerprint (corruption), or the caller expected a different workload.
+    FingerprintMismatch {
+        /// The fingerprint that was expected.
+        expected: u64,
+        /// The fingerprint that was found.
+        found: u64,
+    },
+    /// The payload is structurally invalid (truncated, out-of-range ids, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, message } => write!(f, "snapshot io `{path}`: {message}"),
+            SnapshotError::BadMagic => f.write_str("not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version {SNAPSHOT_FORMAT_VERSION})"
+            ),
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "workload fingerprint mismatch: expected {expected:016x}, found {found:016x}"
+            ),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<String> for SnapshotError {
+    fn from(message: String) -> Self {
+        SnapshotError::Corrupt(message)
+    }
+}
+
+/// Persistence entry points on [`RobustnessSession`], so call sites read
+/// `session.save_snapshot(path)` / `RobustnessSession::open_snapshot(path)`.
+pub trait SessionSnapshotExt: Sized {
+    /// Serializes the session (workload, LTPs, cached graphs) to `path`, returning the
+    /// workload fingerprint stamped into the header.
+    fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError>;
+
+    /// Deserializes a session from `path`, returning it together with the verified
+    /// fingerprint. No unfolding and no Algorithm 1 edge derivation runs.
+    fn open_snapshot(path: impl AsRef<Path>) -> Result<(Self, u64), SnapshotError>;
+}
+
+impl SessionSnapshotExt for RobustnessSession {
+    fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        save_snapshot(self, path)
+    }
+
+    fn open_snapshot(path: impl AsRef<Path>) -> Result<(Self, u64), SnapshotError> {
+        open_snapshot(path)
+    }
+}
+
+/// Serializes a session into snapshot bytes (header + payload).
+pub fn snapshot_to_bytes(session: &RobustnessSession) -> Vec<u8> {
+    let mut payload = Writer::new();
+    encode_workload(&mut payload, session.workload());
+    let ltps = session.ltps();
+    payload.len(ltps.len());
+    for ltp in ltps {
+        encode_ltp(&mut payload, ltp);
+    }
+    let graphs = session.cached_graphs();
+    payload.len(graphs.len());
+    for graph in &graphs {
+        encode_graph(&mut payload, graph);
+    }
+    let payload = payload.into_bytes();
+
+    let mut bytes = Vec::with_capacity(20 + payload.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Deserializes a session from snapshot bytes, returning it with the verified fingerprint.
+pub fn session_from_snapshot_bytes(
+    bytes: &[u8],
+) -> Result<(RobustnessSession, u64), SnapshotError> {
+    if bytes.len() < 20 {
+        return Err(SnapshotError::Corrupt(format!(
+            "file too short for a snapshot header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[0..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SNAPSHOT_FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let stamped = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload = &bytes[20..];
+    let actual = fnv64(payload);
+    if stamped != actual {
+        return Err(SnapshotError::FingerprintMismatch {
+            expected: stamped,
+            found: actual,
+        });
+    }
+
+    let mut r = Reader::new(payload);
+    let workload = decode_workload(&mut r)?;
+    let ltp_count = r.len()?;
+    let mut ltps = Vec::with_capacity(ltp_count);
+    for _ in 0..ltp_count {
+        ltps.push(decode_ltp(&mut r, &workload.schema)?);
+    }
+    let graph_count = r.len()?;
+    let mut graphs = Vec::with_capacity(graph_count);
+    for _ in 0..graph_count {
+        graphs.push(decode_graph(&mut r, &workload.schema)?);
+    }
+    if !r.is_at_end() {
+        return Err(SnapshotError::Corrupt(
+            "trailing bytes after the graph section".to_string(),
+        ));
+    }
+    Ok((
+        RobustnessSession::from_snapshot_parts(workload, ltps, graphs),
+        actual,
+    ))
+}
+
+/// [`SessionSnapshotExt::save_snapshot`] as a free function.
+pub fn save_snapshot(
+    session: &RobustnessSession,
+    path: impl AsRef<Path>,
+) -> Result<u64, SnapshotError> {
+    let path = path.as_ref();
+    let bytes = snapshot_to_bytes(session);
+    let fingerprint = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    std::fs::write(path, &bytes).map_err(|e| SnapshotError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(fingerprint)
+}
+
+/// [`SessionSnapshotExt::open_snapshot`] as a free function.
+pub fn open_snapshot(path: impl AsRef<Path>) -> Result<(RobustnessSession, u64), SnapshotError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    session_from_snapshot_bytes(&bytes)
+}
+
+/// Opens a snapshot and additionally requires its fingerprint to equal `expected` — how shard
+/// workers make sure the snapshot on disk is the one their plan was computed for.
+pub fn open_snapshot_expecting(
+    path: impl AsRef<Path>,
+    expected: u64,
+) -> Result<RobustnessSession, SnapshotError> {
+    let (session, found) = open_snapshot(path)?;
+    if found != expected {
+        return Err(SnapshotError::FingerprintMismatch { expected, found });
+    }
+    Ok(session)
+}
+
+// ---------------------------------------------------------------------------
+// Workload section
+// ---------------------------------------------------------------------------
+
+fn encode_workload(w: &mut Writer, workload: &Workload) {
+    w.str(&workload.name);
+    encode_schema(w, &workload.schema);
+    w.len(workload.programs.len());
+    for program in &workload.programs {
+        encode_program(w, program);
+    }
+    w.len(workload.abbreviations.len());
+    for (name, abbrev) in &workload.abbreviations {
+        w.str(name);
+        w.str(abbrev);
+    }
+    w.u32(u32::try_from(workload.unfold.max_loop_iterations).unwrap_or(u32::MAX));
+    w.bool(workload.unfold.deduplicate);
+}
+
+fn decode_workload(r: &mut Reader<'_>) -> Result<Workload, SnapshotError> {
+    let name = r.str()?;
+    let schema = decode_schema(r)?;
+    let program_count = r.len()?;
+    let mut programs = Vec::with_capacity(program_count);
+    for _ in 0..program_count {
+        programs.push(decode_program(r, &schema)?);
+    }
+    let abbrev_count = r.len()?;
+    let mut abbreviations = Vec::with_capacity(abbrev_count);
+    for _ in 0..abbrev_count {
+        let program = r.str()?;
+        let abbrev = r.str()?;
+        abbreviations.push((program, abbrev));
+    }
+    let max_loop_iterations = r.u32()? as usize;
+    let deduplicate = r.bool()?;
+
+    let mut workload = Workload::new(name, schema, programs, &[]);
+    workload.abbreviations = abbreviations;
+    Ok(workload.with_unfold_options(UnfoldOptions {
+        max_loop_iterations,
+        deduplicate,
+    }))
+}
+
+fn encode_schema(w: &mut Writer, schema: &Schema) {
+    w.str(schema.name());
+    w.len(schema.relation_count());
+    for rel in schema.relations() {
+        w.str(rel.name());
+        w.len(rel.attribute_count());
+        for attr in rel.attr_names() {
+            w.str(attr);
+        }
+        let pk: Vec<u8> = rel.primary_key().iter().map(|a| a.0).collect();
+        w.len(pk.len());
+        for idx in pk {
+            w.u8(idx);
+        }
+    }
+    w.len(schema.foreign_key_count());
+    for fk in schema.foreign_keys() {
+        w.str(fk.name());
+        w.u16(fk.dom().0);
+        w.u16(fk.range().0);
+        let pairs: Vec<(u8, u8)> = fk.attr_pairs().map(|(d, rng)| (d.0, rng.0)).collect();
+        w.len(pairs.len());
+        for (dom_attr, range_attr) in pairs {
+            w.u8(dom_attr);
+            w.u8(range_attr);
+        }
+    }
+}
+
+fn decode_schema(r: &mut Reader<'_>) -> Result<Schema, SnapshotError> {
+    let name = r.str()?;
+    let mut builder = SchemaBuilder::new(name);
+
+    // Relations are rebuilt through the builder, which re-validates and reassigns the same
+    // sequential ids the encoder observed.
+    let rel_count = r.len()?;
+    let mut rel_attr_names: Vec<Vec<String>> = Vec::with_capacity(rel_count);
+    for _ in 0..rel_count {
+        let rel_name = r.str()?;
+        let attr_count = r.len()?;
+        let mut attrs = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            attrs.push(r.str()?);
+        }
+        let pk_count = r.len()?;
+        let mut pk = Vec::with_capacity(pk_count);
+        for _ in 0..pk_count {
+            let idx = r.u8()? as usize;
+            let attr = attrs.get(idx).ok_or_else(|| {
+                SnapshotError::Corrupt(format!(
+                    "primary-key attribute index {idx} out of range for relation `{rel_name}`"
+                ))
+            })?;
+            pk.push(attr.clone());
+        }
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let pk_refs: Vec<&str> = pk.iter().map(String::as_str).collect();
+        builder
+            .relation(&rel_name, &attr_refs, &pk_refs)
+            .map_err(|e| SnapshotError::Corrupt(format!("invalid relation `{rel_name}`: {e}")))?;
+        rel_attr_names.push(attrs);
+    }
+
+    let fk_count = r.len()?;
+    for _ in 0..fk_count {
+        let fk_name = r.str()?;
+        let dom = r.u16()? as usize;
+        let range = r.u16()? as usize;
+        let pair_count = r.len()?;
+        let mut dom_attrs = Vec::with_capacity(pair_count);
+        let mut range_attrs = Vec::with_capacity(pair_count);
+        for _ in 0..pair_count {
+            let d = r.u8()? as usize;
+            let g = r.u8()? as usize;
+            let resolve = |rel: usize, attr: usize| -> Result<&str, SnapshotError> {
+                rel_attr_names
+                    .get(rel)
+                    .and_then(|attrs| attrs.get(attr))
+                    .map(String::as_str)
+                    .ok_or_else(|| {
+                        SnapshotError::Corrupt(format!(
+                            "foreign key `{fk_name}` references relation {rel} attribute {attr} out of range"
+                        ))
+                    })
+            };
+            dom_attrs.push(resolve(dom, d)?.to_string());
+            range_attrs.push(resolve(range, g)?.to_string());
+        }
+        let dom_refs: Vec<&str> = dom_attrs.iter().map(String::as_str).collect();
+        let range_refs: Vec<&str> = range_attrs.iter().map(String::as_str).collect();
+        builder
+            .foreign_key(
+                &fk_name,
+                RelId(dom as u16),
+                &dom_refs,
+                RelId(range as u16),
+                &range_refs,
+            )
+            .map_err(|e| SnapshotError::Corrupt(format!("invalid foreign key `{fk_name}`: {e}")))?;
+    }
+    Ok(builder.build())
+}
+
+fn encode_statement(w: &mut Writer, stmt: &Statement) {
+    w.str(stmt.name());
+    w.u16(stmt.rel().0);
+    w.u8(stmt.kind().table_index() as u8);
+    w.opt_u64(stmt.pread_set().map(AttrSet::bits));
+    w.opt_u64(stmt.read_set().map(AttrSet::bits));
+    w.opt_u64(stmt.write_set().map(AttrSet::bits));
+}
+
+fn decode_statement(r: &mut Reader<'_>, schema: &Schema) -> Result<Statement, SnapshotError> {
+    let name = r.str()?;
+    let rel_idx = r.u16()? as usize;
+    if rel_idx >= schema.relation_count() {
+        return Err(SnapshotError::Corrupt(format!(
+            "statement `{name}` references relation {rel_idx} of {}",
+            schema.relation_count()
+        )));
+    }
+    let kind_idx = r.u8()? as usize;
+    let kind: StatementKind = *StatementKind::ALL.get(kind_idx).ok_or_else(|| {
+        SnapshotError::Corrupt(format!("statement `{name}` has invalid kind {kind_idx}"))
+    })?;
+    let pread = r.opt_u64()?.map(AttrSet::from_bits);
+    let read = r.opt_u64()?.map(AttrSet::from_bits);
+    let write = r.opt_u64()?.map(AttrSet::from_bits);
+    Statement::new(
+        &name,
+        schema.relation(RelId(rel_idx as u16)),
+        kind,
+        pread,
+        read,
+        write,
+    )
+    .map_err(|e| SnapshotError::Corrupt(format!("invalid statement `{name}`: {e}")))
+}
+
+fn encode_expr(w: &mut Writer, expr: &ProgramExpr) {
+    match expr {
+        ProgramExpr::Statement(id) => {
+            w.u8(0);
+            w.u16(id.0);
+        }
+        ProgramExpr::Seq(parts) => {
+            w.u8(1);
+            w.len(parts.len());
+            for part in parts {
+                encode_expr(w, part);
+            }
+        }
+        ProgramExpr::Choice(a, b) => {
+            w.u8(2);
+            encode_expr(w, a);
+            encode_expr(w, b);
+        }
+        ProgramExpr::Optional(a) => {
+            w.u8(3);
+            encode_expr(w, a);
+        }
+        ProgramExpr::Loop(a) => {
+            w.u8(4);
+            encode_expr(w, a);
+        }
+        ProgramExpr::Empty => w.u8(5),
+    }
+}
+
+fn decode_expr(
+    r: &mut Reader<'_>,
+    statements: usize,
+    depth: usize,
+) -> Result<ProgramExpr, SnapshotError> {
+    if depth > 64 {
+        return Err(SnapshotError::Corrupt(
+            "program expression nests deeper than 64 levels".to_string(),
+        ));
+    }
+    Ok(match r.u8()? {
+        0 => {
+            let id = r.u16()?;
+            if (id as usize) >= statements {
+                return Err(SnapshotError::Corrupt(format!(
+                    "expression references statement {id} of {statements}"
+                )));
+            }
+            ProgramExpr::Statement(StmtId(id))
+        }
+        1 => {
+            let count = r.len()?;
+            let mut parts = Vec::with_capacity(count);
+            for _ in 0..count {
+                parts.push(decode_expr(r, statements, depth + 1)?);
+            }
+            ProgramExpr::Seq(parts)
+        }
+        2 => {
+            let a = decode_expr(r, statements, depth + 1)?;
+            let b = decode_expr(r, statements, depth + 1)?;
+            ProgramExpr::choice(a, b)
+        }
+        3 => ProgramExpr::optional(decode_expr(r, statements, depth + 1)?),
+        4 => ProgramExpr::looped(decode_expr(r, statements, depth + 1)?),
+        5 => ProgramExpr::Empty,
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid expression tag {other}"
+            )))
+        }
+    })
+}
+
+fn encode_program(w: &mut Writer, program: &Program) {
+    w.str(program.name());
+    w.len(program.statement_count());
+    for (_, stmt) in program.statements() {
+        encode_statement(w, stmt);
+    }
+    encode_expr(w, program.body());
+    w.len(program.fk_constraints().len());
+    for c in program.fk_constraints() {
+        w.u16(c.fk.0);
+        w.u16(c.dom_stmt.0);
+        w.u16(c.range_stmt.0);
+    }
+}
+
+fn decode_program(r: &mut Reader<'_>, schema: &Schema) -> Result<Program, SnapshotError> {
+    let name = r.str()?;
+    let stmt_count = r.len()?;
+    let mut statements = Vec::with_capacity(stmt_count);
+    for _ in 0..stmt_count {
+        statements.push(decode_statement(r, schema)?);
+    }
+    let body = decode_expr(r, stmt_count, 0)?;
+    let fkc_count = r.len()?;
+    let mut fk_constraints = Vec::with_capacity(fkc_count);
+    for _ in 0..fkc_count {
+        let fk = r.u16()?;
+        let dom_stmt = r.u16()?;
+        let range_stmt = r.u16()?;
+        if (fk as usize) >= schema.foreign_key_count()
+            || (dom_stmt as usize) >= stmt_count
+            || (range_stmt as usize) >= stmt_count
+        {
+            return Err(SnapshotError::Corrupt(format!(
+                "program `{name}` has an out-of-range foreign-key constraint"
+            )));
+        }
+        fk_constraints.push(FkConstraint {
+            fk: FkId(fk),
+            dom_stmt: StmtId(dom_stmt),
+            range_stmt: StmtId(range_stmt),
+        });
+    }
+    Ok(Program::from_parts(name, statements, body, fk_constraints))
+}
+
+// ---------------------------------------------------------------------------
+// LTP and graph sections
+// ---------------------------------------------------------------------------
+
+fn encode_ltp(w: &mut Writer, ltp: &LinearProgram) {
+    w.str(ltp.name());
+    w.str(ltp.program_name());
+    w.len(ltp.len());
+    for (_, stmt) in ltp.statements() {
+        encode_statement(w, stmt);
+    }
+    for pos in 0..ltp.len() {
+        w.u16(ltp.origin(pos).0);
+    }
+    w.len(ltp.fk_constraints().len());
+    for c in ltp.fk_constraints() {
+        w.u16(c.fk.0);
+        w.u32(u32::try_from(c.dom_pos).expect("LTP position exceeds u32"));
+        w.u32(u32::try_from(c.range_pos).expect("LTP position exceeds u32"));
+    }
+}
+
+fn decode_ltp(r: &mut Reader<'_>, schema: &Schema) -> Result<LinearProgram, SnapshotError> {
+    let name = r.str()?;
+    let program_name = r.str()?;
+    let stmt_count = r.len()?;
+    let mut statements = Vec::with_capacity(stmt_count);
+    for _ in 0..stmt_count {
+        statements.push(decode_statement(r, schema)?);
+    }
+    let mut origins = Vec::with_capacity(stmt_count);
+    for _ in 0..stmt_count {
+        origins.push(StmtId(r.u16()?));
+    }
+    let fkc_count = r.len()?;
+    let mut fk_constraints = Vec::with_capacity(fkc_count);
+    for _ in 0..fkc_count {
+        let fk = r.u16()?;
+        let dom_pos = r.u32()? as usize;
+        let range_pos = r.u32()? as usize;
+        if (fk as usize) >= schema.foreign_key_count()
+            || dom_pos >= stmt_count
+            || range_pos >= stmt_count
+        {
+            return Err(SnapshotError::Corrupt(format!(
+                "LTP `{name}` has an out-of-range foreign-key constraint"
+            )));
+        }
+        fk_constraints.push(LinearFkConstraint {
+            fk: FkId(fk),
+            dom_pos,
+            range_pos,
+        });
+    }
+    Ok(LinearProgram::new(
+        name,
+        program_name,
+        statements,
+        origins,
+        fk_constraints,
+    ))
+}
+
+fn encode_settings(w: &mut Writer, settings: AnalysisSettings) {
+    w.u8(match settings.granularity {
+        Granularity::Attribute => 0,
+        Granularity::Tuple => 1,
+    });
+    w.bool(settings.use_foreign_keys);
+    w.u8(match settings.condition {
+        CycleCondition::TypeI => 0,
+        CycleCondition::TypeII => 1,
+    });
+}
+
+fn decode_settings(r: &mut Reader<'_>) -> Result<AnalysisSettings, SnapshotError> {
+    let granularity = match r.u8()? {
+        0 => Granularity::Attribute,
+        1 => Granularity::Tuple,
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid granularity byte {other}"
+            )))
+        }
+    };
+    let use_foreign_keys = r.bool()?;
+    let condition = match r.u8()? {
+        0 => CycleCondition::TypeI,
+        1 => CycleCondition::TypeII,
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid cycle-condition byte {other}"
+            )))
+        }
+    };
+    Ok(AnalysisSettings {
+        granularity,
+        use_foreign_keys,
+        condition,
+    })
+}
+
+fn encode_graph(w: &mut Writer, graph: &SummaryGraph) {
+    encode_settings(w, graph.settings());
+    w.len(graph.node_count());
+    for (_, ltp) in graph.nodes() {
+        encode_ltp(w, ltp);
+    }
+    w.len(graph.edge_count());
+    for edge in graph.edges() {
+        w.u32(u32::try_from(edge.from).expect("node id exceeds u32"));
+        w.u32(u32::try_from(edge.from_stmt).expect("statement position exceeds u32"));
+        w.u8(u8::from(edge.kind.is_counterflow()));
+        w.u32(u32::try_from(edge.to_stmt).expect("statement position exceeds u32"));
+        w.u32(u32::try_from(edge.to).expect("node id exceeds u32"));
+    }
+}
+
+fn decode_graph(r: &mut Reader<'_>, schema: &Schema) -> Result<SummaryGraph, SnapshotError> {
+    let settings = decode_settings(r)?;
+    let node_count = r.len()?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        nodes.push(decode_ltp(r, schema)?);
+    }
+    let edge_count = r.len()?;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let from = r.u32()? as usize;
+        let from_stmt = r.u32()? as usize;
+        let kind = match r.u8()? {
+            0 => EdgeKind::NonCounterflow,
+            1 => EdgeKind::Counterflow,
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "invalid edge kind byte {other}"
+                )))
+            }
+        };
+        let to_stmt = r.u32()? as usize;
+        let to = r.u32()? as usize;
+        let valid = from < nodes.len()
+            && to < nodes.len()
+            && from_stmt < nodes[from].len()
+            && to_stmt < nodes[to].len();
+        if !valid {
+            return Err(SnapshotError::Corrupt(
+                "summary edge endpoint out of range".to_string(),
+            ));
+        }
+        edges.push(SummaryEdge {
+            from,
+            from_stmt,
+            kind,
+            to_stmt,
+            to,
+        });
+    }
+    Ok(SummaryGraph::from_snapshot_parts(nodes, edges, settings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_benchmarks::{auction, smallbank, tpcc};
+
+    fn warm_session(workload: Workload) -> RobustnessSession {
+        let session = RobustnessSession::new(workload);
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            for settings in AnalysisSettings::evaluation_grid(condition) {
+                session.is_robust(settings);
+            }
+        }
+        session
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_paper_benchmarks_bit_identically() {
+        for workload in [smallbank(), tpcc(), auction()] {
+            let session = warm_session(workload);
+            let bytes = snapshot_to_bytes(&session);
+            let before = SummaryGraph::constructions_on_current_thread();
+            let (reopened, fingerprint) = session_from_snapshot_bytes(&bytes).unwrap();
+            assert_eq!(
+                SummaryGraph::constructions_on_current_thread(),
+                before,
+                "opening a snapshot must not run Algorithm 1"
+            );
+            assert_ne!(fingerprint, 0);
+            assert_eq!(reopened.workload().name, session.workload().name);
+            assert_eq!(reopened.program_names(), session.program_names());
+            assert_eq!(reopened.ltps(), session.ltps());
+            assert_eq!(reopened.cached_graph_count(), 4);
+            for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+                assert_eq!(
+                    *reopened.graph(settings),
+                    *session.graph(settings),
+                    "graph arrays must round-trip bit-identically"
+                );
+            }
+            // Canonical encoding: re-serializing the reopened session reproduces the bytes.
+            assert_eq!(snapshot_to_bytes(&reopened), bytes);
+        }
+    }
+
+    #[test]
+    fn header_corruption_is_rejected() {
+        let session = warm_session(auction());
+        let bytes = snapshot_to_bytes(&session);
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(
+            session_from_snapshot_bytes(&bad_magic).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 99;
+        assert!(matches!(
+            session_from_snapshot_bytes(&bad_version).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 99 }
+        ));
+
+        let mut flipped_payload = bytes.clone();
+        let last = flipped_payload.len() - 1;
+        flipped_payload[last] ^= 0x01;
+        assert!(matches!(
+            session_from_snapshot_bytes(&flipped_payload).unwrap_err(),
+            SnapshotError::FingerprintMismatch { .. }
+        ));
+
+        assert!(matches!(
+            session_from_snapshot_bytes(&bytes[..10]).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+
+        // Truncating the payload while restamping the fingerprint: structural error.
+        let mut truncated = bytes[..bytes.len() - 4].to_vec();
+        let fp = fnv64(&truncated[20..]);
+        truncated[12..20].copy_from_slice(&fp.to_le_bytes());
+        assert!(matches!(
+            session_from_snapshot_bytes(&truncated).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn open_snapshot_expecting_rejects_a_different_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("mvrc-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auction.mvrcsnap");
+        let session = warm_session(auction());
+        let fingerprint = session.save_snapshot(&path).unwrap();
+
+        let reopened = open_snapshot_expecting(&path, fingerprint).unwrap();
+        assert_eq!(reopened.workload().name, "Auction");
+
+        let err = open_snapshot_expecting(&path, fingerprint ^ 1).unwrap_err();
+        assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }));
+        assert!(err.to_string().contains("fingerprint mismatch"));
+
+        let (_, via_trait) = RobustnessSession::open_snapshot(&path).unwrap();
+        assert_eq!(via_trait, fingerprint);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn io_errors_carry_the_path() {
+        let err = open_snapshot("/definitely/not/here.mvrcsnap").unwrap_err();
+        match err {
+            SnapshotError::Io { path, .. } => assert!(path.contains("not/here")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

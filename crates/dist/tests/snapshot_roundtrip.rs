@@ -1,0 +1,158 @@
+//! Property-based coverage of the snapshot layer: `save_snapshot` → `open_snapshot` must
+//! preserve **every** analysis answer — `analyze`, `is_robust`, `explore_subsets` across the
+//! full evaluation grid — on random synthetic workloads, and the cached graph arrays must
+//! round-trip bit-identically. Corruption (header or payload) and fingerprint mismatches must
+//! be rejected, never mis-read.
+
+use mvrc_benchmarks::{synthetic, SyntheticConfig};
+use mvrc_dist::{
+    session_from_snapshot_bytes, snapshot_to_bytes, SessionSnapshotExt, SnapshotError,
+};
+use mvrc_robustness::{
+    explore_subsets, AnalysisSettings, CycleCondition, RobustnessSession, SummaryGraph,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scratch_file(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mvrc-dist-roundtrip-{}-{tag}-{unique}.mvrcsnap",
+        std::process::id()
+    ))
+}
+
+fn synthetic_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..=3,   // relations
+        2usize..=5,   // attributes per relation
+        1usize..=4,   // programs (the exploration is exponential in this)
+        1usize..=4,   // statements per program
+        0.0f64..=1.0, // predicate probability
+        0.0f64..=1.0, // write probability
+        0.0f64..=0.6, // loop probability
+        0.0f64..=0.6, // optional probability
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(relations, attrs, programs, statements, pred_p, write_p, loop_p, opt_p, seed)| {
+                SyntheticConfig {
+                    relations,
+                    attributes_per_relation: attrs,
+                    programs,
+                    statements_per_program: statements,
+                    predicate_probability: pred_p,
+                    write_probability: write_p,
+                    loop_probability: loop_p,
+                    optional_probability: opt_p,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn snapshots_preserve_every_answer_on_random_workloads(
+        config in synthetic_config_strategy(),
+    ) {
+        let session = RobustnessSession::new(synthetic(config));
+        // Warm every graph-shape combination so the snapshot carries all four cached graphs.
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            for settings in AnalysisSettings::evaluation_grid(condition) {
+                session.is_robust(settings);
+            }
+        }
+
+        let bytes = snapshot_to_bytes(&session);
+        let constructions_before = SummaryGraph::constructions_on_current_thread();
+        let (reopened, fingerprint) = session_from_snapshot_bytes(&bytes).unwrap();
+        prop_assert_ne!(fingerprint, 0);
+        prop_assert_eq!(reopened.program_names(), session.program_names());
+        prop_assert_eq!(reopened.ltps(), session.ltps());
+
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            for settings in AnalysisSettings::evaluation_grid(condition) {
+                // Graph arrays: bit-identical round-trip.
+                prop_assert_eq!(
+                    &*reopened.graph(settings),
+                    &*session.graph(settings),
+                    "graph mismatch under {}", settings
+                );
+                // Full-workload answers.
+                prop_assert_eq!(
+                    reopened.is_robust(settings),
+                    session.is_robust(settings),
+                    "is_robust mismatch under {}", settings
+                );
+                let report = session.analyze(settings);
+                let reopened_report = reopened.analyze(settings);
+                prop_assert_eq!(reopened_report.is_robust(), report.is_robust());
+                // The whole subset sweep, counters included.
+                let sweep = explore_subsets(&session, settings);
+                let reopened_sweep = explore_subsets(&reopened, settings);
+                prop_assert_eq!(&reopened_sweep.robust, &sweep.robust);
+                prop_assert_eq!(&reopened_sweep.maximal, &sweep.maximal);
+                prop_assert_eq!(reopened_sweep.cycle_tests, sweep.cycle_tests);
+                prop_assert_eq!(reopened_sweep.pruned, sweep.pruned);
+            }
+        }
+        // All of the above ran on the snapshot's cached graphs: no Algorithm 1 reconstruction
+        // (the original session also answers from its warm cache, so any construction at all
+        // would have come from the reopened one).
+        prop_assert_eq!(
+            SummaryGraph::constructions_on_current_thread(),
+            constructions_before
+        );
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_never_misread(
+        config in synthetic_config_strategy(),
+        flip_byte in any::<u64>(),
+    ) {
+        let session = RobustnessSession::new(synthetic(config));
+        session.is_robust(AnalysisSettings::paper_default());
+        let bytes = snapshot_to_bytes(&session);
+
+        // Flipping any single byte must be caught: the header checks reject magic/version
+        // damage, the FNV fingerprint rejects payload damage, and a (deliberately) restamped
+        // fingerprint itself no longer matches the payload hash.
+        let idx = (flip_byte as usize) % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= 0x2a;
+        prop_assert!(session_from_snapshot_bytes(&corrupted).is_err());
+
+        // Truncation anywhere strictly inside the file is caught too.
+        prop_assert!(session_from_snapshot_bytes(&bytes[..idx]).is_err());
+    }
+}
+
+#[test]
+fn wrong_fingerprint_is_rejected_on_open() {
+    let session = RobustnessSession::new(synthetic(SyntheticConfig::default()));
+    session.is_robust(AnalysisSettings::paper_default());
+    let path = scratch_file("fingerprint");
+    let fingerprint = session.save_snapshot(&path).unwrap();
+
+    assert!(mvrc_dist::open_snapshot_expecting(&path, fingerprint).is_ok());
+    let err = mvrc_dist::open_snapshot_expecting(&path, fingerprint.wrapping_add(1)).unwrap_err();
+    assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshots_of_different_workloads_have_different_fingerprints() {
+    let a = RobustnessSession::new(synthetic(SyntheticConfig::default()));
+    let b = RobustnessSession::new(synthetic(SyntheticConfig {
+        seed: 1234,
+        ..SyntheticConfig::default()
+    }));
+    let fp_a = u64::from_le_bytes(snapshot_to_bytes(&a)[12..20].try_into().unwrap());
+    let fp_b = u64::from_le_bytes(snapshot_to_bytes(&b)[12..20].try_into().unwrap());
+    assert_ne!(fp_a, fp_b);
+}
