@@ -12,6 +12,9 @@
 //! repro bench-subsets [--out P] median subset-exploration times (naive vs shared vs pruned
 //!                              vs sharded) on the paper benchmarks + YCSB-T, written to
 //!                              BENCH_subsets.json (or P)
+//! repro bench-edits [--out P]  median re-sweep times after a workload edit (fresh vs
+//!                              incremental verdict reuse, remove + re-add scenarios), written
+//!                              to BENCH_edits.json (or P)
 //! repro all                    everything above (figure8 capped at n = 50)
 //! ```
 //!
@@ -39,12 +42,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(50);
-    let out_path = args
+    let out_override = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .cloned()
+        .cloned();
+    let out_path = out_override
+        .clone()
         .unwrap_or_else(|| "BENCH_subsets.json".to_string());
+    let edits_out_path = out_override.unwrap_or_else(|| "BENCH_edits.json".to_string());
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let Some(threads) = args
             .get(i + 1)
@@ -70,6 +76,7 @@ fn main() {
         "graphs" => print_graphs(),
         "smallbank-ground-truth" => smallbank_ground_truth(),
         "bench-subsets" => bench_subsets(&out_path),
+        "bench-edits" => bench_edits(&edits_out_path),
         "all" => {
             print_table2(json);
             print_figure6(json);
@@ -78,10 +85,11 @@ fn main() {
             print_figure4();
             smallbank_ground_truth();
             bench_subsets(&out_path);
+            bench_edits("BENCH_edits.json");
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|all] [--max N] [--json] [--out PATH] [--threads N]");
+            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|bench-edits|all] [--max N] [--json] [--out PATH] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -294,6 +302,156 @@ fn bench_subsets(out_path: &str) {
             "  {:<10} naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  sharded={:>9.1}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
             row.benchmark, row.naive_us, row.shared_us, row.pruned_us, row.sharded_us,
             row.cycle_tests, row.subsets, row.pruned_subsets, row.threads
+        );
+    }
+    let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    match std::fs::write(out_path, &payload) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+    println!();
+}
+
+/// One row of `BENCH_edits.json`: after editing a workload (removing its last program, then
+/// re-adding it), the median time of a *fresh* re-sweep vs the *incremental* re-sweep that
+/// rebases the previous sweep's verdicts — plus the reuse counters that explain the gap.
+#[derive(Debug, Clone, Serialize)]
+struct EditBenchRow {
+    benchmark: String,
+    programs: usize,
+    /// The program removed (and re-added) by the edit scenario — the workload's last.
+    edited_program: String,
+    /// Median fresh re-sweep time after the removal, in microseconds.
+    fresh_remove_us: f64,
+    /// Median incremental re-sweep time after the removal, in microseconds.
+    incremental_remove_us: f64,
+    /// Cycle tests the incremental removal re-sweep ran (always 0: pure mask compaction).
+    remove_cycle_tests: usize,
+    /// Verdicts the incremental removal re-sweep adopted without a visit.
+    remove_reused: usize,
+    /// Median fresh re-sweep time after re-adding the program, in microseconds.
+    fresh_add_us: f64,
+    /// Median incremental re-sweep time after re-adding the program, in microseconds.
+    incremental_add_us: f64,
+    /// Cycle tests the incremental addition re-sweep ran (≤ the containing-subsets count).
+    add_cycle_tests: usize,
+    /// Verdicts the incremental addition re-sweep adopted without a visit.
+    add_reused: usize,
+    /// Size of the `mvrc-par` worker pool during the run.
+    threads: usize,
+}
+
+/// Median over `runs` samples where each sample re-installs the pre-edit cache entry before
+/// the timed incremental sweep (so every sample measures the rebase + partial sweep, not a
+/// second-run full reuse). Returns the median and the last run's exploration.
+fn median_incremental_us(
+    runs: usize,
+    session: &RobustnessSession,
+    cached: &(AnalysisSettings, mvrc_robustness::CachedSweep),
+    options: ExploreOptions,
+) -> (f64, mvrc_robustness::SubsetExploration) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        session.install_cached_sweep(cached.0, cached.1.clone());
+        let start = Instant::now();
+        let exploration = explore_subsets_with(session, cached.0, options);
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+        last = Some(exploration);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    (samples[samples.len() / 2], last.expect("runs >= 1"))
+}
+
+fn bench_edits(out_path: &str) {
+    const RUNS: usize = 11;
+    let settings = AnalysisSettings::paper_default();
+    let incremental = ExploreOptions {
+        incremental: true,
+        ..ExploreOptions::default()
+    };
+    let rows: Vec<EditBenchRow> = [
+        smallbank(),
+        tpcc(),
+        auction(),
+        ycsb_t(YcsbtConfig::default()),
+    ]
+    .into_iter()
+    .map(|workload| {
+        let edited = workload
+            .programs
+            .last()
+            .expect("non-empty workload")
+            .clone();
+        let full_session = RobustnessSession::new(workload);
+        let programs = full_session.program_names().len();
+        // The pre-edit state every sample rebases from: a completed sweep of the full mix.
+        explore_subsets_with(&full_session, settings, incremental);
+        let full_cache = (
+            settings,
+            full_session
+                .cached_sweep(settings)
+                .expect("populated cache"),
+        );
+
+        // Removal: drop the last program, re-sweep. Incremental = pure mask compaction.
+        let mut removed_session = full_session.clone();
+        removed_session.remove_program(edited.name()).unwrap();
+        let fresh_remove_us = median_us(RUNS, || {
+            explore_subsets(&removed_session, settings);
+        });
+        let (incremental_remove_us, remove_result) =
+            median_incremental_us(RUNS, &removed_session, &full_cache, incremental);
+
+        // Addition: from the removed state (with its completed sweep cached), re-add the
+        // program. Incremental sweeps only the containing subsets.
+        let removed_cache = (
+            settings,
+            removed_session
+                .cached_sweep(settings)
+                .expect("populated cache"),
+        );
+        let mut added_session = removed_session.clone();
+        added_session.add_program(edited.clone());
+        let fresh_add_us = median_us(RUNS, || {
+            explore_subsets(&added_session, settings);
+        });
+        let (incremental_add_us, add_result) =
+            median_incremental_us(RUNS, &added_session, &removed_cache, incremental);
+
+        EditBenchRow {
+            benchmark: full_session.workload().name.clone(),
+            programs,
+            edited_program: edited.name().to_string(),
+            fresh_remove_us,
+            incremental_remove_us,
+            remove_cycle_tests: remove_result.cycle_tests,
+            remove_reused: remove_result.reused,
+            fresh_add_us,
+            incremental_add_us,
+            add_cycle_tests: add_result.cycle_tests,
+            add_reused: add_result.reused,
+            threads: mvrc_par::planned_thread_count(),
+        }
+    })
+    .collect();
+
+    println!("== Edit re-sweep medians ({RUNS} runs): fresh vs incremental verdict reuse ==");
+    for row in &rows {
+        println!(
+            "  {:<10} -{:<16} fresh={:>8.1}µs  incr={:>8.1}µs ({} tests, {} reused)   \
+             +{:<16} fresh={:>8.1}µs  incr={:>8.1}µs ({} tests, {} reused)",
+            row.benchmark,
+            row.edited_program,
+            row.fresh_remove_us,
+            row.incremental_remove_us,
+            row.remove_cycle_tests,
+            row.remove_reused,
+            row.edited_program,
+            row.fresh_add_us,
+            row.incremental_add_us,
+            row.add_cycle_tests,
+            row.add_reused,
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");

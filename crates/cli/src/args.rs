@@ -41,6 +41,9 @@ pub enum Command {
         settings: AnalysisSettings,
         /// Output format.
         format: Format,
+        /// `--incremental --cache F`: reuse (and update) the verdicts of the previous run
+        /// stored in the snapshot file `F`, re-sweeping only subsets an edit invalidated.
+        cache: Option<String>,
     },
     /// `mvrc graph <workload>`: the summary graph as Graphviz DOT.
     Graph {
@@ -69,6 +72,9 @@ pub enum Command {
         workers: usize,
         /// Upper bound on shards per popcount level (default: `2 × workers`).
         shards_per_level: Option<usize>,
+        /// `--resume-from D`: reuse the verdict files of the completed prior run in directory
+        /// `D` (may equal `--dir`), dispatching only the subsets the workload edit invalidated.
+        resume_from: Option<String>,
     },
     /// `mvrc shard work --dir D --worker I`: run one worker process of a planned sweep.
     ShardWork {
@@ -119,9 +125,15 @@ OPTIONS:
     --labels      include statement labels on graph edges (graph)
     --threads N   pin the worker-pool size used by parallel sweeps (default: MVRC_THREADS
                   or the available parallelism); N must be at least 1
+    --incremental reuse the previous run's verdicts from the --cache snapshot, re-sweeping
+                  only subsets a workload edit invalidated (subsets; requires --cache)
+    --cache F     the snapshot file holding the previous run's verdicts; created on the first
+                  run, updated on every run (subsets; requires --incremental)
     --dir D       the shard directory shared by plan, work and merge (shard commands)
     --workers N   number of worker processes a shard plan fans out to (plan; default 2)
     --shards N    upper bound on shards per popcount level (plan; default 2 x workers)
+    --resume-from D  reuse the verdict files of the completed run in directory D — may equal
+                  --dir — so only edit-invalidated subsets are dispatched (plan)
     --worker I    this worker's index, 0-based (work)
     --wait-secs S barrier timeout while waiting for peer verdicts (work; default 120)
 
@@ -183,6 +195,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut shards_per_level: Option<usize> = None;
     let mut worker: Option<usize> = None;
     let mut wait_secs: Option<u64> = None;
+    let mut incremental = false;
+    let mut cache: Option<String> = None;
+    let mut resume_from: Option<String> = None;
 
     // Shared parser for `--flag <positive integer>` values.
     fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
@@ -220,6 +235,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .get(i)
                     .ok_or_else(|| CliError::Usage("`--dir` needs a directory".to_string()))?;
                 dir = Some((*path).to_string());
+            }
+            "--incremental" => incremental = true,
+            "--cache" => {
+                i += 1;
+                let path = rest.get(i).ok_or_else(|| {
+                    CliError::Usage("`--cache` needs a snapshot file path".to_string())
+                })?;
+                cache = Some((*path).to_string());
+            }
+            "--resume-from" => {
+                i += 1;
+                let path = rest.get(i).ok_or_else(|| {
+                    CliError::Usage("`--resume-from` needs a shard directory".to_string())
+                })?;
+                resume_from = Some((*path).to_string());
             }
             "--workers" => {
                 i += 1;
@@ -265,6 +295,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         dir.ok_or_else(|| CliError::Usage("`--dir <directory>` is required".to_string()))
     };
 
+    // `--incremental` and `--cache` only make sense together (and only for `subsets`).
+    if command == "subsets" {
+        match (incremental, &cache) {
+            (true, None) => {
+                return Err(CliError::Usage(
+                    "`--incremental` needs `--cache <snapshot file>` to reuse verdicts from"
+                        .to_string(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(CliError::Usage(
+                    "`--cache` only applies together with `--incremental`".to_string(),
+                ))
+            }
+            _ => {}
+        }
+    } else if incremental || cache.is_some() {
+        return Err(CliError::Usage(
+            "`--incremental`/`--cache` only apply to `subsets`".to_string(),
+        ));
+    }
+    if resume_from.is_some() && command != "shard plan" {
+        return Err(CliError::Usage(
+            "`--resume-from` only applies to `shard plan`".to_string(),
+        ));
+    }
+
     match command.as_str() {
         "analyze" => Ok(Command::Analyze {
             input: require_input(input)?,
@@ -275,6 +332,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             input: require_input(input)?,
             settings,
             format,
+            cache,
         }),
         "graph" => Ok(Command::Graph {
             input: require_input(input)?,
@@ -290,6 +348,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             dir: require_dir(dir)?,
             workers: workers.unwrap_or(2),
             shards_per_level,
+            resume_from,
         }),
         "shard work" => {
             if input.is_some() {
@@ -371,14 +430,59 @@ mod tests {
                 input,
                 settings,
                 format,
+                cache,
             } => {
                 assert_eq!(input, Input::Benchmark("smallbank".into()));
                 assert_eq!(settings.granularity, Granularity::Tuple);
                 assert!(!settings.use_foreign_keys);
                 assert_eq!(settings.condition, CycleCondition::TypeI);
                 assert_eq!(format, Format::Json);
+                assert_eq!(cache, None);
             }
             other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_subsets_require_and_carry_the_cache() {
+        let cmd = parse_args(&args(&[
+            "subsets",
+            "--benchmark",
+            "smallbank",
+            "--incremental",
+            "--cache",
+            "sb.mvrcsnap",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Subsets { cache: Some(ref c), .. } if c == "sb.mvrcsnap"
+        ));
+
+        // The two flags only work together, and only for `subsets`.
+        for bad in [
+            vec!["subsets", "--benchmark", "smallbank", "--incremental"],
+            vec![
+                "subsets",
+                "--benchmark",
+                "smallbank",
+                "--cache",
+                "sb.mvrcsnap",
+            ],
+            vec![
+                "analyze",
+                "--benchmark",
+                "smallbank",
+                "--incremental",
+                "--cache",
+                "f",
+            ],
+            vec!["subsets", "--benchmark", "smallbank", "--cache"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))),
+                "expected a usage error for {bad:?}"
+            );
         }
     }
 
@@ -411,15 +515,45 @@ mod tests {
                 dir,
                 workers,
                 shards_per_level,
+                resume_from,
             } => {
                 assert_eq!(input, Input::Benchmark("smallbank".into()));
                 assert_eq!(settings.granularity, Granularity::Tuple);
                 assert_eq!(dir, "/tmp/shards");
                 assert_eq!(workers, 3);
                 assert_eq!(shards_per_level, Some(8));
+                assert_eq!(resume_from, None);
             }
             other => panic!("unexpected command {other:?}"),
         }
+
+        let cmd = parse_args(&args(&[
+            "shard",
+            "plan",
+            "--benchmark",
+            "smallbank",
+            "--dir",
+            "d2",
+            "--resume-from",
+            "d1",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::ShardPlan { resume_from: Some(ref r), .. } if r == "d1"
+        ));
+        // `--resume-from` belongs to `shard plan` alone.
+        assert!(matches!(
+            parse_args(&args(&[
+                "shard",
+                "merge",
+                "--dir",
+                "d",
+                "--resume-from",
+                "d1"
+            ])),
+            Err(CliError::Usage(_))
+        ));
 
         let cmd = parse_args(&args(&["shard", "work", "--dir", "d", "--worker", "0"])).unwrap();
         assert_eq!(

@@ -6,8 +6,8 @@ use mvrc_benchmarks::Workload;
 use mvrc_btp::sql::parse_workload_file;
 use mvrc_btp::unfold_set_le2;
 use mvrc_robustness::{
-    abbreviate_program_name, explore_subsets, to_dot, AnalysisSettings, DotOptions,
-    RobustnessSession,
+    abbreviate_program_name, explore_subsets, explore_subsets_with, to_dot, AnalysisSettings,
+    DotOptions, ExploreOptions, RobustnessSession,
 };
 use std::fmt::Write as _;
 use std::fs;
@@ -41,7 +41,8 @@ pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
             input,
             settings,
             format,
-        } => subsets(&input, settings, format),
+            cache,
+        } => subsets(&input, settings, format, cache.as_deref()),
         Command::Graph {
             input,
             settings,
@@ -54,7 +55,15 @@ pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
             dir,
             workers,
             shards_per_level,
-        } => shard_plan(&input, settings, &dir, workers, shards_per_level),
+            resume_from,
+        } => shard_plan(
+            &input,
+            settings,
+            &dir,
+            workers,
+            shards_per_level,
+            resume_from.as_deref(),
+        ),
         Command::ShardWork {
             dir,
             worker,
@@ -167,9 +176,48 @@ fn subsets(
     input: &Input,
     settings: AnalysisSettings,
     format: Format,
+    cache: Option<&str>,
 ) -> Result<CommandOutput, CliError> {
     let session = RobustnessSession::new(load_workload(input)?);
-    let exploration = explore_subsets(&session, settings);
+    let exploration = match cache {
+        // `--incremental --cache F`: seed the session with the previous run's verdicts (a
+        // version-2 snapshot), sweep only what the edit invalidated, save the updated cache.
+        Some(cache_path) => {
+            if Path::new(cache_path).exists() {
+                let (prior, _) = mvrc_dist::open_snapshot(cache_path)
+                    .map_err(|e| CliError::Shard(e.to_string()))?;
+                if prior.workload().schema != session.workload().schema {
+                    return Err(CliError::Shard(format!(
+                        "cache `{cache_path}` was computed for a different schema; delete it \
+                         to start fresh"
+                    )));
+                }
+                if prior.workload().unfold != session.workload().unfold {
+                    return Err(CliError::Shard(format!(
+                        "cache `{cache_path}` was computed with different unfolding options; \
+                         delete it to start fresh"
+                    )));
+                }
+                // The entries carry their own program identities; the sweep below rebases
+                // them onto this workload's programs (mask compaction / bit expansion).
+                for (cached_settings, sweep) in prior.cached_sweeps() {
+                    session.install_cached_sweep(cached_settings, sweep);
+                }
+            }
+            let exploration = explore_subsets_with(
+                &session,
+                settings,
+                ExploreOptions {
+                    incremental: true,
+                    ..ExploreOptions::default()
+                },
+            );
+            mvrc_dist::save_snapshot(&session, cache_path)
+                .map_err(|e| CliError::Shard(e.to_string()))?;
+            exploration
+        }
+        None => explore_subsets(&session, settings),
+    };
     let workload = session.workload();
 
     let text = match format {
@@ -193,6 +241,14 @@ fn subsets(
                 exploration.cycle_tests, exploration.pruned
             )
             .unwrap();
+            if cache.is_some() {
+                writeln!(
+                    out,
+                    "reused verdicts: {} adopted from the --cache snapshot",
+                    exploration.reused
+                )
+                .unwrap();
+            }
             writeln!(out, "maximal robust subsets:").unwrap();
             writeln!(out, "  {}", exploration.render_maximal(&abbreviate)).unwrap();
             out
@@ -224,14 +280,21 @@ fn shard_plan(
     dir: &str,
     workers: usize,
     shards_per_level: Option<usize>,
+    resume_from: Option<&str>,
 ) -> Result<CommandOutput, CliError> {
     let session = RobustnessSession::new(load_workload(input)?);
     let mut options = mvrc_dist::PlanOptions::for_workers(workers);
     if let Some(shards) = shards_per_level {
         options.shards_per_level = shards;
     }
-    let plan = mvrc_dist::create_plan_dir(&session, settings, &options, Path::new(dir))
-        .map_err(|e| CliError::Shard(e.to_string()))?;
+    let plan = mvrc_dist::create_plan_dir_resuming(
+        &session,
+        settings,
+        &options,
+        Path::new(dir),
+        resume_from.map(Path::new),
+    )
+    .map_err(|e| CliError::Shard(e.to_string()))?;
 
     let mut out = String::new();
     writeln!(out, "shard directory: {dir}").unwrap();
@@ -260,6 +323,15 @@ fn shard_plan(
         plan.run_fingerprint
     )
     .unwrap();
+    if let Some(resume) = &plan.resume {
+        writeln!(
+            out,
+            "resume:          {} verdicts reused from run {:016x}; only undecided rank \
+             ranges are dispatched",
+            resume.reused, resume.prior_run_fingerprint
+        )
+        .unwrap();
+    }
     writeln!(
         out,
         "next:            start `mvrc shard work --dir {dir} --worker I` for every I in 0..{}, \
@@ -429,6 +501,7 @@ mod tests {
             input: Input::Benchmark("smallbank".into()),
             settings: AnalysisSettings::paper_default(),
             format: Format::Text,
+            cache: None,
         })
         .unwrap();
         assert_eq!(out.exit_code, 0);
@@ -439,6 +512,58 @@ mod tests {
                 out.text
             );
         }
+    }
+
+    #[test]
+    fn incremental_subsets_reuse_the_cache_snapshot() {
+        let cache = std::env::temp_dir().join(format!(
+            "mvrc-cli-cache-{}-{:?}.mvrcsnap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_file(&cache).ok();
+        let command = || Command::Subsets {
+            input: Input::Benchmark("smallbank".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+            cache: Some(cache.to_str().unwrap().to_string()),
+        };
+
+        // First run: nothing to reuse; the cache snapshot is created.
+        let first = execute(command()).unwrap();
+        assert!(first.text.contains("reused verdicts: 0"), "{}", first.text);
+        assert!(cache.exists());
+
+        // Second run over the unchanged workload: every verdict is adopted, zero cycle tests.
+        let second = execute(command()).unwrap();
+        assert!(
+            second.text.contains("cycle tests:     0 run"),
+            "{}",
+            second.text
+        );
+        assert!(
+            second.text.contains("reused verdicts: 31"),
+            "{}",
+            second.text
+        );
+        // Same maximal subsets either way.
+        let tail = |s: &str| {
+            s.split("maximal robust subsets:")
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(tail(&first.text), tail(&second.text));
+
+        // A cache computed for a different schema is refused, not silently reused.
+        let mismatched = execute(Command::Subsets {
+            input: Input::Benchmark("auction".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+            cache: Some(cache.to_str().unwrap().to_string()),
+        });
+        assert!(matches!(mismatched, Err(CliError::Shard(msg)) if msg.contains("schema")));
+        std::fs::remove_file(&cache).ok();
     }
 
     #[test]

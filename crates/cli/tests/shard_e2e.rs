@@ -119,6 +119,126 @@ fn two_worker_processes_reproduce_the_single_process_sweep() {
 }
 
 #[test]
+fn edit_then_resume_reuses_verdicts_across_real_processes() {
+    // Run 1: SmallBank minus WriteCheck (the workload file truncated before its last
+    // program), swept by two real worker processes. Run 2: the full workload, planned with
+    // `--resume-from` run 1 — its merge must be byte-identical to a fresh single-process
+    // `mvrc subsets --json`, and the resumed workers must only sweep the 2^4 = 16
+    // WriteCheck-containing subsets (never re-sweeping the reused verdict files).
+    let dir = scratch_dir("resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let full_sql = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads/smallbank.sql");
+    let reduced_sql = dir.join("smallbank_reduced.sql");
+    let full_text = std::fs::read_to_string(full_sql).unwrap();
+    let cut = full_text
+        .find("-- WriteCheck")
+        .expect("WriteCheck is the last program");
+    std::fs::write(&reduced_sql, &full_text[..cut]).unwrap();
+
+    let run = |workload: &str, run_dir: &std::path::Path, resume_from: Option<&std::path::Path>| {
+        let run_dir_str = run_dir.to_str().unwrap().to_string();
+        let mut plan_args = vec![
+            "shard".to_string(),
+            "plan".to_string(),
+            workload.to_string(),
+            "--dir".to_string(),
+            run_dir_str.clone(),
+            "--workers".to_string(),
+            "2".to_string(),
+        ];
+        if let Some(prior) = resume_from {
+            plan_args.push("--resume-from".to_string());
+            plan_args.push(prior.to_str().unwrap().to_string());
+        }
+        run_ok({
+            let mut c = mvrc();
+            c.args(&plan_args);
+            c
+        });
+        let children: Vec<_> = (0..2)
+            .map(|worker: usize| {
+                mvrc()
+                    .args([
+                        "shard",
+                        "work",
+                        "--dir",
+                        &run_dir_str,
+                        "--worker",
+                        &worker.to_string(),
+                        "--wait-secs",
+                        "60",
+                    ])
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::piped())
+                    .spawn()
+                    .expect("spawn shard work")
+            })
+            .collect();
+        let worker_out: Vec<String> = children
+            .into_iter()
+            .map(|child| {
+                let output = child.wait_with_output().expect("await shard work");
+                assert!(
+                    output.status.success(),
+                    "shard work failed:\nstderr: {}",
+                    String::from_utf8_lossy(&output.stderr)
+                );
+                String::from_utf8(output.stdout).unwrap()
+            })
+            .collect();
+        worker_out
+    };
+
+    let run1 = dir.join("run1");
+    let run2 = dir.join("run2");
+    run(reduced_sql.to_str().unwrap(), &run1, None);
+    let resumed_out = run(full_sql, &run2, Some(&run1));
+
+    // Counter assertion: the resumed workers together ran at most the containing-subsets
+    // count — the 15 reused verdicts were adopted, not re-swept.
+    let resumed_tests: usize = resumed_out
+        .iter()
+        .map(|out| {
+            let tail = out.split('(').nth(1).unwrap_or("");
+            tail.split(" cycle tests")
+                .next()
+                .unwrap()
+                .trim()
+                .parse::<usize>()
+                .unwrap()
+        })
+        .sum();
+    assert!(
+        resumed_tests <= 16,
+        "resumed run must only sweep WriteCheck-containing subsets, ran {resumed_tests}: {resumed_out:?}"
+    );
+
+    let merged = run_ok({
+        let mut c = mvrc();
+        c.args(["shard", "merge", "--dir", run2.to_str().unwrap(), "--json"]);
+        c
+    });
+    let single = run_ok({
+        let mut c = mvrc();
+        c.args(["subsets", full_sql, "--json"]);
+        c
+    });
+    assert_eq!(
+        merged, single,
+        "resumed merge must be byte-identical to the fresh single-process sweep"
+    );
+    // The fresh sweep runs strictly more cycle tests than the resumed workers did.
+    let value: serde_json::Value = serde_json::from_str(&single).unwrap();
+    let fresh_tests = value["exploration"]["cycle_tests"].as_u64().unwrap() as usize;
+    assert!(
+        resumed_tests < fresh_tests,
+        "{resumed_tests} vs {fresh_tests}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shard_work_reports_protocol_errors() {
     let dir = scratch_dir("errors");
     // No plan yet: work must fail cleanly with exit code 2 and a shard error.

@@ -85,10 +85,11 @@ pub use session::RobustnessSession;
 pub use settings::{AnalysisSettings, CycleCondition, Granularity};
 pub use subsets::{
     abbreviate_program_name, explore_subsets, explore_subsets_naive, explore_subsets_with,
-    level_size, plan_level_shards, ExploreOptions, RankRangeSweep, ShardCounters, ShardSpec,
-    SubsetExploration, SweepStrategy,
+    level_size, plan_level_shards, plan_range_shards, rebase_cached_sweep, undecided_level_runs,
+    CachedSweep, ExploreOptions, RankRangeSweep, ShardCounters, ShardSpec, SubsetExploration,
+    SweepSeed, SweepStrategy,
 };
 pub use summary::{
-    c_dep_conds, describe_edge_in, nc_dep_conds, EdgeKind, InducedView, NodeId, SummaryEdge,
-    SummaryGraph, SummaryGraphView, UnknownProgram,
+    c_dep_conds, describe_edge_in, nc_dep_conds, program_fingerprint, EdgeKind, InducedView,
+    NodeId, SummaryEdge, SummaryGraph, SummaryGraphView, UnknownProgram,
 };

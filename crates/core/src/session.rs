@@ -5,7 +5,8 @@
 use crate::algorithm::RobustnessOutcome;
 use crate::analysis::AnalysisReport;
 use crate::settings::{AnalysisSettings, CycleCondition, Granularity};
-use crate::summary::{SummaryGraph, UnknownProgram};
+use crate::subsets::CachedSweep;
+use crate::summary::{program_fingerprint, SummaryGraph, UnknownProgram};
 use mvrc_btp::{unfold, LinearProgram, Program, Workload};
 use mvrc_par::Parallelism;
 use mvrc_schema::Schema;
@@ -79,6 +80,11 @@ pub struct RobustnessSession {
     program_names: Vec<String>,
     ltps: Vec<LinearProgram>,
     cache: Mutex<HashMap<GraphKey, Arc<SummaryGraph>>>,
+    /// Verdicts of the last completed subset sweep per settings combination — the seed of the
+    /// incremental re-sweeps ([`crate::ExploreOptions::incremental`]). Entries are
+    /// self-describing (they carry their own program list and fingerprints), so workload edits
+    /// leave them untouched and the rebase happens lazily at the next incremental sweep.
+    sweeps: Mutex<HashMap<AnalysisSettings, CachedSweep>>,
     parallelism: Parallelism,
 }
 
@@ -98,6 +104,7 @@ impl RobustnessSession {
             program_names,
             ltps,
             cache: Mutex::new(HashMap::new()),
+            sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
         }
     }
@@ -130,6 +137,7 @@ impl RobustnessSession {
             program_names,
             ltps,
             cache: Mutex::new(HashMap::new()),
+            sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
         }
     }
@@ -197,6 +205,79 @@ impl RobustnessSession {
         entries.into_iter().map(|(_, graph)| graph).collect()
     }
 
+    /// Structural fingerprints of the programs' unfolded LTP sets, aligned with
+    /// [`program_names`](Self::program_names) — the identity [`CachedSweep`] entries match
+    /// programs by (see [`crate::program_fingerprint`]).
+    pub fn program_fingerprints(&self) -> Vec<u64> {
+        self.program_names
+            .iter()
+            .map(|name| program_fingerprint(self.ltps.iter().filter(|l| l.program_name() == name)))
+            .collect()
+    }
+
+    /// The cached verdicts of the last completed subset sweep under these settings, if any
+    /// incremental sweep ran ([`crate::ExploreOptions::incremental`]).
+    pub fn cached_sweep(&self, settings: AnalysisSettings) -> Option<CachedSweep> {
+        self.sweeps
+            .lock()
+            .expect("session sweep cache poisoned")
+            .get(&settings)
+            .cloned()
+    }
+
+    /// Installs (or replaces) a cached sweep for these settings. Called by the incremental
+    /// sweep after it completes, and by the `mvrc-dist` snapshot layer when reopening a
+    /// version-2 snapshot; external callers may also seed a session with the cache of a
+    /// *different* session over an identical schema — the entry carries its own program
+    /// identities and is rebased onto this session's programs at the next incremental sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the entry's bitset width does not match its own program count.
+    pub fn install_cached_sweep(&self, settings: AnalysisSettings, sweep: CachedSweep) {
+        assert_eq!(
+            sweep.robust.len(),
+            CachedSweep::word_count_for(sweep.programs.len()),
+            "cached sweep bitset width does not match its program count"
+        );
+        assert_eq!(
+            sweep.programs.len(),
+            sweep.program_fingerprints.len(),
+            "cached sweep program/fingerprint length mismatch"
+        );
+        self.sweeps
+            .lock()
+            .expect("session sweep cache poisoned")
+            .insert(settings, sweep);
+    }
+
+    /// Every cached sweep, in a deterministic settings order (attribute before tuple
+    /// granularity, no-FK before FK, type-I before type-II) — the serialization hook of the
+    /// `mvrc-dist` version-2 snapshot format.
+    pub fn cached_sweeps(&self) -> Vec<(AnalysisSettings, CachedSweep)> {
+        let sweeps = self.sweeps.lock().expect("session sweep cache poisoned");
+        let mut entries: Vec<(AnalysisSettings, CachedSweep)> = sweeps
+            .iter()
+            .map(|(settings, sweep)| (*settings, sweep.clone()))
+            .collect();
+        entries.sort_by_key(|(s, _)| {
+            (
+                matches!(s.granularity, Granularity::Tuple),
+                s.use_foreign_keys,
+                matches!(s.condition, CycleCondition::TypeII),
+            )
+        });
+        entries
+    }
+
+    /// Number of cached sweeps (one per settings combination swept incrementally so far).
+    pub fn cached_sweep_count(&self) -> usize {
+        self.sweeps
+            .lock()
+            .expect("session sweep cache poisoned")
+            .len()
+    }
+
     /// Reassembles a session from snapshot parts — the deserialization hook of the `mvrc-dist`
     /// snapshot layer.
     ///
@@ -233,6 +314,7 @@ impl RobustnessSession {
             program_names,
             ltps,
             cache: Mutex::new(cache),
+            sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
         }
     }
@@ -355,6 +437,12 @@ impl Clone for RobustnessSession {
             program_names: self.program_names.clone(),
             ltps: self.ltps.clone(),
             cache: Mutex::new(self.cache.lock().expect("session cache poisoned").clone()),
+            sweeps: Mutex::new(
+                self.sweeps
+                    .lock()
+                    .expect("session sweep cache poisoned")
+                    .clone(),
+            ),
             parallelism: self.parallelism,
         }
     }

@@ -60,6 +60,15 @@ pub struct ExploreOptions {
     pub closure_pruning: bool,
     /// Level traversal: streamed rank ranges (default) or the materializing oracle.
     pub strategy: SweepStrategy,
+    /// Reuse (and update) the session's [`CachedSweep`] for these settings: verdicts of the
+    /// last completed sweep are rebased onto the current program set — after
+    /// [`RobustnessSession::remove_program`] every surviving subset keeps its verdict verbatim
+    /// (zero cycle tests), after [`RobustnessSession::add_program`] only subsets containing
+    /// the new program are swept. Off by default so benchmarks and oracles always measure a
+    /// full sweep. (Not serialized: reuse is an execution detail; the result records it in
+    /// [`SubsetExploration::reused`].)
+    #[serde(skip)]
+    pub incremental: bool,
     /// How much of the pool the sweep may use. [`Parallelism::Auto`] defers to the session's
     /// [`RobustnessSession::parallelism`] setting; any other value overrides it for this call.
     /// (Not serialized: a thread cap is an execution detail, not part of the result's shape.)
@@ -73,6 +82,7 @@ impl Default for ExploreOptions {
             parallel_threshold: 64,
             closure_pruning: true,
             strategy: SweepStrategy::Streamed,
+            incremental: false,
             parallelism: Parallelism::Auto,
         }
     }
@@ -93,6 +103,10 @@ pub struct SubsetExploration {
     pub cycle_tests: usize,
     /// Number of subsets attested robust by downward-closure pruning alone.
     pub pruned: usize,
+    /// Number of subsets whose verdict was adopted from a previous sweep without being visited
+    /// at all ([`ExploreOptions::incremental`]); `0` on a fresh sweep. Every non-empty subset
+    /// is accounted for exactly once: `cycle_tests + pruned + reused == 2^n - 1`.
+    pub reused: usize,
     /// Number of level masks that were materialized into buffers before testing: `0` on the
     /// streamed path (the acceptance gauge for "no level is collected into a `Vec`"), the sum
     /// of the level sizes under [`SweepStrategy::Materialized`].
@@ -271,6 +285,191 @@ pub fn plan_level_shards(n: usize, level: usize, shards: usize) -> Vec<ShardSpec
         .collect()
 }
 
+/// Partitions a set of disjoint, ascending rank ranges at one level into at most `shards`
+/// contiguous, non-empty [`ShardSpec`]s of near-equal total size. Chunks that straddle a gap
+/// between ranges are split at the gap, so the spec count can exceed `shards` by at most the
+/// number of ranges. With a single range `(0, C(n, level))` this reproduces
+/// [`plan_level_shards`] exactly.
+pub fn plan_range_shards(level: usize, ranges: &[(usize, usize)], shards: usize) -> Vec<ShardSpec> {
+    let total: usize = ranges.iter().map(|(s, e)| e.saturating_sub(*s)).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, total);
+    let mut specs = Vec::new();
+    for s in 0..shards {
+        // The s-th near-equal chunk of the *virtual* concatenated rank space, mapped back
+        // onto the real ranges (one spec per overlapped range).
+        let (virt_start, virt_end) = (total * s / shards, total * (s + 1) / shards);
+        let mut offset = 0usize;
+        for &(start, end) in ranges {
+            let len = end - start;
+            let lo = virt_start.max(offset);
+            let hi = virt_end.min(offset + len);
+            if lo < hi {
+                specs.push(ShardSpec {
+                    level,
+                    rank_start: start + (lo - offset),
+                    rank_end: start + (hi - offset),
+                });
+            }
+            offset += len;
+        }
+    }
+    specs
+}
+
+/// The maximal contiguous runs of *undecided* ranks at one popcount level: walks the level's
+/// masks in colexicographic rank order and collects the ranges whose bit in `decided` is
+/// clear. `decided` uses the sweep's verdict-bitset addressing (mask `m` at bit `m % 64` of
+/// word `m / 64`). With an all-zero `decided` this is the single run `(0, C(n, level))`.
+pub fn undecided_level_runs(n: usize, level: usize, decided: &[u64]) -> Vec<(usize, usize)> {
+    let binomials = Binomials::new(n);
+    let size = binomials.c(n, level);
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    if size == 0 {
+        return runs;
+    }
+    let mut mask = unrank_colex(0, level, &binomials);
+    let mut open: Option<usize> = None;
+    for rank in 0..size {
+        let is_decided = decided[mask / 64] & (1u64 << (mask % 64)) != 0;
+        match (is_decided, open) {
+            (false, None) => open = Some(rank),
+            (true, Some(start)) => {
+                runs.push((start, rank));
+                open = None;
+            }
+            _ => {}
+        }
+        if rank + 1 < size {
+            mask = next_same_popcount(mask);
+        }
+    }
+    if let Some(start) = open {
+        runs.push((start, size));
+    }
+    runs
+}
+
+/// The verdicts of one completed subset sweep, as stored in a session's sweep cache: the
+/// program list the mask bits refer to (bit `i` ⇔ `programs[i]`), the structural
+/// [fingerprint](crate::program_fingerprint) of each program's LTP set, and the full robust
+/// bitset (mask `m` robust ⇔ bit `m % 64` of word `m / 64`).
+///
+/// A cached sweep is *self-describing*: it carries its own program identities, so it stays in
+/// the cache untouched across [`RobustnessSession::add_program`] /
+/// [`RobustnessSession::remove_program`] chains and is rebased onto the session's current
+/// program set only when the next incremental sweep runs ([`rebase_cached_sweep`]).
+/// Verdicts are independent of the pruning switch and the [`SweepStrategy`] (cross-checked in
+/// the test-suite), so one cache entry per [`AnalysisSettings`] combination suffices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedSweep {
+    /// The program names the mask bits refer to, in mask-bit order.
+    pub programs: Vec<String>,
+    /// Structural fingerprint of each program's unfolded LTP set, aligned with `programs`.
+    pub program_fingerprints: Vec<u64>,
+    /// The robust-verdict bitset over all `2^programs.len()` masks (`⌈2^n / 64⌉` words).
+    pub robust: Vec<u64>,
+}
+
+impl CachedSweep {
+    /// Number of `u64` words the bitsets of a sweep over `n` programs need.
+    pub fn word_count_for(n: usize) -> usize {
+        (1usize << n).div_ceil(64)
+    }
+}
+
+/// Verdicts carried into a sweep from a previous run: the robust bits to adopt and the
+/// `decided` bitset saying which masks already have a verdict (robust or not) and must not be
+/// re-tested. Produced by [`rebase_cached_sweep`]; consumed by [`RankRangeSweep::apply_seed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSeed {
+    /// Robust bits to adopt (a subset of `decided`).
+    pub robust: Vec<u64>,
+    /// Masks with a known verdict; the sweep visits only the complement.
+    pub decided: Vec<u64>,
+    /// Number of non-empty masks in `decided` — the [`SubsetExploration::reused`] count.
+    pub reused: usize,
+}
+
+/// Rebases a [`CachedSweep`] onto the current program set, yielding the [`SweepSeed`] of
+/// verdicts that carry over. Programs are matched by *(name, structural fingerprint)* — a
+/// same-named program whose body changed is treated as removed-and-re-added, so its subsets
+/// are re-swept.
+///
+/// Soundness: a subset verdict depends only on the induced subgraph over the subset's LTP
+/// nodes, and Algorithm 1 edges are pairwise — edits only add or drop rows touching edited
+/// programs, so the induced subgraph over any surviving subset is *equal* before and after
+/// the edit and its verdict transfers verbatim. Concretely, every old mask using only
+/// surviving programs is re-numbered into the new bit order (a pure mask compaction after
+/// removals, a bit expansion after additions); masks containing an added program are left
+/// undecided. Returns `None` when nothing carries over (no surviving program, or the word
+/// sizes are inconsistent).
+pub fn rebase_cached_sweep(
+    cached: &CachedSweep,
+    programs: &[String],
+    program_fingerprints: &[u64],
+) -> Option<SweepSeed> {
+    let old_n = cached.programs.len();
+    assert_eq!(
+        cached.programs.len(),
+        cached.program_fingerprints.len(),
+        "cached sweep program/fingerprint length mismatch"
+    );
+    assert_eq!(
+        programs.len(),
+        program_fingerprints.len(),
+        "program/fingerprint length mismatch"
+    );
+    if old_n > 20
+        || programs.len() > 20
+        || cached.robust.len() != CachedSweep::word_count_for(old_n)
+    {
+        return None;
+    }
+    // Old bit index -> new bit index for programs surviving the edit (matched by name *and*
+    // structural fingerprint).
+    let mapping: Vec<Option<usize>> = cached
+        .programs
+        .iter()
+        .zip(&cached.program_fingerprints)
+        .map(|(name, fp)| {
+            programs
+                .iter()
+                .zip(program_fingerprints)
+                .position(|(n, f)| n == name && f == fp)
+        })
+        .collect();
+    if !mapping.iter().any(Option::is_some) {
+        return None;
+    }
+    let words = CachedSweep::word_count_for(programs.len());
+    let mut seed = SweepSeed {
+        robust: vec![0u64; words],
+        decided: vec![0u64; words],
+        reused: 0,
+    };
+    'masks: for mask in 1usize..(1 << old_n) {
+        let mut new_mask = 0usize;
+        for (i, target) in mapping.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                match target {
+                    Some(j) => new_mask |= 1 << j,
+                    // The mask uses a program that did not survive: nothing to carry over.
+                    None => continue 'masks,
+                }
+            }
+        }
+        seed.decided[new_mask / 64] |= 1u64 << (new_mask % 64);
+        seed.reused += 1;
+        if cached.robust[mask / 64] & (1u64 << (mask % 64)) != 0 {
+            seed.robust[new_mask / 64] |= 1u64 << (new_mask % 64);
+        }
+    }
+    Some(seed)
+}
+
 /// The resumable core of the subset sweep: a session-backed cycle tester over the shared
 /// summary graph plus the atomic verdict bitset, addressed by [`ShardSpec`] rank ranges.
 ///
@@ -293,6 +492,9 @@ pub struct RankRangeSweep {
     nodes_per_program: Vec<Vec<NodeId>>,
     binomials: Binomials,
     bits: Vec<AtomicU64>,
+    /// Masks whose verdict was adopted from a seed ([`Self::apply_seed`]): visited shards skip
+    /// them without a cycle test or a pruning decision. `None` on a fresh sweep.
+    decided: Option<Vec<u64>>,
 }
 
 impl RankRangeSweep {
@@ -337,6 +539,73 @@ impl RankRangeSweep {
             nodes_per_program,
             binomials: Binomials::new(n),
             bits: (0..total.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            decided: None,
+        }
+    }
+
+    /// Adopts the verdicts of a [`SweepSeed`] (produced by [`rebase_cached_sweep`] or read
+    /// from a shard-run seed file): the seed's robust bits are OR'd into the verdict bitset
+    /// and its `decided` masks are skipped by every subsequent [`run_shard`](Self::run_shard)
+    /// call — no cycle test, no pruning decision, zero counter deltas. Must be applied before
+    /// any shard runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the seed's word counts do not match [`word_count`](Self::word_count).
+    pub fn apply_seed(&mut self, seed: &SweepSeed) {
+        assert_eq!(
+            seed.decided.len(),
+            self.bits.len(),
+            "seed decided word count mismatch: got {}, sweep has {}",
+            seed.decided.len(),
+            self.bits.len()
+        );
+        self.or_verdict_words(&seed.robust);
+        self.decided = Some(seed.decided.clone());
+    }
+
+    /// The contiguous rank ranges at `level` that still need visiting: the whole level
+    /// `[(0, C(n, level))]` on a fresh sweep, the complement of the seeded `decided` masks
+    /// after [`apply_seed`](Self::apply_seed) (empty when every mask of the level already has
+    /// a verdict).
+    pub fn undecided_runs(&self, level: usize) -> Vec<(usize, usize)> {
+        match &self.decided {
+            None => {
+                let size = self.level_size(level);
+                if size == 0 {
+                    Vec::new()
+                } else {
+                    vec![(0, size)]
+                }
+            }
+            Some(decided) => undecided_level_runs(self.programs.len(), level, decided),
+        }
+    }
+
+    /// The counters a *fresh* single-process sweep over the final verdict set would report —
+    /// a pure function of the verdict bits: with pruning on, a mask is pruned exactly when one
+    /// of its one-bit supersets is robust (the supersets' verdicts are fully published before
+    /// the mask's level runs, so the fresh sweep's decision reads the same bits). This is what
+    /// lets a resumed shard run's merge reproduce the fresh sweep's accounting byte for byte
+    /// without re-running any cycle test.
+    pub fn counters_as_fresh(&self) -> ShardCounters {
+        let n = self.programs.len();
+        let total = 1usize << n;
+        if !self.closure_pruning {
+            return ShardCounters {
+                cycle_tests: total - 1,
+                pruned: 0,
+            };
+        }
+        let mut pruned = 0usize;
+        for mask in 1..total {
+            if (0..n).any(|i| mask & (1 << i) == 0 && self.is_marked(mask | (1 << i))) {
+                pruned += 1;
+            }
+        }
+        ShardCounters {
+            cycle_tests: total - 1 - pruned,
+            pruned,
         }
     }
 
@@ -408,9 +677,20 @@ impl RankRangeSweep {
         }
     }
 
-    /// Decides one mask: inherit through Proposition 5.2 or run the cycle test on an induced
-    /// view. `members` is a reusable scratch buffer. Returns the counter deltas.
+    #[inline]
+    fn is_decided(&self, mask: usize) -> bool {
+        self.decided
+            .as_ref()
+            .is_some_and(|d| d[mask / 64] & (1u64 << (mask % 64)) != 0)
+    }
+
+    /// Decides one mask: adopt a seeded verdict (zero deltas), inherit through Proposition 5.2
+    /// or run the cycle test on an induced view. `members` is a reusable scratch buffer.
+    /// Returns the counter deltas.
     fn visit_mask(&self, mask: usize, members: &mut Vec<NodeId>) -> ShardCounters {
+        if self.is_decided(mask) {
+            return ShardCounters::default();
+        }
         let n = self.programs.len();
         let inherited = self.closure_pruning
             && (0..n).any(|i| mask & (1 << i) == 0 && self.is_marked(mask | (1 << i)));
@@ -468,9 +748,15 @@ impl RankRangeSweep {
         counters
     }
 
-    /// Assembles the final [`SubsetExploration`] from the current verdict bits and the summed
-    /// counters of every shard that contributed (across chunks, shards or processes).
-    pub fn exploration(&self, counters: ShardCounters, masks_buffered: usize) -> SubsetExploration {
+    /// Assembles the final [`SubsetExploration`] from the current verdict bits, the summed
+    /// counters of every shard that contributed (across chunks, shards or processes) and the
+    /// number of verdicts adopted from a seed without a visit.
+    pub fn exploration(
+        &self,
+        counters: ShardCounters,
+        masks_buffered: usize,
+        reused: usize,
+    ) -> SubsetExploration {
         let n = self.programs.len();
         let total = 1usize << n;
         let mut robust: Vec<Vec<usize>> = (1..total)
@@ -486,6 +772,7 @@ impl RankRangeSweep {
             maximal,
             cycle_tests: counters.cycle_tests,
             pruned: counters.pruned,
+            reused,
             masks_buffered,
         }
     }
@@ -523,8 +810,26 @@ pub fn explore_subsets_with(
     settings: AnalysisSettings,
     options: ExploreOptions,
 ) -> SubsetExploration {
-    let sweep = RankRangeSweep::new(session, settings, options.closure_pruning);
+    let mut sweep = RankRangeSweep::new(session, settings, options.closure_pruning);
     let n = sweep.program_count();
+
+    // Incremental mode: rebase the session's cached verdicts (the last completed sweep under
+    // these settings) onto the current program set and adopt them as a seed — the sweep then
+    // only visits masks no previous sweep decided. The fingerprints double as the identity of
+    // the updated cache entry installed below.
+    let mut reused = 0usize;
+    let fingerprints = if options.incremental {
+        let fps = session.program_fingerprints();
+        if let Some(cached) = session.cached_sweep(settings) {
+            if let Some(seed) = rebase_cached_sweep(&cached, session.program_names(), &fps) {
+                reused = seed.reused;
+                sweep.apply_seed(&seed);
+            }
+        }
+        Some(fps)
+    } else {
+        None
+    };
 
     let total = 1usize << n;
     let parallelism = if total >= options.parallel_threshold {
@@ -555,33 +860,40 @@ pub fn explore_subsets_with(
     let mut totals = ShardCounters::default();
     let mut masks_buffered = 0usize;
     for level in (1..=n).rev() {
-        let level_len = sweep.level_size(level);
+        // On a fresh sweep this is the single run `(0, C(n, level))`; a seeded sweep only
+        // visits the ranks no previous sweep decided (possibly none).
+        let runs = sweep.undecided_runs(level);
+        if runs.is_empty() {
+            continue;
+        }
         match options.strategy {
             SweepStrategy::Streamed => {
-                // Fold over the level's rank space: each chunk unranks its first mask once and
+                // Fold over each run's rank range: every chunk unranks its first mask once and
                 // then steps with Gosper's hack — no level buffer exists anywhere. The grain
                 // hint keeps chunks large enough to amortize the unranking.
-                let counters = fold_chunks(
-                    0..level_len,
-                    parallelism,
-                    4,
-                    ShardCounters::default,
-                    |acc, chunk| {
-                        acc.merged(sweep.run_shard(ShardSpec {
-                            level,
-                            rank_start: chunk.start,
-                            rank_end: chunk.end,
-                        }))
-                    },
-                    ShardCounters::merged,
-                );
-                totals = totals.merged(counters);
+                for &(run_start, run_end) in &runs {
+                    let counters = fold_chunks(
+                        run_start..run_end,
+                        parallelism,
+                        4,
+                        ShardCounters::default,
+                        |acc, chunk| {
+                            acc.merged(sweep.run_shard(ShardSpec {
+                                level,
+                                rank_start: chunk.start,
+                                rank_end: chunk.end,
+                            }))
+                        },
+                        ShardCounters::merged,
+                    );
+                    totals = totals.merged(counters);
+                }
             }
             SweepStrategy::Sharded => {
-                // The coordinator shape: partition the level eagerly into `ShardSpec`s, fan
-                // the shard list out. (The shard list is O(shards), not O(level) — the masks
-                // themselves are still never materialized.)
-                let shards = plan_level_shards(n, level, shards_per_level);
+                // The coordinator shape: partition the level's undecided runs eagerly into
+                // `ShardSpec`s, fan the shard list out. (The shard list is O(shards), not
+                // O(level) — the masks themselves are still never materialized.)
+                let shards = plan_range_shards(level, &runs, shards_per_level);
                 let counters = fold_chunks(
                     0..shards.len(),
                     parallelism,
@@ -598,14 +910,16 @@ pub fn explore_subsets_with(
                 totals = totals.merged(counters);
             }
             SweepStrategy::Materialized => {
-                // The pre-runtime oracle: collect the level's masks, partition into inherited
-                // and to-test, fan the tests out eagerly.
-                let mut masks = Vec::with_capacity(level_len);
-                let mut mask = unrank_colex(0, level, &sweep.binomials);
-                for rank in 0..level_len {
-                    masks.push(mask);
-                    if rank + 1 < level_len {
-                        mask = next_same_popcount(mask);
+                // The pre-runtime oracle: collect the (undecided) masks, partition into
+                // inherited and to-test, fan the tests out eagerly.
+                let mut masks = Vec::new();
+                for &(run_start, run_end) in &runs {
+                    let mut mask = unrank_colex(run_start, level, &sweep.binomials);
+                    for rank in run_start..run_end {
+                        masks.push(mask);
+                        if rank + 1 < run_end {
+                            mask = next_same_popcount(mask);
+                        }
                     }
                 }
                 masks_buffered += masks.len();
@@ -640,7 +954,18 @@ pub fn explore_subsets_with(
         }
     }
 
-    sweep.exploration(totals, masks_buffered)
+    let exploration = sweep.exploration(totals, masks_buffered, reused);
+    if let Some(program_fingerprints) = fingerprints {
+        session.install_cached_sweep(
+            settings,
+            CachedSweep {
+                programs: session.program_names().to_vec(),
+                program_fingerprints,
+                robust: sweep.verdict_words(),
+            },
+        );
+    }
+    exploration
 }
 
 /// The pre-refactor subset exploration: reconstructs a full summary graph per subset, serially,
@@ -694,6 +1019,7 @@ pub fn explore_subsets_naive(
         maximal,
         cycle_tests: (1 << n) - 1,
         pruned: 0,
+        reused: 0,
         masks_buffered: 0,
     }
 }
@@ -917,7 +1243,7 @@ mod tests {
                 }));
             }
         }
-        let exploration = sweep.exploration(totals, 0);
+        let exploration = sweep.exploration(totals, 0, 0);
         assert_eq!(exploration.robust, reference.robust);
         assert_eq!(exploration.maximal, reference.maximal);
         assert_eq!(exploration.cycle_tests, reference.cycle_tests);
@@ -952,7 +1278,7 @@ mod tests {
                 rank_end: rest.level_size(level),
             }));
         }
-        let exploration = rest.exploration(totals, 0);
+        let exploration = rest.exploration(totals, 0, 0);
         let reference = explore_subsets(&session, settings);
         assert_eq!(exploration.robust, reference.robust);
         assert_eq!(exploration.cycle_tests, reference.cycle_tests);

@@ -30,11 +30,14 @@ pub mod shard;
 pub mod snapshot;
 
 pub use shard::{
-    build_plan, create_plan_dir, merge_verdicts, plan_path, read_plan, run_worker, snapshot_path,
-    verdict_path, LevelPlan, MergeReport, PlanOptions, PlannedShard, ShardError, ShardPlan,
-    VerdictFile, WorkerReport, PLAN_FILE, SNAPSHOT_FILE, VERDICT_FORMAT_VERSION, VERDICT_MAGIC,
+    build_plan, create_plan_dir, create_plan_dir_resuming, merge_verdicts, plan_path, read_plan,
+    run_worker, seed_path, snapshot_path, verdict_path, LevelPlan, MergeReport, PlanOptions,
+    PlannedShard, ResumeInfo, ShardError, ShardPlan, VerdictFile, WorkerReport, PLAN_FILE,
+    SEED_FILE, SEED_FORMAT_VERSION, SEED_MAGIC, SNAPSHOT_FILE, VERDICT_FORMAT_VERSION,
+    VERDICT_MAGIC,
 };
 pub use snapshot::{
     open_snapshot, open_snapshot_expecting, save_snapshot, session_from_snapshot_bytes,
     snapshot_to_bytes, SessionSnapshotExt, SnapshotError, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+    SNAPSHOT_MIN_FORMAT_VERSION,
 };

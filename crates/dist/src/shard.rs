@@ -27,8 +27,9 @@
 use crate::codec::{fnv64, Reader, Writer};
 use crate::snapshot::{open_snapshot_expecting, save_snapshot, SnapshotError};
 use mvrc_robustness::{
-    level_size, plan_level_shards, AnalysisSettings, CycleCondition, Granularity, RankRangeSweep,
-    RobustnessSession, ShardCounters, ShardSpec, SubsetExploration,
+    level_size, plan_level_shards, plan_range_shards, rebase_cached_sweep, undecided_level_runs,
+    AnalysisSettings, CachedSweep, CycleCondition, Granularity, RankRangeSweep, RobustnessSession,
+    ShardCounters, ShardSpec, SubsetExploration, SweepSeed,
 };
 use serde_json::Value;
 use std::fmt;
@@ -41,11 +42,22 @@ pub const VERDICT_MAGIC: [u8; 8] = *b"MVRCVERD";
 /// The current verdict-file format version.
 pub const VERDICT_FORMAT_VERSION: u32 = 1;
 
+/// The 8-byte magic at offset 0 of a resume seed file.
+pub const SEED_MAGIC: [u8; 8] = *b"MVRCSEED";
+
+/// The current seed-file format version.
+pub const SEED_FORMAT_VERSION: u32 = 1;
+
 /// File name of the snapshot inside a shard directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.mvrcsnap";
 
 /// File name of the plan inside a shard directory.
 pub const PLAN_FILE: &str = "plan.json";
+
+/// File name of the resume seed inside a shard directory (only present for resumed runs).
+/// Uses the `.verdicts` extension so re-planning a directory cleans it up with the per-level
+/// verdict files.
+pub const SEED_FILE: &str = "seed.verdicts";
 
 /// Errors of the shard protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,12 +160,27 @@ impl PlanOptions {
     }
 }
 
+/// How a resumed plan reuses a prior run: the seed file's content fingerprint, the number of
+/// verdicts it carries, and the prior run it was distilled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// FNV-1a over the seed's canonical content (reused count + robust + decided words);
+    /// folded into the run fingerprint, so verdict files of a resumed run can never merge
+    /// with a differently seeded one.
+    pub seed_fingerprint: u64,
+    /// Number of non-empty masks whose verdict the seed carries over.
+    pub reused: usize,
+    /// Run fingerprint of the prior run the seed's verdicts were merged from.
+    pub prior_run_fingerprint: u64,
+}
+
 /// A complete coordinator plan: identity (fingerprints), analysis configuration and the
 /// per-level shard partition, in the descending level order workers must follow.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     /// Fingerprint binding verdict files to this run: snapshot fingerprint ⊕ settings ⊕
-    /// pruning switch ⊕ worker count (FNV-1a over their canonical encoding).
+    /// pruning switch ⊕ worker count ⊕ (for resumed runs) the seed fingerprint (FNV-1a over
+    /// their canonical encoding).
     pub run_fingerprint: u64,
     /// Fingerprint of the snapshot file workers must open.
     pub snapshot_fingerprint: u64,
@@ -167,7 +194,12 @@ pub struct ShardPlan {
     pub closure_pruning: bool,
     /// Number of worker processes.
     pub workers: usize,
-    /// The levels in descending popcount order, each partitioned into shards.
+    /// `Some` when this run resumes a prior run: workers adopt the seed's verdicts and the
+    /// levels below only cover the *undecided* rank ranges.
+    pub resume: Option<ResumeInfo>,
+    /// The levels in descending popcount order, each partitioned into shards. For a fresh run
+    /// every level's shards partition its whole rank space `0..C(n, level)`; for a resumed
+    /// run they tile exactly the undecided runs of the seed (possibly none).
     pub levels: Vec<LevelPlan>,
 }
 
@@ -187,15 +219,18 @@ impl ShardPlan {
     }
 }
 
-/// The run fingerprint: FNV-1a over the snapshot fingerprint, settings, pruning switch and
-/// worker count. The worker count participates because merge reads exactly one verdict file
-/// per `(level, worker ∈ 0..workers)` — files from a differently-fanned-out earlier run must
-/// not satisfy that schema by accident.
+/// The run fingerprint: FNV-1a over the snapshot fingerprint, settings, pruning switch,
+/// worker count and — for resumed runs — the seed fingerprint. The worker count participates
+/// because merge reads exactly one verdict file per `(level, worker ∈ 0..workers)` — files
+/// from a differently-fanned-out earlier run must not satisfy that schema by accident; the
+/// seed fingerprint participates because a resumed run's files only hold the bits the seed
+/// did *not* carry.
 fn run_fingerprint(
     snapshot_fingerprint: u64,
     settings: AnalysisSettings,
     pruning: bool,
     workers: usize,
+    seed_fingerprint: Option<u64>,
 ) -> u64 {
     let mut w = Writer::new();
     w.u64(snapshot_fingerprint);
@@ -210,6 +245,13 @@ fn run_fingerprint(
     });
     w.bool(pruning);
     w.u64(workers as u64);
+    match seed_fingerprint {
+        None => w.bool(false),
+        Some(fp) => {
+            w.bool(true);
+            w.u64(fp);
+        }
+    }
     fnv64(&w.into_bytes())
 }
 
@@ -251,6 +293,7 @@ pub fn build_plan(
             settings,
             options.closure_pruning,
             workers,
+            None,
         ),
         snapshot_fingerprint,
         workload: session.workload().name.clone(),
@@ -258,6 +301,67 @@ pub fn build_plan(
         settings,
         closure_pruning: options.closure_pruning,
         workers,
+        resume: None,
+        levels,
+    }
+}
+
+/// Builds the plan of a *resumed* run: levels cover only the rank ranges the seed leaves
+/// undecided, so the fan-out dispatches exactly the subsets an edit invalidated (after a pure
+/// removal: none at all).
+fn build_resume_plan(
+    session: &RobustnessSession,
+    settings: AnalysisSettings,
+    options: &PlanOptions,
+    snapshot_fingerprint: u64,
+    seed: &SweepSeed,
+    seed_fingerprint: u64,
+    prior_run_fingerprint: u64,
+) -> ShardPlan {
+    let n = session.program_names().len();
+    assert!(
+        n <= 20,
+        "subset exploration is exponential; {n} programs is too many"
+    );
+    let workers = options.workers.max(1);
+    let levels: Vec<LevelPlan> = (1..=n)
+        .rev()
+        .map(|level| {
+            let runs = undecided_level_runs(n, level, &seed.decided);
+            let shards = plan_range_shards(level, &runs, options.shards_per_level.max(1))
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| PlannedShard {
+                    spec,
+                    worker: i % workers,
+                })
+                .collect();
+            LevelPlan {
+                level,
+                size: level_size(n, level),
+                shards,
+            }
+        })
+        .collect();
+    ShardPlan {
+        run_fingerprint: run_fingerprint(
+            snapshot_fingerprint,
+            settings,
+            options.closure_pruning,
+            workers,
+            Some(seed_fingerprint),
+        ),
+        snapshot_fingerprint,
+        workload: session.workload().name.clone(),
+        programs: n,
+        settings,
+        closure_pruning: options.closure_pruning,
+        workers,
+        resume: Some(ResumeInfo {
+            seed_fingerprint,
+            reused: seed.reused,
+            prior_run_fingerprint,
+        }),
         levels,
     }
 }
@@ -277,6 +381,11 @@ pub fn verdict_path(dir: &Path, level: usize, worker: usize) -> PathBuf {
     dir.join(format!("level_{level:02}.worker_{worker}.verdicts"))
 }
 
+/// Path of the resume seed file inside a shard directory.
+pub fn seed_path(dir: &Path) -> PathBuf {
+    dir.join(SEED_FILE)
+}
+
 /// The coordinator entry point: caches the summary graph for `settings` in the session,
 /// saves the snapshot and the plan into `dir` (created if needed) and returns the plan.
 ///
@@ -289,6 +398,37 @@ pub fn create_plan_dir(
     options: &PlanOptions,
     dir: &Path,
 ) -> Result<ShardPlan, ShardError> {
+    create_plan_dir_resuming(session, settings, options, dir, None)
+}
+
+/// [`create_plan_dir`] with an optional **resume source**: the shard directory of a prior,
+/// *completed* run over an edited variant of the same workload (identical schema and
+/// unfolding options; programs may have been added, removed, reordered or renamed).
+///
+/// The coordinator re-validates and merges the prior run's per-level `MVRCVERD` verdict files
+/// (re-checking every file's run fingerprint, and folding in the prior run's own seed when it
+/// was itself resumed), rebases the merged verdicts onto the session's current program set —
+/// programs are matched by name *and* structural LTP fingerprint, so a same-named program
+/// whose body changed is re-swept — and writes the carried-over verdicts into `dir` as a
+/// [`SEED_FILE`] bound to the new run fingerprint. The plan's levels then cover only the
+/// *undecided* rank ranges: after a pure removal no shard is dispatched at all; after an
+/// addition only the subsets containing the new program are swept.
+///
+/// `prior` may be the same directory as `dir` (the prior artifacts are read before the
+/// directory is cleaned). When nothing carries over (disjoint program sets), the plan falls
+/// back to a fresh full-range run.
+pub fn create_plan_dir_resuming(
+    session: &RobustnessSession,
+    settings: AnalysisSettings,
+    options: &PlanOptions,
+    dir: &Path,
+    prior: Option<&Path>,
+) -> Result<ShardPlan, ShardError> {
+    // Read the resume source *before* cleaning the target: `prior` may be `dir` itself.
+    let seed = match prior {
+        Some(prior_dir) => prepare_resume_seed(session, settings, prior_dir)?,
+        None => None,
+    };
     std::fs::create_dir_all(dir).map_err(|e| ShardError::Io {
         path: dir.display().to_string(),
         message: e.to_string(),
@@ -310,10 +450,76 @@ pub fn create_plan_dir(
     // Algorithm 1 edges per process.
     session.graph(settings);
     let snapshot_fingerprint = save_snapshot(session, snapshot_path(dir))?;
-    let plan = build_plan(session, settings, options, snapshot_fingerprint);
+    let plan = match seed {
+        None => build_plan(session, settings, options, snapshot_fingerprint),
+        Some((seed, prior_run_fingerprint)) => {
+            let seed_fingerprint = seed_content_fingerprint(&seed);
+            let plan = build_resume_plan(
+                session,
+                settings,
+                options,
+                snapshot_fingerprint,
+                &seed,
+                seed_fingerprint,
+                prior_run_fingerprint,
+            );
+            write_atomically(&seed_path(dir), &encode_seed(plan.run_fingerprint, &seed))?;
+            plan
+        }
+    };
     let json = serde_json::to_string_pretty(&plan_to_json(&plan)).expect("plan serializes");
     write_atomically(&plan_path(dir), json.as_bytes())?;
     Ok(plan)
+}
+
+/// Distills a prior run's artifacts into the [`SweepSeed`] of a resumed run: merges its
+/// verdict files (and its own seed, when the prior run was itself resumed) into the full
+/// verdict set over the prior program order, then rebases that set onto the session's current
+/// programs. Returns `Ok(None)` when no program survived the edit.
+fn prepare_resume_seed(
+    session: &RobustnessSession,
+    settings: AnalysisSettings,
+    prior_dir: &Path,
+) -> Result<Option<(SweepSeed, u64)>, ShardError> {
+    let prior_plan = read_plan(prior_dir)?;
+    if prior_plan.settings != settings {
+        return Err(ShardError::Protocol(format!(
+            "resume requires matching analysis settings: the prior run used `{}`, this plan \
+             uses `{}`",
+            prior_plan.settings, settings
+        )));
+    }
+    let prior_session =
+        open_snapshot_expecting(snapshot_path(prior_dir), prior_plan.snapshot_fingerprint)?;
+    if prior_session.workload().schema != session.workload().schema {
+        return Err(ShardError::Protocol(
+            "resume requires an identical schema; plan from scratch instead".to_string(),
+        ));
+    }
+    if prior_session.workload().unfold != session.workload().unfold {
+        return Err(ShardError::Protocol(
+            "resume requires identical unfolding options; plan from scratch instead".to_string(),
+        ));
+    }
+    let word_count = CachedSweep::word_count_for(prior_plan.programs);
+    let (mut robust, _counters) = read_all_verdicts(prior_dir, &prior_plan, word_count)?;
+    if let Some(info) = &prior_plan.resume {
+        let prior_seed = read_seed(prior_dir, &prior_plan, info, word_count)?;
+        for (slot, word) in robust.iter_mut().zip(&prior_seed.seed.robust) {
+            *slot |= word;
+        }
+    }
+    let cached = CachedSweep {
+        programs: prior_session.program_names().to_vec(),
+        program_fingerprints: prior_session.program_fingerprints(),
+        robust,
+    };
+    Ok(rebase_cached_sweep(
+        &cached,
+        session.program_names(),
+        &session.program_fingerprints(),
+    )
+    .map(|seed| (seed, prior_plan.run_fingerprint)))
 }
 
 fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), ShardError> {
@@ -364,7 +570,7 @@ fn plan_to_json(plan: &ShardPlan) -> Value {
             CycleCondition::TypeII => "type-ii",
         },
     });
-    serde_json::json!({
+    let mut value = serde_json::json!({
         "format_version": 1u64,
         "run_fingerprint": format!("{:016x}", plan.run_fingerprint),
         "snapshot_fingerprint": format!("{:016x}", plan.snapshot_fingerprint),
@@ -375,7 +581,19 @@ fn plan_to_json(plan: &ShardPlan) -> Value {
         "closure_pruning": plan.closure_pruning,
         "workers": plan.workers,
         "levels": Value::Array(levels),
-    })
+    });
+    if let (Some(resume), Value::Object(entries)) = (&plan.resume, &mut value) {
+        entries.push((
+            "resume".to_string(),
+            serde_json::json!({
+                "seed": SEED_FILE,
+                "seed_fingerprint": format!("{:016x}", resume.seed_fingerprint),
+                "reused": resume.reused,
+                "prior_run_fingerprint": format!("{:016x}", resume.prior_run_fingerprint),
+            }),
+        ));
+    }
+    value
 }
 
 fn json_u64(value: &Value, key: &str) -> Result<u64, ShardError> {
@@ -474,6 +692,15 @@ fn plan_from_json(value: &Value) -> Result<ShardPlan, ShardError> {
         });
     }
 
+    let resume = match &value["resume"] {
+        Value::Null => None,
+        resume_value => Some(ResumeInfo {
+            seed_fingerprint: json_fingerprint(resume_value, "seed_fingerprint")?,
+            reused: json_u64(resume_value, "reused")? as usize,
+            prior_run_fingerprint: json_fingerprint(resume_value, "prior_run_fingerprint")?,
+        }),
+    };
+
     let plan = ShardPlan {
         run_fingerprint: json_fingerprint(value, "run_fingerprint")?,
         snapshot_fingerprint: json_fingerprint(value, "snapshot_fingerprint")?,
@@ -482,22 +709,27 @@ fn plan_from_json(value: &Value) -> Result<ShardPlan, ShardError> {
         settings,
         closure_pruning: json_bool(value, "closure_pruning")?,
         workers,
+        resume,
         levels,
     };
     validate_plan(&plan)?;
     Ok(plan)
 }
 
-/// Structural validation: the plan must cover exactly the levels `n..=1` in descending order,
-/// each level's shards must partition `0..C(n, level)` contiguously, and the run fingerprint
-/// must re-derive from the snapshot fingerprint and settings. A tampered or hand-edited plan
-/// fails loudly here instead of producing silently wrong verdicts.
+/// Structural validation: the plan must cover exactly the levels `n..=1` in descending order
+/// and the run fingerprint must re-derive from the snapshot fingerprint, settings and (for
+/// resumed runs) the seed fingerprint. A fresh plan's shards must partition `0..C(n, level)`
+/// contiguously per level; a resumed plan's shards must be ascending, disjoint and in bounds
+/// (their exact agreement with the seed's undecided runs is re-checked by every worker once
+/// the seed is in hand). A tampered or hand-edited plan fails loudly here instead of
+/// producing silently wrong verdicts.
 fn validate_plan(plan: &ShardPlan) -> Result<(), ShardError> {
     let expected_fp = run_fingerprint(
         plan.snapshot_fingerprint,
         plan.settings,
         plan.closure_pruning,
         plan.workers,
+        plan.resume.as_ref().map(|r| r.seed_fingerprint),
     );
     if plan.run_fingerprint != expected_fp {
         return Err(ShardError::Plan(format!(
@@ -528,24 +760,42 @@ fn validate_plan(plan: &ShardPlan) -> Result<(), ShardError> {
                 level_plan.level, level_plan.size, level_plan.level
             )));
         }
-        let mut next = 0usize;
-        for shard in &level_plan.shards {
-            if shard.spec.level != level_plan.level
-                || shard.spec.rank_start != next
-                || shard.spec.is_empty()
-            {
+        if plan.resume.is_some() {
+            // Resumed run: shards cover a subset of the rank space, ascending and disjoint.
+            let mut next = 0usize;
+            for shard in &level_plan.shards {
+                if shard.spec.level != level_plan.level
+                    || shard.spec.rank_start < next
+                    || shard.spec.rank_end > size
+                    || shard.spec.is_empty()
+                {
+                    return Err(ShardError::Plan(format!(
+                        "level {} resume shards are not ascending, disjoint and within 0..{size}",
+                        level_plan.level
+                    )));
+                }
+                next = shard.spec.rank_end;
+            }
+        } else {
+            let mut next = 0usize;
+            for shard in &level_plan.shards {
+                if shard.spec.level != level_plan.level
+                    || shard.spec.rank_start != next
+                    || shard.spec.is_empty()
+                {
+                    return Err(ShardError::Plan(format!(
+                        "level {} shards do not partition 0..{size} contiguously",
+                        level_plan.level
+                    )));
+                }
+                next = shard.spec.rank_end;
+            }
+            if next != size {
                 return Err(ShardError::Plan(format!(
-                    "level {} shards do not partition 0..{size} contiguously",
+                    "level {} shards cover 0..{next}, expected 0..{size}",
                     level_plan.level
                 )));
             }
-            next = shard.spec.rank_end;
-        }
-        if next != size {
-            return Err(ShardError::Plan(format!(
-                "level {} shards cover 0..{next}, expected 0..{size}",
-                level_plan.level
-            )));
         }
     }
     Ok(())
@@ -673,6 +923,195 @@ fn read_verdicts(
     Ok(file)
 }
 
+/// Merges every per-`(level, worker)` verdict file of a plan into one bitset (ORed words) and
+/// the summed counters, re-validating each file's run fingerprint, level and worker. Fails on
+/// any missing or mismatched file.
+fn read_all_verdicts(
+    dir: &Path,
+    plan: &ShardPlan,
+    word_count: usize,
+) -> Result<(Vec<u64>, ShardCounters), ShardError> {
+    let mut words = vec![0u64; word_count];
+    let mut totals = ShardCounters::default();
+    for level_plan in &plan.levels {
+        for worker in 0..plan.workers {
+            let path = verdict_path(dir, level_plan.level, worker);
+            let file = read_verdicts(&path, plan.run_fingerprint, level_plan.level, worker)?;
+            if file.words.len() != word_count {
+                return Err(ShardError::Verdict(format!(
+                    "`{}` has {} verdict words, expected {word_count}",
+                    path.display(),
+                    file.words.len()
+                )));
+            }
+            for (slot, word) in words.iter_mut().zip(&file.words) {
+                *slot |= word;
+            }
+            totals = totals.merged(file.counters);
+        }
+    }
+    Ok((words, totals))
+}
+
+// ---------------------------------------------------------------------------
+// Resume seed files
+// ---------------------------------------------------------------------------
+
+/// A decoded resume seed file: the run it is bound to plus the carried-over verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SeedFile {
+    /// The (new) run fingerprint the seed belongs to.
+    run_fingerprint: u64,
+    /// The carried-over verdicts.
+    seed: SweepSeed,
+}
+
+/// The seed's canonical content encoding — shared by the fingerprint and the file format so
+/// the two can never drift apart.
+fn encode_seed_content(w: &mut Writer, seed: &SweepSeed) {
+    w.u64(seed.reused as u64);
+    w.len(seed.robust.len());
+    for &word in &seed.robust {
+        w.u64(word);
+    }
+    w.len(seed.decided.len());
+    for &word in &seed.decided {
+        w.u64(word);
+    }
+}
+
+/// FNV-1a over the seed's canonical content — what [`ResumeInfo::seed_fingerprint`] stores
+/// and the run fingerprint folds in.
+fn seed_content_fingerprint(seed: &SweepSeed) -> u64 {
+    let mut w = Writer::new();
+    encode_seed_content(&mut w, seed);
+    fnv64(&w.into_bytes())
+}
+
+fn encode_seed(run_fingerprint: u64, seed: &SweepSeed) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(run_fingerprint);
+    encode_seed_content(&mut w, seed);
+    let payload = w.into_bytes();
+    let mut bytes = Vec::with_capacity(12 + payload.len());
+    bytes.extend_from_slice(&SEED_MAGIC);
+    bytes.extend_from_slice(&SEED_FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+fn decode_seed(bytes: &[u8]) -> Result<SeedFile, ShardError> {
+    if bytes.len() < 12 || bytes[0..8] != SEED_MAGIC {
+        return Err(ShardError::Verdict(
+            "not a resume seed file (bad magic)".to_string(),
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SEED_FORMAT_VERSION {
+        return Err(ShardError::Verdict(format!(
+            "unsupported seed format version {version}"
+        )));
+    }
+    let mut r = Reader::new(&bytes[12..]);
+    let mut parse = || -> Result<SeedFile, String> {
+        let run_fingerprint = r.u64()?;
+        let reused = r.u64()? as usize;
+        let robust_count = r.len()?;
+        let mut robust = Vec::with_capacity(robust_count);
+        for _ in 0..robust_count {
+            robust.push(r.u64()?);
+        }
+        let decided_count = r.len()?;
+        let mut decided = Vec::with_capacity(decided_count);
+        for _ in 0..decided_count {
+            decided.push(r.u64()?);
+        }
+        if !r.is_at_end() {
+            return Err("trailing bytes".to_string());
+        }
+        Ok(SeedFile {
+            run_fingerprint,
+            seed: SweepSeed {
+                robust,
+                decided,
+                reused,
+            },
+        })
+    };
+    parse().map_err(ShardError::Verdict)
+}
+
+/// Reads the seed file of a resumed run and re-validates it against the plan: the stamped run
+/// fingerprint, the content fingerprint recorded in the plan's resume section, and the word
+/// widths must all agree.
+fn read_seed(
+    dir: &Path,
+    plan: &ShardPlan,
+    info: &ResumeInfo,
+    word_count: usize,
+) -> Result<SeedFile, ShardError> {
+    let path = seed_path(dir);
+    let bytes = std::fs::read(&path).map_err(|e| ShardError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let file = decode_seed(&bytes)?;
+    if file.run_fingerprint != plan.run_fingerprint {
+        return Err(ShardError::Verdict(format!(
+            "seed at `{}` belongs to run {:016x}, expected {:016x}",
+            path.display(),
+            file.run_fingerprint,
+            plan.run_fingerprint
+        )));
+    }
+    if seed_content_fingerprint(&file.seed) != info.seed_fingerprint {
+        return Err(ShardError::Verdict(format!(
+            "seed at `{}` does not match the plan's seed fingerprint {:016x}",
+            path.display(),
+            info.seed_fingerprint
+        )));
+    }
+    if file.seed.robust.len() != word_count || file.seed.decided.len() != word_count {
+        return Err(ShardError::Verdict(format!(
+            "seed at `{}` has {}/{} words, expected {word_count}",
+            path.display(),
+            file.seed.robust.len(),
+            file.seed.decided.len()
+        )));
+    }
+    Ok(file)
+}
+
+/// Re-validates that a level's planned shards tile exactly the seed's undecided rank runs —
+/// a resumed plan whose shard list was tampered with (or no longer matches its seed) fails
+/// loudly before any verdict is computed.
+fn validate_shards_cover_runs(
+    level_plan: &LevelPlan,
+    runs: &[(usize, usize)],
+) -> Result<(), ShardError> {
+    let mismatch = || {
+        ShardError::Plan(format!(
+            "level {} shards do not tile the seed's undecided rank runs {runs:?}",
+            level_plan.level
+        ))
+    };
+    let mut specs = level_plan.shards.iter().map(|s| s.spec);
+    for &(start, end) in runs {
+        let mut next = start;
+        while next < end {
+            let spec = specs.next().ok_or_else(mismatch)?;
+            if spec.rank_start != next || spec.rank_end > end || spec.is_empty() {
+                return Err(mismatch());
+            }
+            next = spec.rank_end;
+        }
+    }
+    if specs.next().is_some() {
+        return Err(mismatch());
+    }
+    Ok(())
+}
+
 /// Polls for a peer's verdict file until it appears or the timeout elapses.
 fn await_verdicts(
     path: &Path,
@@ -726,7 +1165,7 @@ pub fn run_worker(
         )));
     }
     let session = open_snapshot_expecting(snapshot_path(dir), plan.snapshot_fingerprint)?;
-    let sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
+    let mut sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
     if sweep.program_count() != plan.programs {
         return Err(ShardError::Protocol(format!(
             "snapshot has {} programs, the plan was computed for {}",
@@ -734,6 +1173,17 @@ pub fn run_worker(
             plan.programs
         )));
     }
+    if let Some(info) = &plan.resume {
+        // Resumed run: adopt the seed's verdicts (the pruning of every undecided mask then
+        // reads exactly the verdict set a fresh sweep would have published above it) and
+        // re-validate that the plan's shards tile exactly the seed's undecided rank runs.
+        let seed = read_seed(dir, &plan, info, sweep.word_count())?;
+        sweep.apply_seed(&seed.seed);
+        for level_plan in &plan.levels {
+            validate_shards_cover_runs(level_plan, &sweep.undecided_runs(level_plan.level))?;
+        }
+    }
+    let sweep = sweep;
 
     let mut totals = ShardCounters::default();
     let mut shards_run = 0usize;
@@ -820,30 +1270,30 @@ impl MergeReport {
 
 /// Merges every verdict file of a completed run into the final [`SubsetExploration`]. Fails
 /// (without waiting) when a verdict file is missing — run every `shard work` first.
+///
+/// For a **resumed** run the seed's verdicts are folded in first, and the reported
+/// `cycle_tests`/`pruned` counters are the *as-fresh* accounting recomputed from the final
+/// verdict bits ([`RankRangeSweep::counters_as_fresh`]) — so the merged JSON is byte-identical
+/// to a fresh single-process `mvrc subsets --json` over the edited workload, even though the
+/// resumed run itself ran only the undecided masks' cycle tests.
 pub fn merge_verdicts(dir: &Path) -> Result<MergeReport, ShardError> {
     let plan = read_plan(dir)?;
     let session = open_snapshot_expecting(snapshot_path(dir), plan.snapshot_fingerprint)?;
-    let sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
-    let mut totals = ShardCounters::default();
-    for level_plan in &plan.levels {
-        for worker in 0..plan.workers {
-            let path = verdict_path(dir, level_plan.level, worker);
-            let file = read_verdicts(&path, plan.run_fingerprint, level_plan.level, worker)?;
-            if file.words.len() != sweep.word_count() {
-                return Err(ShardError::Verdict(format!(
-                    "`{}` has {} verdict words, expected {}",
-                    path.display(),
-                    file.words.len(),
-                    sweep.word_count()
-                )));
-            }
-            sweep.or_verdict_words(&file.words);
-            totals = totals.merged(file.counters);
-        }
+    let mut sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
+    if let Some(info) = &plan.resume {
+        let seed = read_seed(dir, &plan, info, sweep.word_count())?;
+        sweep.apply_seed(&seed.seed);
     }
+    let (words, totals) = read_all_verdicts(dir, &plan, sweep.word_count())?;
+    sweep.or_verdict_words(&words);
+    let counters = if plan.resume.is_some() {
+        sweep.counters_as_fresh()
+    } else {
+        totals
+    };
     Ok(MergeReport {
         workload: plan.workload,
         abbreviations: session.workload().abbreviations.clone(),
-        exploration: sweep.exploration(totals, 0),
+        exploration: sweep.exploration(counters, 0, 0),
     })
 }

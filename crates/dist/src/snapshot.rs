@@ -10,9 +10,9 @@
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 8    | magic `MVRCSNAP` ([`SNAPSHOT_MAGIC`]) |
-//! | 8      | 4    | format version, `u32` LE ([`SNAPSHOT_FORMAT_VERSION`], currently 1) |
+//! | 8      | 4    | format version, `u32` LE ([`SNAPSHOT_FORMAT_VERSION`], currently 2) |
 //! | 12     | 8    | workload fingerprint, `u64` LE — FNV-1a over the payload |
-//! | 20     | …    | payload: workload section, LTP section, graph section |
+//! | 20     | …    | payload: workload section, LTP section, graph section, sweep section (v2) |
 //!
 //! The payload encoding is *canonical* (fixed-width integers, length-prefixed lists, no maps
 //! in nondeterministic order), so the fingerprint doubles as a content identity: the shard
@@ -25,6 +25,23 @@
 //! adjacency lists and the reachability closure (deterministic functions of the edge list,
 //! via [`SummaryGraph::from_snapshot_parts`]); the round-trip is **bit-identical** on every
 //! graph array — `reopened.graph(s) == original.graph(s)` including the derived arrays.
+//!
+//! # Version 2: the sweep section
+//!
+//! Version 2 appends the session's **sweep cache** — the verdict bitsets incremental subset
+//! sweeps reuse across workload edits ([`mvrc_robustness::CachedSweep`]). The section is a
+//! length-prefixed list of entries, each encoding:
+//!
+//! | field | encoding |
+//! |-------|----------|
+//! | analysis settings | granularity byte, foreign-key bool, condition byte |
+//! | programs | `u32` count, then per program a string name and a `u64` structural fingerprint |
+//! | robust bitset | `u32` word count (`⌈2^n / 64⌉` for `n` programs), then the `u64` words |
+//!
+//! Version-**1** files (no sweep section) still open — they simply carry an empty sweep cache
+//! — and both versions share the header checks, so corruption in the new section is caught by
+//! the same fingerprint re-verification. Writing always produces version 2; re-serializing a
+//! reopened version-2 snapshot is byte-identical.
 
 use crate::codec::{fnv64, Reader, Writer};
 use mvrc_btp::{
@@ -32,8 +49,8 @@ use mvrc_btp::{
     StatementKind, StmtId, UnfoldOptions, Workload,
 };
 use mvrc_robustness::{
-    AnalysisSettings, CycleCondition, EdgeKind, Granularity, RobustnessSession, SummaryEdge,
-    SummaryGraph,
+    AnalysisSettings, CachedSweep, CycleCondition, EdgeKind, Granularity, RobustnessSession,
+    SummaryEdge, SummaryGraph,
 };
 use mvrc_schema::{AttrSet, FkId, RelId, Schema, SchemaBuilder};
 use std::fmt;
@@ -42,8 +59,12 @@ use std::path::Path;
 /// The 8-byte magic at offset 0 of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MVRCSNAP";
 
-/// The current snapshot format version (header offset 8).
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// The current snapshot format version (header offset 8); written by every save. Version 1
+/// (no sweep section) is still readable — see [`SNAPSHOT_MIN_FORMAT_VERSION`].
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+/// The oldest snapshot format version this build still opens.
+pub const SNAPSHOT_MIN_FORMAT_VERSION: u32 = 1;
 
 /// Errors produced by snapshot encoding, decoding and file I/O.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,7 +102,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::BadMagic => f.write_str("not a snapshot file (bad magic)"),
             SnapshotError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported snapshot format version {found} (this build reads version {SNAPSHOT_FORMAT_VERSION})"
+                "unsupported snapshot format version {found} (this build reads versions \
+                 {SNAPSHOT_MIN_FORMAT_VERSION}..={SNAPSHOT_FORMAT_VERSION})"
             ),
             SnapshotError::FingerprintMismatch { expected, found } => write!(
                 f,
@@ -136,6 +158,11 @@ pub fn snapshot_to_bytes(session: &RobustnessSession) -> Vec<u8> {
     for graph in &graphs {
         encode_graph(&mut payload, graph);
     }
+    let sweeps = session.cached_sweeps();
+    payload.len(sweeps.len());
+    for (settings, sweep) in &sweeps {
+        encode_cached_sweep(&mut payload, *settings, sweep);
+    }
     let payload = payload.into_bytes();
 
     let mut bytes = Vec::with_capacity(20 + payload.len());
@@ -160,7 +187,7 @@ pub fn session_from_snapshot_bytes(
         return Err(SnapshotError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != SNAPSHOT_FORMAT_VERSION {
+    if !(SNAPSHOT_MIN_FORMAT_VERSION..=SNAPSHOT_FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
     let stamped = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
@@ -185,15 +212,24 @@ pub fn session_from_snapshot_bytes(
     for _ in 0..graph_count {
         graphs.push(decode_graph(&mut r, &workload.schema)?);
     }
+    // Version 1 ends after the graph section; version 2 appends the sweep-cache section.
+    let mut sweeps: Vec<(AnalysisSettings, CachedSweep)> = Vec::new();
+    if version >= 2 {
+        let sweep_count = r.len()?;
+        for _ in 0..sweep_count {
+            sweeps.push(decode_cached_sweep(&mut r)?);
+        }
+    }
     if !r.is_at_end() {
         return Err(SnapshotError::Corrupt(
-            "trailing bytes after the graph section".to_string(),
+            "trailing bytes after the last section".to_string(),
         ));
     }
-    Ok((
-        RobustnessSession::from_snapshot_parts(workload, ltps, graphs),
-        actual,
-    ))
+    let session = RobustnessSession::from_snapshot_parts(workload, ltps, graphs);
+    for (settings, sweep) in sweeps {
+        session.install_cached_sweep(settings, sweep);
+    }
+    Ok((session, actual))
 }
 
 /// [`SessionSnapshotExt::save_snapshot`] as a free function.
@@ -698,6 +734,66 @@ fn decode_graph(r: &mut Reader<'_>, schema: &Schema) -> Result<SummaryGraph, Sna
         });
     }
     Ok(SummaryGraph::from_snapshot_parts(nodes, edges, settings))
+}
+
+// ---------------------------------------------------------------------------
+// Sweep section (format version 2)
+// ---------------------------------------------------------------------------
+
+fn encode_cached_sweep(w: &mut Writer, settings: AnalysisSettings, sweep: &CachedSweep) {
+    encode_settings(w, settings);
+    w.len(sweep.programs.len());
+    for (name, fingerprint) in sweep.programs.iter().zip(&sweep.program_fingerprints) {
+        w.str(name);
+        w.u64(*fingerprint);
+    }
+    w.len(sweep.robust.len());
+    for &word in &sweep.robust {
+        w.u64(word);
+    }
+}
+
+fn decode_cached_sweep(
+    r: &mut Reader<'_>,
+) -> Result<(AnalysisSettings, CachedSweep), SnapshotError> {
+    let settings = decode_settings(r)?;
+    let program_count = r.len()?;
+    if program_count > 20 {
+        return Err(SnapshotError::Corrupt(format!(
+            "cached sweep claims {program_count} programs (the sweep bound is 20)"
+        )));
+    }
+    let mut programs = Vec::with_capacity(program_count);
+    let mut program_fingerprints = Vec::with_capacity(program_count);
+    for _ in 0..program_count {
+        let name = r.str()?;
+        if programs.contains(&name) {
+            return Err(SnapshotError::Corrupt(format!(
+                "cached sweep lists program `{name}` twice"
+            )));
+        }
+        programs.push(name);
+        program_fingerprints.push(r.u64()?);
+    }
+    let word_count = r.len()?;
+    if word_count != CachedSweep::word_count_for(program_count) {
+        return Err(SnapshotError::Corrupt(format!(
+            "cached sweep has {word_count} verdict words, {program_count} programs need {}",
+            CachedSweep::word_count_for(program_count)
+        )));
+    }
+    let mut robust = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        robust.push(r.u64()?);
+    }
+    Ok((
+        settings,
+        CachedSweep {
+            programs,
+            program_fingerprints,
+            robust,
+        },
+    ))
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 
 use mvrc_benchmarks::{auction, smallbank, tpcc, Workload};
 use mvrc_dist::{
-    create_plan_dir, merge_verdicts, read_plan, run_worker, verdict_path, PlanOptions, ShardError,
+    create_plan_dir, create_plan_dir_resuming, merge_verdicts, read_plan, run_worker, seed_path,
+    verdict_path, PlanOptions, ShardError,
 };
 use mvrc_robustness::{
     explore_subsets, AnalysisSettings, CycleCondition, Granularity, RobustnessSession,
@@ -235,6 +236,166 @@ fn replanning_invalidates_stale_verdicts() {
     ));
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_run_after_edits_reuses_verdicts_and_matches_fresh_merge() {
+    // Run 1 sweeps SmallBank minus WriteCheck; run 2 resumes with the full five programs.
+    // The resumed plan must dispatch only the WriteCheck-containing subsets (2^4 = 16 masks,
+    // so summed worker cycle tests ≤ 16), and its merge must reproduce the fresh
+    // single-process exploration of the full workload *exactly* — counters included.
+    let dir1 = scratch_dir("resume-1");
+    let dir2 = scratch_dir("resume-2");
+    let settings = AnalysisSettings::paper_default();
+
+    let mut reduced = smallbank();
+    reduced.programs.retain(|p| p.name() != "WriteCheck");
+    let session1 = RobustnessSession::new(reduced);
+    create_plan_dir(&session1, settings, &PlanOptions::for_workers(2), &dir1).unwrap();
+    std::thread::scope(|scope| {
+        for worker in 0..2 {
+            let dir = &dir1;
+            scope.spawn(move || run_worker(dir, worker, BARRIER_TIMEOUT).unwrap());
+        }
+    });
+    merge_verdicts(&dir1).unwrap();
+
+    let session2 = RobustnessSession::new(smallbank());
+    let plan = create_plan_dir_resuming(
+        &session2,
+        settings,
+        &PlanOptions::for_workers(2),
+        &dir2,
+        Some(&dir1),
+    )
+    .unwrap();
+    let resume = plan.resume.expect("plan must carry a resume section");
+    assert_eq!(resume.reused, (1 << 4) - 1, "all 15 old subsets carry over");
+    assert!(seed_path(&dir2).exists());
+    // Only containing-the-new-program ranks are planned: 2^4 masks across all levels.
+    let planned: usize = plan
+        .levels
+        .iter()
+        .flat_map(|l| &l.shards)
+        .map(|s| s.spec.len())
+        .sum();
+    assert_eq!(planned, 1 << 4);
+
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|worker| {
+                let dir = &dir2;
+                scope.spawn(move || run_worker(dir, worker, BARRIER_TIMEOUT).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let resumed_tests: usize = reports.iter().map(|r| r.counters.cycle_tests).sum();
+    assert!(
+        resumed_tests <= 1 << 4,
+        "resumed workers must only test containing subsets, ran {resumed_tests}"
+    );
+
+    let merged = merge_verdicts(&dir2).unwrap();
+    let reference = explore_subsets(&session2, settings);
+    assert_eq!(
+        merged.exploration, reference,
+        "resumed merge must be as-fresh"
+    );
+    assert!(
+        resumed_tests < reference.cycle_tests,
+        "reuse must beat the fresh sweep's {} cycle tests",
+        reference.cycle_tests
+    );
+
+    // A tampered seed is rejected by workers and merge alike.
+    let mut seed_bytes = std::fs::read(seed_path(&dir2)).unwrap();
+    let last = seed_bytes.len() - 1;
+    seed_bytes[last] ^= 0x40;
+    std::fs::write(seed_path(&dir2), &seed_bytes).unwrap();
+    assert!(matches!(
+        merge_verdicts(&dir2).unwrap_err(),
+        ShardError::Verdict(_)
+    ));
+    assert!(matches!(
+        run_worker(&dir2, 0, BARRIER_TIMEOUT).unwrap_err(),
+        ShardError::Verdict(_)
+    ));
+
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn resume_after_removal_dispatches_nothing() {
+    // The inverse edit: run 1 sweeps the full workload, run 2 resumes after removing a
+    // program — every surviving subset's verdict carries over, the plan dispatches zero
+    // shards, and the merge still reports the exact fresh accounting.
+    let dir1 = scratch_dir("removal-1");
+    let dir2 = scratch_dir("removal-2");
+    let settings = AnalysisSettings::paper_default();
+
+    let session1 = RobustnessSession::new(smallbank());
+    create_plan_dir(&session1, settings, &PlanOptions::for_workers(2), &dir1).unwrap();
+    std::thread::scope(|scope| {
+        for worker in 0..2 {
+            let dir = &dir1;
+            scope.spawn(move || run_worker(dir, worker, BARRIER_TIMEOUT).unwrap());
+        }
+    });
+
+    let mut reduced = smallbank();
+    reduced.programs.retain(|p| p.name() != "Balance");
+    let session2 = RobustnessSession::new(reduced.clone());
+    let plan = create_plan_dir_resuming(
+        &session2,
+        settings,
+        &PlanOptions::for_workers(2),
+        &dir2,
+        Some(&dir1),
+    )
+    .unwrap();
+    assert_eq!(plan.resume.unwrap().reused, (1 << 4) - 1);
+    assert_eq!(
+        plan.shard_count(),
+        0,
+        "a pure removal leaves nothing to sweep"
+    );
+
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|worker| {
+                let dir = &dir2;
+                scope.spawn(move || run_worker(dir, worker, BARRIER_TIMEOUT).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for report in &reports {
+        assert_eq!(
+            report.counters.cycle_tests, 0,
+            "zero cycle tests after a removal"
+        );
+        assert_eq!(report.shards_run, 0);
+    }
+
+    let merged = merge_verdicts(&dir2).unwrap();
+    let reference = explore_subsets(&RobustnessSession::new(reduced), settings);
+    assert_eq!(merged.exploration, reference);
+
+    // Resume with mismatched settings is refused up front.
+    let err = create_plan_dir_resuming(
+        &session2,
+        AnalysisSettings::baseline(Granularity::Attribute, true),
+        &PlanOptions::for_workers(2),
+        &dir2,
+        Some(&dir1),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ShardError::Protocol(_)), "{err}");
+
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir2).ok();
 }
 
 #[test]

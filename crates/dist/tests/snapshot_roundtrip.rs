@@ -9,7 +9,8 @@ use mvrc_dist::{
     session_from_snapshot_bytes, snapshot_to_bytes, SessionSnapshotExt, SnapshotError,
 };
 use mvrc_robustness::{
-    explore_subsets, AnalysisSettings, CycleCondition, RobustnessSession, SummaryGraph,
+    explore_subsets, explore_subsets_with, AnalysisSettings, CycleCondition, ExploreOptions,
+    RobustnessSession, SummaryGraph,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -117,6 +118,13 @@ proptest! {
     ) {
         let session = RobustnessSession::new(synthetic(config));
         session.is_robust(AnalysisSettings::paper_default());
+        // An incremental sweep populates the sweep cache, so the bytes below include the
+        // version-2 sweep section and the flip/truncation coverage extends to it.
+        explore_subsets_with(
+            &session,
+            AnalysisSettings::paper_default(),
+            ExploreOptions { incremental: true, ..ExploreOptions::default() },
+        );
         let bytes = snapshot_to_bytes(&session);
 
         // Flipping any single byte must be caught: the header checks reject magic/version
@@ -143,6 +151,162 @@ fn wrong_fingerprint_is_rejected_on_open() {
     let err = mvrc_dist::open_snapshot_expecting(&path, fingerprint.wrapping_add(1)).unwrap_err();
     assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }));
     std::fs::remove_file(&path).ok();
+}
+
+/// Re-stamps a (possibly modified) snapshot's header fingerprint so only the *structural*
+/// validation of the payload is exercised, not the FNV check.
+fn restamp(bytes: &mut [u8]) {
+    let fp = {
+        // fnv64 is private to the crate; recompute it locally (same published constants).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &bytes[20..] {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    };
+    bytes[12..20].copy_from_slice(&fp.to_le_bytes());
+}
+
+#[test]
+fn version_1_fixture_still_opens_with_identical_graphs() {
+    // A version-1 snapshot committed before the sweep section existed: it must keep opening,
+    // with every cached graph `PartialEq`-identical to a freshly warmed session's, and an
+    // empty sweep cache.
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/auction_v1.mvrcsnap"
+    ))
+    .expect("committed v1 fixture");
+    assert_eq!(&bytes[0..8], b"MVRCSNAP");
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+
+    let (reopened, fingerprint) = session_from_snapshot_bytes(&bytes).unwrap();
+    assert_ne!(fingerprint, 0);
+    assert_eq!(reopened.workload().name, "Auction");
+    assert_eq!(reopened.cached_graph_count(), 4);
+    assert_eq!(reopened.cached_sweep_count(), 0);
+
+    let fresh = RobustnessSession::new(mvrc_benchmarks::auction());
+    for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+        for settings in AnalysisSettings::evaluation_grid(condition) {
+            fresh.is_robust(settings);
+            assert_eq!(
+                *reopened.graph(settings),
+                *fresh.graph(settings),
+                "v1 fixture graph must be identical to a freshly built one under {settings}"
+            );
+        }
+    }
+    // Corruption checks extend to the fixture: any flip or truncation is rejected.
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    assert!(session_from_snapshot_bytes(&flipped).is_err());
+    assert!(session_from_snapshot_bytes(&bytes[..bytes.len() / 2]).is_err());
+}
+
+#[test]
+fn version_2_round_trip_preserves_the_sweep_cache() {
+    let session = RobustnessSession::new(synthetic(SyntheticConfig::default()));
+    let settings = AnalysisSettings::paper_default();
+    let incremental = ExploreOptions {
+        incremental: true,
+        ..ExploreOptions::default()
+    };
+    let original = explore_subsets_with(&session, settings, incremental);
+    assert_eq!(session.cached_sweep_count(), 1);
+
+    let bytes = snapshot_to_bytes(&session);
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        mvrc_dist::SNAPSHOT_FORMAT_VERSION
+    );
+    let (reopened, _) = session_from_snapshot_bytes(&bytes).unwrap();
+    assert_eq!(reopened.cached_sweeps(), session.cached_sweeps());
+    // Canonical: re-serializing the reopened session reproduces the bytes, sweep section
+    // included.
+    assert_eq!(snapshot_to_bytes(&reopened), bytes);
+
+    // The reopened cache is *live*: an incremental sweep on the reopened session reuses every
+    // verdict without a single cycle test.
+    let resumed = explore_subsets_with(&reopened, settings, incremental);
+    assert_eq!(resumed.cycle_tests, 0);
+    assert_eq!(resumed.pruned, 0);
+    assert_eq!(resumed.reused, (1 << original.programs.len()) - 1);
+    assert_eq!(resumed.robust, original.robust);
+}
+
+#[test]
+fn corrupt_sweep_sections_are_rejected_structurally() {
+    // Build one snapshot without and one with the sweep cache: they share the payload prefix,
+    // so the sweep section starts exactly where the empty snapshot's trailing zero count sits.
+    let session = RobustnessSession::new(synthetic(SyntheticConfig::default()));
+    let settings = AnalysisSettings::paper_default();
+    session.is_robust(settings);
+    let without = snapshot_to_bytes(&session);
+    explore_subsets_with(
+        &session,
+        settings,
+        ExploreOptions {
+            incremental: true,
+            ..ExploreOptions::default()
+        },
+    );
+    let with = snapshot_to_bytes(&session);
+    assert!(with.len() > without.len());
+    let section = without.len() - 4; // offset of the sweep-count u32
+                                     // Payloads share the prefix up to the sweep count (headers differ in the fingerprint).
+    assert_eq!(&with[20..section], &without[20..section]);
+
+    // Program count beyond the sweep bound (settings take 3 bytes after the count).
+    let mut bad_programs = with.clone();
+    let count_at = section + 4 + 3;
+    bad_programs[count_at..count_at + 4].copy_from_slice(&21u32.to_le_bytes());
+    restamp(&mut bad_programs);
+    match session_from_snapshot_bytes(&bad_programs).unwrap_err() {
+        SnapshotError::Corrupt(msg) => assert!(msg.contains("21 programs"), "{msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Truncation inside the sweep section (with a restamped fingerprint): structural error.
+    let mut truncated = with[..with.len() - 4].to_vec();
+    restamp(&mut truncated);
+    assert!(matches!(
+        session_from_snapshot_bytes(&truncated).unwrap_err(),
+        SnapshotError::Corrupt(_)
+    ));
+
+    // Trailing garbage after the sweep section (restamped): structural error.
+    let mut trailing = with.clone();
+    trailing.extend_from_slice(&[0u8; 3]);
+    restamp(&mut trailing);
+    match session_from_snapshot_bytes(&trailing).unwrap_err() {
+        SnapshotError::Corrupt(msg) => assert!(msg.contains("trailing"), "{msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn ycsb_t_workload_fingerprint_is_deterministic() {
+    // The snapshot/shard fingerprints depend on the generated workload being bit-for-bit
+    // reproducible: the same `YcsbtConfig` must yield the same workload fingerprint across
+    // two independent generator calls, and a different mix must yield a different one.
+    use mvrc_benchmarks::{ycsb_t, YcsbtConfig};
+    let fp = |config: YcsbtConfig| {
+        let session = RobustnessSession::new(ycsb_t(config));
+        session.is_robust(AnalysisSettings::paper_default());
+        u64::from_le_bytes(snapshot_to_bytes(&session)[12..20].try_into().unwrap())
+    };
+    assert_eq!(fp(YcsbtConfig::default()), fp(YcsbtConfig::default()));
+    assert_ne!(
+        fp(YcsbtConfig::default()),
+        fp(YcsbtConfig {
+            rmws: 3,
+            scans: 0,
+            ..YcsbtConfig::default()
+        })
+    );
 }
 
 #[test]
