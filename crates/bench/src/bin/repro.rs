@@ -10,11 +10,15 @@
 //! repro smallbank-ground-truth Section 7.2: confirm non-robust SmallBank subsets with concrete
 //!                              MVRC counterexample schedules
 //! repro bench-subsets [--out P] median subset-exploration times (naive vs shared vs pruned
-//!                              vs sharded) on the paper benchmarks + YCSB-T, written to
+//!                              vs sharded, plus the setup phase and the per-subset rate) on
+//!                              the paper benchmarks + YCSB-T, written to
 //!                              BENCH_subsets.json (or P)
 //! repro bench-edits [--out P]  median re-sweep times after a workload edit (fresh vs
 //!                              incremental verdict reuse, remove + re-add scenarios), written
 //!                              to BENCH_edits.json (or P)
+//! repro bench-open [--out P]   median time-to-first-answer: cold construction vs reopening a
+//!                              snapshot (owned decode vs zero-copy map), written to
+//!                              BENCH_open.json (or P)
 //! repro all                    everything above (figure8 capped at n = 50)
 //! ```
 //!
@@ -23,10 +27,11 @@
 //! setting `MVRC_THREADS=N`); the benchmark rows record the pool size actually used.
 
 use mvrc_bench::{figure6, figure7, figure8, table2};
-use mvrc_benchmarks::{auction, smallbank, tpcc, ycsb_t, YcsbtConfig};
+use mvrc_benchmarks::{auction, auction_n, smallbank, tpcc, ycsb_t, YcsbtConfig};
+use mvrc_dist::{open_snapshot, save_snapshot, session_from_snapshot_bytes};
 use mvrc_robustness::{
     explore_subsets, explore_subsets_naive, explore_subsets_with, to_dot, AnalysisSettings,
-    DotOptions, ExploreOptions, RobustnessSession, SweepStrategy,
+    CycleCondition, DotOptions, ExploreOptions, RobustnessSession, SweepStrategy,
 };
 use mvrc_schedule::{find_counterexample, SearchConfig};
 use serde::Serialize;
@@ -50,7 +55,10 @@ fn main() {
     let out_path = out_override
         .clone()
         .unwrap_or_else(|| "BENCH_subsets.json".to_string());
-    let edits_out_path = out_override.unwrap_or_else(|| "BENCH_edits.json".to_string());
+    let edits_out_path = out_override
+        .clone()
+        .unwrap_or_else(|| "BENCH_edits.json".to_string());
+    let open_out_path = out_override.unwrap_or_else(|| "BENCH_open.json".to_string());
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let Some(threads) = args
             .get(i + 1)
@@ -77,6 +85,7 @@ fn main() {
         "smallbank-ground-truth" => smallbank_ground_truth(),
         "bench-subsets" => bench_subsets(&out_path),
         "bench-edits" => bench_edits(&edits_out_path),
+        "bench-open" => bench_open(&open_out_path),
         "all" => {
             print_table2(json);
             print_figure6(json);
@@ -86,10 +95,11 @@ fn main() {
             smallbank_ground_truth();
             bench_subsets(&out_path);
             bench_edits("BENCH_edits.json");
+            bench_open("BENCH_open.json");
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|bench-edits|all] [--max N] [--json] [--out PATH] [--threads N]");
+            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|bench-edits|bench-open|all] [--max N] [--json] [--out PATH] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -210,6 +220,11 @@ struct SubsetBenchRow {
     benchmark: String,
     programs: usize,
     subsets: usize,
+    /// Median time of the sweep *setup* phase — constructing a fresh session and the
+    /// Algorithm-1 summary graph for the sweep's settings — in microseconds. CSR adjacency
+    /// and the transitive closure stay lazy, so this is what every sweep variant pays before
+    /// its first cycle test.
+    setup_us: f64,
     /// Median time of the naive per-subset reconstruction, in microseconds.
     naive_us: f64,
     /// Median time of the shared-graph exhaustive sweep, in microseconds.
@@ -220,6 +235,8 @@ struct SubsetBenchRow {
     /// (`SweepStrategy::Sharded` — the in-process twin of the `mvrc shard` protocol), in
     /// microseconds.
     sharded_us: f64,
+    /// `pruned_us / subsets`: the pruned sweep's per-subset rate, in microseconds.
+    pruned_per_subset_us: f64,
     /// Cycle tests actually run by the pruned sweep (the other paths run `subsets` tests).
     cycle_tests: usize,
     /// Subsets decided by downward-closure pruning alone.
@@ -260,8 +277,15 @@ fn bench_subsets(out_path: &str) {
     ]
     .into_iter()
     .map(|workload| {
-        let session = RobustnessSession::new(workload);
+        let session = RobustnessSession::new(workload.clone());
         let pruned = explore_subsets(&session, settings);
+        // The setup phase is timed on throwaway sessions: session construction plus the
+        // Algorithm-1 graph for the sweep's settings (derived arrays stay lazy until a
+        // cycle test asks for them).
+        let setup_us = median_us(RUNS, || {
+            let fresh = RobustnessSession::new(workload.clone());
+            fresh.graph(settings);
+        });
         // Warm the cache outside the timings so all variants amortize the same (single)
         // graph construction and measure only the sweep itself.
         let naive_us = median_us(RUNS, || {
@@ -277,14 +301,17 @@ fn bench_subsets(out_path: &str) {
             explore_subsets_with(&session, settings, sharded);
         });
         let programs = session.program_names().len();
+        let subsets = (1 << programs) - 1;
         SubsetBenchRow {
             benchmark: session.workload().name.clone(),
             programs,
-            subsets: (1 << programs) - 1,
+            subsets,
+            setup_us,
             naive_us,
             shared_us,
             pruned_us,
             sharded_us,
+            pruned_per_subset_us: pruned_us / subsets as f64,
             cycle_tests: pruned.cycle_tests,
             pruned_subsets: pruned.pruned,
             // `planned`, not `pool`: asking the running pool would *start* it, and with it
@@ -295,13 +322,14 @@ fn bench_subsets(out_path: &str) {
     .collect();
 
     println!(
-        "== Subset exploration medians ({RUNS} runs): naive vs shared vs closure-pruned vs sharded =="
+        "== Subset exploration medians ({RUNS} runs): setup + naive vs shared vs closure-pruned vs sharded =="
     );
     for row in &rows {
         println!(
-            "  {:<10} naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  sharded={:>9.1}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
-            row.benchmark, row.naive_us, row.shared_us, row.pruned_us, row.sharded_us,
-            row.cycle_tests, row.subsets, row.pruned_subsets, row.threads
+            "  {:<10} setup={:>8.1}µs  naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  sharded={:>9.1}µs  per-subset={:>7.2}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
+            row.benchmark, row.setup_us, row.naive_us, row.shared_us, row.pruned_us,
+            row.sharded_us, row.pruned_per_subset_us, row.cycle_tests, row.subsets,
+            row.pruned_subsets, row.threads
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");
@@ -343,19 +371,25 @@ struct EditBenchRow {
 
 /// Median over `runs` samples where each sample re-installs the pre-edit cache entry before
 /// the timed incremental sweep (so every sample measures the rebase + partial sweep, not a
-/// second-run full reuse). Returns the median and the last run's exploration.
+/// second-run full reuse). `cached` is `None` for workloads below the
+/// [`ExploreOptions::incremental_min_subsets`] cutoff, where no cache entry exists — the
+/// timed sweep is then the cutoff's fresh-sweep fallback itself, which is exactly what the
+/// row should show. Returns the median and the last run's exploration.
 fn median_incremental_us(
     runs: usize,
     session: &RobustnessSession,
-    cached: &(AnalysisSettings, mvrc_robustness::CachedSweep),
+    settings: AnalysisSettings,
+    cached: Option<&mvrc_robustness::CachedSweep>,
     options: ExploreOptions,
 ) -> (f64, mvrc_robustness::SubsetExploration) {
     let mut samples = Vec::with_capacity(runs);
     let mut last = None;
     for _ in 0..runs {
-        session.install_cached_sweep(cached.0, cached.1.clone());
+        if let Some(cached) = cached {
+            session.install_cached_sweep(settings, cached.clone());
+        }
         let start = Instant::now();
-        let exploration = explore_subsets_with(session, cached.0, options);
+        let exploration = explore_subsets_with(session, settings, options);
         samples.push(start.elapsed().as_secs_f64() * 1e6);
         last = Some(exploration);
     }
@@ -386,13 +420,10 @@ fn bench_edits(out_path: &str) {
         let full_session = RobustnessSession::new(workload);
         let programs = full_session.program_names().len();
         // The pre-edit state every sample rebases from: a completed sweep of the full mix.
+        // Workloads below the incremental size cutoff install no cache entry — their
+        // incremental columns measure the fresh-sweep fallback (reuse counters read 0).
         explore_subsets_with(&full_session, settings, incremental);
-        let full_cache = (
-            settings,
-            full_session
-                .cached_sweep(settings)
-                .expect("populated cache"),
-        );
+        let full_cache = full_session.cached_sweep(settings);
 
         // Removal: drop the last program, re-sweep. Incremental = pure mask compaction.
         let mut removed_session = full_session.clone();
@@ -400,24 +431,29 @@ fn bench_edits(out_path: &str) {
         let fresh_remove_us = median_us(RUNS, || {
             explore_subsets(&removed_session, settings);
         });
-        let (incremental_remove_us, remove_result) =
-            median_incremental_us(RUNS, &removed_session, &full_cache, incremental);
+        let (incremental_remove_us, remove_result) = median_incremental_us(
+            RUNS,
+            &removed_session,
+            settings,
+            full_cache.as_ref(),
+            incremental,
+        );
 
         // Addition: from the removed state (with its completed sweep cached), re-add the
         // program. Incremental sweeps only the containing subsets.
-        let removed_cache = (
-            settings,
-            removed_session
-                .cached_sweep(settings)
-                .expect("populated cache"),
-        );
+        let removed_cache = removed_session.cached_sweep(settings);
         let mut added_session = removed_session.clone();
         added_session.add_program(edited.clone());
         let fresh_add_us = median_us(RUNS, || {
             explore_subsets(&added_session, settings);
         });
-        let (incremental_add_us, add_result) =
-            median_incremental_us(RUNS, &added_session, &removed_cache, incremental);
+        let (incremental_add_us, add_result) = median_incremental_us(
+            RUNS,
+            &added_session,
+            settings,
+            removed_cache.as_ref(),
+            incremental,
+        );
 
         EditBenchRow {
             benchmark: full_session.workload().name.clone(),
@@ -452,6 +488,113 @@ fn bench_edits(out_path: &str) {
             row.incremental_add_us,
             row.add_cycle_tests,
             row.add_reused,
+        );
+    }
+    let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    match std::fs::write(out_path, &payload) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+    println!();
+}
+
+/// One row of `BENCH_open.json`: median time-to-first-answer for one benchmark — building
+/// the session from scratch vs reopening a saved snapshot, answering the full type-II
+/// evaluation grid either way. The two open paths split the snapshot win: `decode_open_us`
+/// reads the file and decodes the version-3 derived block into owned arrays, `warm_open_us`
+/// maps the file and borrows the arrays in place (zero per-element work, zero closure
+/// rebuilds). Both include the file read, so the columns are directly comparable. On the
+/// paper workloads the grid itself dominates every path, so the columns mostly measure how
+/// little each open costs; TPC-C (the construction-heavy workload) is where reopening beats
+/// rebuilding, and the scaled `Auction(n)` row exercises the derived block at hundreds of
+/// kilobytes to show the open paths stay flat relative to file size.
+#[derive(Debug, Clone, Serialize)]
+struct OpenBenchRow {
+    benchmark: String,
+    programs: usize,
+    /// Summary graphs cached in the snapshot (one per settings combination queried).
+    graphs: usize,
+    /// Size of the saved snapshot file in bytes.
+    snapshot_bytes: usize,
+    /// Median time to construct a fresh session and answer the type-II evaluation grid, µs.
+    cold_us: f64,
+    /// Median time to decode the snapshot into owned arrays and answer the grid, µs.
+    decode_open_us: f64,
+    /// Median time to map the snapshot zero-copy and answer the grid, µs.
+    warm_open_us: f64,
+    /// Size of the `mvrc-par` worker pool during the run.
+    threads: usize,
+}
+
+fn bench_open(out_path: &str) {
+    const RUNS: usize = 11;
+    let grid = |session: &RobustnessSession| {
+        for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+            session.is_robust(settings);
+        }
+    };
+    let rows: Vec<OpenBenchRow> = [
+        smallbank(),
+        tpcc(),
+        auction(),
+        ycsb_t(YcsbtConfig::default()),
+        auction_n(25),
+    ]
+    .into_iter()
+    .map(|workload| {
+        // Warm a session over the whole grid, then snapshot it: the file carries every
+        // graph with its derived block, so reopening answers the grid without rebuilding.
+        let session = RobustnessSession::new(workload.clone());
+        grid(&session);
+        let path = std::env::temp_dir().join(format!(
+            "mvrc-bench-open-{}-{}.mvrcsnap",
+            std::process::id(),
+            session.workload().name
+        ));
+        save_snapshot(&session, &path).expect("snapshot save");
+        let bytes = std::fs::read(&path).expect("snapshot read");
+
+        let cold_us = median_us(RUNS, || {
+            let fresh = RobustnessSession::new(workload.clone());
+            grid(&fresh);
+        });
+        let decode_open_us = median_us(RUNS, || {
+            let bytes = std::fs::read(&path).expect("snapshot read");
+            let (reopened, _) = session_from_snapshot_bytes(&bytes).expect("snapshot decode");
+            grid(&reopened);
+        });
+        let warm_open_us = median_us(RUNS, || {
+            let (reopened, _) = open_snapshot(&path).expect("snapshot open");
+            grid(&reopened);
+        });
+        std::fs::remove_file(&path).ok();
+
+        OpenBenchRow {
+            benchmark: session.workload().name.clone(),
+            programs: session.program_names().len(),
+            graphs: session.cached_graph_count(),
+            snapshot_bytes: bytes.len(),
+            cold_us,
+            decode_open_us,
+            warm_open_us,
+            threads: mvrc_par::planned_thread_count(),
+        }
+    })
+    .collect();
+
+    println!(
+        "== Snapshot open medians ({RUNS} runs): cold build vs owned decode vs zero-copy map =="
+    );
+    for row in &rows {
+        println!(
+            "  {:<10} cold={:>9.1}µs  decode={:>9.1}µs  mapped={:>9.1}µs  ({} graphs, {} KiB, {} threads)",
+            row.benchmark,
+            row.cold_us,
+            row.decode_open_us,
+            row.warm_open_us,
+            row.graphs,
+            row.snapshot_bytes / 1024,
+            row.threads
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");

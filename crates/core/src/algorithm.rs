@@ -13,11 +13,15 @@
 //! Both tests are *sound but incomplete* (Proposition 6.5): a `robust = true` verdict guarantees
 //! robustness against MVRC, a `robust = false` verdict may be a false negative.
 
+use crate::kernels;
 use crate::settings::CycleCondition;
 use crate::summary::{NodeId, SummaryEdge, SummaryGraph, SummaryGraphView};
 use mvrc_btp::StatementKind;
+use mvrc_par::WorkerLocal;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Witness for a type-I cycle: a counterflow edge that lies on a cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,8 +64,12 @@ pub struct RobustnessOutcome {
 
 impl RobustnessOutcome {
     /// Runs the robustness test selected by `condition` on a summary graph.
+    ///
+    /// Goes through [`SummaryGraph::prefetched`] so the derived-array slabs are deref'd once
+    /// up front — on a snapshot-backed graph, querying through the plain `&SummaryGraph` view
+    /// would pay a virtual dispatch per reachability probe.
     pub fn evaluate(graph: &SummaryGraph, condition: CycleCondition) -> Self {
-        Self::evaluate_view(graph, condition)
+        Self::evaluate_view(&graph.prefetched(), condition)
     }
 
     /// Runs the robustness test on any summary-graph view (full graph or induced subgraph).
@@ -110,7 +118,7 @@ pub fn is_robust_view<G: SummaryGraphView>(view: &G, condition: CycleCondition) 
 
 /// Baseline test `[3]`: searches for a counterflow edge lying on a cycle.
 pub fn find_type1_violation(graph: &SummaryGraph) -> Option<Type1Witness> {
-    find_type1_violation_in(graph)
+    find_type1_violation_in(&graph.prefetched())
 }
 
 /// [`find_type1_violation`] over any summary-graph view.
@@ -154,7 +162,7 @@ fn pair_condition<G: SummaryGraphView>(
 /// Exposed for cross-checking and for the ablation benchmark; prefer
 /// [`find_type2_violation`] which is equivalent but substantially faster on large graphs.
 pub fn find_type2_violation_naive(graph: &SummaryGraph) -> Option<Type2Witness> {
-    find_type2_violation_naive_in(graph)
+    find_type2_violation_naive_in(&graph.prefetched())
 }
 
 /// [`find_type2_violation_naive`] over any summary-graph view.
@@ -186,12 +194,19 @@ pub fn find_type2_violation_naive_in<G: SummaryGraphView>(view: &G) -> Option<Ty
 /// the reachability bitsets of the graph, which turns the innermost loop of the naive version
 /// into a constant-time lookup.
 pub fn find_type2_violation(graph: &SummaryGraph) -> Option<Type2Witness> {
-    find_type2_violation_in(graph)
+    find_type2_violation_in(&graph.prefetched())
 }
 
 /// [`find_type2_violation`] over any summary-graph view. Node ids (and therefore the bitset
 /// widths) live in the view's [`universe`](SummaryGraphView::universe), so induced views share
 /// the parent graph's numbering.
+///
+/// The closing-set accumulation runs as masked word operations over the view's shared
+/// reachability rows (`kernels::or_into`), and every temporary — the pair-dedup bitset, the
+/// representative edges, the candidate list and the closing-set rows — lives in reusable
+/// per-worker scratch, so the subset-sweep hot loop performs no universe-sized allocations
+/// per call (the former implementation allocated `n²` booleans and per-candidate row vectors
+/// every time, which made tiny subsets of a wide graph pay quadratic setup).
 pub fn find_type2_violation_in<G: SummaryGraphView>(view: &G) -> Option<Type2Witness> {
     let n = view.universe();
     if n == 0 {
@@ -199,71 +214,115 @@ pub fn find_type2_violation_in<G: SummaryGraphView>(view: &G) -> Option<Type2Wit
     }
     let words = n.div_ceil(64).max(1);
 
-    // Distinct (P_1, P_2) node pairs connected by a non-counterflow edge, represented by one
-    // arbitrary representative edge each (the statements of e_1 are irrelevant to the cycle
-    // condition).
-    let mut nc_pair_seen = vec![false; n * n];
-    let mut nc_pairs: Vec<&SummaryEdge> = Vec::new();
-    for e in view.view_edges().filter(|e| !e.kind.is_counterflow()) {
-        let key = e.from * n + e.to;
-        if !nc_pair_seen[key] {
-            nc_pair_seen[key] = true;
-            nc_pairs.push(e);
+    with_type2_scratch(|scratch| {
+        // Distinct (P_1, P_2) node pairs connected by a non-counterflow edge, represented by
+        // one arbitrary representative edge each (the statements of e_1 are irrelevant to the
+        // cycle condition). The dedup bitset persists across calls and is wiped by clearing
+        // exactly the bits just set — never a full `n²`-bit sweep.
+        let seen_words = (n * n).div_ceil(64);
+        if scratch.nc_seen.len() < seen_words {
+            scratch.nc_seen.resize(seen_words, 0);
         }
-    }
-    if nc_pairs.is_empty() {
-        return None;
-    }
+        scratch.nc_pairs.clear();
+        for e in view.view_edges().filter(|e| !e.kind.is_counterflow()) {
+            let key = e.from * n + e.to;
+            if !kernels::test_bit(&scratch.nc_seen, key) {
+                kernels::set_bit(&mut scratch.nc_seen, key);
+                scratch.nc_pairs.push(*e);
+            }
+        }
+        for i in 0..scratch.nc_pairs.len() {
+            let e = scratch.nc_pairs[i];
+            kernels::clear_bit(&mut scratch.nc_seen, e.from * n + e.to);
+        }
+        if scratch.nc_pairs.is_empty() {
+            return None;
+        }
 
-    // The candidate P_5 nodes are exactly the targets of counterflow edges. For each such node
-    // compute the set of P_3 nodes for which a closing non-counterflow pair exists:
-    //   close[P_5] = ⋃ { reach_row(P_2) : (P_1 → P_2) non-counterflow, P_1 reachable from P_5 }.
-    let mut close: Vec<Option<Vec<u64>>> = vec![None; n];
-    let mut candidate_p5: Vec<NodeId> = view
-        .view_edges()
-        .filter(|e| e.kind.is_counterflow())
-        .map(|e| e.to)
-        .collect();
-    candidate_p5.sort_unstable();
-    candidate_p5.dedup();
-    for &p5 in &candidate_p5 {
-        let mut acc = vec![0u64; words];
-        for e in &nc_pairs {
-            if view.view_reachable(p5, e.from) {
-                for (a, b) in acc.iter_mut().zip(view.view_reachable_row(e.to)) {
-                    *a |= *b;
+        // The candidate P_5 nodes are exactly the targets of counterflow edges. For each such
+        // node compute the set of P_3 nodes for which a closing non-counterflow pair exists:
+        //   close[P_5] = ⋃ { reach_row(P_2) : (P_1 → P_2) non-counterflow, P_1 reachable from
+        //   P_5 }.
+        scratch.candidates.clear();
+        scratch.candidates.extend(
+            view.view_edges()
+                .filter(|e| e.kind.is_counterflow())
+                .map(|e| e.to),
+        );
+        scratch.candidates.sort_unstable();
+        scratch.candidates.dedup();
+        if scratch.candidates.is_empty() {
+            return None;
+        }
+        scratch.close.clear();
+        scratch.close.resize(scratch.candidates.len() * words, 0);
+        for (ci, &p5) in scratch.candidates.iter().enumerate() {
+            let acc = &mut scratch.close[ci * words..(ci + 1) * words];
+            for e in &scratch.nc_pairs {
+                if view.view_reachable(p5, e.from) {
+                    kernels::or_into(acc, view.view_reachable_row(e.to));
                 }
             }
         }
-        close[p5] = Some(acc);
-    }
 
-    // Enumerate adjacent pairs (e_2, e_3) with e_3 counterflow.
-    for e3 in view.view_edges().filter(|e| e.kind.is_counterflow()) {
-        let Some(close_row) = close[e3.to].as_ref() else {
-            continue;
-        };
-        for e2 in view.view_edges_to(e3.from) {
-            if !pair_condition(view, e2, e3) {
-                continue;
+        // Enumerate adjacent pairs (e_2, e_3) with e_3 counterflow.
+        for e3 in view.view_edges().filter(|e| e.kind.is_counterflow()) {
+            let ci = scratch
+                .candidates
+                .binary_search(&e3.to)
+                .expect("counterflow target is a candidate by construction");
+            let close_row = &scratch.close[ci * words..(ci + 1) * words];
+            for e2 in view.view_edges_to(e3.from) {
+                if !pair_condition(view, e2, e3) {
+                    continue;
+                }
+                let p3 = e2.from;
+                if !kernels::test_bit(close_row, p3) {
+                    continue;
+                }
+                // Recover a concrete closing non-counterflow edge for the witness.
+                let e1 = scratch
+                    .nc_pairs
+                    .iter()
+                    .find(|e| view.view_reachable(e.to, p3) && view.view_reachable(e3.to, e.from))
+                    .expect("closing edge exists by construction of the close bitset");
+                return Some(Type2Witness {
+                    non_counterflow_edge: *e1,
+                    middle_edge: *e2,
+                    counterflow_edge: *e3,
+                });
             }
-            let p3 = e2.from;
-            if close_row[p3 / 64] & (1u64 << (p3 % 64)) == 0 {
-                continue;
-            }
-            // Recover a concrete closing non-counterflow edge for the witness.
-            let e1 = nc_pairs
-                .iter()
-                .find(|e| view.view_reachable(e.to, p3) && view.view_reachable(e3.to, e.from))
-                .expect("closing edge exists by construction of the close bitset");
-            return Some(Type2Witness {
-                non_counterflow_edge: **e1,
-                middle_edge: *e2,
-                counterflow_edge: *e3,
-            });
         }
+        None
+    })
+}
+
+/// Reusable temporaries for [`find_type2_violation_in`]. Pool workers use one [`WorkerLocal`]
+/// slot each (the subset sweep calls the check once per subset), other threads a plain
+/// thread-local. `nc_seen` is self-cleaning: the function clears the bits it set before
+/// returning, so the bitset never needs re-zeroing between calls.
+#[derive(Default)]
+struct Type2Scratch {
+    nc_seen: Vec<u64>,
+    nc_pairs: Vec<SummaryEdge>,
+    candidates: Vec<NodeId>,
+    /// Closing-set rows, one per candidate `P_5`, in candidate order.
+    close: Vec<u64>,
+}
+
+fn with_type2_scratch<R>(f: impl FnOnce(&mut Type2Scratch) -> R) -> R {
+    static SCRATCH: OnceLock<WorkerLocal<Type2Scratch>> = OnceLock::new();
+    if mvrc_par::current_worker_index().is_some() {
+        SCRATCH
+            .get_or_init(|| WorkerLocal::new(Type2Scratch::default))
+            .with(f)
+    } else {
+        NON_WORKER_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
     }
-    None
+}
+
+thread_local! {
+    static NON_WORKER_SCRATCH: RefCell<Type2Scratch> = RefCell::new(Type2Scratch::default());
 }
 
 #[cfg(test)]

@@ -66,8 +66,10 @@
 mod algorithm;
 mod analysis;
 mod dot;
+mod kernels;
 mod session;
 mod settings;
+mod slab;
 mod subsets;
 mod summary;
 pub mod tables;
@@ -83,6 +85,7 @@ pub use mvrc_btp::Workload;
 pub use mvrc_par::Parallelism;
 pub use session::RobustnessSession;
 pub use settings::{AnalysisSettings, CycleCondition, Granularity};
+pub use slab::{SlabOwner, U32Slab, U64Slab};
 pub use subsets::{
     abbreviate_program_name, explore_subsets, explore_subsets_naive, explore_subsets_with,
     level_size, plan_level_shards, plan_range_shards, rebase_cached_sweep, undecided_level_runs,
@@ -91,5 +94,6 @@ pub use subsets::{
 };
 pub use summary::{
     c_dep_conds, describe_edge_in, nc_dep_conds, program_fingerprint, EdgeKind, InducedView,
-    NodeId, SummaryEdge, SummaryGraph, SummaryGraphView, UnknownProgram,
+    NodeId, PrefetchedView, SummaryEdge, SummaryGraph, SummaryGraphDerived, SummaryGraphView,
+    UnknownProgram,
 };

@@ -363,7 +363,7 @@ impl RobustnessSession {
 
     /// Convenience: is the complete workload attested robust under the given settings?
     pub fn is_robust(&self, settings: AnalysisSettings) -> bool {
-        RobustnessOutcome::evaluate_view(&*self.graph(settings), settings.condition).robust
+        RobustnessOutcome::evaluate(&self.graph(settings), settings.condition).robust
     }
 
     /// Adds a program to the workload.

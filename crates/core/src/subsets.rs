@@ -69,6 +69,14 @@ pub struct ExploreOptions {
     /// [`SubsetExploration::reused`].)
     #[serde(skip)]
     pub incremental: bool,
+    /// [`ExploreOptions::incremental`] is ignored when the total number of subsets (`2^n`) is
+    /// below this floor: the sweep runs fresh and installs no cache entry. The rebase
+    /// bookkeeping (program fingerprints, verdict rebasing, cache installation) costs more than
+    /// simply re-testing a handful of subsets — on two-program workloads it made incremental
+    /// edits *slower* than fresh sweeps. Set to `0` to force incremental behavior regardless of
+    /// size. (Not serialized, like `incremental` itself.)
+    #[serde(skip, default = "default_incremental_min_subsets")]
+    pub incremental_min_subsets: usize,
     /// How much of the pool the sweep may use. [`Parallelism::Auto`] defers to the session's
     /// [`RobustnessSession::parallelism`] setting; any other value overrides it for this call.
     /// (Not serialized: a thread cap is an execution detail, not part of the result's shape.)
@@ -83,9 +91,14 @@ impl Default for ExploreOptions {
             closure_pruning: true,
             strategy: SweepStrategy::Streamed,
             incremental: false,
+            incremental_min_subsets: default_incremental_min_subsets(),
             parallelism: Parallelism::Auto,
         }
     }
+}
+
+fn default_incremental_min_subsets() -> usize {
+    16
 }
 
 /// Result of exploring all subsets of a workload's programs.
@@ -816,9 +829,11 @@ pub fn explore_subsets_with(
     // Incremental mode: rebase the session's cached verdicts (the last completed sweep under
     // these settings) onto the current program set and adopt them as a seed — the sweep then
     // only visits masks no previous sweep decided. The fingerprints double as the identity of
-    // the updated cache entry installed below.
+    // the updated cache entry installed below. Tiny workloads skip the machinery wholesale
+    // (`fingerprints` stays `None`, so no cache entry is installed either): below
+    // [`ExploreOptions::incremental_min_subsets`] the bookkeeping costs more than the sweep.
     let mut reused = 0usize;
-    let fingerprints = if options.incremental {
+    let fingerprints = if options.incremental && (1usize << n) >= options.incremental_min_subsets {
         let fps = session.program_fingerprints();
         if let Some(cached) = session.cached_sweep(settings) {
             if let Some(seed) = rebase_cached_sweep(&cached, session.program_names(), &fps) {

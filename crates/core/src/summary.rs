@@ -12,10 +12,12 @@
 //! that touch changed nodes — the [`crate::RobustnessSession`] uses this to keep its cached
 //! graphs fresh under `add_program` / `remove_program` without rebuilding from scratch.
 
+use crate::kernels;
 use crate::settings::{AnalysisSettings, Granularity};
+use crate::slab::{U32Slab, U64Slab};
 use crate::tables::{c_dep_table, nc_dep_table};
 use mvrc_btp::{LinearProgram, Statement, StmtPos};
-use mvrc_par::WorkerLocal;
+use mvrc_par::{Parallelism, WorkerLocal};
 use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -150,52 +152,17 @@ pub fn program_fingerprint<'a>(ltps: impl IntoIterator<Item = &'a LinearProgram>
 /// A compact bit-matrix recording reachability: one row per tracked source node, one bit per
 /// node of the underlying id space (the *universe*). The full graph tracks every node; an
 /// [`InducedView`] tracks only its members, so a view over `m` of `n` nodes costs `m · ⌈n/64⌉`
-/// words instead of `n · ⌈n/64⌉`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// words instead of `n · ⌈n/64⌉`. The rows are computed by the word-parallel SCC-condensation
+/// closure of the `kernels` module (the former BFS-per-source survives only as a test oracle)
+/// and live in a [`U64Slab`], so a graph reopened from a version-3 snapshot borrows them
+/// straight out of the snapshot mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Reachability {
     words_per_row: usize,
-    bits: Vec<u64>,
+    bits: U64Slab,
 }
 
 impl Reachability {
-    fn new(rows: usize, universe: usize) -> Self {
-        let words_per_row = universe.div_ceil(64).max(1);
-        Reachability {
-            words_per_row,
-            bits: vec![0; rows * words_per_row],
-        }
-    }
-
-    /// Full closure over an adjacency given as edge-index lists: one BFS per node, row index =
-    /// node id.
-    fn full(nodes: usize, edges: &[SummaryEdge], out_edges: &[Vec<usize>]) -> Self {
-        let mut reach = Reachability::new(nodes, nodes);
-        let mut stack = Vec::new();
-        let mut visited = vec![0u64; nodes.div_ceil(64).max(1)];
-        for start in 0..nodes {
-            visited.fill(0);
-            stack.clear();
-            stack.push(start);
-            visited[start / 64] |= 1u64 << (start % 64);
-            while let Some(node) = stack.pop() {
-                reach.set(start, node);
-                for &edge_idx in &out_edges[node] {
-                    let next = edges[edge_idx].to;
-                    if visited[next / 64] & (1u64 << (next % 64)) == 0 {
-                        visited[next / 64] |= 1u64 << (next % 64);
-                        stack.push(next);
-                    }
-                }
-            }
-        }
-        reach
-    }
-
-    #[inline]
-    fn set(&mut self, row: usize, to: usize) {
-        self.bits[row * self.words_per_row + to / 64] |= 1u64 << (to % 64);
-    }
-
     #[inline]
     fn get(&self, row: usize, to: usize) -> bool {
         self.bits[row * self.words_per_row + to / 64] & (1u64 << (to % 64)) != 0
@@ -206,18 +173,144 @@ impl Reachability {
     }
 }
 
+/// Edge indices in compressed-sparse-row layout, grouped by one endpoint:
+/// `targets[offsets[v]..offsets[v + 1]]` are the indices (ascending) of the edges whose
+/// endpoint is `v`. Stored in slabs so snapshot-backed graphs borrow the arrays in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Csr {
+    offsets: U32Slab,
+    targets: U32Slab,
+}
+
+impl Csr {
+    fn build(n: usize, edges: &[SummaryEdge], endpoint: impl Fn(&SummaryEdge) -> usize) -> Csr {
+        assert!(
+            u32::try_from(edges.len()).is_ok(),
+            "summary graph exceeds u32 edge indices"
+        );
+        let mut offsets = vec![0u32; n + 1];
+        for e in edges {
+            offsets[endpoint(e) + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for (idx, e) in edges.iter().enumerate() {
+            let v = endpoint(e);
+            targets[cursor[v] as usize] = idx as u32;
+            cursor[v] += 1;
+        }
+        Csr {
+            offsets: offsets.into(),
+            targets: targets.into(),
+        }
+    }
+
+    #[inline]
+    fn slice(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+}
+
+/// The derived arrays of a [`SummaryGraph`], as slabs — what the version-3 snapshot layer
+/// persists and hands back to [`SummaryGraph::from_snapshot_parts_with_derived`] so a warm
+/// start installs borrowed arrays instead of re-deriving them.
+pub struct SummaryGraphDerived {
+    /// Out-adjacency CSR offsets (`n + 1` entries).
+    pub out_offsets: U32Slab,
+    /// Out-adjacency CSR targets: edge indices grouped by source node.
+    pub out_targets: U32Slab,
+    /// In-adjacency CSR offsets (`n + 1` entries).
+    pub in_offsets: U32Slab,
+    /// In-adjacency CSR targets: edge indices grouped by target node.
+    pub in_targets: U32Slab,
+    /// Reachability rows, `n · ⌈n/64⌉` words row-major (`⌈0/64⌉` reads as `1`; see
+    /// [`SummaryGraph::reachability_words`]).
+    pub reach_bits: U64Slab,
+}
+
+/// Checks that `csr` is byte-identical to the CSR [`Csr::build`] would derive: correct
+/// dimensions, monotone offsets covering every edge, and per group only in-range, strictly
+/// ascending edge indices with the right endpoint. Ascending order within groups plus the
+/// total length forces every edge index to appear exactly once (an index can only ever sit in
+/// its own endpoint's group).
+fn validate_csr(
+    csr: &Csr,
+    n: usize,
+    edges: &[SummaryEdge],
+    endpoint: impl Fn(&SummaryEdge) -> usize,
+    which: &str,
+) -> Result<(), String> {
+    // Deref the slabs once up front: snapshot-backed CSRs pay a virtual call per slab
+    // access, and this walk is O(E) on the open path.
+    let offsets: &[u32] = &csr.offsets;
+    let targets: &[u32] = &csr.targets;
+    if offsets.len() != n + 1 || offsets[0] != 0 {
+        return Err(format!("{which}-adjacency offsets malformed"));
+    }
+    if targets.len() != edges.len() || *offsets.last().unwrap() as usize != edges.len() {
+        return Err(format!(
+            "{which}-adjacency does not cover the edge list exactly"
+        ));
+    }
+    for v in 0..n {
+        if offsets[v] > offsets[v + 1] {
+            return Err(format!(
+                "{which}-adjacency offsets not monotone at node {v}"
+            ));
+        }
+        let group = &targets[offsets[v] as usize..offsets[v + 1] as usize];
+        for (k, &t) in group.iter().enumerate() {
+            if t as usize >= edges.len() {
+                return Err(format!("{which}-adjacency edge index {t} out of range"));
+            }
+            if endpoint(&edges[t as usize]) != v {
+                return Err(format!(
+                    "{which}-adjacency edge {t} grouped under wrong node {v}"
+                ));
+            }
+            if k > 0 && group[k - 1] >= t {
+                return Err(format!(
+                    "{which}-adjacency group of node {v} not strictly ascending"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The summary graph over a set of LTPs.
 ///
-/// `PartialEq` compares every derived array as well (adjacency, reachability bits) — the
+/// The adjacency (CSR edge-index arrays) and the reachability closure are *lazily derived*
+/// from `(nodes, edges)`: construction and incremental edits stop at the edge list, and each
+/// derived array is built on first use — a sweep that queries only out-adjacency never pays
+/// for the in-adjacency or the closure. A graph reopened from a version-3 `mvrc-dist`
+/// snapshot has the derived arrays pre-installed as borrowed slabs of the snapshot mapping
+/// ([`SummaryGraph::from_snapshot_parts_with_derived`]) and never derives anything.
+///
+/// `PartialEq` compares every derived array as well (forcing their derivation) — the
 /// bit-identity contract of the `mvrc-dist` snapshot round-trip tests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SummaryGraph {
     nodes: Vec<LinearProgram>,
     edges: Vec<SummaryEdge>,
-    out_edges: Vec<Vec<usize>>,
-    in_edges: Vec<Vec<usize>>,
-    reach: Reachability,
     settings: AnalysisSettings,
+    out_adj: OnceLock<Csr>,
+    in_adj: OnceLock<Csr>,
+    reach: OnceLock<Reachability>,
+}
+
+impl PartialEq for SummaryGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.edges == other.edges
+            && self.settings == other.settings
+            && self.out_csr() == other.out_csr()
+            && self.in_csr() == other.in_csr()
+            && self.reachability() == other.reachability()
+    }
 }
 
 /// Derives the Algorithm 1 edges between one ordered node pair `(i, j)` and appends them to
@@ -283,37 +376,75 @@ impl SummaryGraph {
             }
         }
 
-        let mut graph = SummaryGraph {
-            nodes,
-            edges,
-            out_edges: Vec::new(),
-            in_edges: Vec::new(),
-            reach: Reachability::new(0, 0),
-            settings,
-        };
-        graph.rebuild_adjacency_and_reachability();
-        graph
+        SummaryGraph::new_lazy(nodes, edges, settings)
     }
 
-    /// Rebuilds the adjacency lists and the reachability closure from `self.edges`.
-    fn rebuild_adjacency_and_reachability(&mut self) {
-        let n = self.nodes.len();
-        self.out_edges = vec![Vec::new(); n];
-        self.in_edges = vec![Vec::new(); n];
-        for (idx, e) in self.edges.iter().enumerate() {
-            self.out_edges[e.from].push(idx);
-            self.in_edges[e.to].push(idx);
+    /// A graph whose derived arrays (adjacency CSR, closure) are built on first use.
+    fn new_lazy(
+        nodes: Vec<LinearProgram>,
+        edges: Vec<SummaryEdge>,
+        settings: AnalysisSettings,
+    ) -> Self {
+        SummaryGraph {
+            nodes,
+            edges,
+            settings,
+            out_adj: OnceLock::new(),
+            in_adj: OnceLock::new(),
+            reach: OnceLock::new(),
         }
-        self.reach = Reachability::full(n, &self.edges, &self.out_edges);
+    }
+
+    /// Drops every derived array; each is re-derived lazily on its next use.
+    fn clear_derived(&mut self) {
+        self.out_adj = OnceLock::new();
+        self.in_adj = OnceLock::new();
+        self.reach = OnceLock::new();
+    }
+
+    /// The out-adjacency CSR (edge indices grouped by source), derived on first use.
+    fn out_csr(&self) -> &Csr {
+        self.out_adj
+            .get_or_init(|| Csr::build(self.nodes.len(), &self.edges, |e| e.from))
+    }
+
+    /// The in-adjacency CSR (edge indices grouped by target), derived on first use.
+    fn in_csr(&self) -> &Csr {
+        self.in_adj
+            .get_or_init(|| Csr::build(self.nodes.len(), &self.edges, |e| e.to))
+    }
+
+    /// The reachability closure, derived on first use by the word-parallel SCC-condensation
+    /// kernel. Each actual derivation advances the thread-local closure counter
+    /// ([`Self::closures_computed_on_current_thread`]) — snapshot-installed closures never do.
+    fn reachability(&self) -> &Reachability {
+        self.reach.get_or_init(|| {
+            CLOSURES.with(|c| c.set(c.get() + 1));
+            let n = self.nodes.len();
+            let words_per_row = n.div_ceil(64).max(1);
+            let out = self.out_csr();
+            let rows = kernels::transitive_closure(
+                n,
+                words_per_row,
+                |v| v,
+                |v| out.slice(v).len(),
+                |v, k| self.edges[out.slice(v)[k] as usize].to,
+                Parallelism::Auto,
+            );
+            Reachability {
+                words_per_row,
+                bits: rows.into(),
+            }
+        })
     }
 
     /// Incrementally extends the graph with additional LTPs.
     ///
     /// Because Algorithm 1 derives edges pairwise, only the edge rows touching the new nodes
     /// have to be computed: the `(old, new)`, `(new, old)` and `(new, new)` pairs. Existing
-    /// edges are untouched; the reachability closure is recomputed (it is not preserved under
-    /// node addition, but its BFS cost is tiny next to the attribute-set and foreign-key
-    /// reasoning of a full reconstruction). The construction counter does **not** advance.
+    /// edges are untouched; the derived arrays (adjacency, closure — neither is preserved
+    /// under node addition) are invalidated and rebuilt lazily on next use. The construction
+    /// counter does **not** advance.
     pub fn add_ltps(&mut self, ltps: &[LinearProgram], schema: &Schema) {
         let old_n = self.nodes.len();
         self.nodes
@@ -326,15 +457,15 @@ impl SummaryGraph {
                 push_pair_edges(i, pi, j, pj, self.settings, &mut self.edges);
             }
         }
-        self.rebuild_adjacency_and_reachability();
+        self.clear_derived();
     }
 
     /// Incrementally removes a set of nodes (and every edge touching them), compacting node
     /// ids: surviving nodes are renumbered to `0..new_len` in their existing order.
     ///
     /// No Algorithm 1 work is performed at all — the edges between surviving nodes are exactly
-    /// the surviving edges (edge derivation is pairwise); only adjacency and reachability are
-    /// rebuilt.
+    /// the surviving edges (edge derivation is pairwise); adjacency and reachability are
+    /// invalidated and re-derived lazily.
     pub fn remove_nodes(&mut self, remove: &[NodeId]) {
         let n = self.nodes.len();
         let mut keep = vec![true; n];
@@ -368,7 +499,7 @@ impl SummaryGraph {
                 false
             }
         });
-        self.rebuild_adjacency_and_reachability();
+        self.clear_derived();
     }
 
     /// Reassembles a graph from persisted parts — the deserialization hook of the `mvrc-dist`
@@ -377,9 +508,10 @@ impl SummaryGraph {
     /// `nodes` must be the already-widened LTPs the graph was built over and `edges` its
     /// complete Algorithm 1 edge list; **no edge derivation runs** (and the construction
     /// counter does not advance). The adjacency lists and the reachability closure are
-    /// deterministic functions of `(nodes, edges)` and are rebuilt, so a graph round-tripped
-    /// through [`edges`](Self::edges)/[`nodes`](Self::nodes) and this constructor compares
-    /// equal to the original on every array (`PartialEq` covers the derived arrays too).
+    /// deterministic functions of `(nodes, edges)` and are re-derived lazily on first use, so
+    /// a graph round-tripped through [`edges`](Self::edges)/[`nodes`](Self::nodes) and this
+    /// constructor compares equal to the original on every array (`PartialEq` covers the
+    /// derived arrays too).
     ///
     /// # Panics
     ///
@@ -401,16 +533,62 @@ impl SummaryGraph {
                 "from_snapshot_parts: edge statement position out of range"
             );
         }
-        let mut graph = SummaryGraph {
-            nodes,
-            edges,
-            out_edges: Vec::new(),
-            in_edges: Vec::new(),
-            reach: Reachability::new(0, 0),
-            settings,
+        SummaryGraph::new_lazy(nodes, edges, settings)
+    }
+
+    /// [`Self::from_snapshot_parts`] with the derived arrays supplied as well — the
+    /// *warm-start* hook of the version-3 snapshot layer. The slabs of `derived` (typically
+    /// borrowed straight out of a snapshot mapping) are installed after structural validation;
+    /// no edge derivation, no adjacency build and **no closure computation** runs, so opening
+    /// a snapshot is O(validation) in the edge count and advances neither the construction
+    /// counter nor the closure counter.
+    ///
+    /// Validation checks that the adjacency arrays are exactly the CSR this graph would derive
+    /// from `edges` (offset monotonicity, group membership, ascending edge indices per group —
+    /// which together force bit-identity with a fresh derivation) and that the reachability
+    /// slab has the exact derived dimensions. The reachability *contents* are not recomputed —
+    /// they are covered by the snapshot file's fingerprint, which the caller verifies.
+    pub fn from_snapshot_parts_with_derived(
+        nodes: Vec<LinearProgram>,
+        edges: Vec<SummaryEdge>,
+        settings: AnalysisSettings,
+        derived: SummaryGraphDerived,
+    ) -> Result<Self, String> {
+        let n = nodes.len();
+        for e in &edges {
+            if e.from >= n || e.to >= n {
+                return Err(format!("graph edge endpoint out of range ({n} nodes)"));
+            }
+            if e.from_stmt >= nodes[e.from].len() || e.to_stmt >= nodes[e.to].len() {
+                return Err("graph edge statement position out of range".to_string());
+            }
+        }
+        let out = Csr {
+            offsets: derived.out_offsets,
+            targets: derived.out_targets,
         };
-        graph.rebuild_adjacency_and_reachability();
-        graph
+        let in_ = Csr {
+            offsets: derived.in_offsets,
+            targets: derived.in_targets,
+        };
+        validate_csr(&out, n, &edges, |e| e.from, "out")?;
+        validate_csr(&in_, n, &edges, |e| e.to, "in")?;
+        let words_per_row = n.div_ceil(64).max(1);
+        if derived.reach_bits.len() != n * words_per_row {
+            return Err(format!(
+                "reachability slab has {} words, expected {}",
+                derived.reach_bits.len(),
+                n * words_per_row
+            ));
+        }
+        let graph = SummaryGraph::new_lazy(nodes, edges, settings);
+        let _ = graph.out_adj.set(out);
+        let _ = graph.in_adj.set(in_);
+        let _ = graph.reach.set(Reachability {
+            words_per_row,
+            bits: derived.reach_bits,
+        });
+        Ok(graph)
     }
 
     /// Number of `SummaryGraph::construct` calls made by the current thread.
@@ -423,6 +601,56 @@ impl SummaryGraph {
     /// worker threads).
     pub fn constructions_on_current_thread() -> u64 {
         CONSTRUCTIONS.with(Cell::get)
+    }
+
+    /// Number of full-graph reachability closures *computed* by the current thread.
+    ///
+    /// The companion of [`Self::constructions_on_current_thread`] for the lazy derivation
+    /// layer: forcing a graph's closure (first [`reachable`](Self::reachable) /
+    /// [`reachable_row`](Self::reachable_row) query after construction or an incremental edit)
+    /// advances it; queries answered from an already-derived or snapshot-installed closure do
+    /// not. Induced-view closures are not counted — the counter exists to assert that snapshot
+    /// warm starts rebuild nothing, and views always compute their own member-local rows.
+    pub fn closures_computed_on_current_thread() -> u64 {
+        CLOSURES.with(Cell::get)
+    }
+
+    /// The out-adjacency CSR arrays `(offsets, targets)` — edge indices grouped by source
+    /// node, `n + 1` offsets over `edge_count` targets. Forces derivation; exposed for the
+    /// `mvrc-dist` snapshot writer, which persists the derived arrays verbatim.
+    pub fn out_adjacency(&self) -> (&[u32], &[u32]) {
+        let csr = self.out_csr();
+        (&csr.offsets, &csr.targets)
+    }
+
+    /// The in-adjacency CSR arrays `(offsets, targets)` — edge indices grouped by target node.
+    /// Forces derivation; exposed for the `mvrc-dist` snapshot writer.
+    pub fn in_adjacency(&self) -> (&[u32], &[u32]) {
+        let csr = self.in_csr();
+        (&csr.offsets, &csr.targets)
+    }
+
+    /// The reachability closure as `(words_per_row, row-major words)` — node `i`'s row starts
+    /// at `i * words_per_row`. Forces derivation; exposed for the `mvrc-dist` snapshot writer.
+    pub fn reachability_words(&self) -> (usize, &[u64]) {
+        let reach = self.reachability();
+        (reach.words_per_row, &reach.bits)
+    }
+
+    /// `true` when every derived array (both CSRs and the reachability slab) *borrows* a
+    /// shared owner ([`crate::SlabOwner`]) rather than owning its words — what a version-3
+    /// snapshot warm start installs, and how the `mvrc-dist` tests assert the open really was
+    /// zero-copy. Forces derivation, so on a freshly constructed graph this derives owned
+    /// arrays and returns `false`.
+    pub fn derived_arrays_shared(&self) -> bool {
+        let out = self.out_csr();
+        let in_ = self.in_csr();
+        let reach = self.reachability();
+        out.offsets.is_shared()
+            && out.targets.is_shared()
+            && in_.offsets.is_shared()
+            && in_.targets.is_shared()
+            && reach.bits.is_shared()
     }
 
     /// The settings the graph was constructed under.
@@ -470,14 +698,18 @@ impl SummaryGraph {
 
     /// Edges leaving a node.
     pub fn edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> {
-        self.out_edges[node]
+        self.out_csr()
+            .slice(node)
             .iter()
-            .map(move |&idx| &self.edges[idx])
+            .map(move |&idx| &self.edges[idx as usize])
     }
 
     /// Edges entering a node.
     pub fn edges_to(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> {
-        self.in_edges[node].iter().map(move |&idx| &self.edges[idx])
+        self.in_csr()
+            .slice(node)
+            .iter()
+            .map(move |&idx| &self.edges[idx as usize])
     }
 
     /// Counterflow edges leaving a node.
@@ -493,14 +725,14 @@ impl SummaryGraph {
     /// Reachability `from →* to` over all edges; every node reaches itself (zero-length path).
     #[inline]
     pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
-        self.reach.get(from, to)
+        self.reachability().get(from, to)
     }
 
     /// The bitset row of nodes reachable from `from` (64 nodes per word, node `i` at bit
     /// `i % 64` of word `i / 64`). Exposed for the optimized robustness check; equals
     /// [`SummaryGraphView::view_reachable_row`].
     pub fn reachable_row(&self, from: NodeId) -> &[u64] {
-        self.reach.row(from)
+        self.reachability().row(from)
     }
 
     /// Renders an edge with program and statement names (diagnostics, DOT export).
@@ -516,9 +748,10 @@ impl SummaryGraph {
     ///
     /// The construction iterates **only the member nodes' adjacency lists** — `O(Σ deg(m))`
     /// over the members `m`, not `O(E)` over the parent's full edge list — and draws its
-    /// temporaries (membership mask, position lookup, BFS state) from a reusable per-worker
-    /// scratch slot of the `mvrc-par` pool, so the subset-exploration hot loop performs no
-    /// universe-sized allocations per view.
+    /// temporaries (membership mask, position lookup) from a reusable per-worker scratch slot
+    /// of the `mvrc-par` pool, so the subset-exploration hot loop performs no universe-sized
+    /// allocations per view. The member-local reachability is computed by the word-parallel
+    /// SCC-condensation kernel of the `kernels` module over the kept edges.
     ///
     /// Since the edges of `SuG(𝒫)` are defined pairwise over the LTPs of `𝒫` (Algorithm 1
     /// consults only `P_i` and `P_j` for an edge between them), the induced view over the nodes
@@ -535,80 +768,87 @@ impl SummaryGraph {
         let n = self.nodes.len();
         let m = members.len();
         let words = n.div_ceil(64).max(1);
+        let out = self.out_csr();
 
-        with_induced_scratch(|scratch| {
-            scratch.mask.clear();
-            scratch.mask.resize(words, 0);
-            scratch.pos_of.resize(n.max(1), 0);
-            for (pos, &id) in members.iter().enumerate() {
-                assert!(id < n, "induced(): node id {id} out of range ({n} nodes)");
-                scratch.mask[id / 64] |= 1u64 << (id % 64);
-                // Stale entries for non-members are never read: every read is guarded by the
-                // membership mask.
-                scratch.pos_of[id] = pos as u32;
-            }
-            let in_mask = |id: NodeId| scratch.mask[id / 64] & (1u64 << (id % 64)) != 0;
-
-            // Kept edges in CSR layout, grouped by source member; count in-degrees as we go.
-            let mut out_csr = Vec::new();
-            let mut out_offsets = Vec::with_capacity(m + 1);
-            let mut in_degree = vec![0usize; m];
-            out_offsets.push(0);
-            for &member in &members {
-                for &edge_idx in &self.out_edges[member] {
-                    let to = self.edges[edge_idx].to;
-                    if in_mask(to) {
-                        out_csr.push(edge_idx);
-                        in_degree[scratch.pos_of[to] as usize] += 1;
-                    }
+        // Kept edges in CSR layout, grouped by source member, plus each kept edge's target
+        // *member position* (`succ_pos`), which is what the closure kernel walks below. The
+        // kernel runs outside the scratch borrow so a universe-sized view may fan its row
+        // materialization out over the pool without re-entering any scratch slot.
+        let (out_csr, out_offsets, in_csr, in_offsets, succ_pos) =
+            with_induced_scratch(|scratch| {
+                scratch.mask.clear();
+                scratch.mask.resize(words, 0);
+                scratch.pos_of.resize(n.max(1), 0);
+                for (pos, &id) in members.iter().enumerate() {
+                    assert!(id < n, "induced(): node id {id} out of range ({n} nodes)");
+                    scratch.mask[id / 64] |= 1u64 << (id % 64);
+                    // Stale entries for non-members are never read: every read is guarded by
+                    // the membership mask.
+                    scratch.pos_of[id] = pos as u32;
                 }
-                out_offsets.push(out_csr.len());
-            }
-            let mut in_offsets = Vec::with_capacity(m + 1);
-            in_offsets.push(0);
-            for &d in &in_degree {
-                in_offsets.push(in_offsets.last().unwrap() + d);
-            }
-            let mut cursor = in_offsets.clone();
-            let mut in_csr = vec![0usize; out_csr.len()];
-            for &edge_idx in &out_csr {
-                let pos = scratch.pos_of[self.edges[edge_idx].to] as usize;
-                in_csr[cursor[pos]] = edge_idx;
-                cursor[pos] += 1;
-            }
+                let in_mask = |id: NodeId| scratch.mask[id / 64] & (1u64 << (id % 64)) != 0;
 
-            // Per-member BFS over member positions; rows are member positions, columns are
-            // universe node ids (so views share the parent's bitset numbering).
-            let mut reach = Reachability::new(m, n);
-            let visited_words = m.div_ceil(64).max(1);
-            scratch.visited.resize(visited_words, 0);
-            scratch.stack.clear();
-            for start in 0..m {
-                scratch.visited[..visited_words].fill(0);
-                scratch.stack.push(start);
-                scratch.visited[start / 64] |= 1u64 << (start % 64);
-                while let Some(pos) = scratch.stack.pop() {
-                    reach.set(start, members[pos]);
-                    for &edge_idx in &out_csr[out_offsets[pos]..out_offsets[pos + 1]] {
-                        let next = scratch.pos_of[self.edges[edge_idx].to] as usize;
-                        if scratch.visited[next / 64] & (1u64 << (next % 64)) == 0 {
-                            scratch.visited[next / 64] |= 1u64 << (next % 64);
-                            scratch.stack.push(next);
+                let mut out_csr = Vec::new();
+                let mut succ_pos: Vec<u32> = Vec::new();
+                let mut out_offsets = Vec::with_capacity(m + 1);
+                let mut in_degree = vec![0usize; m];
+                out_offsets.push(0);
+                // Deref the parent's CSR slabs once, outside the member loop: on a
+                // snapshot-backed graph each slab access is a virtual call, and the sweep
+                // builds one view per subset.
+                let parent_offsets: &[u32] = &out.offsets;
+                let parent_targets: &[u32] = &out.targets;
+                for &member in &members {
+                    for &edge_idx in &parent_targets
+                        [parent_offsets[member] as usize..parent_offsets[member + 1] as usize]
+                    {
+                        let to = self.edges[edge_idx as usize].to;
+                        if in_mask(to) {
+                            out_csr.push(edge_idx as usize);
+                            succ_pos.push(scratch.pos_of[to]);
+                            in_degree[scratch.pos_of[to] as usize] += 1;
                         }
                     }
+                    out_offsets.push(out_csr.len());
                 }
-            }
+                let mut in_offsets = Vec::with_capacity(m + 1);
+                in_offsets.push(0);
+                for &d in &in_degree {
+                    in_offsets.push(in_offsets.last().unwrap() + d);
+                }
+                let mut cursor = in_offsets.clone();
+                let mut in_csr = vec![0usize; out_csr.len()];
+                for &edge_idx in &out_csr {
+                    let pos = scratch.pos_of[self.edges[edge_idx].to] as usize;
+                    in_csr[cursor[pos]] = edge_idx;
+                    cursor[pos] += 1;
+                }
+                (out_csr, out_offsets, in_csr, in_offsets, succ_pos)
+            });
 
-            InducedView {
-                graph: self,
-                members,
-                out_csr,
-                out_offsets,
-                in_csr,
-                in_offsets,
-                reach,
-            }
-        })
+        // Rows are member positions, columns are universe node ids (so views share the
+        // parent's bitset numbering).
+        let rows = kernels::transitive_closure(
+            m,
+            words,
+            |p| members[p],
+            |p| out_offsets[p + 1] - out_offsets[p],
+            |p, k| succ_pos[out_offsets[p] + k] as usize,
+            Parallelism::Auto,
+        );
+
+        InducedView {
+            graph: self,
+            members,
+            out_csr,
+            out_offsets,
+            in_csr,
+            in_offsets,
+            reach: Reachability {
+                words_per_row: words,
+                bits: rows.into(),
+            },
+        }
     }
 
     /// The induced subgraph over the LTP nodes unfolded from the given programs.
@@ -753,11 +993,11 @@ impl SummaryGraphView for SummaryGraph {
     }
 
     fn view_reachable(&self, from: NodeId, to: NodeId) -> bool {
-        self.reach.get(from, to)
+        self.reachability().get(from, to)
     }
 
     fn view_reachable_row(&self, from: NodeId) -> &[u64] {
-        self.reach.row(from)
+        self.reachability().row(from)
     }
 
     fn view_node_count(&self) -> usize {
@@ -766,6 +1006,91 @@ impl SummaryGraphView for SummaryGraph {
 
     fn view_edge_count(&self) -> usize {
         self.edges.len()
+    }
+}
+
+/// A full-graph view with the derived arrays *prefetched*: both CSRs and the reachability
+/// words are deref'd out of their slabs once, at construction, so the cycle-test kernels index
+/// plain slices. On an owned graph this is a wash, but on a snapshot-backed graph each slab
+/// access goes through a virtual [`crate::SlabOwner`] call — per reachability query, that
+/// virtual dispatch dominated the word-parallel type-II scan (millions of single-bit probes),
+/// making a zero-copy warm start *slower* to query than an owned decode. Hoisting the deref
+/// restores identical query costs for owned and mapped graphs.
+pub struct PrefetchedView<'g> {
+    graph: &'g SummaryGraph,
+    out_offsets: &'g [u32],
+    out_targets: &'g [u32],
+    in_offsets: &'g [u32],
+    in_targets: &'g [u32],
+    words_per_row: usize,
+    reach_bits: &'g [u64],
+}
+
+impl SummaryGraph {
+    /// A [`PrefetchedView`] over the whole graph. Forces derivation of the CSRs and the
+    /// reachability closure (a no-op on warm-started graphs, which have them installed).
+    pub fn prefetched(&self) -> PrefetchedView<'_> {
+        let out = self.out_csr();
+        let in_ = self.in_csr();
+        let reach = self.reachability();
+        PrefetchedView {
+            graph: self,
+            out_offsets: &out.offsets,
+            out_targets: &out.targets,
+            in_offsets: &in_.offsets,
+            in_targets: &in_.targets,
+            words_per_row: reach.words_per_row,
+            reach_bits: &reach.bits,
+        }
+    }
+}
+
+impl SummaryGraphView for PrefetchedView<'_> {
+    fn universe(&self) -> usize {
+        self.graph.nodes.len()
+    }
+
+    fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.graph.nodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> &LinearProgram {
+        &self.graph.nodes[id]
+    }
+
+    fn view_edges(&self) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.graph.edges.iter()
+    }
+
+    fn view_edges_to(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.in_targets[self.in_offsets[node] as usize..self.in_offsets[node + 1] as usize]
+            .iter()
+            .map(move |&idx| &self.graph.edges[idx as usize])
+    }
+
+    fn view_counterflow_edges_from(&self, node: NodeId) -> impl Iterator<Item = &SummaryEdge> + '_ {
+        self.out_targets[self.out_offsets[node] as usize..self.out_offsets[node + 1] as usize]
+            .iter()
+            .map(move |&idx| &self.graph.edges[idx as usize])
+            .filter(|e| e.kind.is_counterflow())
+    }
+
+    #[inline]
+    fn view_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.reach_bits[from * self.words_per_row + to / 64] & (1u64 << (to % 64)) != 0
+    }
+
+    #[inline]
+    fn view_reachable_row(&self, from: NodeId) -> &[u64] {
+        &self.reach_bits[from * self.words_per_row..(from + 1) * self.words_per_row]
+    }
+
+    fn view_node_count(&self) -> usize {
+        self.graph.nodes.len()
+    }
+
+    fn view_edge_count(&self) -> usize {
+        self.graph.edges.len()
     }
 }
 
@@ -941,8 +1266,8 @@ pub fn c_dep_conds(
     false
 }
 
-/// Reusable temporaries for [`SummaryGraph::induced`]: membership mask, node-id →
-/// member-position lookup and BFS state. Pool workers use one [`WorkerLocal`] slot each, so a
+/// Reusable temporaries for [`SummaryGraph::induced`]: membership mask and node-id →
+/// member-position lookup. Pool workers use one [`WorkerLocal`] slot each, so a
 /// worker sweeping thousands of subset views touches the same warm buffers for the whole
 /// sweep (the arena's lifetime and sizing are tied to the pool, not to whatever threads
 /// happen to exist); application threads — which also execute fold chunks inline, and run
@@ -952,8 +1277,6 @@ pub fn c_dep_conds(
 struct InducedScratch {
     mask: Vec<u64>,
     pos_of: Vec<u32>,
-    visited: Vec<u64>,
-    stack: Vec<usize>,
 }
 
 fn with_induced_scratch<R>(f: impl FnOnce(&mut InducedScratch) -> R) -> R {
@@ -969,6 +1292,7 @@ fn with_induced_scratch<R>(f: impl FnOnce(&mut InducedScratch) -> R) -> R {
 
 thread_local! {
     static CONSTRUCTIONS: Cell<u64> = const { Cell::new(0) };
+    static CLOSURES: Cell<u64> = const { Cell::new(0) };
     static NON_WORKER_SCRATCH: std::cell::RefCell<InducedScratch> =
         std::cell::RefCell::new(InducedScratch::default());
 }

@@ -143,6 +143,9 @@ proptest! {
                     strategy,
                     parallelism,
                     incremental: true,
+                    // The synthetic workloads here are tiny; pin the size cutoff open so the
+                    // reuse engine itself is what gets exercised.
+                    incremental_min_subsets: 0,
                     ..ExploreOptions::default()
                 };
                 let mut session = RobustnessSession::from_programs(&schema, &pool[..start]);
@@ -204,6 +207,7 @@ proptest! {
         let options = ExploreOptions {
             closure_pruning: false,
             incremental: true,
+            incremental_min_subsets: 0,
             ..ExploreOptions::default()
         };
 
@@ -242,6 +246,7 @@ fn renamed_program_with_identical_body_is_reused_but_changed_body_is_not() {
     let settings = AnalysisSettings::paper_default();
     let options = ExploreOptions {
         incremental: true,
+        incremental_min_subsets: 0,
         ..ExploreOptions::default()
     };
 
@@ -286,4 +291,54 @@ fn renamed_program_with_identical_body_is_reused_but_changed_body_is_not() {
     assert_eq!(changed.cycle_tests + changed.pruned, 1 << 2);
     let scratch = RobustnessSession::from_programs(&schema, &session.workload().programs);
     assert_eq!(changed.robust, explore_subsets(&scratch, settings).robust);
+}
+
+#[test]
+fn small_workloads_fall_back_to_fresh_sweeps_under_the_size_cutoff() {
+    // With `incremental_min_subsets` at its default of 16, a 2-program workload (4 subsets)
+    // never touches the reuse machinery: re-sweeps after an edit report `reused == 0` and
+    // install no cache entry, matching `incremental: false` exactly. A 4-program workload
+    // (16 subsets) sits exactly on the floor and keeps reusing.
+    let workload = synthetic(SyntheticConfig {
+        programs: 4,
+        ..SyntheticConfig::default()
+    });
+    let pool = workload.programs.clone();
+    let schema = workload.schema.clone();
+    let settings = AnalysisSettings::paper_default();
+    let options = ExploreOptions {
+        incremental: true,
+        ..ExploreOptions::default()
+    };
+    assert_eq!(options.incremental_min_subsets, 16);
+
+    // Below the floor: two programs, 4 subsets.
+    let mut small = RobustnessSession::from_programs(&schema, &pool[..2]);
+    explore_subsets_with(&small, settings, options);
+    small.remove_program(pool[1].name()).unwrap();
+    small.add_program(pool[1].clone());
+    let resweep = explore_subsets_with(&small, settings, options);
+    assert_eq!(resweep.reused, 0, "below the cutoff nothing is reused");
+    assert_eq!(resweep.cycle_tests + resweep.pruned, (1 << 2) - 1);
+    let plain = explore_subsets_with(
+        &small,
+        settings,
+        ExploreOptions {
+            incremental: false,
+            ..options
+        },
+    );
+    assert_eq!(
+        resweep, plain,
+        "sub-cutoff incremental sweeps match incremental: false"
+    );
+
+    // On the floor: four programs, 16 subsets — the no-op edit is fully reused.
+    let mut big = RobustnessSession::from_programs(&schema, &pool);
+    explore_subsets_with(&big, settings, options);
+    big.remove_program(pool[3].name()).unwrap();
+    big.add_program(pool[3].clone());
+    let resweep = explore_subsets_with(&big, settings, options);
+    assert_eq!(resweep.cycle_tests, 0);
+    assert_eq!(resweep.reused, (1 << 4) - 1);
 }

@@ -3,12 +3,33 @@
 //! canonical: equal values produce equal bytes, which is what makes the fingerprint a usable
 //! identity.
 
+#![forbid(unsafe_code)]
+
 /// FNV-1a, 64-bit: the workload fingerprint. Not cryptographic — it guards against *mistakes*
 /// (merging verdicts of a different workload, opening a truncated or bit-flipped snapshot),
 /// not against adversaries.
 pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a chained over 64-bit little-endian lanes (trailing bytes fold in one at a time, like
+/// [`fnv64`]). The payload fingerprint of snapshot format version 3+: one multiply per eight
+/// bytes instead of one per byte. Version-3 payloads carry the derived CSR/reachability
+/// arrays, so the byte-chained hash — a serial dependency of ~3 cycles *per byte* — would tax
+/// every open with more time than the decode it guards. Still not cryptographic.
+pub(crate) fn fnv64_words(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut lanes = bytes.chunks_exact(8);
+    for lane in &mut lanes {
+        hash ^= u64::from_le_bytes(lane.try_into().unwrap());
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in lanes.remainder() {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -68,6 +89,34 @@ impl Writer {
                 self.u8(1);
                 self.u64(bits);
             }
+        }
+    }
+
+    /// Zero-pads until the *absolute* file offset `base + len()` is 8-byte aligned — `base`
+    /// is the number of bytes (the snapshot header) that precede this payload in the file.
+    /// Alignment is what lets a mapped reader reinterpret the array that follows in place.
+    pub(crate) fn pad8(&mut self, base: usize) {
+        while (base + self.buf.len()) % 8 != 0 {
+            self.buf.push(0);
+        }
+    }
+
+    /// The current payload length in bytes (the next write's payload offset).
+    pub(crate) fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// A raw `u32` array, little-endian, no length prefix (the caller's schema implies it).
+    pub(crate) fn u32_slice(&mut self, vs: &[u32]) {
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// A raw `u64` array, little-endian, no length prefix.
+    pub(crate) fn u64_slice(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 }
@@ -155,6 +204,50 @@ impl<'a> Reader<'a> {
             other => Err(format!("invalid Option tag {other}")),
         }
     }
+
+    /// The current payload offset (bytes consumed so far).
+    #[cfg(test)]
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes the zero padding [`Writer::pad8`] wrote: skips until `base + position()` is
+    /// 8-byte aligned, rejecting non-zero pad bytes (the encoding stays canonical).
+    pub(crate) fn skip_pad8(&mut self, base: usize) -> Result<(), String> {
+        while (base + self.pos) % 8 != 0 {
+            let b = self.u8()?;
+            if b != 0 {
+                return Err(format!("non-zero alignment padding byte {b:#04x}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// A raw little-endian `u32` array of `len` elements, decoded into an owned vector.
+    pub(crate) fn u32_slice(&mut self, len: usize) -> Result<Vec<u32>, String> {
+        let bytes = self.take(len.checked_mul(4).ok_or("u32 array length overflow")?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A raw little-endian `u64` array of `len` elements, decoded into an owned vector.
+    pub(crate) fn u64_slice(&mut self, len: usize) -> Result<Vec<u64>, String> {
+        let bytes = self.take(len.checked_mul(8).ok_or("u64 array length overflow")?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Skips a raw array of `bytes` bytes, returning the payload offset it started at — how
+    /// the mapped open walks *past* an array it will borrow in place rather than decode.
+    pub(crate) fn skip_raw(&mut self, bytes: usize) -> Result<usize, String> {
+        let start = self.pos;
+        self.take(bytes)?;
+        Ok(start)
+    }
 }
 
 #[cfg(test)]
@@ -215,9 +308,76 @@ mod tests {
     }
 
     #[test]
+    fn alignment_padding_and_raw_slices_round_trip() {
+        // A 20-byte "header" precedes the payload, like the real snapshot.
+        const BASE: usize = 20;
+        let mut w = Writer::new();
+        w.u8(1); // knock the offset off alignment
+        w.pad8(BASE);
+        assert_eq!((BASE + w.position()) % 8, 0);
+        let words_at = w.position();
+        w.u64_slice(&[u64::MAX, 7]);
+        w.u32_slice(&[1, 2, 3, 4]); // even count keeps 8-alignment
+        w.pad8(BASE); // already aligned: no-op
+        w.u64_slice(&[42]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 1);
+        r.skip_pad8(BASE).unwrap();
+        assert_eq!(r.position(), words_at);
+        assert_eq!(r.skip_raw(16).unwrap(), words_at);
+        let mut r2 = Reader::new(&bytes);
+        r2.u8().unwrap();
+        r2.skip_pad8(BASE).unwrap();
+        assert_eq!(r2.u64_slice(2).unwrap(), vec![u64::MAX, 7]);
+        assert_eq!(r2.u32_slice(4).unwrap(), vec![1, 2, 3, 4]);
+        r2.skip_pad8(BASE).unwrap();
+        assert_eq!(r2.u64_slice(1).unwrap(), vec![42]);
+        assert!(r2.is_at_end());
+
+        // Non-zero padding is rejected: the encoding stays canonical.
+        let mut bad = bytes.clone();
+        bad[1] = 0xff; // first pad byte
+        let mut r = Reader::new(&bad);
+        r.u8().unwrap();
+        assert!(r.skip_pad8(BASE).unwrap_err().contains("padding"));
+
+        // Truncated raw arrays are errors, not panics.
+        let mut r = Reader::new(&bytes[..words_at + 4]);
+        r.u8().unwrap();
+        r.skip_pad8(BASE).unwrap();
+        assert!(r.u64_slice(2).is_err());
+        assert!(Reader::new(&[]).u32_slice(1).is_err());
+    }
+
+    #[test]
     fn fnv64_matches_known_vectors() {
         assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_ne!(fnv64(b"workload-a"), fnv64(b"workload-b"));
+    }
+
+    #[test]
+    fn fnv64_words_is_lane_chained_with_byte_tail() {
+        // Empty input: the offset basis, like the byte variant.
+        assert_eq!(fnv64_words(b""), 0xcbf2_9ce4_8422_2325);
+        // Inputs shorter than a lane degenerate to the byte chain.
+        assert_eq!(fnv64_words(b"a"), fnv64(b"a"));
+        assert_eq!(fnv64_words(b"edbt"), fnv64(b"edbt"));
+        // One full lane: exactly one xor-multiply round over the LE word.
+        let lane = u64::from_le_bytes(*b"workload");
+        let expected = (0xcbf2_9ce4_8422_2325u64 ^ lane).wrapping_mul(0x0000_0100_0000_01b3);
+        assert_eq!(fnv64_words(b"workload"), expected);
+        // Lanes + tail differ from the pure byte chain and spot corruption anywhere.
+        let payload = b"workload-a with a tail";
+        assert_ne!(fnv64_words(payload), fnv64(payload));
+        let mut flipped = payload.to_vec();
+        flipped[3] ^= 0x10;
+        assert_ne!(fnv64_words(payload), fnv64_words(&flipped));
+        let mut tail_flipped = payload.to_vec();
+        let last = tail_flipped.len() - 1;
+        tail_flipped[last] ^= 0x10;
+        assert_ne!(fnv64_words(payload), fnv64_words(&tail_flipped));
     }
 }

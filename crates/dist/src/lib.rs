@@ -10,10 +10,12 @@
 //!
 //! * **[`snapshot`]** — a versioned, self-describing binary format (magic, format version,
 //!   workload fingerprint) that persists a [`RobustnessSession`](mvrc_robustness::RobustnessSession):
-//!   workload, unfolded LTPs and every cached summary graph (CSR edge arrays + node metadata +
-//!   granularity/foreign-key settings). A worker process opens a snapshot and answers queries
-//!   without re-unfolding the workload or re-deriving a single Algorithm 1 edge; the
-//!   round-trip is bit-identical on the graph arrays.
+//!   workload, unfolded LTPs and every cached summary graph — since format version 3
+//!   *including* the derived CSR adjacency and reachability-closure arrays, alignment-padded
+//!   so [`open_snapshot`] can install them as zero-copy borrowed slabs over one aligned
+//!   buffer ([`mmap::SnapshotMap`]). A worker process opens a snapshot and answers queries
+//!   without re-unfolding the workload, re-deriving a single Algorithm 1 edge or recomputing
+//!   a single closure word; the round-trip is bit-identical on the graph arrays.
 //! * **[`shard`]** — a coordinator/worker protocol over the snapshot: the coordinator
 //!   partitions each descending-popcount level's `C(n, k)` rank space into
 //!   [`ShardSpec`](mvrc_robustness::ShardSpec) chunks, worker processes sweep their shards
@@ -26,8 +28,11 @@
 //! test-suite cross-checks against the streamed and materialized oracles.
 
 mod codec;
+pub mod mmap;
 pub mod shard;
 pub mod snapshot;
+
+pub use mmap::SnapshotMap;
 
 pub use shard::{
     build_plan, create_plan_dir, create_plan_dir_resuming, merge_verdicts, plan_path, read_plan,

@@ -1,0 +1,143 @@
+//! The snapshot mapping: one 8-byte-aligned allocation holding a snapshot file's bytes,
+//! exposed under `u8`/`u32`/`u64` views so the version-3 open path can install the on-disk
+//! derived arrays as *borrowed* slabs ([`mvrc_robustness::U32Slab::shared`] /
+//! [`mvrc_robustness::U64Slab::shared`]) instead of decoding them element by element.
+//!
+//! This is a portable stand-in for an OS `mmap(2)`: the file is read **once** into the
+//! aligned buffer (no page-cache sharing, no lazy faulting — the workspace deliberately has
+//! no `libc`/`memmap2` dependency, and a plain allocation keeps the snapshot tests runnable
+//! under Miri). What the warm start actually buys is unchanged: after the single bulk read,
+//! opening a snapshot performs **zero per-element decodes and zero derivations** of the CSR
+//! adjacency and reachability arrays — the graphs borrow the buffer in place, so the open
+//! cost no longer scales with `nodes²` closure work.
+//!
+//! The multi-width views are only byte-order-faithful on little-endian targets (the arrays
+//! are stored little-endian); big-endian builds fall back to the owned decode path and never
+//! construct shared slabs. The reinterpreting casts live here and nowhere else: `u64 → u8`
+//! and `u64 → u32` only ever *lower* alignment requirements and neither type has padding or
+//! invalid bit patterns, so the views are sound for any buffer contents.
+
+use mvrc_robustness::SlabOwner;
+use std::path::Path;
+
+/// An 8-byte-aligned, read-only buffer holding an entire snapshot file.
+///
+/// Held behind an `Arc` by every shared slab carved out of it, so the mapping lives exactly
+/// as long as the last graph borrowing from it.
+pub struct SnapshotMap {
+    /// The backing allocation; `u64` elements guarantee 8-byte alignment. The tail of the
+    /// last word beyond `len` is zero.
+    words: Vec<u64>,
+    /// The file length in bytes.
+    len: usize,
+}
+
+impl SnapshotMap {
+    /// Reads the file at `path` into a fresh mapping.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::from_bytes(&std::fs::read(path)?))
+    }
+
+    /// Builds a mapping over a copy of `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        // Safety: `u8` has weaker alignment than `u64`, the region is exactly the vector's
+        // own initialized allocation, and `u8` admits every bit pattern.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8)
+        };
+        dst[..bytes.len()].copy_from_slice(bytes);
+        SnapshotMap {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// The file's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // Safety: as in `from_bytes`; `len <= words.len() * 8` by construction.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// The file length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl SlabOwner for SnapshotMap {
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn u32_words(&self) -> &[u32] {
+        // Safety: `u32` has weaker alignment than `u64`, the region is the vector's own
+        // allocation, and `u32` admits every bit pattern. Byte-order-faithful only on
+        // little-endian targets — the open path never takes this view on big-endian.
+        unsafe {
+            std::slice::from_raw_parts(self.words.as_ptr().cast::<u32>(), self.words.len() * 2)
+        }
+    }
+}
+
+impl std::fmt::Debug for SnapshotMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SnapshotMap[{} bytes]", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_robustness::{U32Slab, U64Slab};
+    use std::sync::Arc;
+
+    #[test]
+    fn views_alias_the_same_little_endian_bytes() {
+        // 12 bytes: one full word plus a half word — exercises the zero tail.
+        let bytes: Vec<u8> = (1..=12).collect();
+        let map = SnapshotMap::from_bytes(&bytes);
+        assert_eq!(map.len(), 12);
+        assert!(!map.is_empty());
+        assert_eq!(map.bytes(), &bytes[..]);
+        assert_eq!(map.words().len(), 2);
+        assert_eq!(map.u32_words().len(), 4);
+        if cfg!(target_endian = "little") {
+            assert_eq!(
+                map.words()[0],
+                u64::from_le_bytes(bytes[0..8].try_into().unwrap())
+            );
+            assert_eq!(
+                map.u32_words()[2],
+                u32::from_le_bytes(bytes[8..12].try_into().unwrap())
+            );
+            // The tail beyond `len` is zero.
+            assert_eq!(map.words()[1] >> 32, 0);
+        }
+        assert_eq!(format!("{map:?}"), "SnapshotMap[12 bytes]");
+    }
+
+    #[test]
+    fn shared_slabs_borrow_the_mapping() {
+        let mut bytes = Vec::new();
+        for v in [0xdead_beefu64, 0x1234_5678_9abc_def0] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let map: Arc<SnapshotMap> = Arc::new(SnapshotMap::from_bytes(&bytes));
+        if cfg!(target_endian = "little") {
+            let words = U64Slab::shared(map.clone(), 0, 2);
+            assert!(words.is_shared());
+            assert_eq!(&*words, &[0xdead_beef, 0x1234_5678_9abc_def0]);
+            let halves = U32Slab::shared(map.clone(), 1, 2);
+            assert_eq!(&*halves, &[0x0000_0000, 0x9abc_def0]);
+        }
+        let empty = SnapshotMap::from_bytes(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.bytes().is_empty());
+    }
+}

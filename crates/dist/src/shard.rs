@@ -24,6 +24,8 @@
 //! binding them to the snapshot, the analysis settings and the pruning switch, so artifacts
 //! from a different run can never be merged by accident.
 
+#![forbid(unsafe_code)]
+
 use crate::codec::{fnv64, Reader, Writer};
 use crate::snapshot::{open_snapshot_expecting, save_snapshot, SnapshotError};
 use mvrc_robustness::{

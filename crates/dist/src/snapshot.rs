@@ -10,21 +10,27 @@
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 8    | magic `MVRCSNAP` ([`SNAPSHOT_MAGIC`]) |
-//! | 8      | 4    | format version, `u32` LE ([`SNAPSHOT_FORMAT_VERSION`], currently 2) |
+//! | 8      | 4    | format version, `u32` LE ([`SNAPSHOT_FORMAT_VERSION`], currently 3) |
 //! | 12     | 8    | workload fingerprint, `u64` LE — FNV-1a over the payload |
 //! | 20     | …    | payload: workload section, LTP section, graph section, sweep section (v2) |
 //!
 //! The payload encoding is *canonical* (fixed-width integers, length-prefixed lists, no maps
-//! in nondeterministic order), so the fingerprint doubles as a content identity: the shard
-//! protocol of [`crate::shard`] stamps it into plans and verdict files, and refuses to merge
-//! artifacts whose fingerprints disagree. [`open_snapshot`] recomputes the FNV over the
-//! payload and rejects any header/payload mismatch, which catches truncation and bit flips.
+//! in nondeterministic order, only the zero-filled alignment padding of the version-3 derived
+//! blocks), so the fingerprint doubles as a content identity: the shard protocol of
+//! [`crate::shard`] stamps it into plans and verdict files, and refuses to merge artifacts
+//! whose fingerprints disagree. Every open recomputes the FNV over the payload and rejects
+//! any header/payload mismatch, which catches truncation and bit flips. Files of version 3
+//! and later are stamped with the word-lane variant (FNV-1a chained over `u64` LE lanes, one
+//! multiply per eight bytes) — version-3 payloads carry whole derived arrays, and the
+//! byte-chained hash would cost more than the decode it guards; version-1/2 files keep the
+//! byte-chained FNV they were written with.
 //!
 //! The graph section stores, per cached granularity/foreign-key combination, the widened LTP
-//! nodes and the complete Algorithm 1 edge list. Opening a snapshot rebuilds only the
-//! adjacency lists and the reachability closure (deterministic functions of the edge list,
-//! via [`SummaryGraph::from_snapshot_parts`]); the round-trip is **bit-identical** on every
-//! graph array — `reopened.graph(s) == original.graph(s)` including the derived arrays.
+//! nodes and the complete Algorithm 1 edge list; since version 3 it also stores the derived
+//! arrays (see below), so opening a snapshot re-derives **nothing** — neither Algorithm 1
+//! edges nor adjacency lists nor the reachability closure. The round-trip is
+//! **bit-identical** on every graph array — `reopened.graph(s) == original.graph(s)`
+//! including the derived arrays.
 //!
 //! # Version 2: the sweep section
 //!
@@ -38,30 +44,65 @@
 //! | programs | `u32` count, then per program a string name and a `u64` structural fingerprint |
 //! | robust bitset | `u32` word count (`⌈2^n / 64⌉` for `n` programs), then the `u64` words |
 //!
-//! Version-**1** files (no sweep section) still open — they simply carry an empty sweep cache
-//! — and both versions share the header checks, so corruption in the new section is caught by
-//! the same fingerprint re-verification. Writing always produces version 2; re-serializing a
-//! reopened version-2 snapshot is byte-identical.
+//! # Version 3: the derived block
+//!
+//! Version 3 extends each graph entry with an alignment-padded block of the graph's *derived*
+//! arrays — the compressed-sparse-row adjacency and the word-parallel reachability closure
+//! that versions 1 and 2 recomputed on every open. After the edge list, each graph encodes:
+//!
+//! | field | encoding |
+//! |-------|----------|
+//! | padding | zero bytes until the absolute file offset is 8-byte aligned |
+//! | out-CSR | `n + 1` offset `u32`s, then `E` target `u32`s (edge indices grouped by source) |
+//! | in-CSR | `n + 1` offset `u32`s, then `E` target `u32`s (edge indices grouped by target) |
+//! | reachability | `n · max(⌈n/64⌉, 1)` row-major `u64` closure words |
+//!
+//! All lengths are implied by the entry's node and edge counts (no prefixes), and the `u32`
+//! count is always even, so the `u64` closure words land 8-byte aligned too. The alignment is
+//! what makes the block *mappable*: [`open_snapshot`] reads the file into one 8-byte-aligned
+//! buffer ([`crate::mmap::SnapshotMap`]) and installs each graph's arrays as **zero-copy
+//! borrowed slabs** over that buffer ([`SummaryGraph::from_snapshot_parts_with_derived`]) —
+//! a warm start performs no per-element decode, no edge derivation, no adjacency build and no
+//! closure computation, verified in tests via the construction and closure counters. The
+//! adjacency arrays are structurally validated against the edge list on open (bit-identity
+//! with a fresh derivation is forced); the closure words are covered by the fingerprint.
+//!
+//! [`session_from_snapshot_bytes`] — the byte-slice entry point, also the fallback for
+//! big-endian hosts — decodes the same block into owned arrays instead of borrowing.
+//!
+//! Version-**1** and version-**2** files still open — their graphs simply re-derive the
+//! arrays lazily on first use — and all versions share the header checks, so corruption in
+//! the newer sections is caught by the same fingerprint re-verification. Writing always
+//! produces version 3; re-serializing a reopened snapshot is byte-identical.
 
-use crate::codec::{fnv64, Reader, Writer};
+#![forbid(unsafe_code)]
+
+use crate::codec::{fnv64, fnv64_words, Reader, Writer};
+use crate::mmap::SnapshotMap;
 use mvrc_btp::{
     FkConstraint, LinearFkConstraint, LinearProgram, Program, ProgramExpr, Statement,
     StatementKind, StmtId, UnfoldOptions, Workload,
 };
 use mvrc_robustness::{
     AnalysisSettings, CachedSweep, CycleCondition, EdgeKind, Granularity, RobustnessSession,
-    SummaryEdge, SummaryGraph,
+    SummaryEdge, SummaryGraph, SummaryGraphDerived, U32Slab, U64Slab,
 };
 use mvrc_schema::{AttrSet, FkId, RelId, Schema, SchemaBuilder};
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// The 8-byte magic at offset 0 of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MVRCSNAP";
 
-/// The current snapshot format version (header offset 8); written by every save. Version 1
-/// (no sweep section) is still readable — see [`SNAPSHOT_MIN_FORMAT_VERSION`].
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+/// The current snapshot format version (header offset 8); written by every save. Versions 1
+/// (no sweep section) and 2 (no derived block) are still readable — see
+/// [`SNAPSHOT_MIN_FORMAT_VERSION`].
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
+
+/// The header length in bytes; payload offsets are relative to it, and the version-3 derived
+/// block is padded to absolute (header-inclusive) 8-byte alignment.
+const HEADER_LEN: usize = 20;
 
 /// The oldest snapshot format version this build still opens.
 pub const SNAPSHOT_MIN_FORMAT_VERSION: u32 = 1;
@@ -168,16 +209,26 @@ pub fn snapshot_to_bytes(session: &RobustnessSession) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(20 + payload.len());
     bytes.extend_from_slice(&SNAPSHOT_MAGIC);
     bytes.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
-    bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&fnv64_words(&payload).to_le_bytes());
     bytes.extend_from_slice(&payload);
     bytes
 }
 
-/// Deserializes a session from snapshot bytes, returning it with the verified fingerprint.
-pub fn session_from_snapshot_bytes(
-    bytes: &[u8],
-) -> Result<(RobustnessSession, u64), SnapshotError> {
-    if bytes.len() < 20 {
+/// Where a version-3 graph entry's derived block lands when decoded.
+#[derive(Clone, Copy)]
+enum DerivedMode<'m> {
+    /// Version 1/2 entry: no derived block on disk; arrays re-derive lazily.
+    Absent,
+    /// Version-3 entry decoded into owned arrays (byte-slice opens, big-endian hosts).
+    Owned,
+    /// Version-3 entry installed as zero-copy shared slabs over the snapshot mapping.
+    Mapped(&'m Arc<SnapshotMap>),
+}
+
+/// Validates the 20-byte header and the payload fingerprint, returning
+/// `(version, fingerprint)`.
+fn check_header(bytes: &[u8]) -> Result<(u32, u64), SnapshotError> {
+    if bytes.len() < HEADER_LEN {
         return Err(SnapshotError::Corrupt(format!(
             "file too short for a snapshot header ({} bytes)",
             bytes.len()
@@ -190,27 +241,48 @@ pub fn session_from_snapshot_bytes(
     if !(SNAPSHOT_MIN_FORMAT_VERSION..=SNAPSHOT_FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
-    let stamped = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-    let payload = &bytes[20..];
-    let actual = fnv64(payload);
+    let stamped = u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().unwrap());
+    // Version 3 moved the payload fingerprint to the word-lane FNV (one multiply per eight
+    // bytes): the derived arrays make version-3 payloads big enough that the byte-chained
+    // hash would dominate every open. Older files keep the byte chain they were stamped with.
+    let actual = if version >= 3 {
+        fnv64_words(&bytes[HEADER_LEN..])
+    } else {
+        fnv64(&bytes[HEADER_LEN..])
+    };
     if stamped != actual {
         return Err(SnapshotError::FingerprintMismatch {
             expected: stamped,
             found: actual,
         });
     }
+    Ok((version, actual))
+}
 
-    let mut r = Reader::new(payload);
+/// Decodes a header-checked snapshot's payload into a session. `mapped` selects the
+/// zero-copy path for the version-3 derived blocks; `bytes` is the whole file (header
+/// included), and must be the mapping's own bytes when `mapped` is `Some`.
+fn decode_session(
+    bytes: &[u8],
+    version: u32,
+    mapped: Option<&Arc<SnapshotMap>>,
+) -> Result<RobustnessSession, SnapshotError> {
+    let mut r = Reader::new(&bytes[HEADER_LEN..]);
     let workload = decode_workload(&mut r)?;
     let ltp_count = r.len()?;
     let mut ltps = Vec::with_capacity(ltp_count);
     for _ in 0..ltp_count {
         ltps.push(decode_ltp(&mut r, &workload.schema)?);
     }
+    let derived = match (version >= 3, mapped) {
+        (false, _) => DerivedMode::Absent,
+        (true, None) => DerivedMode::Owned,
+        (true, Some(map)) => DerivedMode::Mapped(map),
+    };
     let graph_count = r.len()?;
     let mut graphs = Vec::with_capacity(graph_count);
     for _ in 0..graph_count {
-        graphs.push(decode_graph(&mut r, &workload.schema)?);
+        graphs.push(decode_graph(&mut r, &workload.schema, derived)?);
     }
     // Version 1 ends after the graph section; version 2 appends the sweep-cache section.
     let mut sweeps: Vec<(AnalysisSettings, CachedSweep)> = Vec::new();
@@ -229,7 +301,18 @@ pub fn session_from_snapshot_bytes(
     for (settings, sweep) in sweeps {
         session.install_cached_sweep(settings, sweep);
     }
-    Ok((session, actual))
+    Ok(session)
+}
+
+/// Deserializes a session from snapshot bytes, returning it with the verified fingerprint.
+///
+/// Always produces a session with *owned* graph arrays (the slice has no stable owner to
+/// borrow from); [`open_snapshot`] is the zero-copy path.
+pub fn session_from_snapshot_bytes(
+    bytes: &[u8],
+) -> Result<(RobustnessSession, u64), SnapshotError> {
+    let (version, fingerprint) = check_header(bytes)?;
+    Ok((decode_session(bytes, version, None)?, fingerprint))
 }
 
 /// [`SessionSnapshotExt::save_snapshot`] as a free function.
@@ -248,13 +331,23 @@ pub fn save_snapshot(
 }
 
 /// [`SessionSnapshotExt::open_snapshot`] as a free function.
+///
+/// The warm-start path: the file is read once into an 8-byte-aligned [`SnapshotMap`] and,
+/// for version-3 snapshots on little-endian hosts, every graph's CSR adjacency and
+/// reachability arrays are installed as zero-copy borrowed slabs over that mapping — no
+/// per-element decode, no edge derivation, no closure computation. Older versions (and
+/// big-endian hosts) fall back to the owned decode of [`session_from_snapshot_bytes`].
 pub fn open_snapshot(path: impl AsRef<Path>) -> Result<(RobustnessSession, u64), SnapshotError> {
     let path = path.as_ref();
-    let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io {
+    let map = SnapshotMap::open(path).map_err(|e| SnapshotError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
     })?;
-    session_from_snapshot_bytes(&bytes)
+    let (version, fingerprint) = check_header(map.bytes())?;
+    let map = Arc::new(map);
+    let mapped = (version >= 3 && cfg!(target_endian = "little")).then_some(&map);
+    let session = decode_session(map.bytes(), version, mapped)?;
+    Ok((session, fingerprint))
 }
 
 /// Opens a snapshot and additionally requires its fingerprint to equal `expected` — how shard
@@ -691,9 +784,26 @@ fn encode_graph(w: &mut Writer, graph: &SummaryGraph) {
         w.u32(u32::try_from(edge.to_stmt).expect("statement position exceeds u32"));
         w.u32(u32::try_from(edge.to).expect("node id exceeds u32"));
     }
+    // The version-3 derived block (forces derivation, which is idempotent and deterministic —
+    // re-serializing a reopened snapshot reproduces the words bit for bit). Lengths are
+    // implied by the node/edge counts above; see the module docs for the layout.
+    let (out_offsets, out_targets) = graph.out_adjacency();
+    let (in_offsets, in_targets) = graph.in_adjacency();
+    let (_, reach_bits) = graph.reachability_words();
+    w.pad8(HEADER_LEN);
+    w.u32_slice(out_offsets);
+    w.u32_slice(out_targets);
+    w.u32_slice(in_offsets);
+    w.u32_slice(in_targets);
+    debug_assert_eq!((HEADER_LEN + w.position()) % 8, 0, "even u32 count");
+    w.u64_slice(reach_bits);
 }
 
-fn decode_graph(r: &mut Reader<'_>, schema: &Schema) -> Result<SummaryGraph, SnapshotError> {
+fn decode_graph(
+    r: &mut Reader<'_>,
+    schema: &Schema,
+    derived: DerivedMode<'_>,
+) -> Result<SummaryGraph, SnapshotError> {
     let settings = decode_settings(r)?;
     let node_count = r.len()?;
     let mut nodes = Vec::with_capacity(node_count);
@@ -733,7 +843,54 @@ fn decode_graph(r: &mut Reader<'_>, schema: &Schema) -> Result<SummaryGraph, Sna
             to,
         });
     }
-    Ok(SummaryGraph::from_snapshot_parts(nodes, edges, settings))
+
+    let n = node_count;
+    let reach_len = n * n.div_ceil(64).max(1);
+    let parts = match derived {
+        DerivedMode::Absent => {
+            return Ok(SummaryGraph::from_snapshot_parts(nodes, edges, settings))
+        }
+        DerivedMode::Owned => {
+            r.skip_pad8(HEADER_LEN)?;
+            SummaryGraphDerived {
+                out_offsets: r.u32_slice(n + 1)?.into(),
+                out_targets: r.u32_slice(edge_count)?.into(),
+                in_offsets: r.u32_slice(n + 1)?.into(),
+                in_targets: r.u32_slice(edge_count)?.into(),
+                reach_bits: r.u64_slice(reach_len)?.into(),
+            }
+        }
+        DerivedMode::Mapped(map) => {
+            r.skip_pad8(HEADER_LEN)?;
+            // Walk past each array, carving a shared slab over the mapping in its place.
+            // `skip_raw` returns the array's payload offset and bounds-checks the walk, so
+            // every slab range lies inside the mapping; the absolute (header-inclusive)
+            // offsets are exactly element-aligned thanks to the padding and the even `u32`
+            // count (the `u64` closure words start 8-byte aligned).
+            let owner: Arc<dyn mvrc_robustness::SlabOwner> = Arc::clone(map) as _;
+            let u32_slab = |r: &mut Reader<'_>, len: usize| -> Result<U32Slab, String> {
+                let at = HEADER_LEN + r.skip_raw(len * 4)?;
+                debug_assert_eq!(at % 4, 0);
+                Ok(U32Slab::shared(Arc::clone(&owner), at / 4, len))
+            };
+            let out_offsets = u32_slab(r, n + 1)?;
+            let out_targets = u32_slab(r, edge_count)?;
+            let in_offsets = u32_slab(r, n + 1)?;
+            let in_targets = u32_slab(r, edge_count)?;
+            let at = HEADER_LEN + r.skip_raw(reach_len * 8)?;
+            debug_assert_eq!(at % 8, 0);
+            let reach_bits = U64Slab::shared(owner, at / 8, reach_len);
+            SummaryGraphDerived {
+                out_offsets,
+                out_targets,
+                in_offsets,
+                in_targets,
+                reach_bits,
+            }
+        }
+    };
+    SummaryGraph::from_snapshot_parts_with_derived(nodes, edges, settings, parts)
+        .map_err(SnapshotError::Corrupt)
 }
 
 // ---------------------------------------------------------------------------
@@ -874,7 +1031,7 @@ mod tests {
 
         // Truncating the payload while restamping the fingerprint: structural error.
         let mut truncated = bytes[..bytes.len() - 4].to_vec();
-        let fp = fnv64(&truncated[20..]);
+        let fp = fnv64_words(&truncated[20..]);
         truncated[12..20].copy_from_slice(&fp.to_le_bytes());
         assert!(matches!(
             session_from_snapshot_bytes(&truncated).unwrap_err(),

@@ -157,9 +157,15 @@ fn wrong_fingerprint_is_rejected_on_open() {
 /// validation of the payload is exercised, not the FNV check.
 fn restamp(bytes: &mut [u8]) {
     let fp = {
-        // fnv64 is private to the crate; recompute it locally (same published constants).
+        // The crate's fingerprint helpers are private; recompute the version-3 word-lane
+        // FNV-1a locally (same published constants, `u64` LE lanes, byte-chained tail).
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in &bytes[20..] {
+        let mut lanes = bytes[20..].chunks_exact(8);
+        for lane in &mut lanes {
+            hash ^= u64::from_le_bytes(lane.try_into().unwrap());
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for &b in lanes.remainder() {
             hash ^= u64::from(b);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
@@ -319,4 +325,177 @@ fn snapshots_of_different_workloads_have_different_fingerprints() {
     let fp_a = u64::from_le_bytes(snapshot_to_bytes(&a)[12..20].try_into().unwrap());
     let fp_b = u64::from_le_bytes(snapshot_to_bytes(&b)[12..20].try_into().unwrap());
     assert_ne!(fp_a, fp_b);
+}
+
+#[test]
+fn version_2_fixture_still_opens_with_identical_graphs() {
+    // A version-2 snapshot committed before the derived block existed: it must keep opening
+    // (its graphs re-derive adjacency/closure lazily), with every cached graph
+    // `PartialEq`-identical to a freshly warmed session's, and re-saving it must produce a
+    // current-version snapshot that opens to the same session.
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/auction_v2.mvrcsnap"
+    ))
+    .expect("committed v2 fixture");
+    assert_eq!(&bytes[0..8], b"MVRCSNAP");
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+
+    let (reopened, fingerprint) = session_from_snapshot_bytes(&bytes).unwrap();
+    assert_ne!(fingerprint, 0);
+    assert_eq!(reopened.workload().name, "Auction");
+    assert_eq!(reopened.cached_graph_count(), 4);
+    // The fixture was written with a populated sweep cache — the v2 section round-trips.
+    assert_eq!(reopened.cached_sweep_count(), 1);
+
+    let fresh = RobustnessSession::new(mvrc_benchmarks::auction());
+    for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+        for settings in AnalysisSettings::evaluation_grid(condition) {
+            fresh.is_robust(settings);
+            assert_eq!(
+                *reopened.graph(settings),
+                *fresh.graph(settings),
+                "v2 fixture graph must be identical to a freshly built one under {settings}"
+            );
+        }
+    }
+
+    // Upgrading: a re-save emits the current version with the derived block appended, and
+    // the upgraded file opens zero-copy to the same graphs and sweep cache.
+    let path = scratch_file("v2-upgrade");
+    reopened.save_snapshot(&path).unwrap();
+    let upgraded_bytes = std::fs::read(&path).unwrap();
+    assert_eq!(
+        u32::from_le_bytes(upgraded_bytes[8..12].try_into().unwrap()),
+        mvrc_dist::SNAPSHOT_FORMAT_VERSION
+    );
+    let (upgraded, _) = mvrc_dist::open_snapshot(&path).unwrap();
+    for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+        assert_eq!(*upgraded.graph(settings), *reopened.graph(settings));
+    }
+    assert_eq!(upgraded.cached_sweeps(), reopened.cached_sweeps());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn warm_open_is_zero_copy_and_rederives_nothing() {
+    // The version-3 contract: opening a snapshot installs every graph's derived arrays as
+    // borrowed slabs over the file mapping, and *no* derivation runs afterwards — queries on
+    // the reopened session advance neither the construction counter (no Algorithm 1) nor the
+    // closure counter (no reachability rebuild).
+    let session = RobustnessSession::new(mvrc_benchmarks::auction());
+    for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+        for settings in AnalysisSettings::evaluation_grid(condition) {
+            session.is_robust(settings);
+        }
+    }
+    let path = scratch_file("warm-open");
+    session.save_snapshot(&path).unwrap();
+
+    let constructions_before = SummaryGraph::constructions_on_current_thread();
+    let closures_before = SummaryGraph::closures_computed_on_current_thread();
+    let (reopened, _) = mvrc_dist::open_snapshot(&path).unwrap();
+    for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+        for settings in AnalysisSettings::evaluation_grid(condition) {
+            // Zero-copy: the graph's CSRs and closure borrow the snapshot mapping.
+            assert!(
+                reopened.graph(settings).derived_arrays_shared(),
+                "warm-opened graph must borrow the mapping under {settings}"
+            );
+            assert_eq!(reopened.is_robust(settings), session.is_robust(settings));
+            // Subset queries run on induced views of the installed arrays.
+            let sweep = explore_subsets(&reopened, settings);
+            assert_eq!(sweep, explore_subsets(&session, settings));
+        }
+    }
+    assert_eq!(
+        SummaryGraph::constructions_on_current_thread(),
+        constructions_before,
+        "a warm open must not run Algorithm 1"
+    );
+    assert_eq!(
+        SummaryGraph::closures_computed_on_current_thread(),
+        closures_before,
+        "a warm open must not recompute a reachability closure"
+    );
+    // The owned decode path (the byte-slice entry point / big-endian fallback) agrees with
+    // the mapped path on every array, it just owns its words.
+    let bytes = std::fs::read(&path).unwrap();
+    let (owned, _) = session_from_snapshot_bytes(&bytes).unwrap();
+    for settings in AnalysisSettings::evaluation_grid(CycleCondition::TypeII) {
+        assert!(!owned.graph(settings).derived_arrays_shared());
+        assert_eq!(*owned.graph(settings), *reopened.graph(settings));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn derived_block_alignment_holds_for_any_section_parity() {
+    // The derived block is padded to absolute 8-byte alignment, so its position depends on
+    // everything encoded before it. Workload names of every length mod 8 shift the graph
+    // section across all byte parities; each variant must round-trip through both open paths
+    // and re-encode canonically.
+    for pad in 0..8usize {
+        let mut workload = synthetic(SyntheticConfig {
+            programs: 2,
+            ..SyntheticConfig::default()
+        });
+        workload.name = format!("P{}", "x".repeat(pad));
+        let session = RobustnessSession::new(workload);
+        session.is_robust(AnalysisSettings::paper_default());
+
+        let path = scratch_file(&format!("parity-{pad}"));
+        session.save_snapshot(&path).unwrap();
+        let (mapped, _) = mvrc_dist::open_snapshot(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let (owned, _) = session_from_snapshot_bytes(&bytes).unwrap();
+        let settings = AnalysisSettings::paper_default();
+        assert!(mapped.graph(settings).derived_arrays_shared());
+        assert_eq!(*mapped.graph(settings), *session.graph(settings));
+        assert_eq!(*owned.graph(settings), *session.graph(settings));
+        // Canonical: both reopened sessions re-serialize to the original bytes.
+        assert_eq!(snapshot_to_bytes(&mapped), bytes);
+        assert_eq!(snapshot_to_bytes(&owned), bytes);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn corrupt_derived_blocks_are_rejected_structurally() {
+    // A restamped snapshot whose derived CSR words were tampered with must fail the
+    // structural bit-identity validation, not silently install a wrong adjacency.
+    let session = RobustnessSession::new(mvrc_benchmarks::auction());
+    let settings = AnalysisSettings::paper_default();
+    session.is_robust(settings);
+    let bytes = snapshot_to_bytes(&session);
+
+    // The derived block sits at the end of the (single) graph entry; the reachability words
+    // are its 8-byte-aligned tail, preceded by the two CSRs. Corrupt an offset array word:
+    // the first out-CSR offset is always 0, so force it to a large value.
+    let (n, e) = {
+        let graph = session.graph(settings);
+        (graph.node_count(), graph.edge_count())
+    };
+    let words = n * n.div_ceil(64).max(1);
+    let derived_bytes = ((n + 1) * 2 + e * 2) * 4 + words * 8;
+    // Sweep section (empty: 4-byte zero count) trails the graph section.
+    let derived_at = bytes.len() - 4 - derived_bytes;
+    assert_eq!(derived_at % 8, 0, "derived block must be 8-byte aligned");
+
+    let mut bad = bytes.clone();
+    bad[derived_at..derived_at + 4].copy_from_slice(&0xffff_ffffu32.to_le_bytes());
+    restamp(&mut bad);
+    match session_from_snapshot_bytes(&bad).unwrap_err() {
+        SnapshotError::Corrupt(msg) => assert!(msg.contains("offset"), "{msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Truncating away the reachability tail (restamped): structural error — the implied
+    // lengths no longer fit the payload.
+    let mut truncated = bytes[..bytes.len() - 12].to_vec();
+    restamp(&mut truncated);
+    assert!(matches!(
+        session_from_snapshot_bytes(&truncated).unwrap_err(),
+        SnapshotError::Corrupt(_)
+    ));
 }

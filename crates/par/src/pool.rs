@@ -97,21 +97,32 @@ pub fn current_worker_index() -> Option<usize> {
 }
 
 /// The pool size the lazy initializer would use.
+///
+/// The environment fallback is computed once and cached: `MVRC_THREADS` and the machine's
+/// available parallelism cannot change mid-process, and `available_parallelism` re-reads
+/// cgroup files from procfs/sysfs on every Linux call — microseconds that used to be paid by
+/// *every* [`planned_thread_count`] query on serial paths (one per `fold_chunks` call while
+/// the pool isn't running, which dominated whole subset sweeps on small workloads). A
+/// [`configure_thread_count`] pin is still honored dynamically: it is checked before the
+/// cached fallback.
 fn desired_threads() -> usize {
     let requested = REQUESTED_THREADS.load(Ordering::SeqCst);
     if requested > 0 {
         return requested;
     }
-    if let Some(n) = std::env::var("MVRC_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static ENV_FALLBACK: OnceLock<usize> = OnceLock::new();
+    *ENV_FALLBACK.get_or_init(|| {
+        if let Some(n) = std::env::var("MVRC_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// The global registry, created on first use.
