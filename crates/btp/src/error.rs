@@ -37,6 +37,8 @@ pub enum BtpError {
     SqlParse {
         /// Line number (1-based) where the error was detected.
         line: usize,
+        /// Column number (1-based) where the error was detected.
+        column: usize,
         /// Description of the parse failure.
         message: String,
     },
@@ -66,8 +68,15 @@ impl fmt::Display for BtpError {
                 )
             }
             BtpError::UnknownStatement(name) => write!(f, "unknown statement `{name}`"),
-            BtpError::SqlParse { line, message } => {
-                write!(f, "SQL parse error at line {line}: {message}")
+            BtpError::SqlParse {
+                line,
+                column,
+                message,
+            } => {
+                write!(
+                    f,
+                    "SQL parse error at line {line}, column {column}: {message}"
+                )
             }
         }
     }
@@ -89,8 +98,10 @@ mod tests {
         assert!(e.to_string().contains("empty write set"));
         let e = BtpError::SqlParse {
             line: 7,
+            column: 12,
             message: "expected FROM".into(),
         };
         assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("column 12"));
     }
 }

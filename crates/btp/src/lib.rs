@@ -61,6 +61,7 @@ mod builder;
 mod error;
 mod linear;
 mod program;
+mod span;
 pub mod sql;
 mod statement;
 mod unfold;
@@ -70,6 +71,7 @@ pub use builder::ProgramBuilder;
 pub use error::BtpError;
 pub use linear::{LinearFkConstraint, LinearProgram, StmtPos};
 pub use program::{FkConstraint, Program, ProgramExpr, StmtId};
+pub use span::SourceSpan;
 pub use statement::{Statement, StatementKind};
 pub use unfold::{unfold, unfold_le2, unfold_set, unfold_set_le2, UnfoldOptions};
 pub use workload::Workload;

@@ -1,6 +1,7 @@
 //! Basic transaction programs: statements, control-flow expressions and foreign-key
 //! constraint annotations.
 
+use crate::span::SourceSpan;
 use crate::statement::Statement;
 use mvrc_schema::FkId;
 use serde::{Deserialize, Serialize};
@@ -138,6 +139,10 @@ pub struct Program {
     pub(crate) statements: Vec<Statement>,
     pub(crate) body: ProgramExpr,
     pub(crate) fk_constraints: Vec<FkConstraint>,
+    /// Source position of each statement, parallel to `statements`. Empty (no spans) for
+    /// programs not parsed from SQL text — builder-constructed or snapshot-decoded programs.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub(crate) spans: Vec<Option<SourceSpan>>,
 }
 
 impl Program {
@@ -154,7 +159,35 @@ impl Program {
             statements,
             body,
             fk_constraints,
+            spans: Vec::new(),
         }
+    }
+
+    /// Attaches source spans (parallel to the statement table) to the program. The SQL
+    /// front-end uses this to record where each statement starts in the input text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spans` is non-empty and its length differs from the statement count.
+    pub fn with_spans(mut self, spans: Vec<Option<SourceSpan>>) -> Self {
+        assert!(
+            spans.is_empty() || spans.len() == self.statements.len(),
+            "span table length {} does not match statement count {}",
+            spans.len(),
+            self.statements.len()
+        );
+        self.spans = spans;
+        self
+    }
+
+    /// The source position of a statement, when the program was parsed from SQL text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn span(&self, id: StmtId) -> Option<SourceSpan> {
+        assert!(id.index() < self.statements.len(), "unknown statement {id}");
+        self.spans.get(id.index()).copied().flatten()
     }
 
     /// The program's name.
@@ -343,6 +376,23 @@ mod tests {
             vec![],
         );
         assert_eq!(with_loop.to_string(), "L := loop(q0)");
+    }
+
+    #[test]
+    fn spans_default_to_none_and_survive_renaming() {
+        let p = sample_program();
+        assert_eq!(p.span(StmtId(0)), None);
+        let span = SourceSpan { line: 3, column: 5 };
+        let with = p.clone().with_spans(vec![Some(span), None]);
+        assert_eq!(with.span(StmtId(0)), Some(span));
+        assert_eq!(with.span(StmtId(1)), None);
+        assert_eq!(with.renamed("P2").span(StmtId(0)), Some(span));
+    }
+
+    #[test]
+    #[should_panic(expected = "span table length")]
+    fn mismatched_span_table_panics() {
+        let _ = sample_program().with_spans(vec![None]);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Abstract syntax tree of the SQL subset.
 
+use crate::span::SourceSpan;
+
 /// A parsed `PROGRAM name(:p1, :p2, …) { … }` block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlProgram {
@@ -147,6 +149,8 @@ pub enum SqlStatement {
         star: bool,
         /// Optional `WHERE` condition.
         where_clause: Option<Condition>,
+        /// Source position of the `SELECT` keyword.
+        span: SourceSpan,
     },
     /// `UPDATE rel SET a = expr, … [WHERE cond] [RETURNING cols [INTO :vars]]`
     Update {
@@ -158,6 +162,8 @@ pub enum SqlStatement {
         where_clause: Option<Condition>,
         /// Columns listed in a `RETURNING` clause (contribute to the read set).
         returning: Vec<String>,
+        /// Source position of the `UPDATE` keyword.
+        span: SourceSpan,
     },
     /// `INSERT INTO rel [(cols)] VALUES (exprs)`
     Insert {
@@ -167,6 +173,8 @@ pub enum SqlStatement {
         columns: Vec<String>,
         /// Value expressions, one per column.
         values: Vec<Vec<Value>>,
+        /// Source position of the `INSERT` keyword.
+        span: SourceSpan,
     },
     /// `DELETE FROM rel [WHERE cond]`
     Delete {
@@ -174,6 +182,8 @@ pub enum SqlStatement {
         relation: String,
         /// Optional `WHERE` condition.
         where_clause: Option<Condition>,
+        /// Source position of the `DELETE` keyword.
+        span: SourceSpan,
     },
     /// `IF cond THEN … [ELSE …] ENDIF` — the condition only involves host variables and is not
     /// retained beyond parsing.

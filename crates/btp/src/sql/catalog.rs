@@ -43,6 +43,7 @@ struct TableDecl {
     attributes: Vec<String>,
     primary_key: Vec<String>,
     line: usize,
+    column: usize,
 }
 
 /// A parsed `FOREIGN KEY` declaration.
@@ -54,6 +55,7 @@ struct ForeignKeyDecl {
     range: String,
     range_attrs: Vec<String>,
     line: usize,
+    column: usize,
 }
 
 /// Parses the catalog declarations of a workload file into a [`Schema`], ignoring any `PROGRAM`
@@ -90,6 +92,7 @@ pub fn parse_catalog(text: &str) -> Result<Schema, BtpError> {
     if tables.is_empty() {
         return Err(BtpError::SqlParse {
             line: 1,
+            column: 1,
             message: "the workload file declares no TABLE".into(),
         });
     }
@@ -102,6 +105,7 @@ pub fn parse_catalog(text: &str) -> Result<Schema, BtpError> {
             .relation(&table.name, &attrs, &pk)
             .map_err(|e| BtpError::SqlParse {
                 line: table.line,
+                column: table.column,
                 message: format!("invalid TABLE `{}`: {e}", table.name),
             })?;
     }
@@ -112,6 +116,7 @@ pub fn parse_catalog(text: &str) -> Result<Schema, BtpError> {
             .foreign_key_by_names(&fk.name, &fk.dom, &dom_attrs, &fk.range, &range_attrs)
             .map_err(|e| BtpError::SqlParse {
                 line: fk.line,
+                column: fk.column,
                 message: format!("invalid FOREIGN KEY `{}`: {e}", fk.name),
             })?;
     }
@@ -137,16 +142,19 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    fn line(&self) -> usize {
+    /// Line/column of the current token (or, at end of input, the last token).
+    fn position(&self) -> (usize, usize) {
         self.tokens
             .get(self.pos)
             .or_else(|| self.tokens.last())
-            .map_or(1, |t| t.line)
+            .map_or((1, 1), |t| (t.line, t.column))
     }
 
     fn error(&self, message: impl Into<String>) -> BtpError {
+        let (line, column) = self.position();
         BtpError::SqlParse {
-            line: self.line(),
+            line,
+            column,
             message: message.into(),
         }
     }
@@ -210,7 +218,7 @@ impl Cursor {
     /// Parses `<name> ( attr [, attr]* [, PRIMARY KEY ( attr [, attr]* )] ) ;` after the
     /// `TABLE` keyword.
     fn parse_table(&mut self) -> Result<TableDecl, BtpError> {
-        let line = self.line();
+        let (line, column) = self.position();
         let name = self.expect_ident("table name")?;
         self.expect(&TokenKind::LParen, "`(` after the table name")?;
         let mut attributes = Vec::new();
@@ -243,6 +251,7 @@ impl Cursor {
         if attributes.is_empty() {
             return Err(BtpError::SqlParse {
                 line,
+                column,
                 message: format!("table `{name}` declares no attributes"),
             });
         }
@@ -254,12 +263,13 @@ impl Cursor {
             attributes,
             primary_key,
             line,
+            column,
         })
     }
 
     /// Parses `[<name> :] <dom> ( attrs ) REFERENCES <range> ( attrs ) ;` after `FOREIGN KEY`.
     fn parse_foreign_key(&mut self, counter: usize) -> Result<ForeignKeyDecl, BtpError> {
-        let line = self.line();
+        let (line, column) = self.position();
         let first = self.expect_ident("foreign key name or domain relation")?;
         // Three accepted shapes: `f1 : Bids (…)` (colon token), `f1: Bids (…)` (the lexer fuses
         // `:Bids` into a parameter token) and the anonymous `Bids (…)`.
@@ -283,6 +293,7 @@ impl Cursor {
             range,
             range_attrs,
             line,
+            column,
         })
     }
 

@@ -2,11 +2,13 @@
 
 use crate::error::BtpError;
 
-/// A lexical token with the line it starts on (for error reporting).
+/// A lexical token with the line and column it starts on (for error reporting and the
+/// source spans threaded through to summary-graph diagnostics).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Token {
     pub kind: TokenKind,
     pub line: usize,
+    pub column: usize,
 }
 
 /// Token kinds of the SQL subset.
@@ -65,104 +67,128 @@ impl TokenKind {
     }
 }
 
+/// A character cursor that owns line/column accounting: every consumed character goes through
+/// [`Cursor::bump`], so positions cannot drift from the text.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl Cursor<'_> {
+    fn new(text: &str) -> Cursor<'_> {
+        Cursor {
+            chars: text.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Consumes one character, advancing the line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn take_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
 /// Tokenizes the input text. `--` starts a comment running to the end of the line.
 pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
     let mut tokens = Vec::new();
-    let mut chars = text.chars().peekable();
-    let mut line = 1usize;
+    let mut cur = Cursor::new(text);
 
-    while let Some(&c) = chars.peek() {
+    while let Some(c) = cur.peek() {
+        // Position of the token about to be lexed (before any character is consumed).
+        let (line, column) = (cur.line, cur.column);
+        let mut push = |kind: TokenKind| tokens.push(Token { kind, line, column });
         match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
-                chars.next();
+                cur.bump();
             }
             '-' => {
-                chars.next();
-                if chars.peek() == Some(&'-') {
+                cur.bump();
+                if cur.peek() == Some('-') {
                     // Comment until end of line.
-                    for c in chars.by_ref() {
+                    while let Some(c) = cur.bump() {
                         if c == '\n' {
-                            line += 1;
                             break;
                         }
                     }
                 } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Minus,
-                        line,
-                    });
+                    push(TokenKind::Minus);
                 }
             }
             ':' => {
-                chars.next();
-                let name = take_ident(&mut chars);
+                cur.bump();
+                let name = cur.take_ident();
                 if name.is_empty() {
                     // A bare `:` (e.g. `FOREIGN KEY f1 : Bids (…)`); parameters are always
                     // written without a space, so this is a plain colon token.
-                    tokens.push(Token {
-                        kind: TokenKind::Colon,
-                        line,
-                    });
+                    push(TokenKind::Colon);
                 } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Param(name),
-                        line,
-                    });
+                    push(TokenKind::Param(name));
                 }
             }
             '\'' => {
-                chars.next();
+                cur.bump();
                 let mut s = String::new();
                 let mut closed = false;
-                for c in chars.by_ref() {
+                while let Some(c) = cur.bump() {
                     if c == '\'' {
                         closed = true;
                         break;
-                    }
-                    if c == '\n' {
-                        line += 1;
                     }
                     s.push(c);
                 }
                 if !closed {
                     return Err(BtpError::SqlParse {
                         line,
+                        column,
                         message: "unterminated string literal".into(),
                     });
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Str(s),
-                    line,
-                });
+                push(TokenKind::Str(s));
             }
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = cur.peek() {
                     if c.is_ascii_digit() || c == '.' {
                         s.push(c);
-                        chars.next();
+                        cur.bump();
                     } else {
                         break;
                     }
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Number(s),
-                    line,
-                });
+                push(TokenKind::Number(s));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let s = take_ident(&mut chars);
-                tokens.push(Token {
-                    kind: TokenKind::Ident(s),
-                    line,
-                });
+                let s = cur.take_ident();
+                push(TokenKind::Ident(s));
             }
             _ => {
-                chars.next();
+                cur.bump();
                 let kind = match c {
                     '*' => TokenKind::Star,
                     '(' => TokenKind::LParen,
@@ -176,30 +202,31 @@ pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
                     '.' => TokenKind::Dot,
                     '=' => TokenKind::Eq,
                     '!' => {
-                        if chars.peek() == Some(&'=') {
-                            chars.next();
+                        if cur.peek() == Some('=') {
+                            cur.bump();
                             TokenKind::NotEq
                         } else {
                             return Err(BtpError::SqlParse {
                                 line,
+                                column,
                                 message: "unexpected `!`".into(),
                             });
                         }
                     }
-                    '<' => match chars.peek() {
-                        Some(&'=') => {
-                            chars.next();
+                    '<' => match cur.peek() {
+                        Some('=') => {
+                            cur.bump();
                             TokenKind::Le
                         }
-                        Some(&'>') => {
-                            chars.next();
+                        Some('>') => {
+                            cur.bump();
                             TokenKind::NotEq
                         }
                         _ => TokenKind::Lt,
                     },
                     '>' => {
-                        if chars.peek() == Some(&'=') {
-                            chars.next();
+                        if cur.peek() == Some('=') {
+                            cur.bump();
                             TokenKind::Ge
                         } else {
                             TokenKind::Gt
@@ -208,28 +235,16 @@ pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, BtpError> {
                     other => {
                         return Err(BtpError::SqlParse {
                             line,
+                            column,
                             message: format!("unexpected character `{other}`"),
                         })
                     }
                 };
-                tokens.push(Token { kind, line });
+                push(kind);
             }
         }
     }
     Ok(tokens)
-}
-
-fn take_ident(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
-    let mut s = String::new();
-    while let Some(&c) = chars.peek() {
-        if c.is_ascii_alphanumeric() || c == '_' {
-            s.push(c);
-            chars.next();
-        } else {
-            break;
-        }
-    }
-    s
 }
 
 #[cfg(test)]
@@ -257,6 +272,33 @@ mod tests {
             .iter()
             .any(|t| t.kind.is_keyword("from") && t.line == 2));
         assert!(!tokens.iter().any(|t| t.kind.is_keyword("column")));
+    }
+
+    #[test]
+    fn columns_track_token_starts() {
+        let tokens = tokenize("SELECT a\n  FROM R;").unwrap();
+        let select = tokens.iter().find(|t| t.kind.is_keyword("select")).unwrap();
+        assert_eq!((select.line, select.column), (1, 1));
+        let a = tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "a"))
+            .unwrap();
+        assert_eq!((a.line, a.column), (1, 8));
+        let from = tokens.iter().find(|t| t.kind.is_keyword("from")).unwrap();
+        assert_eq!((from.line, from.column), (2, 3));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = tokenize("a b\n  ? c").unwrap_err();
+        assert_eq!(
+            err,
+            BtpError::SqlParse {
+                line: 2,
+                column: 3,
+                message: "unexpected character `?`".into(),
+            }
+        );
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub fn parse_program(schema: &Schema, text: &str) -> Result<Program, BtpError> {
         1 => Ok(programs.remove(0)),
         n => Err(BtpError::SqlParse {
             line: 1,
+            column: 1,
             message: format!("expected exactly one PROGRAM block, found {n}"),
         }),
     }

@@ -3,6 +3,7 @@
 use super::ast::{Assignment, CompareOp, Comparison, Condition, SqlProgram, SqlStatement, Value};
 use super::lexer::{tokenize, Token, TokenKind};
 use crate::error::BtpError;
+use crate::span::SourceSpan;
 
 /// Parses a workload script into its `PROGRAM` blocks.
 ///
@@ -37,16 +38,22 @@ impl Parser {
         self.pos >= self.tokens.len()
     }
 
-    fn line(&self) -> usize {
+    /// Source position of the current token (or, at end of input, the last token).
+    fn span(&self) -> SourceSpan {
         self.tokens
             .get(self.pos)
             .or_else(|| self.tokens.last())
-            .map_or(1, |t| t.line)
+            .map_or(SourceSpan { line: 1, column: 1 }, |t| SourceSpan {
+                line: t.line,
+                column: t.column,
+            })
     }
 
     fn error(&self, message: impl Into<String>) -> BtpError {
+        let span = self.span();
         BtpError::SqlParse {
-            line: self.line(),
+            line: span.line,
+            column: span.column,
             message: message.into(),
         }
     }
@@ -184,6 +191,7 @@ impl Parser {
     }
 
     fn parse_select(&mut self) -> Result<SqlStatement, BtpError> {
+        let span = self.span();
         self.expect_keyword("select")?;
         let mut columns = Vec::new();
         let mut star = false;
@@ -227,10 +235,12 @@ impl Parser {
             columns,
             star,
             where_clause,
+            span,
         })
     }
 
     fn parse_update(&mut self) -> Result<SqlStatement, BtpError> {
+        let span = self.span();
         self.expect_keyword("update")?;
         let relation = self.expect_ident("relation name")?;
         self.expect_keyword("set")?;
@@ -273,10 +283,12 @@ impl Parser {
             assignments,
             where_clause,
             returning,
+            span,
         })
     }
 
     fn parse_insert(&mut self) -> Result<SqlStatement, BtpError> {
+        let span = self.span();
         self.expect_keyword("insert")?;
         self.expect_keyword("into")?;
         let relation = self.expect_ident("relation name")?;
@@ -307,10 +319,12 @@ impl Parser {
             relation,
             columns,
             values,
+            span,
         })
     }
 
     fn parse_delete(&mut self) -> Result<SqlStatement, BtpError> {
+        let span = self.span();
         self.expect_keyword("delete")?;
         self.expect_keyword("from")?;
         let relation = self.expect_ident("relation name")?;
@@ -319,6 +333,7 @@ impl Parser {
         Ok(SqlStatement::Delete {
             relation,
             where_clause,
+            span,
         })
     }
 
@@ -644,13 +659,37 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors_report_lines() {
+    fn parse_errors_report_lines_and_columns() {
         let err = parse_text("PROGRAM P {\n SELECT a FRM R; }").unwrap_err();
         match err {
-            BtpError::SqlParse { line, .. } => assert_eq!(line, 2),
+            BtpError::SqlParse { line, column, .. } => {
+                assert_eq!(line, 2);
+                // The error points at `FRM`, the token where `FROM` was expected.
+                assert_eq!(column, 11);
+            }
             other => panic!("expected parse error, got {other:?}"),
         }
         assert!(parse_text("PROGRAM P { UPDATE R SET WHERE a = 1; }").is_err());
         assert!(parse_text("SELECT a FROM R;").is_err());
+    }
+
+    #[test]
+    fn statements_carry_their_source_spans() {
+        let programs = parse_text(
+            "PROGRAM P {\n    SELECT a FROM R WHERE k = :x;\n    UPDATE R SET a = 1 WHERE k = :x;\n}",
+        )
+        .unwrap();
+        match &programs[0].body[0] {
+            SqlStatement::Select { span, .. } => {
+                assert_eq!((span.line, span.column), (2, 5));
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+        match &programs[0].body[1] {
+            SqlStatement::Update { span, .. } => {
+                assert_eq!((span.line, span.column), (3, 5));
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
     }
 }

@@ -3,6 +3,7 @@
 use super::ast::{SqlProgram, SqlStatement, Value};
 use crate::error::BtpError;
 use crate::program::{FkConstraint, Program, ProgramExpr, StmtId};
+use crate::span::SourceSpan;
 use crate::statement::{Statement, StatementKind};
 use mvrc_schema::{AttrId, AttrSet, Relation, Schema};
 use std::collections::HashMap;
@@ -25,15 +26,15 @@ pub fn translate_program(schema: &Schema, program: &SqlProgram) -> Result<Progra
         schema,
         statements: Vec::new(),
         bindings: Vec::new(),
+        spans: Vec::new(),
     };
     let body = ctx.translate_block(&program.body)?;
     let fk_constraints = ctx.infer_fk_constraints();
-    Ok(Program::from_parts(
-        program.name.clone(),
-        ctx.statements,
-        body,
-        fk_constraints,
-    ))
+    let spans = ctx.spans;
+    Ok(
+        Program::from_parts(program.name.clone(), ctx.statements, body, fk_constraints)
+            .with_spans(spans),
+    )
 }
 
 struct TranslateCtx<'a> {
@@ -42,6 +43,8 @@ struct TranslateCtx<'a> {
     /// For every statement: the map from attribute to the host parameter it is bound to by an
     /// equality predicate (or by an INSERT value). Used for foreign-key inference.
     bindings: Vec<HashMap<AttrId, String>>,
+    /// For every statement: where it starts in the SQL source (parallel to `statements`).
+    spans: Vec<Option<SourceSpan>>,
 }
 
 impl<'a> TranslateCtx<'a> {
@@ -71,10 +74,16 @@ impl<'a> TranslateCtx<'a> {
         format!("q{}", self.statements.len() + 1)
     }
 
-    fn add(&mut self, statement: Statement, bindings: HashMap<AttrId, String>) -> StmtId {
+    fn add(
+        &mut self,
+        statement: Statement,
+        bindings: HashMap<AttrId, String>,
+        span: SourceSpan,
+    ) -> StmtId {
         let id = StmtId(self.statements.len() as u16);
         self.statements.push(statement);
         self.bindings.push(bindings);
+        self.spans.push(Some(span));
         id
     }
 
@@ -97,6 +106,7 @@ impl<'a> TranslateCtx<'a> {
                 columns,
                 star,
                 where_clause,
+                span,
             } => {
                 let rel = self.relation(relation)?;
                 let read = if *star {
@@ -112,13 +122,14 @@ impl<'a> TranslateCtx<'a> {
                     (StatementKind::PredSelect, Some(analysis.pread))
                 };
                 let statement = Statement::new(name, rel, kind, pread, Some(read), None)?;
-                Ok(self.add(statement, analysis.bindings).into())
+                Ok(self.add(statement, analysis.bindings, *span).into())
             }
             SqlStatement::Update {
                 relation,
                 assignments,
                 where_clause,
                 returning,
+                span,
             } => {
                 let rel = self.relation(relation)?;
                 let mut write = AttrSet::empty();
@@ -140,12 +151,13 @@ impl<'a> TranslateCtx<'a> {
                     (StatementKind::PredUpdate, Some(analysis.pread))
                 };
                 let statement = Statement::new(name, rel, kind, pread, Some(read), Some(write))?;
-                Ok(self.add(statement, analysis.bindings).into())
+                Ok(self.add(statement, analysis.bindings, *span).into())
             }
             SqlStatement::Insert {
                 relation,
                 columns,
                 values,
+                span,
             } => {
                 let rel = self.relation(relation)?;
                 let mut bindings = HashMap::new();
@@ -167,11 +179,12 @@ impl<'a> TranslateCtx<'a> {
                 }
                 let name = self.next_name();
                 let statement = Statement::new(name, rel, StatementKind::Insert, None, None, None)?;
-                Ok(self.add(statement, bindings).into())
+                Ok(self.add(statement, bindings, *span).into())
             }
             SqlStatement::Delete {
                 relation,
                 where_clause,
+                span,
             } => {
                 let rel = self.relation(relation)?;
                 let analysis = self.analyze_where(rel, where_clause.as_ref())?;
@@ -182,7 +195,7 @@ impl<'a> TranslateCtx<'a> {
                     (StatementKind::PredDelete, Some(analysis.pread))
                 };
                 let statement = Statement::new(name, rel, kind, pread, None, None)?;
-                Ok(self.add(statement, analysis.bindings).into())
+                Ok(self.add(statement, analysis.bindings, *span).into())
             }
             SqlStatement::If {
                 then_branch,
@@ -441,6 +454,37 @@ mod tests {
             parse_workload(&schema, "PROGRAM P { SELECT nope FROM Buyer; }"),
             Err(BtpError::UnknownAttribute { .. })
         ));
+    }
+
+    #[test]
+    fn translated_statements_keep_their_source_spans() {
+        let schema = auction_schema();
+        let programs = parse_workload(&schema, AUCTION_SQL).unwrap();
+        // FindBids: UPDATE on line 3, SELECT on line 4 of AUCTION_SQL (both indented 12).
+        let fb = &programs[0];
+        assert_eq!(
+            fb.span(StmtId(0)),
+            Some(SourceSpan {
+                line: 3,
+                column: 13
+            })
+        );
+        assert_eq!(
+            fb.span(StmtId(1)),
+            Some(SourceSpan {
+                line: 4,
+                column: 13
+            })
+        );
+        // PlaceBid: the branch-guarded UPDATE sits on line 11, deeper indented.
+        let pb = &programs[1];
+        assert_eq!(
+            pb.span(StmtId(2)),
+            Some(SourceSpan {
+                line: 11,
+                column: 17
+            })
+        );
     }
 
     #[test]

@@ -33,6 +33,16 @@ pub enum Command {
         /// Output format.
         format: Format,
     },
+    /// `mvrc lint <workload>`: compiler-style dangerous-cycle diagnostics with source spans
+    /// and a minimal promotion-repair suggestion.
+    Lint {
+        /// Workload source.
+        input: Input,
+        /// Analysis settings.
+        settings: AnalysisSettings,
+        /// Output format.
+        format: Format,
+    },
     /// `mvrc subsets <workload>`: maximal robust subsets (the Figure 6 / 7 experiment).
     Subsets {
         /// Workload source.
@@ -105,6 +115,9 @@ USAGE:
 
 COMMANDS:
     analyze      Decide whether the whole workload is robust against MVRC
+    lint         Report each dangerous cycle as a compiler-style diagnostic with source
+                 spans, and suggest a minimal set of read-to-update promotions that repairs
+                 the workload
     subsets      Enumerate the maximal robust program subsets
     graph        Emit the summary graph as Graphviz DOT
     programs     List the programs and their unfolded linear transaction programs
@@ -121,7 +134,7 @@ OPTIONS:
     --tuple       track dependencies per tuple instead of per attribute ('tpl dep')
     --no-fk       ignore foreign-key constraint annotations
     --type1       use the type-I cycle condition of Alomari & Fekete instead of type-II
-    --json        print machine-readable JSON (analyze / subsets / shard merge)
+    --json        print machine-readable JSON (analyze / lint / subsets / shard merge)
     --labels      include statement labels on graph edges (graph)
     --threads N   pin the worker-pool size used by parallel sweeps (default: MVRC_THREADS
                   or the available parallelism); N must be at least 1
@@ -139,7 +152,7 @@ OPTIONS:
 
 EXIT CODES:
     0  the workload (or every program subset asked about) is robust / command succeeded
-    1  the workload is not attested robust
+    1  the workload is not attested robust (analyze; lint: diagnostics were reported)
     2  usage or input error
 ";
 
@@ -328,6 +341,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             settings,
             format,
         }),
+        "lint" => Ok(Command::Lint {
+            input: require_input(input)?,
+            settings,
+            format,
+        }),
         "subsets" => Ok(Command::Subsets {
             input: require_input(input)?,
             settings,
@@ -411,6 +429,32 @@ mod tests {
             }
             other => panic!("unexpected command {other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_parses_like_analyze() {
+        let cmd = parse_args(&args(&["lint", "--benchmark", "smallbank", "--json"])).unwrap();
+        match cmd {
+            Command::Lint {
+                input,
+                settings,
+                format,
+            } => {
+                assert_eq!(input, Input::Benchmark("smallbank".into()));
+                assert_eq!(settings, AnalysisSettings::paper_default());
+                assert_eq!(format, Format::Json);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&["lint", "w.sql", "--type1"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Lint { settings, .. } if settings.condition == CycleCondition::TypeI
+        ));
+        assert!(matches!(
+            parse_args(&args(&["lint"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

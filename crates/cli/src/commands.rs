@@ -37,6 +37,11 @@ pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
             settings,
             format,
         } => analyze(&input, settings, format),
+        Command::Lint {
+            input,
+            settings,
+            format,
+        } => lint(&input, settings, format),
         Command::Subsets {
             input,
             settings,
@@ -168,6 +173,49 @@ fn analyze(
             }
             out
         }
+    };
+    Ok(CommandOutput { text, exit_code })
+}
+
+/// `mvrc lint`: dangerous-cycle diagnostics with source spans plus a promotion repair.
+///
+/// Workload files are re-read here (instead of through [`load_workload`]) so the diagnostics
+/// can quote the offending source lines and prefix locations with the file name. Exit code `1`
+/// means diagnostics were reported, matching `analyze`'s not-robust contract.
+fn lint(
+    input: &Input,
+    settings: AnalysisSettings,
+    format: Format,
+) -> Result<CommandOutput, CliError> {
+    let (workload, source_name, source_text) = match input {
+        Input::File(path) => {
+            let text = fs::read_to_string(path).map_err(|e| CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            let (schema, programs) =
+                parse_workload_file(&text).map_err(|e| CliError::Workload(e.to_string()))?;
+            let name = schema.name().to_string();
+            (
+                Workload::new(name, schema, programs, &[]),
+                Some(path.clone()),
+                Some(text),
+            )
+        }
+        Input::Benchmark(_) => (load_workload(input)?, None, None),
+    };
+    let report = mvrc_lint::lint_workload(
+        &workload,
+        &mvrc_lint::LintOptions {
+            settings,
+            source_name,
+            suggest_repairs: true,
+        },
+    );
+    let exit_code = if report.robust { 0 } else { 1 };
+    let text = match format {
+        Format::Json => serde_json::to_string_pretty(&report).expect("report serializes"),
+        Format::Text => mvrc_lint::render_text(&report, source_text.as_deref()),
     };
     Ok(CommandOutput { text, exit_code })
 }
@@ -493,6 +541,62 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&out.text).unwrap();
         assert_eq!(value["workload"], "Auction");
         assert_eq!(value["report"]["outcome"]["robust"], true);
+    }
+
+    #[test]
+    fn lint_auction_benchmark_is_clean_and_exits_zero() {
+        let out = execute(Command::Lint {
+            input: auction_input(),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert!(out.text.contains("robust against MVRC"), "{}", out.text);
+        assert!(!out.text.contains("error["), "{}", out.text);
+    }
+
+    #[test]
+    fn lint_smallbank_file_reports_spans_and_a_repair() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads/smallbank.sql");
+        let out = execute(Command::Lint {
+            input: Input::File(path.to_string()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert!(out.text.contains("error[MVRC002]"), "{}", out.text);
+        // The primary location resolves to a real file:line:column in the input SQL.
+        assert!(
+            out.text.contains("workloads/smallbank.sql:"),
+            "{}",
+            out.text
+        );
+        // The quoted source line appears with a caret underline.
+        assert!(out.text.contains(" | "), "{}", out.text);
+        assert!(
+            out.text.contains("help: promote these reads"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("repair verified"), "{}", out.text);
+    }
+
+    #[test]
+    fn lint_json_is_valid_and_machine_checkable() {
+        let out = execute(Command::Lint {
+            input: Input::Benchmark("smallbank".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Json,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 1);
+        let value: serde_json::Value = serde_json::from_str(&out.text).unwrap();
+        assert_eq!(value["workload"], "SmallBank");
+        assert_eq!(value["robust"], false);
+        assert!(!value["diagnostics"].as_array().unwrap().is_empty());
+        assert_eq!(value["repair"]["verified"], true);
     }
 
     #[test]

@@ -297,6 +297,73 @@ pub fn find_type2_violation_in<G: SummaryGraphView>(view: &G) -> Option<Type2Wit
     })
 }
 
+/// Enumerates every dangerous cycle of the graph under the given condition, instead of
+/// stopping at the first witness like [`find_type1_violation`] / [`find_type2_violation`].
+///
+/// Violations are deduplicated by the statement pair their counterflow edge blames — the
+/// `(program, statement) → (program, statement)` quadruple — because a diagnostics consumer
+/// wants one report per offending statement pair, not one per cycle routing through it. The
+/// result order follows the graph's edge order and is deterministic.
+///
+/// Not performance-tuned: linting runs once per workload, unlike the subset-sweep hot path.
+pub fn all_violations(graph: &SummaryGraph, condition: CycleCondition) -> Vec<Violation> {
+    all_violations_in(&graph.prefetched(), condition)
+}
+
+/// [`all_violations`] over any summary-graph view.
+pub fn all_violations_in<G: SummaryGraphView>(
+    view: &G,
+    condition: CycleCondition,
+) -> Vec<Violation> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    match condition {
+        CycleCondition::TypeI => {
+            for e in view.view_edges().filter(|e| e.kind.is_counterflow()) {
+                if view.view_reachable(e.to, e.from)
+                    && seen.insert((e.from, e.from_stmt, e.to, e.to_stmt))
+                {
+                    out.push(Violation::TypeI(Type1Witness {
+                        counterflow_edge: *e,
+                    }));
+                }
+            }
+        }
+        CycleCondition::TypeII => {
+            for e3 in view.view_edges().filter(|e| e.kind.is_counterflow()) {
+                if seen.contains(&(e3.from, e3.from_stmt, e3.to, e3.to_stmt)) {
+                    continue;
+                }
+                // One representative cycle per blamed counterflow edge: the first adjacent
+                // middle edge satisfying the pair condition together with the first
+                // non-counterflow edge that closes the cycle (mirrors the naive Algorithm 2
+                // loop with the roles reordered).
+                let witness = view.view_edges_to(e3.from).find_map(|e2| {
+                    if !pair_condition(view, e2, e3) {
+                        return None;
+                    }
+                    view.view_edges()
+                        .find(|e1| {
+                            !e1.kind.is_counterflow()
+                                && view.view_reachable(e1.to, e2.from)
+                                && view.view_reachable(e3.to, e1.from)
+                        })
+                        .map(|e1| Type2Witness {
+                            non_counterflow_edge: *e1,
+                            middle_edge: *e2,
+                            counterflow_edge: *e3,
+                        })
+                });
+                if let Some(w) = witness {
+                    seen.insert((e3.from, e3.from_stmt, e3.to, e3.to_stmt));
+                    out.push(Violation::TypeII(w));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Reusable temporaries for [`find_type2_violation_in`]. Pool workers use one [`WorkerLocal`]
 /// slot each (the subset sweep calls the check once per subset), other threads a plain
 /// thread-local. `nc_seen` is self-cleaning: the function clears the bits it set before
@@ -458,5 +525,50 @@ mod tests {
         assert!(find_type1_violation(&graph).is_none());
         assert!(find_type2_violation(&graph).is_none());
         assert!(find_type2_violation_naive(&graph).is_none());
+    }
+
+    #[test]
+    fn all_violations_agrees_with_the_single_witness_checks() {
+        let schema = schema();
+        let ltps = auction_ltps(&schema);
+        let graph = SummaryGraph::construct(&ltps, &schema, AnalysisSettings::paper_default());
+        // Auction: exactly one counterflow edge, on a cycle → one type-I violation, no type-II.
+        let type1 = all_violations(&graph, CycleCondition::TypeI);
+        assert_eq!(type1.len(), 1);
+        assert_eq!(
+            type1[0],
+            Violation::TypeI(find_type1_violation(&graph).unwrap())
+        );
+        assert!(all_violations(&graph, CycleCondition::TypeII).is_empty());
+    }
+
+    #[test]
+    fn all_violations_deduplicates_by_blamed_statement_pair() {
+        let schema = schema();
+        let mut pb = ProgramBuilder::new(&schema, "ReadThenWrite");
+        let qr = pb.key_select("qr", "Bids", &["bid"]).unwrap();
+        let qw = pb.key_update("qw", "Bids", &["bid"], &["bid"]).unwrap();
+        pb.seq(&[qr.into(), qw.into()]);
+        let ltps = vec![LinearProgram::from_linear_program(&pb.build())];
+        let graph = SummaryGraph::construct(&ltps, &schema, AnalysisSettings::paper_default());
+        let violations = all_violations(&graph, CycleCondition::TypeII);
+        assert!(!violations.is_empty());
+        // Every reported violation blames a distinct counterflow statement pair.
+        let mut keys = std::collections::HashSet::new();
+        for v in &violations {
+            let e = match v {
+                Violation::TypeI(w) => w.counterflow_edge,
+                Violation::TypeII(w) => w.counterflow_edge,
+            };
+            assert!(e.kind.is_counterflow());
+            assert!(keys.insert((e.from, e.from_stmt, e.to, e.to_stmt)));
+        }
+        // Enumeration finds a violation exactly when the single-witness check does.
+        assert_eq!(
+            violations.is_empty(),
+            find_type2_violation(&graph).is_none()
+        );
+        // Deterministic across runs.
+        assert_eq!(violations, all_violations(&graph, CycleCondition::TypeII));
     }
 }

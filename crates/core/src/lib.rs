@@ -75,9 +75,10 @@ mod summary;
 pub mod tables;
 
 pub use algorithm::{
-    find_type1_violation, find_type1_violation_in, find_type2_violation, find_type2_violation_in,
-    find_type2_violation_naive, find_type2_violation_naive_in, is_robust, is_robust_view,
-    RobustnessOutcome, Type1Witness, Type2Witness, Violation,
+    all_violations, all_violations_in, find_type1_violation, find_type1_violation_in,
+    find_type2_violation, find_type2_violation_in, find_type2_violation_naive,
+    find_type2_violation_naive_in, is_robust, is_robust_view, RobustnessOutcome, Type1Witness,
+    Type2Witness, Violation,
 };
 pub use analysis::AnalysisReport;
 pub use dot::{to_dot, to_dot_view, DotOptions};

@@ -427,6 +427,19 @@ impl RobustnessSession {
         self.workload.programs.retain(|p| p.name() != name);
         Ok(())
     }
+
+    /// Replaces a program with an edited version of the same name, updating every cached
+    /// summary graph incrementally (a [`remove_program`](Self::remove_program) followed by an
+    /// [`add_program`](Self::add_program)).
+    ///
+    /// This is the entry point for *program-edit searches* such as the promotion-repair pass of
+    /// `mvrc-lint`, which repeatedly swaps single programs in and out of a session while keeping
+    /// the untouched nodes' Algorithm 1 rows.
+    pub fn replace_program(&mut self, program: Program) -> Result<(), UnknownProgram> {
+        self.remove_program(program.name())?;
+        self.add_program(program);
+        Ok(())
+    }
 }
 
 impl Clone for RobustnessSession {

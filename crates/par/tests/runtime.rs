@@ -15,6 +15,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+// Iteration counts shrink under Miri: the interpreter is orders of magnitude slower than
+// native, and the interleavings it explores do not need large ranges to surface UB.
+const N_LARGE: u64 = if cfg!(miri) { 600 } else { 100_000 };
+const N_MEDIUM: usize = if cfg!(miri) { 300 } else { 10_000 };
+const N_FOR_EACH: usize = if cfg!(miri) { 256 } else { 4_096 };
+const N_SMALL: usize = if cfg!(miri) { 64 } else { 1_000 };
+const N_ENTRIES: usize = if cfg!(miri) { 4 } else { 50 };
+
 #[test]
 fn pool_size_honors_env_override() {
     let threads = pool_thread_count();
@@ -49,7 +57,7 @@ fn nested_joins_compute_recursive_sums() {
         );
         left + right
     }
-    assert_eq!(parallel_sum(0..100_000), 100_000 * 99_999 / 2);
+    assert_eq!(parallel_sum(0..N_LARGE), N_LARGE * (N_LARGE - 1) / 2);
 }
 
 #[test]
@@ -188,17 +196,20 @@ fn scope_propagates_panic_from_the_body() {
 
 #[test]
 fn map_collect_preserves_order() {
-    let doubled: Vec<usize> = (0usize..10_000).into_par_iter().map(|i| i * 2).collect();
-    assert_eq!(doubled, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+    let doubled: Vec<usize> = (0usize..N_MEDIUM).into_par_iter().map(|i| i * 2).collect();
+    assert_eq!(doubled, (0..N_MEDIUM).map(|i| i * 2).collect::<Vec<_>>());
 }
 
 #[test]
 fn filter_map_preserves_order_and_drops_items() {
-    let odds: Vec<usize> = (0usize..1_000)
+    let odds: Vec<usize> = (0usize..N_SMALL)
         .into_par_iter()
         .filter_map(|i| (i % 2 == 1).then_some(i))
         .collect();
-    assert_eq!(odds, (0..1_000).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    assert_eq!(
+        odds,
+        (0..N_SMALL).filter(|i| i % 2 == 1).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -219,30 +230,34 @@ fn chained_adaptors_match_sequential_semantics() {
 
 #[test]
 fn par_iter_over_slices_and_vecs() {
-    let items: Vec<u64> = (1..=1_000).collect();
+    let n = N_SMALL as u64;
+    let items: Vec<u64> = (1..=n).collect();
     let total: u64 = items.par_iter().map(|&x| x).sum();
-    assert_eq!(total, 1_000 * 1_001 / 2);
-    let count = items.as_slice().par_iter().filter(|&&x| x > 500).count();
-    assert_eq!(count, 500);
+    assert_eq!(total, n * (n + 1) / 2);
+    let count = items.as_slice().par_iter().filter(|&&x| x > n / 2).count();
+    assert_eq!(count, (n - n / 2) as usize);
 
     let consumed: Vec<u64> = items.into_par_iter().map(|x| x + 1).collect();
-    assert_eq!(consumed, (2..=1_001).collect::<Vec<_>>());
+    assert_eq!(consumed, (2..=n + 1).collect::<Vec<_>>());
 }
 
 #[test]
 fn for_each_visits_every_item() {
     let sum = AtomicUsize::new(0);
-    (0usize..4_096).into_par_iter().for_each(|i| {
+    (0usize..N_FOR_EACH).into_par_iter().for_each(|i| {
         sum.fetch_add(i, Ordering::Relaxed);
     });
-    assert_eq!(sum.load(Ordering::Relaxed), 4_096 * 4_095 / 2);
+    assert_eq!(
+        sum.load(Ordering::Relaxed),
+        N_FOR_EACH * (N_FOR_EACH - 1) / 2
+    );
 }
 
 #[test]
 fn fold_chunks_covers_the_range_exactly_once() {
     let seen = Mutex::new(Vec::new());
     fold_chunks(
-        0..10_000,
+        0..N_MEDIUM,
         Parallelism::Auto,
         0,
         Vec::new,
@@ -259,7 +274,7 @@ fn fold_chunks_covers_the_range_exactly_once() {
     .for_each(|i| seen.lock().unwrap().push(i));
     let mut seen = seen.into_inner().unwrap();
     seen.sort_unstable();
-    assert_eq!(seen, (0..10_000).collect::<Vec<_>>());
+    assert_eq!(seen, (0..N_MEDIUM).collect::<Vec<_>>());
 }
 
 #[test]
@@ -392,12 +407,13 @@ fn worker_local_reuses_and_returns_scratch() {
 #[test]
 fn many_concurrent_external_entries() {
     // Several application threads hammer the pool at once; all results must come back intact.
+    let n = N_SMALL as u64;
     std::thread::scope(|s| {
         for _ in 0..8 {
-            s.spawn(|| {
-                for _ in 0..50 {
-                    let total: u64 = (0u64..1_000).into_par_iter().map(|i| i * i).sum();
-                    assert_eq!(total, (0..1_000).map(|i| i * i).sum());
+            s.spawn(move || {
+                for _ in 0..N_ENTRIES {
+                    let total: u64 = (0u64..n).into_par_iter().map(|i| i * i).sum();
+                    assert_eq!(total, (0..n).map(|i| i * i).sum());
                 }
             });
         }
