@@ -31,7 +31,7 @@ use mvrc_benchmarks::{auction, auction_n, smallbank, tpcc, ycsb_t, YcsbtConfig};
 use mvrc_dist::{open_snapshot, save_snapshot, session_from_snapshot_bytes};
 use mvrc_robustness::{
     explore_subsets, explore_subsets_naive, explore_subsets_with, to_dot, AnalysisSettings,
-    CycleCondition, DotOptions, ExploreOptions, RobustnessSession, SweepStrategy,
+    CycleCondition, DotOptions, ExploreOptions, RobustnessSession, SweepKernel, SweepStrategy,
 };
 use mvrc_schedule::{find_counterexample, SearchConfig};
 use serde::Serialize;
@@ -229,8 +229,18 @@ struct SubsetBenchRow {
     naive_us: f64,
     /// Median time of the shared-graph exhaustive sweep, in microseconds.
     shared_us: f64,
-    /// Median time of the closure-pruned sweep, in microseconds.
+    /// Median time of the closure-pruned sweep under the default kernel (bit-sliced), in
+    /// microseconds.
     pruned_us: f64,
+    /// Median time of the closure-pruned sweep pinned to [`SweepKernel::Scalar`] — the
+    /// one-subset-at-a-time oracle the bit-sliced kernel is cross-checked against, in
+    /// microseconds.
+    scalar_pruned_us: f64,
+    /// Median time of the closure-pruned sweep pinned to [`SweepKernel::BitSliced`] (up to 64
+    /// subsets of a popcount level per graph traversal), in microseconds. Pinned explicitly —
+    /// unlike `pruned_us` it keeps measuring the bit-sliced kernel even if the default
+    /// changes — so the CI gate can assert `bitsliced_us ≤ scalar_pruned_us` durably.
+    bitsliced_us: f64,
     /// Median time of the closure-pruned sweep driven by the eager `ShardSpec` plan
     /// (`SweepStrategy::Sharded` — the in-process twin of the `mvrc shard` protocol), in
     /// microseconds.
@@ -269,6 +279,14 @@ fn bench_subsets(out_path: &str) {
         strategy: SweepStrategy::Sharded,
         ..ExploreOptions::default()
     };
+    let scalar = ExploreOptions {
+        kernel: Some(SweepKernel::Scalar),
+        ..ExploreOptions::default()
+    };
+    let bitsliced = ExploreOptions {
+        kernel: Some(SweepKernel::BitSliced),
+        ..ExploreOptions::default()
+    };
     let rows: Vec<SubsetBenchRow> = [
         smallbank(),
         tpcc(),
@@ -297,6 +315,12 @@ fn bench_subsets(out_path: &str) {
         let pruned_us = median_us(RUNS, || {
             explore_subsets(&session, settings);
         });
+        let scalar_pruned_us = median_us(RUNS, || {
+            explore_subsets_with(&session, settings, scalar);
+        });
+        let bitsliced_us = median_us(RUNS, || {
+            explore_subsets_with(&session, settings, bitsliced);
+        });
         let sharded_us = median_us(RUNS, || {
             explore_subsets_with(&session, settings, sharded);
         });
@@ -310,6 +334,8 @@ fn bench_subsets(out_path: &str) {
             naive_us,
             shared_us,
             pruned_us,
+            scalar_pruned_us,
+            bitsliced_us,
             sharded_us,
             pruned_per_subset_us: pruned_us / subsets as f64,
             cycle_tests: pruned.cycle_tests,
@@ -322,14 +348,14 @@ fn bench_subsets(out_path: &str) {
     .collect();
 
     println!(
-        "== Subset exploration medians ({RUNS} runs): setup + naive vs shared vs closure-pruned vs sharded =="
+        "== Subset exploration medians ({RUNS} runs): setup + naive vs shared vs closure-pruned (scalar vs bit-sliced) vs sharded =="
     );
     for row in &rows {
         println!(
-            "  {:<10} setup={:>8.1}µs  naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  sharded={:>9.1}µs  per-subset={:>7.2}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
+            "  {:<10} setup={:>8.1}µs  naive={:>9.1}µs  shared={:>9.1}µs  pruned={:>9.1}µs  scalar={:>9.1}µs  bitsliced={:>9.1}µs  sharded={:>9.1}µs  per-subset={:>7.2}µs  ({} of {} cycle tests run, {} pruned, {} threads)",
             row.benchmark, row.setup_us, row.naive_us, row.shared_us, row.pruned_us,
-            row.sharded_us, row.pruned_per_subset_us, row.cycle_tests, row.subsets,
-            row.pruned_subsets, row.threads
+            row.scalar_pruned_us, row.bitsliced_us, row.sharded_us, row.pruned_per_subset_us,
+            row.cycle_tests, row.subsets, row.pruned_subsets, row.threads
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");
@@ -522,6 +548,13 @@ struct OpenBenchRow {
     decode_open_us: f64,
     /// Median time to map the snapshot zero-copy and answer the grid, µs.
     warm_open_us: f64,
+    /// `true` when the cold build beat the mapped open (`cold_us < warm_open_us`). Expected
+    /// only on the tiny workloads, where a from-scratch build costs a handful of graph
+    /// constructions over three-to-five nodes and the open's floor (file read + fingerprint
+    /// verify + workload/LTP decode) cannot amortize; any `true` on a construction-heavy row
+    /// (TPC-C, the scaled Auction) is a regression in the open path and should be treated
+    /// as such, not averaged away.
+    cold_wins: bool,
     /// Size of the `mvrc-par` worker pool during the run.
     threads: usize,
 }
@@ -577,6 +610,7 @@ fn bench_open(out_path: &str) {
             cold_us,
             decode_open_us,
             warm_open_us,
+            cold_wins: cold_us < warm_open_us,
             threads: mvrc_par::planned_thread_count(),
         }
     })
@@ -587,14 +621,19 @@ fn bench_open(out_path: &str) {
     );
     for row in &rows {
         println!(
-            "  {:<10} cold={:>9.1}µs  decode={:>9.1}µs  mapped={:>9.1}µs  ({} graphs, {} KiB, {} threads)",
+            "  {:<10} cold={:>9.1}µs  decode={:>9.1}µs  mapped={:>9.1}µs  ({} graphs, {} KiB, {} threads){}",
             row.benchmark,
             row.cold_us,
             row.decode_open_us,
             row.warm_open_us,
             row.graphs,
             row.snapshot_bytes / 1024,
-            row.threads
+            row.threads,
+            if row.cold_wins {
+                "  [cold wins: rebuild beat the mapped open]"
+            } else {
+                ""
+            }
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");

@@ -157,6 +157,104 @@ fn pair_condition<G: SummaryGraphView>(
         || ordered_pair_kind(view.node(middle.from).statement(middle.from_stmt).kind())
 }
 
+/// Compiles the lane-independent [`kernels::LanePlan`] of a summary graph for the bit-sliced
+/// sweep kernel ([`kernels::sweep_lanes`]): the deduplicated node-pair structure of the graph
+/// plus, under the type-II condition, the precomputed pair-condition tests of Algorithm 2.
+///
+/// The pair condition only reads per-node statement data (`view.node(..)`), which every
+/// induced view shares with the full graph — so one compilation serves every subset of the
+/// sweep, and whether a concrete edge pair exists *in a lane's view* reduces to membership
+/// bits the kernel tests per word.
+pub(crate) fn compile_lane_plan(
+    graph: &SummaryGraph,
+    condition: CycleCondition,
+) -> kernels::LanePlan {
+    let view = graph.prefetched();
+    let n = graph.node_count();
+
+    let mut edge_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut cf_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut nc_pairs: Vec<(u32, u32)> = Vec::new();
+    for e in view.view_edges() {
+        let pair = (e.from as u32, e.to as u32);
+        if e.from != e.to {
+            edge_pairs.push(pair);
+        }
+        if e.kind.is_counterflow() {
+            cf_pairs.push(pair);
+        } else {
+            nc_pairs.push(pair);
+        }
+    }
+    // Sources ordered by ascending full-graph reach count: an edge's source reaches a strict
+    // superset of its target's reach set unless the two share an SCC, so this order lets the
+    // kernel's fixpoint finish acyclic stretches in a single pass.
+    let reach_count: Vec<u32> = (0..n)
+        .map(|v| {
+            view.view_reachable_row(v)
+                .iter()
+                .map(|w| w.count_ones())
+                .sum()
+        })
+        .collect();
+    edge_pairs.sort_unstable_by_key(|&(a, b)| (reach_count[a as usize], a, b));
+    edge_pairs.dedup();
+    cf_pairs.sort_unstable();
+    cf_pairs.dedup();
+    nc_pairs.sort_unstable();
+    nc_pairs.dedup();
+
+    let mut candidates: Vec<u32> = cf_pairs.iter().map(|&(_, to)| to).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut type2_groups = Vec::new();
+    let mut type2_froms = Vec::new();
+    if condition == CycleCondition::TypeII {
+        // Distinct (candidate, P_4, P_3) triples over concrete edges: which in-edges of a
+        // counterflow source pass the pair condition, grouped per counterflow node pair.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+        for e3 in view.view_edges().filter(|e| e.kind.is_counterflow()) {
+            let ci = candidates
+                .binary_search(&(e3.to as u32))
+                .expect("counterflow target is a candidate by construction")
+                as u32;
+            for e2 in view.view_edges_to(e3.from) {
+                if pair_condition(&view, e2, e3) {
+                    triples.push((ci, e3.from as u32, e2.from as u32));
+                }
+            }
+        }
+        triples.sort_unstable();
+        triples.dedup();
+        let mut i = 0;
+        while i < triples.len() {
+            let (ci, cf_from, _) = triples[i];
+            let start = type2_froms.len() as u32;
+            while i < triples.len() && triples[i].0 == ci && triples[i].1 == cf_from {
+                type2_froms.push(triples[i].2);
+                i += 1;
+            }
+            type2_groups.push(kernels::LaneType2Group {
+                cf_from,
+                candidate: ci,
+                froms: (start, type2_froms.len() as u32),
+            });
+        }
+    }
+
+    kernels::LanePlan {
+        universe: n,
+        condition,
+        edge_pairs,
+        cf_pairs,
+        nc_pairs,
+        candidates,
+        type2_groups,
+        type2_froms,
+    }
+}
+
 /// Algorithm 2, literal transcription of the paper's pseudocode (triple loop over edges).
 ///
 /// Exposed for cross-checking and for the ablation benchmark; prefer
@@ -515,6 +613,42 @@ mod tests {
                 find_type2_violation_naive(&graph).is_some(),
                 "naive and optimized type-II checks disagree on subset mask {mask}"
             );
+        }
+    }
+
+    #[test]
+    fn lane_plan_verdicts_match_scalar_cycle_tests_on_every_node_subset() {
+        // Direct kernel oracle: pack every non-empty *node* subset of the Auction graph into
+        // one partial lane batch and compare each lane's verdict against the scalar cycle
+        // test on the corresponding induced view, under both conditions.
+        let schema = schema();
+        let ltps = auction_ltps(&schema);
+        let graph = SummaryGraph::construct(&ltps, &schema, AnalysisSettings::paper_default());
+        let n = graph.node_count();
+        for condition in [CycleCondition::TypeI, CycleCondition::TypeII] {
+            let plan = compile_lane_plan(&graph, condition);
+            let subsets: Vec<usize> = (1..1usize << n).collect();
+            assert!(subsets.len() <= 64);
+            let mut scratch = kernels::LaneScratch::default();
+            scratch.member = vec![0u64; n];
+            for (lane, &s) in subsets.iter().enumerate() {
+                for (v, word) in scratch.member.iter_mut().enumerate() {
+                    if s & (1 << v) != 0 {
+                        *word |= 1 << lane;
+                    }
+                }
+            }
+            let batch = (1u64 << subsets.len()) - 1;
+            let robust = kernels::sweep_lanes(&plan, &mut scratch, batch);
+            for (lane, &s) in subsets.iter().enumerate() {
+                let members: Vec<usize> = (0..n).filter(|v| s & (1 << v) != 0).collect();
+                let want = is_robust_view(&graph.induced(&members), condition);
+                assert_eq!(
+                    robust & (1 << lane) != 0,
+                    want,
+                    "lane verdict diverges on node subset {s:#b} under {condition:?}"
+                );
+            }
         }
     }
 

@@ -14,7 +14,32 @@
 //! Small closures — every induced view of the subset sweep — stay on a strictly serial path
 //! that draws its temporaries from per-worker scratch, performing no pool interaction and no
 //! steady-state allocation beyond the returned rows.
+//!
+//! # Bit-sliced subset sweeps
+//!
+//! [`sweep_lanes`] turns the word-parallel trick around: instead of packing 64 *destination
+//! nodes* per word (the closure above), it packs up to 64 *subsets* of one popcount level into
+//! the 64 bit **lanes** of a `u64`. The membership-word encoding: every graph node `v` carries
+//! one word `member[v]` whose bit `i` means "node `v`'s program is in subset `i`". A single
+//! traversal of the shared summary graph then evaluates all lanes at once — the lane-masked
+//! reachability matrix `reach[u·n + v]` has bit `i` set exactly when `v` is reachable from `u`
+//! through lane-`i` members only (reflexively, so a set bit also certifies `u` and `v` are
+//! members), and the type-I / type-II cycle conditions become word AND/OR combinations of
+//! those rows, each `u64` operation deciding the same step for 64 subsets.
+//!
+//! Batching whole rank ranges this way is sound with Proposition 5.2 pruning in effect: the
+//! inheritance check for a level-`k` mask reads only its one-bit supersets, which live at level
+//! `k + 1` — pruning information flows strictly from level `k + 1` down to level `k`, never
+//! within a level. Deferring the publication of a level-`k` verdict until its lane batch
+//! flushes therefore cannot change any pruning decision (or counter) of the same level, and
+//! the level barrier of the sweep guarantees every batch flushes before level `k - 1` starts.
+//!
+//! The structure shared by all lanes — deduplicated edge pairs, counterflow pairs, the
+//! pair-condition tests of Algorithm 2 — is compiled once per graph and condition into a
+//! [`LanePlan`] (`crate::algorithm::compile_lane_plan`) and cached on the graph, so a batch
+//! costs one fixpoint over node pairs instead of up to 64 Tarjan condensations.
 
+use crate::settings::CycleCondition;
 use mvrc_par::{fold_chunks, Parallelism, WorkerLocal};
 use std::cell::RefCell;
 use std::sync::OnceLock;
@@ -54,6 +79,175 @@ pub(crate) fn set_bit(words: &mut [u64], bit: usize) {
 #[inline]
 pub(crate) fn clear_bit(words: &mut [u64], bit: usize) {
     words[bit / 64] &= !(1u64 << (bit % 64));
+}
+
+/// Lane-independent description of one summary graph for [`sweep_lanes`], compiled once per
+/// `(graph, condition)` by `crate::algorithm::compile_lane_plan` and shared by every batch:
+/// the deduplicated node-pair structure and the precomputed pair-condition tests of
+/// Algorithm 2 (which depend only on per-node statement data common to all induced views).
+#[derive(Debug, Clone)]
+pub(crate) struct LanePlan {
+    /// Number of graph nodes: the rows/columns of the lane reachability matrix.
+    pub(crate) universe: usize,
+    /// The cycle condition the plan was compiled for.
+    pub(crate) condition: CycleCondition,
+    /// Deduplicated `(from, to)` node pairs (`from != to`) connected by any edge — the
+    /// propagation steps of the reachability fixpoint. Ordered by ascending full-graph reach
+    /// count of the source, so acyclic stretches converge in a single pass (an edge source
+    /// always reaches strictly more nodes than its target unless they share an SCC).
+    pub(crate) edge_pairs: Vec<(u32, u32)>,
+    /// Deduplicated counterflow `(from, to)` node pairs: the type-I cycle tests.
+    pub(crate) cf_pairs: Vec<(u32, u32)>,
+    /// Deduplicated non-counterflow `(P_1, P_2)` node pairs: the type-II closing-set sources.
+    pub(crate) nc_pairs: Vec<(u32, u32)>,
+    /// Sorted, deduplicated counterflow targets — the candidate `P_5` nodes, one closing-set
+    /// row each.
+    pub(crate) candidates: Vec<u32>,
+    /// The type-II final loop, grouped per `(candidate, P_4)`: which `P_3` nodes complete an
+    /// adjacent edge pair satisfying the pair condition of Theorem 6.4.
+    pub(crate) type2_groups: Vec<LaneType2Group>,
+    /// Flat backing store for the [`LaneType2Group::froms`] ranges.
+    pub(crate) type2_froms: Vec<u32>,
+}
+
+/// One group of the type-II final loop: for a fixed counterflow node pair `(P_4, P_5)`, the
+/// distinct `P_3` nodes with a concrete adjacent edge pair `(P_3 → P_4, P_4 → P_5)` passing
+/// the pair condition.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneType2Group {
+    /// `P_4`, the counterflow edge's source; its membership word gates the whole group.
+    pub(crate) cf_from: u32,
+    /// Index of `P_5` in [`LanePlan::candidates`] (selects the closing-set row).
+    pub(crate) candidate: u32,
+    /// `start..end` range into [`LanePlan::type2_froms`].
+    pub(crate) froms: (u32, u32),
+}
+
+/// Reusable lane-kernel temporaries: the membership words the caller fills per batch, plus the
+/// reachability and closing-set matrices [`sweep_lanes`] rebuilds from them. Lives in the
+/// per-worker sweep scratch so batches perform no steady-state allocation.
+#[derive(Debug, Default)]
+pub(crate) struct LaneScratch {
+    /// Membership words, one per graph node: bit `i` ⇔ the node's program is in subset `i`.
+    pub(crate) member: Vec<u64>,
+    /// Lane-masked reachability, row-major `universe × universe` words: bit `i` of
+    /// `reach[u·n + v]` ⇔ `u` and `v` are lane-`i` members and `v` is reachable from `u`
+    /// through lane-`i` members only.
+    reach: Vec<u64>,
+    /// Closing-set rows, one `universe`-word row per candidate `P_5`.
+    close: Vec<u64>,
+}
+
+/// Decides up to 64 subsets with one lane-parallel traversal of the shared graph, returning
+/// the lanes attested **robust** (no dangerous cycle), a subset of `batch`.
+///
+/// `scratch.member` holds the membership words (bits outside `batch` must be zero). The
+/// verdicts are exactly those of the scalar per-subset cycle tests: the reachability fixpoint
+/// mirrors induced-view closure per lane, and the type-II formulas below are the lane-masked
+/// transcription of `find_type2_violation_in` — `close[P_5]` accumulates, per lane, the
+/// reach rows of every non-counterflow pair `(P_1, P_2)` whose `P_1` is reachable from `P_5`,
+/// and a lane is violated when some pair-condition group finds its `P_3` bit set with `P_4`
+/// a member. Witness *choice* may differ from the scalar search order; witness *existence*
+/// (all the sweep records) cannot.
+pub(crate) fn sweep_lanes(plan: &LanePlan, scratch: &mut LaneScratch, batch: u64) -> u64 {
+    let n = plan.universe;
+    let LaneScratch {
+        member,
+        reach,
+        close,
+    } = scratch;
+    debug_assert_eq!(member.len(), n);
+    if n == 0 {
+        return batch;
+    }
+
+    // Reflexive base: every member reaches itself within its own lane.
+    reach.clear();
+    reach.resize(n * n, 0);
+    for v in 0..n {
+        reach[v * n + v] = member[v];
+    }
+    // Propagate `reach[a] |= member[a] & reach[b]` per edge pair until a pass changes nothing.
+    // Row bits of `reach[b]` already certify `b`'s membership (induction from the base), so
+    // gating by `member[a]` keeps the invariant that a set bit means "both endpoints are lane
+    // members, path through lane members only". The plan's edge order makes acyclic stretches
+    // converge in one pass; strongly connected components take as many as their diameter.
+    loop {
+        let mut changed = false;
+        for &(a, b) in &plan.edge_pairs {
+            let gate = member[a as usize];
+            if gate == 0 {
+                continue;
+            }
+            let (dst, src) = (a as usize * n, b as usize * n);
+            let mut delta = 0u64;
+            for j in 0..n {
+                let add = reach[src + j] & gate;
+                let old = reach[dst + j];
+                delta |= add & !old;
+                reach[dst + j] = old | add;
+            }
+            changed |= delta != 0;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut violated = 0u64;
+    match plan.condition {
+        CycleCondition::TypeI => {
+            // A counterflow edge on a cycle: the edge is in the view (both endpoints members)
+            // and its source is reachable from its target — all three facts in one bit.
+            for &(from, to) in &plan.cf_pairs {
+                violated |= reach[to as usize * n + from as usize];
+                if violated == batch {
+                    break;
+                }
+            }
+        }
+        CycleCondition::TypeII => {
+            // close[ci][v] bit i ⇔ some non-counterflow pair (P_1, P_2) exists in lane i with
+            // P_1 reachable from candidate P_5 and v reachable from P_2. The gate word
+            // reach[P_5][P_1] certifies P_5 and P_1; the source row certifies P_2 and v.
+            close.clear();
+            close.resize(plan.candidates.len() * n, 0);
+            for (ci, &p5) in plan.candidates.iter().enumerate() {
+                let p5 = p5 as usize;
+                if member[p5] == 0 {
+                    continue;
+                }
+                let row = ci * n;
+                for &(p1, p2) in &plan.nc_pairs {
+                    let gate = reach[p5 * n + p1 as usize];
+                    if gate == 0 {
+                        continue;
+                    }
+                    let src = p2 as usize * n;
+                    for j in 0..n {
+                        close[row + j] |= gate & reach[src + j];
+                    }
+                }
+            }
+            // Adjacent pair (e_2, e_3) with the pair condition: P_4's membership word gates
+            // the group (e_2's target and e_3's source), the close bit at P_3 supplies the
+            // rest of the cycle.
+            'tests: for group in &plan.type2_groups {
+                let present = member[group.cf_from as usize];
+                if present == 0 {
+                    continue;
+                }
+                let row = group.candidate as usize * n;
+                for &p3 in &plan.type2_froms[group.froms.0 as usize..group.froms.1 as usize] {
+                    violated |= present & close[row + p3 as usize];
+                    if violated == batch {
+                        break 'tests;
+                    }
+                }
+            }
+        }
+    }
+    batch & !violated
 }
 
 const UNVISITED: u32 = u32::MAX;
@@ -320,6 +514,50 @@ mod tests {
             |r, k| adj[r][k],
             parallelism,
         )
+    }
+
+    #[test]
+    fn sweep_lanes_type1_verdicts_follow_lane_membership() {
+        // Nodes {0, 1}: an edge 0 -> 1 and a counterflow edge 1 -> 0 form a type-I cycle
+        // exactly when both nodes are members. Partial batch of three lanes:
+        // lane 0 = {0, 1}, lane 1 = {0}, lane 2 = {1}.
+        let plan = LanePlan {
+            universe: 2,
+            condition: CycleCondition::TypeI,
+            edge_pairs: vec![(0, 1), (1, 0)],
+            cf_pairs: vec![(1, 0)],
+            nc_pairs: Vec::new(),
+            candidates: Vec::new(),
+            type2_groups: Vec::new(),
+            type2_froms: Vec::new(),
+        };
+        let mut scratch = LaneScratch {
+            member: vec![0b011, 0b101],
+            ..LaneScratch::default()
+        };
+        assert_eq!(sweep_lanes(&plan, &mut scratch, 0b111), 0b110);
+    }
+
+    #[test]
+    fn sweep_lanes_reachability_is_masked_per_lane() {
+        // Chain 0 -> 1 -> 2 with counterflow 2 -> 0: the cycle needs all three nodes, so
+        // dropping any one of them (lanes 1 and 2) breaks it.
+        let plan = LanePlan {
+            universe: 3,
+            condition: CycleCondition::TypeI,
+            edge_pairs: vec![(0, 1), (1, 2), (2, 0)],
+            cf_pairs: vec![(2, 0)],
+            nc_pairs: Vec::new(),
+            candidates: Vec::new(),
+            type2_groups: Vec::new(),
+            type2_froms: Vec::new(),
+        };
+        // lane 0 = {0, 1, 2}, lane 1 = {0, 2}, lane 2 = {0, 1}.
+        let mut scratch = LaneScratch {
+            member: vec![0b111, 0b101, 0b011],
+            ..LaneScratch::default()
+        };
+        assert_eq!(sweep_lanes(&plan, &mut scratch, 0b111), 0b110);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::algorithm::RobustnessOutcome;
 use crate::analysis::AnalysisReport;
 use crate::settings::{AnalysisSettings, CycleCondition, Granularity};
-use crate::subsets::CachedSweep;
+use crate::subsets::{CachedSweep, SweepKernel};
 use crate::summary::{program_fingerprint, SummaryGraph, UnknownProgram};
 use mvrc_btp::{unfold, LinearProgram, Program, Workload};
 use mvrc_par::Parallelism;
@@ -86,6 +86,7 @@ pub struct RobustnessSession {
     /// leave them untouched and the rebase happens lazily at the next incremental sweep.
     sweeps: Mutex<HashMap<AnalysisSettings, CachedSweep>>,
     parallelism: Parallelism,
+    sweep_kernel: SweepKernel,
 }
 
 impl RobustnessSession {
@@ -106,6 +107,7 @@ impl RobustnessSession {
             cache: Mutex::new(HashMap::new()),
             sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
+            sweep_kernel: SweepKernel::default(),
         }
     }
 
@@ -139,6 +141,7 @@ impl RobustnessSession {
             cache: Mutex::new(HashMap::new()),
             sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
+            sweep_kernel: SweepKernel::default(),
         }
     }
 
@@ -158,6 +161,25 @@ impl RobustnessSession {
     /// The session's parallelism pin (how much of the pool sweeps may use).
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Pins which [`SweepKernel`] this session's subset sweeps use
+    /// ([`SweepKernel::BitSliced`] — the default — batches up to 64 subsets per graph
+    /// traversal). Individual calls can still override this through
+    /// [`crate::ExploreOptions::kernel`].
+    pub fn with_sweep_kernel(mut self, kernel: SweepKernel) -> Self {
+        self.sweep_kernel = kernel;
+        self
+    }
+
+    /// Changes the session's [`SweepKernel`] in place; see [`Self::with_sweep_kernel`].
+    pub fn set_sweep_kernel(&mut self, kernel: SweepKernel) {
+        self.sweep_kernel = kernel;
+    }
+
+    /// The session's sweep-kernel pin (how subset sweeps test undecided masks).
+    pub fn sweep_kernel(&self) -> SweepKernel {
+        self.sweep_kernel
     }
 
     /// The workload this session analyzes.
@@ -316,6 +338,7 @@ impl RobustnessSession {
             cache: Mutex::new(cache),
             sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
+            sweep_kernel: SweepKernel::default(),
         }
     }
 
@@ -457,6 +480,7 @@ impl Clone for RobustnessSession {
                     .clone(),
             ),
             parallelism: self.parallelism,
+            sweep_kernel: self.sweep_kernel,
         }
     }
 }

@@ -20,13 +20,16 @@
 //! [`SweepStrategy::Materialized`] as a cross-check oracle.
 
 use crate::algorithm::{is_robust, is_robust_view};
+use crate::kernels;
 use crate::session::RobustnessSession;
 use crate::settings::AnalysisSettings;
 use crate::summary::{NodeId, SummaryGraph};
 use mvrc_btp::LinearProgram;
-use mvrc_par::{fold_chunks, Parallelism};
+use mvrc_par::{fold_chunks, Parallelism, WorkerLocal};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// How a popcount level of the sweep is traversed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -44,6 +47,43 @@ pub enum SweepStrategy {
     /// [`SweepStrategy::Materialized`] so the distributed protocol rides on a plan shape the
     /// oracles validate.
     Sharded,
+}
+
+/// Which per-mask decision kernel [`RankRangeSweep::run_shard`] uses.
+///
+/// Verdicts and counters are identical under either kernel (cross-checked in the test-suite
+/// and by the `mvrc-dist` merge byte-identity tests); the choice is purely a performance
+/// knob, with [`SweepKernel::Scalar`] retained as the oracle the bit-sliced path is checked
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SweepKernel {
+    /// One induced view and one scalar cycle test per subset.
+    Scalar,
+    /// Pack up to 64 undecided masks of a level into `u64` lanes and decide them with one
+    /// lane-parallel traversal of the shared graph (the private `kernels` module docs
+    /// describe the membership-word encoding and the within-level pruning-soundness
+    /// argument).
+    #[default]
+    BitSliced,
+}
+
+impl SweepKernel {
+    /// Parses the CLI spelling (`scalar` / `bitsliced`).
+    pub fn parse(s: &str) -> Option<SweepKernel> {
+        match s {
+            "scalar" => Some(SweepKernel::Scalar),
+            "bitsliced" => Some(SweepKernel::BitSliced),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (`scalar` / `bitsliced`), inverse of [`SweepKernel::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepKernel::Scalar => "scalar",
+            SweepKernel::BitSliced => "bitsliced",
+        }
+    }
 }
 
 /// Options controlling the subset exploration.
@@ -82,6 +122,12 @@ pub struct ExploreOptions {
     /// (Not serialized: a thread cap is an execution detail, not part of the result's shape.)
     #[serde(skip)]
     pub parallelism: Parallelism,
+    /// The per-mask decision kernel. `None` (the default) defers to the session's
+    /// [`RobustnessSession::sweep_kernel`] pin, itself defaulting to
+    /// [`SweepKernel::BitSliced`]; `Some` overrides it for this call. (Not serialized:
+    /// verdicts are kernel-independent, so the kernel is an execution detail.)
+    #[serde(skip)]
+    pub kernel: Option<SweepKernel>,
 }
 
 impl Default for ExploreOptions {
@@ -93,6 +139,7 @@ impl Default for ExploreOptions {
             incremental: false,
             incremental_min_subsets: default_incremental_min_subsets(),
             parallelism: Parallelism::Auto,
+            kernel: None,
         }
     }
 }
@@ -508,6 +555,34 @@ pub struct RankRangeSweep {
     /// Masks whose verdict was adopted from a seed ([`Self::apply_seed`]): visited shards skip
     /// them without a cycle test or a pruning decision. `None` on a fresh sweep.
     decided: Option<Vec<u64>>,
+    /// The per-mask decision kernel ([`Self::with_kernel`]).
+    kernel: SweepKernel,
+}
+
+/// Per-worker sweep temporaries: the induced-view member buffer of the scalar kernel, the
+/// pending-mask batch and the lane matrices of the bit-sliced kernel. One slot per pool
+/// worker (plus a thread-local for non-pool callers), so sharded sweeps with many small
+/// shards stop churning allocations.
+#[derive(Default)]
+struct SweepScratch {
+    members: Vec<NodeId>,
+    batch: Vec<usize>,
+    lanes: kernels::LaneScratch,
+}
+
+fn with_sweep_scratch<R>(f: impl FnOnce(&mut SweepScratch) -> R) -> R {
+    static SCRATCH: OnceLock<WorkerLocal<SweepScratch>> = OnceLock::new();
+    if mvrc_par::current_worker_index().is_some() {
+        SCRATCH
+            .get_or_init(|| WorkerLocal::new(SweepScratch::default))
+            .with(f)
+    } else {
+        NON_WORKER_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+    }
+}
+
+thread_local! {
+    static NON_WORKER_SCRATCH: RefCell<SweepScratch> = RefCell::new(SweepScratch::default());
 }
 
 impl RankRangeSweep {
@@ -553,7 +628,21 @@ impl RankRangeSweep {
             binomials: Binomials::new(n),
             bits: (0..total.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
             decided: None,
+            kernel: SweepKernel::default(),
         }
+    }
+
+    /// Selects the per-mask decision kernel (default: [`SweepKernel::BitSliced`]). Verdicts
+    /// and counters are identical either way; the scalar kernel is the cross-check oracle.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: SweepKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The decision kernel this sweep runs ([`Self::with_kernel`]).
+    pub fn kernel(&self) -> SweepKernel {
+        self.kernel
     }
 
     /// Adopts the verdicts of a [`SweepSeed`] (produced by [`rebase_cached_sweep`] or read
@@ -690,6 +779,55 @@ impl RankRangeSweep {
         }
     }
 
+    /// Decides a batch of up to 64 undecided masks with one lane-parallel traversal
+    /// ([`kernels::sweep_lanes`]): lane `i` is mask `masks[i]`, each graph node's membership
+    /// word ORs together the lanes whose subset contains the node's program. Robust lanes are
+    /// published into the verdict bitset; the counters were already accounted at batch-fill
+    /// time (one cycle test per lane).
+    fn flush_lane_batch(&self, masks: &[usize], lanes: &mut kernels::LaneScratch) {
+        debug_assert!(!masks.is_empty() && masks.len() <= 64);
+        let plan = self.graph.lane_plan(self.settings.condition);
+        lanes.member.clear();
+        lanes.member.resize(plan.universe, 0);
+        for (lane, &mask) in masks.iter().enumerate() {
+            let bit = 1u64 << lane;
+            for (i, nodes) in self.nodes_per_program.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    for &v in nodes {
+                        lanes.member[v] |= bit;
+                    }
+                }
+            }
+        }
+        let batch = if masks.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << masks.len()) - 1
+        };
+        let mut robust = kernels::sweep_lanes(plan, lanes, batch);
+        while robust != 0 {
+            self.mark(masks[robust.trailing_zeros() as usize]);
+            robust &= robust - 1;
+        }
+    }
+
+    /// Runs the cycle test for a list of masks (no pruning checks) under the configured
+    /// kernel, publishing the verdicts. Drives the materialized strategy's eager work lists.
+    fn test_masks(&self, masks: &[usize], scratch: &mut SweepScratch) {
+        match self.kernel {
+            SweepKernel::Scalar => {
+                for &mask in masks {
+                    self.test_mask(mask, &mut scratch.members);
+                }
+            }
+            SweepKernel::BitSliced => {
+                for batch in masks.chunks(64) {
+                    self.flush_lane_batch(batch, &mut scratch.lanes);
+                }
+            }
+        }
+    }
+
     #[inline]
     fn is_decided(&self, mask: usize) -> bool {
         self.decided
@@ -750,14 +888,62 @@ impl RankRangeSweep {
         if spec.is_empty() {
             return counters;
         }
-        let mut members: Vec<NodeId> = Vec::new();
-        let mut mask = unrank_colex(spec.rank_start, spec.level, &self.binomials);
-        for rank in spec.rank_start..spec.rank_end {
-            counters = counters.merged(self.visit_mask(mask, &mut members));
-            if rank + 1 < spec.rank_end {
-                mask = next_same_popcount(mask);
+        with_sweep_scratch(|scratch| {
+            let SweepScratch {
+                members,
+                batch,
+                lanes,
+            } = scratch;
+            let mut mask = unrank_colex(spec.rank_start, spec.level, &self.binomials);
+            match self.kernel {
+                SweepKernel::Scalar => {
+                    for rank in spec.rank_start..spec.rank_end {
+                        counters = counters.merged(self.visit_mask(mask, members));
+                        if rank + 1 < spec.rank_end {
+                            mask = next_same_popcount(mask);
+                        }
+                    }
+                }
+                SweepKernel::BitSliced => {
+                    // Gather the undecided, non-inherited masks of the range into lane
+                    // batches of 64 and decide each batch with one traversal. Deferring the
+                    // verdict publication to the batch flush is sound under Proposition 5.2
+                    // pruning: the inheritance check for a level-k mask reads only its
+                    // one-bit supersets at level k+1 (fully published before this level ran)
+                    // — never the in-flight verdicts of its own level — so batching changes
+                    // neither any pruning decision nor any counter. The final flush below
+                    // completes before the shard returns, hence before any level barrier.
+                    let n = self.programs.len();
+                    batch.clear();
+                    for rank in spec.rank_start..spec.rank_end {
+                        if !self.is_decided(mask) {
+                            let inherited = self.closure_pruning
+                                && (0..n).any(|i| {
+                                    mask & (1 << i) == 0 && self.is_marked(mask | (1 << i))
+                                });
+                            if inherited {
+                                self.mark(mask);
+                                counters.pruned += 1;
+                            } else {
+                                counters.cycle_tests += 1;
+                                batch.push(mask);
+                                if batch.len() == 64 {
+                                    self.flush_lane_batch(batch, lanes);
+                                    batch.clear();
+                                }
+                            }
+                        }
+                        if rank + 1 < spec.rank_end {
+                            mask = next_same_popcount(mask);
+                        }
+                    }
+                    if !batch.is_empty() {
+                        self.flush_lane_batch(batch, lanes);
+                        batch.clear();
+                    }
+                }
             }
-        }
+        });
         counters
     }
 
@@ -823,7 +1009,9 @@ pub fn explore_subsets_with(
     settings: AnalysisSettings,
     options: ExploreOptions,
 ) -> SubsetExploration {
-    let mut sweep = RankRangeSweep::new(session, settings, options.closure_pruning);
+    let kernel = options.kernel.unwrap_or_else(|| session.sweep_kernel());
+    let mut sweep =
+        RankRangeSweep::new(session, settings, options.closure_pruning).with_kernel(kernel);
     let n = sweep.program_count();
 
     // Incremental mode: rebase the session's cached verdicts (the last completed sweep under
@@ -885,12 +1073,17 @@ pub fn explore_subsets_with(
             SweepStrategy::Streamed => {
                 // Fold over each run's rank range: every chunk unranks its first mask once and
                 // then steps with Gosper's hack — no level buffer exists anywhere. The grain
-                // hint keeps chunks large enough to amortize the unranking.
+                // hint keeps chunks large enough to amortize the unranking; the bit-sliced
+                // kernel asks for lane-sized chunks so its batches fill all 64 lanes.
+                let grain = match kernel {
+                    SweepKernel::Scalar => 4,
+                    SweepKernel::BitSliced => 64,
+                };
                 for &(run_start, run_end) in &runs {
                     let counters = fold_chunks(
                         run_start..run_end,
                         parallelism,
-                        4,
+                        grain,
                         ShardCounters::default,
                         |acc, chunk| {
                             acc.merged(sweep.run_shard(ShardSpec {
@@ -951,19 +1144,21 @@ pub fn explore_subsets_with(
                 }
                 totals.cycle_tests += to_test.len();
                 // The fan-out honors the same `Parallelism` pin as the streamed path (it
-                // merely materializes its work-list first).
+                // merely materializes its work-list first); chunks draw their member/lane
+                // buffers from the per-worker sweep scratch.
+                let grain = match kernel {
+                    SweepKernel::Scalar => 1,
+                    SweepKernel::BitSliced => 64,
+                };
                 fold_chunks(
                     0..to_test.len(),
                     parallelism,
-                    1,
-                    Vec::new,
-                    |mut members, chunk| {
-                        for &mask in &to_test[chunk] {
-                            sweep.test_mask(mask, &mut members);
-                        }
-                        members
+                    grain,
+                    || (),
+                    |(), chunk| {
+                        with_sweep_scratch(|scratch| sweep.test_masks(&to_test[chunk], scratch))
                     },
-                    |members, _| members,
+                    |(), ()| (),
                 );
             }
         }

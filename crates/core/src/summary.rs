@@ -13,7 +13,7 @@
 //! graphs fresh under `add_program` / `remove_program` without rebuilding from scratch.
 
 use crate::kernels;
-use crate::settings::{AnalysisSettings, Granularity};
+use crate::settings::{AnalysisSettings, CycleCondition, Granularity};
 use crate::slab::{U32Slab, U64Slab};
 use crate::tables::{c_dep_table, nc_dep_table};
 use mvrc_btp::{LinearProgram, Statement, StmtPos};
@@ -300,6 +300,10 @@ pub struct SummaryGraph {
     out_adj: OnceLock<Csr>,
     in_adj: OnceLock<Csr>,
     reach: OnceLock<Reachability>,
+    /// Bit-sliced sweep plans ([`kernels::LanePlan`]), one slot per cycle condition, compiled
+    /// on first use and shared by every sweep over this (cached) graph. Runtime-only: never
+    /// serialized, reset by incremental edits like the other derived state.
+    lane_plans: [OnceLock<kernels::LanePlan>; 2],
 }
 
 impl PartialEq for SummaryGraph {
@@ -392,6 +396,7 @@ impl SummaryGraph {
             out_adj: OnceLock::new(),
             in_adj: OnceLock::new(),
             reach: OnceLock::new(),
+            lane_plans: [OnceLock::new(), OnceLock::new()],
         }
     }
 
@@ -400,6 +405,18 @@ impl SummaryGraph {
         self.out_adj = OnceLock::new();
         self.in_adj = OnceLock::new();
         self.reach = OnceLock::new();
+        self.lane_plans = [OnceLock::new(), OnceLock::new()];
+    }
+
+    /// The bit-sliced sweep plan for `condition`, compiled on first use
+    /// (`crate::algorithm::compile_lane_plan`) and cached on the graph — sweeps sharing a
+    /// session's cached graph compile it once.
+    pub(crate) fn lane_plan(&self, condition: CycleCondition) -> &kernels::LanePlan {
+        let slot = match condition {
+            CycleCondition::TypeI => &self.lane_plans[0],
+            CycleCondition::TypeII => &self.lane_plans[1],
+        };
+        slot.get_or_init(|| crate::algorithm::compile_lane_plan(self, condition))
     }
 
     /// The out-adjacency CSR (edge indices grouped by source), derived on first use.

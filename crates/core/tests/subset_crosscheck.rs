@@ -15,10 +15,10 @@
 //! strictly-fewer-cycle-tests claim of the pruning on TPC-C, and the "no level buffer" claim
 //! of the streamed traversal.
 
-use mvrc_benchmarks::{auction, smallbank, synthetic, tpcc, SyntheticConfig};
+use mvrc_benchmarks::{auction, smallbank, synthetic, tpcc, ycsb_t, SyntheticConfig, YcsbtConfig};
 use mvrc_robustness::{
     explore_subsets, explore_subsets_naive, explore_subsets_with, AnalysisSettings, CycleCondition,
-    ExploreOptions, Parallelism, RobustnessSession, SummaryGraph, SweepStrategy,
+    ExploreOptions, Parallelism, RobustnessSession, SummaryGraph, SweepKernel, SweepStrategy,
 };
 use proptest::prelude::*;
 
@@ -102,6 +102,40 @@ fn assert_agree(session: &RobustnessSession, settings: AnalysisSettings) {
         sharded.masks_buffered, 0,
         "the sharded traversal materializes shard specs, never level masks"
     );
+    // The bit-sliced kernel is the default, so every run above already exercised it against
+    // the naive oracle; pin the scalar kernel explicitly and require agreement on every
+    // verdict *and* every counter — the two kernels must be indistinguishable in everything
+    // but speed, with and without Proposition 5.2 pruning.
+    let scalar = explore_subsets_with(
+        session,
+        settings,
+        ExploreOptions {
+            kernel: Some(SweepKernel::Scalar),
+            ..ExploreOptions::default()
+        },
+    );
+    assert_eq!(
+        pruned.robust, scalar.robust,
+        "robust families differ (bit-sliced vs scalar) under {settings} for programs {:?}",
+        pruned.programs
+    );
+    assert_eq!(pruned.maximal, scalar.maximal);
+    assert_eq!(pruned.cycle_tests, scalar.cycle_tests);
+    assert_eq!(pruned.pruned, scalar.pruned);
+    let scalar_exhaustive = explore_subsets_with(
+        session,
+        settings,
+        ExploreOptions {
+            closure_pruning: false,
+            kernel: Some(SweepKernel::Scalar),
+            ..ExploreOptions::default()
+        },
+    );
+    assert_eq!(
+        exhaustive.robust, scalar_exhaustive.robust,
+        "exhaustive robust families differ (bit-sliced vs scalar) under {settings}"
+    );
+    assert_eq!(exhaustive.cycle_tests, scalar_exhaustive.cycle_tests);
 }
 
 fn synthetic_config_strategy() -> impl Strategy<Value = SyntheticConfig> {
@@ -201,6 +235,49 @@ fn paper_benchmarks_agree_across_the_evaluation_grid() {
 }
 
 #[test]
+fn bitsliced_partial_batches_match_scalar_on_sub64_levels() {
+    // Lane packing must be exact for batches smaller than 64: TPC-C's levels are all partial
+    // (the largest, C(5, 3) or C(5, 2), holds 10 masks), while YCSB-T's 63 non-empty subsets
+    // fill a single batch all but one lane. Under every strategy the two kernels must agree
+    // on verdicts and counters alike.
+    for workload in [tpcc(), ycsb_t(YcsbtConfig::default())] {
+        let session = RobustnessSession::new(workload);
+        for condition in [CycleCondition::TypeII, CycleCondition::TypeI] {
+            let settings = AnalysisSettings {
+                condition,
+                ..AnalysisSettings::paper_default()
+            };
+            for strategy in [
+                SweepStrategy::Streamed,
+                SweepStrategy::Materialized,
+                SweepStrategy::Sharded,
+            ] {
+                let run = |kernel| {
+                    explore_subsets_with(
+                        &session,
+                        settings,
+                        ExploreOptions {
+                            strategy,
+                            kernel: Some(kernel),
+                            ..ExploreOptions::default()
+                        },
+                    )
+                };
+                let bitsliced = run(SweepKernel::BitSliced);
+                let scalar = run(SweepKernel::Scalar);
+                assert_eq!(
+                    bitsliced.robust, scalar.robust,
+                    "kernels disagree under {settings} / {strategy:?}"
+                );
+                assert_eq!(bitsliced.maximal, scalar.maximal);
+                assert_eq!(bitsliced.cycle_tests, scalar.cycle_tests);
+                assert_eq!(bitsliced.pruned, scalar.pruned);
+            }
+        }
+    }
+}
+
+#[test]
 fn closure_pruning_saves_cycle_tests_on_tpcc() {
     // TPC-C, attr dep + FK: {Pay, OS, SL} and {NO, Pay} are robust (Figure 6), so their
     // subsets are inherited by Proposition 5.2 instead of tested.
@@ -265,25 +342,34 @@ fn parallelism_pins_do_not_change_results() {
         Parallelism::Threads(usize::MAX),
         Parallelism::Auto,
     ] {
-        let pinned = explore_subsets_with(
-            &session,
-            settings,
-            ExploreOptions {
-                parallelism,
-                ..ExploreOptions::default()
-            },
-        );
-        assert_eq!(pinned.robust, reference.robust, "under {parallelism:?}");
-        assert_eq!(pinned.cycle_tests, reference.cycle_tests);
-        assert_eq!(pinned.pruned, reference.pruned);
+        for kernel in [SweepKernel::BitSliced, SweepKernel::Scalar] {
+            let pinned = explore_subsets_with(
+                &session,
+                settings,
+                ExploreOptions {
+                    parallelism,
+                    kernel: Some(kernel),
+                    ..ExploreOptions::default()
+                },
+            );
+            assert_eq!(
+                pinned.robust, reference.robust,
+                "under {parallelism:?} / {kernel:?}"
+            );
+            assert_eq!(pinned.cycle_tests, reference.cycle_tests);
+            assert_eq!(pinned.pruned, reference.pruned);
 
-        let session_pinned = RobustnessSession::new(tpcc()).with_parallelism(parallelism);
-        assert_eq!(session_pinned.parallelism(), parallelism);
-        let via_session = explore_subsets(&session_pinned, settings);
-        assert_eq!(
-            via_session.robust, reference.robust,
-            "under {parallelism:?}"
-        );
+            let session_pinned = RobustnessSession::new(tpcc())
+                .with_parallelism(parallelism)
+                .with_sweep_kernel(kernel);
+            assert_eq!(session_pinned.parallelism(), parallelism);
+            assert_eq!(session_pinned.sweep_kernel(), kernel);
+            let via_session = explore_subsets(&session_pinned, settings);
+            assert_eq!(
+                via_session.robust, reference.robust,
+                "under {parallelism:?} / {kernel:?}"
+            );
+        }
     }
 }
 

@@ -206,9 +206,16 @@ impl<'a> Reader<'a> {
     }
 
     /// The current payload offset (bytes consumed so far).
-    #[cfg(test)]
     pub(crate) fn position(&self) -> usize {
         self.pos
+    }
+
+    /// The not-yet-consumed tail of the payload — how the snapshot decoder compares an
+    /// upcoming section against the encoded span of one it already decoded (equal bytes
+    /// decode to equal values, so a byte-identical section can be skipped and its decoded
+    /// value cloned instead of re-parsed).
+    pub(crate) fn remaining(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
     }
 
     /// Consumes the zero padding [`Writer::pad8`] wrote: skips until `base + position()` is

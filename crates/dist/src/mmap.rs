@@ -3,10 +3,13 @@
 //! derived arrays as *borrowed* slabs ([`mvrc_robustness::U32Slab::shared`] /
 //! [`mvrc_robustness::U64Slab::shared`]) instead of decoding them element by element.
 //!
-//! This is a portable stand-in for an OS `mmap(2)`: the file is read **once** into the
-//! aligned buffer (no page-cache sharing, no lazy faulting — the workspace deliberately has
-//! no `libc`/`memmap2` dependency, and a plain allocation keeps the snapshot tests runnable
-//! under Miri). What the warm start actually buys is unchanged: after the single bulk read,
+//! This is a portable stand-in for an OS `mmap(2)`: the file is read **once, directly into
+//! the aligned buffer** — `open` sizes the allocation from the file metadata and
+//! `read_exact`s into a mutable byte view of it, so there is no intermediate `Vec<u8>` and
+//! no second copy (the workspace deliberately has no `libc`/`memmap2` dependency, and a
+//! plain allocation keeps the snapshot tests runnable under Miri — at the cost of no
+//! page-cache sharing and no lazy faulting). What the warm start actually buys is
+//! unchanged: after the single bulk read,
 //! opening a snapshot performs **zero per-element decodes and zero derivations** of the CSR
 //! adjacency and reachability arrays — the graphs borrow the buffer in place, so the open
 //! cost no longer scales with `nodes²` closure work.
@@ -33,29 +36,52 @@ pub struct SnapshotMap {
 }
 
 impl SnapshotMap {
+    /// A zeroed mapping of `len` bytes, ready to be filled through [`Self::bytes_mut`].
+    fn zeroed(len: usize) -> Self {
+        SnapshotMap {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// The file's bytes, writable — how [`Self::open`] and [`Self::from_bytes`] fill the
+    /// mapping without an intermediate buffer.
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        // Safety: `u8` has weaker alignment than `u64`, the region is exactly the vector's
+        // own initialized allocation, and `u8` admits every bit pattern.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+
     /// Reads the file at `path` into a fresh mapping.
+    ///
+    /// The file is read **directly** into the aligned allocation — no intermediate
+    /// `Vec<u8>`, no second copy. On small snapshots the open cost is dominated by the
+    /// decode, not this read, but the large scaled snapshots (hundreds of kilobytes)
+    /// would pay a full extra memcpy plus an allocation through the two-step path.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        Ok(Self::from_bytes(&std::fs::read(path)?))
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "snapshot file too large for this platform",
+            )
+        })?;
+        let mut map = Self::zeroed(len);
+        file.read_exact(map.bytes_mut())?;
+        Ok(map)
     }
 
     /// Builds a mapping over a copy of `bytes`.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        let mut words = vec![0u64; bytes.len().div_ceil(8)];
-        // Safety: `u8` has weaker alignment than `u64`, the region is exactly the vector's
-        // own initialized allocation, and `u8` admits every bit pattern.
-        let dst = unsafe {
-            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8)
-        };
-        dst[..bytes.len()].copy_from_slice(bytes);
-        SnapshotMap {
-            words,
-            len: bytes.len(),
-        }
+        let mut map = Self::zeroed(bytes.len());
+        map.bytes_mut().copy_from_slice(bytes);
+        map
     }
 
     /// The file's bytes.
     pub fn bytes(&self) -> &[u8] {
-        // Safety: as in `from_bytes`; `len <= words.len() * 8` by construction.
+        // Safety: as in `bytes_mut`; `len <= words.len() * 8` by construction.
         unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
     }
 

@@ -31,7 +31,7 @@ use crate::snapshot::{open_snapshot_expecting, save_snapshot, SnapshotError};
 use mvrc_robustness::{
     level_size, plan_level_shards, plan_range_shards, rebase_cached_sweep, undecided_level_runs,
     AnalysisSettings, CachedSweep, CycleCondition, Granularity, RankRangeSweep, RobustnessSession,
-    ShardCounters, ShardSpec, SubsetExploration, SweepSeed,
+    ShardCounters, ShardSpec, SubsetExploration, SweepKernel, SweepSeed,
 };
 use serde_json::Value;
 use std::fmt;
@@ -149,15 +149,22 @@ pub struct PlanOptions {
     pub shards_per_level: usize,
     /// Whether the sweep exploits Proposition 5.2 downward-closure pruning.
     pub closure_pruning: bool,
+    /// Which [`SweepKernel`] every worker's `run_shard` uses. Verdicts and counters are
+    /// kernel-independent, so this is a pure performance knob; it is recorded in the plan
+    /// (workers obey the plan, not their own defaults) but deliberately *not* folded into the
+    /// run fingerprint — artifacts of runs differing only in kernel merge freely.
+    pub kernel: SweepKernel,
 }
 
 impl PlanOptions {
-    /// Sensible defaults for `workers` processes: two shards per worker and level, pruning on.
+    /// Sensible defaults for `workers` processes: two shards per worker and level, pruning on,
+    /// the default (bit-sliced) kernel.
     pub fn for_workers(workers: usize) -> Self {
         PlanOptions {
             workers: workers.max(1),
             shards_per_level: workers.max(1) * 2,
             closure_pruning: true,
+            kernel: SweepKernel::default(),
         }
     }
 }
@@ -194,6 +201,10 @@ pub struct ShardPlan {
     pub settings: AnalysisSettings,
     /// Whether Proposition 5.2 pruning is enabled.
     pub closure_pruning: bool,
+    /// The sweep kernel every worker uses. Not part of the run fingerprint: verdicts and
+    /// counters are kernel-independent, so a run may even be *resumed* under a different
+    /// kernel than it started with.
+    pub kernel: SweepKernel,
     /// Number of worker processes.
     pub workers: usize,
     /// `Some` when this run resumes a prior run: workers adopt the seed's verdicts and the
@@ -302,6 +313,7 @@ pub fn build_plan(
         programs: n,
         settings,
         closure_pruning: options.closure_pruning,
+        kernel: options.kernel,
         workers,
         resume: None,
         levels,
@@ -358,6 +370,7 @@ fn build_resume_plan(
         programs: n,
         settings,
         closure_pruning: options.closure_pruning,
+        kernel: options.kernel,
         workers,
         resume: Some(ResumeInfo {
             seed_fingerprint,
@@ -581,6 +594,7 @@ fn plan_to_json(plan: &ShardPlan) -> Value {
         "programs": plan.programs,
         "settings": settings,
         "closure_pruning": plan.closure_pruning,
+        "kernel": plan.kernel.name(),
         "workers": plan.workers,
         "levels": Value::Array(levels),
     });
@@ -649,6 +663,19 @@ fn plan_from_json(value: &Value) -> Result<ShardPlan, ShardError> {
         use_foreign_keys: json_bool(settings_value, "use_foreign_keys")?,
         condition,
     };
+    // Plans written before the kernel knob existed carry no `kernel` field; those runs used
+    // the scalar per-mask path, but since verdicts are kernel-independent any default is
+    // sound — use the current default.
+    let kernel = match &value["kernel"] {
+        Value::Null => SweepKernel::default(),
+        kernel_value => {
+            let name = kernel_value
+                .as_str()
+                .ok_or_else(|| ShardError::Plan("non-string field `kernel`".to_string()))?;
+            SweepKernel::parse(name)
+                .ok_or_else(|| ShardError::Plan(format!("unknown sweep kernel `{name}`")))?
+        }
+    };
     let programs = json_u64(value, "programs")? as usize;
     let workers = json_u64(value, "workers")? as usize;
     if programs == 0 || programs > 20 {
@@ -710,6 +737,7 @@ fn plan_from_json(value: &Value) -> Result<ShardPlan, ShardError> {
         programs,
         settings,
         closure_pruning: json_bool(value, "closure_pruning")?,
+        kernel,
         workers,
         resume,
         levels,
@@ -1167,7 +1195,8 @@ pub fn run_worker(
         )));
     }
     let session = open_snapshot_expecting(snapshot_path(dir), plan.snapshot_fingerprint)?;
-    let mut sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
+    let mut sweep =
+        RankRangeSweep::new(&session, plan.settings, plan.closure_pruning).with_kernel(plan.kernel);
     if sweep.program_count() != plan.programs {
         return Err(ShardError::Protocol(format!(
             "snapshot has {} programs, the plan was computed for {}",
@@ -1281,7 +1310,8 @@ impl MergeReport {
 pub fn merge_verdicts(dir: &Path) -> Result<MergeReport, ShardError> {
     let plan = read_plan(dir)?;
     let session = open_snapshot_expecting(snapshot_path(dir), plan.snapshot_fingerprint)?;
-    let mut sweep = RankRangeSweep::new(&session, plan.settings, plan.closure_pruning);
+    let mut sweep =
+        RankRangeSweep::new(&session, plan.settings, plan.closure_pruning).with_kernel(plan.kernel);
     if let Some(info) = &plan.resume {
         let seed = read_seed(dir, &plan, info, sweep.word_count())?;
         sweep.apply_seed(&seed.seed);

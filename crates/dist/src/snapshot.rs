@@ -225,6 +225,37 @@ enum DerivedMode<'m> {
     Mapped(&'m Arc<SnapshotMap>),
 }
 
+/// Cache of decoded LTP-list sections, keyed by their exact encoded byte span.
+///
+/// The graph section re-encodes each graph's node LTPs in full, and the cached graphs of a
+/// session overlap heavily: the FK-on and FK-off graphs at one granularity share the same
+/// (possibly widened) node set, and the attribute-granularity nodes are usually the session
+/// LTP section verbatim. A typical 4-graph snapshot therefore carries only *two* distinct
+/// node encodings, and the encoding is canonical (equal values ⇔ equal bytes), so a section
+/// whose upcoming bytes equal an already-decoded span can skip the parse — and with it every
+/// per-statement validation — and clone the decoded list instead. Cloning re-allocates the
+/// strings but skips the `Reader` walk and `Statement::new` re-validation, which is where
+/// the decode time goes on small snapshots.
+struct NodeSectionCache<'a, 'l> {
+    entries: Vec<(&'a [u8], NodeSource<'l>)>,
+}
+
+enum NodeSource<'l> {
+    /// The session LTP section — borrowed, cloned on use.
+    Borrowed(&'l [LinearProgram]),
+    /// A node list decoded from an earlier graph entry.
+    Owned(Vec<LinearProgram>),
+}
+
+impl NodeSource<'_> {
+    fn to_vec(&self) -> Vec<LinearProgram> {
+        match self {
+            NodeSource::Borrowed(ltps) => ltps.to_vec(),
+            NodeSource::Owned(ltps) => ltps.clone(),
+        }
+    }
+}
+
 /// Validates the 20-byte header and the payload fingerprint, returning
 /// `(version, fingerprint)`.
 fn check_header(bytes: &[u8]) -> Result<(u32, u64), SnapshotError> {
@@ -267,13 +298,16 @@ fn decode_session(
     version: u32,
     mapped: Option<&Arc<SnapshotMap>>,
 ) -> Result<RobustnessSession, SnapshotError> {
-    let mut r = Reader::new(&bytes[HEADER_LEN..]);
+    let payload = &bytes[HEADER_LEN..];
+    let mut r = Reader::new(payload);
     let workload = decode_workload(&mut r)?;
+    let ltp_section_start = r.position();
     let ltp_count = r.len()?;
     let mut ltps = Vec::with_capacity(ltp_count);
     for _ in 0..ltp_count {
         ltps.push(decode_ltp(&mut r, &workload.schema)?);
     }
+    let ltp_section = &payload[ltp_section_start..r.position()];
     let derived = match (version >= 3, mapped) {
         (false, _) => DerivedMode::Absent,
         (true, None) => DerivedMode::Owned,
@@ -281,9 +315,20 @@ fn decode_session(
     };
     let graph_count = r.len()?;
     let mut graphs = Vec::with_capacity(graph_count);
+    // Seed the node cache with the session LTP section: attribute-granularity graphs
+    // usually re-encode it verbatim, and granularity-mates share node sets with each other.
+    let mut node_cache = NodeSectionCache {
+        entries: vec![(ltp_section, NodeSource::Borrowed(&ltps))],
+    };
     for _ in 0..graph_count {
-        graphs.push(decode_graph(&mut r, &workload.schema, derived)?);
+        graphs.push(decode_graph(
+            &mut r,
+            &workload.schema,
+            derived,
+            &mut node_cache,
+        )?);
     }
+    drop(node_cache);
     // Version 1 ends after the graph section; version 2 appends the sweep-cache section.
     let mut sweeps: Vec<(AnalysisSettings, CachedSweep)> = Vec::new();
     if version >= 2 {
@@ -799,17 +844,43 @@ fn encode_graph(w: &mut Writer, graph: &SummaryGraph) {
     w.u64_slice(reach_bits);
 }
 
-fn decode_graph(
-    r: &mut Reader<'_>,
+fn decode_graph<'a>(
+    r: &mut Reader<'a>,
     schema: &Schema,
     derived: DerivedMode<'_>,
+    node_cache: &mut NodeSectionCache<'a, '_>,
 ) -> Result<SummaryGraph, SnapshotError> {
     let settings = decode_settings(r)?;
-    let node_count = r.len()?;
-    let mut nodes = Vec::with_capacity(node_count);
-    for _ in 0..node_count {
-        nodes.push(decode_ltp(r, schema)?);
-    }
+    // The node section (count prefix + LTPs): if its bytes equal an already-decoded span,
+    // skip the parse and clone the decoded list — the encoding is canonical, so equal bytes
+    // decode to equal nodes, and a matched span consumes exactly as many bytes as it did the
+    // first time it was decoded.
+    let node_section_start = r.position();
+    let rest = r.remaining();
+    let cached = node_cache
+        .entries
+        .iter()
+        .find(|(span, _)| rest.starts_with(span));
+    let nodes = match cached {
+        Some((span, source)) => {
+            let nodes = source.to_vec();
+            r.skip_raw(span.len())?;
+            nodes
+        }
+        None => {
+            let node_count = r.len()?;
+            let mut nodes = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                nodes.push(decode_ltp(r, schema)?);
+            }
+            let span = &rest[..r.position() - node_section_start];
+            node_cache
+                .entries
+                .push((span, NodeSource::Owned(nodes.clone())));
+            nodes
+        }
+    };
+    let node_count = nodes.len();
     let edge_count = r.len()?;
     let mut edges = Vec::with_capacity(edge_count);
     for _ in 0..edge_count {
