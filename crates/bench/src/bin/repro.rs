@@ -19,6 +19,9 @@
 //! repro bench-open [--out P]   median time-to-first-answer: cold construction vs reopening a
 //!                              snapshot (owned decode vs zero-copy map), written to
 //!                              BENCH_open.json (or P)
+//! repro bench-serve [--out P]  daemon round-trip latency (cold first query vs warm) and
+//!                              `is_robust` throughput at 1/4/16 concurrent clients over the
+//!                              loopback wire protocol, written to BENCH_serve.json (or P)
 //! repro all                    everything above (figure8 capped at n = 50)
 //! ```
 //!
@@ -58,7 +61,10 @@ fn main() {
     let edits_out_path = out_override
         .clone()
         .unwrap_or_else(|| "BENCH_edits.json".to_string());
-    let open_out_path = out_override.unwrap_or_else(|| "BENCH_open.json".to_string());
+    let open_out_path = out_override
+        .clone()
+        .unwrap_or_else(|| "BENCH_open.json".to_string());
+    let serve_out_path = out_override.unwrap_or_else(|| "BENCH_serve.json".to_string());
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let Some(threads) = args
             .get(i + 1)
@@ -86,6 +92,7 @@ fn main() {
         "bench-subsets" => bench_subsets(&out_path),
         "bench-edits" => bench_edits(&edits_out_path),
         "bench-open" => bench_open(&open_out_path),
+        "bench-serve" => bench_serve(&serve_out_path),
         "all" => {
             print_table2(json);
             print_figure6(json);
@@ -96,10 +103,11 @@ fn main() {
             bench_subsets(&out_path);
             bench_edits("BENCH_edits.json");
             bench_open("BENCH_open.json");
+            bench_serve("BENCH_serve.json");
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|bench-edits|bench-open|all] [--max N] [--json] [--out PATH] [--threads N]");
+            eprintln!("usage: repro [table2|figure6|figure7|figure8|figure4|graphs|smallbank-ground-truth|bench-subsets|bench-edits|bench-open|bench-serve|all] [--max N] [--json] [--out PATH] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -634,6 +642,154 @@ fn bench_open(out_path: &str) {
             } else {
                 ""
             }
+        );
+    }
+    let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    match std::fs::write(out_path, &payload) {
+        Ok(()) => println!("  wrote {out_path}"),
+        Err(e) => eprintln!("  could not write {out_path}: {e}"),
+    }
+    println!();
+}
+
+/// One row of `BENCH_serve.json`: daemon round-trip cost over the loopback wire protocol for
+/// one benchmark. `cold_query_us` is the first `is_robust` on a tenant booted from its
+/// workload alone — that round trip pays the summary-graph construction on top of framing.
+/// `warm_query_us` and `subsets_query_us` are medians once the graphs are cached: the epoch
+/// read is lock-free, so they are close to pure framing + dispatch cost. The throughput
+/// columns drive the same warm `is_robust` query from 1, 4 and 16 concurrent client
+/// connections (one server thread each) and report aggregate queries per second.
+#[derive(Debug, Clone, Serialize)]
+struct ServeBenchRow {
+    benchmark: String,
+    programs: usize,
+    /// Median first-`is_robust` round trip on a cold tenant (includes the graph build), µs.
+    cold_query_us: f64,
+    /// Median warm `is_robust` round trip, µs.
+    warm_query_us: f64,
+    /// Median warm `explore_subsets` round trip (the full 2^n sweep plus JSON rendering), µs.
+    subsets_query_us: f64,
+    /// Aggregate warm `is_robust` throughput with 1 client, queries/second.
+    qps_1: f64,
+    /// Aggregate warm `is_robust` throughput with 4 concurrent clients, queries/second.
+    qps_4: f64,
+    /// Aggregate warm `is_robust` throughput with 16 concurrent clients, queries/second.
+    qps_16: f64,
+    /// Size of the `mvrc-par` worker pool during the run.
+    threads: usize,
+}
+
+fn bench_serve(out_path: &str) {
+    use mvrc_serve::{Client, ServeConfig, Server, Tenant};
+    const RUNS: usize = 11;
+    /// Warm `is_robust` requests issued in total at each concurrency level (divisible by 16
+    /// so every level drives the same request count).
+    const THROUGHPUT_REQUESTS: usize = 384;
+
+    let rows: Vec<ServeBenchRow> = [smallbank(), tpcc()]
+        .into_iter()
+        .map(|workload| {
+            let benchmark = workload.name.clone();
+            let programs = workload.programs.len();
+            // One warm tenant for the steady-state columns plus RUNS cold tenants: a cold
+            // sample must be a *first* query, so each sample gets a tenant of its own.
+            let mut tenants = vec![Tenant::from_workload("warm", workload.clone())];
+            for i in 0..RUNS {
+                tenants.push(Tenant::from_workload(format!("cold-{i}"), workload.clone()));
+            }
+            let server = Server::bind(&ServeConfig::default(), tenants).expect("bind");
+            let addr = server.local_addr().expect("addr");
+            let flag = server.shutdown_flag();
+            let handle = std::thread::spawn(move || server.run());
+
+            let mut client = Client::connect(addr).expect("connect");
+            let mut cold: Vec<f64> = (0..RUNS)
+                .map(|i| {
+                    let tenant = format!("cold-{i}");
+                    let start = Instant::now();
+                    client
+                        .call(&serde_json::json!({"op": "is_robust", "tenant": tenant}))
+                        .expect("cold is_robust");
+                    start.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            cold.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+            let cold_query_us = cold[cold.len() / 2];
+
+            // Prime the warm tenant outside the timings, then measure the steady state.
+            client
+                .call(&serde_json::json!({"op": "is_robust", "tenant": "warm"}))
+                .expect("warm prime");
+            let warm_query_us = median_us(RUNS, || {
+                client
+                    .call(&serde_json::json!({"op": "is_robust", "tenant": "warm"}))
+                    .expect("warm is_robust");
+            });
+            let subsets_query_us = median_us(RUNS, || {
+                client
+                    .call(&serde_json::json!({"op": "explore_subsets", "tenant": "warm"}))
+                    .expect("warm explore_subsets");
+            });
+
+            let qps = |clients: usize| -> f64 {
+                let per_client = THROUGHPUT_REQUESTS / clients;
+                let start = Instant::now();
+                let workers: Vec<_> = (0..clients)
+                    .map(|_| {
+                        std::thread::spawn(move || {
+                            let mut client = Client::connect(addr).expect("connect");
+                            for _ in 0..per_client {
+                                client
+                                    .call(&serde_json::json!({
+                                        "op": "is_robust",
+                                        "tenant": "warm"
+                                    }))
+                                    .expect("throughput is_robust");
+                            }
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    worker.join().expect("client thread");
+                }
+                (clients * per_client) as f64 / start.elapsed().as_secs_f64()
+            };
+            let qps_1 = qps(1);
+            let qps_4 = qps(4);
+            let qps_16 = qps(16);
+
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            drop(client);
+            handle.join().expect("server thread").expect("clean drain");
+
+            ServeBenchRow {
+                benchmark,
+                programs,
+                cold_query_us,
+                warm_query_us,
+                subsets_query_us,
+                qps_1,
+                qps_4,
+                qps_16,
+                threads: mvrc_par::planned_thread_count(),
+            }
+        })
+        .collect();
+
+    println!(
+        "== Daemon round trips ({RUNS} runs): cold vs warm latency, throughput at 1/4/16 clients =="
+    );
+    for row in &rows {
+        println!(
+            "  {:<10} cold={:>9.1}µs  warm={:>8.1}µs  subsets={:>9.1}µs  qps(1)={:>8.0}  qps(4)={:>8.0}  qps(16)={:>8.0}  ({} threads)",
+            row.benchmark,
+            row.cold_query_us,
+            row.warm_query_us,
+            row.subsets_query_us,
+            row.qps_1,
+            row.qps_4,
+            row.qps_16,
+            row.threads
         );
     }
     let payload = serde_json::to_string_pretty(&rows).expect("serializable rows");

@@ -107,8 +107,89 @@ pub enum Command {
         /// Output format.
         format: Format,
     },
+    /// `mvrc serve --tenant NAME=PATH …`: host named tenant sessions as a long-lived daemon.
+    Serve {
+        /// The address to listen on (`host:port`; port 0 picks a free one).
+        listen: String,
+        /// `(name, path)` tenant specs: a `.mvrcsnap` path warm-opens a snapshot (and persists
+        /// back in place), any other path parses as a workload file.
+        tenants: Vec<(String, String)>,
+        /// Persist every snapshot-backed tenant this often, in seconds.
+        persist_secs: Option<u64>,
+        /// Write the bound address to this file once listening (for port-0 scripting).
+        port_file: Option<String>,
+        /// Refuse to start unless every tenant boots warm (zero graph constructions, zero
+        /// closure rebuilds — implies every tenant is snapshot-backed).
+        require_warm: bool,
+    },
+    /// `mvrc client --addr A <op> …`: one request against a running daemon.
+    Client {
+        /// The daemon address (`host:port`).
+        addr: String,
+        /// The operation to perform.
+        op: ClientOp,
+        /// Analysis settings sent with query ops.
+        settings: AnalysisSettings,
+    },
     /// `mvrc help`.
     Help,
+}
+
+/// The operation a `mvrc client` invocation performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Liveness probe.
+    Ping,
+    /// Per-tenant daemon statistics.
+    Stats,
+    /// Ask the daemon to drain and exit (same path as SIGTERM).
+    Shutdown,
+    /// Full analysis report for a tenant.
+    Analyze {
+        /// The tenant to query.
+        tenant: String,
+    },
+    /// Robustness verdict for a tenant.
+    IsRobust {
+        /// The tenant to query.
+        tenant: String,
+    },
+    /// Maximal robust subsets for a tenant (byte-identical to `mvrc subsets --json`).
+    Subsets {
+        /// The tenant to query.
+        tenant: String,
+    },
+    /// Compiler-style diagnostics for a tenant.
+    Lint {
+        /// The tenant to query.
+        tenant: String,
+    },
+    /// Add a program (from a `PROGRAM` block file) to a tenant.
+    AddProgram {
+        /// The tenant to edit.
+        tenant: String,
+        /// Path of the file holding exactly one `PROGRAM` block.
+        file: String,
+    },
+    /// Remove a program from a tenant by name.
+    RemoveProgram {
+        /// The tenant to edit.
+        tenant: String,
+        /// The program name to remove.
+        name: String,
+    },
+    /// Replace a same-named program (from a `PROGRAM` block file) in a tenant.
+    ReplaceProgram {
+        /// The tenant to edit.
+        tenant: String,
+        /// Path of the file holding exactly one `PROGRAM` block.
+        file: String,
+    },
+    /// Persist a tenant's snapshot now.
+    Persist {
+        /// The tenant to persist.
+        tenant: String,
+    },
 }
 
 /// The usage text shown by `mvrc help` and on usage errors.
@@ -129,6 +210,9 @@ COMMANDS:
     shard plan   Snapshot the workload and plan a multi-process subset sweep (--dir D)
     shard work   Run one worker process of a planned sweep (--dir D --worker I)
     shard merge  Merge every worker's verdict files into the final exploration (--dir D)
+    serve        Host named tenant sessions as a long-lived daemon (--tenant NAME=PATH …);
+                 drains gracefully on SIGTERM, persisting snapshot-backed tenants in place
+    client       Send one request to a running daemon (--addr host:port <operation>)
     help         Show this message
 
 WORKLOAD:
@@ -157,6 +241,24 @@ OPTIONS:
                   --dir — so only edit-invalidated subsets are dispatched (plan)
     --worker I    this worker's index, 0-based (work)
     --wait-secs S barrier timeout while waiting for peer verdicts (work; default 120)
+
+SERVE OPTIONS:
+    --listen A        address to bind (default 127.0.0.1:7654; port 0 picks a free one)
+    --tenant N=P      host tenant N from path P: *.mvrcsnap warm-opens a snapshot (and
+                      persists back in place), anything else parses as a workload file
+                      (repeatable)
+    --persist-secs S  persist every snapshot-backed tenant every S seconds
+    --port-file F     write the bound address to F once listening (port-0 scripting)
+    --require-warm    refuse to start unless every tenant boots warm (zero graph
+                      constructions, zero closure rebuilds)
+
+CLIENT OPERATIONS (each `mvrc client --addr A <operation>`):
+    ping | stats | shutdown
+    analyze | is-robust | subsets | lint     --tenant N [settings flags]
+    add-program | replace-program            --tenant N --file program.sql
+    remove-program                           --tenant N --name P
+    persist                                  --tenant N
+    `client subsets` output is byte-identical to offline `mvrc subsets --json`.
 
 EXIT CODES:
     0  the workload (or every program subset asked about) is robust / command succeeded
@@ -207,6 +309,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
 
     let rest: Vec<&str> = it.collect();
+
+    // `serve` and `client` take their own flag sets (tenant specs, addresses, op names), so
+    // they parse in dedicated functions instead of the shared workload-flag loop below.
+    if command == "serve" {
+        return parse_serve(&rest);
+    }
+    if command == "client" {
+        return parse_client(&rest);
+    }
+
     let mut input: Option<Input> = None;
     let mut settings = AnalysisSettings::paper_default();
     let mut format = Format::Text;
@@ -424,6 +536,217 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// Parses `mvrc serve` arguments.
+fn parse_serve(rest: &[&str]) -> Result<Command, CliError> {
+    let mut listen = "127.0.0.1:7654".to_string();
+    let mut tenants: Vec<(String, String)> = Vec::new();
+    let mut persist_secs: Option<u64> = None;
+    let mut port_file: Option<String> = None;
+    let mut require_warm = false;
+
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--listen" => {
+                i += 1;
+                listen = rest
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("`--listen` needs a host:port".to_string()))?
+                    .to_string();
+            }
+            "--tenant" => {
+                i += 1;
+                let spec = rest.get(i).ok_or_else(|| {
+                    CliError::Usage("`--tenant` needs a NAME=PATH spec".to_string())
+                })?;
+                let (name, path) = spec.split_once('=').ok_or_else(|| {
+                    CliError::Usage(format!("invalid tenant spec `{spec}` (expected NAME=PATH)"))
+                })?;
+                if name.is_empty() || path.is_empty() {
+                    return Err(CliError::Usage(format!(
+                        "invalid tenant spec `{spec}` (expected NAME=PATH)"
+                    )));
+                }
+                if tenants.iter().any(|(n, _)| n == name) {
+                    return Err(CliError::Usage(format!("duplicate tenant name `{name}`")));
+                }
+                tenants.push((name.to_string(), path.to_string()));
+            }
+            "--persist-secs" => {
+                i += 1;
+                persist_secs = Some(
+                    rest.get(i)
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|v| *v >= 1)
+                        .ok_or_else(|| {
+                            CliError::Usage("`--persist-secs` needs a positive integer".to_string())
+                        })?,
+                );
+            }
+            "--port-file" => {
+                i += 1;
+                port_file = Some(
+                    rest.get(i)
+                        .ok_or_else(|| {
+                            CliError::Usage("`--port-file` needs a file path".to_string())
+                        })?
+                        .to_string(),
+                );
+            }
+            "--require-warm" => require_warm = true,
+            flag => {
+                return Err(CliError::Usage(format!(
+                    "unknown `serve` argument `{flag}`"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if tenants.is_empty() {
+        return Err(CliError::Usage(
+            "`serve` needs at least one `--tenant NAME=PATH`".to_string(),
+        ));
+    }
+    Ok(Command::Serve {
+        listen,
+        tenants,
+        persist_secs,
+        port_file,
+        require_warm,
+    })
+}
+
+/// Parses `mvrc client` arguments.
+fn parse_client(rest: &[&str]) -> Result<Command, CliError> {
+    let mut addr: Option<String> = None;
+    let mut op_name: Option<String> = None;
+    let mut tenant: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut settings = AnalysisSettings::paper_default();
+
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i] {
+            "--tuple" => settings.granularity = Granularity::Tuple,
+            "--attr" => settings.granularity = Granularity::Attribute,
+            "--no-fk" => settings.use_foreign_keys = false,
+            "--fk" => settings.use_foreign_keys = true,
+            "--type1" => settings.condition = CycleCondition::TypeI,
+            "--type2" => settings.condition = CycleCondition::TypeII,
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    rest.get(i)
+                        .ok_or_else(|| CliError::Usage("`--addr` needs a host:port".to_string()))?
+                        .to_string(),
+                );
+            }
+            "--tenant" => {
+                i += 1;
+                tenant = Some(
+                    rest.get(i)
+                        .ok_or_else(|| {
+                            CliError::Usage("`--tenant` needs a tenant name".to_string())
+                        })?
+                        .to_string(),
+                );
+            }
+            "--file" => {
+                i += 1;
+                file = Some(
+                    rest.get(i)
+                        .ok_or_else(|| CliError::Usage("`--file` needs a file path".to_string()))?
+                        .to_string(),
+                );
+            }
+            "--name" => {
+                i += 1;
+                name = Some(
+                    rest.get(i)
+                        .ok_or_else(|| {
+                            CliError::Usage("`--name` needs a program name".to_string())
+                        })?
+                        .to_string(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!(
+                    "unknown `client` argument `{flag}`"
+                )))
+            }
+            word => {
+                if op_name.is_some() {
+                    return Err(CliError::Usage(format!("unexpected argument `{word}`")));
+                }
+                op_name = Some(word.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    let addr =
+        addr.ok_or_else(|| CliError::Usage("`client` needs `--addr <host:port>`".to_string()))?;
+    let op_name = op_name.ok_or_else(|| {
+        CliError::Usage(
+            "`client` needs an operation: ping, stats, shutdown, analyze, is-robust, subsets, \
+             lint, add-program, remove-program, replace-program or persist"
+                .to_string(),
+        )
+    })?;
+    let require_tenant = |tenant: Option<String>| {
+        tenant.ok_or_else(|| CliError::Usage(format!("`client {op_name}` needs `--tenant <name>`")))
+    };
+    let require_file = |file: Option<String>| {
+        file.ok_or_else(|| {
+            CliError::Usage(format!(
+                "`client {op_name}` needs `--file <program.sql>` (one PROGRAM block)"
+            ))
+        })
+    };
+
+    let op = match op_name.as_str() {
+        "ping" => ClientOp::Ping,
+        "stats" => ClientOp::Stats,
+        "shutdown" => ClientOp::Shutdown,
+        "analyze" => ClientOp::Analyze {
+            tenant: require_tenant(tenant)?,
+        },
+        "is-robust" => ClientOp::IsRobust {
+            tenant: require_tenant(tenant)?,
+        },
+        "subsets" => ClientOp::Subsets {
+            tenant: require_tenant(tenant)?,
+        },
+        "lint" => ClientOp::Lint {
+            tenant: require_tenant(tenant)?,
+        },
+        "add-program" => ClientOp::AddProgram {
+            tenant: require_tenant(tenant)?,
+            file: require_file(file)?,
+        },
+        "remove-program" => ClientOp::RemoveProgram {
+            tenant: require_tenant(tenant)?,
+            name: name.ok_or_else(|| {
+                CliError::Usage("`client remove-program` needs `--name <program>`".to_string())
+            })?,
+        },
+        "replace-program" => ClientOp::ReplaceProgram {
+            tenant: require_tenant(tenant)?,
+            file: require_file(file)?,
+        },
+        "persist" => ClientOp::Persist {
+            tenant: require_tenant(tenant)?,
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown client operation `{other}`"
+            )))
+        }
+    };
+    Ok(Command::Client { addr, op, settings })
 }
 
 #[cfg(test)]
@@ -790,5 +1113,134 @@ mod tests {
             parse_args(&args(&["analyze", "--benchmark"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_parses_tenants_and_options() {
+        let cmd = parse_args(&args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--tenant",
+            "bank=bank.mvrcsnap",
+            "--tenant",
+            "market=tpcc.sql",
+            "--persist-secs",
+            "30",
+            "--port-file",
+            "port.txt",
+            "--require-warm",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                listen,
+                tenants,
+                persist_secs,
+                port_file,
+                require_warm,
+            } => {
+                assert_eq!(listen, "127.0.0.1:0");
+                assert_eq!(
+                    tenants,
+                    vec![
+                        ("bank".to_string(), "bank.mvrcsnap".to_string()),
+                        ("market".to_string(), "tpcc.sql".to_string()),
+                    ]
+                );
+                assert_eq!(persist_secs, Some(30));
+                assert_eq!(port_file.as_deref(), Some("port.txt"));
+                assert!(require_warm);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_specs() {
+        for bad in [
+            &["serve"][..],
+            &["serve", "--tenant", "no-equals-sign"],
+            &["serve", "--tenant", "=path"],
+            &["serve", "--tenant", "name="],
+            &["serve", "--tenant", "a=x", "--tenant", "a=y"],
+            &["serve", "--tenant", "a=x", "--persist-secs", "0"],
+            &["serve", "--tenant", "a=x", "--json"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn client_parses_ops_and_settings() {
+        let cmd = parse_args(&args(&[
+            "client",
+            "--addr",
+            "127.0.0.1:7654",
+            "subsets",
+            "--tenant",
+            "bank",
+            "--tuple",
+            "--no-fk",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Client { addr, op, settings } => {
+                assert_eq!(addr, "127.0.0.1:7654");
+                assert_eq!(
+                    op,
+                    ClientOp::Subsets {
+                        tenant: "bank".to_string()
+                    }
+                );
+                assert_eq!(settings.granularity, Granularity::Tuple);
+                assert!(!settings.use_foreign_keys);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+
+        let cmd = parse_args(&args(&[
+            "client",
+            "--addr",
+            "a:1",
+            "remove-program",
+            "--tenant",
+            "bank",
+            "--name",
+            "WriteCheck",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Client { op, .. } => assert_eq!(
+                op,
+                ClientOp::RemoveProgram {
+                    tenant: "bank".to_string(),
+                    name: "WriteCheck".to_string()
+                }
+            ),
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_rejects_incomplete_requests() {
+        for bad in [
+            &["client"][..],
+            &["client", "ping"],                     // no --addr
+            &["client", "--addr", "a:1"],            // no op
+            &["client", "--addr", "a:1", "warp"],    // unknown op
+            &["client", "--addr", "a:1", "analyze"], // missing --tenant
+            &["client", "--addr", "a:1", "add-program", "--tenant", "t"], // missing --file
+            &["client", "--addr", "a:1", "remove-program", "--tenant", "t"], // missing --name
+            &["client", "--addr", "a:1", "ping", "extra"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Command implementations: loading workloads and producing the report text.
 
-use crate::args::{Command, Format, Input};
+use crate::args::{ClientOp, Command, Format, Input};
 use crate::error::CliError;
 use mvrc_benchmarks::Workload;
 use mvrc_btp::sql::parse_workload_file;
@@ -78,7 +78,141 @@ pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
             wait_secs,
         } => shard_work(&dir, worker, wait_secs),
         Command::ShardMerge { dir, format } => shard_merge(&dir, format),
+        Command::Serve {
+            listen,
+            tenants,
+            persist_secs,
+            port_file,
+            require_warm,
+        } => serve(
+            &listen,
+            &tenants,
+            persist_secs,
+            port_file.as_deref(),
+            require_warm,
+        ),
+        Command::Client { addr, op, settings } => client(&addr, &op, settings),
     }
+}
+
+/// Runs the `mvrc serve` daemon: boots every tenant, binds, and blocks until a drain
+/// (SIGTERM or a wire-level `shutdown` op), persisting snapshot-backed tenants on the way
+/// out. Progress goes to stderr so stdout stays clean for scripts.
+fn serve(
+    listen: &str,
+    tenant_specs: &[(String, String)],
+    persist_secs: Option<u64>,
+    port_file: Option<&str>,
+    require_warm: bool,
+) -> Result<CommandOutput, CliError> {
+    mvrc_serve::signal::install_shutdown_handler();
+    let mut tenants = Vec::new();
+    for (name, path) in tenant_specs {
+        let tenant =
+            mvrc_serve::Tenant::from_path(name, Path::new(path)).map_err(CliError::Serve)?;
+        let boot = tenant.boot();
+        if require_warm && !boot.is_warm() {
+            return Err(CliError::Serve(format!(
+                "tenant `{name}` did not boot warm (source: {}, graph constructions: {}, \
+                 closure rebuilds: {})",
+                boot.source.label(),
+                boot.constructions,
+                boot.closures
+            )));
+        }
+        let (_, session) = tenant.cell().load();
+        eprintln!(
+            "mvrc-serve: tenant `{name}`: {} programs from {} ({}{})",
+            session.program_names().len(),
+            path,
+            boot.source.label(),
+            if boot.is_warm() { ", warm" } else { "" },
+        );
+        tenants.push(tenant);
+    }
+    let config = mvrc_serve::ServeConfig {
+        listen: listen.to_string(),
+        port_file: port_file.map(std::path::PathBuf::from),
+        persist_secs,
+    };
+    let server = mvrc_serve::Server::bind(&config, tenants).map_err(CliError::Serve)?;
+    let addr = server.local_addr().map_err(CliError::Serve)?;
+    eprintln!("mvrc-serve: listening on {addr}");
+    server.run().map_err(CliError::Serve)?;
+    Ok(CommandOutput::ok("mvrc-serve: drained cleanly".to_string()))
+}
+
+/// Runs one `mvrc client` request and renders the result.
+fn client(
+    addr: &str,
+    op: &ClientOp,
+    settings: AnalysisSettings,
+) -> Result<CommandOutput, CliError> {
+    let mut client = mvrc_serve::Client::connect(addr)
+        .map_err(|e| CliError::Serve(format!("connecting {addr}: {e}")))?;
+    let settings_value = serde_json::to_value(&settings);
+    let request = match op {
+        ClientOp::Ping => serde_json::json!({ "op": "ping" }),
+        ClientOp::Stats => serde_json::json!({ "op": "stats" }),
+        ClientOp::Shutdown => serde_json::json!({ "op": "shutdown" }),
+        ClientOp::Analyze { tenant } => serde_json::json!({
+            "op": "analyze", "tenant": tenant, "settings": settings_value,
+        }),
+        ClientOp::IsRobust { tenant } => serde_json::json!({
+            "op": "is_robust", "tenant": tenant, "settings": settings_value,
+        }),
+        ClientOp::Subsets { tenant } => serde_json::json!({
+            "op": "explore_subsets", "tenant": tenant, "settings": settings_value,
+        }),
+        ClientOp::Lint { tenant } => serde_json::json!({
+            "op": "lint", "tenant": tenant, "settings": settings_value,
+        }),
+        ClientOp::AddProgram { tenant, file } => serde_json::json!({
+            "op": "add_program", "tenant": tenant, "program_sql": read_program_file(file)?,
+        }),
+        ClientOp::RemoveProgram { tenant, name } => serde_json::json!({
+            "op": "remove_program", "tenant": tenant, "name": name,
+        }),
+        ClientOp::ReplaceProgram { tenant, file } => serde_json::json!({
+            "op": "replace_program", "tenant": tenant, "program_sql": read_program_file(file)?,
+        }),
+        ClientOp::Persist { tenant } => serde_json::json!({ "op": "persist", "tenant": tenant }),
+    };
+    let result = client
+        .call(&request)
+        .map_err(|e| CliError::Serve(e.to_string()))?;
+
+    // Verdict-carrying replies exit 1 when not robust, mirroring the offline commands.
+    let exit_code = match op {
+        ClientOp::Analyze { .. } => bool_at(&result, &["report", "outcome", "robust"]),
+        ClientOp::IsRobust { .. } => bool_at(&result, &["robust"]),
+        ClientOp::Lint { .. } => bool_at(&result, &["robust"]),
+        _ => None,
+    }
+    .map_or(0, |robust| i32::from(!robust));
+
+    let text = match op {
+        ClientOp::Ping => "pong".to_string(),
+        _ => serde_json::to_string_pretty(&result).expect("reply serializes"),
+    };
+    Ok(CommandOutput { text, exit_code })
+}
+
+/// Reads a `PROGRAM` block file for `client add-program` / `replace-program`.
+fn read_program_file(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Looks up a nested boolean in a JSON reply.
+fn bool_at(value: &serde_json::Value, path: &[&str]) -> Option<bool> {
+    let mut at = value;
+    for key in path {
+        at = at.get(key)?;
+    }
+    at.as_bool()
 }
 
 /// Loads a workload from a file or resolves a built-in benchmark.

@@ -19,6 +19,8 @@ pub enum CliError {
     Workload(String),
     /// A `shard plan|work|merge` step failed (snapshot, plan, verdict or barrier error).
     Shard(String),
+    /// A `serve` / `client` step failed (bind, connect, tenant boot or server-side error).
+    Serve(String),
 }
 
 impl fmt::Display for CliError {
@@ -28,6 +30,7 @@ impl fmt::Display for CliError {
             CliError::Io { path, message } => write!(f, "cannot read `{path}`: {message}"),
             CliError::Workload(msg) => write!(f, "invalid workload: {msg}"),
             CliError::Shard(msg) => write!(f, "shard error: {msg}"),
+            CliError::Serve(msg) => write!(f, "serve error: {msg}"),
         }
     }
 }

@@ -29,7 +29,7 @@ mod args;
 mod commands;
 mod error;
 
-pub use args::{extract_threads, parse_args, Command, Format, Input, USAGE};
+pub use args::{extract_threads, parse_args, ClientOp, Command, Format, Input, USAGE};
 pub use commands::{execute, load_workload, CommandOutput};
 pub use error::CliError;
 

@@ -11,7 +11,7 @@ use mvrc_btp::{unfold, LinearProgram, Program, Workload};
 use mvrc_par::Parallelism;
 use mvrc_schema::Schema;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key for the summary-graph cache: the graph shape depends only on the dependency
 /// granularity and the foreign-key switch, so the type-I and type-II conditions share a graph.
@@ -27,6 +27,22 @@ impl From<AnalysisSettings> for GraphKey {
             granularity: settings.granularity,
             use_foreign_keys: settings.use_foreign_keys,
         }
+    }
+}
+
+/// The key domain is exactly `2 granularities × 2 foreign-key switches`, so the graph cache is
+/// a fixed array of [`OnceLock`] slots instead of a locked map: a query under an
+/// already-built combination is one atomic acquire-load plus an `Arc` bump — **lock-free** —
+/// which is what lets many `mvrc-serve` reader threads share one session with no
+/// reader/reader or reader/writer convoy on the hot path.
+const GRAPH_SLOTS: usize = 4;
+
+impl GraphKey {
+    /// Slot index; the order (attribute before tuple granularity, no-FK before FK) is the
+    /// deterministic order [`RobustnessSession::cached_graphs`] reports.
+    fn slot(self) -> usize {
+        (matches!(self.granularity, Granularity::Tuple) as usize) * 2
+            + self.use_foreign_keys as usize
     }
 }
 
@@ -79,7 +95,9 @@ pub struct RobustnessSession {
     workload: Workload,
     program_names: Vec<String>,
     ltps: Vec<LinearProgram>,
-    cache: Mutex<HashMap<GraphKey, Arc<SummaryGraph>>>,
+    /// One slot per granularity/foreign-key combination ([`GraphKey::slot`]); built on first
+    /// use, then read lock-free (an [`OnceLock`] read is a single atomic acquire-load).
+    cache: [OnceLock<Arc<SummaryGraph>>; GRAPH_SLOTS],
     /// Verdicts of the last completed subset sweep per settings combination — the seed of the
     /// incremental re-sweeps ([`crate::ExploreOptions::incremental`]). Entries are
     /// self-describing (they carry their own program list and fingerprints), so workload edits
@@ -104,7 +122,7 @@ impl RobustnessSession {
             workload,
             program_names,
             ltps,
-            cache: Mutex::new(HashMap::new()),
+            cache: Default::default(),
             sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
             sweep_kernel: SweepKernel::default(),
@@ -138,7 +156,7 @@ impl RobustnessSession {
             workload: Workload::new(schema.name(), schema.clone(), Vec::new(), &[]),
             program_names,
             ltps,
-            cache: Mutex::new(HashMap::new()),
+            cache: Default::default(),
             sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
             sweep_kernel: SweepKernel::default(),
@@ -205,26 +223,21 @@ impl RobustnessSession {
     /// Number of summary graphs currently cached (one per granularity/foreign-key combination
     /// queried so far).
     pub fn cached_graph_count(&self) -> usize {
-        self.cache.lock().expect("session cache poisoned").len()
+        self.cache
+            .iter()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 
     /// The summary graphs currently cached, in a deterministic order (attribute before tuple
-    /// granularity, no-FK before FK). This is the serialization hook of the `mvrc-dist`
-    /// snapshot layer: persisting these graphs lets a worker process answer queries without
-    /// re-running any Algorithm 1 edge derivation.
+    /// granularity, no-FK before FK — the slot order). This is the serialization hook of the
+    /// `mvrc-dist` snapshot layer: persisting these graphs lets a worker process answer
+    /// queries without re-running any Algorithm 1 edge derivation.
     pub fn cached_graphs(&self) -> Vec<Arc<SummaryGraph>> {
-        let cache = self.cache.lock().expect("session cache poisoned");
-        let mut entries: Vec<(GraphKey, Arc<SummaryGraph>)> = cache
+        self.cache
             .iter()
-            .map(|(key, graph)| (*key, Arc::clone(graph)))
-            .collect();
-        entries.sort_by_key(|(key, _)| {
-            (
-                matches!(key.granularity, Granularity::Tuple),
-                key.use_foreign_keys,
-            )
-        });
-        entries.into_iter().map(|(_, graph)| graph).collect()
+            .filter_map(|slot| slot.get().cloned())
+            .collect()
     }
 
     /// Structural fingerprints of the programs' unfolded LTP sets, aligned with
@@ -327,15 +340,19 @@ impl RobustnessSession {
                 .map(|p| p.name().to_string())
                 .collect()
         };
-        let cache: HashMap<GraphKey, Arc<SummaryGraph>> = graphs
-            .into_iter()
-            .map(|graph| (GraphKey::from(graph.settings()), Arc::new(graph)))
-            .collect();
+        let mut cache: [OnceLock<Arc<SummaryGraph>>; GRAPH_SLOTS] = Default::default();
+        for graph in graphs {
+            let slot = GraphKey::from(graph.settings()).slot();
+            // A later duplicate entry for the same combination wins, matching the map
+            // semantics this cache replaced (snapshots never contain duplicates).
+            cache[slot].take();
+            let _ = cache[slot].set(Arc::new(graph));
+        }
         RobustnessSession {
             workload,
             program_names,
             ltps,
-            cache: Mutex::new(cache),
+            cache,
             sweeps: Mutex::new(HashMap::new()),
             parallelism: Parallelism::Auto,
             sweep_kernel: SweepKernel::default(),
@@ -350,8 +367,7 @@ impl RobustnessSession {
     /// requested condition is applied per query instead.
     pub fn graph(&self, settings: AnalysisSettings) -> Arc<SummaryGraph> {
         let key = GraphKey::from(settings);
-        let mut cache = self.cache.lock().expect("session cache poisoned");
-        Arc::clone(cache.entry(key).or_insert_with(|| {
+        Arc::clone(self.cache[key.slot()].get_or_init(|| {
             let canonical = AnalysisSettings {
                 granularity: key.granularity,
                 use_foreign_keys: key.use_foreign_keys,
@@ -407,13 +423,10 @@ impl RobustnessSession {
         let new_ltps = unfold(&program, self.workload.unfold);
         self.program_names.push(program.name().to_string());
         self.workload.programs.push(program);
-        for graph in self
-            .cache
-            .get_mut()
-            .expect("session cache poisoned")
-            .values_mut()
-        {
-            Arc::make_mut(graph).add_ltps(&new_ltps, &self.workload.schema);
+        for slot in &mut self.cache {
+            if let Some(graph) = slot.get_mut() {
+                Arc::make_mut(graph).add_ltps(&new_ltps, &self.workload.schema);
+            }
         }
         self.ltps.extend(new_ltps);
     }
@@ -437,13 +450,10 @@ impl RobustnessSession {
             .filter(|(_, l)| l.program_name() == name)
             .map(|(id, _)| id)
             .collect();
-        for graph in self
-            .cache
-            .get_mut()
-            .expect("session cache poisoned")
-            .values_mut()
-        {
-            Arc::make_mut(graph).remove_nodes(&node_ids);
+        for slot in &mut self.cache {
+            if let Some(graph) = slot.get_mut() {
+                Arc::make_mut(graph).remove_nodes(&node_ids);
+            }
         }
         self.ltps.retain(|l| l.program_name() != name);
         self.program_names.retain(|n| n != name);
@@ -466,13 +476,23 @@ impl RobustnessSession {
 }
 
 impl Clone for RobustnessSession {
-    /// Cloning a session clones the workload, LTPs and all cached graphs.
+    /// Cloning a session clones the workload and LTPs and *shares* all cached graphs (each
+    /// slot is an `Arc` bump; a subsequent incremental edit on either copy un-shares the
+    /// touched graphs via `Arc::make_mut`). This is what makes the `mvrc-serve` edit path
+    /// cheap: the writer clones the published session, applies the incremental edit to the
+    /// clone, and atomically publishes it while readers keep querying the old `Arc`s.
     fn clone(&self) -> Self {
+        let cache: [OnceLock<Arc<SummaryGraph>>; GRAPH_SLOTS] = Default::default();
+        for (slot, source) in cache.iter().zip(&self.cache) {
+            if let Some(graph) = source.get() {
+                let _ = slot.set(Arc::clone(graph));
+            }
+        }
         RobustnessSession {
             workload: self.workload.clone(),
             program_names: self.program_names.clone(),
             ltps: self.ltps.clone(),
-            cache: Mutex::new(self.cache.lock().expect("session cache poisoned").clone()),
+            cache,
             sweeps: Mutex::new(
                 self.sweeps
                     .lock()
@@ -484,6 +504,16 @@ impl Clone for RobustnessSession {
         }
     }
 }
+
+// Compile-time `Send`/`Sync` audit: the serve daemon shares `Arc<RobustnessSession>`s (and
+// through them `Arc<SummaryGraph>`s, including snapshot-backed ones whose slabs borrow an
+// `Arc<dyn SlabOwner>`) across reader threads. A session field regressing to a non-`Sync`
+// type must fail compilation here, not in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RobustnessSession>();
+    assert_send_sync::<SummaryGraph>();
+};
 
 #[cfg(test)]
 mod tests {

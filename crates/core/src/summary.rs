@@ -22,7 +22,7 @@ use mvrc_schema::Schema;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Index of an LTP node within a [`SummaryGraph`].
 pub type NodeId = usize;
@@ -294,7 +294,11 @@ fn validate_csr(
 /// bit-identity contract of the `mvrc-dist` snapshot round-trip tests.
 #[derive(Debug, Clone)]
 pub struct SummaryGraph {
-    nodes: Vec<LinearProgram>,
+    /// The (widened) LTP nodes. Each node is `Arc`-shared so the cached graphs of one session
+    /// — and the graph entries of one `mvrc-dist` snapshot — can hold the *same* decoded LTPs
+    /// by reference instead of deep-cloning them per entry; cloning a graph or reassembling
+    /// one from snapshot parts bumps reference counts only.
+    nodes: Vec<Arc<LinearProgram>>,
     edges: Vec<SummaryEdge>,
     settings: AnalysisSettings,
     out_adj: OnceLock<Csr>,
@@ -385,7 +389,7 @@ impl SummaryGraph {
 
     /// A graph whose derived arrays (adjacency CSR, closure) are built on first use.
     fn new_lazy(
-        nodes: Vec<LinearProgram>,
+        nodes: Vec<Arc<LinearProgram>>,
         edges: Vec<SummaryEdge>,
         settings: AnalysisSettings,
     ) -> Self {
@@ -535,7 +539,7 @@ impl SummaryGraph {
     /// Panics when an edge endpoint or statement position is out of range — snapshot decoders
     /// are expected to validate untrusted input *before* calling this.
     pub fn from_snapshot_parts(
-        nodes: Vec<LinearProgram>,
+        nodes: Vec<Arc<LinearProgram>>,
         edges: Vec<SummaryEdge>,
         settings: AnalysisSettings,
     ) -> Self {
@@ -566,7 +570,7 @@ impl SummaryGraph {
     /// slab has the exact derived dimensions. The reachability *contents* are not recomputed —
     /// they are covered by the snapshot file's fingerprint, which the caller verifies.
     pub fn from_snapshot_parts_with_derived(
-        nodes: Vec<LinearProgram>,
+        nodes: Vec<Arc<LinearProgram>>,
         edges: Vec<SummaryEdge>,
         settings: AnalysisSettings,
         derived: SummaryGraphDerived,
@@ -700,7 +704,14 @@ impl SummaryGraph {
 
     /// All nodes with their ids.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &LinearProgram)> {
-        self.nodes.iter().enumerate()
+        self.nodes.iter().enumerate().map(|(id, n)| (id, &**n))
+    }
+
+    /// The `Arc`-shared node list itself — the serialization sharing hook of the `mvrc-dist`
+    /// snapshot layer: cloning the returned vector bumps reference counts only, so graph
+    /// entries decoded from one snapshot can hold the same LTP allocations.
+    pub fn shared_nodes(&self) -> &[Arc<LinearProgram>] {
+        &self.nodes
     }
 
     /// Looks up a node by LTP name.
@@ -904,17 +915,18 @@ impl SummaryGraph {
     }
 }
 
-/// Applies the granularity setting to a slice of LTPs.
+/// Applies the granularity setting to a slice of LTPs, wrapping each node in an [`Arc`] (the
+/// sharing unit of [`SummaryGraph::shared_nodes`]).
 fn widen_ltps(
     ltps: &[LinearProgram],
     schema: &Schema,
     granularity: Granularity,
-) -> Vec<LinearProgram> {
+) -> Vec<Arc<LinearProgram>> {
     match granularity {
-        Granularity::Attribute => ltps.to_vec(),
+        Granularity::Attribute => ltps.iter().map(|l| Arc::new(l.clone())).collect(),
         Granularity::Tuple => ltps
             .iter()
-            .map(|l| l.widen_to_tuple_granularity(|rel| schema.all_attrs(rel)))
+            .map(|l| Arc::new(l.widen_to_tuple_granularity(|rel| schema.all_attrs(rel))))
             .collect(),
     }
 }

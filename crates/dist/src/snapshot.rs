@@ -233,25 +233,35 @@ enum DerivedMode<'m> {
 /// LTP section verbatim. A typical 4-graph snapshot therefore carries only *two* distinct
 /// node encodings, and the encoding is canonical (equal values ⇔ equal bytes), so a section
 /// whose upcoming bytes equal an already-decoded span can skip the parse — and with it every
-/// per-statement validation — and clone the decoded list instead. Cloning re-allocates the
-/// strings but skips the `Reader` walk and `Statement::new` re-validation, which is where
-/// the decode time goes on small snapshots.
+/// per-statement validation — and hand out the *same* decoded nodes by reference:
+/// [`SummaryGraph`] nodes are `Arc`-shared, so every graph entry after the first match costs
+/// reference-count bumps, not a deep clone. The session LTP section is seeded borrowed and
+/// upgraded to an `Arc` list the first time a graph entry actually matches it, so opens whose
+/// graphs all use widened (tuple-granularity) nodes never pay the conversion.
 struct NodeSectionCache<'a, 'l> {
     entries: Vec<(&'a [u8], NodeSource<'l>)>,
 }
 
 enum NodeSource<'l> {
-    /// The session LTP section — borrowed, cloned on use.
+    /// The session LTP section — borrowed; converted to an `Arc` list on first use.
     Borrowed(&'l [LinearProgram]),
-    /// A node list decoded from an earlier graph entry.
-    Owned(Vec<LinearProgram>),
+    /// An `Arc`-shared node list decoded from an earlier graph entry (or upgraded from the
+    /// session LTP section).
+    Shared(Vec<Arc<LinearProgram>>),
 }
 
 impl NodeSource<'_> {
-    fn to_vec(&self) -> Vec<LinearProgram> {
+    /// The decoded nodes as an `Arc` list, upgrading a borrowed source in place so the
+    /// deep clone happens at most once per distinct node section.
+    fn arcs(&mut self) -> Vec<Arc<LinearProgram>> {
         match self {
-            NodeSource::Borrowed(ltps) => ltps.to_vec(),
-            NodeSource::Owned(ltps) => ltps.clone(),
+            NodeSource::Borrowed(ltps) => {
+                let arcs: Vec<Arc<LinearProgram>> =
+                    ltps.iter().map(|l| Arc::new(l.clone())).collect();
+                *self = NodeSource::Shared(arcs.clone());
+                arcs
+            }
+            NodeSource::Shared(arcs) => arcs.clone(),
         }
     }
 }
@@ -852,7 +862,7 @@ fn decode_graph<'a>(
 ) -> Result<SummaryGraph, SnapshotError> {
     let settings = decode_settings(r)?;
     // The node section (count prefix + LTPs): if its bytes equal an already-decoded span,
-    // skip the parse and clone the decoded list — the encoding is canonical, so equal bytes
+    // skip the parse and share the decoded list — the encoding is canonical, so equal bytes
     // decode to equal nodes, and a matched span consumes exactly as many bytes as it did the
     // first time it was decoded.
     let node_section_start = r.position();
@@ -860,10 +870,11 @@ fn decode_graph<'a>(
     let cached = node_cache
         .entries
         .iter()
-        .find(|(span, _)| rest.starts_with(span));
+        .position(|(span, _)| rest.starts_with(span));
     let nodes = match cached {
-        Some((span, source)) => {
-            let nodes = source.to_vec();
+        Some(at) => {
+            let (span, source) = &mut node_cache.entries[at];
+            let nodes = source.arcs();
             r.skip_raw(span.len())?;
             nodes
         }
@@ -871,12 +882,13 @@ fn decode_graph<'a>(
             let node_count = r.len()?;
             let mut nodes = Vec::with_capacity(node_count);
             for _ in 0..node_count {
-                nodes.push(decode_ltp(r, schema)?);
+                nodes.push(Arc::new(decode_ltp(r, schema)?));
             }
             let span = &rest[..r.position() - node_section_start];
+            // The clone below is `node_count` reference-count bumps, not a re-decode.
             node_cache
                 .entries
-                .push((span, NodeSource::Owned(nodes.clone())));
+                .push((span, NodeSource::Shared(nodes.clone())));
             nodes
         }
     };

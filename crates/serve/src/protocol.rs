@@ -1,0 +1,176 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! # Frame format
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! ┌────────────────────┬──────────────────────────────┐
+//! │ length: u32 (LE)   │ body: `length` bytes of JSON │
+//! └────────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The body is a single UTF-8 JSON value. Requests are objects with an `"op"` field plus
+//! op-specific fields (most carry `"tenant"`); responses are `{"ok": true, "result": …}` or
+//! `{"ok": false, "error": "…"}`.
+//!
+//! # Robustness at the frame layer
+//!
+//! * **Oversized frames** — a length prefix above [`MAX_FRAME_BYTES`] is rejected *before any
+//!   allocation*: the peer gets one error reply and the connection is closed. A hostile or
+//!   corrupt length prefix can therefore not trigger an out-of-memory allocation, and a
+//!   server never desynchronizes by guessing where the next frame starts.
+//! * **Malformed JSON** — a frame that is not valid JSON (or not the expected shape) earns an
+//!   error reply, and the connection *stays open*: framing is intact, so the next frame is
+//!   still well-delimited.
+//! * **Mid-frame disconnects** — a peer vanishing between the length prefix and the last body
+//!   byte surfaces as [`FrameError::Closed`]/[`FrameError::Io`] on that connection alone.
+
+#![forbid(unsafe_code)]
+
+use serde_json::Value;
+use std::io::{Read, Write};
+
+/// Upper bound on a frame body, requests and responses alike (16 MiB). Large enough for any
+/// subset exploration this workspace produces, small enough that a corrupt length prefix
+/// cannot drive an allocation into the gigabytes.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// A frame-layer failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (a clean end of stream).
+    Closed,
+    /// An I/O error, including disconnects in the middle of a frame.
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The declared body length.
+        declared: usize,
+    },
+    /// The body is not valid JSON.
+    BadJson(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Oversized { declared } => write!(
+                f,
+                "frame of {declared} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            ),
+            FrameError::BadJson(msg) => write!(f, "malformed JSON body: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one frame and parses its body as JSON.
+///
+/// Returns [`FrameError::Closed`] when the stream ends *before the first prefix byte* (the
+/// peer hung up between requests) and [`FrameError::Io`] when it ends inside a frame. An
+/// oversized length prefix returns [`FrameError::Oversized`] without reading or allocating
+/// the body — the caller must treat the stream as desynchronized and close it.
+pub fn read_frame(stream: &mut impl Read) -> Result<Value, FrameError> {
+    let mut prefix = [0u8; 4];
+    // Distinguish a clean close (zero prefix bytes) from a mid-frame one.
+    match stream.read(&mut prefix) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(n) => stream
+            .read_exact(&mut prefix[n..])
+            .map_err(FrameError::Io)?,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            stream.read_exact(&mut prefix).map_err(FrameError::Io)?
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let declared = u32::from_le_bytes(prefix) as usize;
+    if declared > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { declared });
+    }
+    let mut body = vec![0u8; declared];
+    stream.read_exact(&mut body).map_err(FrameError::Io)?;
+    let text = String::from_utf8(body).map_err(|e| FrameError::BadJson(e.to_string()))?;
+    serde_json::from_str(&text).map_err(|e| FrameError::BadJson(e.to_string()))
+}
+
+/// Writes one JSON value as a frame.
+///
+/// # Panics
+///
+/// Panics when the rendered body exceeds [`MAX_FRAME_BYTES`] — the server constructs every
+/// outgoing value itself, so an oversized reply is a programming error, not peer input.
+pub fn write_frame(stream: &mut impl Write, value: &Value) -> std::io::Result<()> {
+    let body = serde_json::to_string(value).expect("a JSON value serializes");
+    assert!(
+        body.len() <= MAX_FRAME_BYTES,
+        "outgoing frame of {} bytes exceeds the frame limit",
+        body.len()
+    );
+    let prefix = (body.len() as u32).to_le_bytes();
+    stream.write_all(&prefix)?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Builds a success response envelope.
+pub fn ok_response(result: Value) -> Value {
+    serde_json::json!({ "ok": true, "result": result })
+}
+
+/// Builds an error response envelope.
+pub fn error_response(message: impl Into<String>) -> Value {
+    serde_json::json!({ "ok": false, "error": message.into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let value = serde_json::json!({"op": "ping", "n": 7});
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &value).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), value);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(b"ignored");
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized { declared }) if declared == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn malformed_body_is_a_bad_json_error() {
+        let body = b"{not json";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(body);
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::BadJson(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&16u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+}

@@ -1,0 +1,160 @@
+//! Loom-free stress test for the epoch-publish concurrency model: many client threads query a
+//! tenant while another thread applies an edit chain. Every reply must be consistent with the
+//! workload either *before* or *after* some edit — never a torn mixture — and the final state
+//! must answer exactly like a fresh session built from the same programs.
+
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mvrc_robustness::{explore_subsets_with, AnalysisSettings, ExploreOptions, RobustnessSession};
+use mvrc_serve::{Client, ServeConfig, Server, Tenant};
+use serde_json::{json, Value};
+
+/// The SmallBank workload file shipped with the CLI (schema + five programs).
+const SMALLBANK_SQL: &str = include_str!("../../cli/workloads/smallbank.sql");
+
+/// The `WriteCheck` program block alone, for re-adding over the wire.
+const WRITE_CHECK_SQL: &str = r#"
+PROGRAM WriteCheck(:N, :C, :V) {
+    SELECT CustomerId FROM Account  WHERE Name = :N AND CustomerId = :C;
+    SELECT Balance    FROM Savings  WHERE CustomerId = :C;
+    SELECT Balance    FROM Checking WHERE CustomerId = :C;
+    UPDATE Checking SET Balance = Balance - :V WHERE CustomerId = :C;
+}
+"#;
+
+fn smallbank_session() -> RobustnessSession {
+    let (schema, programs) =
+        mvrc_btp::sql::parse_workload_file(SMALLBANK_SQL).expect("workload parses");
+    RobustnessSession::from_programs(&schema, &programs)
+}
+
+fn start_server(tenant: Tenant) -> (SocketAddr, Arc<AtomicBool>, JoinHandle<Result<(), String>>) {
+    let server = Server::bind(&ServeConfig::default(), vec![tenant]).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, flag, handle)
+}
+
+#[test]
+fn replies_during_an_edit_chain_are_never_torn() {
+    let settings = AnalysisSettings::paper_default();
+
+    // The two states the edit chain toggles between, with their expected verdicts computed on
+    // fresh offline sessions.
+    let full = smallbank_session();
+    let mut reduced = smallbank_session();
+    reduced.remove_program("WriteCheck").expect("known program");
+    let full_names: Vec<String> = full.program_names().to_vec();
+    let reduced_names: Vec<String> = reduced.program_names().to_vec();
+    let full_robust = full.is_robust(settings);
+    let reduced_robust = reduced.is_robust(settings);
+
+    let tenant = Tenant::new(
+        "bank",
+        smallbank_session(),
+        None,
+        mvrc_serve::BootReport {
+            source: mvrc_serve::BootSource::WorkloadFile,
+            constructions: 0,
+            closures: 0,
+            fingerprint: None,
+        },
+    );
+    let (addr, flag, handle) = start_server(tenant);
+
+    let stop_readers = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..8)
+        .map(|_| {
+            let stop = Arc::clone(&stop_readers);
+            std::thread::spawn(move || -> Vec<(Vec<String>, bool)> {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let result = client
+                        .call(&json!({"op": "analyze", "tenant": "bank"}))
+                        .expect("analyze");
+                    let programs: Vec<String> = result
+                        .get("programs")
+                        .and_then(Value::as_array)
+                        .expect("programs array")
+                        .iter()
+                        .map(|p| p.as_str().expect("program name").to_string())
+                        .collect();
+                    let robust = result
+                        .get("report")
+                        .and_then(|r| r.get("outcome"))
+                        .and_then(|o| o.get("robust"))
+                        .and_then(Value::as_bool)
+                        .expect("report.outcome.robust");
+                    seen.push((programs, robust));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // The edit chain: repeatedly drop and re-add `WriteCheck` while the readers hammer away.
+    let mut editor = Client::connect(addr).expect("connect");
+    let mut epochs = HashSet::new();
+    for _ in 0..10 {
+        let result = editor
+            .call(&json!({"op": "remove_program", "tenant": "bank", "name": "WriteCheck"}))
+            .expect("remove");
+        assert!(epochs.insert(result.get("epoch").and_then(Value::as_u64).expect("epoch")));
+        let result = editor
+            .call(&json!({
+                "op": "add_program",
+                "tenant": "bank",
+                "program_sql": WRITE_CHECK_SQL,
+            }))
+            .expect("add");
+        assert!(epochs.insert(result.get("epoch").and_then(Value::as_u64).expect("epoch")));
+    }
+    stop_readers.store(true, Ordering::Relaxed);
+
+    let mut total = 0usize;
+    for reader in readers {
+        for (programs, robust) in reader.join().expect("reader thread") {
+            total += 1;
+            if programs == full_names {
+                assert_eq!(
+                    robust, full_robust,
+                    "full-workload reply with wrong verdict"
+                );
+            } else if programs == reduced_names {
+                assert_eq!(
+                    robust, reduced_robust,
+                    "reduced-workload reply with wrong verdict"
+                );
+            } else {
+                panic!("torn program list observed: {programs:?}");
+            }
+        }
+    }
+    assert!(total > 0, "readers never got a reply in");
+
+    // The chain ended on an add: the final state must answer exactly like a fresh session —
+    // byte-for-byte on the full subset exploration.
+    let expected = {
+        let session = smallbank_session();
+        let exploration = explore_subsets_with(&session, settings, ExploreOptions::default());
+        serde_json::to_string_pretty(&json!({
+            "workload": session.workload().name,
+            "exploration": exploration,
+        }))
+        .expect("exploration serializes")
+    };
+    let result = editor
+        .call(&json!({"op": "explore_subsets", "tenant": "bank"}))
+        .expect("subsets");
+    let served = serde_json::to_string_pretty(&result).expect("reply serializes");
+    assert_eq!(served, expected, "post-edit-chain exploration diverged");
+
+    flag.store(true, Ordering::SeqCst);
+    handle.join().expect("server thread").expect("clean drain");
+}
