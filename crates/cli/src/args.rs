@@ -43,6 +43,19 @@ pub enum Command {
         /// Output format.
         format: Format,
     },
+    /// `mvrc certify <workload>`: execute the analyzer's verdict — compile a non-robustness
+    /// witness into a concrete MVRC history rejected by an independent serializability
+    /// checker, or attest a robust subset with sampled executions.
+    Certify {
+        /// Workload source.
+        input: Input,
+        /// Analysis settings.
+        settings: AnalysisSettings,
+        /// Output format.
+        format: Format,
+        /// `--programs A,B,C`: certify this subset instead of the whole workload.
+        programs: Option<Vec<String>>,
+    },
     /// `mvrc subsets <workload>`: maximal robust subsets (the Figure 6 / 7 experiment).
     Subsets {
         /// Workload source.
@@ -204,6 +217,9 @@ COMMANDS:
     lint         Report each dangerous cycle as a compiler-style diagnostic with source
                  spans, and suggest a minimal set of read-to-update promotions that repairs
                  the workload
+    certify      Execute the verdict: compile a non-robustness witness into a concrete MVRC
+                 history rejected by an independent serializability checker, or attest a
+                 robust workload with sampled executions (exit 1 = certified non-robust)
     subsets      Enumerate the maximal robust program subsets
     graph        Emit the summary graph as Graphviz DOT
     programs     List the programs and their unfolded linear transaction programs
@@ -223,7 +239,9 @@ OPTIONS:
     --tuple       track dependencies per tuple instead of per attribute ('tpl dep')
     --no-fk       ignore foreign-key constraint annotations
     --type1       use the type-I cycle condition of Alomari & Fekete instead of type-II
-    --json        print machine-readable JSON (analyze / lint / subsets / shard merge)
+    --json        print machine-readable JSON (analyze / lint / certify / subsets / shard merge)
+    --programs L  comma-separated program names: certify this subset instead of the whole
+                  workload (certify)
     --labels      include statement labels on graph edges (graph)
     --threads N   pin the worker-pool size used by parallel sweeps (default: MVRC_THREADS
                   or the available parallelism); N must be at least 1
@@ -329,6 +347,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut worker: Option<usize> = None;
     let mut wait_secs: Option<u64> = None;
     let mut incremental = false;
+    let mut programs: Option<Vec<String>> = None;
     let mut cache: Option<String> = None;
     let mut resume_from: Option<String> = None;
     let mut kernel: Option<SweepKernel> = None;
@@ -371,6 +390,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 dir = Some((*path).to_string());
             }
             "--incremental" => incremental = true,
+            "--programs" => {
+                i += 1;
+                let list = rest.get(i).ok_or_else(|| {
+                    CliError::Usage(
+                        "`--programs` needs a comma-separated list of program names".to_string(),
+                    )
+                })?;
+                let names: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if names.is_empty() {
+                    return Err(CliError::Usage(
+                        "`--programs` needs at least one program name".to_string(),
+                    ));
+                }
+                programs = Some(names);
+            }
             "--cache" => {
                 i += 1;
                 let path = rest.get(i).ok_or_else(|| {
@@ -461,6 +500,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "`--incremental`/`--cache` only apply to `subsets`".to_string(),
         ));
     }
+    if programs.is_some() && command != "certify" {
+        return Err(CliError::Usage(
+            "`--programs` only applies to `certify`".to_string(),
+        ));
+    }
     if resume_from.is_some() && command != "shard plan" {
         return Err(CliError::Usage(
             "`--resume-from` only applies to `shard plan`".to_string(),
@@ -482,6 +526,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             input: require_input(input)?,
             settings,
             format,
+        }),
+        "certify" => Ok(Command::Certify {
+            input: require_input(input)?,
+            settings,
+            format,
+            programs,
         }),
         "subsets" => Ok(Command::Subsets {
             input: require_input(input)?,
@@ -803,6 +853,51 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(&args(&["lint"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn certify_parses_subset_and_flags() {
+        let cmd = parse_args(&args(&["certify", "--benchmark", "smallbank", "--json"])).unwrap();
+        match cmd {
+            Command::Certify {
+                input,
+                settings,
+                format,
+                programs,
+            } => {
+                assert_eq!(input, Input::Benchmark("smallbank".into()));
+                assert_eq!(settings, AnalysisSettings::paper_default());
+                assert_eq!(format, Format::Json);
+                assert_eq!(programs, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "certify",
+            "--benchmark",
+            "smallbank",
+            "--programs",
+            "Balance, WriteCheck",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Certify { programs: Some(p), .. }
+                if p == vec!["Balance".to_string(), "WriteCheck".to_string()]
+        ));
+        // A workload source is required; `--programs` is certify-only; empty lists are refused.
+        assert!(matches!(
+            parse_args(&args(&["certify"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["analyze", "w.sql", "--programs", "A"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["certify", "w.sql", "--programs", " , "])),
             Err(CliError::Usage(_))
         ));
     }

@@ -42,6 +42,12 @@ pub fn execute(command: Command) -> Result<CommandOutput, CliError> {
             settings,
             format,
         } => lint(&input, settings, format),
+        Command::Certify {
+            input,
+            settings,
+            format,
+            programs,
+        } => certify(&input, settings, format, programs.as_deref()),
         Command::Subsets {
             input,
             settings,
@@ -357,6 +363,106 @@ fn lint(
     Ok(CommandOutput { text, exit_code })
 }
 
+fn certify(
+    input: &Input,
+    settings: AnalysisSettings,
+    format: Format,
+    programs: Option<&[String]>,
+) -> Result<CommandOutput, CliError> {
+    let workload = load_workload(input)?;
+    let label = workload.name.clone();
+    let session = RobustnessSession::new(workload);
+    let subset: Vec<&str> = match programs {
+        Some(names) => names.iter().map(String::as_str).collect(),
+        None => session.program_names().iter().map(String::as_str).collect(),
+    };
+    match mvrc_hist::certify_subset(&session, &label, &subset, settings) {
+        Ok(outcome) => {
+            let exit_code = if outcome.is_certified() { 1 } else { 0 };
+            let text = match format {
+                Format::Json => outcome.to_json_pretty(),
+                Format::Text => render_certify_text(&outcome),
+            };
+            Ok(CommandOutput { text, exit_code })
+        }
+        Err(mvrc_hist::CertifyError::UnknownProgram(name)) => Err(CliError::Usage(format!(
+            "unknown program `{name}` (known programs: {})",
+            session.program_names().join(", ")
+        ))),
+        // Non-robust but no witness realized within the search budget: still exit 1 (the
+        // analyzer's verdict stands; only the constructive evidence is missing).
+        Err(e @ mvrc_hist::CertifyError::Unrealized { .. }) => Ok(CommandOutput {
+            text: format!("{label}: NOT ROBUST ({}), but {e}", settings_line(settings)),
+            exit_code: 1,
+        }),
+        Err(e) => Err(CliError::Workload(e.to_string())),
+    }
+}
+
+fn settings_line(settings: AnalysisSettings) -> String {
+    format!("{}, {}", settings.label(), settings.condition)
+}
+
+fn render_certify_text(outcome: &mvrc_hist::CertifyOutcome) -> String {
+    let mut out = String::new();
+    match outcome {
+        mvrc_hist::CertifyOutcome::Certified(c) => {
+            let _ = writeln!(
+                out,
+                "workload: {} ({}, {})",
+                c.workload, c.settings, c.condition
+            );
+            let _ = writeln!(out, "programs: {}", c.programs.join(", "));
+            let _ = writeln!(
+                out,
+                "verdict:  NOT ROBUST — certified by an executed MVRC history"
+            );
+            let _ = writeln!(out, "witness ({}):", c.witness_kind);
+            for e in &c.witness {
+                let _ = writeln!(
+                    out,
+                    "  {:<15} {}[{}] -> {}[{}]",
+                    e.role, e.from, e.from_stmt, e.to, e.to_stmt
+                );
+            }
+            let r = &c.realization;
+            let _ = writeln!(
+                out,
+                "execution: {} instance(s) [{}], key plan {}, {} plan actions, commit order {:?}",
+                r.instances.len(),
+                r.instances.join(", "),
+                r.key_variant,
+                r.interleaving.len(),
+                r.commit_order
+            );
+            let _ = writeln!(out, "anomaly:   {}", r.anomaly);
+            let _ = writeln!(
+                out,
+                "checker:   non-serializable ({} conflicts, cycle of {} edges); \
+                 engine agreement: {}",
+                r.verdict.conflicts,
+                r.verdict.cycle.len(),
+                r.find_anomaly_agrees
+            );
+        }
+        mvrc_hist::CertifyOutcome::Attested(a) => {
+            let _ = writeln!(
+                out,
+                "workload: {} ({}, {})",
+                a.workload, a.settings, a.condition
+            );
+            let _ = writeln!(out, "programs: {}", a.programs.join(", "));
+            let _ = writeln!(
+                out,
+                "verdict:  ROBUST — attested by sampled executions ({} seeds: {} committed, \
+                 {} aborted), every committed history serializable",
+                a.seeds, a.runs_executed, a.runs_aborted
+            );
+        }
+    }
+    out
+}
+
 fn subsets(
     input: &Input,
     settings: AnalysisSettings,
@@ -621,6 +727,71 @@ mod tests {
 
     fn auction_input() -> Input {
         Input::Benchmark("auction".into())
+    }
+
+    #[test]
+    fn certify_smallbank_exits_one_with_a_rejected_history() {
+        let out = execute(Command::Certify {
+            input: Input::Benchmark("smallbank".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+            programs: None,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert!(out.text.contains("NOT ROBUST"), "{}", out.text);
+        assert!(out.text.contains("anomaly:"), "{}", out.text);
+        assert!(out.text.contains("engine agreement: true"), "{}", out.text);
+    }
+
+    #[test]
+    fn certify_auction_attests_and_exits_zero() {
+        let out = execute(Command::Certify {
+            input: auction_input(),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+            programs: None,
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert!(out.text.contains("ROBUST — attested"), "{}", out.text);
+    }
+
+    #[test]
+    fn certify_subset_flag_narrows_the_programs() {
+        let out = execute(Command::Certify {
+            input: Input::Benchmark("smallbank".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Json,
+            programs: Some(vec!["Balance".into(), "WriteCheck".into()]),
+        })
+        .unwrap();
+        assert_eq!(out.exit_code, 1);
+        let v: serde_json::Value = serde_json::from_str(&out.text).expect("valid JSON");
+        assert_eq!(v["robust"], false);
+        assert_eq!(v["workload"], "SmallBank");
+        let unknown = execute(Command::Certify {
+            input: Input::Benchmark("smallbank".into()),
+            settings: AnalysisSettings::paper_default(),
+            format: Format::Text,
+            programs: Some(vec!["Nope".into()]),
+        });
+        assert!(matches!(unknown, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn certify_json_is_deterministic_across_runs() {
+        let run = || {
+            execute(Command::Certify {
+                input: Input::Benchmark("smallbank".into()),
+                settings: AnalysisSettings::paper_default(),
+                format: Format::Json,
+                programs: None,
+            })
+            .unwrap()
+            .text
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

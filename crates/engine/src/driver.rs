@@ -17,7 +17,7 @@ use crate::program::ProgramInstance;
 use crate::workloads::ExecutableWorkload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of a driver run.
 #[derive(Debug, Clone, Copy)]
@@ -65,8 +65,8 @@ pub struct RunStats {
     pub aborts: HashMap<AbortReason, usize>,
     /// Statement-level steps executed (committed and aborted attempts combined).
     pub steps: usize,
-    /// Commits per program name.
-    pub commits_by_program: HashMap<String, usize>,
+    /// Commits per program name (sorted by name, so reports render deterministically).
+    pub commits_by_program: BTreeMap<String, usize>,
     /// The post-run history check.
     pub report: HistoryReport,
 }

@@ -14,7 +14,7 @@
 use crate::storage::{CommitTs, WriterId};
 use crate::value::Key;
 use mvrc_schema::{AttrSet, RelId, Schema};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The kind of a recorded write.
@@ -408,8 +408,11 @@ impl History {
     }
 
     /// Groups committed transactions by program name (for reporting).
-    pub fn commits_by_program(&self) -> HashMap<String, usize> {
-        let mut map = HashMap::new();
+    ///
+    /// Returns a [`BTreeMap`] so iteration is sorted by program name: reports, certificates
+    /// and test snapshots built from this map render deterministically.
+    pub fn commits_by_program(&self) -> BTreeMap<String, usize> {
+        let mut map = BTreeMap::new();
         for t in &self.committed {
             *map.entry(t.program.clone()).or_insert(0) += 1;
         }

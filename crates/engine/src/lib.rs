@@ -40,6 +40,7 @@ mod engine;
 mod error;
 mod history;
 mod program;
+mod scripted;
 mod storage;
 mod tpcc;
 mod value;
@@ -53,6 +54,7 @@ pub use history::{
     RecordedPredicateRead, RecordedRead, RecordedWrite, WriteKind,
 };
 pub use program::{Locals, ProgramInstance, StepFn};
+pub use scripted::{run_plan, PlanAction, PlanError, ScriptedError, ScriptedRun, StepPlan};
 pub use storage::{CommitTs, Storage, StoredVersion, Table, VersionChain, WriterId};
 pub use tpcc::{tpcc_executable, TpccConfig};
 pub use value::{extract, project, Key, Row, Value};

@@ -1,0 +1,524 @@
+//! The witness compiler: lowers a static [`Violation`] witness onto the execution engine.
+//!
+//! A summary-graph witness blames programs and statement positions; it promises that *some*
+//! database, *some* parameter instantiation, and *some* MVRC interleaving realize each summary
+//! edge as a dynamic dependency and close the cycle. This module searches that space
+//! constructively:
+//!
+//! 1. **Instantiation** — every key-based statement of every transaction instance targets a
+//!    shared row (key `0`) of its relation so that conflicts actually materialize; deletes get
+//!    per-instance reserved rows (or the shared row, as a second key-plan variant) and inserts
+//!    get fresh keys. Predicate statements scan with an always-true predicate (selects) or a
+//!    predicate matching exactly the target row (updates/deletes), so the recorded footprints
+//!    match the statements' declared read/pread/write sets.
+//! 2. **Scheduling** — the paper's sufficiency proof builds a *multiversion split schedule*:
+//!    the transaction issuing the counterflow antidependency read runs a prefix, every other
+//!    instance then runs serially to completion, and the victim finishes last. We lower exactly
+//!    that shape onto [`StepPlan::split_schedule`], splitting right after the blamed read first
+//!    and enumerating other split points, instance lists, and key-plan variants.
+//! 3. **Fallback** — seeded random scripted interleavings over one instance per subset program
+//!    (plus a duplicate victim), for witnesses whose canonical split aborts (write locks) or
+//!    stays serializable.
+//!
+//! Every executed history is judged by the independent [`checker`](crate::checker); the first
+//! one it rejects becomes the certificate, cross-checked against the engine's own
+//! [`History::find_anomaly`].
+
+use crate::checker::{check, CheckerVerdict};
+use mvrc_btp::{LinearProgram, StatementKind};
+use mvrc_engine::{
+    run_plan, Engine, History, IsolationLevel, Key, Locals, PlanAction, ProgramInstance, Row,
+    StepFn, StepPlan, Value,
+};
+use mvrc_robustness::{NodeId, SummaryGraph, Violation};
+use mvrc_schema::{AttrId, AttrSet, RelId, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How key-based statements are mapped onto rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyVariant {
+    /// Everything targets the shared row (key `0`); deletes get a per-instance reserved row so
+    /// later statements still find the shared one. The default certification plan: conflicts
+    /// materialize maximally.
+    SeparateDeletes,
+    /// Deletes also target the shared row — needed when the blamed conflict *is* the delete.
+    SharedDeletes,
+    /// Key-based reads and updates of instance `i` target row `50 + i`; deletes of instance
+    /// `i` target the *next* instance's row (`50 + (i+1) mod n`). This is the only layout that
+    /// realizes mutual read/delete cycles — `A` reads its row while `B` deletes it and vice
+    /// versa — where a shared row would make the second delete abort on the missing row and
+    /// separate rows would not conflict at all.
+    RotatedDeletes,
+    /// Every instance targets its own row (key `50 + instance`), deletes reserved, inserts
+    /// fresh — the faithful "different parameters" instantiation. Key-based writes never lock
+    /// each other, so interleavings commit; predicate reads still cross instance boundaries
+    /// and keep the histories non-trivial. Used for attestation sampling.
+    PerInstanceRows,
+}
+
+impl KeyVariant {
+    /// The variants the certification search tries, in order. `PerInstanceRows` is excluded:
+    /// with disjoint key targets the blamed key-conflict edges cannot materialize.
+    pub const ALL: [KeyVariant; 3] = [
+        KeyVariant::SeparateDeletes,
+        KeyVariant::SharedDeletes,
+        KeyVariant::RotatedDeletes,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            KeyVariant::SeparateDeletes => "separate-deletes",
+            KeyVariant::SharedDeletes => "shared-deletes",
+            KeyVariant::RotatedDeletes => "rotated-deletes",
+            KeyVariant::PerInstanceRows => "per-instance-rows",
+        }
+    }
+}
+
+/// One action of a serialized interleaving, the JSON mirror of [`PlanAction`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// `"step"` or `"commit"`.
+    pub action: String,
+    /// Transaction (instance) index the action applies to.
+    pub txn: usize,
+}
+
+/// A concrete non-serializable MVRC execution realizing a witness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Realization {
+    /// Program (LTP) name per transaction index.
+    pub instances: Vec<String>,
+    /// The key-plan variant that realized the witness.
+    pub key_variant: String,
+    /// The executed statement-level interleaving.
+    pub interleaving: Vec<PlanStep>,
+    /// Commit order as transaction indices.
+    pub commit_order: Vec<usize>,
+    /// The engine's own anomaly rendering (`T1 -rw-> T2 -ww-> T1`), for human readers.
+    pub anomaly: String,
+    /// The independent checker's verdict (must be non-serializable).
+    pub verdict: CheckerVerdict,
+    /// Whether [`History::find_anomaly`] agrees with the independent checker. Always `true`
+    /// for realizations this module returns.
+    pub find_anomaly_agrees: bool,
+}
+
+/// Maximum number of seeded random interleavings tried after the structured split schedules.
+pub const FALLBACK_SEEDS: u64 = 128;
+
+/// Tries to realize a violation witness over the given subset as an executed history that the
+/// independent checker rejects. Deterministic: the same graph, subset, and witness always
+/// produce the same realization.
+pub fn realize_violation(
+    schema: &Schema,
+    graph: &SummaryGraph,
+    subset: &[NodeId],
+    violation: &Violation,
+) -> Option<Realization> {
+    let (victim, victim_stmt, others) = witness_cast(violation);
+
+    // Candidate instance lists, victim first (the split schedule commits the victim last and
+    // the others in list order, which is the cycle order of the witness).
+    let mut lists: Vec<Vec<NodeId>> = Vec::new();
+    let mut push_list = |list: Vec<NodeId>| {
+        if !lists.contains(&list) {
+            lists.push(list);
+        }
+    };
+    let mut cycle_list = vec![victim];
+    for &n in &others {
+        if !cycle_list[1..].contains(&n) {
+            cycle_list.push(n);
+        }
+    }
+    push_list(cycle_list);
+    push_list(vec![victim, others[0]]);
+    let mut full = vec![victim];
+    full.extend_from_slice(subset);
+    push_list(full.clone());
+
+    for list in &lists {
+        let ltps: Vec<&LinearProgram> = list.iter().map(|&n| graph.node(n)).collect();
+        let step_counts: Vec<usize> = ltps.iter().map(|l| l.len()).collect();
+        let victim_len = step_counts[0];
+        // Split right after the blamed counterflow read first (the paper's construction), then
+        // try every other split point.
+        let mut prefixes = vec![victim_stmt + 1];
+        prefixes.extend((1..=victim_len).filter(|p| *p != victim_stmt + 1));
+        for prefix in prefixes {
+            for variant in KeyVariant::ALL {
+                let plan = StepPlan::split_schedule(&step_counts, 0, prefix);
+                if let Some(history) = run_scripted(schema, &ltps, variant, &plan) {
+                    if let Some(r) = evaluate(&history, &ltps, variant, &plan) {
+                        return Some(r);
+                    }
+                }
+            }
+        }
+    }
+
+    // Random fallback over the full subset (victim duplicated).
+    let ltps: Vec<&LinearProgram> = full.iter().map(|&n| graph.node(n)).collect();
+    let step_counts: Vec<usize> = ltps.iter().map(|l| l.len()).collect();
+    for seed in 0..FALLBACK_SEEDS {
+        let variant = KeyVariant::ALL[(seed % 2) as usize];
+        let plan = random_plan(&step_counts, seed);
+        if let Some(history) = run_scripted(schema, &ltps, variant, &plan) {
+            if let Some(r) = evaluate(&history, &ltps, variant, &plan) {
+                return Some(r);
+            }
+        }
+    }
+    None
+}
+
+/// Runs one seeded random interleaving of the given programs (used for robustness
+/// attestation). At most two transactions are concurrently active — the pairwise-interference
+/// shape of the paper's split schedules — so write-lock aborts stay rare enough for samples to
+/// commit. Returns the executed history, or `None` when the interleaving aborted.
+pub fn random_run(
+    schema: &Schema,
+    ltps: &[&LinearProgram],
+    variant: KeyVariant,
+    seed: u64,
+) -> Option<History> {
+    let step_counts: Vec<usize> = ltps.iter().map(|l| l.len()).collect();
+    let plan = random_plan_bounded(&step_counts, seed, 2);
+    run_scripted(schema, ltps, variant, &plan)
+}
+
+/// The victim (counterflow source) node, the blamed read position, and the remaining witness
+/// nodes in cycle order.
+fn witness_cast(violation: &Violation) -> (NodeId, usize, Vec<NodeId>) {
+    match violation {
+        Violation::TypeI(w) => {
+            let cf = w.counterflow_edge;
+            (cf.from, cf.from_stmt, vec![cf.to])
+        }
+        Violation::TypeII(w) => {
+            // Cycle: nc.from -> nc.to ~> middle.from -> middle.to (= cf.from) -> cf.to ~> back.
+            let cf = w.counterflow_edge;
+            (
+                cf.from,
+                cf.from_stmt,
+                vec![
+                    cf.to,
+                    w.non_counterflow_edge.from,
+                    w.non_counterflow_edge.to,
+                    w.middle_edge.from,
+                ],
+            )
+        }
+    }
+}
+
+/// Judges an executed history; returns a realization when the independent checker rejects it.
+fn evaluate(
+    history: &History,
+    ltps: &[&LinearProgram],
+    variant: KeyVariant,
+    plan: &StepPlan,
+) -> Option<Realization> {
+    let verdict = check(history);
+    if verdict.serializable {
+        return None;
+    }
+    let anomaly = history.find_anomaly();
+    let find_anomaly_agrees = anomaly.is_some();
+    debug_assert!(
+        find_anomaly_agrees,
+        "independent checker and History::find_anomaly both decide CSR and must agree"
+    );
+    Some(Realization {
+        instances: ltps.iter().map(|l| l.name().to_string()).collect(),
+        key_variant: variant.label().to_string(),
+        interleaving: plan_steps(plan),
+        commit_order: plan.commit_order(),
+        anomaly: anomaly.map(|a| a.describe(history)).unwrap_or_default(),
+        verdict,
+        find_anomaly_agrees,
+    })
+}
+
+fn plan_steps(plan: &StepPlan) -> Vec<PlanStep> {
+    plan.actions
+        .iter()
+        .map(|a| match *a {
+            PlanAction::Step { txn } => PlanStep {
+                action: "step".to_string(),
+                txn,
+            },
+            PlanAction::Commit { txn } => PlanStep {
+                action: "commit".to_string(),
+                txn,
+            },
+        })
+        .collect()
+}
+
+/// Builds a fresh engine, preloads the rows the instantiation targets, and executes the plan
+/// under MVRC. `None` when the execution aborts (failed attempt, not an error).
+fn run_scripted(
+    schema: &Schema,
+    ltps: &[&LinearProgram],
+    variant: KeyVariant,
+    plan: &StepPlan,
+) -> Option<History> {
+    let targets = assign_targets(ltps, variant);
+    let mut engine = Engine::new(schema.clone());
+    preload(&mut engine, schema, ltps, &targets);
+    let mut instances: Vec<ProgramInstance> = ltps
+        .iter()
+        .zip(&targets)
+        .map(|(ltp, t)| build_instance(schema, ltp, t))
+        .collect();
+    run_plan(
+        &mut engine,
+        &mut instances,
+        IsolationLevel::ReadCommitted,
+        plan,
+    )
+    .ok()?;
+    Some(engine.into_history())
+}
+
+/// Assigns a target key to every statement of every instance: the shared row (or the
+/// instance's own row under [`KeyVariant::PerInstanceRows`]) for key-based reads and updates,
+/// reserved ids (from 10) for deletes, and fresh ids (from 1000) for inserts.
+fn assign_targets(ltps: &[&LinearProgram], variant: KeyVariant) -> Vec<Vec<i64>> {
+    let mut reserved = 10i64;
+    let mut fresh = 1000i64;
+    let instances = ltps.len() as i64;
+    ltps.iter()
+        .enumerate()
+        .map(|(instance, ltp)| {
+            let base = match variant {
+                KeyVariant::PerInstanceRows | KeyVariant::RotatedDeletes => 50 + instance as i64,
+                _ => 0,
+            };
+            ltp.statements()
+                .map(|(_, stmt)| match stmt.kind() {
+                    StatementKind::Insert => {
+                        fresh += 1;
+                        fresh
+                    }
+                    StatementKind::KeyDelete | StatementKind::PredDelete => match variant {
+                        KeyVariant::SharedDeletes => base,
+                        KeyVariant::RotatedDeletes => 50 + (instance as i64 + 1) % instances,
+                        _ => {
+                            reserved += 1;
+                            reserved
+                        }
+                    },
+                    _ => base,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Preloads the shared row and every reserved delete target of each referenced relation. Rows
+/// carry `Int(key)` in every attribute, so single-attribute primary keys line up and narrow
+/// predicates can match on any key attribute.
+fn preload(engine: &mut Engine, schema: &Schema, ltps: &[&LinearProgram], targets: &[Vec<i64>]) {
+    let mut rows: BTreeSet<(usize, i64)> = BTreeSet::new();
+    for (ltp, ltp_targets) in ltps.iter().zip(targets) {
+        for (pos, stmt) in ltp.statements() {
+            if stmt.kind() == StatementKind::Insert {
+                continue;
+            }
+            rows.insert((stmt.rel().index(), 0));
+            rows.insert((stmt.rel().index(), ltp_targets[pos]));
+        }
+    }
+    for (rel_index, key) in rows {
+        let rel = RelId(rel_index as u16);
+        let arity = schema.relation(rel).attribute_count();
+        engine
+            .load(rel, vec![Value::Int(key); arity])
+            .expect("preload rows are well-formed");
+    }
+}
+
+/// Compiles one LTP instance into engine steps, one per statement, using the assigned targets.
+fn build_instance(schema: &Schema, ltp: &LinearProgram, targets: &[i64]) -> ProgramInstance {
+    let mut steps: Vec<StepFn> = Vec::new();
+    for (pos, stmt) in ltp.statements() {
+        let rel = stmt.rel();
+        let relation = schema.relation(rel);
+        let pk = relation.primary_key();
+        let pk_index = pk.iter().next().map(|a| a.index()).unwrap_or(0);
+        // Rows are loaded/inserted with `Int(target)` in every attribute, so the stored key of
+        // the target row is `target` repeated once per primary-key attribute (TPC-C keys are
+        // composite; a single-value `Key::int` would miss every row there).
+        let pk_arity = pk.iter().count().max(1);
+        let arity = relation.attribute_count();
+        let kind = stmt.kind();
+        let read_attrs = stmt.read_attrs();
+        let write_attrs = stmt.write_attrs();
+        let pread_attrs = stmt.pread_attrs();
+        let target = targets[pos];
+        let step: StepFn = Box::new(move |engine, txn, _locals| {
+            match kind {
+                StatementKind::KeySelect => {
+                    let key = Key::composite(vec![Value::Int(target); pk_arity]);
+                    engine.read_key(txn, rel, &key, read_attrs)?;
+                }
+                StatementKind::KeyUpdate => {
+                    let key = Key::composite(vec![Value::Int(target); pk_arity]);
+                    engine.update_key(txn, rel, &key, read_attrs, write_attrs, |row| {
+                        bump(row, write_attrs, pk)
+                    })?;
+                }
+                StatementKind::KeyDelete => {
+                    let key = Key::composite(vec![Value::Int(target); pk_arity]);
+                    engine.delete_key(txn, rel, &key)?;
+                }
+                StatementKind::Insert => {
+                    engine.insert(txn, rel, vec![Value::Int(target); arity])?;
+                }
+                StatementKind::PredSelect => {
+                    engine.scan(txn, rel, pread_attrs, read_attrs, |_| true)?;
+                }
+                StatementKind::PredUpdate => {
+                    // The predicate matches exactly the target row; every match is updated, as
+                    // predicate updates require. The scan already records the matched rows as
+                    // reads with the declared ReadSet, so the per-row update reads nothing.
+                    let matches = engine.scan(txn, rel, pread_attrs, read_attrs, move |row| {
+                        key_attr_is(row, pk_index, target)
+                    })?;
+                    for (key, _) in matches {
+                        engine.update_key(txn, rel, &key, AttrSet::EMPTY, write_attrs, |row| {
+                            bump(row, write_attrs, pk)
+                        })?;
+                    }
+                }
+                StatementKind::PredDelete => {
+                    let matches = engine.scan(txn, rel, pread_attrs, read_attrs, move |row| {
+                        key_attr_is(row, pk_index, target)
+                    })?;
+                    for (key, _) in matches {
+                        engine.delete_key(txn, rel, &key)?;
+                    }
+                }
+            }
+            Ok(())
+        });
+        steps.push(step);
+    }
+    ProgramInstance::new(ltp.name(), Locals::new(), steps)
+}
+
+/// New values for an update: key attributes keep their value (so predicates keep matching),
+/// every other written attribute is bumped — distinct versions without disturbing identity.
+fn bump(row: &Row, write_attrs: AttrSet, pk: AttrSet) -> Vec<(AttrId, Value)> {
+    write_attrs
+        .iter()
+        .map(|a| {
+            let old = row.get(a.index()).cloned().unwrap_or(Value::Null);
+            let new = if pk.contains(a) {
+                old
+            } else {
+                Value::Int(old.as_int().unwrap_or(0) + 1)
+            };
+            (a, new)
+        })
+        .collect()
+}
+
+fn key_attr_is(row: &Row, pk_index: usize, target: i64) -> bool {
+    row.get(pk_index).and_then(Value::as_int) == Some(target)
+}
+
+/// Generates a seeded random scripted interleaving: repeatedly picks an unfinished instance
+/// and advances it, committing instances as they run out of statements.
+pub fn random_plan(step_counts: &[usize], seed: u64) -> StepPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining: Vec<usize> = step_counts.to_vec();
+    let mut active: Vec<usize> = (0..step_counts.len()).collect();
+    let mut actions = Vec::new();
+    while !active.is_empty() {
+        let i = rng.gen_range(0..active.len());
+        let txn = active[i];
+        if remaining[txn] > 0 {
+            remaining[txn] -= 1;
+            actions.push(PlanAction::Step { txn });
+        } else {
+            actions.push(PlanAction::Commit { txn });
+            active.remove(i);
+        }
+    }
+    StepPlan { actions }
+}
+
+/// Like [`random_plan`], but admits transactions in a seed-shuffled order and keeps at most
+/// `window` of them concurrently active. Small windows trade interleaving freedom for far
+/// fewer write-lock aborts, which is what attestation sampling needs.
+pub fn random_plan_bounded(step_counts: &[usize], seed: u64, window: usize) -> StepPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pending: Vec<usize> = (0..step_counts.len()).collect();
+    for i in (1..pending.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pending.swap(i, j);
+    }
+    let mut remaining = step_counts.to_vec();
+    let mut active: Vec<usize> = Vec::new();
+    let mut actions = Vec::new();
+    while !active.is_empty() || !pending.is_empty() {
+        while active.len() < window.max(1) && !pending.is_empty() {
+            active.push(pending.remove(0));
+        }
+        let i = rng.gen_range(0..active.len());
+        let txn = active[i];
+        if remaining[txn] > 0 {
+            remaining[txn] -= 1;
+            actions.push(PlanAction::Step { txn });
+        } else {
+            actions.push(PlanAction::Commit { txn });
+            active.remove(i);
+        }
+    }
+    StepPlan { actions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvrc_robustness::{all_violations_in, CycleCondition, RobustnessSession};
+
+    #[test]
+    fn smallbank_type1_witness_realizes_as_a_rejected_history() {
+        let session = RobustnessSession::new(mvrc_benchmarks::smallbank());
+        let settings = mvrc_robustness::AnalysisSettings::paper_default();
+        let graph_arc = session.graph(settings);
+        let graph: &SummaryGraph = &graph_arc;
+        let view = graph
+            .induced_for_programs(&["Balance", "WriteCheck"])
+            .unwrap();
+        let violations = all_violations_in(&view, CycleCondition::TypeII);
+        assert!(!violations.is_empty(), "Balance+WriteCheck is not robust");
+        let subset = view.members().to_vec();
+        let realization = realize_violation(session.schema(), graph, &subset, &violations[0])
+            .expect("the witness must be realizable");
+        assert!(!realization.verdict.serializable);
+        assert!(realization.find_anomaly_agrees);
+        assert!(!realization.anomaly.is_empty());
+    }
+
+    #[test]
+    fn random_plans_cover_every_statement_and_commit() {
+        let plan = random_plan(&[2, 3, 1], 7);
+        plan.validate(&[2, 3, 1])
+            .expect("generated plans are valid");
+        let steps = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, PlanAction::Step { .. }))
+            .count();
+        assert_eq!(steps, 6);
+    }
+}

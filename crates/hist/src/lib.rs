@@ -1,0 +1,52 @@
+//! # mvrc-hist
+//!
+//! **History-level certification** for the robustness analyzer: turns static verdicts into
+//! executed evidence.
+//!
+//! The static analysis of *"Detecting Robustness against MVRC for Transaction Programs with
+//! Predicate Reads"* (EDBT 2023) answers "can this program set ever produce a non-serializable
+//! execution under multi-version Read Committed?" from the summary graph alone. Its verdicts
+//! deserve independent corroboration, and this crate closes the loop:
+//!
+//! ```text
+//!   analyzer ──violation witness──▶ witness compiler ──scripted plan──▶ engine (MVRC)
+//!      ▲                                                                    │
+//!      │                                                                executed
+//!   agreement                                                           history
+//!   asserted                                                               │
+//!      └────────────── independent serializability checker ◀───────────────┘
+//! ```
+//!
+//! * [`checker`] — an independent conflict-serializability checker over
+//!   [`mvrc_engine::History`]: re-derives the conflict relation from raw records (cell-indexed,
+//!   not pairwise), decides SER twice — Kahn-style saturation *and* a constrained-linearization
+//!   commit-order search — and cross-checks the two on every call. It never looks at the
+//!   summary graph.
+//! * [`compile`] — the witness compiler: lowers a [`mvrc_robustness::Violation`] onto the
+//!   engine as a *multiversion split schedule* (the paper's sufficiency construction) with
+//!   deterministic parameter instantiation, enumerating split points, instance lists, and
+//!   key-plan variants until the checker rejects an executed history.
+//! * [`certify`] — the driver: [`certify_subset`] produces a JSON [`Certificate`] for
+//!   non-robust subsets (witness edges + interleaving + checker rejection) or an
+//!   [`Attestation`] for robust ones (seeded sample executions, all checker-accepted), and
+//!   [`CertifyExt`] hangs `certify_non_robust` off [`mvrc_robustness::RobustnessSession`].
+//!
+//! Every certificate is double-checked: the independent checker's verdict must agree with the
+//! engine's own [`mvrc_engine::History::find_anomaly`] — two implementations of conflict
+//! serializability, derived separately, failing together or not at all.
+
+pub mod certify;
+pub mod checker;
+pub mod compile;
+
+pub use certify::{
+    certify_subset, Attestation, Certificate, CertifyError, CertifyExt, CertifyOutcome,
+    WitnessEdge, ATTEST_SEEDS,
+};
+pub use checker::{
+    check, conflicts, linearize, saturate, CheckerVerdict, Conflict, ConflictKind, CycleStep,
+};
+pub use compile::{
+    random_plan, random_plan_bounded, random_run, realize_violation, KeyVariant, PlanStep,
+    Realization, FALLBACK_SEEDS,
+};

@@ -1,0 +1,69 @@
+//! Golden certificate fixtures: the full-mix certification outcome of each paper benchmark,
+//! byte-pinned. A diff here means the witness compiler, the checker, the JSON shape, or the
+//! analyzer verdict changed — all of which certificate consumers depend on.
+//!
+//! Regenerate intentionally with `MVRC_BLESS=1 cargo test -p mvrc-hist --test golden`.
+
+use mvrc_benchmarks::{auction, smallbank, tpcc, ycsb_t, YcsbtConfig};
+use mvrc_hist::{certify_subset, CertifyOutcome};
+use mvrc_robustness::{AnalysisSettings, RobustnessSession};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Certifies (or attests) the full program mix of `workload` and compares the JSON byte-for-
+/// byte against the named fixture. With `MVRC_BLESS=1` the fixture is rewritten instead.
+fn pin(workload: mvrc_btp::Workload, fixture: &str, expect_certified: bool) {
+    let session = RobustnessSession::new(workload);
+    let label = session.workload().name.clone();
+    let programs: Vec<String> = session.program_names().to_vec();
+    let refs: Vec<&str> = programs.iter().map(String::as_str).collect();
+    let outcome = certify_subset(&session, &label, &refs, AnalysisSettings::paper_default())
+        .unwrap_or_else(|e| panic!("{label}: certification must not error: {e}"));
+    assert_eq!(
+        outcome.is_certified(),
+        expect_certified,
+        "{label}: unexpected robustness verdict"
+    );
+    if let CertifyOutcome::Certified(c) = &outcome {
+        assert!(!c.realization.verdict.serializable);
+        assert!(c.realization.find_anomaly_agrees);
+    }
+    let json = outcome.to_json_pretty();
+    let path = fixture_path(fixture);
+    if std::env::var_os("MVRC_BLESS").is_some() {
+        std::fs::write(&path, &json).expect("write fixture");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with MVRC_BLESS=1", fixture));
+    assert_eq!(
+        json, pinned,
+        "{label}: certificate drifted from the pinned fixture {fixture}; \
+         if intentional, regenerate with MVRC_BLESS=1"
+    );
+}
+
+#[test]
+fn smallbank_full_mix_certificate_is_pinned() {
+    pin(smallbank(), "smallbank.cert.json", true);
+}
+
+#[test]
+fn tpcc_full_mix_certificate_is_pinned() {
+    pin(tpcc(), "tpcc.cert.json", true);
+}
+
+#[test]
+fn ycsbt_full_mix_certificate_is_pinned() {
+    pin(ycsb_t(YcsbtConfig::default()), "ycsbt.cert.json", true);
+}
+
+#[test]
+fn auction_full_mix_attestation_is_pinned() {
+    pin(auction(), "auction.attest.json", false);
+}
